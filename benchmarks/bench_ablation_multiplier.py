@@ -1,0 +1,78 @@
+"""A3 — Ablation: tree-based vs serial multiplication (Section 4).
+
+The paper replaces TinyGarble's serial multiplier ("does not allow
+parallelism") with the tree structure.  This ablation quantifies the
+trade on real netlists: AND-gate counts, dependency depth, average
+parallelism, and what each form yields when scheduled on the same core
+array.
+"""
+
+import pytest
+
+from repro.accel.schedule import schedule_rounds
+from repro.accel.tree_mac import build_scheduled_mac
+from repro.baselines.tinygarble import TinyGarbleExecutor
+from repro.circuits.multipliers import build_multiplier_netlist
+
+
+def analysis(net):
+    stats = net.stats()
+    depth = net.nonfree_depth()
+    return stats.n_nonfree, depth, stats.n_nonfree / depth
+
+
+def test_ablation_report(artifact):
+    lines = [
+        "Ablation A3: tree vs serial multiplier netlists (unsigned)",
+        "",
+        f"  {'b':>3} {'form':>7} {'ANDs':>6} {'AND-depth':>10} {'avg parallelism':>16}",
+    ]
+    for b in (8, 16, 32):
+        for kind in ("serial", "tree"):
+            ands, depth, par = analysis(
+                build_multiplier_netlist(b, kind=kind, signed=False)
+            )
+            lines.append(f"  {b:>3} {kind:>7} {ands:>6} {depth:>10} {par:>16.1f}")
+    lines += [
+        "",
+        "  scheduled on the MAXelerator core array (full MAC, b=8):",
+    ]
+    schedule = schedule_rounds(build_scheduled_mac(8), 5)
+    lines.append(
+        f"    tree MAC: {schedule.steady_state_cycles_per_mac} cycles/MAC, "
+        f"utilisation {schedule.utilization():.0%}"
+    )
+    serial_ands = TinyGarbleExecutor(8).and_gates_per_round
+    lines.append(
+        f"    serial MAC on 1 engine: >= {serial_ands} cycles/MAC "
+        "(one table per cycle, fully serial dependencies)"
+    )
+    artifact("ablation_multiplier.txt", "\n".join(lines))
+
+
+@pytest.mark.parametrize("b", [8, 16, 32])
+def test_tree_exposes_more_parallelism(b):
+    serial = build_multiplier_netlist(b, kind="serial", signed=False)
+    tree = build_multiplier_netlist(b, kind="tree", signed=False)
+    assert analysis(tree)[2] > analysis(serial)[2]
+
+
+def test_and_count_overhead_is_modest():
+    # the tree form trades a small AND-count increase for schedulability
+    for b in (8, 16, 32):
+        serial = build_multiplier_netlist(b, kind="serial", signed=False)
+        tree = build_multiplier_netlist(b, kind="tree", signed=False)
+        ratio = tree.stats().n_nonfree / serial.stats().n_nonfree
+        assert ratio < 1.3, f"b={b}: tree costs {ratio:.2f}x ANDs"
+
+
+def test_scheduled_tree_beats_serial_chain():
+    # end to end: 24 cycles/MAC vs >= 144 serial garblings
+    schedule = schedule_rounds(build_scheduled_mac(8), 5)
+    assert schedule.steady_state_cycles_per_mac * 5 < TinyGarbleExecutor(8).and_gates_per_round
+
+
+@pytest.mark.parametrize("kind", ["serial", "tree"])
+def test_bench_build_multiplier(benchmark, kind):
+    net = benchmark(build_multiplier_netlist, 16, kind, False)
+    assert net.stats().n_nonfree > 0

@@ -1,0 +1,72 @@
+"""E5 — Portfolio-analysis case study (Section 6, after [11, 31]).
+
+Regenerates the 252-round risk-to-return comparison: 1.33 s with
+TinyGarble vs 15.23 ms with MAXelerator (and the 20 us non-private GPU
+reference), and runs the real private quadratic form at small scale.
+"""
+
+import pytest
+
+from repro.apps.datasets import synthetic_covariance, synthetic_portfolio
+from repro.apps.portfolio import (
+    PAPER_GPU_NONPRIVATE_S,
+    PAPER_MAXELERATOR_S,
+    PAPER_ROUNDS,
+    PAPER_TINYGARBLE_S,
+    PortfolioRuntimeModel,
+    PrivatePortfolioAnalysis,
+)
+from repro.fixedpoint import Q16_8
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PortfolioRuntimeModel()
+
+
+def test_regenerate_case_numbers(model, artifact):
+    timing = model.analysis_time_s()
+    text = (
+        f"Portfolio case study ({PAPER_ROUNDS} rounds, size-2 portfolio):\n"
+        f"  GPU non-private [31]:  {PAPER_GPU_NONPRIVATE_S * 1e6:.0f} us (reference)\n"
+        f"  TinyGarble:   {timing.tinygarble_s:.3f} s   (paper: {PAPER_TINYGARBLE_S} s)\n"
+        f"  MAXelerator:  {timing.maxelerator_s * 1e3:.2f} ms (paper: {PAPER_MAXELERATOR_S * 1e3:.2f} ms)\n"
+        f"  speedup:      {timing.speedup:.0f}x  (paper: "
+        f"{PAPER_TINYGARBLE_S / PAPER_MAXELERATOR_S:.0f}x)"
+    )
+    artifact("case_portfolio.txt", text)
+    assert timing.tinygarble_s == pytest.approx(PAPER_TINYGARBLE_S, rel=0.08)
+    assert timing.maxelerator_s == pytest.approx(PAPER_MAXELERATOR_S, rel=0.05)
+
+
+def test_shape_privacy_premium(model):
+    # privacy costs ~3 orders of magnitude vs the GPU baseline even with
+    # the accelerator — the paper's closing "practical limits" framing
+    timing = model.analysis_time_s()
+    assert timing.maxelerator_s / PAPER_GPU_NONPRIVATE_S > 100
+    assert timing.speedup > 50  # but the accelerator closes most of it
+
+
+def test_scaling_with_portfolio_size(model):
+    small = model.analysis_time_s(portfolio_size=2)
+    large = model.analysis_time_s(portfolio_size=8)
+    assert large.maxelerator_s > small.maxelerator_s
+    # MAC count grows 16x (2d^2); overhead dilutes the visible ratio
+    assert large.tinygarble_s / small.tinygarble_s == pytest.approx(16, rel=0.1)
+
+
+def test_bench_model(benchmark, model):
+    timing = benchmark(model.analysis_time_s)
+    assert timing.speedup > 1
+
+
+def test_bench_real_quadratic_form(benchmark):
+    cov = synthetic_covariance(2, seed=5)
+    w = synthetic_portfolio(2, seed=5)
+
+    def run():
+        analysis = PrivatePortfolioAnalysis(cov, Q16_8, seed=5)
+        return analysis.risk(w), analysis
+
+    (risk, analysis) = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert risk == pytest.approx(analysis.expected(w), abs=0.02)

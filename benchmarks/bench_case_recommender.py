@@ -1,0 +1,63 @@
+"""E4 — Recommendation-system case study (Section 6, after [6]).
+
+Regenerates the 2.9 h -> ~1 h per-iteration MovieLens claim and runs a
+real (synthetic, small) private matrix-factorisation epoch.
+"""
+
+import pytest
+
+from repro.apps.datasets import synthetic_ratings
+from repro.apps.recommender import (
+    GRADIENT_TIME_FRACTION,
+    PAPER_ACCELERATED_HOURS,
+    PAPER_IMPROVEMENT_RANGE,
+    PAPER_ITERATION_HOURS,
+    PrivateMatrixFactorization,
+    RecommenderRuntimeModel,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RecommenderRuntimeModel()
+
+
+def test_regenerate_movielens_claim(model, artifact):
+    run = model.movielens_claim()
+    text = (
+        "Recommendation case study (MovieLens-shaped):\n"
+        f"  baseline iteration: {run.baseline_hours:.2f} h  (paper: {PAPER_ITERATION_HOURS} h)\n"
+        f"  gradient (MAC) fraction: {GRADIENT_TIME_FRACTION:.2f}\n"
+        f"  MAC speedup applied: {model.mac_speedup:.0f}x\n"
+        f"  accelerated iteration: {run.accelerated_hours:.2f} h  (paper: ~{PAPER_ACCELERATED_HOURS} h)\n"
+        f"  improvement: {run.improvement:.1%}  (paper: 65-69%)"
+    )
+    artifact("case_recommender.txt", text)
+    lo, hi = PAPER_IMPROVEMENT_RANGE
+    assert lo <= run.improvement <= hi
+    assert run.accelerated_hours == pytest.approx(PAPER_ACCELERATED_HOURS, abs=0.05)
+
+
+def test_improvement_saturates_at_gradient_fraction(model):
+    # even infinite MAC speedup cannot beat the non-MAC remainder
+    run = model.accelerate(gradient_fraction=GRADIENT_TIME_FRACTION)
+    assert run.improvement < GRADIENT_TIME_FRACTION + 0.01
+
+
+def test_bench_training_epoch(benchmark):
+    triples, _, _ = synthetic_ratings(20, 15, 100, seed=3)
+    mf = PrivateMatrixFactorization(20, 15, profile_dim=4, seed=3)
+    rmse = benchmark(mf.train_epoch, triples)
+    assert rmse > 0
+    assert mf.macs_per_iteration == 3 * 4 * 100
+
+
+def test_bench_private_prediction_path(benchmark):
+    from repro.fixedpoint import Q8_4
+
+    triples, _, _ = synthetic_ratings(3, 3, 4, seed=4)
+    mf = PrivateMatrixFactorization(
+        3, 3, profile_dim=2, private_predictions=True, fmt=Q8_4, seed=4
+    )
+    benchmark.pedantic(mf.train_epoch, args=(triples,), rounds=1, iterations=1)
+    assert mf.private_macs_executed > 0

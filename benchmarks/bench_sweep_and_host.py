@@ -1,0 +1,79 @@
+"""Extension benches: the bit-width sweep figure and the host runtime.
+
+* `throughput_sweep` turns Table 2 into continuous series: who wins by
+  how much as the word size grows (the speedup-vs-software line grows
+  ~linearly in b, as the 44/48/57 progression already hints);
+* the host-serving bench exercises Figure 1's operational loop — a
+  pre-garbling pool turning accelerator throughput into request
+  latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import Q8_4
+from repro.host import AnalyticsClient, CloudServer
+from repro.perf.sweep import format_sweep, throughput_sweep
+
+
+def test_sweep_figure(artifact):
+    points = throughput_sweep(range(4, 66, 4))
+    artifact("ext_sweep_throughput.txt", format_sweep(points))
+    # shape claims: MAXelerator always wins; the software gap grows with
+    # b overall (the ceil() in the core-count formula causes small local
+    # steps, so the trend is monotone only up to ~5%)
+    gaps = [p.speedup_vs_software for p in points]
+    assert all(g > 1 for g in gaps)
+    assert gaps[-1] > 1.3 * gaps[0]
+    for a, b in zip(gaps, gaps[1:]):
+        assert b > a * 0.95
+    # the published points sit on the same curves
+    by_b = {p.bitwidth: p for p in points}
+    assert by_b[8].speedup_vs_software == pytest.approx(44, rel=0.05)
+    assert by_b[32].speedup_vs_software == pytest.approx(54, rel=0.05)
+
+
+def test_overlay_gap_shrinks_with_width():
+    points = throughput_sweep([8, 16, 32, 64])
+    overlay_gaps = [p.speedup_vs_overlay for p in points]
+    assert overlay_gaps == sorted(overlay_gaps, reverse=True)
+
+
+def test_host_serving_report(artifact):
+    model = np.array([[0.5, -1.0], [1.5, 0.25]])
+    server = CloudServer(model, Q8_4, pool_size=2, seed=31)
+    client = AnalyticsClient(server)
+    x = np.array([1.0, -0.5])
+    results = [client.query_row(i % 2, x) for i in range(3)]
+    server.refill_pool()
+    stats = server.stats
+    text = "\n".join(
+        [
+            "Host runtime (Figure 1's pre-garbling pool):",
+            f"  requests served:      {stats.requests_served}",
+            f"  runs garbled:         {stats.runs_garbled}",
+            f"  pool hit rate:        {stats.pool_hit_rate:.0%}",
+            f"  tables streamed:      {stats.tables_streamed}",
+            f"  pool level after refill: {server.pool_level}",
+        ]
+    )
+    artifact("ext_host_serving.txt", text)
+    for i, got in enumerate(results):
+        assert got == pytest.approx(model[i % 2] @ x, abs=0.05)
+    assert stats.pool_hits >= 2
+
+
+def test_bench_sweep_generation(benchmark):
+    points = benchmark(throughput_sweep)
+    assert len(points) == 31
+
+
+def test_bench_pool_refill(benchmark):
+    server = CloudServer(np.array([[1.0, 1.0]]), Q8_4, pool_size=0, seed=32)
+
+    def refill_one():
+        server.pool_size = server.pool_level + 1
+        return server.refill_pool()
+
+    added = benchmark.pedantic(refill_one, rounds=3, iterations=1)
+    assert added == 1

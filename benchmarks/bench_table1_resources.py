@@ -1,0 +1,43 @@
+"""E1 — Table 1: FPGA resource usage of one MAC unit (b = 8, 16, 32).
+
+Regenerates the LUT/LUTRAM/FF estimates from the component model and
+checks the paper's qualitative claim that utilisation grows linearly
+with the bit-width.  The benchmark measures the estimator itself (it is
+evaluated inside design-space-exploration loops, so its speed matters).
+"""
+
+import pytest
+
+from repro.accel.resources import PAPER_TABLE1, ResourceModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ResourceModel()
+
+
+def test_regenerate_table1(model, artifact):
+    text = model.model_report()
+    artifact("table1_resources.txt", text)
+    for b in PAPER_TABLE1:
+        err = model.relative_error(b)
+        assert abs(err["LUT"]) < 0.05, f"LUT model off at b={b}"
+        assert abs(err["FF"]) < 0.08, f"FF model off at b={b}"
+        assert abs(err["LUTRAM"]) < 0.40, f"LUTRAM model off at b={b}"
+
+
+def test_linear_scaling_claim(model):
+    # "resource utilization of our design increases linearly with b"
+    lut = [model.estimate(b).lut for b in (8, 16, 32)]
+    # quadrupling b (8 -> 32) should roughly quadruple LUTs, far from 16x
+    assert 3.0 < lut[2] / lut[0] < 5.0
+
+
+def test_bench_estimate(benchmark, model):
+    result = benchmark(model.estimate, 32)
+    assert result.lut > 0
+
+
+def test_bench_calibration(benchmark):
+    model = benchmark(ResourceModel)
+    assert model.coefficients["LUT"].shape == (3,)

@@ -1,0 +1,83 @@
+"""E2 — Table 2: throughput comparison across GC frameworks.
+
+Regenerates every row of Table 2 from the implemented models and checks
+the headline per-core speedups (44x/48x/57x over TinyGarble, 985x/768x/
+672x over the FPGA overlay).  The *measured* part benchmarks the real
+garbling work of this repository: one FSM-scheduled accelerator MAC
+round vs one software serial-MAC round — absolute times are Python
+times, but the ratio of garbled AND gates and the schedule-derived
+cycle counts are the quantities the paper's table is built from.
+"""
+
+import pytest
+
+from repro.accel.fsm import AcceleratorFSM
+from repro.accel.maxelerator import TimingModel
+from repro.accel.schedule import schedule_rounds
+from repro.accel.tree_mac import build_scheduled_mac
+from repro.baselines.tinygarble import TinyGarbleExecutor
+from repro.perf.comparison import PAPER_RATIOS, Table2
+
+PAPER_TABLE2_CYCLES = {
+    "tinygarble": {8: 1.44e5, 16: 5.45e5, 32: 2.24e6},
+    "overlay": {8: 4.40e3, 16: 1.20e4, 32: 3.60e4},
+    "maxelerator": {8: 24, 16: 48, 32: 96},
+}
+
+
+@pytest.fixture(scope="module")
+def table():
+    return Table2.build()
+
+
+def test_regenerate_table2(table, artifact):
+    artifact("table2_throughput.txt", table.format())
+    for framework, per_b in PAPER_TABLE2_CYCLES.items():
+        for b, cycles in per_b.items():
+            model = table.row(framework, b).cycles_per_mac
+            assert model == pytest.approx(cycles, rel=0.07), (framework, b)
+
+
+def test_headline_ratios(table):
+    for framework in ("tinygarble", "overlay"):
+        for b in (8, 16, 32):
+            assert table.speedup_per_core(framework, b) == pytest.approx(
+                PAPER_RATIOS[framework][b], rel=0.07
+            )
+    assert table.max_speedup_vs_software() > 50
+
+
+@pytest.mark.parametrize("b", [8, 16, 32])
+def test_scheduled_cycles_match_table2(b):
+    # the MAXelerator column comes from the actual schedule, not a constant
+    schedule = schedule_rounds(build_scheduled_mac(b), 5)
+    assert schedule.steady_state_cycles_per_mac == TimingModel(b).cycles_per_mac
+
+
+def test_bench_maxelerator_garble_round(benchmark):
+    smc = build_scheduled_mac(8)
+    schedule = schedule_rounds(smc, 1)
+
+    def garble_once():
+        return AcceleratorFSM(smc, seed=1).garble_rounds(1, schedule)
+
+    run = benchmark(garble_once)
+    assert run.total_tables == sum(1 for g in smc.netlist.gates if not g.is_free)
+
+
+def test_bench_tinygarble_garble_round(benchmark):
+    ex = TinyGarbleExecutor(8)
+    result = benchmark(lambda: ex.garble_rounds(1))
+    assert len(result[0].tables) == ex.and_gates_per_round
+
+
+def test_and_gate_work_ratio():
+    # cross-check: cycles/MAC ratio implied by gate counts and engine rates.
+    # TinyGarble garbles ~144 ANDs serially at ~1000 CPU cycles each;
+    # MAXelerator garbles ~167 ANDs on 8 parallel engines in 24 FPGA cycles.
+    smc = build_scheduled_mac(8)
+    accel_ands = sum(1 for g in smc.netlist.gates if not g.is_free)
+    sw_ands = TinyGarbleExecutor(8).and_gates_per_round
+    # similar AND budgets: the win is scheduling + parallel engines,
+    # not circuit shrinkage
+    assert 0.8 < accel_ands / sw_ands < 1.2

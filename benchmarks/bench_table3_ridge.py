@@ -1,0 +1,49 @@
+"""E3 — Table 3: private ridge regression runtime improvement.
+
+Regenerates all six dataset rows from the runtime decomposition model
+and benchmarks the *functional* private-statistics pipeline at small
+scale (real garbled MACs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import TABLE3_DATASETS, synthetic_regression
+from repro.apps.ridge import PrivateRidgeRegression, RidgeRuntimeModel
+from repro.fixedpoint import Q16_8
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RidgeRuntimeModel()
+
+
+def test_regenerate_table3(model, artifact):
+    artifact("table3_ridge.txt", model.format_table())
+    for row in model.table3():
+        assert row.improvement == pytest.approx(row.paper_improvement, rel=0.03)
+        assert row.time_ours_s == pytest.approx(row.spec.paper_ours_s, rel=0.05)
+
+
+def test_shape_improvement_tracks_feature_count(model):
+    # who wins and why: acceleration factor grows ~2d with feature count
+    rows = {r.spec.d: r.improvement for r in model.table3()}
+    for d, improvement in rows.items():
+        assert improvement == pytest.approx(1 + 2 * d, rel=0.05)
+
+
+def test_bench_table3_generation(benchmark, model):
+    rows = benchmark(model.table3)
+    assert len(rows) == len(TABLE3_DATASETS)
+
+
+def test_bench_functional_private_ridge(benchmark):
+    x, y, _ = synthetic_regression(6, 2, noise=0.02, seed=1)
+
+    def run():
+        ridge = PrivateRidgeRegression(ridge_lambda=0.05, fmt=Q16_8, seed=2)
+        return ridge.fit(x, y)
+
+    weights = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = PrivateRidgeRegression.closed_form(x, y, 0.05)
+    np.testing.assert_allclose(weights, expected, atol=0.06)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates its table/figure content and writes the
+rendered text to ``benchmarks/output/`` so the reproduction artefacts
+survive the run (pytest-benchmark's own table reports the timings).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def artifact(artifact_dir):
+    """artifact("name.txt", text) persists a rendered table and echoes it."""
+
+    def write(name: str, text: str) -> Path:
+        path = artifact_dir / name
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return write

@@ -1,0 +1,40 @@
+"""Portfolio risk analysis with private stock weights (Section 6).
+
+The financial institution holds a stock covariance matrix; the investor
+holds portfolio weights.  The risk ``w @ cov @ w`` is computed without
+either side revealing its data, and the runtime of a year of analyses
+(252 rounds) is projected for TinyGarble vs MAXelerator.
+
+    python examples/portfolio_analysis.py
+"""
+
+import numpy as np
+
+from repro import PrivatePortfolioAnalysis, PortfolioRuntimeModel, Q16_8
+from repro.apps.datasets import synthetic_covariance, synthetic_portfolio
+
+
+def main() -> None:
+    cov = synthetic_covariance(2, seed=42)
+    weights = synthetic_portfolio(2, seed=42)
+    print("institution covariance (private):")
+    print(np.round(cov, 4))
+    print("investor weights (private):", np.round(weights, 4))
+
+    analysis = PrivatePortfolioAnalysis(cov, Q16_8, seed=42)
+    risk = analysis.risk(weights)
+    print(f"\nprivately computed risk w@cov@w: {risk:.5f}")
+    print(f"plaintext reference:             {analysis.expected(weights):.5f}")
+    print(f"garbled MACs executed:           {analysis.macs_executed}")
+
+    timing = PortfolioRuntimeModel().analysis_time_s()
+    print("\nprojected cost of 252 analysis rounds (32-bit, paper setting):")
+    print(f"  TinyGarble (software GC):  {timing.tinygarble_s:.3f} s   (paper: 1.33 s)")
+    print(f"  MAXelerator:               {timing.maxelerator_s * 1e3:.2f} ms (paper: 15.23 ms)")
+    print(f"  speedup:                   {timing.speedup:.0f}x")
+    print("  non-private GPU reference [31]: 20 us — privacy still costs, but")
+    print("  the accelerator brings it within practical limits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Privacy-preserving recommendation training (Section 6, after [6]).
+
+Trains a small matrix factorisation on synthetic MovieLens-shaped
+ratings, with the inner products of one epoch routed through the
+garbled MAC, and projects the per-iteration runtime of the full-scale
+system (the paper's 2.9 h -> ~1 h claim).
+
+    python examples/recommender_training.py
+"""
+
+from repro import PrivateMatrixFactorization, RecommenderRuntimeModel
+from repro.apps.datasets import synthetic_ratings
+
+
+def main() -> None:
+    triples, _, _ = synthetic_ratings(n_users=15, n_items=12, n_ratings=80, seed=5)
+    mf = PrivateMatrixFactorization(15, 12, profile_dim=4, seed=5)
+
+    print(f"training on {len(triples)} synthetic ratings "
+          f"({mf.u.shape[0]} users x {mf.v.shape[0]} items, d={mf.u.shape[1]})")
+    print(f"  initial RMSE: {mf.rmse(triples):.4f}")
+    for epoch in range(1, 16):
+        rmse = mf.train_epoch(triples)
+        if epoch % 5 == 0:
+            print(f"  epoch {epoch:>2}: RMSE {rmse:.4f}")
+    print(f"  MACs per epoch: {mf.macs_per_iteration}")
+
+    est = mf.iteration_time_estimate_s(len(triples))
+    print("\nper-epoch garbling projection at this size (32-bit):")
+    print(f"  TinyGarble:  {est['tinygarble'] * 1e3:.1f} ms")
+    print(f"  MAXelerator: {est['maxelerator'] * 1e6:.1f} us")
+
+    claim = RecommenderRuntimeModel().movielens_claim()
+    print("\nfull MovieLens-scale projection (the paper's case study):")
+    print(f"  [6] per iteration:        {claim.baseline_hours:.1f} h")
+    print(f"  with MAXelerator MACs:    {claim.accelerated_hours:.2f} h")
+    print(f"  improvement:              {claim.improvement:.1%} (paper: 65-69%)")
+
+
+if __name__ == "__main__":
+    main()

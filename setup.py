@@ -1,0 +1,11 @@
+"""Setup shim so editable installs work offline (no `wheel` package here).
+
+`pip install -e .` on this machine has no network and no `wheel`, so the
+PEP-660 editable path fails; `pip install -e . --no-build-isolation
+--no-use-pep517` (or `python setup.py develop`) uses this shim instead.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""FSM-program serialisation: the schedule as a deployable artefact.
+
+The paper positions MAXelerator as "a standalone unit that enables
+automated integration into reconfigurable cloud architectures": the
+synthesis-time product is the FSM program — the static (cycle, core,
+gate) assignment plus the circuit geometry.  This module round-trips
+that program through JSON so a host stack can store, ship and reload
+schedules without re-running the scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.accel.schedule import MacSchedule, RoundTiming, ScheduledOp
+from repro.accel.tree_mac import ScheduledMacCircuit, build_scheduled_mac
+from repro.errors import ScheduleError
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_json(schedule: MacSchedule) -> str:
+    """Serialise an FSM program (geometry + op assignments) to JSON."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "bitwidth": schedule.circuit.bitwidth,
+        "acc_width": schedule.circuit.acc_width,
+        "n_rounds": schedule.n_rounds,
+        "ii_cycles": schedule.ii_cycles,
+        "round_timing": [
+            [t.start_cycle, t.end_cycle] for t in schedule.round_timing
+        ],
+        "ops": [
+            [op.cycle, op.core, op.round_index, op.gate_index]
+            for op in schedule.ops
+        ],
+    }
+    return json.dumps(payload)
+
+
+def schedule_from_json(
+    text: str,
+    circuit: ScheduledMacCircuit | None = None,
+) -> MacSchedule:
+    """Reload an FSM program; rebuilds the circuit when not supplied.
+
+    The reloaded schedule re-verifies against the (deterministically
+    rebuilt) circuit, so a tampered or mismatched program is rejected.
+    """
+    payload = json.loads(text)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ScheduleError(f"unsupported FSM program version {payload.get('version')}")
+    if circuit is None:
+        circuit = build_scheduled_mac(payload["bitwidth"], payload["acc_width"])
+    elif (
+        circuit.bitwidth != payload["bitwidth"]
+        or circuit.acc_width != payload["acc_width"]
+    ):
+        raise ScheduleError("FSM program does not match the supplied circuit")
+
+    ops = [
+        ScheduledOp(
+            cycle=cycle,
+            core=core,
+            round_index=rnd,
+            gate_index=gate,
+            tag=circuit.tags.get(gate, ()),
+        )
+        for cycle, core, rnd, gate in payload["ops"]
+    ]
+    schedule = MacSchedule(
+        circuit=circuit,
+        n_rounds=payload["n_rounds"],
+        ops=ops,
+        round_timing=[RoundTiming(s, e) for s, e in payload["round_timing"]],
+        ii_cycles=payload["ii_cycles"],
+        ready_cycles=_rebuild_ready(circuit, ops, payload["n_rounds"], payload["ii_cycles"]),
+    )
+    schedule.verify()
+    return schedule
+
+
+def _rebuild_ready(circuit, ops, n_rounds: int, ii: int):
+    """Recompute per-round wire-ready cycles from the op placements."""
+    net = circuit.netlist
+    placed: dict[tuple[int, int], int] = {
+        (op.round_index, op.gate_index): op.cycle for op in ops
+    }
+    ready_by_round = []
+    prev_output_ready: dict[int, int] = {}
+    for r in range(n_rounds):
+        input_ready = max(0, (r - 1) * ii)
+        ready: dict[int, int] = {}
+        for w in net.garbler_inputs + net.evaluator_inputs + list(net.constants):
+            ready[w] = input_ready
+        for i, w in enumerate(net.state_inputs):
+            if r == 0:
+                ready[w] = 0
+            else:
+                src = net.outputs[circuit.circuit.state_feedback[i]]
+                ready[w] = prev_output_ready[src]
+        for gate in net.gates:
+            earliest = max((ready[w] for w in gate.inputs), default=input_ready)
+            if gate.is_free:
+                ready[gate.output] = earliest
+            else:
+                cycle = placed.get((r, gate.index))
+                if cycle is None:
+                    raise ScheduleError(
+                        f"FSM program is missing gate {gate.index} of round {r}"
+                    )
+                ready[gate.output] = cycle + 1
+        ready_by_round.append(ready)
+        prev_output_ready = {w: ready[w] for w in net.outputs}
+    return ready_by_round

@@ -1,0 +1,16 @@
+"""Client side of the MAXelerator system.
+
+The whole point of embedding the netlist in the FSM is that the client
+needs *no accelerator-specific code*: the wire protocol is byte-for-byte
+the sequential-GC protocol, so the client is the standard software
+:class:`repro.gc.sequential_gc.SequentialEvaluator`.  The alias below
+exists to make that fact explicit at call sites.
+"""
+
+from __future__ import annotations
+
+from repro.gc.sequential_gc import SequentialEvaluator
+
+
+class MaxClient(SequentialEvaluator):
+    """The evaluator a MAXelerator client runs — unmodified sequential GC."""

@@ -1,0 +1,238 @@
+"""MAXelerator top level: the accelerator as a protocol party.
+
+:class:`MAXelerator` bundles the scheduled MAC circuit, the FSM
+simulator, the timing model (Table 2's MAXelerator column) and the
+PCIe/memory model.  :class:`MaxSequentialGarbler` speaks the *same wire
+protocol* as the software :class:`repro.gc.sequential_gc.SequentialGarbler`,
+so the unmodified client-side evaluator works against it — the paper's
+"the hardware acceleration is transparent to the evaluator".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.fsm import AcceleratorFSM, AcceleratorRun
+from repro.accel.memory import (
+    DEFAULT_PCIE_MB_PER_S,
+    CoreMemorySimulator,
+    TransferReport,
+)
+from repro.accel.schedule import MacSchedule, schedule_rounds
+from repro.accel.tree_mac import (
+    CYCLES_PER_STAGE,
+    ScheduledMacCircuit,
+    build_scheduled_mac,
+    total_cores,
+)
+from repro.crypto.ot import DEFAULT_GROUP, DHGroup, BaseOTSender, OTExtensionSender, K_SECURITY
+from repro.errors import ConfigurationError, GCProtocolError
+from repro.gc.channel import Endpoint
+from repro.gc.sequential_gc import SequentialReport
+from repro.gc.tables import serialize_tables
+
+DEFAULT_CLOCK_MHZ = 200.0  # Virtex UltraSCALE implementation result
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Steady-state throughput figures (the MAXelerator column of Table 2)."""
+
+    bitwidth: int
+    clock_mhz: float = DEFAULT_CLOCK_MHZ
+
+    @property
+    def cycles_per_mac(self) -> int:
+        """3b: one MAC initiated every b stages of 3 cycles."""
+        return CYCLES_PER_STAGE * self.bitwidth
+
+    @property
+    def time_per_mac_s(self) -> float:
+        return self.cycles_per_mac / (self.clock_mhz * 1e6)
+
+    @property
+    def macs_per_second(self) -> float:
+        return 1.0 / self.time_per_mac_s
+
+    @property
+    def n_cores(self) -> int:
+        return total_cores(self.bitwidth)
+
+    @property
+    def macs_per_second_per_core(self) -> float:
+        return self.macs_per_second / self.n_cores
+
+    def matmul_cycles(self, m: int, n: int, p: int) -> int:
+        """Section 4.3: one (m x n)·(n x p) product per 3MNPb cycles."""
+        return self.cycles_per_mac * m * n * p
+
+    def matmul_time_s(self, m: int, n: int, p: int) -> float:
+        return self.matmul_cycles(m, n, p) / (self.clock_mhz * 1e6)
+
+
+class MAXelerator:
+    """The accelerator: scheduled circuit + FSM + timing + transfer model."""
+
+    def __init__(
+        self,
+        bitwidth: int,
+        acc_width: int | None = None,
+        clock_mhz: float = DEFAULT_CLOCK_MHZ,
+        pcie_mb_per_s: float = DEFAULT_PCIE_MB_PER_S,
+        seed: int | None = None,
+    ):
+        if clock_mhz <= 0:
+            raise ConfigurationError("clock must be positive")
+        self.circuit: ScheduledMacCircuit = build_scheduled_mac(bitwidth, acc_width)
+        self.timing = TimingModel(bitwidth, clock_mhz)
+        self.pcie_mb_per_s = pcie_mb_per_s
+        self._seed = seed
+        self._garble_count = 0
+        self._schedule_cache: dict[int, MacSchedule] = {}
+
+    @property
+    def bitwidth(self) -> int:
+        return self.circuit.bitwidth
+
+    @property
+    def acc_width(self) -> int:
+        return self.circuit.acc_width
+
+    @property
+    def n_cores(self) -> int:
+        return self.circuit.n_cores
+
+    # ------------------------------------------------------------------
+    def schedule(self, n_rounds: int) -> MacSchedule:
+        if n_rounds not in self._schedule_cache:
+            self._schedule_cache[n_rounds] = schedule_rounds(self.circuit, n_rounds)
+        return self._schedule_cache[n_rounds]
+
+    def garble(self, n_rounds: int) -> AcceleratorRun:
+        """Garble an M-round MAC (one dot-product element) on the FSM.
+
+        Every call uses fresh labels — even under a fixed seed the seed
+        is diversified per garbling, because label reuse across garblings
+        of the same circuit breaks GC security (Section 3: "new labels
+        are required for every garbling operation").
+        """
+        seed = None if self._seed is None else self._seed + self._garble_count
+        self._garble_count += 1
+        fsm = AcceleratorFSM(self.circuit, seed=seed)
+        return fsm.garble_rounds(n_rounds, self.schedule(n_rounds))
+
+    def transfer_report(self, run: AcceleratorRun) -> TransferReport:
+        sim = CoreMemorySimulator(
+            self.n_cores,
+            clock_mhz=self.timing.clock_mhz,
+            pcie_mb_per_s=self.pcie_mb_per_s,
+        )
+        return sim.simulate(run.writes_by_cycle())
+
+    def garbling_time_s(self, run: AcceleratorRun) -> float:
+        return run.total_cycles / (self.timing.clock_mhz * 1e6)
+
+
+class MaxSequentialGarbler:
+    """Drop-in replacement for the software SequentialGarbler.
+
+    Garbles ahead of time on the accelerator (the paper's 'stored garbled
+    circuits' usage), then plays the byte-identical sequential-GC wire
+    protocol; the host CPU's reorder buffer presents each round's tables
+    in netlist order.
+    """
+
+    def __init__(
+        self,
+        accelerator: MAXelerator,
+        channel: Endpoint,
+        group: DHGroup = DEFAULT_GROUP,
+    ):
+        self.accelerator = accelerator
+        self.channel = channel
+        self.group = group
+        self.last_run: AcceleratorRun | None = None
+
+    def run(
+        self,
+        round_inputs: list[list[int]],
+        reveal: str = "evaluator",
+        ot_mode: str = "per_round",
+    ) -> SequentialReport:
+        acc = self.accelerator
+        circuit = acc.circuit
+        net = circuit.netlist
+        chan = self.channel
+        rounds = len(round_inputs)
+        if rounds == 0:
+            raise GCProtocolError("sequential GC needs at least one round")
+        if ot_mode not in ("per_round", "upfront"):
+            raise GCProtocolError("ot_mode must be 'per_round' or 'upfront'")
+
+        run = acc.garble(rounds)
+        self.last_run = run
+        chan.send("seq.rounds", rounds.to_bytes(4, "big"))
+        chan.send("seq.ot_mode", ot_mode.encode())
+
+        if ot_mode == "upfront" and net.evaluator_inputs:
+            all_pairs = [
+                (p.zero, p.one)
+                for meta in run.rounds
+                for p in meta.evaluator_pairs
+            ]
+            sender = (
+                OTExtensionSender(chan, self.group)
+                if len(all_pairs) > K_SECURITY
+                else BaseOTSender(chan, self.group)
+            )
+            sender.send(all_pairs)
+
+        for r, bits in enumerate(round_inputs):
+            if len(bits) != len(net.garbler_inputs):
+                raise GCProtocolError(
+                    f"round {r}: expected {len(net.garbler_inputs)} garbler bits"
+                )
+            meta = run.rounds[r]
+            chan.send("seq.tables", serialize_tables(run.tables_for_round(r)))
+            chan.send_u128_list(
+                "seq.garbler_labels",
+                [p.select(b) for p, b in zip(meta.garbler_pairs, bits)],
+            )
+            const_wires = sorted(net.constants)
+            chan.send_u128_list(
+                "seq.const_labels",
+                [meta.const_pairs[w].select(net.constants[w]) for w in const_wires],
+            )
+            if r == 0:
+                init = circuit.circuit.initial_state
+                chan.send_u128_list(
+                    "seq.state_labels",
+                    [p.select(b) for p, b in zip(meta.state_pairs, init)],
+                )
+            if ot_mode == "per_round" and net.evaluator_inputs:
+                pairs = [(p.zero, p.one) for p in meta.evaluator_pairs]
+                use_ext = len(pairs) > K_SECURITY
+                sender = (
+                    OTExtensionSender(chan, self.group)
+                    if use_ext
+                    else BaseOTSender(chan, self.group)
+                )
+                sender.send(pairs)
+
+        output_bits = None
+        if reveal in ("evaluator", "both"):
+            chan.send("seq.output_map", bytes(run.output_permute_bits))
+        if reveal in ("garbler", "both"):
+            labels = chan.recv_u128_list("seq.output_labels")
+            output_bits = [
+                pair.decode(label)
+                for pair, label in zip(run.rounds[-1].output_pairs, labels)
+            ]
+
+        return SequentialReport(
+            rounds=rounds,
+            output_bits=output_bits,
+            bytes_sent=chan.sent.payload_bytes,
+            n_tables=run.total_tables,
+            hash_calls=sum(c.engine.stats.aes_activations for c in run.cores),
+        )

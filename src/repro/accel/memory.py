@@ -1,0 +1,105 @@
+"""Per-core table memory and the PCIe drain model (Sections 3, 5.1).
+
+Each core writes one 32-byte garbled table per busy cycle into its own
+memory block (one input port per block); a single output port drains
+the whole memory over PCIe to the host CPU.  The model tracks block
+occupancy cycle by cycle and reports whether the configured PCIe
+bandwidth keeps up with table generation — the paper's closing remark
+that "after certain threshold, communication capability of the server
+may become the bottleneck".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.gc.tables import TABLE_BYTES
+
+#: Xillybus-style PCIe throughput; the VCU108 PCIe gen3 x8 easily
+#: sustains several GB/s, Xillybus cores are typically ~800 MB/s.
+DEFAULT_PCIE_MB_PER_S = 800.0
+
+
+@dataclass
+class TransferReport:
+    """Outcome of draining one garbling run over PCIe."""
+
+    total_bytes: int
+    generation_cycles: int
+    clock_mhz: float
+    pcie_mb_per_s: float
+    peak_occupancy_bytes: int
+    drain_cycles: int
+
+    @property
+    def generation_time_s(self) -> float:
+        return self.generation_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def transfer_time_s(self) -> float:
+        return self.total_bytes / (self.pcie_mb_per_s * 1e6)
+
+    @property
+    def pcie_is_bottleneck(self) -> bool:
+        return self.transfer_time_s > self.generation_time_s
+
+    @property
+    def required_bandwidth_mb_per_s(self) -> float:
+        """Bandwidth needed for the link to never be the bottleneck."""
+        if self.generation_time_s == 0:
+            return 0.0
+        return self.total_bytes / self.generation_time_s / 1e6
+
+
+class CoreMemorySimulator:
+    """Cycle-accurate fill/drain of the per-core memory blocks."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        clock_mhz: float = 200.0,
+        pcie_mb_per_s: float = DEFAULT_PCIE_MB_PER_S,
+        block_capacity_tables: int = 1024,
+    ):
+        if n_cores < 1:
+            raise ConfigurationError("need at least one core")
+        self.n_cores = n_cores
+        self.clock_mhz = clock_mhz
+        self.pcie_mb_per_s = pcie_mb_per_s
+        self.block_capacity = block_capacity_tables * TABLE_BYTES
+
+    def simulate(self, writes_by_cycle: dict[int, int]) -> TransferReport:
+        """``writes_by_cycle[c]`` = number of tables written at cycle c.
+
+        A single shared output port drains at the PCIe byte rate.
+        Raises if any block would overflow (the host must then stall the
+        FSM — which the paper's sizing avoids).
+        """
+        if not writes_by_cycle:
+            raise SimulationError("nothing was generated")
+        bytes_per_cycle_out = self.pcie_mb_per_s * 1e6 / (self.clock_mhz * 1e6)
+        horizon = max(writes_by_cycle) + 1
+        occupancy = 0.0
+        peak = 0.0
+        total = 0
+        for cycle in range(horizon):
+            written = writes_by_cycle.get(cycle, 0) * TABLE_BYTES
+            total += written
+            occupancy += written
+            peak = max(peak, occupancy)
+            occupancy = max(0.0, occupancy - bytes_per_cycle_out)
+            if occupancy > self.block_capacity * self.n_cores:
+                raise SimulationError(
+                    f"on-chip table memory overflow at cycle {cycle}: "
+                    f"{occupancy:.0f} B buffered; raise PCIe bandwidth or capacity"
+                )
+        drain_cycles = horizon + int(occupancy / bytes_per_cycle_out + 0.5)
+        return TransferReport(
+            total_bytes=total,
+            generation_cycles=horizon,
+            clock_mhz=self.clock_mhz,
+            pcie_mb_per_s=self.pcie_mb_per_s,
+            peak_occupancy_bytes=int(peak),
+            drain_cycles=drain_cycles,
+        )

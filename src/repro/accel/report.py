@@ -1,0 +1,65 @@
+"""Human-readable schedule reports (per-core Gantt, unit census).
+
+The FSM schedule is the paper's central artefact; these renderers make
+it inspectable: a per-core activity chart over a cycle window (each
+column one cycle, each row one core) and a functional-unit census.
+Used by the figure benches and the `accelerator_tour` example.
+"""
+
+from __future__ import annotations
+
+from repro.accel.schedule import MacSchedule
+
+#: One glyph per op kind in the Gantt chart.
+GLYPHS = {
+    "pp_lo": "a",  # partial product, low x bit
+    "pp_hi": "A",  # partial product, high x bit
+    "add": "+",  # segment-1 serial adder
+    "tree": "T",
+    "aneg": "n",
+    "xneg": "N",
+    "acc": "=",
+}
+IDLE = "."
+
+
+def _glyph(tag: tuple) -> str:
+    if not tag:
+        return "?"
+    if tag[0] == "seg1":
+        return GLYPHS.get(tag[3], "?")
+    return GLYPHS.get(tag[0], "?")
+
+
+def gantt(schedule: MacSchedule, start: int | None = None, width: int = 72) -> str:
+    """Render a cycle window as a per-core activity chart."""
+    if start is None:
+        start = (schedule.n_rounds // 2) * schedule.ii_cycles
+    end = min(start + width, schedule.total_cycles)
+    n_cores = schedule.circuit.n_cores
+    grid = [[IDLE] * (end - start) for _ in range(n_cores)]
+    for op in schedule.ops_in_window(start, end):
+        grid[op.core][op.cycle - start] = _glyph(op.tag)
+
+    lines = [
+        f"FSM schedule, cycles {start}..{end - 1} "
+        f"(b={schedule.circuit.bitwidth}, {n_cores} cores)",
+        "  legend: a/A=partial products  +=seg1 adder  T=tree  "
+        "n/N=input negates  ==accumulator  .=idle",
+    ]
+    seg1 = schedule.circuit.n_seg1_cores
+    for core, row in enumerate(grid):
+        seg = "s1" if core < seg1 else "s2"
+        lines.append(f"  core {core:>2} [{seg}] |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def unit_census(schedule: MacSchedule) -> str:
+    """Ops per functional unit per round (the Figure 2/3 numbers)."""
+    counts = schedule.circuit.ops_by_unit()
+    lines = [f"functional-unit census (AND garblings per MAC round):"]
+    for unit in sorted(counts, key=str):
+        lines.append(f"  {str(unit):<18} {counts[unit]:>5}")
+    total = sum(counts.values())
+    lines.append(f"  {'total':<18} {total:>5}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""ML applications on the private MAC: the paper's case studies."""
+
+from repro.apps.datasets import (
+    TABLE3_DATASETS,
+    RidgeDatasetSpec,
+    synthetic_covariance,
+    synthetic_portfolio,
+    synthetic_ratings,
+    synthetic_regression,
+)
+from repro.apps.deep import MLPLayer, PrivateMLP, build_relu_netlist, im2col
+from repro.apps.kernel import PrivateGradientSolver
+from repro.apps.kernels import PrivateGramMatrix, spectral_embedding
+from repro.apps.genome import PrivateGenomeAnalysis, SimilarityResult
+from repro.apps.matmul_full import MatMulReport, PrivateMatMul
+from repro.apps.matmul import (
+    MatVecEstimate,
+    MatVecReport,
+    PrivateMatVec,
+    estimate_times_s,
+    private_dot,
+)
+from repro.apps.portfolio import PortfolioRuntimeModel, PrivatePortfolioAnalysis
+from repro.apps.recommender import (
+    PrivateMatrixFactorization,
+    RecommenderRuntimeModel,
+)
+from repro.apps.ridge import PrivateRidgeRegression, RidgeRuntimeModel
+
+__all__ = [
+    "MLPLayer",
+    "MatMulReport",
+    "MatVecEstimate",
+    "PrivateGenomeAnalysis",
+    "PrivateMatMul",
+    "SimilarityResult",
+    "MatVecReport",
+    "PortfolioRuntimeModel",
+    "PrivateGradientSolver",
+    "PrivateGramMatrix",
+    "spectral_embedding",
+    "PrivateMLP",
+    "PrivateMatVec",
+    "PrivateMatrixFactorization",
+    "PrivatePortfolioAnalysis",
+    "PrivateRidgeRegression",
+    "RecommenderRuntimeModel",
+    "RidgeDatasetSpec",
+    "RidgeRuntimeModel",
+    "TABLE3_DATASETS",
+    "build_relu_netlist",
+    "estimate_times_s",
+    "im2col",
+    "private_dot",
+    "synthetic_covariance",
+    "synthetic_portfolio",
+    "synthetic_ratings",
+    "synthetic_regression",
+]

@@ -1,0 +1,177 @@
+"""Private deep-learning inference (Section 2.1's DL motivation).
+
+A multi-layer perceptron whose layer products run through the garbled
+MAC protocol.  The paper's observation — "common DL computations
+including convolutional layers can be effectively represented as
+matrix multiplication" — is exercised two ways:
+
+* dense layers are direct private mat-vecs;
+* a convolution layer is lowered to a mat-vec via im2col, so the same
+  MAC hardware serves it.
+
+ReLU activations are genuinely nonlinear, so they are computed with a
+dedicated garbled comparator+mux netlist (:func:`build_relu_netlist`):
+the client never sees pre-activations in the clear, completing an
+honest GC inference path for small models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.maxelerator import TimingModel
+from repro.apps.matmul import PrivateMatVec
+from repro.baselines.tinygarble import TinyGarbleModel
+from repro.bits import from_bits, to_bits
+from repro.circuits.builder import NetlistBuilder
+from repro.circuits.library import mux_bus, constant_bus
+from repro.crypto.ot import TOY_GROUP
+from repro.errors import ConfigurationError
+from repro.fixedpoint import FixedPointFormat, Q16_8
+from repro.gc.protocol import run_protocol
+
+
+def build_relu_netlist(width: int):
+    """ReLU(v) = v if v >= 0 else 0: a sign-controlled mux, 1 AND/bit.
+
+    The value is an evaluator (client) input: in the layer-wise hybrid
+    pipeline the client holds each layer's output labels and the ReLU
+    is garbled so the server's model stays oblivious of activations.
+    """
+    b = NetlistBuilder(f"relu{width}")
+    v = b.evaluator_input_bus(width)
+    sign = v[-1]
+    zero = constant_bus(0, width)
+    b.set_outputs(mux_bus(b, sign, v, zero))
+    return b.build()
+
+
+def private_relu(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Run each value through the garbled ReLU netlist (slow; small sizes)."""
+    width = fmt.total_bits
+    net = build_relu_netlist(width)
+    out = np.zeros_like(values, dtype=np.float64)
+    for idx, value in enumerate(np.asarray(values, dtype=np.float64)):
+        bits = to_bits(int(fmt.encode(value)), width)
+        _, e_rep = run_protocol(net, [], bits, group=TOY_GROUP)
+        out[idx] = fmt.decode(from_bits(e_rep.output_bits, signed=True))
+    return out
+
+
+def build_classifier_netlist(n_in: int, n_out: int, fmt: FixedPointFormat):
+    """One garbled circuit: final linear layer + argmax.
+
+    The server's weight matrix and the client's feature vector feed
+    ``n_out`` dot products whose *scores never leave the circuit*: only
+    the argmax index is decoded.  This is the strongest privacy variant
+    of inference — the per-layer reveal of :class:`PrivateMLP` leaks
+    intermediate activations to the client, this leaks one integer.
+    """
+    from repro.circuits.blocks import argmax
+    from repro.circuits.library import add, sign_extend
+    from repro.circuits.multipliers import signed_multiplier
+
+    if n_in < 1 or n_out < 2:
+        raise ConfigurationError("need n_in >= 1 and n_out >= 2")
+    width = fmt.total_bits
+    acc_width = 2 * width + max(1, (n_in - 1).bit_length())
+    b = NetlistBuilder(f"classify{n_out}x{n_in}")
+    weights = [
+        [b.garbler_input_bus(width) for _ in range(n_in)] for _ in range(n_out)
+    ]
+    x = [b.evaluator_input_bus(width) for _ in range(n_in)]
+    scores = []
+    for row in weights:
+        acc = None
+        for w_bus, x_bus in zip(row, x):
+            product = sign_extend(signed_multiplier(b, w_bus, x_bus), acc_width)
+            acc = product if acc is None else add(b, acc, product)
+        scores.append(acc)
+    b.set_outputs(argmax(b, scores, signed=True))
+    return b.build()
+
+
+def private_classify(
+    weights: np.ndarray,
+    x: np.ndarray,
+    fmt: FixedPointFormat = Q16_8,
+) -> int:
+    """Classify the client's ``x`` with the server's final layer; the
+    client learns only the argmax class index."""
+    weights = np.asarray(weights, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[1] != x.shape[0]:
+        raise ConfigurationError("weights must be (n_out, n_in) matching x")
+    n_out, n_in = weights.shape
+    net = build_classifier_netlist(n_in, n_out, fmt)
+    w_enc = fmt.encode_array(weights)
+    x_enc = fmt.encode_array(x)
+    g_bits = [
+        bit for row in w_enc for v in row for bit in to_bits(int(v), fmt.total_bits)
+    ]
+    e_bits = [bit for v in x_enc for bit in to_bits(int(v), fmt.total_bits)]
+    _, e_rep = run_protocol(net, g_bits, e_bits, group=TOY_GROUP)
+    return from_bits(e_rep.output_bits)
+
+
+def im2col(image: np.ndarray, kernel: int) -> np.ndarray:
+    """Lower a 2-D convolution to matrix multiplication (valid padding)."""
+    h, w = image.shape
+    if kernel > min(h, w):
+        raise ConfigurationError("kernel larger than image")
+    cols = []
+    for i in range(h - kernel + 1):
+        for j in range(w - kernel + 1):
+            cols.append(image[i : i + kernel, j : j + kernel].ravel())
+    return np.array(cols)  # (out_positions, kernel*kernel)
+
+
+@dataclass
+class MLPLayer:
+    weights: np.ndarray  # (out, in)
+    relu: bool = True
+
+
+@dataclass
+class PrivateMLP:
+    """Server-held MLP scoring client-held inputs through GC MACs."""
+
+    layers: list[MLPLayer]
+    fmt: FixedPointFormat = Q16_8
+    backend: str = "maxelerator"
+    private_activations: bool = False
+    macs_executed: int = field(default=0, init=False)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Private forward pass; returns the output scores."""
+        activation = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            pm = PrivateMatVec(layer.weights, self.fmt, backend=self.backend)
+            activation = pm.run_with_client(activation).result
+            self.macs_executed += pm.n_macs
+            if layer.relu:
+                if self.private_activations:
+                    activation = private_relu(activation, self.fmt)
+                else:
+                    activation = np.maximum(activation, 0.0)
+        return activation
+
+    def expected(self, x: np.ndarray) -> np.ndarray:
+        activation = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            activation = layer.weights @ activation
+            if layer.relu:
+                activation = np.maximum(activation, 0.0)
+        return activation
+
+    def mac_count(self) -> int:
+        return sum(l.weights.size for l in self.layers)
+
+    def inference_time_estimate_s(self, bitwidth: int = 32) -> dict[str, float]:
+        n = self.mac_count()
+        return {
+            "tinygarble": n * TinyGarbleModel(bitwidth).time_per_mac_s,
+            "maxelerator": n * TimingModel(bitwidth).time_per_mac_s,
+        }

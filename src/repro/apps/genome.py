@@ -1,0 +1,108 @@
+"""Private genome similarity (the paper's medical-research motivation).
+
+Section 1 cites genome analysis [12] as a privacy-sensitive domain:
+a patient's genotype must not reach the analytics provider, and the
+provider's reference panels/weights are proprietary.  Two classic
+kernels, both pure MAC workloads:
+
+* **similarity**: the inner product of +-1-encoded SNP vectors counts
+  matching minus mismatching sites (``d - 2*hamming``);
+* **polygenic risk score**: the dot product of the provider's effect
+  weights with the patient's 0/1/2 allele dosages.
+
+Both run on the private MAC protocol; sizes are kept small in the
+functional path, with the usual per-framework projections for panel
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.maxelerator import TimingModel
+from repro.apps.matmul import PrivateMatVec
+from repro.baselines.tinygarble import TinyGarbleModel
+from repro.errors import ConfigurationError
+from repro.fixedpoint import FixedPointFormat, Q16_8
+
+
+def random_snp_vector(n_sites: int, seed: int = 0) -> np.ndarray:
+    """A +-1 encoded SNP haplotype vector."""
+    rng = np.random.default_rng(seed)
+    return rng.choice([-1.0, 1.0], size=n_sites)
+
+
+def random_dosages(n_sites: int, seed: int = 0) -> np.ndarray:
+    """0/1/2 allele dosages."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 3, size=n_sites).astype(np.float64)
+
+
+@dataclass
+class SimilarityResult:
+    inner_product: float
+    n_sites: int
+
+    @property
+    def matching_sites(self) -> int:
+        """Matches from the +-1 inner product: (d + <a, b>) / 2."""
+        return int(round((self.n_sites + self.inner_product) / 2))
+
+    @property
+    def similarity(self) -> float:
+        return self.matching_sites / self.n_sites
+
+
+class PrivateGenomeAnalysis:
+    """Provider-side object holding reference genomes / effect weights."""
+
+    def __init__(
+        self,
+        fmt: FixedPointFormat = Q16_8,
+        backend: str = "maxelerator",
+        seed: int | None = None,
+    ):
+        self.fmt = fmt
+        self.backend = backend
+        self._seed = seed
+        self.macs_executed = 0
+
+    # ------------------------------------------------------------------
+    def similarity(self, reference: np.ndarray, patient: np.ndarray) -> SimilarityResult:
+        """Count matching SNP sites without exchanging genotypes."""
+        reference = np.asarray(reference, dtype=np.float64)
+        patient = np.asarray(patient, dtype=np.float64)
+        if reference.shape != patient.shape or reference.ndim != 1:
+            raise ConfigurationError("SNP vectors must be equal-length 1-D")
+        if not set(np.unique(reference)) <= {-1.0, 1.0}:
+            raise ConfigurationError("reference must be +-1 encoded")
+        pm = PrivateMatVec(
+            reference[None, :], self.fmt, backend=self.backend, seed=self._seed
+        )
+        inner = float(pm.run_with_client(patient).result[0])
+        self.macs_executed += pm.n_macs
+        return SimilarityResult(inner_product=inner, n_sites=reference.size)
+
+    def risk_score(self, weights: np.ndarray, dosages: np.ndarray) -> float:
+        """Polygenic risk score: provider weights x patient dosages."""
+        weights = np.asarray(weights, dtype=np.float64)
+        dosages = np.asarray(dosages, dtype=np.float64)
+        if weights.shape != dosages.shape or weights.ndim != 1:
+            raise ConfigurationError("weights/dosages must be equal-length 1-D")
+        pm = PrivateMatVec(
+            weights[None, :], self.fmt, backend=self.backend, seed=self._seed
+        )
+        score = float(pm.run_with_client(dosages).result[0])
+        self.macs_executed += pm.n_macs
+        return score
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def panel_time_estimate_s(n_sites: int, bitwidth: int = 32) -> dict[str, float]:
+        """Garbling time for one panel-scale dot product."""
+        return {
+            "tinygarble": n_sites * TinyGarbleModel(bitwidth).time_per_mac_s,
+            "maxelerator": n_sites * TimingModel(bitwidth).time_per_mac_s,
+        }

@@ -1,0 +1,93 @@
+"""Kernel-based ML: the iterative solver of Eq. 1-2 (Section 2.1).
+
+Many kernel methods reduce to ``min f(x) s.t. Ax = y`` solved by
+gradient iterations
+
+    x_{t+1} = x_t - mu * (A^T A x_t - A^T y)
+
+— two matrix-vector products per iteration, i.e. pure MAC workload.
+:class:`PrivateGradientSolver` runs that loop with the products going
+through the private MAC protocol (small sizes), and reports the MAC
+census that the per-iteration timing estimates scale from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.maxelerator import TimingModel
+from repro.apps.matmul import PrivateMatVec
+from repro.baselines.tinygarble import TinyGarbleModel
+from repro.errors import ConfigurationError
+from repro.fixedpoint import FixedPointFormat, Q16_8
+
+
+@dataclass
+class SolverTrace:
+    iterations: int
+    residual_norms: list[float]
+    macs_executed: int
+
+    @property
+    def converged(self) -> bool:
+        return self.residual_norms[-1] < self.residual_norms[0]
+
+
+class PrivateGradientSolver:
+    """Eq. 2 with private mat-vecs: the server holds A, the client y/x."""
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        learning_rate: float | None = None,
+        fmt: FixedPointFormat = Q16_8,
+        backend: str = "maxelerator",
+        private: bool = True,
+    ):
+        self.a = np.asarray(matrix, dtype=np.float64)
+        if self.a.ndim != 2:
+            raise ConfigurationError("A must be a matrix")
+        if learning_rate is None:
+            # safe step: 1 / ||A||_2^2
+            learning_rate = 1.0 / (np.linalg.norm(self.a, 2) ** 2 + 1e-12)
+        self.mu = learning_rate
+        self.fmt = fmt
+        self.backend = backend
+        self.private = private
+        self.macs_executed = 0
+
+    def _matvec(self, m: np.ndarray, v: np.ndarray) -> np.ndarray:
+        if not self.private:
+            return m @ v
+        pm = PrivateMatVec(m, self.fmt, backend=self.backend)
+        out = pm.run_with_client(v).result
+        self.macs_executed += pm.n_macs
+        return out
+
+    def solve(self, y: np.ndarray, iterations: int = 5) -> tuple[np.ndarray, SolverTrace]:
+        y = np.asarray(y, dtype=np.float64)
+        n, m = self.a.shape
+        if y.shape != (n,):
+            raise ConfigurationError(f"y must have shape ({n},)")
+        x = np.zeros(m)
+        residuals = [float(np.linalg.norm(self.a @ x - y))]
+        for _ in range(iterations):
+            ax = self._matvec(self.a, x)
+            grad = self._matvec(self.a.T, ax - y)
+            x = x - self.mu * grad
+            residuals.append(float(np.linalg.norm(self.a @ x - y)))
+        return x, SolverTrace(iterations, residuals, self.macs_executed)
+
+    # ------------------------------------------------------------------
+    def macs_per_iteration(self) -> int:
+        n, m = self.a.shape
+        return 2 * n * m
+
+    def iteration_time_estimate_s(self, bitwidth: int = 32) -> dict[str, float]:
+        macs = self.macs_per_iteration()
+        return {
+            "tinygarble": macs * TinyGarbleModel(bitwidth).time_per_mac_s,
+            "maxelerator": macs * TimingModel(bitwidth).time_per_mac_s,
+        }

@@ -1,0 +1,77 @@
+"""Full private matrix-matrix multiplication (Eq. 3 of the paper).
+
+``Y = A @ X`` with the server holding ``A`` (N x M) and the client
+holding ``X`` (M x P): N*P output elements, each a length-M sequential
+MAC — the exact workload the paper's throughput formula
+``1 product per 3*M*N*P*b cycles`` describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.maxelerator import TimingModel
+from repro.apps.matmul import PrivateMatVec, estimate_times_s
+from repro.errors import ConfigurationError
+from repro.fixedpoint import FixedPointFormat, Q16_8
+
+
+@dataclass
+class MatMulReport:
+    """Result + accounting of one private matrix product."""
+
+    result: np.ndarray
+    n_macs: int
+    bitwidth: int
+    backend: str
+    estimates: dict[str, float] = field(default_factory=dict)
+    paper_cycles: int = 0
+
+
+class PrivateMatMul:
+    """Server-side object: Y = A @ X, element-wise over sequential MACs."""
+
+    def __init__(
+        self,
+        matrix,
+        fmt: FixedPointFormat = Q16_8,
+        backend: str = "maxelerator",
+        seed: int | None = None,
+    ):
+        self.matrix = np.asarray(matrix, dtype=np.float64)
+        if self.matrix.ndim != 2:
+            raise ConfigurationError("A must be 2-D")
+        self.fmt = fmt
+        self.backend = backend
+        self._seed = seed
+        self._matvec = PrivateMatVec(self.matrix, fmt, backend=backend, seed=seed)
+
+    def run_with_client(self, x_matrix) -> MatMulReport:
+        """The client's X arrives column by column (each column is one
+        private vector; in Eq. 3 terms, one column of the product)."""
+        x = np.asarray(x_matrix, dtype=np.float64)
+        n, m = self.matrix.shape
+        if x.ndim != 2 or x.shape[0] != m:
+            raise ConfigurationError(f"X must have shape ({m}, P)")
+        p = x.shape[1]
+        result = np.zeros((n, p))
+        for j in range(p):
+            result[:, j] = self._matvec.run_with_client(x[:, j]).result
+        n_macs = n * m * p
+        timing = TimingModel(self.fmt.total_bits)
+        return MatMulReport(
+            result=result,
+            n_macs=n_macs,
+            bitwidth=self.fmt.total_bits,
+            backend=self.backend,
+            estimates=estimate_times_s(n_macs, self.fmt.total_bits),
+            paper_cycles=timing.matmul_cycles(n, m, p),
+        )
+
+    def expected(self, x_matrix) -> np.ndarray:
+        x = np.asarray(x_matrix, dtype=np.float64)
+        a_enc = self.fmt.encode_array(self.matrix)
+        x_enc = self.fmt.encode_array(x)
+        return self.fmt.decode_product_array(a_enc @ x_enc)

@@ -1,0 +1,22 @@
+"""Baseline GC frameworks the paper compares against (Table 2)."""
+
+from repro.baselines.garbled_processor import (
+    Instruction,
+    MiniProcessor,
+    Op,
+    mac_program,
+)
+from repro.baselines.garbledcpu import GarbledCPUModel
+from repro.baselines.overlay import OverlayModel
+from repro.baselines.tinygarble import TinyGarbleExecutor, TinyGarbleModel
+
+__all__ = [
+    "GarbledCPUModel",
+    "Instruction",
+    "MiniProcessor",
+    "Op",
+    "mac_program",
+    "OverlayModel",
+    "TinyGarbleExecutor",
+    "TinyGarbleModel",
+]

@@ -1,0 +1,204 @@
+"""A miniature garbled processor — the GarbledCPU [13] execution model.
+
+GarbledCPU garbles a MIPS processor netlist once per instruction: the
+secure function is *software* running on a garbled CPU, so every step
+pays for the whole ALU, the register-file muxes and the write-back
+logic even when it only needed an adder.  The paper's introduction
+argues this "indirect execution" overhead is why a custom MAC unit
+wins; this module makes the argument measurable.
+
+:class:`MiniProcessor` builds a small but complete processor round
+netlist — 4 registers, a 7-operation ALU (including a multiplier),
+operand-select muxes and demuxed write-back — and executes programs on
+it through the standard sequential-GC machinery.  A MAC is the 4-
+instruction program ``LOADG, LOADE, MUL, ADD``; comparing its AND-gate
+cost against the direct MAC netlist quantifies the overhead (ablation
+A4 / `bench_ablation_processor.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.builder import ZERO, NetlistBuilder, Sig
+from repro.circuits.library import (
+    Bus,
+    add,
+    mux_bus,
+    sub,
+    zero_extend,
+)
+from repro.circuits.multipliers import serial_multiplier
+from repro.circuits.sequential import SequentialCircuit
+from repro.errors import CircuitError, ConfigurationError
+
+N_REGS = 4
+REG_BITS = 2
+OPCODE_BITS = 3
+
+
+class Op(IntEnum):
+    """The ALU's instruction set."""
+
+    LOADG = 0  # dst <- garbler immediate
+    LOADE = 1  # dst <- evaluator immediate
+    ADD = 2  # dst <- src1 + src2
+    SUB = 3  # dst <- src1 - src2
+    MUL = 4  # dst <- low half of src1 * src2
+    AND = 5  # dst <- src1 & src2
+    XOR = 6  # dst <- src1 ^ src2
+
+
+@dataclass(frozen=True)
+class Instruction:
+    op: Op
+    dst: int
+    src1: int = 0
+    src2: int = 0
+
+    def __post_init__(self) -> None:
+        for reg in (self.dst, self.src1, self.src2):
+            if not (0 <= reg < N_REGS):
+                raise ConfigurationError(f"register r{reg} does not exist")
+
+    def encode_bits(self) -> list[int]:
+        """LSB-first instruction word: opcode(3) dst(2) src1(2) src2(2)."""
+        return (
+            to_bits(int(self.op), OPCODE_BITS)
+            + to_bits(self.dst, REG_BITS)
+            + to_bits(self.src1, REG_BITS)
+            + to_bits(self.src2, REG_BITS)
+        )
+
+
+INSTRUCTION_BITS = OPCODE_BITS + 3 * REG_BITS
+
+
+def _select_register(b: NetlistBuilder, regs: list[Bus], sel: Bus) -> Bus:
+    """1-of-4 register read: two mux levels."""
+    lo = mux_bus(b, sel[0], regs[0], regs[1])
+    hi = mux_bus(b, sel[0], regs[2], regs[3])
+    return mux_bus(b, sel[1], lo, hi)
+
+
+def _decode_onehot(b: NetlistBuilder, bits: Bus, count: int) -> list[Sig]:
+    """One-hot decode of a small binary field."""
+    out = []
+    for value in range(count):
+        term: Sig = None
+        for i, bit in enumerate(bits):
+            lit = bit if (value >> i) & 1 else b.NOT(bit)
+            term = lit if term is None else b.AND(term, lit)
+        out.append(term)
+    return out
+
+
+def build_processor_round(width: int) -> SequentialCircuit:
+    """One garbled execution step of the mini processor."""
+    if width < 4 or width % 2:
+        raise ConfigurationError("processor width must be an even value >= 4")
+    b = NetlistBuilder(f"miniproc{width}")
+    instr = b.garbler_input_bus(INSTRUCTION_BITS)
+    g_imm = b.garbler_input_bus(width)
+    e_imm = b.evaluator_input_bus(width)
+    reg_state = b.state_input_bus(N_REGS * width)
+    regs = [reg_state[i * width : (i + 1) * width] for i in range(N_REGS)]
+
+    opcode = instr[:OPCODE_BITS]
+    dst = instr[OPCODE_BITS : OPCODE_BITS + REG_BITS]
+    src1 = instr[OPCODE_BITS + REG_BITS : OPCODE_BITS + 2 * REG_BITS]
+    src2 = instr[OPCODE_BITS + 2 * REG_BITS :]
+
+    # operand fetch (every op pays for it — the "indirect" cost)
+    a = _select_register(b, regs, src1)
+    x = _select_register(b, regs, src2)
+
+    # the full ALU computes every operation every round
+    results: dict[Op, Bus] = {
+        Op.LOADG: list(g_imm),
+        Op.LOADE: list(e_imm),
+        Op.ADD: add(b, a, x),
+        Op.SUB: sub(b, a, x),
+        Op.MUL: serial_multiplier(b, a, x)[:width],
+        Op.AND: [b.AND(ai, xi) for ai, xi in zip(a, x)],
+        Op.XOR: [b.XOR(ai, xi) for ai, xi in zip(a, x)],
+    }
+    op_onehot = _decode_onehot(b, opcode, len(Op))
+    result: Bus = [ZERO] * width
+    for op, value in results.items():
+        gated = [b.AND(op_onehot[int(op)], v) for v in zero_extend(value, width)]
+        result = [b.XOR(r, g) for r, g in zip(result, gated)]
+
+    # write-back demux: every register conditionally rewritten
+    dst_onehot = _decode_onehot(b, dst, N_REGS)
+    next_regs: Bus = []
+    for r, reg in enumerate(regs):
+        next_regs.extend(mux_bus(b, dst_onehot[r], reg, result))
+
+    b.set_outputs(next_regs)
+    netlist = b.build()
+    return SequentialCircuit(netlist, state_feedback=list(range(N_REGS * width)))
+
+
+def mac_program() -> list[Instruction]:
+    """The 4-instruction MAC: r3 += (garbler a) * (evaluator x)."""
+    return [
+        Instruction(Op.LOADG, dst=0),
+        Instruction(Op.LOADE, dst=1),
+        Instruction(Op.MUL, dst=2, src1=0, src2=1),
+        Instruction(Op.ADD, dst=3, src1=3, src2=2),
+    ]
+
+
+class MiniProcessor:
+    """Executes programs on the garbled processor round netlist."""
+
+    def __init__(self, width: int = 8):
+        self.width = width
+        self.circuit = build_processor_round(width)
+
+    @property
+    def and_gates_per_instruction(self) -> int:
+        return self.circuit.netlist.stats().n_nonfree
+
+    def and_gates_for(self, program: list[Instruction]) -> int:
+        return self.and_gates_per_instruction * len(program)
+
+    # ------------------------------------------------------------------
+    def round_inputs(
+        self,
+        program: list[Instruction],
+        g_values: dict[int, int] | None = None,
+        e_values: dict[int, int] | None = None,
+    ) -> tuple[list[list[int]], list[list[int]]]:
+        """Per-round (garbler, evaluator) input bits for a program.
+
+        ``g_values[i]`` / ``e_values[i]`` supply the immediate of the
+        i-th instruction when it is a LOADG / LOADE.
+        """
+        g_values = g_values or {}
+        e_values = e_values or {}
+        g_rounds, e_rounds = [], []
+        for i, instr in enumerate(program):
+            g_imm = g_values.get(i, 0)
+            e_imm = e_values.get(i, 0)
+            g_rounds.append(instr.encode_bits() + to_bits(g_imm, self.width))
+            e_rounds.append(to_bits(e_imm, self.width))
+        return g_rounds, e_rounds
+
+    def run_plain(
+        self,
+        program: list[Instruction],
+        g_values: dict[int, int] | None = None,
+        e_values: dict[int, int] | None = None,
+    ) -> list[int]:
+        """Reference execution; returns final signed register values."""
+        g_rounds, e_rounds = self.round_inputs(program, g_values, e_values)
+        history = self.circuit.run_plain(g_rounds, e_rounds)
+        final = history[-1]
+        return [
+            from_bits(final[i * self.width : (i + 1) * self.width], signed=True)
+            for i in range(N_REGS)
+        ]

@@ -1,0 +1,74 @@
+"""FPGA overlay architecture baseline [14] (Fang, Ioannidis & Leeser).
+
+The overlay loads the secure function's netlist onto a generic grid of
+garbled-component cells — flexible, but the paper reports it needs
+40-100x more LUTs than a direct design and garbles an order of
+magnitude slower per core.  Table 2 carries the authors' interpolation
+of [14] to the MAC workload; the quadratic+linear empirical model below
+(``cycles = 25 b^2 + 350 b``) matches that column to within ~2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Table 2, "FPGA Overlay Architecture [14]" (paper-interpolated values).
+PAPER_CYCLES_PER_MAC = {8: 4.40e3, 16: 1.20e4, 32: 3.60e4}
+PAPER_TIME_PER_MAC_US = {8: 22.0, 16: 60.0, 32: 180.0}
+PAPER_THROUGHPUT_PER_CORE = {8: 1.06e3, 16: 3.88e2, 32: 1.29e2}
+
+#: [14] runs 43 parallel garbling cores (limited by BRAMs and the
+#: latency of garbling one AND gate).
+OVERLAY_CORES = 43
+OVERLAY_CLOCK_MHZ = 200.0
+
+# empirical fit to the paper's interpolated column
+_QUAD = 25.0
+_LIN = 350.0
+
+
+@dataclass(frozen=True)
+class OverlayModel:
+    """Performance model of the FPGA overlay garbling MACs."""
+
+    bitwidth: int
+    clock_mhz: float = OVERLAY_CLOCK_MHZ
+    n_cores: int = OVERLAY_CORES
+
+    def __post_init__(self) -> None:
+        if self.bitwidth < 2:
+            raise ConfigurationError("bit-width must be >= 2")
+
+    @property
+    def cycles_per_mac(self) -> float:
+        b = self.bitwidth
+        return _QUAD * b * b + _LIN * b
+
+    @property
+    def time_per_mac_s(self) -> float:
+        return self.cycles_per_mac / (self.clock_mhz * 1e6)
+
+    @property
+    def macs_per_second(self) -> float:
+        return 1.0 / self.time_per_mac_s
+
+    @property
+    def macs_per_second_per_core(self) -> float:
+        return self.macs_per_second / self.n_cores
+
+    @property
+    def paper_cycles_per_mac(self) -> float | None:
+        return PAPER_CYCLES_PER_MAC.get(self.bitwidth)
+
+    def model_error(self) -> float | None:
+        paper = self.paper_cycles_per_mac
+        if paper is None:
+            return None
+        return (self.cycles_per_mac - paper) / paper
+
+    def lut_overhead_range(self) -> tuple[int, int]:
+        """Overlay architectures need 40-100x the LUTs of direct designs
+        [15] — quoted in the paper's introduction (ablation A1)."""
+        return (40, 100)

@@ -1,0 +1,31 @@
+"""Bit/integer conversions shared across the library (LSB-first)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def to_bits(value: int, width: int) -> list[int]:
+    """Two's-complement LSB-first bits of ``value`` in ``width`` bits."""
+    lo, hi = signed_range(width)
+    if not (lo <= value < (1 << width)):
+        # accept either signed-range values or raw unsigned encodings
+        raise ConfigurationError(f"{value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: list[int], signed: bool = False) -> int:
+    """Integer from LSB-first bits; two's complement when ``signed``."""
+    value = 0
+    for i, bit in enumerate(bits):
+        value |= (bit & 1) << i
+    if signed and bits and (bits[-1] & 1):
+        value -= 1 << len(bits)
+    return value
+
+
+def signed_range(width: int) -> tuple[int, int]:
+    """(min, max) representable signed values for ``width`` bits."""
+    if width < 1:
+        raise ConfigurationError("width must be positive")
+    return -(1 << (width - 1)), (1 << (width - 1)) - 1

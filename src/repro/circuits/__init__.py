@@ -1,0 +1,55 @@
+"""Boolean netlist substrate: IR, builder, arithmetic library, MAC units."""
+
+from repro.circuits.builder import ONE, ZERO, Const, NetlistBuilder
+from repro.circuits.bristol import export_bristol, import_bristol
+from repro.circuits.division import build_divider_netlist, build_sqrt_netlist
+from repro.circuits.equivalence import EquivalenceResult, check_equivalence
+from repro.circuits.gates import Gate, GateType
+from repro.circuits.mac import (
+    accumulator_width,
+    build_mac_netlist,
+    build_sequential_mac,
+)
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.circuits.netlist import Netlist, NetlistStats
+from repro.circuits.optimize import OptimizationReport, optimize
+from repro.circuits.sequential import SequentialCircuit
+from repro.circuits.simulate import exhaustive_truth_table, simulate_batch
+from repro.circuits.blocks import (
+    argmax,
+    barrel_shift_left,
+    barrel_shift_right,
+    build_argmax_netlist,
+    popcount,
+)
+
+__all__ = [
+    "Const",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistBuilder",
+    "NetlistStats",
+    "ONE",
+    "SequentialCircuit",
+    "ZERO",
+    "EquivalenceResult",
+    "OptimizationReport",
+    "argmax",
+    "barrel_shift_left",
+    "barrel_shift_right",
+    "build_argmax_netlist",
+    "check_equivalence",
+    "export_bristol",
+    "import_bristol",
+    "exhaustive_truth_table",
+    "popcount",
+    "simulate_batch",
+    "accumulator_width",
+    "build_divider_netlist",
+    "build_sqrt_netlist",
+    "optimize",
+    "build_mac_netlist",
+    "build_multiplier_netlist",
+    "build_sequential_mac",
+]

@@ -1,0 +1,134 @@
+"""Higher-level GC circuit blocks: shifter, popcount, min/max, argmax.
+
+These complete the library beyond the MAC: the paper's target
+applications occasionally need them around the matrix kernels (argmax
+for classification outputs, popcount for Hamming-style similarity,
+variable shifts for fixed-point rescaling).  All blocks keep the
+GC-optimised budgets: muxes at 1 AND/bit, comparisons at 1 AND/bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.builder import ZERO, NetlistBuilder, Sig
+from repro.circuits.library import (
+    Bus,
+    add,
+    less_than,
+    mux_bus,
+    zero_extend,
+)
+from repro.errors import CircuitError
+
+
+def barrel_shift_left(b: NetlistBuilder, value: Bus, amount: Bus) -> Bus:
+    """Variable left shift: log2(width) mux stages (1 AND/bit each)."""
+    width = len(value)
+    stages = max(1, math.ceil(math.log2(width))) if width > 1 else 1
+    if len(amount) < stages:
+        raise CircuitError(
+            f"shift amount needs at least {stages} bits for width {width}"
+        )
+    current = list(value)
+    for stage in range(stages):
+        shift = 1 << stage
+        shifted = ([ZERO] * shift + current)[:width]
+        current = mux_bus(b, amount[stage], current, shifted)
+    return current
+
+
+def barrel_shift_right(b: NetlistBuilder, value: Bus, amount: Bus) -> Bus:
+    """Variable logical right shift."""
+    width = len(value)
+    stages = max(1, math.ceil(math.log2(width))) if width > 1 else 1
+    if len(amount) < stages:
+        raise CircuitError(
+            f"shift amount needs at least {stages} bits for width {width}"
+        )
+    current = list(value)
+    for stage in range(stages):
+        shift = 1 << stage
+        shifted = (current + [ZERO] * shift)[shift:]
+        current = mux_bus(b, amount[stage], current, shifted)
+    return current
+
+
+def popcount(b: NetlistBuilder, bits: Bus) -> Bus:
+    """Hamming weight via a balanced adder tree."""
+    if not bits:
+        raise CircuitError("popcount needs at least one bit")
+    terms: list[Bus] = [[bit] for bit in bits]
+    while len(terms) > 1:
+        merged: list[Bus] = []
+        for i in range(0, len(terms) - 1, 2):
+            lo, hi = terms[i], terms[i + 1]
+            width = max(len(lo), len(hi)) + 1
+            merged.append(
+                add(b, zero_extend(lo, width), zero_extend(hi, width))
+            )
+        if len(terms) % 2:
+            merged.append(terms[-1])
+        terms = merged
+    out_width = math.ceil(math.log2(len(bits) + 1))
+    return terms[0][:out_width]
+
+
+def maximum(
+    b: NetlistBuilder,
+    x: Bus,
+    y: Bus,
+    signed: bool = True,
+) -> tuple[Bus, Sig]:
+    """(max(x, y), selector) where selector = 1 when y wins."""
+    if len(x) != len(y):
+        raise CircuitError("max width mismatch")
+    y_wins = less_than(b, x, y, signed=signed)
+    return mux_bus(b, y_wins, x, y), y_wins
+
+
+def argmax(
+    b: NetlistBuilder,
+    values: list[Bus],
+    signed: bool = True,
+) -> Bus:
+    """Index (LSB-first bus) of the largest of ``values`` (ties: lowest).
+
+    A balanced tournament: each round keeps the winner's value and its
+    index; the returned index bus has ceil(log2(n)) bits.
+    """
+    if not values:
+        raise CircuitError("argmax needs at least one value")
+    width = len(values[0])
+    if any(len(v) != width for v in values):
+        raise CircuitError("argmax values must share a width")
+    index_bits = max(1, math.ceil(math.log2(len(values))))
+    entries: list[tuple[Bus, Bus]] = [
+        (list(v), [ZERO] * index_bits) for v in values
+    ]
+    # seed the indices as constants (LSB-first)
+    from repro.circuits.library import constant_bus
+
+    entries = [
+        (list(v), constant_bus(i, index_bits)) for i, v in enumerate(values)
+    ]
+    while len(entries) > 1:
+        merged = []
+        for i in range(0, len(entries) - 1, 2):
+            (vx, ix), (vy, iy) = entries[i], entries[i + 1]
+            y_wins = less_than(b, vx, vy, signed=signed)
+            merged.append(
+                (mux_bus(b, y_wins, vx, vy), mux_bus(b, y_wins, ix, iy))
+            )
+        if len(entries) % 2:
+            merged.append(entries[-1])
+        entries = merged
+    return entries[0][1]
+
+
+def build_argmax_netlist(n_values: int, width: int, signed: bool = True):
+    """Standalone argmax: evaluator holds all scores, learns the index."""
+    b = NetlistBuilder(f"argmax{n_values}x{width}")
+    values = [b.evaluator_input_bus(width) for _ in range(n_values)]
+    b.set_outputs(argmax(b, values, signed=signed))
+    return b.build()

@@ -1,0 +1,167 @@
+"""Bristol Fashion circuit format import/export.
+
+Bristol Fashion is the de-facto interchange format of the MPC world
+(TinyGarble itself consumes netlists in a closely related form); being
+able to emit and ingest it makes this repository's circuits usable by
+other GC frameworks and vice versa.
+
+Format (one gate per line, wires are consecutive integers)::
+
+    <n_gates> <n_wires>
+    <n_input_values> <bits_of_input_1> [<bits_of_input_2> ...]
+    <n_output_values> <bits_of_output_1> [...]
+
+    2 1 <in_a> <in_b> <out> AND|XOR
+    1 1 <in> <out> INV|EQW
+
+We map the first input value to the garbler, the second to the
+evaluator (the usual two-party convention).  Gate types outside
+{AND, XOR, INV, EQW} are canonicalised on export (every AND-class gate
+becomes AND plus free INVs; XNOR becomes XOR + INV).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builder import NetlistBuilder
+from repro.circuits.gates import Gate, GateType
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+_EXPORT_CANON = {
+    GateType.AND: (0, 0, 0),
+    GateType.NAND: (0, 0, 1),
+    GateType.OR: (1, 1, 1),
+    GateType.NOR: (1, 1, 0),
+    GateType.ANDNOT: (0, 1, 0),
+    GateType.NOTAND: (1, 0, 0),
+    GateType.ORNOT: (1, 0, 1),
+    GateType.NOTOR: (0, 1, 1),
+}
+
+
+def export_bristol(net: Netlist) -> str:
+    """Serialise a (state-free, constant-free) netlist to Bristol Fashion."""
+    if net.state_inputs:
+        raise CircuitError("Bristol format has no state wires; unroll first")
+    if net.constants:
+        raise CircuitError(
+            "Bristol format has no constant wires; fold constants first"
+        )
+
+    # Re-number: inputs first (garbler then evaluator), then gate outputs.
+    remap: dict[int, int] = {}
+    for w in net.garbler_inputs + net.evaluator_inputs:
+        remap[w] = len(remap)
+
+    lines: list[str] = []
+    next_wire = len(remap)
+
+    def fresh() -> int:
+        nonlocal next_wire
+        wire = next_wire
+        next_wire += 1
+        return wire
+
+    def emit_inv(src: int) -> int:
+        out = fresh()
+        lines.append(f"1 1 {src} {out} INV")
+        return out
+
+    for gate in net.gates:
+        ins = [remap[w] for w in gate.inputs]
+        gtype = gate.gtype
+        if gtype is GateType.BUF:
+            out = fresh()
+            lines.append(f"1 1 {ins[0]} {out} EQW")
+        elif gtype is GateType.NOT:
+            out = emit_inv(ins[0])
+        elif gtype is GateType.XOR or gtype is GateType.XNOR:
+            out = fresh()
+            lines.append(f"2 1 {ins[0]} {ins[1]} {out} XOR")
+            if gtype is GateType.XNOR:
+                out = emit_inv(out)
+        else:
+            alpha, beta, gamma = _EXPORT_CANON[gtype]
+            a = emit_inv(ins[0]) if alpha else ins[0]
+            b = emit_inv(ins[1]) if beta else ins[1]
+            out = fresh()
+            lines.append(f"2 1 {a} {b} {out} AND")
+            if gamma:
+                out = emit_inv(out)
+        remap[gate.output] = out
+
+    outputs = [remap[w] for w in net.outputs]
+    header = [
+        f"{len(lines)} {next_wire}",
+        f"2 {len(net.garbler_inputs)} {len(net.evaluator_inputs)}",
+        f"1 {len(net.outputs)}",
+        "",
+    ]
+    return "\n".join(header + lines) + "\n# outputs " + " ".join(map(str, outputs))
+
+
+def import_bristol(text: str, name: str = "bristol") -> Netlist:
+    """Parse a Bristol Fashion circuit into a :class:`Netlist`.
+
+    Standard Bristol declares outputs implicitly as the last wires; our
+    export also carries an explicit ``# outputs`` trailer which is
+    honoured when present.
+    """
+    lines = [l for l in (ln.strip() for ln in text.splitlines()) if l]
+    if len(lines) < 3:
+        raise CircuitError("truncated Bristol circuit")
+    n_gates, n_wires = map(int, lines[0].split())
+    in_spec = list(map(int, lines[1].split()))
+    out_spec = list(map(int, lines[2].split()))
+    if in_spec[0] != len(in_spec) - 1 or out_spec[0] != len(out_spec) - 1:
+        raise CircuitError("malformed input/output declaration")
+    input_widths = in_spec[1:]
+    output_widths = out_spec[1:]
+    if len(input_widths) not in (1, 2):
+        raise CircuitError("expected one or two input values (garbler[, evaluator])")
+
+    net = Netlist(name=name, n_wires=n_wires)
+    cursor = 0
+    net.garbler_inputs = list(range(cursor, cursor + input_widths[0]))
+    cursor += input_widths[0]
+    if len(input_widths) == 2:
+        net.evaluator_inputs = list(range(cursor, cursor + input_widths[1]))
+        cursor += input_widths[1]
+
+    explicit_outputs: list[int] | None = None
+    gate_lines = []
+    for line in lines[3:]:
+        if line.startswith("# outputs"):
+            explicit_outputs = list(map(int, line.split()[2:]))
+            continue
+        if line.startswith("#"):
+            continue
+        gate_lines.append(line)
+    if len(gate_lines) != n_gates:
+        raise CircuitError(
+            f"declared {n_gates} gates but found {len(gate_lines)}"
+        )
+
+    kind_map = {"AND": GateType.AND, "XOR": GateType.XOR, "INV": GateType.NOT, "EQW": GateType.BUF}
+    for index, line in enumerate(gate_lines):
+        parts = line.split()
+        n_in, n_out = int(parts[0]), int(parts[1])
+        if n_out != 1:
+            raise CircuitError("multi-output Bristol gates are not supported")
+        ins = tuple(int(p) for p in parts[2 : 2 + n_in])
+        out = int(parts[2 + n_in])
+        kind = parts[-1].upper()
+        if kind not in kind_map:
+            raise CircuitError(f"unsupported Bristol gate '{kind}'")
+        gtype = kind_map[kind]
+        if gtype.arity != n_in:
+            raise CircuitError(f"{kind} gate with {n_in} inputs")
+        net.gates.append(Gate(index, gtype, ins, out))
+
+    if explicit_outputs is not None:
+        net.outputs = explicit_outputs
+    else:
+        total_out = sum(output_widths)
+        net.outputs = list(range(n_wires - total_out, n_wires))
+    net.validate()
+    return net

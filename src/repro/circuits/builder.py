@@ -1,0 +1,195 @@
+"""Netlist construction DSL with constant folding.
+
+The builder hands out wire ids and appends gates in topological order.
+Signals passed to gate methods are either wire ids (``int``) or the
+constant markers :data:`ZERO` / :data:`ONE`; constants fold at build
+time, which is how the GC-optimised netlists (e.g. the two's-complement
+increment chain) come out with the minimum non-XOR gate count
+automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gates import Gate, GateType
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class Const:
+    """A compile-time constant signal."""
+
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.bit not in (0, 1):
+            raise CircuitError("constant must be 0 or 1")
+
+
+ZERO = Const(0)
+ONE = Const(1)
+
+#: A signal: either a wire id or a build-time constant.
+Sig = int | Const
+
+
+def const(bit: int) -> Const:
+    return ONE if bit else ZERO
+
+
+class NetlistBuilder:
+    """Incrementally builds a validated :class:`Netlist`."""
+
+    def __init__(self, name: str = "netlist"):
+        self._net = Netlist(name=name)
+        self._const_wires: dict[int, int] = {}
+        #: gate index -> structural tag (set via :meth:`tagged`); the
+        #: accelerator scheduler uses tags to map gates onto cores.
+        self.tags: dict[int, tuple] = {}
+        self._current_tag: tuple | None = None
+
+    def tagged(self, *tag):
+        """Context manager: tag every gate emitted inside the block."""
+        return _TagScope(self, tuple(tag))
+
+    # ------------------------------------------------------------------
+    # wires and inputs
+    # ------------------------------------------------------------------
+    def _fresh(self) -> int:
+        wire = self._net.n_wires
+        self._net.n_wires += 1
+        return wire
+
+    def garbler_input_bus(self, width: int) -> list[int]:
+        wires = [self._fresh() for _ in range(width)]
+        self._net.garbler_inputs.extend(wires)
+        return wires
+
+    def evaluator_input_bus(self, width: int) -> list[int]:
+        wires = [self._fresh() for _ in range(width)]
+        self._net.evaluator_inputs.extend(wires)
+        return wires
+
+    def state_input_bus(self, width: int) -> list[int]:
+        """Wires carrying sequential state from the previous round."""
+        wires = [self._fresh() for _ in range(width)]
+        self._net.state_inputs.extend(wires)
+        return wires
+
+    def const_wire(self, bit: int) -> int:
+        """Materialise a constant onto a real wire (garbler-known)."""
+        bit &= 1
+        if bit not in self._const_wires:
+            wire = self._fresh()
+            self._net.constants[wire] = bit
+            self._const_wires[bit] = wire
+        return self._const_wires[bit]
+
+    def materialize(self, sig: Sig) -> int:
+        """Turn any signal into a wire id (constants get constant wires)."""
+        if isinstance(sig, Const):
+            return self.const_wire(sig.bit)
+        return sig
+
+    # ------------------------------------------------------------------
+    # gates with constant folding
+    # ------------------------------------------------------------------
+    def _emit(self, gtype: GateType, *ins: int) -> int:
+        out = self._fresh()
+        index = len(self._net.gates)
+        self._net.gates.append(Gate(index, gtype, tuple(ins), out))
+        if self._current_tag is not None:
+            self.tags[index] = self._current_tag
+        return out
+
+    def NOT(self, a: Sig) -> Sig:
+        if isinstance(a, Const):
+            return const(1 ^ a.bit)
+        return self._emit(GateType.NOT, a)
+
+    def XOR(self, a: Sig, b: Sig) -> Sig:
+        if isinstance(a, Const) and isinstance(b, Const):
+            return const(a.bit ^ b.bit)
+        if isinstance(a, Const):
+            a, b = b, a
+        if isinstance(b, Const):
+            return a if b.bit == 0 else self.NOT(a)
+        if a == b:
+            return ZERO
+        return self._emit(GateType.XOR, a, b)
+
+    def XNOR(self, a: Sig, b: Sig) -> Sig:
+        return self.NOT(self.XOR(a, b))
+
+    def AND(self, a: Sig, b: Sig) -> Sig:
+        if isinstance(a, Const) and isinstance(b, Const):
+            return const(a.bit & b.bit)
+        if isinstance(a, Const):
+            a, b = b, a
+        if isinstance(b, Const):
+            return a if b.bit else ZERO
+        if a == b:
+            return a
+        return self._emit(GateType.AND, a, b)
+
+    def OR(self, a: Sig, b: Sig) -> Sig:
+        if isinstance(a, Const) and isinstance(b, Const):
+            return const(a.bit | b.bit)
+        if isinstance(a, Const):
+            a, b = b, a
+        if isinstance(b, Const):
+            return ONE if b.bit else a
+        if a == b:
+            return a
+        return self._emit(GateType.OR, a, b)
+
+    def NAND(self, a: Sig, b: Sig) -> Sig:
+        before = len(self._net.gates)
+        result = self.AND(a, b)
+        if isinstance(result, Const):
+            return const(1 ^ result.bit)
+        if len(self._net.gates) == before + 1 and self._net.gates[-1].output == result:
+            # fold the AND we just emitted + NOT into a single NAND table
+            gate = self._net.gates[-1]
+            self._net.gates[-1] = Gate(gate.index, GateType.NAND, gate.inputs, gate.output)
+            return result
+        return self.NOT(result)
+
+    def MUX(self, sel: Sig, when0: Sig, when1: Sig) -> Sig:
+        """2:1 multiplexer, 1 AND + 2 XOR: out = when0 ^ sel&(when0^when1)."""
+        diff = self.XOR(when0, when1)
+        return self.XOR(when0, self.AND(sel, diff))
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def set_outputs(self, sigs: list[Sig]) -> None:
+        self._net.outputs = [self.materialize(s) for s in sigs]
+
+    def build(self, validate: bool = True) -> Netlist:
+        net = self._net
+        if validate:
+            net.validate()
+        return net
+
+    @property
+    def netlist(self) -> Netlist:
+        return self._net
+
+
+class _TagScope:
+    """Implementation of :meth:`NetlistBuilder.tagged`."""
+
+    def __init__(self, builder: NetlistBuilder, tag: tuple):
+        self._builder = builder
+        self._tag = tag
+        self._previous: tuple | None = None
+
+    def __enter__(self) -> None:
+        self._previous = self._builder._current_tag
+        self._builder._current_tag = self._tag
+
+    def __exit__(self, *exc) -> None:
+        self._builder._current_tag = self._previous

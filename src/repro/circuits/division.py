@@ -1,0 +1,119 @@
+"""Division and square-root netlists (the non-MAC circuits of [7]).
+
+The ridge-regression protocol the paper accelerates (Table 3) garbles
+O(d^2) divisions and O(d) square roots alongside its O(d^3) MACs; the
+runtime decomposition in :mod:`repro.apps.ridge` rests on the gate-cost
+ratio of one MAC to one division being about 2:1 at 32 bits.  These
+netlists make that ratio *measurable* instead of assumed:
+
+* :func:`build_divider_netlist` — non-restoring array division,
+  ``b(b+1)`` adder ANDs plus the remainder correction (~``b^2 + 2b``);
+* :func:`build_sqrt_netlist` — restoring digit-recurrence square root,
+  ~``b^2/2`` ANDs.
+
+Both operate on unsigned values (as [7]'s Cholesky does, on
+positive-definite quantities).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builder import ONE, ZERO, NetlistBuilder, Sig
+from repro.circuits.library import Bus, full_adder, mux_bus, zero_extend
+from repro.errors import CircuitError
+
+
+def _add_sub(
+    b: NetlistBuilder,
+    acc: Bus,
+    operand: Bus,
+    add_flag: Sig,
+) -> Bus:
+    """acc + operand when add_flag = 1, acc - operand when add_flag = 0.
+
+    One AND per bit: the operand is conditionally inverted (free XOR with
+    the control) and the control rides the carry-in.
+    """
+    if len(acc) != len(operand):
+        raise CircuitError("controlled add/subtract width mismatch")
+    control = b.NOT(add_flag)  # 1 = subtract (invert + carry-in)
+    out: Bus = []
+    carry: Sig = control
+    for u, v in zip(acc, operand):
+        s, carry = full_adder(b, u, b.XOR(v, control), carry)
+        out.append(s)
+    return out
+
+
+def divider(b: NetlistBuilder, dividend: Bus, divisor: Bus) -> tuple[Bus, Bus]:
+    """Unsigned non-restoring division; returns (quotient, remainder).
+
+    Division by zero yields quotient = all-ones (the hardware convention
+    of an unchecked non-restoring array).
+    """
+    width = len(dividend)
+    if len(divisor) != width:
+        raise CircuitError("divider width mismatch")
+    rwidth = width + 1
+    divisor_ext = zero_extend(divisor, rwidth)
+
+    remainder: Bus = [ZERO] * rwidth
+    sign: Sig = ZERO  # remainder sign; 0 = nonnegative -> subtract next
+    quotient: Bus = [ZERO] * width
+    for i in range(width - 1, -1, -1):
+        shifted: Bus = [dividend[i]] + remainder[: rwidth - 1]
+        remainder = _add_sub(b, shifted, divisor_ext, sign)
+        sign = remainder[-1]
+        quotient[i] = b.NOT(sign)
+
+    # final correction: if the remainder went negative, add the divisor back
+    corrected = _add_sub(b, remainder, divisor_ext, ONE)
+    remainder = mux_bus(b, sign, remainder, corrected)
+    return quotient, remainder[:width]
+
+
+def isqrt(b: NetlistBuilder, radicand: Bus) -> Bus:
+    """Unsigned integer square root by restoring digit recurrence.
+
+    Per step: bring down two radicand bits, try subtracting
+    ``(root << 2) | 1``, keep the difference (and set the next root bit)
+    when it does not borrow.
+    """
+    width = len(radicand)
+    if width % 2:
+        raise CircuitError("sqrt needs an even bit-width")
+    half = width // 2
+    rwidth = half + 3  # remainder can transiently reach 2^(half+2)
+
+    remainder: Bus = [ZERO] * rwidth
+    root_msb_first: Bus = []  # grows one bit per step, MSB first
+    for step in range(half):
+        i = half - 1 - step
+        # bring down the next two radicand bits: rem = (rem << 2) | a[2i+1..2i]
+        shifted = [radicand[2 * i], radicand[2 * i + 1]] + remainder[: rwidth - 2]
+        # trial subtrahend: (root << 2) | 1, as an LSB-first rwidth bus
+        trial: Bus = [ONE, ZERO] + root_msb_first[::-1]
+        trial = zero_extend(trial, rwidth)
+        diff = _add_sub(b, shifted, trial, ZERO)  # shifted - trial
+        borrow = diff[-1]
+        keep = b.NOT(borrow)  # 1 -> the trial fits, root bit is 1
+        remainder = mux_bus(b, keep, shifted, diff)
+        root_msb_first.append(keep)
+    return root_msb_first[::-1]  # LSB-first
+
+
+def build_divider_netlist(bitwidth: int, name: str | None = None):
+    """Standalone divider: garbler holds the dividend, evaluator the divisor."""
+    b = NetlistBuilder(name or f"div{bitwidth}u")
+    dividend = b.garbler_input_bus(bitwidth)
+    divisor = b.evaluator_input_bus(bitwidth)
+    quotient, remainder = divider(b, dividend, divisor)
+    b.set_outputs(list(quotient) + list(remainder))
+    return b.build()
+
+
+def build_sqrt_netlist(bitwidth: int, name: str | None = None):
+    """Standalone integer square root (evaluator-held radicand)."""
+    b = NetlistBuilder(name or f"sqrt{bitwidth}u")
+    radicand = b.evaluator_input_bus(bitwidth)
+    b.set_outputs(isqrt(b, radicand))
+    return b.build()

@@ -1,0 +1,100 @@
+"""Gate-level IR for garbled-circuit netlists.
+
+GC distinguishes exactly two gate classes:
+
+* **free** gates (XOR, XNOR, NOT, BUF) cost no garbled table thanks to
+  free-XOR [20]; and
+* **non-free** (AND-class) gates, each costing one half-gates table pair.
+
+Every non-linear 2-input Boolean function can be written as
+
+    out = ((a ^ alpha) & (b ^ beta)) ^ gamma
+
+so AND-class gate types carry an ``(alpha, beta, gamma)`` triple and the
+garbler/evaluator only ever implement the plain AND core.  This mirrors
+MAXelerator's hardware, whose GC engine garbles only AND tables while all
+XORs are handled outside the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import CircuitError
+
+
+class GateType(Enum):
+    """Supported gate types with their GC classification."""
+
+    AND = ("and", 2, (0, 0, 0))
+    NAND = ("nand", 2, (0, 0, 1))
+    OR = ("or", 2, (1, 1, 1))
+    NOR = ("nor", 2, (1, 1, 0))
+    ANDNOT = ("andnot", 2, (0, 1, 0))  # a & ~b
+    NOTAND = ("notand", 2, (1, 0, 0))  # ~a & b
+    ORNOT = ("ornot", 2, (1, 0, 1))  # a | ~b (reverse implication)
+    NOTOR = ("notor", 2, (0, 1, 1))  # ~a | b (implication)
+    XOR = ("xor", 2, None)
+    XNOR = ("xnor", 2, None)
+    NOT = ("not", 1, None)
+    BUF = ("buf", 1, None)
+
+    def __init__(self, label: str, arity: int, and_form: tuple[int, int, int] | None):
+        self.label = label
+        self.arity = arity
+        #: (alpha, beta, gamma) if this is an AND-class gate, else None.
+        self.and_form = and_form
+
+    @property
+    def is_free(self) -> bool:
+        """True when the gate needs no garbled table (free-XOR class)."""
+        return self.and_form is None
+
+    @property
+    def is_nonlinear(self) -> bool:
+        return self.and_form is not None
+
+    def eval(self, *inputs: int) -> int:
+        """Plaintext evaluation (used by the reference simulator)."""
+        if len(inputs) != self.arity:
+            raise CircuitError(f"{self.label} expects {self.arity} inputs, got {len(inputs)}")
+        if self.and_form is not None:
+            alpha, beta, gamma = self.and_form
+            a, b = inputs
+            return ((a ^ alpha) & (b ^ beta)) ^ gamma
+        if self is GateType.XOR:
+            return inputs[0] ^ inputs[1]
+        if self is GateType.XNOR:
+            return 1 ^ inputs[0] ^ inputs[1]
+        if self is GateType.NOT:
+            return 1 ^ inputs[0]
+        return inputs[0]  # BUF
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance in a netlist.
+
+    ``output`` is written exactly once (netlists are in SSA form); the
+    builder enforces this.
+    """
+
+    index: int
+    gtype: GateType
+    inputs: tuple[int, ...]
+    output: int
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.gtype.arity:
+            raise CircuitError(
+                f"gate {self.index} ({self.gtype.label}) expects "
+                f"{self.gtype.arity} inputs, got {len(self.inputs)}"
+            )
+
+    @property
+    def is_free(self) -> bool:
+        return self.gtype.is_free
+
+    def eval(self, values: list[int]) -> int:
+        return self.gtype.eval(*(values[w] for w in self.inputs))

@@ -1,0 +1,149 @@
+"""GC-optimised arithmetic blocks.
+
+All buses are LSB-first lists of signals.  Gate budgets follow the
+TinyGarble circuit library the paper builds on:
+
+* full adder: **1 AND + 4 XOR per bit** (the carry recurrence
+  ``c' = c ^ ((a^c) & (b^c))``), exactly the adder the paper cites;
+* 2:1 mux: 1 AND + 2 XOR per bit;
+* two's complement / conditional negate: 1 AND per bit (increment
+  carry chain, the sign XORs are free);
+* comparator: 1 AND per bit.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builder import ONE, ZERO, Const, NetlistBuilder, Sig
+from repro.errors import CircuitError
+
+Bus = list[Sig]
+
+
+def constant_bus(value: int, width: int) -> Bus:
+    """A bus of build-time constants holding ``value`` (two's complement)."""
+    return [Const((value >> i) & 1) for i in range(width)]
+
+
+def full_adder(b: NetlistBuilder, a: Sig, x: Sig, cin: Sig) -> tuple[Sig, Sig]:
+    """One-bit full adder: 1 AND, 4 XOR.
+
+    sum  = a ^ x ^ cin
+    cout = cin ^ ((a ^ cin) & (x ^ cin))
+    """
+    axc = b.XOR(a, cin)
+    xxc = b.XOR(x, cin)
+    total = b.XOR(axc, x)
+    cout = b.XOR(cin, b.AND(axc, xxc))
+    return total, cout
+
+
+def add(
+    b: NetlistBuilder,
+    a: Bus,
+    x: Bus,
+    cin: Sig = ZERO,
+    keep_cout: bool = False,
+) -> Bus:
+    """Ripple-carry addition of two equal-width buses."""
+    if len(a) != len(x):
+        raise CircuitError(f"adder width mismatch: {len(a)} vs {len(x)}")
+    out: Bus = []
+    carry = cin
+    for ai, xi in zip(a, x):
+        s, carry = full_adder(b, ai, xi, carry)
+        out.append(s)
+    if keep_cout:
+        out.append(carry)
+    return out
+
+
+def sub(b: NetlistBuilder, a: Bus, x: Bus) -> Bus:
+    """a - x (two's complement; same 1 AND/bit budget as add)."""
+    if len(a) != len(x):
+        raise CircuitError(f"subtractor width mismatch: {len(a)} vs {len(x)}")
+    return add(b, a, [b.NOT(xi) for xi in x], cin=ONE)
+
+
+def increment(b: NetlistBuilder, a: Bus, cin: Sig) -> Bus:
+    """a + cin where cin is a single bit: 1 AND per bit."""
+    out: Bus = []
+    carry = cin
+    for ai in a:
+        out.append(b.XOR(ai, carry))
+        carry = b.AND(ai, carry)
+    return out
+
+
+def negate(b: NetlistBuilder, a: Bus) -> Bus:
+    """Two's complement: ~a + 1."""
+    return increment(b, [b.NOT(ai) for ai in a], ONE)
+
+
+def cond_negate(b: NetlistBuilder, a: Bus, sign: Sig) -> Bus:
+    """``-a`` when sign=1 else ``a``; 1 AND per bit.
+
+    This is the paper's "multiplexer-2's complement pair": the bitwise
+    conditional inversion is free (XOR with sign) and the conditional
+    +1 rides the increment carry chain seeded with the sign bit.
+    """
+    inverted = [b.XOR(ai, sign) for ai in a]
+    return increment(b, inverted, sign)
+
+
+def mux_bus(b: NetlistBuilder, sel: Sig, when0: Bus, when1: Bus) -> Bus:
+    """Bus-wide 2:1 mux: 1 AND per bit."""
+    if len(when0) != len(when1):
+        raise CircuitError(f"mux width mismatch: {len(when0)} vs {len(when1)}")
+    return [b.MUX(sel, lo, hi) for lo, hi in zip(when0, when1)]
+
+
+def shift_left_const(a: Bus, amount: int, width: int | None = None) -> Bus:
+    """Shift by a compile-time constant: free rewiring."""
+    shifted: Bus = [ZERO] * amount + list(a)
+    if width is not None:
+        shifted = shifted[:width]
+    return shifted
+
+
+def sign_extend(a: Bus, width: int) -> Bus:
+    """Two's-complement sign extension: free rewiring."""
+    if len(a) > width:
+        raise CircuitError(f"cannot sign-extend width {len(a)} to {width}")
+    return list(a) + [a[-1]] * (width - len(a))
+
+
+def zero_extend(a: Bus, width: int) -> Bus:
+    if len(a) > width:
+        raise CircuitError(f"cannot zero-extend width {len(a)} to {width}")
+    return list(a) + [ZERO] * (width - len(a))
+
+
+def equals(b: NetlistBuilder, a: Bus, x: Bus) -> Sig:
+    """Equality comparator: 1 AND per bit (tree of ANDs over XNORs)."""
+    if len(a) != len(x):
+        raise CircuitError(f"comparator width mismatch: {len(a)} vs {len(x)}")
+    bits = [b.XNOR(ai, xi) for ai, xi in zip(a, x)]
+    while len(bits) > 1:
+        nxt = [b.AND(bits[i], bits[i + 1]) for i in range(0, len(bits) - 1, 2)]
+        if len(bits) % 2:
+            nxt.append(bits[-1])
+        bits = nxt
+    return bits[0]
+
+
+def less_than(b: NetlistBuilder, a: Bus, x: Bus, signed: bool = False) -> Sig:
+    """a < x comparator: 1 AND per bit (borrow chain of a - x)."""
+    if len(a) != len(x):
+        raise CircuitError(f"comparator width mismatch: {len(a)} vs {len(x)}")
+    # Unsigned: borrow-out of a - x.  carry recurrence as in full_adder
+    # on (a, ~x, cin=1); borrow = NOT carry-out.
+    carry: Sig = ONE
+    for i, (ai, xi) in enumerate(zip(a, x)):
+        if signed and i == len(a) - 1:
+            # bias trick: invert both sign bits -> unsigned compare
+            ai, xi = b.NOT(ai), b.NOT(xi)
+        nx = b.NOT(xi)
+        axc = b.XOR(ai, carry)
+        xxc = b.XOR(nx, carry)
+        carry = b.XOR(carry, b.AND(axc, xxc))
+    return b.NOT(carry)

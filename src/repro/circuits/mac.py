@@ -1,0 +1,89 @@
+"""Multiply-accumulate netlists — the unit MAXelerator garbles.
+
+Two forms are provided:
+
+* :func:`build_mac_netlist` — a combinational ``acc + a*x`` used for
+  one-shot products and unit tests;
+* :func:`build_sequential_mac` — the paper's outer-loop unit: the round
+  netlist computes ``acc' = acc + a*x`` with the accumulator as
+  sequential state, so garbling it ``M`` times computes a length-M dot
+  product (one element of the matrix product, Eq. 3).
+
+The accumulator is ``2b + guard`` bits wide; ``guard = ceil(log2 M)``
+bits absorb the sum growth (callers pick it from their M).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.builder import NetlistBuilder
+from repro.circuits.library import add, sign_extend, zero_extend
+from repro.circuits.multipliers import (
+    serial_multiplier,
+    signed_multiplier,
+    tree_multiplier,
+)
+from repro.circuits.sequential import SequentialCircuit
+from repro.errors import CircuitError
+
+
+def accumulator_width(bitwidth: int, max_rounds: int = 256) -> int:
+    """Accumulator width that cannot overflow for ``max_rounds`` MACs."""
+    if max_rounds < 1:
+        raise CircuitError("max_rounds must be positive")
+    return 2 * bitwidth + max(1, math.ceil(math.log2(max_rounds)))
+
+
+def _multiplier_core(kind: str):
+    cores = {"tree": tree_multiplier, "serial": serial_multiplier}
+    if kind not in cores:
+        raise CircuitError(f"unknown multiplier kind '{kind}'")
+    return cores[kind]
+
+
+def build_mac_netlist(
+    bitwidth: int,
+    acc_width: int | None = None,
+    kind: str = "tree",
+    signed: bool = True,
+):
+    """Combinational MAC: inputs a (garbler), x (evaluator), acc (garbler)."""
+    acc_width = acc_width or accumulator_width(bitwidth)
+    builder = NetlistBuilder(f"mac{bitwidth}_{kind}")
+    a = builder.garbler_input_bus(bitwidth)
+    acc = builder.garbler_input_bus(acc_width)
+    x = builder.evaluator_input_bus(bitwidth)
+    core = _multiplier_core(kind)
+    if signed:
+        product = signed_multiplier(builder, a, x, core=core)
+        extended = sign_extend(product, acc_width)
+    else:
+        product = core(builder, a, x)
+        extended = zero_extend(product, acc_width)
+    builder.set_outputs(add(builder, acc, extended))
+    return builder.build()
+
+
+def build_sequential_mac(
+    bitwidth: int,
+    acc_width: int | None = None,
+    kind: str = "tree",
+    signed: bool = True,
+) -> SequentialCircuit:
+    """The paper's round unit: ``acc' = acc + a*x`` with acc as state."""
+    acc_width = acc_width or accumulator_width(bitwidth)
+    builder = NetlistBuilder(f"seqmac{bitwidth}_{kind}")
+    a = builder.garbler_input_bus(bitwidth)
+    x = builder.evaluator_input_bus(bitwidth)
+    acc = builder.state_input_bus(acc_width)
+    core = _multiplier_core(kind)
+    if signed:
+        product = signed_multiplier(builder, a, x, core=core)
+        extended = sign_extend(product, acc_width)
+    else:
+        product = core(builder, a, x)
+        extended = zero_extend(product, acc_width)
+    builder.set_outputs(add(builder, acc, extended))
+    netlist = builder.build()
+    return SequentialCircuit(netlist, state_feedback=list(range(acc_width)))

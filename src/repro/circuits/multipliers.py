@@ -1,0 +1,152 @@
+"""Multiplier netlists: the serial shift-add form and the tree form.
+
+The paper contrasts two multiplication circuits:
+
+* TinyGarble's **serial** (shift-add) multiplier — minimal non-XOR count
+  but a long dependency chain that "does not allow parallelism";
+* MAXelerator's **tree-based** multiplier (Figure 2) — partial products
+  are grouped in radix-4 digit slices ``s_m = (x[2m] + 2*x[2m+1]) * a``
+  and combined by a balanced adder tree, bounding the dependency depth
+  by ``log2(b/2)`` levels so parallel GC cores stay busy.
+
+Both are built here as *combinational* netlists for functional use and
+for the gate-count/depth ablation; the cycle-accurate *scheduled* form
+of the tree multiplier lives in :mod:`repro.accel.tree_mac`.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builder import ZERO, NetlistBuilder, Sig
+from repro.circuits.library import (
+    Bus,
+    add,
+    cond_negate,
+    shift_left_const,
+    zero_extend,
+)
+from repro.errors import CircuitError
+
+
+def _check_width(b_bits: int) -> None:
+    if b_bits < 2:
+        raise CircuitError(f"multiplier needs width >= 2, got {b_bits}")
+
+
+def serial_multiplier(b: NetlistBuilder, a: Bus, x: Bus) -> Bus:
+    """Shift-add multiplier, unsigned, 2b-bit product.
+
+    Non-XOR cost: b^2 partial-product ANDs + b(b-1) adder ANDs =
+    2b^2 - b, matching the TinyGarble library the paper benchmarks.
+    """
+    _check_width(len(a))
+    if len(a) != len(x):
+        raise CircuitError(f"multiplier width mismatch: {len(a)} vs {len(x)}")
+    width = len(a)
+
+    rows = [[b.AND(ai, xj) for xj in x] for ai in a]
+    out: Bus = [rows[0][0]]
+    # running window of the b-1 high bits of the partial sum, plus carry
+    window: Bus = rows[0][1:] + [ZERO]
+    for i in range(1, width):
+        summed = add(b, window, rows[i], keep_cout=True)
+        out.append(summed[0])
+        window = summed[1:]
+    out.extend(window)
+    return out
+
+
+def digit_slice_product(b: NetlistBuilder, a: Bus, x_lo: Sig, x_hi: Sig) -> Bus:
+    """``(x_lo + 2*x_hi) * a``: the stream one segment-1 core produces.
+
+    Two partial-product rows, one adder — exactly the 2 AND gates + one
+    1-AND/bit adder of the paper's MUX_ADD core (Figure 3).
+    """
+    width = len(a)
+    row_lo: Bus = [b.AND(ai, x_lo) for ai in a] + [ZERO, ZERO]
+    row_hi: Bus = [ZERO] + [b.AND(ai, x_hi) for ai in a] + [ZERO]
+    return add(b, row_lo, row_hi)  # width b + 2
+
+
+def tree_multiplier(b: NetlistBuilder, a: Bus, x: Bus) -> Bus:
+    """Tree-based multiplier (Figure 2), unsigned, 2b-bit product.
+
+    Level 0 forms the ``b/2`` digit-slice streams; each following level
+    adds neighbours offset by the appropriate power of four (the
+    "shifts" that the hardware realises as delay registers).
+    """
+    _check_width(len(a))
+    if len(a) != len(x):
+        raise CircuitError(f"multiplier width mismatch: {len(a)} vs {len(x)}")
+    if len(a) % 2:
+        raise CircuitError(f"tree multiplier needs even width, got {len(a)}")
+    width = len(a)
+
+    # (value bus, weight exponent) pairs
+    terms: list[tuple[Bus, int]] = [
+        (digit_slice_product(b, a, x[2 * m], x[2 * m + 1]), 2 * m)
+        for m in range(width // 2)
+    ]
+    while len(terms) > 1:
+        merged: list[tuple[Bus, int]] = []
+        for i in range(0, len(terms) - 1, 2):
+            (lo, lo_w), (hi, hi_w) = terms[i], terms[i + 1]
+            shift = hi_w - lo_w
+            hi_shifted = shift_left_const(hi, shift)
+            out_width = max(len(lo), len(hi_shifted)) + 1
+            summed = add(
+                b,
+                zero_extend(lo, out_width),
+                zero_extend(hi_shifted, out_width),
+            )
+            merged.append((summed, lo_w))
+        if len(terms) % 2:
+            merged.append(terms[-1])
+        terms = merged
+    product, weight = terms[0]
+    product = shift_left_const(product, weight)
+    return zero_extend(product[: 2 * width], 2 * width)
+
+
+def signed_multiplier(
+    b: NetlistBuilder,
+    a: Bus,
+    x: Bus,
+    core=tree_multiplier,
+) -> Bus:
+    """Signed (two's complement) multiplier via sign-magnitude wrapping.
+
+    This is the paper's Section 4.3 structure: conditional-negate pairs
+    at both inputs, the unsigned core, and a conditional negate of the
+    double-width product by ``sign_a ^ sign_x``.
+
+    Note: the most negative value (-2^(b-1)) has no positive
+    counterpart; apps avoid it by fixed-point scaling (documented in
+    DESIGN.md).
+    """
+    sign_a, sign_x = a[-1], x[-1]
+    mag_a = cond_negate(b, a, sign_a)
+    mag_x = cond_negate(b, x, sign_x)
+    product = core(b, mag_a, mag_x)
+    sign_p = b.XOR(sign_a, sign_x)
+    return cond_negate(b, product, sign_p)
+
+
+def build_multiplier_netlist(
+    bitwidth: int,
+    kind: str = "tree",
+    signed: bool = True,
+    name: str | None = None,
+):
+    """Standalone multiplier netlist: garbler holds a, evaluator holds x."""
+    cores = {"tree": tree_multiplier, "serial": serial_multiplier}
+    if kind not in cores:
+        raise CircuitError(f"unknown multiplier kind '{kind}'")
+    builder = NetlistBuilder(name or f"{kind}_mul{bitwidth}{'s' if signed else 'u'}")
+    a = builder.garbler_input_bus(bitwidth)
+    x = builder.evaluator_input_bus(bitwidth)
+    if signed:
+        product = signed_multiplier(builder, a, x, core=cores[kind])
+    else:
+        product = cores[kind](builder, a, x)
+    builder.set_outputs(product)
+    return builder.build()

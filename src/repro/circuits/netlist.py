@@ -1,0 +1,150 @@
+"""Netlist container: wires, gates, inputs/outputs, stats, validation.
+
+A :class:`Netlist` is the Boolean-circuit representation of the secure
+function (the paper's "netlist").  Wires are dense integer ids.  The two
+parties' inputs are disjoint wire lists; constants are garbler-known bits
+on dedicated wires.
+
+Netlists produced by :class:`repro.circuits.builder.NetlistBuilder` are
+already topologically ordered; :meth:`Netlist.validate` re-checks every
+structural invariant so hand-built or mutated netlists fail loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import Gate, GateType
+from repro.errors import CircuitError
+
+
+@dataclass
+class NetlistStats:
+    """Gate-count and depth statistics of a netlist."""
+
+    n_wires: int
+    n_gates: int
+    n_nonfree: int
+    n_free: int
+    nonfree_depth: int
+    table_bytes: int  # half-gates: 2 ciphertexts of 16 bytes per AND
+
+    def __str__(self) -> str:
+        return (
+            f"wires={self.n_wires} gates={self.n_gates} "
+            f"nonfree(AND)={self.n_nonfree} free(XOR/NOT)={self.n_free} "
+            f"AND-depth={self.nonfree_depth} tables={self.table_bytes}B"
+        )
+
+
+@dataclass
+class Netlist:
+    """A combinational Boolean circuit in SSA form."""
+
+    n_wires: int = 0
+    gates: list[Gate] = field(default_factory=list)
+    garbler_inputs: list[int] = field(default_factory=list)
+    evaluator_inputs: list[int] = field(default_factory=list)
+    #: Wires fed by the previous round's state in a sequential circuit.
+    state_inputs: list[int] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    constants: dict[int, int] = field(default_factory=dict)
+    name: str = "netlist"
+
+    # ------------------------------------------------------------------
+    @property
+    def input_wires(self) -> list[int]:
+        return self.garbler_inputs + self.evaluator_inputs + self.state_inputs
+
+    @property
+    def nonfree_gates(self) -> list[Gate]:
+        return [g for g in self.gates if not g.is_free]
+
+    def stats(self) -> NetlistStats:
+        n_nonfree = sum(1 for g in self.gates if not g.is_free)
+        return NetlistStats(
+            n_wires=self.n_wires,
+            n_gates=len(self.gates),
+            n_nonfree=n_nonfree,
+            n_free=len(self.gates) - n_nonfree,
+            nonfree_depth=self.nonfree_depth(),
+            table_bytes=n_nonfree * 32,
+        )
+
+    def nonfree_depth(self) -> int:
+        """Longest chain of AND-class gates (the GC latency driver)."""
+        depth = [0] * self.n_wires
+        for gate in self.gates:
+            d = max((depth[w] for w in gate.inputs), default=0)
+            depth[gate.output] = d + (0 if gate.is_free else 1)
+        return max((depth[w] for w in self.outputs), default=0)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check SSA form, topological order, and driver coverage."""
+        driven = set(self.input_wires) | set(self.constants)
+        if len(driven) != len(self.input_wires) + len(self.constants):
+            raise CircuitError(f"{self.name}: duplicate input/constant wires")
+        for gate in self.gates:
+            for w in gate.inputs:
+                if not (0 <= w < self.n_wires):
+                    raise CircuitError(f"{self.name}: gate {gate.index} reads bad wire {w}")
+                if w not in driven:
+                    raise CircuitError(
+                        f"{self.name}: gate {gate.index} reads undriven wire {w} "
+                        "(netlist not topologically ordered?)"
+                    )
+            if gate.output in driven:
+                raise CircuitError(
+                    f"{self.name}: wire {gate.output} driven twice (gate {gate.index})"
+                )
+            if not (0 <= gate.output < self.n_wires):
+                raise CircuitError(f"{self.name}: gate {gate.index} writes bad wire")
+            driven.add(gate.output)
+        for w in self.outputs:
+            if w not in driven:
+                raise CircuitError(f"{self.name}: output wire {w} is undriven")
+
+    # ------------------------------------------------------------------
+    def evaluate_plain(
+        self,
+        garbler_bits: list[int],
+        evaluator_bits: list[int],
+        state_bits: list[int] | None = None,
+    ) -> list[int]:
+        """Reference plaintext evaluation; ground truth for all GC tests."""
+        if len(garbler_bits) != len(self.garbler_inputs):
+            raise CircuitError(
+                f"{self.name}: expected {len(self.garbler_inputs)} garbler bits, "
+                f"got {len(garbler_bits)}"
+            )
+        if len(evaluator_bits) != len(self.evaluator_inputs):
+            raise CircuitError(
+                f"{self.name}: expected {len(self.evaluator_inputs)} evaluator bits, "
+                f"got {len(evaluator_bits)}"
+            )
+        state_bits = state_bits or []
+        if len(state_bits) != len(self.state_inputs):
+            raise CircuitError(
+                f"{self.name}: expected {len(self.state_inputs)} state bits, "
+                f"got {len(state_bits)}"
+            )
+        values = [0] * self.n_wires
+        for wire, bit in zip(self.garbler_inputs, garbler_bits):
+            values[wire] = bit & 1
+        for wire, bit in zip(self.evaluator_inputs, evaluator_bits):
+            values[wire] = bit & 1
+        for wire, bit in zip(self.state_inputs, state_bits):
+            values[wire] = bit & 1
+        for wire, bit in self.constants.items():
+            values[wire] = bit & 1
+        for gate in self.gates:
+            values[gate.output] = gate.eval(values)
+        return [values[w] for w in self.outputs]
+
+    # ------------------------------------------------------------------
+    def count(self, gtype: GateType) -> int:
+        return sum(1 for g in self.gates if g.gtype is gtype)
+
+    def __str__(self) -> str:
+        return f"Netlist({self.name}: {self.stats()})"

@@ -1,0 +1,192 @@
+"""Netlist optimisation passes.
+
+The paper's pipeline performs "static analysis on the function ... to
+determine the most optimized netlist to garble in every round" [5, 16].
+The builder already folds constants at construction time; these passes
+clean up composed netlists the same way a synthesis tool would before
+garbling:
+
+* **common-subexpression elimination** — identical gates on identical
+  inputs merge (XOR/AND are commutative, so input order is normalised);
+* **NOT-chain collapse** — double inversions vanish, NOT feeding
+  XOR/XNOR folds into the gate's polarity (free either way in GC, but
+  it shrinks the netlist and the evaluator's work);
+* **dead-gate elimination** — gates whose outputs never reach an output
+  wire are dropped (their garbled tables would be pure waste).
+
+Each pass preserves the input/output contract; :func:`optimize` runs
+them to a fixed point and returns a netlist that evaluates identically
+(tested exhaustively for small circuits and by property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gates import Gate, GateType
+from repro.circuits.netlist import Netlist
+
+_COMMUTATIVE = {
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+}
+
+# NOT folding through XOR-class gates: (gtype, which_input_inverted) -> new
+_XOR_FLIP = {GateType.XOR: GateType.XNOR, GateType.XNOR: GateType.XOR}
+# NOT folding into AND-class gates via the (alpha, beta, gamma) form
+_AND_FORMS = {gt.and_form: gt for gt in GateType if gt.and_form is not None}
+
+
+@dataclass
+class OptimizationReport:
+    gates_before: int
+    gates_after: int
+    nonfree_before: int
+    nonfree_after: int
+    cse_merged: int
+    nots_collapsed: int
+    dead_removed: int
+
+    @property
+    def nonfree_saved(self) -> int:
+        return self.nonfree_before - self.nonfree_after
+
+    def __str__(self) -> str:
+        return (
+            f"optimise: {self.gates_before} -> {self.gates_after} gates "
+            f"({self.nonfree_before} -> {self.nonfree_after} AND-class); "
+            f"cse={self.cse_merged} not-collapse={self.nots_collapsed} "
+            f"dead={self.dead_removed}"
+        )
+
+
+def optimize(net: Netlist) -> tuple[Netlist, OptimizationReport]:
+    """Run all passes to a fixed point; returns (new netlist, report)."""
+    net.validate()
+    before = net.stats()
+    gates = list(net.gates)
+    outputs = list(net.outputs)
+    cse_total = not_total = 0
+    while True:
+        gates, outputs, merged = _cse(gates, outputs)
+        gates, outputs, collapsed = _collapse_nots(gates, outputs)
+        cse_total += merged
+        not_total += collapsed
+        if not merged and not collapsed:
+            break
+    gates, dead = _drop_dead(gates, outputs, net)
+
+    new = Netlist(
+        n_wires=net.n_wires,
+        gates=[Gate(i, g.gtype, g.inputs, g.output) for i, g in enumerate(gates)],
+        garbler_inputs=list(net.garbler_inputs),
+        evaluator_inputs=list(net.evaluator_inputs),
+        state_inputs=list(net.state_inputs),
+        outputs=outputs,
+        constants=dict(net.constants),
+        name=f"{net.name}.opt",
+    )
+    new.validate()
+    after = new.stats()
+    return new, OptimizationReport(
+        gates_before=before.n_gates,
+        gates_after=after.n_gates,
+        nonfree_before=before.n_nonfree,
+        nonfree_after=after.n_nonfree,
+        cse_merged=cse_total,
+        nots_collapsed=not_total,
+        dead_removed=dead,
+    )
+
+
+def _rewire(gates, outputs, alias):
+    """Apply a wire-substitution map everywhere downstream."""
+
+    def fix(w):
+        while w in alias:
+            w = alias[w]
+        return w
+
+    new_gates = [
+        Gate(g.index, g.gtype, tuple(fix(i) for i in g.inputs), g.output)
+        for g in gates
+    ]
+    return new_gates, [fix(w) for w in outputs]
+
+
+def _cse(gates, outputs):
+    """Merge duplicate gates (same type, same normalised inputs)."""
+    seen: dict[tuple, int] = {}
+    alias: dict[int, int] = {}
+    kept = []
+    for g in gates:
+        ins = tuple(alias.get(i, i) for i in g.inputs)
+        if g.gtype in _COMMUTATIVE:
+            ins = tuple(sorted(ins))
+        key = (g.gtype, ins)
+        if key in seen:
+            alias[g.output] = seen[key]
+        else:
+            seen[key] = g.output
+            kept.append(Gate(g.index, g.gtype, tuple(alias.get(i, i) for i in g.inputs), g.output))
+    kept, outputs = _rewire(kept, outputs, alias)
+    return kept, outputs, len(alias)
+
+
+def _collapse_nots(gates, outputs):
+    """Remove NOT-NOT pairs and fold NOTs into downstream gate polarity."""
+    not_of: dict[int, int] = {}  # wire -> its (pre-NOT) source
+    for g in gates:
+        if g.gtype is GateType.NOT:
+            not_of[g.output] = g.inputs[0]
+
+    collapsed = 0
+    new_gates = []
+    used_not_outputs = set()
+    for g in gates:
+        if g.gtype is GateType.NOT and g.inputs[0] in not_of:
+            # NOT(NOT(x)): replace with alias handled below via BUF
+            new_gates.append(Gate(g.index, GateType.BUF, (not_of[g.inputs[0]],), g.output))
+            collapsed += 1
+            continue
+        if g.gtype in _XOR_FLIP:
+            a, b = g.inputs
+            gtype = g.gtype
+            if a in not_of:
+                a, gtype = not_of[a], _XOR_FLIP[gtype]
+                collapsed += 1
+            if b in not_of:
+                b, gtype = not_of[b], _XOR_FLIP[gtype]
+                collapsed += 1
+            new_gates.append(Gate(g.index, gtype, (a, b), g.output))
+            continue
+        if g.gtype.and_form is not None:
+            alpha, beta, gamma = g.gtype.and_form
+            a, b = g.inputs
+            if a in not_of:
+                a, alpha = not_of[a], alpha ^ 1
+                collapsed += 1
+            if b in not_of:
+                b, beta = not_of[b], beta ^ 1
+                collapsed += 1
+            new_gates.append(
+                Gate(g.index, _AND_FORMS[(alpha, beta, gamma)], (a, b), g.output)
+            )
+            continue
+        new_gates.append(g)
+    __ = used_not_outputs
+    return new_gates, outputs, collapsed
+
+
+def _drop_dead(gates, outputs, net: Netlist):
+    """Remove gates not reachable from the outputs."""
+    needed = set(outputs)
+    for g in reversed(gates):
+        if g.output in needed:
+            needed.update(g.inputs)
+    kept = [g for g in gates if g.output in needed]
+    return kept, len(gates) - len(kept)

@@ -1,0 +1,66 @@
+"""Sequential circuits: one netlist garbled for many rounds [TinyGarble].
+
+Sequential GC replaces a huge unrolled netlist by a small round netlist
+whose *state* wires connect one round's outputs to the next round's
+inputs.  MAXelerator's outer loop is exactly this: the MAC netlist is
+garbled ``M`` times and the accumulator labels flow between rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+@dataclass
+class SequentialCircuit:
+    """A round netlist plus its state feedback wiring.
+
+    ``state_feedback[i]`` is the index *into netlist.outputs* whose value
+    feeds ``netlist.state_inputs[i]`` in the next round.
+    """
+
+    netlist: Netlist
+    state_feedback: list[int]
+    initial_state: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n_state = len(self.netlist.state_inputs)
+        if len(self.state_feedback) != n_state:
+            raise CircuitError(
+                f"{self.netlist.name}: {n_state} state inputs but "
+                f"{len(self.state_feedback)} feedback indices"
+            )
+        for idx in self.state_feedback:
+            if not (0 <= idx < len(self.netlist.outputs)):
+                raise CircuitError(
+                    f"{self.netlist.name}: feedback index {idx} out of range"
+                )
+        if not self.initial_state:
+            self.initial_state = [0] * n_state
+        if len(self.initial_state) != n_state:
+            raise CircuitError(
+                f"{self.netlist.name}: initial state width mismatch"
+            )
+
+    @property
+    def state_width(self) -> int:
+        return len(self.netlist.state_inputs)
+
+    def run_plain(
+        self,
+        garbler_rounds: list[list[int]],
+        evaluator_rounds: list[list[int]],
+    ) -> list[list[int]]:
+        """Reference multi-round plaintext execution; returns per-round outputs."""
+        if len(garbler_rounds) != len(evaluator_rounds):
+            raise CircuitError("both parties must supply the same number of rounds")
+        state = list(self.initial_state)
+        history = []
+        for g_bits, e_bits in zip(garbler_rounds, evaluator_rounds):
+            outputs = self.netlist.evaluate_plain(g_bits, e_bits, state)
+            history.append(outputs)
+            state = [outputs[idx] for idx in self.state_feedback]
+        return history

@@ -1,0 +1,94 @@
+"""Vectorised plaintext netlist simulation.
+
+`Netlist.evaluate_plain` walks gates per input vector; for sweeps
+(equivalence checking, exhaustive verification, test-vector generation)
+this simulator evaluates *many* vectors at once on numpy uint8 planes —
+one array element per vector, one plane per wire.  A few thousand
+vectors through a multiplier cost roughly one Python pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def simulate_batch(
+    net: Netlist,
+    garbler_bits: np.ndarray,
+    evaluator_bits: np.ndarray,
+    state_bits: np.ndarray | None = None,
+) -> np.ndarray:
+    """Evaluate ``n`` input vectors at once.
+
+    Inputs are uint8 arrays of shape ``(n, n_inputs)`` (LSB-first bit
+    order, matching ``evaluate_plain``); the result has shape
+    ``(n, n_outputs)``.
+    """
+    garbler_bits = np.atleast_2d(np.asarray(garbler_bits, dtype=np.uint8))
+    evaluator_bits = np.atleast_2d(np.asarray(evaluator_bits, dtype=np.uint8))
+    n = garbler_bits.shape[0]
+    if garbler_bits.shape != (n, len(net.garbler_inputs)):
+        raise CircuitError(
+            f"garbler bits must be (n, {len(net.garbler_inputs)}), "
+            f"got {garbler_bits.shape}"
+        )
+    if evaluator_bits.shape != (n, len(net.evaluator_inputs)):
+        raise CircuitError(
+            f"evaluator bits must be (n, {len(net.evaluator_inputs)}), "
+            f"got {evaluator_bits.shape}"
+        )
+    if net.state_inputs:
+        if state_bits is None:
+            raise CircuitError("netlist has state inputs; supply state_bits")
+        state_bits = np.atleast_2d(np.asarray(state_bits, dtype=np.uint8))
+        if state_bits.shape != (n, len(net.state_inputs)):
+            raise CircuitError(
+                f"state bits must be (n, {len(net.state_inputs)})"
+            )
+
+    planes = np.zeros((net.n_wires, n), dtype=np.uint8)
+    for i, w in enumerate(net.garbler_inputs):
+        planes[w] = garbler_bits[:, i]
+    for i, w in enumerate(net.evaluator_inputs):
+        planes[w] = evaluator_bits[:, i]
+    if net.state_inputs:
+        for i, w in enumerate(net.state_inputs):
+            planes[w] = state_bits[:, i]
+    for w, bit in net.constants.items():
+        planes[w] = bit
+
+    for gate in net.gates:
+        gtype = gate.gtype
+        if gtype is GateType.BUF:
+            planes[gate.output] = planes[gate.inputs[0]]
+        elif gtype is GateType.NOT:
+            planes[gate.output] = planes[gate.inputs[0]] ^ 1
+        elif gtype is GateType.XOR:
+            planes[gate.output] = planes[gate.inputs[0]] ^ planes[gate.inputs[1]]
+        elif gtype is GateType.XNOR:
+            planes[gate.output] = planes[gate.inputs[0]] ^ planes[gate.inputs[1]] ^ 1
+        else:
+            alpha, beta, gamma = gtype.and_form
+            a = planes[gate.inputs[0]] ^ alpha
+            b = planes[gate.inputs[1]] ^ beta
+            planes[gate.output] = (a & b) ^ gamma
+
+    return planes[net.outputs].T.copy()
+
+
+def exhaustive_truth_table(net: Netlist) -> np.ndarray:
+    """All 2^k output rows of a small (state-free) netlist."""
+    if net.state_inputs:
+        raise CircuitError("exhaustive table is defined for state-free netlists")
+    n_g, n_e = len(net.garbler_inputs), len(net.evaluator_inputs)
+    total = n_g + n_e
+    if total > 20:
+        raise CircuitError(f"2^{total} vectors is too many; use simulate_batch")
+    count = 1 << total
+    codes = np.arange(count, dtype=np.uint32)
+    bits = ((codes[:, None] >> np.arange(total, dtype=np.uint32)) & 1).astype(np.uint8)
+    return simulate_batch(net, bits[:, :n_g], bits[:, n_g:])

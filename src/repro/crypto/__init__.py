@@ -1,0 +1,18 @@
+"""Cryptographic substrate: AES-128, garbling hash, labels, RNG, OT."""
+
+from repro.crypto.aes import AES128
+from repro.crypto.labels import LabelFactory, LabelPair, random_offset
+from repro.crypto.prf import GarblingHash, gf_double, make_tweak
+from repro.crypto.rng import RingOscillatorRNG, TRNGSeededDRBG
+
+__all__ = [
+    "AES128",
+    "GarblingHash",
+    "LabelFactory",
+    "LabelPair",
+    "RingOscillatorRNG",
+    "TRNGSeededDRBG",
+    "gf_double",
+    "make_tweak",
+    "random_offset",
+]

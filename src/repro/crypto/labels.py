@@ -1,0 +1,103 @@
+"""Wire-label algebra for free-XOR garbling [Kolesnikov & Schneider '08].
+
+Labels are 128-bit integers (``k = 128`` as in the paper).  The garbler
+draws one global offset ``R`` with least-significant bit 1 and represents
+every wire ``w`` by the pair ``(X_w^0, X_w^1 = X_w^0 xor R)``.  The LSB of
+a label is its *permute* (point-and-permute colour) bit; forcing
+``lsb(R) = 1`` makes the two labels of a wire always differ in colour.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+K_BITS = 128
+MASK128 = (1 << 128) - 1
+
+
+def random_label(rng=None) -> int:
+    """A fresh uniformly random 128-bit label."""
+    if rng is None:
+        return secrets.randbits(K_BITS)
+    return rng.getrandbits(K_BITS)
+
+
+def random_offset(rng=None) -> int:
+    """A fresh global free-XOR offset R with lsb(R) = 1.
+
+    The paper phrases this as R being (k-1) random bits with a 1 appended
+    (``X^1 = X^0 xor (R || 1)``); the net effect is a 128-bit value whose
+    LSB is 1.
+    """
+    return random_label(rng) | 1
+
+
+def color(label: int) -> int:
+    """The point-and-permute colour bit of a label."""
+    return label & 1
+
+
+@dataclass(frozen=True)
+class LabelPair:
+    """The two labels of one wire under a common global offset R."""
+
+    zero: int
+    offset: int  # the global R; one = zero ^ offset
+
+    def __post_init__(self) -> None:
+        if not self.offset & 1:
+            raise CryptoError("free-XOR offset must have lsb = 1")
+
+    @property
+    def one(self) -> int:
+        return self.zero ^ self.offset
+
+    def select(self, bit: int) -> int:
+        """The label encoding plaintext value ``bit``."""
+        return self.one if bit else self.zero
+
+    def decode(self, label: int) -> int:
+        """Map a label back to its plaintext bit (garbler-side decoding)."""
+        if label == self.zero:
+            return 0
+        if label == self.one:
+            return 1
+        raise CryptoError("label does not belong to this wire")
+
+    @property
+    def permute_bit(self) -> int:
+        """Colour of the 0-label; the colour of the 1-label is its complement."""
+        return color(self.zero)
+
+
+class LabelFactory:
+    """Creates label pairs sharing one global offset R.
+
+    A :class:`LabelFactory` is the software model of the paper's *label
+    generator* block: a bank of RNGs that produces ``k`` fresh random bits
+    per label.  ``source`` may be anything exposing ``getrandbits``; the
+    accelerator model plugs in the ring-oscillator-seeded DRBG here.
+    """
+
+    def __init__(self, offset: int | None = None, source=None):
+        self._source = source
+        self.offset = offset if offset is not None else random_offset(source)
+        if not self.offset & 1:
+            raise CryptoError("free-XOR offset must have lsb = 1")
+        self.labels_issued = 0
+
+    def fresh_pair(self) -> LabelPair:
+        self.labels_issued += 1
+        return LabelPair(random_label(self._source), self.offset)
+
+    def pair_from_zero(self, zero_label: int) -> LabelPair:
+        """Wrap an externally computed 0-label (e.g. a gate output)."""
+        return LabelPair(zero_label & MASK128, self.offset)
+
+    @property
+    def random_bits_consumed(self) -> int:
+        """Total raw entropy consumed, in bits (for the RNG-bank sizing)."""
+        return self.labels_issued * K_BITS

@@ -1,0 +1,248 @@
+"""A NIST SP 800-22-style statistical battery.
+
+The paper states the entropy of the implemented RO-RNG was "thoroughly
+evaluated by NIST battery of randomness tests".  This module implements
+eight of the SP 800-22 tests, enough to exercise the simulated TRNG the
+same way: each test returns a p-value; a sequence passes a test when
+``p >= alpha`` (NIST uses alpha = 0.01).
+
+All tests take a numpy uint8 array of bits (values 0/1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+
+from repro.errors import ConfigurationError
+
+ALPHA = 0.01
+
+
+def _check_bits(bits: np.ndarray, minimum: int) -> np.ndarray:
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ConfigurationError("bit sequence must be one-dimensional")
+    if bits.size < minimum:
+        raise ConfigurationError(f"test needs at least {minimum} bits, got {bits.size}")
+    return bits
+
+
+def monobit(bits: np.ndarray) -> float:
+    """Frequency (monobit) test."""
+    bits = _check_bits(bits, 100)
+    s = np.sum(2 * bits.astype(np.int64) - 1)
+    return float(erfc(abs(s) / math.sqrt(2 * bits.size)))
+
+
+def block_frequency(bits: np.ndarray, block_size: int = 128) -> float:
+    """Frequency test within blocks."""
+    bits = _check_bits(bits, block_size)
+    n_blocks = bits.size // block_size
+    blocks = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+    proportions = blocks.mean(axis=1)
+    chi2 = 4.0 * block_size * np.sum((proportions - 0.5) ** 2)
+    return float(gammaincc(n_blocks / 2.0, chi2 / 2.0))
+
+
+def runs(bits: np.ndarray) -> float:
+    """Runs test (oscillation rate between 0s and 1s)."""
+    bits = _check_bits(bits, 100)
+    pi = bits.mean()
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(bits.size):
+        return 0.0  # prerequisite monobit failure
+    v_obs = 1 + int(np.sum(bits[1:] != bits[:-1]))
+    num = abs(v_obs - 2.0 * bits.size * pi * (1 - pi))
+    den = 2.0 * math.sqrt(2.0 * bits.size) * pi * (1 - pi)
+    return float(erfc(num / den))
+
+
+def longest_run_of_ones(bits: np.ndarray) -> float:
+    """Longest-run-of-ones-in-a-block test (M = 128 variant)."""
+    bits = _check_bits(bits, 6272)
+    block = 128
+    categories = [4, 5, 6, 7, 8, 9]
+    pis = [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124]
+    n_blocks = bits.size // block
+    counts = np.zeros(len(categories), dtype=np.int64)
+    for i in range(n_blocks):
+        chunk = bits[i * block : (i + 1) * block]
+        longest = current = 0
+        for b in chunk:
+            current = current + 1 if b else 0
+            longest = max(longest, current)
+        idx = min(max(longest, categories[0]), categories[-1]) - categories[0]
+        counts[idx] += 1
+    expected = n_blocks * np.array(pis)
+    chi2 = float(np.sum((counts - expected) ** 2 / expected))
+    return float(gammaincc(len(categories) / 2.0 - 0.5, chi2 / 2.0))
+
+
+def cumulative_sums(bits: np.ndarray) -> float:
+    """Cumulative sums (forward) test."""
+    bits = _check_bits(bits, 100)
+    x = 2 * bits.astype(np.int64) - 1
+    z = int(np.max(np.abs(np.cumsum(x))))
+    n = bits.size
+    total = 0.0
+    sqrt_n = math.sqrt(n)
+    for k in range((-n // z + 1) // 4, (n // z - 1) // 4 + 1):
+        total += _phi((4 * k + 1) * z / sqrt_n) - _phi((4 * k - 1) * z / sqrt_n)
+    for k in range((-n // z - 3) // 4, (n // z - 1) // 4 + 1):
+        total -= _phi((4 * k + 3) * z / sqrt_n) - _phi((4 * k + 1) * z / sqrt_n)
+    return float(max(0.0, min(1.0, 1.0 - total)))
+
+
+def _phi(x: float) -> float:
+    return 0.5 * math.erfc(-x / math.sqrt(2.0))
+
+
+def approximate_entropy(bits: np.ndarray, m: int = 2) -> float:
+    """Approximate entropy test."""
+    bits = _check_bits(bits, 100)
+    n = bits.size
+
+    def phi(mm: int) -> float:
+        if mm == 0:
+            return 0.0
+        padded = np.concatenate([bits, bits[: mm - 1]])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, mm)[:n]
+        weights = 1 << np.arange(mm)[::-1]
+        codes = windows @ weights
+        counts = np.bincount(codes, minlength=1 << mm)
+        probs = counts[counts > 0] / n
+        return float(np.sum(probs * np.log(probs)))
+
+    ap_en = phi(m) - phi(m + 1)
+    chi2 = 2.0 * n * (math.log(2.0) - ap_en)
+    return float(gammaincc(1 << (m - 1), chi2 / 2.0))
+
+
+def serial(bits: np.ndarray, m: int = 3) -> float:
+    """Serial test (first p-value of the pair NIST defines)."""
+    bits = _check_bits(bits, 100)
+    n = bits.size
+
+    def psi_sq(mm: int) -> float:
+        if mm == 0:
+            return 0.0
+        padded = np.concatenate([bits, bits[: mm - 1]])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, mm)[:n]
+        weights = 1 << np.arange(mm)[::-1]
+        codes = windows @ weights
+        counts = np.bincount(codes, minlength=1 << mm)
+        return float((1 << mm) / n * np.sum(counts.astype(np.float64) ** 2) - n)
+
+    d1 = psi_sq(m) - psi_sq(m - 1)
+    return float(gammaincc(1 << (m - 2), d1 / 2.0))
+
+
+def spectral(bits: np.ndarray) -> float:
+    """Discrete Fourier transform (spectral) test."""
+    bits = _check_bits(bits, 1000)
+    n = bits.size
+    x = 2 * bits.astype(np.float64) - 1
+    magnitudes = np.abs(np.fft.rfft(x))[: n // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * n)
+    n0 = 0.95 * n / 2.0
+    n1 = float(np.sum(magnitudes < threshold))
+    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    return float(erfc(abs(d) / math.sqrt(2.0)))
+
+
+@dataclass
+class BatteryResult:
+    """Outcome of the full battery on one bit sequence."""
+
+    p_values: dict[str, float]
+    alpha: float = ALPHA
+
+    @property
+    def passed(self) -> bool:
+        return all(p >= self.alpha for p in self.p_values.values())
+
+    @property
+    def failures(self) -> list[str]:
+        return [name for name, p in self.p_values.items() if p < self.alpha]
+
+    def __str__(self) -> str:
+        rows = [
+            f"  {name:<22s} p={p:0.4f}  {'PASS' if p >= self.alpha else 'FAIL'}"
+            for name, p in self.p_values.items()
+        ]
+        verdict = "PASS" if self.passed else "FAIL"
+        return "NIST-style battery: " + verdict + "\n" + "\n".join(rows)
+
+
+ALL_TESTS = {
+    "monobit": monobit,
+    "block_frequency": block_frequency,
+    "runs": runs,
+    "longest_run_of_ones": longest_run_of_ones,
+    "cumulative_sums": cumulative_sums,
+    "approximate_entropy": approximate_entropy,
+    "serial": serial,
+    "spectral": spectral,
+}
+
+
+def run_battery(bits: np.ndarray, alpha: float = ALPHA) -> BatteryResult:
+    """Run every test in the battery and collect the p-values."""
+    return BatteryResult({name: fn(bits) for name, fn in ALL_TESTS.items()}, alpha)
+
+
+def binary_matrix_rank(bits: np.ndarray, m: int = 32) -> float:
+    """Binary matrix rank test (NIST SP 800-22 test 5).
+
+    Partitions the sequence into m x m GF(2) matrices and compares the
+    rank distribution against the theoretical probabilities for full
+    rank, full-1 and lower.
+    """
+    bits = _check_bits(bits, m * m * 10)
+    n_matrices = bits.size // (m * m)
+    counts = {"full": 0, "minus1": 0, "lower": 0}
+    for i in range(n_matrices):
+        block = bits[i * m * m : (i + 1) * m * m].reshape(m, m).copy()
+        rank = _gf2_rank(block)
+        if rank == m:
+            counts["full"] += 1
+        elif rank == m - 1:
+            counts["minus1"] += 1
+        else:
+            counts["lower"] += 1
+    # asymptotic probabilities for large m (NIST uses these for m=32)
+    p_full, p_minus1 = 0.2888, 0.5776
+    p_lower = 1.0 - p_full - p_minus1
+    expected = np.array([p_full, p_minus1, p_lower]) * n_matrices
+    observed = np.array([counts["full"], counts["minus1"], counts["lower"]])
+    chi2 = float(np.sum((observed - expected) ** 2 / expected))
+    return float(np.exp(-chi2 / 2.0))
+
+
+def _gf2_rank(matrix: np.ndarray) -> int:
+    """Rank over GF(2) by Gaussian elimination on uint8 rows."""
+    m = matrix.copy()
+    rows, cols = m.shape
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(rank, rows):
+            if m[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        m[[rank, pivot]] = m[[pivot, rank]]
+        for row in range(rows):
+            if row != rank and m[row, col]:
+                m[row] ^= m[rank]
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+ALL_TESTS["binary_matrix_rank"] = binary_matrix_rank

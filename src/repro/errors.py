@@ -1,0 +1,29 @@
+"""Exception hierarchy for the MAXelerator reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CryptoError(ReproError):
+    """Invalid cryptographic parameter or state."""
+
+
+class CircuitError(ReproError):
+    """Malformed netlist or illegal circuit construction."""
+
+
+class GCProtocolError(ReproError):
+    """Garbled-circuit protocol violation (wrong labels, bad tables...)."""
+
+
+class ScheduleError(ReproError):
+    """Illegal accelerator schedule (dependency or port conflict)."""
+
+
+class SimulationError(ReproError):
+    """Cycle-accurate simulation reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """Unsupported parameter combination (bit-width, core count...)."""

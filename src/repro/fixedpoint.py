@@ -1,0 +1,89 @@
+"""Signed fixed-point codec (the paper's "32 bit fixed point system").
+
+All ML case studies quantise their real-valued data into two's
+complement fixed point before entering the garbled MAC.  A product of
+two ``Q(total, frac)`` values carries ``2*frac`` fractional bits; the
+MAC accumulator keeps that scale, and :meth:`FixedPointFormat.decode_product`
+converts accumulated dot products back to floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits import signed_range
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Two's complement Q-format: ``total_bits`` wide, ``frac_bits`` fractional."""
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ConfigurationError("need at least 2 bits")
+        if not (0 <= self.frac_bits < self.total_bits):
+            raise ConfigurationError(
+                f"frac_bits must be in [0, {self.total_bits}), got {self.frac_bits}"
+            )
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return signed_range(self.total_bits)[0] / self.scale
+
+    @property
+    def max_value(self) -> float:
+        return signed_range(self.total_bits)[1] / self.scale
+
+    # ------------------------------------------------------------------
+    def encode(self, value: float) -> int:
+        """Quantise to the nearest representable value (saturating)."""
+        lo, hi = signed_range(self.total_bits)
+        raw = int(round(float(value) * self.scale))
+        return max(lo, min(hi, raw))
+
+    def decode(self, raw: int) -> float:
+        return raw / self.scale
+
+    def decode_product(self, raw: int) -> float:
+        """Decode a value at product scale (2*frac fractional bits)."""
+        return raw / float(self.scale) ** 2
+
+    # ------------------------------------------------------------------
+    def encode_array(self, values) -> np.ndarray:
+        lo, hi = signed_range(self.total_bits)
+        raw = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(raw, lo, hi).astype(np.int64)
+
+    def decode_array(self, raw) -> np.ndarray:
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+    def decode_product_array(self, raw) -> np.ndarray:
+        return np.asarray(raw, dtype=np.float64) / float(self.scale) ** 2
+
+    def quantization_error_bound(self) -> float:
+        """Worst-case rounding error of one encoded value."""
+        return 0.5 * self.resolution
+
+    def __str__(self) -> str:
+        return f"Q{self.total_bits - self.frac_bits}.{self.frac_bits}"
+
+
+#: The paper's case-study setting (Section 6).
+Q32_16 = FixedPointFormat(32, 16)
+#: Smaller formats for fast simulated runs.
+Q16_8 = FixedPointFormat(16, 8)
+Q8_4 = FixedPointFormat(8, 4)

@@ -1,0 +1,42 @@
+"""Garbled-circuit protocol: garbler, evaluator, channel, sequential GC."""
+
+from repro.gc.channel import Endpoint, TrafficStats, local_channel, run_two_party
+from repro.gc.classic import ClassicEvaluator, ClassicGarbler
+from repro.gc.evaluate import EvaluationResult, Evaluator
+from repro.gc.garble import GarbledCircuit, Garbler
+from repro.gc.protocol import (
+    EvaluatorParty,
+    GarblerParty,
+    ProtocolReport,
+    run_protocol,
+)
+from repro.gc.sequential_gc import (
+    SequentialEvaluator,
+    SequentialGarbler,
+    SequentialReport,
+    run_sequential,
+)
+from repro.gc.tables import TABLE_BYTES, GarbledTable
+
+__all__ = [
+    "ClassicEvaluator",
+    "ClassicGarbler",
+    "Endpoint",
+    "EvaluationResult",
+    "Evaluator",
+    "EvaluatorParty",
+    "GarbledCircuit",
+    "GarbledTable",
+    "Garbler",
+    "GarblerParty",
+    "ProtocolReport",
+    "SequentialEvaluator",
+    "SequentialGarbler",
+    "SequentialReport",
+    "TABLE_BYTES",
+    "TrafficStats",
+    "local_channel",
+    "run_protocol",
+    "run_sequential",
+    "run_two_party",
+]

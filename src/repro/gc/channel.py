@@ -1,0 +1,143 @@
+"""In-memory two-party channel with byte-exact traffic accounting.
+
+The paper's system (Figure 1) moves garbled tables from the FPGA over
+PCIe to the host, and from the host over the network to the client.  In
+this reproduction both parties live in one process (each side typically
+on its own thread), so the "network" is a pair of thread-safe FIFO
+queues; what we preserve is *what* is sent and *how many bytes* it
+costs, which is all the throughput analysis needs.
+
+``recv`` blocks until the peer's message arrives, so protocol code can
+be written in the natural sequential style on each side.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import GCProtocolError
+
+#: Safety net so a protocol bug surfaces as an error, not a hang.
+RECV_TIMEOUT_S = 60.0
+
+
+@dataclass
+class TrafficStats:
+    """Byte/message counters for one direction of a channel."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+    by_tag: dict[str, int] = field(default_factory=dict)
+
+    def record(self, tag: str, size: int) -> None:
+        self.messages += 1
+        self.payload_bytes += size
+        self.by_tag[tag] = self.by_tag.get(tag, 0) + size
+
+
+class _Queue:
+    """A blocking FIFO of (tag, payload) messages."""
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+
+    def put(self, item: tuple[str, bytes]) -> None:
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify()
+
+    def get(self, timeout: float) -> tuple[str, bytes]:
+        with self._cond:
+            if not self._cond.wait_for(lambda: bool(self._items), timeout=timeout):
+                raise GCProtocolError("channel receive timed out (protocol deadlock?)")
+            return self._items.popleft()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+
+class Endpoint:
+    """One side of a duplex channel."""
+
+    def __init__(self, name: str, outbox: _Queue, inbox: _Queue, stats: TrafficStats):
+        self.name = name
+        self._outbox = outbox
+        self._inbox = inbox
+        self.sent = stats
+
+    def send(self, tag: str, payload: bytes) -> None:
+        """Send a tagged binary message to the peer."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise GCProtocolError(f"channel payloads must be bytes, got {type(payload)!r}")
+        self.sent.record(tag, len(payload))
+        self._outbox.put((tag, bytes(payload)))
+
+    def recv(self, expected_tag: str, timeout: float = RECV_TIMEOUT_S) -> bytes:
+        """Receive the next message; the tag must match the protocol step."""
+        tag, payload = self._inbox.get(timeout)
+        if tag != expected_tag:
+            raise GCProtocolError(
+                f"{self.name}: expected message '{expected_tag}', got '{tag}'"
+            )
+        return payload
+
+    def send_u128_list(self, tag: str, values: list[int]) -> None:
+        self.send(tag, b"".join(v.to_bytes(16, "big") for v in values))
+
+    def recv_u128_list(self, tag: str) -> list[int]:
+        payload = self.recv(tag)
+        if len(payload) % 16:
+            raise GCProtocolError(f"'{tag}' payload is not a list of 16-byte labels")
+        return [
+            int.from_bytes(payload[i : i + 16], "big") for i in range(0, len(payload), 16)
+        ]
+
+    @property
+    def pending(self) -> int:
+        return len(self._inbox)
+
+
+def local_channel(left: str = "garbler", right: str = "evaluator") -> tuple[Endpoint, Endpoint]:
+    """Create a connected pair of endpoints."""
+    a_to_b = _Queue()
+    b_to_a = _Queue()
+    left_end = Endpoint(left, a_to_b, b_to_a, TrafficStats())
+    right_end = Endpoint(right, b_to_a, a_to_b, TrafficStats())
+    return left_end, right_end
+
+
+def run_two_party(left_fn, right_fn):
+    """Run the two protocol sides concurrently and return their results.
+
+    ``left_fn``/``right_fn`` take no arguments (bind their endpoint with a
+    closure).  Exceptions on either side are re-raised in the caller.
+    """
+    results: dict[str, object] = {}
+    errors: list[BaseException] = []
+
+    def wrap(name, fn):
+        def runner():
+            try:
+                results[name] = fn()
+            except BaseException as exc:
+                errors.append(exc)
+
+        return runner
+
+    thread = threading.Thread(target=wrap("right", right_fn), daemon=True)
+    thread.start()
+    try:
+        results["left"] = left_fn()
+    except BaseException:
+        thread.join(timeout=RECV_TIMEOUT_S)
+        raise
+    thread.join(timeout=RECV_TIMEOUT_S)
+    if thread.is_alive():
+        raise GCProtocolError("right-hand party did not terminate")
+    if errors:
+        raise errors[0]
+    return results["left"], results["right"]

@@ -1,0 +1,207 @@
+"""Classic garbling schemes: 4-row point-and-permute and GRR3.
+
+The paper's Section 2.2 lists the optimisation lineage — point-and-
+permute, row reduction (GRR3) [21], half gates [22], free XOR [20].
+The main garbler (:mod:`repro.gc.garble`) implements the final stack;
+this module implements the two *historical* schemes so the A2 ablation
+can measure the progression on real circuits instead of quoting it:
+
+* ``scheme="p&p"`` — every gate (including XOR) garbled as a four-row
+  encrypted truth table, rows permuted by the colour bits;
+* ``scheme="grr3"`` — free XOR + row reduction: non-XOR gates cost
+  three ciphertexts (the first row is forced to all-zero), XORs are
+  free.
+
+Both share the fixed-key hash and the label algebra, and both come
+with a matching evaluator; correctness is property-tested against the
+plaintext semantics on random circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.crypto.labels import LabelFactory, LabelPair, color
+from repro.crypto.prf import GarblingHash
+from repro.errors import GCProtocolError
+
+SCHEMES = ("p&p", "grr3")
+CIPHERTEXT_BYTES = 16
+
+
+def _row_tweak(gate_id: int, row: int) -> int:
+    return 4 * gate_id + row
+
+
+@dataclass
+class ClassicGarbledGate:
+    """One garbled gate: 4 rows (p&p) or 3 rows (grr3)."""
+
+    gate_index: int
+    rows: list[int]
+
+    @property
+    def size_bytes(self) -> int:
+        return CIPHERTEXT_BYTES * len(self.rows)
+
+
+@dataclass
+class ClassicGarbledCircuit:
+    netlist: Netlist
+    scheme: str
+    wire_pairs: dict[int, LabelPair]
+    gates: list[ClassicGarbledGate]
+    offset: int
+
+    @property
+    def table_bytes(self) -> int:
+        return sum(g.size_bytes for g in self.gates)
+
+    @property
+    def output_permute_bits(self) -> list[int]:
+        return [self.wire_pairs[w].permute_bit for w in self.netlist.outputs]
+
+    def select_labels(self, assignments: dict[int, int]) -> dict[int, int]:
+        return {w: self.wire_pairs[w].select(b) for w, b in assignments.items()}
+
+
+class ClassicGarbler:
+    """Garbles with a historical scheme (see module docstring)."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        scheme: str = "grr3",
+        factory: LabelFactory | None = None,
+        hash_fn: GarblingHash | None = None,
+    ):
+        if scheme not in SCHEMES:
+            raise GCProtocolError(f"scheme must be one of {SCHEMES}")
+        netlist.validate()
+        self.netlist = netlist
+        self.scheme = scheme
+        self.factory = factory or LabelFactory()
+        self.hash = hash_fn or GarblingHash()
+
+    # ------------------------------------------------------------------
+    def garble(self) -> ClassicGarbledCircuit:
+        net = self.netlist
+        offset = self.factory.offset
+        pairs: dict[int, LabelPair] = {}
+        for w in list(net.input_wires) + list(net.constants):
+            pairs[w] = self.factory.fresh_pair()
+
+        garbled: list[ClassicGarbledGate] = []
+        for gate in net.gates:
+            gtype = gate.gtype
+            if gtype is GateType.BUF:
+                pairs[gate.output] = pairs[gate.inputs[0]]
+                continue
+            if gtype is GateType.NOT:
+                src = pairs[gate.inputs[0]]
+                pairs[gate.output] = LabelPair(src.zero ^ offset, offset)
+                continue
+            if self.scheme == "grr3" and gtype in (GateType.XOR, GateType.XNOR):
+                a, b = (pairs[w] for w in gate.inputs)
+                zero = a.zero ^ b.zero
+                if gtype is GateType.XNOR:
+                    zero ^= offset
+                pairs[gate.output] = LabelPair(zero, offset)
+                continue
+            garbled.append(self._garble_table(gate, pairs))
+        return ClassicGarbledCircuit(
+            netlist=net,
+            scheme=self.scheme,
+            wire_pairs=pairs,
+            gates=garbled,
+            offset=offset,
+        )
+
+    # ------------------------------------------------------------------
+    def _garble_table(self, gate, pairs) -> ClassicGarbledGate:
+        """Four permuted rows; GRR3 pins row 0 to zero and drops it."""
+        offset = self.factory.offset
+        a, b = (pairs[w] for w in gate.inputs)
+        p_a, p_b = a.permute_bit, b.permute_bit
+
+        # row index = (colour of a's label, colour of b's label)
+        def inputs_for_row(row: int) -> tuple[int, int, int]:
+            s_a, s_b = row >> 1, row & 1
+            va, vb = s_a ^ p_a, s_b ^ p_b  # plaintext values at this row
+            return a.select(va), b.select(vb), gate.gtype.eval(va, vb)
+
+        pads = [
+            self.hash(la, _row_tweak(gate.index, row)) ^ self.hash(lb, _row_tweak(gate.index, row))
+            for row, (la, lb, _v) in (
+                (r, inputs_for_row(r)) for r in range(4)
+            )
+        ]
+        values = [inputs_for_row(r)[2] for r in range(4)]
+
+        if self.scheme == "grr3":
+            # output zero-label chosen so row 0 encrypts to all-zero
+            out_for_row0 = pads[0]
+            if values[0] == 0:
+                out_zero = out_for_row0
+            else:
+                out_zero = out_for_row0 ^ offset
+            pairs[gate.output] = LabelPair(out_zero, offset)
+            out = pairs[gate.output]
+            rows = [
+                pads[r] ^ out.select(values[r]) for r in range(1, 4)
+            ]
+        else:
+            pairs[gate.output] = self.factory.fresh_pair()
+            out = pairs[gate.output]
+            rows = [pads[r] ^ out.select(values[r]) for r in range(4)]
+        return ClassicGarbledGate(gate.index, rows)
+
+
+class ClassicEvaluator:
+    """Evaluates tables produced by :class:`ClassicGarbler`."""
+
+    def __init__(self, netlist: Netlist, scheme: str = "grr3", hash_fn=None):
+        if scheme not in SCHEMES:
+            raise GCProtocolError(f"scheme must be one of {SCHEMES}")
+        netlist.validate()
+        self.netlist = netlist
+        self.scheme = scheme
+        self.hash = hash_fn or GarblingHash()
+
+    def evaluate(
+        self,
+        garbled: list[ClassicGarbledGate],
+        input_labels: dict[int, int],
+        output_permute_bits: list[int] | None = None,
+    ) -> list[int]:
+        net = self.netlist
+        labels = dict(input_labels)
+        table_iter = iter(garbled)
+        for gate in net.gates:
+            gtype = gate.gtype
+            if gtype is GateType.BUF or gtype is GateType.NOT:
+                labels[gate.output] = labels[gate.inputs[0]]
+                continue
+            if self.scheme == "grr3" and gtype in (GateType.XOR, GateType.XNOR):
+                labels[gate.output] = labels[gate.inputs[0]] ^ labels[gate.inputs[1]]
+                continue
+            entry = next(table_iter, None)
+            if entry is None or entry.gate_index != gate.index:
+                raise GCProtocolError("classic table stream out of order")
+            la, lb = labels[gate.inputs[0]], labels[gate.inputs[1]]
+            row = (color(la) << 1) | color(lb)
+            pad = self.hash(la, _row_tweak(gate.index, row)) ^ self.hash(
+                lb, _row_tweak(gate.index, row)
+            )
+            if self.scheme == "grr3":
+                cipher = 0 if row == 0 else entry.rows[row - 1]
+            else:
+                cipher = entry.rows[row]
+            labels[gate.output] = pad ^ cipher
+
+        out_labels = [labels[w] for w in net.outputs]
+        if output_permute_bits is None:
+            return out_labels
+        return [color(l) ^ p for l, p in zip(out_labels, output_permute_bits)]

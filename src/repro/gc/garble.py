@@ -1,0 +1,263 @@
+"""Half-gates garbler [Zahur, Rosulek & Evans '15].
+
+Implements the full optimisation stack the paper lists in Section 2.2:
+
+* free XOR (XOR/XNOR/NOT cost nothing) [20];
+* row reduction + half gates: two ciphertexts per AND gate [21, 22];
+* fixed-key AES garbling via :class:`repro.crypto.prf.GarblingHash` [23].
+
+Every AND-*class* gate (AND/NAND/OR/NOR/...) is reduced to the plain AND
+core by absorbing input/output inversions into the free-XOR offset, which
+is exactly why MAXelerator's GC engine only ever garbles AND tables.
+
+The garbler is restartable for sequential GC: pass ``preset_pairs`` to
+pin the label pairs of state-input wires to the previous round's output
+pairs, and ``tweak_offset`` to keep gate identifiers unique across
+rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.crypto.labels import LabelFactory, LabelPair, color
+from repro.crypto.prf import GarblingHash, make_tweak
+from repro.errors import GCProtocolError
+from repro.gc.tables import GarbledTable
+
+
+@dataclass
+class GarbledCircuit:
+    """Garbler-side result: all wire pairs plus the transferable material."""
+
+    netlist: Netlist
+    wire_pairs: dict[int, LabelPair]
+    tables: list[GarbledTable]
+    offset: int
+    hash_calls: int
+    tweak_offset: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def output_pairs(self) -> list[LabelPair]:
+        return [self.wire_pairs[w] for w in self.netlist.outputs]
+
+    @property
+    def output_permute_bits(self) -> list[int]:
+        """The decode ("output") map sent to the evaluator."""
+        return [p.permute_bit for p in self.output_pairs]
+
+    def input_labels_for(self, wires: list[int], bits: list[int]) -> list[int]:
+        """Select the active labels for known input bits (garbler side)."""
+        if len(wires) != len(bits):
+            raise GCProtocolError("wire/bit count mismatch")
+        return [self.wire_pairs[w].select(b) for w, b in zip(wires, bits)]
+
+    def evaluator_input_pairs(self) -> list[tuple[int, int]]:
+        """(label0, label1) pairs for OT, in evaluator-input order."""
+        return [
+            (self.wire_pairs[w].zero, self.wire_pairs[w].one)
+            for w in self.netlist.evaluator_inputs
+        ]
+
+    def decode(self, output_labels: list[int]) -> list[int]:
+        """Garbler-side decoding of evaluator-returned output labels."""
+        return [
+            pair.decode(label)
+            for pair, label in zip(self.output_pairs, output_labels)
+        ]
+
+
+class Garbler:
+    """Garbles one netlist (one *round* in the sequential setting)."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        factory: LabelFactory | None = None,
+        hash_fn: GarblingHash | None = None,
+    ):
+        netlist.validate()
+        self.netlist = netlist
+        self.factory = factory or LabelFactory()
+        self.hash = hash_fn or GarblingHash()
+
+    def garble(
+        self,
+        preset_pairs: dict[int, LabelPair] | None = None,
+        tweak_offset: int = 0,
+        batch: bool = False,
+    ) -> GarbledCircuit:
+        """Produce the garbled tables and all wire label pairs.
+
+        ``preset_pairs`` maps wire ids (typically state inputs) to pairs
+        carried over from a previous round; all pairs must share this
+        garbler's global offset.
+
+        With ``batch=True``, independent AND gates are garbled together
+        so their AES calls go through the vectorised fixed-key cipher
+        (JustGarble-style batching); the tables are bit-identical to the
+        gate-at-a-time path.
+        """
+        net = self.netlist
+        offset = self.factory.offset
+        pairs: dict[int, LabelPair] = {}
+        preset_pairs = preset_pairs or {}
+        for wire, pair in preset_pairs.items():
+            if pair.offset != offset:
+                raise GCProtocolError("preset label pair has a foreign free-XOR offset")
+            pairs[wire] = pair
+
+        for wire in list(net.input_wires) + list(net.constants):
+            if wire not in pairs:
+                pairs[wire] = self.factory.fresh_pair()
+
+        calls_before = self.hash.calls
+        if batch:
+            tables = self._garble_batched(pairs, tweak_offset)
+            return GarbledCircuit(
+                netlist=net,
+                wire_pairs=pairs,
+                tables=tables,
+                offset=offset,
+                hash_calls=self.hash.calls - calls_before,
+                tweak_offset=tweak_offset,
+            )
+
+        tables: list[GarbledTable] = []
+        for gate in net.gates:
+            gtype = gate.gtype
+            if gtype is GateType.BUF:
+                pairs[gate.output] = pairs[gate.inputs[0]]
+            elif gtype is GateType.NOT:
+                src = pairs[gate.inputs[0]]
+                pairs[gate.output] = LabelPair(src.zero ^ offset, offset)
+            elif gtype is GateType.XOR or gtype is GateType.XNOR:
+                a, b = (pairs[w] for w in gate.inputs)
+                zero = a.zero ^ b.zero
+                if gtype is GateType.XNOR:
+                    zero ^= offset
+                pairs[gate.output] = LabelPair(zero, offset)
+            else:
+                alpha, beta, gamma = gtype.and_form
+                a, b = (pairs[w] for w in gate.inputs)
+                a0 = a.zero ^ (offset if alpha else 0)
+                b0 = b.zero ^ (offset if beta else 0)
+                out0, table = self._garble_and(
+                    a0, b0, gate.index + tweak_offset
+                )
+                if gamma:
+                    out0 ^= offset
+                pairs[gate.output] = LabelPair(out0, offset)
+                tables.append(table)
+
+        return GarbledCircuit(
+            netlist=net,
+            wire_pairs=pairs,
+            tables=tables,
+            offset=offset,
+            hash_calls=self.hash.calls - calls_before,
+            tweak_offset=tweak_offset,
+        )
+
+    # ------------------------------------------------------------------
+    def _garble_batched(
+        self, pairs: dict[int, LabelPair], tweak_offset: int
+    ) -> list[GarbledTable]:
+        """AND-level-batched garbling.
+
+        All AND gates at the same AND-depth level are independent given
+        the previous level's outputs, so each level's 4-hashes-per-gate
+        go through one vectorised fixed-key AES call.  Free gates are
+        folded in between levels as soon as their dependencies exist.
+        """
+        net = self.netlist
+        offset = self.factory.offset
+        tables_by_gate: dict[int, GarbledTable] = {}
+
+        # AND-depth level of every wire (inputs/constants at level 0)
+        wire_level: dict[int, int] = {
+            w: 0 for w in net.input_wires + list(net.constants)
+        }
+        levels: dict[int, list] = {}
+        free_by_level: dict[int, list] = {}
+        for gate in net.gates:
+            in_level = max((wire_level[w] for w in gate.inputs), default=0)
+            if gate.is_free:
+                wire_level[gate.output] = in_level
+                free_by_level.setdefault(in_level, []).append(gate)
+            else:
+                wire_level[gate.output] = in_level + 1
+                levels.setdefault(in_level + 1, []).append(gate)
+
+        def run_free(gate) -> None:
+            gtype = gate.gtype
+            if gtype is GateType.BUF:
+                pairs[gate.output] = pairs[gate.inputs[0]]
+            elif gtype is GateType.NOT:
+                pairs[gate.output] = LabelPair(
+                    pairs[gate.inputs[0]].zero ^ offset, offset
+                )
+            else:  # XOR / XNOR
+                zero = pairs[gate.inputs[0]].zero ^ pairs[gate.inputs[1]].zero
+                if gtype is GateType.XNOR:
+                    zero ^= offset
+                pairs[gate.output] = LabelPair(zero, offset)
+
+        max_level = max(levels, default=0)
+        for level in range(0, max_level + 1):
+            for gate in free_by_level.get(level, []):
+                run_free(gate)
+            batch = levels.get(level + 1, [])
+            if not batch:
+                continue
+            labels: list[int] = []
+            tweaks: list[int] = []
+            prepared = []
+            for gate in batch:
+                alpha, beta, gamma = gate.gtype.and_form
+                a0 = pairs[gate.inputs[0]].zero ^ (offset if alpha else 0)
+                b0 = pairs[gate.inputs[1]].zero ^ (offset if beta else 0)
+                gate_id = gate.index + tweak_offset
+                j0, j1 = make_tweak(gate_id, 0), make_tweak(gate_id, 1)
+                labels.extend((a0, a0 ^ offset, b0, b0 ^ offset))
+                tweaks.extend((j0, j0, j1, j1))
+                prepared.append((gate, a0, b0, gamma))
+            hashes = self.hash.hash_many(labels, tweaks)
+            for i, (gate, a0, b0, gamma) in enumerate(prepared):
+                h_a0, h_a1, h_b0, h_b1 = hashes[4 * i : 4 * i + 4]
+                p_a, p_b = color(a0), color(b0)
+                t_g = h_a0 ^ h_a1 ^ (offset if p_b else 0)
+                w_g = h_a0 ^ (t_g if p_a else 0)
+                t_e = h_b0 ^ h_b1 ^ a0
+                w_e = h_b0 ^ ((t_e ^ a0) if p_b else 0)
+                out0 = w_g ^ w_e ^ (offset if gamma else 0)
+                pairs[gate.output] = LabelPair(out0, offset)
+                tables_by_gate[gate.index] = GarbledTable(
+                    gate.index + tweak_offset, t_g, t_e
+                )
+        return [tables_by_gate[g.index] for g in net.gates if not g.is_free]
+
+    # ------------------------------------------------------------------
+    def _garble_and(self, a0: int, b0: int, gate_id: int) -> tuple[int, GarbledTable]:
+        """Half-gates garbling of one AND gate: 4 hash calls, 2 ciphertexts."""
+        r = self.factory.offset
+        h = self.hash
+        p_a, p_b = color(a0), color(b0)
+        a1, b1 = a0 ^ r, b0 ^ r
+        j0 = make_tweak(gate_id, 0)
+        j1 = make_tweak(gate_id, 1)
+
+        # garbler half gate
+        h_a0, h_a1 = h(a0, j0), h(a1, j0)
+        t_g = h_a0 ^ h_a1 ^ (r if p_b else 0)
+        w_g = h_a0 ^ (t_g if p_a else 0)
+
+        # evaluator half gate
+        h_b0, h_b1 = h(b0, j1), h(b1, j1)
+        t_e = h_b0 ^ h_b1 ^ a0
+        w_e = h_b0 ^ ((t_e ^ a0) if p_b else 0)
+
+        return w_g ^ w_e, GarbledTable(gate_id, t_g, t_e)

@@ -1,0 +1,55 @@
+"""Garbled-table encoding.
+
+With the half-gates construction [22] every AND-class gate costs exactly
+two ciphertexts of ``k = 128`` bits: the garbler half ``T_G`` and the
+evaluator half ``T_E`` (row reduction already folded in).  XOR-class
+gates cost nothing (free XOR).  These 32 bytes per AND are what the
+accelerator streams over PCIe, so the byte accounting here feeds the
+bandwidth model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GCProtocolError
+
+TABLE_BYTES = 32  # two k=128-bit ciphertexts per AND gate (half gates)
+
+
+@dataclass(frozen=True)
+class GarbledTable:
+    """The two half-gate ciphertexts of one AND-class gate."""
+
+    gate_index: int
+    t_g: int
+    t_e: int
+
+    def to_bytes(self) -> bytes:
+        return self.t_g.to_bytes(16, "big") + self.t_e.to_bytes(16, "big")
+
+    @staticmethod
+    def from_bytes(gate_index: int, payload: bytes) -> "GarbledTable":
+        if len(payload) != TABLE_BYTES:
+            raise GCProtocolError(f"garbled table must be {TABLE_BYTES} bytes")
+        return GarbledTable(
+            gate_index,
+            int.from_bytes(payload[:16], "big"),
+            int.from_bytes(payload[16:], "big"),
+        )
+
+
+def serialize_tables(tables: list[GarbledTable]) -> bytes:
+    """Pack tables in gate order (indices are implied by the netlist)."""
+    return b"".join(t.to_bytes() for t in tables)
+
+
+def deserialize_tables(payload: bytes, gate_indices: list[int]) -> list[GarbledTable]:
+    if len(payload) != TABLE_BYTES * len(gate_indices):
+        raise GCProtocolError(
+            f"expected {TABLE_BYTES * len(gate_indices)} table bytes, got {len(payload)}"
+        )
+    return [
+        GarbledTable.from_bytes(idx, payload[i * TABLE_BYTES : (i + 1) * TABLE_BYTES])
+        for i, idx in enumerate(gate_indices)
+    ]

@@ -1,0 +1,181 @@
+"""The host CPU runtime of Figure 1: pre-garbling pool + client sessions.
+
+Section 3 describes an operational pattern beyond the raw protocol:
+
+    "MAXelerator keeps generating the garbled tables independently and
+    sends them to the host CPU along with the generated labels ...  The
+    host in the meantime dynamically updates her model if required, and
+    when requested by the client simply performs the garbling with one
+    of the stored garbled circuits."
+
+:class:`CloudServer` implements that pattern: a pool of pre-garbled
+runs (each usable exactly once — fresh labels per garbling is the
+security requirement), model storage, and per-client service that
+consumes one pooled run per request.  The pool refills from the
+accelerator between requests, which is what turns the accelerator's
+throughput into client capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.fsm import AcceleratorRun
+from repro.accel.maxelerator import MAXelerator
+from repro.bits import from_bits, to_bits
+from repro.crypto.ot import DHGroup, TOY_GROUP, BaseOTSender, OTExtensionSender, K_SECURITY
+from repro.errors import ConfigurationError, GCProtocolError
+from repro.fixedpoint import FixedPointFormat, Q16_8
+from repro.gc.channel import local_channel, run_two_party
+from repro.gc.sequential_gc import SequentialEvaluator
+from repro.gc.tables import serialize_tables
+
+
+@dataclass
+class ServerStats:
+    requests_served: int = 0
+    runs_garbled: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    tables_streamed: int = 0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
+
+class CloudServer:
+    """The host of Figure 1: model owner + accelerator + garbling pool."""
+
+    def __init__(
+        self,
+        model_matrix,
+        fmt: FixedPointFormat = Q16_8,
+        pool_size: int = 2,
+        group: DHGroup = TOY_GROUP,
+        seed: int | None = None,
+    ):
+        self.fmt = fmt
+        self.group = group
+        self._seed = seed
+        self.stats = ServerStats()
+        if pool_size < 0:
+            raise ConfigurationError("pool size cannot be negative")
+        self.pool_size = pool_size
+        self._pool: deque[AcceleratorRun] = deque()
+        self.update_model(model_matrix)
+
+    # ------------------------------------------------------------------
+    # model management ("the host dynamically updates her model")
+    # ------------------------------------------------------------------
+    def update_model(self, model_matrix) -> None:
+        matrix = np.asarray(model_matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ConfigurationError("model must be a matrix")
+        self.model = matrix
+        self._encoded = self.fmt.encode_array(matrix)
+        n, m = matrix.shape
+        self.rounds_per_request = m
+        self.accelerator = MAXelerator(
+            self.fmt.total_bits,
+            acc_width=2 * self.fmt.total_bits + max(1, (m - 1).bit_length() + 1),
+            seed=self._seed,
+        )
+        # a model change invalidates nothing cryptographically (tables
+        # are input-independent!) but the pool is sized per round count
+        self._pool.clear()
+        self.refill_pool()
+
+    def refill_pool(self) -> int:
+        """Garble ahead of demand; returns the number of runs added."""
+        added = 0
+        while len(self._pool) < self.pool_size:
+            self._pool.append(self.accelerator.garble(self.rounds_per_request))
+            self.stats.runs_garbled += 1
+            added += 1
+        return added
+
+    @property
+    def pool_level(self) -> int:
+        return len(self._pool)
+
+    def _take_run(self) -> AcceleratorRun:
+        if self._pool:
+            self.stats.pool_hits += 1
+            return self._pool.popleft()
+        self.stats.pool_misses += 1
+        self.stats.runs_garbled += 1
+        return self.accelerator.garble(self.rounds_per_request)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve_row(self, channel, row_index: int) -> None:
+        """Serve one dot product <model[row], x> to a connected client."""
+        if not (0 <= row_index < self.model.shape[0]):
+            raise ConfigurationError(f"model has no row {row_index}")
+        run = self._take_run()
+        net = self.accelerator.circuit.netlist
+        bits_per_round = [
+            to_bits(int(v), self.fmt.total_bits) for v in self._encoded[row_index]
+        ]
+        channel.send("seq.rounds", self.rounds_per_request.to_bytes(4, "big"))
+        channel.send("seq.ot_mode", b"per_round")
+        for r, bits in enumerate(bits_per_round):
+            meta = run.rounds[r]
+            channel.send("seq.tables", serialize_tables(run.tables_for_round(r)))
+            channel.send_u128_list(
+                "seq.garbler_labels",
+                [p.select(b) for p, b in zip(meta.garbler_pairs, bits)],
+            )
+            const_wires = sorted(net.constants)
+            channel.send_u128_list(
+                "seq.const_labels",
+                [meta.const_pairs[w].select(net.constants[w]) for w in const_wires],
+            )
+            if r == 0:
+                init = self.accelerator.circuit.circuit.initial_state
+                channel.send_u128_list(
+                    "seq.state_labels",
+                    [p.select(b) for p, b in zip(meta.state_pairs, init)],
+                )
+            pairs = [(p.zero, p.one) for p in meta.evaluator_pairs]
+            sender = (
+                OTExtensionSender(channel, self.group)
+                if len(pairs) > K_SECURITY
+                else BaseOTSender(channel, self.group)
+            )
+            sender.send(pairs)
+        channel.send("seq.output_map", bytes(run.output_permute_bits))
+        self.stats.requests_served += 1
+        self.stats.tables_streamed += run.total_tables
+
+
+class AnalyticsClient:
+    """A client of the Figure 1 system: OT in, one scalar out."""
+
+    def __init__(self, server: CloudServer):
+        self.server = server
+
+    def query_row(self, row_index: int, x_values) -> float:
+        """Learn <model[row], x> without revealing x."""
+        x = np.asarray(x_values, dtype=np.float64)
+        if x.shape != (self.server.rounds_per_request,):
+            raise GCProtocolError(
+                f"query vector must have {self.server.rounds_per_request} entries"
+            )
+        fmt = self.server.fmt
+        x_bits = [to_bits(int(v), fmt.total_bits) for v in fmt.encode_array(x)]
+        circuit = self.server.accelerator.circuit.circuit
+        g_chan, e_chan = local_channel()
+        evaluator = SequentialEvaluator(circuit, e_chan, self.server.group)
+        _, report = run_two_party(
+            lambda: self.server.serve_row(g_chan, row_index),
+            lambda: evaluator.run(x_bits),
+        )
+        raw = from_bits(report.output_bits, signed=True)
+        return fmt.decode_product(raw)

@@ -1,0 +1,21 @@
+"""Performance models and the Table 2 comparison generator."""
+
+from repro.perf.comparison import BITWIDTHS, PAPER_RATIOS, Table2
+from repro.perf.sweep import SweepPoint, format_sweep, throughput_sweep
+from repro.perf.system import ServingModel, StageRates, ands_per_mac
+from repro.perf.timing import PerfRow, dot_product_time_s, matmul_time_s
+
+__all__ = [
+    "BITWIDTHS",
+    "PAPER_RATIOS",
+    "PerfRow",
+    "ServingModel",
+    "StageRates",
+    "SweepPoint",
+    "format_sweep",
+    "throughput_sweep",
+    "ands_per_mac",
+    "Table2",
+    "dot_product_time_s",
+    "matmul_time_s",
+]

@@ -1,0 +1,150 @@
+"""Table 2 generator: MAXelerator vs TinyGarble vs the FPGA overlay.
+
+Regenerates every row of the paper's Table 2 from the implemented
+models and reports the per-core throughput ratios (the 44x/48x/57x and
+985x/768x/672x headline numbers), alongside the paper's published
+values for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.maxelerator import TimingModel
+from repro.baselines.garbledcpu import GarbledCPUModel
+from repro.baselines.overlay import OverlayModel
+from repro.baselines.tinygarble import TinyGarbleModel
+from repro.perf.timing import PerfRow
+
+BITWIDTHS = (8, 16, 32)
+
+#: The paper's published "x Throughput of MAXelerator per core" row
+#: (stated as 1/44, 1/48, 1/57 and 1/985, 1/768, 1/672).
+PAPER_RATIOS = {
+    "tinygarble": {8: 44.0, 16: 48.0, 32: 57.0},
+    "overlay": {8: 985.0, 16: 768.0, 32: 672.0},
+}
+
+PAPER_CORES = {"tinygarble": 1, "overlay": 43, "maxelerator": {8: 8, 16: 14, 32: 24}}
+
+
+def tinygarble_row(bitwidth: int) -> PerfRow:
+    model = TinyGarbleModel(bitwidth)
+    return PerfRow(
+        "tinygarble", bitwidth, model.cycles_per_mac, model.time_per_mac_s, model.n_cores
+    )
+
+
+def overlay_row(bitwidth: int) -> PerfRow:
+    model = OverlayModel(bitwidth)
+    return PerfRow(
+        "overlay", bitwidth, model.cycles_per_mac, model.time_per_mac_s, model.n_cores
+    )
+
+
+def maxelerator_row(bitwidth: int) -> PerfRow:
+    model = TimingModel(bitwidth)
+    return PerfRow(
+        "maxelerator",
+        bitwidth,
+        model.cycles_per_mac,
+        model.time_per_mac_s,
+        model.n_cores,
+    )
+
+
+def garbledcpu_row(bitwidth: int) -> PerfRow:
+    model = GarbledCPUModel(bitwidth)
+    return PerfRow(
+        "garbledcpu", bitwidth, model.cycles_per_mac, model.time_per_mac_s, model.n_cores
+    )
+
+
+ROW_BUILDERS = {
+    "tinygarble": tinygarble_row,
+    "overlay": overlay_row,
+    "maxelerator": maxelerator_row,
+    "garbledcpu": garbledcpu_row,
+}
+
+
+@dataclass
+class Table2:
+    """The regenerated comparison table."""
+
+    rows: dict[tuple[str, int], PerfRow] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, bitwidths=BITWIDTHS) -> "Table2":
+        table = cls()
+        for framework in ("tinygarble", "overlay", "maxelerator"):
+            for b in bitwidths:
+                table.rows[(framework, b)] = ROW_BUILDERS[framework](b)
+        return table
+
+    def row(self, framework: str, bitwidth: int) -> PerfRow:
+        return self.rows[(framework, bitwidth)]
+
+    def speedup_per_core(self, framework: str, bitwidth: int) -> float:
+        """MAXelerator per-core throughput gain over ``framework``."""
+        return self.row(framework, bitwidth).throughput_ratio_vs(
+            self.row("maxelerator", bitwidth)
+        )
+
+    def paper_ratio(self, framework: str, bitwidth: int) -> float:
+        return PAPER_RATIOS[framework][bitwidth]
+
+    def max_speedup_vs_software(self) -> float:
+        """The abstract's headline: up to 57x vs the fastest software GC."""
+        return max(
+            self.speedup_per_core("tinygarble", b)
+            for _, b in self.rows
+            if ("tinygarble", b) in self.rows
+        )
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        frameworks = [
+            ("tinygarble", "TinyGarble [16] on CPU"),
+            ("overlay", "FPGA Overlay [14]"),
+            ("maxelerator", "MAXelerator on FPGA"),
+        ]
+        bitwidths = sorted({b for _, b in self.rows})
+        lines = ["Table 2: Throughput comparison (regenerated)"]
+        header = f"{'':38s}" + "".join(f"{f'b={b}':>12s}" for b in bitwidths)
+        for key, label in frameworks:
+            lines.append("")
+            lines.append(label)
+            lines.append(header)
+            rows = [self.row(key, b) for b in bitwidths]
+            lines.append(
+                f"{'  Clock cycles per MAC':38s}"
+                + "".join(f"{r.cycles_per_mac:>12.3g}" for r in rows)
+            )
+            lines.append(
+                f"{'  Time per MAC (us)':38s}"
+                + "".join(f"{r.time_per_mac_us:>12.3g}" for r in rows)
+            )
+            lines.append(
+                f"{'  Throughput (MAC/s)':38s}"
+                + "".join(f"{r.macs_per_second:>12.3g}" for r in rows)
+            )
+            lines.append(
+                f"{'  No of cores':38s}" + "".join(f"{r.n_cores:>12d}" for r in rows)
+            )
+            lines.append(
+                f"{'  Throughput per core (MAC/s)':38s}"
+                + "".join(f"{r.macs_per_second_per_core:>12.3g}" for r in rows)
+            )
+            if key != "maxelerator":
+                lines.append(
+                    f"{'  MAXelerator speedup (model)':38s}"
+                    + "".join(
+                        f"{self.speedup_per_core(key, b):>11.0f}x" for b in bitwidths
+                    )
+                )
+                lines.append(
+                    f"{'  MAXelerator speedup (paper)':38s}"
+                    + "".join(f"{self.paper_ratio(key, b):>11.0f}x" for b in bitwidths)
+                )
+        return "\n".join(lines)

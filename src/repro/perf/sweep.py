@@ -1,0 +1,67 @@
+"""Bit-width sweeps: Table 2's columns as continuous series.
+
+The paper samples b = 8, 16, 32; sweeping every even width exposes the
+*shapes* behind the table — MAXelerator throughput falls as 1/b
+(cycles = 3b), software as ~1/b² (gates = 2b²+2b), so the per-core
+advantage grows linearly in b, and the overlay sits a fixed decade
+above the software line.  :func:`throughput_sweep` generates those
+series for the extension bench/figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.maxelerator import TimingModel
+from repro.baselines.overlay import OverlayModel
+from repro.baselines.tinygarble import TinyGarbleModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    bitwidth: int
+    maxelerator: float  # MAC/s per core
+    tinygarble: float
+    overlay: float
+
+    @property
+    def speedup_vs_software(self) -> float:
+        return self.maxelerator / self.tinygarble
+
+    @property
+    def speedup_vs_overlay(self) -> float:
+        return self.maxelerator / self.overlay
+
+
+def throughput_sweep(widths=None) -> list[SweepPoint]:
+    """Per-core throughput of each framework across bit-widths."""
+    widths = list(widths) if widths is not None else list(range(4, 66, 2))
+    if any(b < 2 for b in widths):
+        raise ConfigurationError("bit-widths must be >= 2")
+    points = []
+    for b in widths:
+        points.append(
+            SweepPoint(
+                bitwidth=b,
+                maxelerator=TimingModel(b).macs_per_second_per_core,
+                tinygarble=TinyGarbleModel(b).macs_per_second_per_core,
+                overlay=OverlayModel(b).macs_per_second_per_core,
+            )
+        )
+    return points
+
+
+def format_sweep(points: list[SweepPoint]) -> str:
+    lines = [
+        "Per-core throughput sweep (MAC/s per core; Table 2 made continuous)",
+        f"  {'b':>4} {'MAXelerator':>12} {'TinyGarble':>12} {'overlay':>10} "
+        f"{'vs sw':>8} {'vs ovl':>8}",
+    ]
+    for p in points:
+        lines.append(
+            f"  {p.bitwidth:>4} {p.maxelerator:>12.3g} {p.tinygarble:>12.3g} "
+            f"{p.overlay:>10.3g} {p.speedup_vs_software:>7.0f}x "
+            f"{p.speedup_vs_overlay:>7.0f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""End-to-end serving model: where communication becomes the bottleneck.
+
+The paper closes Section 6 with: "we assumed that the cloud server has
+sufficient communication channels. However, after certain threshold,
+communication capability of the server may become the bottleneck of the
+operation."  This model makes that threshold computable.
+
+Per MAC the server must ship the garbled tables (32 B per AND gate) and
+the per-round input labels.  The server's sustainable MAC rate is the
+minimum of the garbling engines, the PCIe link and the network; each
+*client* consumes MACs at its own software evaluation rate (2 hash
+calls per AND), so the supported client count is the server rate
+divided by one client's consumption rate — the quantity behind the
+abstract's "support 57x more clients simultaneously".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.maxelerator import TimingModel
+from repro.accel.tree_mac import build_scheduled_mac
+from repro.errors import ConfigurationError
+
+#: Evaluation rate of one client core: fixed-key AES-NI software
+#: evaluates a half-gates AND (2 AES calls) in the ~100 ns class.
+DEFAULT_CLIENT_AND_PER_S = 1e7
+DEFAULT_NETWORK_GBPS = 10.0
+DEFAULT_PCIE_GBPS = 6.4  # PCIe gen3 x8 effective
+
+_ANDS_CACHE: dict[int, int] = {}
+
+
+def ands_per_mac(bitwidth: int) -> int:
+    """AND-gate count of the scheduled MAC (measured, cached)."""
+    if bitwidth not in _ANDS_CACHE:
+        net = build_scheduled_mac(bitwidth).netlist
+        _ANDS_CACHE[bitwidth] = sum(1 for g in net.gates if not g.is_free)
+    return _ANDS_CACHE[bitwidth]
+
+
+@dataclass
+class StageRates:
+    """Sustainable MAC/s through each server-side stage."""
+
+    garbling: float
+    pcie: float
+    network: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"garbling": self.garbling, "pcie": self.pcie, "network": self.network}
+
+    @property
+    def bottleneck(self) -> str:
+        rates = self.as_dict()
+        return min(rates, key=rates.get)
+
+    @property
+    def sustained_macs_per_s(self) -> float:
+        return min(self.as_dict().values())
+
+
+class ServingModel:
+    """The cloud's MAC-serving capacity across compute and links."""
+
+    def __init__(
+        self,
+        bitwidth: int = 32,
+        network_gbps: float = DEFAULT_NETWORK_GBPS,
+        pcie_gbps: float = DEFAULT_PCIE_GBPS,
+        client_and_per_s: float = DEFAULT_CLIENT_AND_PER_S,
+        mac_units: int = 1,
+    ):
+        if min(network_gbps, pcie_gbps, client_and_per_s) <= 0 or mac_units < 1:
+            raise ConfigurationError("rates and unit count must be positive")
+        self.bitwidth = bitwidth
+        self.network_gbps = network_gbps
+        self.pcie_gbps = pcie_gbps
+        self.client_and_per_s = client_and_per_s
+        self.mac_units = mac_units
+        self.timing = TimingModel(bitwidth)
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_mac(self) -> int:
+        """Tables dominate; input labels add 2b x 16 bytes per round."""
+        return 32 * ands_per_mac(self.bitwidth) + 16 * 2 * self.bitwidth
+
+    @property
+    def client_macs_per_s(self) -> float:
+        """One client's evaluation (consumption) rate."""
+        return self.client_and_per_s / ands_per_mac(self.bitwidth)
+
+    def rates(self) -> StageRates:
+        return StageRates(
+            garbling=self.mac_units * self.timing.macs_per_second,
+            pcie=self.pcie_gbps * 1e9 / 8 / self.bytes_per_mac,
+            network=self.network_gbps * 1e9 / 8 / self.bytes_per_mac,
+        )
+
+    def max_clients(self) -> int:
+        """Clients served simultaneously, each evaluating at full speed."""
+        return max(1, int(self.rates().sustained_macs_per_s / self.client_macs_per_s))
+
+    def server_bottleneck(self) -> str:
+        return self.rates().bottleneck
+
+    def network_threshold_gbps(self) -> float:
+        """Network rate above which the engines (not the link) bind."""
+        engine = self.mac_units * self.timing.macs_per_second
+        return engine * self.bytes_per_mac * 8 / 1e9
+
+    def clients_vs_software_claim(self) -> float:
+        """The abstract's '57x more clients' framing at this bit-width:
+        per-core throughput gain == client-capacity gain per core."""
+        from repro.baselines.tinygarble import TinyGarbleModel
+
+        sw = TinyGarbleModel(self.bitwidth)
+        return self.timing.macs_per_second_per_core / sw.macs_per_second_per_core
+
+    def format_report(self) -> str:
+        rates = self.rates()
+        lines = [
+            f"Serving model (b={self.bitwidth}, {self.mac_units} MAC unit(s), "
+            f"network {self.network_gbps} Gb/s, PCIe {self.pcie_gbps} Gb/s):",
+            f"  bytes per MAC (tables+labels): {self.bytes_per_mac}",
+        ]
+        for name, rate in rates.as_dict().items():
+            lines.append(f"  {name:<10} {rate:>12.3g} MAC/s")
+        lines.append(f"  bottleneck: {rates.bottleneck}")
+        lines.append(
+            f"  one client consumes {self.client_macs_per_s:,.0f} MAC/s "
+            f"-> {self.max_clients()} clients served"
+        )
+        lines.append(
+            f"  network stops binding above {self.network_threshold_gbps():.1f} Gb/s"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Common performance-row representation for the framework comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PerfRow:
+    """One framework at one bit-width (one column group of Table 2)."""
+
+    framework: str
+    bitwidth: int
+    cycles_per_mac: float
+    time_per_mac_s: float
+    n_cores: int
+
+    @property
+    def macs_per_second(self) -> float:
+        return 1.0 / self.time_per_mac_s
+
+    @property
+    def macs_per_second_per_core(self) -> float:
+        return self.macs_per_second / self.n_cores
+
+    @property
+    def time_per_mac_us(self) -> float:
+        return self.time_per_mac_s * 1e6
+
+    def throughput_ratio_vs(self, other: "PerfRow") -> float:
+        """other's per-core throughput advantage over self (paper's last row)."""
+        return other.macs_per_second_per_core / self.macs_per_second_per_core
+
+
+def dot_product_time_s(row: PerfRow, length: int) -> float:
+    """Time for one length-M dot product (M MACs) on this framework."""
+    return row.time_per_mac_s * length
+
+
+def matmul_time_s(row: PerfRow, m: int, n: int, p: int) -> float:
+    """Time for an (m x n) @ (n x p) product = m*n*p MACs."""
+    return row.time_per_mac_s * m * n * p

@@ -1,0 +1,71 @@
+"""Extension: the architecture beyond the paper's widths (b = 64).
+
+The paper evaluates b = 8/16/32; the design generalises ("the number of
+cores depends on the input bit-width and available resources").  These
+tests check that every analytic and scheduled property extrapolates
+cleanly to 64-bit MACs.
+"""
+
+import pytest
+
+from repro.accel.maxelerator import TimingModel
+from repro.accel.resources import ResourceModel
+from repro.accel.schedule import schedule_rounds
+from repro.accel.tree_mac import (
+    build_scheduled_mac,
+    seg1_cores,
+    seg2_cores,
+    total_cores,
+)
+from repro.bits import from_bits, to_bits
+
+
+@pytest.fixture(scope="module")
+def smc64():
+    return build_scheduled_mac(64)
+
+
+class TestGeometry:
+    def test_core_formula(self):
+        assert seg1_cores(64) == 32
+        assert seg2_cores(64) == 14  # ceil((32 + 8) / 3)
+        assert total_cores(64) == 46
+
+    def test_timing_model(self):
+        t = TimingModel(64)
+        assert t.cycles_per_mac == 192
+        assert t.macs_per_second == pytest.approx(200e6 / 192)
+
+    def test_resources_extrapolate(self):
+        est = ResourceModel().estimate(64)
+        est32 = ResourceModel().estimate(32)
+        assert 1.5 < est.lut / est32.lut < 2.5  # still ~linear
+
+
+class TestStructure:
+    def test_segment1_packing(self, smc64):
+        counts = smc64.ops_by_unit()
+        for m in range(32):
+            assert counts[("seg1", m)] == 3 * 64
+
+    def test_seg2_fits_budget(self, smc64):
+        counts = smc64.ops_by_unit()
+        seg2 = sum(v for k, v in counts.items() if k[0] != "seg1")
+        assert seg2 <= 3 * seg2_cores(64) * 64
+
+    def test_function(self, smc64):
+        a, x = -(2**60), 2**55 + 12345
+        hist = smc64.circuit.run_plain([to_bits(a, 64)], [to_bits(x, 64)])
+        assert from_bits(hist[-1], signed=True) == a * x
+
+
+class TestSchedule:
+    def test_steady_state_is_192_cycles(self, smc64):
+        schedule = schedule_rounds(smc64, 4)
+        schedule.verify()
+        assert schedule.steady_state_cycles_per_mac == 192
+
+    def test_idle_bound_holds(self, smc64):
+        schedule = schedule_rounds(smc64, 4)
+        assert schedule.idle_cores() <= 2
+        assert schedule.utilization() > 0.9

@@ -1,0 +1,67 @@
+"""FSM-program (schedule) serialisation tests."""
+
+import json
+
+import pytest
+
+from repro.accel.bitstream import schedule_from_json, schedule_to_json
+from repro.accel.fsm import AcceleratorFSM
+from repro.accel.schedule import schedule_rounds
+from repro.accel.tree_mac import build_scheduled_mac
+from repro.errors import ScheduleError
+
+
+@pytest.fixture(scope="module")
+def sched():
+    return schedule_rounds(build_scheduled_mac(8), 4)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_ops(self, sched):
+        text = schedule_to_json(sched)
+        reloaded = schedule_from_json(text)
+        assert len(reloaded.ops) == len(sched.ops)
+        assert {(o.cycle, o.core, o.round_index, o.gate_index) for o in reloaded.ops} == {
+            (o.cycle, o.core, o.round_index, o.gate_index) for o in sched.ops
+        }
+        assert reloaded.steady_state_cycles_per_mac == sched.steady_state_cycles_per_mac
+
+    def test_reloaded_schedule_verifies(self, sched):
+        reloaded = schedule_from_json(schedule_to_json(sched))
+        reloaded.verify()
+
+    def test_reloaded_schedule_drives_the_fsm(self, sched):
+        reloaded = schedule_from_json(schedule_to_json(sched))
+        run = AcceleratorFSM(reloaded.circuit, seed=3).garble_rounds(4, reloaded)
+        assert run.total_tables == len(reloaded.ops)
+
+    def test_supplied_circuit_reused(self, sched):
+        reloaded = schedule_from_json(schedule_to_json(sched), circuit=sched.circuit)
+        assert reloaded.circuit is sched.circuit
+
+
+class TestValidation:
+    def test_version_checked(self, sched):
+        payload = json.loads(schedule_to_json(sched))
+        payload["version"] = 99
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))
+
+    def test_circuit_mismatch_rejected(self, sched):
+        other = build_scheduled_mac(16)
+        with pytest.raises(ScheduleError):
+            schedule_from_json(schedule_to_json(sched), circuit=other)
+
+    def test_missing_gate_rejected(self, sched):
+        payload = json.loads(schedule_to_json(sched))
+        payload["ops"] = payload["ops"][:-1]
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))
+
+    def test_tampered_double_booking_rejected(self, sched):
+        payload = json.loads(schedule_to_json(sched))
+        # put the second op on the first op's (cycle, core) slot
+        payload["ops"][1][0] = payload["ops"][0][0]
+        payload["ops"][1][1] = payload["ops"][0][1]
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))

@@ -1,0 +1,54 @@
+"""Schedule report renderers."""
+
+import pytest
+
+from repro.accel.report import GLYPHS, gantt, unit_census
+from repro.accel.schedule import schedule_rounds
+from repro.accel.tree_mac import build_scheduled_mac
+
+
+@pytest.fixture(scope="module")
+def sched():
+    return schedule_rounds(build_scheduled_mac(8), 5)
+
+
+class TestGantt:
+    def test_renders_all_cores(self, sched):
+        text = gantt(sched, width=48)
+        for core in range(8):
+            assert f"core  {core}" in text
+
+    def test_segment1_rows_are_saturated(self, sched):
+        text = gantt(sched, width=48)
+        rows = [l for l in text.splitlines() if "[s1]" in l]
+        for row in rows:
+            body = row.split("|")[1]
+            assert "." not in body  # zero idle cycles on segment-1 cores
+
+    def test_segment_labels(self, sched):
+        text = gantt(sched, width=24)
+        assert "[s1]" in text and "[s2]" in text
+
+    def test_window_clipped_to_schedule(self, sched):
+        text = gantt(sched, start=sched.total_cycles - 10, width=1000)
+        assert str(sched.total_cycles - 1) in text.splitlines()[0]
+
+    def test_every_glyph_defined(self, sched):
+        text = gantt(sched, width=sched.total_cycles)
+        assert "?" not in text
+
+
+class TestUnitCensus:
+    def test_census_totals(self, sched):
+        text = unit_census(sched)
+        n_ands = sum(1 for g in sched.circuit.netlist.gates if not g.is_free)
+        assert str(n_ands) in text
+
+    def test_all_units_listed(self, sched):
+        text = unit_census(sched)
+        for name in ("seg1", "tree", "acc", "aneg", "xneg"):
+            assert name in text
+
+
+def test_glyph_table_complete():
+    assert set(GLYPHS) == {"pp_lo", "pp_hi", "add", "tree", "aneg", "xneg", "acc"}

@@ -1,0 +1,115 @@
+"""FSM schedule legality, throughput, and utilisation claims."""
+
+import pytest
+
+from repro.accel.schedule import MacSchedule, schedule_rounds
+from repro.accel.tree_mac import build_scheduled_mac
+from repro.errors import ScheduleError
+
+
+@pytest.fixture(scope="module", params=[8, 16])
+def sched(request):
+    smc = build_scheduled_mac(request.param)
+    return schedule_rounds(smc, 6)
+
+
+class TestLegality:
+    def test_verify_passes(self, sched):
+        sched.verify()
+
+    def test_one_table_per_core_per_cycle(self, sched):
+        seen = set()
+        for op in sched.ops:
+            assert (op.cycle, op.core) not in seen
+            seen.add((op.cycle, op.core))
+
+    def test_seg1_gates_stay_on_their_core(self, sched):
+        for op in sched.ops:
+            if op.tag and op.tag[0] == "seg1":
+                assert op.core == op.tag[1]
+
+    def test_seg2_gates_stay_in_pool(self, sched):
+        pool = set(sched.circuit.seg2_core_ids)
+        for op in sched.ops:
+            if not op.tag or op.tag[0] != "seg1":
+                assert op.core in pool
+
+    def test_every_and_gate_scheduled_each_round(self, sched):
+        net = sched.circuit.netlist
+        n_nonfree = sum(1 for g in net.gates if not g.is_free)
+        per_round = {}
+        for op in sched.ops:
+            per_round[op.round_index] = per_round.get(op.round_index, 0) + 1
+        assert per_round == {r: n_nonfree for r in range(sched.n_rounds)}
+
+    def test_double_booking_detected(self, sched):
+        bad = MacSchedule(
+            circuit=sched.circuit,
+            n_rounds=sched.n_rounds,
+            ops=sched.ops + [sched.ops[0]],
+            round_timing=sched.round_timing,
+            ii_cycles=sched.ii_cycles,
+            ready_cycles=sched.ready_cycles,
+        )
+        with pytest.raises(ScheduleError):
+            bad.verify()
+
+
+class TestThroughputClaims:
+    @pytest.mark.parametrize("b", [8, 16, 32])
+    def test_steady_state_is_3b_cycles_per_mac(self, b):
+        # Table 2's "Clock Cycle per MAC" row: 24 / 48 / 96
+        smc = build_scheduled_mac(b)
+        schedule = schedule_rounds(smc, 6)
+        assert schedule.steady_state_cycles_per_mac == 3 * b
+
+    def test_b8_latency_matches_paper_formula(self):
+        # Section 4.3: b + log2(b) + 2 stages; exact at b = 8
+        smc = build_scheduled_mac(8)
+        schedule = schedule_rounds(smc, 6)
+        stages = schedule.pipeline_latency_cycles / 3
+        assert stages == 8 + 3 + 2
+
+    @pytest.mark.parametrize("b", [8, 16])
+    def test_idle_cores_at_most_two(self, b):
+        # the paper: "the maximum number of idle cores is 2"
+        smc = build_scheduled_mac(b)
+        schedule = schedule_rounds(smc, 6)
+        assert schedule.idle_cores() <= 2
+
+    @pytest.mark.parametrize("b", [8, 16])
+    def test_high_utilization(self, b):
+        smc = build_scheduled_mac(b)
+        schedule = schedule_rounds(smc, 6)
+        assert schedule.utilization() > 0.8
+
+    def test_seg1_cores_fully_packed_steady_state(self):
+        # segment-1 slots are exactly 3 ops/stage: zero idle cycles there
+        smc = build_scheduled_mac(8)
+        schedule = schedule_rounds(smc, 6)
+        mid = 3 * schedule.ii_cycles
+        window = schedule.ops_in_window(mid, mid + schedule.ii_cycles)
+        for core in range(smc.n_seg1_cores):
+            n = sum(1 for op in window if op.core == core)
+            assert n == schedule.ii_cycles, f"core {core} idle in steady state"
+
+
+class TestScheduleApi:
+    def test_stream_order_is_monotone(self, sched):
+        stream = sched.stream_order()
+        keys = [(s.cycle, s.core) for s in stream]
+        assert keys == sorted(keys)
+
+    def test_needs_three_rounds_for_steady_state(self):
+        smc = build_scheduled_mac(8)
+        schedule = schedule_rounds(smc, 2)
+        with pytest.raises(ScheduleError):
+            _ = schedule.steady_state_cycles_per_mac
+
+    def test_zero_rounds_rejected(self):
+        smc = build_scheduled_mac(8)
+        with pytest.raises(ScheduleError):
+            schedule_rounds(smc, 0)
+
+    def test_per_core_ops_sums_to_total(self, sched):
+        assert sum(sched.per_core_ops().values()) == len(sched.ops)

@@ -1,0 +1,56 @@
+"""Hypothesis property tests over the FSM scheduler's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.schedule import schedule_rounds
+from repro.accel.tree_mac import CYCLES_PER_STAGE, build_scheduled_mac
+
+# small search space: circuits are rebuilt per example
+WIDTHS = st.sampled_from([4, 8])
+ROUNDS = st.integers(3, 5)
+GUARDS = st.integers(1, 10)
+
+
+@given(b=WIDTHS, rounds=ROUNDS)
+@settings(max_examples=10, deadline=None)
+def test_steady_state_always_3b(b, rounds):
+    schedule = schedule_rounds(build_scheduled_mac(b), rounds)
+    assert schedule.steady_state_cycles_per_mac == CYCLES_PER_STAGE * b
+
+
+@given(b=WIDTHS, rounds=ROUNDS)
+@settings(max_examples=10, deadline=None)
+def test_schedule_always_verifies(b, rounds):
+    schedule = schedule_rounds(build_scheduled_mac(b), rounds)
+    schedule.verify()
+
+
+@given(b=WIDTHS, guard=GUARDS)
+@settings(max_examples=10, deadline=None)
+def test_accumulator_width_does_not_break_throughput(b, guard):
+    # wider accumulators add segment-2 work; the paper's formula must
+    # keep absorbing it (the +8 budget) for sane guard sizes
+    smc = build_scheduled_mac(b, acc_width=2 * b + guard)
+    schedule = schedule_rounds(smc, 4)
+    assert schedule.steady_state_cycles_per_mac == CYCLES_PER_STAGE * b
+    assert schedule.idle_cores() <= 2
+
+
+@given(b=WIDTHS, rounds=ROUNDS, prefetch=st.integers(0, 2))
+@settings(max_examples=10, deadline=None)
+def test_prefetch_never_hurts_throughput(b, rounds, prefetch):
+    smc = build_scheduled_mac(b)
+    schedule = schedule_rounds(smc, rounds, prefetch_rounds=prefetch)
+    schedule.verify()
+    assert schedule.steady_state_cycles_per_mac >= CYCLES_PER_STAGE * b - 1
+
+
+@given(b=WIDTHS, rounds=ROUNDS)
+@settings(max_examples=6, deadline=None)
+def test_every_round_emits_identical_table_count(b, rounds):
+    schedule = schedule_rounds(build_scheduled_mac(b), rounds)
+    per_round: dict[int, int] = {}
+    for op in schedule.ops:
+        per_round[op.round_index] = per_round.get(op.round_index, 0) + 1
+    assert len(set(per_round.values())) == 1

@@ -1,0 +1,119 @@
+"""Scheduled tree-MAC circuit: structure and function."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import from_bits, to_bits
+from repro.accel.tree_mac import (
+    build_scheduled_mac,
+    default_acc_width,
+    seg1_cores,
+    seg2_cores,
+    total_cores,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCoreGeometry:
+    @pytest.mark.parametrize("b,cores", [(8, 8), (16, 14), (32, 24)])
+    def test_paper_core_counts(self, b, cores):
+        # Table 2's "No of cores" row
+        assert total_cores(b) == cores
+
+    def test_segment_split(self):
+        assert seg1_cores(8) == 4 and seg2_cores(8) == 4
+        assert seg1_cores(16) == 8 and seg2_cores(16) == 6
+        assert seg1_cores(32) == 16 and seg2_cores(32) == 8
+
+    def test_unsupported_widths_rejected(self):
+        for bad in (3, 6, 10, 12, 128):
+            with pytest.raises(ConfigurationError):
+                build_scheduled_mac(bad)
+
+    def test_too_narrow_accumulator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scheduled_mac(8, acc_width=10)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("b", [8, 16, 32])
+    def test_segment1_is_exactly_3b_ops_per_core(self, b):
+        # Figure 3: 2 partial products + 1 adder AND per stage, b stages
+        smc = build_scheduled_mac(b)
+        counts = smc.ops_by_unit()
+        for m in range(seg1_cores(b)):
+            assert counts[("seg1", m)] == 3 * b
+
+    @pytest.mark.parametrize("b", [8, 16])
+    def test_tree_has_b_half_minus_one_adders(self, b):
+        smc = build_scheduled_mac(b)
+        tree_units = {k for k in smc.ops_by_unit() if k[0] == "tree"}
+        assert len(tree_units) == b // 2 - 1
+
+    def test_segment2_ops_fit_in_slots(self, ):
+        # seg2 AND count must fit the paper's core budget within one II
+        for b in (8, 16, 32):
+            smc = build_scheduled_mac(b)
+            counts = smc.ops_by_unit()
+            seg2 = sum(v for k, v in counts.items() if k[0] != "seg1")
+            assert seg2 <= 3 * seg2_cores(b) * b
+
+    def test_every_and_gate_is_tagged(self):
+        smc = build_scheduled_mac(8)
+        for gate in smc.netlist.gates:
+            if not gate.is_free:
+                assert gate.index in smc.tags
+
+    def test_seg1_pinned_seg2_pooled(self):
+        smc = build_scheduled_mac(8)
+        assert smc.core_for_tag(("seg1", 2, 0, "pp_lo")) == 2
+        assert smc.core_for_tag(("tree", 0, 0, 3)) is None
+        assert smc.seg2_core_ids == [4, 5, 6, 7]
+
+    def test_default_acc_width(self):
+        assert default_acc_width(8, 256) == 24
+        assert default_acc_width(32, 1000) == 74
+
+
+class TestFunction:
+    @given(
+        a=st.lists(st.integers(-128, 127), min_size=3, max_size=3),
+        x=st.lists(st.integers(-128, 127), min_size=3, max_size=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dot_product_plain(self, a, x):
+        smc = build_scheduled_mac(8)
+        hist = smc.circuit.run_plain(
+            [to_bits(v, 8) for v in a], [to_bits(v, 8) for v in x]
+        )
+        assert from_bits(hist[-1], signed=True) == sum(p * q for p, q in zip(a, x))
+
+    def test_extreme_values_including_min(self):
+        smc = build_scheduled_mac(8)
+        cases = [(-128, -128), (-128, 127), (127, -128), (127, 127)]
+        for a, x in cases:
+            hist = smc.circuit.run_plain([to_bits(a, 8)], [to_bits(x, 8)])
+            assert from_bits(hist[-1], signed=True) == a * x, (a, x)
+
+    def test_16bit_function(self):
+        smc = build_scheduled_mac(16)
+        a, x = -31234, 29999
+        hist = smc.circuit.run_plain([to_bits(a, 16)], [to_bits(x, 16)])
+        assert from_bits(hist[-1], signed=True) == a * x
+
+    def test_matches_reference_sequential_mac(self):
+        # same function as the reference circuit from repro.circuits.mac
+        from repro.circuits.mac import build_sequential_mac
+
+        ref = build_sequential_mac(8, 24)
+        smc = build_scheduled_mac(8, 24)
+        a_vec = [5, -9, 127, -128]
+        x_vec = [-3, 44, -1, 2]
+        g = [to_bits(v, 8) for v in a_vec]
+        e = [to_bits(v, 8) for v in x_vec]
+        ref_hist = ref.run_plain(g, e)
+        smc_hist = smc.circuit.run_plain(g, e)
+        assert [from_bits(h, signed=True) for h in ref_hist] == [
+            from_bits(h, signed=True) for h in smc_hist
+        ]

@@ -1,0 +1,278 @@
+"""Case-study apps: ridge (Table 3), recommender, portfolio, deep, kernel."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import (
+    TABLE3_DATASETS,
+    synthetic_covariance,
+    synthetic_portfolio,
+    synthetic_ratings,
+    synthetic_regression,
+)
+from repro.apps.deep import MLPLayer, PrivateMLP, build_relu_netlist, im2col, private_relu
+from repro.apps.kernel import PrivateGradientSolver
+from repro.apps.portfolio import (
+    PAPER_MAXELERATOR_S,
+    PAPER_TINYGARBLE_S,
+    PortfolioRuntimeModel,
+    PrivatePortfolioAnalysis,
+    macs_per_round,
+)
+from repro.apps.recommender import (
+    PAPER_IMPROVEMENT_RANGE,
+    PrivateMatrixFactorization,
+    RecommenderRuntimeModel,
+)
+from repro.apps.ridge import PrivateRidgeRegression, RidgeRuntimeModel
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q8_4, Q16_8
+
+
+class TestDatasets:
+    def test_table3_specs_complete(self):
+        assert len(TABLE3_DATASETS) == 6
+        names = {s.name for s in TABLE3_DATASETS}
+        assert "communities11.IV" in names and "concreteStrength" in names
+
+    def test_synthetic_regression_recoverable(self):
+        x, y, w = synthetic_regression(200, 5, noise=0.01, seed=1)
+        w_hat, *_ = np.linalg.lstsq(x, y, rcond=None)
+        np.testing.assert_allclose(w_hat, w, atol=0.05)
+
+    def test_synthetic_ratings_shape(self):
+        triples, u, v = synthetic_ratings(10, 8, 30, seed=2)
+        assert triples.shape == (30, 3)
+        assert (triples[:, 2] >= 1).all() and (triples[:, 2] <= 5).all()
+
+    def test_synthetic_covariance_is_spd(self):
+        cov = synthetic_covariance(4, seed=3)
+        np.testing.assert_allclose(cov, cov.T)
+        assert (np.linalg.eigvalsh(cov) > 0).all()
+
+    def test_portfolio_weights_normalised(self):
+        w = synthetic_portfolio(5, seed=4)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+
+
+class TestRidgeRuntime:
+    def test_table3_improvements_match_paper(self):
+        model = RidgeRuntimeModel()
+        for row in model.table3():
+            assert row.improvement == pytest.approx(row.paper_improvement, rel=0.03)
+
+    def test_table3_times_match_paper(self):
+        model = RidgeRuntimeModel()
+        for row in model.table3():
+            assert row.time_ours_s == pytest.approx(row.spec.paper_ours_s, rel=0.05)
+
+    def test_improvement_grows_with_d(self):
+        model = RidgeRuntimeModel()
+        rows = sorted(model.table3(), key=lambda r: r.spec.d)
+        improvements = [r.improvement for r in rows]
+        assert improvements == sorted(improvements)
+
+    def test_mac_fraction_monotone(self):
+        model = RidgeRuntimeModel()
+        assert model.mac_fraction(20) > model.mac_fraction(8) > 0.9
+
+    def test_format_table(self):
+        text = RidgeRuntimeModel().format_table()
+        assert "communities11.IV" in text and "39.8x" in text
+
+
+class TestRidgeFunctional:
+    def test_private_statistics_give_correct_weights(self):
+        x, y, _ = synthetic_regression(12, 2, noise=0.02, seed=5)
+        ridge = PrivateRidgeRegression(ridge_lambda=0.05, fmt=Q16_8, seed=6)
+        w_private = ridge.fit(x, y)
+        w_plain = PrivateRidgeRegression.closed_form(x, y, 0.05)
+        np.testing.assert_allclose(w_private, w_plain, atol=0.05)
+        assert ridge.macs_executed == 12 * 2 * 2 + 12 * 2
+
+    def test_mac_count_formula(self):
+        assert PrivateRidgeRegression.mac_count(100, 5) == 100 * 25 + 100 * 5
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivateRidgeRegression(ridge_lambda=-1.0)
+
+
+class TestRecommender:
+    def test_movielens_claim(self):
+        run = RecommenderRuntimeModel().movielens_claim()
+        lo, hi = PAPER_IMPROVEMENT_RANGE
+        assert lo <= run.improvement <= hi
+        assert run.accelerated_hours == pytest.approx(1.0, abs=0.05)
+
+    def test_training_reduces_rmse(self):
+        triples, _, _ = synthetic_ratings(12, 10, 60, seed=7)
+        mf = PrivateMatrixFactorization(12, 10, profile_dim=3, seed=7)
+        before = mf.rmse(triples)
+        for _ in range(20):
+            mf.train_epoch(triples)
+        # the synthetic ratings carry a noise floor; require a clear
+        # improvement, not perfection
+        assert mf.rmse(triples) < before * 0.95
+
+    def test_mac_census(self):
+        triples, _, _ = synthetic_ratings(5, 5, 10, seed=8)
+        mf = PrivateMatrixFactorization(5, 5, profile_dim=4, seed=8)
+        mf.train_epoch(triples)
+        assert mf.macs_per_iteration == 3 * 4 * 10
+
+    def test_private_predictions_path(self):
+        triples, _, _ = synthetic_ratings(3, 3, 3, seed=9)
+        mf = PrivateMatrixFactorization(
+            3, 3, profile_dim=2, private_predictions=True, fmt=Q8_4, seed=9
+        )
+        mf.train_epoch(triples)
+        assert mf.private_macs_executed == 3 * 2  # d MACs per rating
+
+    def test_bad_profile_dim(self):
+        with pytest.raises(ConfigurationError):
+            PrivateMatrixFactorization(2, 2, profile_dim=0)
+
+
+class TestPortfolio:
+    def test_paper_numbers_reproduced(self):
+        timing = PortfolioRuntimeModel().analysis_time_s()
+        assert timing.tinygarble_s == pytest.approx(PAPER_TINYGARBLE_S, rel=0.08)
+        assert timing.maxelerator_s == pytest.approx(PAPER_MAXELERATOR_S, rel=0.05)
+
+    def test_speedup_order(self):
+        timing = PortfolioRuntimeModel().analysis_time_s()
+        assert 70 <= timing.speedup <= 95  # paper: 1.33 s / 15.23 ms = 87x
+
+    def test_macs_per_round(self):
+        assert macs_per_round(2) == 8  # the count implied by the paper
+
+    def test_private_quadratic_form(self):
+        cov = synthetic_covariance(2, seed=10)
+        w = synthetic_portfolio(2, seed=10)
+        analysis = PrivatePortfolioAnalysis(cov, Q16_8, seed=10)
+        risk = analysis.risk(w)
+        assert risk == pytest.approx(analysis.expected(w), abs=0.02)
+        assert analysis.macs_executed == 4 + 2
+
+    def test_asymmetric_covariance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivatePortfolioAnalysis(np.array([[1.0, 0.5], [0.2, 1.0]]))
+
+    def test_wrong_weight_shape_rejected(self):
+        analysis = PrivatePortfolioAnalysis(synthetic_covariance(2))
+        with pytest.raises(ConfigurationError):
+            analysis.risk(np.ones(3))
+
+
+class TestDeep:
+    def test_relu_netlist_budget_and_function(self):
+        net = build_relu_netlist(8)
+        # 1 AND per bit; the MSB's mux folds away (ReLU output sign is 0)
+        assert net.stats().n_nonfree == 7
+        from repro.bits import from_bits, to_bits
+
+        for v in (5, -5, 0, 127, -128):
+            out = net.evaluate_plain([], to_bits(v, 8))
+            assert from_bits(out, signed=True) == max(v, 0)
+
+    def test_private_relu_protocol(self):
+        values = np.array([1.5, -2.0, 0.0])
+        out = private_relu(values, Q8_4)
+        np.testing.assert_allclose(out, [1.5, 0.0, 0.0])
+
+    def test_private_mlp_inference(self):
+        layers = [
+            MLPLayer(np.array([[0.5, -0.25], [1.0, 0.75]])),
+            MLPLayer(np.array([[1.0, -1.0]]), relu=False),
+        ]
+        mlp = PrivateMLP(layers, Q16_8)
+        x = np.array([1.0, 0.5])
+        np.testing.assert_allclose(mlp.infer(x), mlp.expected(x), atol=1e-2)
+        assert mlp.macs_executed == 4 + 2
+
+    def test_im2col_lowering(self):
+        image = np.arange(16, dtype=float).reshape(4, 4)
+        kernel = np.array([[1.0, 0.0], [0.0, -1.0]])
+        cols = im2col(image, 2)
+        assert cols.shape == (9, 4)
+        direct = np.array(
+            [
+                [image[i, j] - image[i + 1, j + 1] for j in range(3)]
+                for i in range(3)
+            ]
+        )
+        np.testing.assert_allclose((cols @ kernel.ravel()).reshape(3, 3), direct)
+
+    def test_im2col_kernel_too_big(self):
+        with pytest.raises(ConfigurationError):
+            im2col(np.zeros((2, 2)), 3)
+
+    def test_time_estimates(self):
+        mlp = PrivateMLP([MLPLayer(np.zeros((4, 4)))])
+        est = mlp.inference_time_estimate_s()
+        assert est["maxelerator"] < est["tinygarble"]
+
+
+class TestKernelSolver:
+    def test_plain_mode_converges(self):
+        rng = np.random.default_rng(11)
+        a = rng.uniform(-1, 1, size=(6, 3))
+        x_true = rng.uniform(-1, 1, size=3)
+        solver = PrivateGradientSolver(a, private=False)
+        x_hat, trace = solver.solve(a @ x_true, iterations=200)
+        assert trace.converged
+        np.testing.assert_allclose(x_hat, x_true, atol=0.05)
+
+    def test_private_mode_small(self):
+        a = np.array([[0.5, 0.25], [0.25, 0.75]])
+        x_true = np.array([0.5, -0.5])
+        solver = PrivateGradientSolver(a, fmt=Q16_8)
+        _, trace = solver.solve(a @ x_true, iterations=2)
+        assert trace.converged
+        assert trace.macs_executed == 2 * solver.macs_per_iteration()
+
+    def test_mac_census(self):
+        solver = PrivateGradientSolver(np.zeros((4, 3)), private=False)
+        assert solver.macs_per_iteration() == 24
+
+    def test_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            PrivateGradientSolver(np.zeros(3))
+        solver = PrivateGradientSolver(np.zeros((2, 2)) + 0.1, private=False)
+        with pytest.raises(ConfigurationError):
+            solver.solve(np.zeros(3))
+
+
+class TestPrivateClassification:
+    def test_client_learns_only_the_class(self):
+        import numpy as np
+
+        from repro.apps.deep import build_classifier_netlist, private_classify
+
+        w = np.array([[0.5, -1.0], [1.5, 0.25], [-0.75, 2.0]])
+        x = np.array([1.0, 1.5])
+        assert private_classify(w, x, Q8_4) == int(np.argmax(w @ x))
+        # the netlist's only outputs are the argmax index bits
+        net = build_classifier_netlist(2, 3, Q8_4)
+        assert len(net.outputs) == 2  # ceil(log2(3)) bits, no score wires
+
+    def test_negative_scores(self):
+        import numpy as np
+
+        from repro.apps.deep import private_classify
+
+        w = np.array([[-1.0, -1.0], [-0.5, -0.25]])
+        x = np.array([1.0, 2.0])
+        assert private_classify(w, x, Q8_4) == int(np.argmax(w @ x))
+
+    def test_shape_validation(self):
+        import numpy as np
+
+        from repro.apps.deep import build_classifier_netlist, private_classify
+
+        with pytest.raises(ConfigurationError):
+            private_classify(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            build_classifier_netlist(2, 1, Q8_4)

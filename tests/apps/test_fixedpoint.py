@@ -1,0 +1,67 @@
+"""Fixed-point codec tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import FixedPointFormat, Q8_4, Q16_8, Q32_16
+
+
+class TestFormatValidation:
+    def test_bad_formats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(8, 8)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(8, -1)
+
+    def test_str(self):
+        assert str(Q16_8) == "Q8.8"
+        assert str(Q32_16) == "Q16.16"
+
+
+class TestScalarCodec:
+    @given(st.floats(-7.9, 7.9))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_within_resolution(self, v):
+        raw = Q8_4.encode(v)
+        assert abs(Q8_4.decode(raw) - v) <= Q8_4.quantization_error_bound() + 1e-12
+
+    def test_saturation(self):
+        assert Q8_4.decode(Q8_4.encode(100.0)) == Q8_4.max_value
+        assert Q8_4.decode(Q8_4.encode(-100.0)) == Q8_4.min_value
+
+    def test_exact_values(self):
+        assert Q8_4.encode(1.5) == 24
+        assert Q8_4.decode(24) == 1.5
+        assert Q8_4.encode(-0.25) == -4
+
+    def test_product_scale(self):
+        a, b = 1.5, -2.25
+        raw = Q16_8.encode(a) * Q16_8.encode(b)
+        assert Q16_8.decode_product(raw) == pytest.approx(a * b, abs=1e-4)
+
+
+class TestArrayCodec:
+    def test_array_round_trip(self):
+        values = np.array([0.5, -1.25, 3.75, 0.0])
+        raw = Q16_8.encode_array(values)
+        np.testing.assert_allclose(Q16_8.decode_array(raw), values)
+
+    def test_array_saturates(self):
+        raw = Q8_4.encode_array([1e9, -1e9])
+        assert raw[0] == 127 and raw[1] == -128
+
+    def test_dot_product_scale(self):
+        a = np.array([0.5, -1.5])
+        x = np.array([2.0, 1.0])
+        raw = Q16_8.encode_array(a) @ Q16_8.encode_array(x)
+        assert Q16_8.decode_product(raw) == pytest.approx(a @ x)
+
+    def test_range_properties(self):
+        assert Q8_4.min_value == -8.0
+        assert Q8_4.max_value == pytest.approx(7.9375)
+        assert Q8_4.resolution == 0.0625

@@ -1,0 +1,73 @@
+"""Private genome analysis app tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.genome import (
+    PrivateGenomeAnalysis,
+    SimilarityResult,
+    random_dosages,
+    random_snp_vector,
+)
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q16_8
+
+
+class TestGenerators:
+    def test_snp_vector_is_pm_one(self):
+        v = random_snp_vector(50, seed=1)
+        assert set(np.unique(v)) <= {-1.0, 1.0}
+
+    def test_dosages_in_range(self):
+        d = random_dosages(50, seed=2)
+        assert set(np.unique(d)) <= {0.0, 1.0, 2.0}
+
+
+class TestSimilarity:
+    def test_private_similarity_counts_matches(self):
+        reference = random_snp_vector(8, seed=3)
+        patient = reference.copy()
+        patient[:3] *= -1  # three mismatching sites
+        analysis = PrivateGenomeAnalysis(Q16_8, seed=3)
+        result = analysis.similarity(reference, patient)
+        assert result.matching_sites == 5
+        assert result.similarity == pytest.approx(5 / 8)
+        assert analysis.macs_executed == 8
+
+    def test_identical_genomes(self):
+        v = random_snp_vector(6, seed=4)
+        result = PrivateGenomeAnalysis(Q16_8, seed=4).similarity(v, v)
+        assert result.matching_sites == 6
+
+    def test_shape_and_encoding_validation(self):
+        analysis = PrivateGenomeAnalysis()
+        with pytest.raises(ConfigurationError):
+            analysis.similarity(np.ones(4), np.ones(5))
+        with pytest.raises(ConfigurationError):
+            analysis.similarity(np.array([0.5, 1.0]), np.array([1.0, 1.0]))
+
+
+class TestRiskScore:
+    def test_private_risk_score(self):
+        weights = np.array([0.5, -0.25, 1.0])
+        dosages = np.array([2.0, 1.0, 0.0])
+        analysis = PrivateGenomeAnalysis(Q16_8, seed=5)
+        score = analysis.risk_score(weights, dosages)
+        assert score == pytest.approx(weights @ dosages, abs=1e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrivateGenomeAnalysis().risk_score(np.ones(3), np.ones(2))
+
+
+class TestEstimates:
+    def test_panel_scale_projection(self):
+        est = PrivateGenomeAnalysis.panel_time_estimate_s(100_000)
+        assert est["maxelerator"] < est["tinygarble"]
+        # 100k-SNP panel: minutes in software, tens of ms on the accelerator
+        assert est["tinygarble"] > 60
+        assert est["maxelerator"] < 0.1
+
+    def test_result_math(self):
+        r = SimilarityResult(inner_product=0.0, n_sites=10)
+        assert r.matching_sites == 5

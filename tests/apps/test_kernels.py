@@ -1,0 +1,63 @@
+"""Private Gram-matrix / kernel analytics tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import PrivateGramMatrix, spectral_embedding
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q16_8
+
+
+class TestPrivateGram:
+    def test_cross_kernel_correct(self):
+        rng = np.random.default_rng(1)
+        u = rng.uniform(-1, 1, size=(2, 3)).round(2)
+        v = rng.uniform(-1, 1, size=(2, 3)).round(2)
+        gram = PrivateGramMatrix(u, Q16_8, seed=1)
+        k = gram.compute_with_client(v)
+        np.testing.assert_allclose(k, u @ v.T, atol=1e-2)
+        assert gram.macs_executed == 2 * 2 * 3
+
+    def test_matches_quantised_expectation(self):
+        u = np.array([[0.5, -0.25]])
+        v = np.array([[1.0, 0.75]])
+        gram = PrivateGramMatrix(u, Q16_8, seed=2)
+        np.testing.assert_array_equal(
+            gram.compute_with_client(v), gram.expected(v)
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrivateGramMatrix(np.zeros(3))
+        gram = PrivateGramMatrix(np.zeros((2, 3)))
+        with pytest.raises(ConfigurationError):
+            gram.compute_with_client(np.zeros((2, 4)))
+
+    def test_mac_census_and_estimates(self):
+        assert PrivateGramMatrix.mac_count(10, 20, 5) == 1000
+        est = PrivateGramMatrix.time_estimate_s(10, 20, 5)
+        assert est["maxelerator"] < est["tinygarble"]
+
+
+class TestSpectralEmbedding:
+    def test_recovers_block_structure(self):
+        # two well-separated clusters -> embedding separates them
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 0.05, size=(5, 3)) + np.array([1.0, 0.0, 0.0])
+        b = rng.normal(0, 0.05, size=(5, 3)) + np.array([-1.0, 0.0, 0.0])
+        data = np.vstack([a, b])
+        kernel = data @ data.T
+        emb = spectral_embedding(kernel, dims=1)
+        signs = np.sign(emb[:, 0])
+        assert abs(signs[:5].sum()) == 5
+        assert abs(signs[5:].sum()) == 5
+        assert signs[0] != signs[5]
+
+    def test_square_required(self):
+        with pytest.raises(ConfigurationError):
+            spectral_embedding(np.zeros((2, 3)))
+
+    def test_dims_selected(self):
+        kernel = np.eye(4)
+        emb = spectral_embedding(kernel, dims=3)
+        assert emb.shape == (4, 3)

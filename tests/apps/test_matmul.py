@@ -1,0 +1,77 @@
+"""Private matrix-vector product: correctness on both backends."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import (
+    MatVecEstimate,
+    PrivateMatVec,
+    estimate_times_s,
+    private_dot,
+)
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q8_4, Q16_8
+
+
+class TestPrivateMatVec:
+    @pytest.mark.parametrize("backend", ["maxelerator", "tinygarble"])
+    def test_small_product_both_backends(self, backend):
+        a = np.array([[1.5, -2.25], [0.5, 3.0]])
+        x = np.array([2.0, -1.25])
+        pm = PrivateMatVec(a, Q16_8, backend=backend, seed=1)
+        report = pm.run_with_client(x)
+        np.testing.assert_allclose(report.result, a @ x, atol=1e-3)
+        assert report.n_macs == 4
+        assert report.tables > 0
+        assert report.backend == backend
+
+    def test_matches_quantized_expectation_exactly(self):
+        a = np.array([[0.3, -0.7, 0.11]])
+        x = np.array([0.9, 0.2, -0.55])
+        pm = PrivateMatVec(a, Q8_4, seed=2)
+        report = pm.run_with_client(x)
+        np.testing.assert_array_equal(report.result, pm.expected(x))
+
+    def test_negative_heavy_inputs(self):
+        a = np.array([[-7.0, -7.5]])
+        x = np.array([-7.25, -6.0])
+        pm = PrivateMatVec(a, Q8_4, seed=3)
+        report = pm.run_with_client(x)
+        assert report.result[0] == pytest.approx(-7 * -7.25 + -7.5 * -6, abs=0.1)
+
+    def test_private_dot_convenience(self):
+        value = private_dot([1.0, 2.0], [0.5, -0.5], Q8_4, seed=4)
+        assert value == pytest.approx(-0.5)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivateMatVec(np.zeros(3), Q8_4)
+        pm = PrivateMatVec(np.zeros((2, 3)), Q8_4)
+        with pytest.raises(ConfigurationError):
+            pm.run_with_client(np.zeros(2))
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivateMatVec(np.zeros((1, 2)), Q8_4, backend="magic")
+
+    def test_traffic_is_reported(self):
+        pm = PrivateMatVec(np.array([[1.0, 1.0]]), Q8_4, seed=5)
+        report = pm.run_with_client(np.array([1.0, 1.0]))
+        assert report.bytes_sent_garbler > report.bytes_sent_evaluator
+        assert report.bytes_sent_garbler > 32 * report.tables  # tables+labels+OT
+
+
+class TestEstimates:
+    def test_framework_ordering(self):
+        est = estimate_times_s(n_macs=1000, bitwidth=32)
+        assert est["maxelerator"] < est["overlay"] < est["tinygarble"]
+
+    def test_estimate_scales_linearly(self):
+        one = MatVecEstimate(1, 1, 32).times_s()["maxelerator"]
+        many = MatVecEstimate(10, 100, 32).times_s()["maxelerator"]
+        assert many == pytest.approx(1000 * one)
+
+    def test_table_bytes(self):
+        est = MatVecEstimate(2, 3, 8)
+        assert est.table_bytes(ands_per_mac=100) == 32 * 100 * 6
+        assert est.table_bytes() > 0

@@ -1,0 +1,46 @@
+"""Private matrix-matrix multiplication tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul_full import PrivateMatMul
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q8_4, Q16_8
+
+
+class TestPrivateMatMul:
+    def test_two_by_two_product(self):
+        a = np.array([[1.0, -0.5], [0.25, 2.0]])
+        x = np.array([[1.5, 0.0], [-1.0, 0.5]])
+        pm = PrivateMatMul(a, Q16_8, seed=1)
+        report = pm.run_with_client(x)
+        np.testing.assert_allclose(report.result, a @ x, atol=1e-2)
+        assert report.n_macs == 8
+
+    def test_matches_quantised_expectation(self):
+        a = np.array([[0.3, -0.7]])
+        x = np.array([[0.9], [0.2]])
+        pm = PrivateMatMul(a, Q8_4, seed=2)
+        report = pm.run_with_client(x)
+        np.testing.assert_array_equal(report.result, pm.expected(x))
+
+    def test_paper_cycle_formula(self):
+        a = np.zeros((2, 3))
+        pm = PrivateMatMul(a, Q8_4)
+        report_cycles = pm.run_with_client(np.zeros((3, 2))).paper_cycles
+        # 3 * M * N * P * b with the paper's (M x N)(N x P) naming
+        assert report_cycles == 3 * 2 * 3 * 2 * 8
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrivateMatMul(np.zeros(3))
+        pm = PrivateMatMul(np.zeros((2, 3)), Q8_4)
+        with pytest.raises(ConfigurationError):
+            pm.run_with_client(np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            pm.run_with_client(np.zeros(3))
+
+    def test_estimates_present(self):
+        pm = PrivateMatMul(np.eye(2) * 0.5, Q8_4, seed=3)
+        report = pm.run_with_client(np.eye(2))
+        assert report.estimates["maxelerator"] < report.estimates["tinygarble"]

@@ -1,0 +1,116 @@
+"""Shifter / popcount / max / argmax block tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import from_bits, to_bits
+from repro.circuits import blocks
+from repro.circuits.builder import NetlistBuilder
+from repro.errors import CircuitError
+
+
+def shift_netlist(width, direction):
+    b = NetlistBuilder("shift")
+    value = b.garbler_input_bus(width)
+    amount = b.garbler_input_bus(max(1, math.ceil(math.log2(width))))
+    fn = blocks.barrel_shift_left if direction == "l" else blocks.barrel_shift_right
+    b.set_outputs(fn(b, value, amount))
+    return b.build()
+
+
+class TestBarrelShifter:
+    @given(v=st.integers(0, 255), s=st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_left_shift(self, v, s):
+        net = shift_netlist(8, "l")
+        out = net.evaluate_plain(to_bits(v, 8) + to_bits(s, 3), [])
+        assert from_bits(out) == (v << s) & 0xFF
+
+    @given(v=st.integers(0, 255), s=st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_right_shift(self, v, s):
+        net = shift_netlist(8, "r")
+        out = net.evaluate_plain(to_bits(v, 8) + to_bits(s, 3), [])
+        assert from_bits(out) == v >> s
+
+    def test_narrow_amount_rejected(self):
+        b = NetlistBuilder("bad")
+        value = b.garbler_input_bus(8)
+        amount = b.garbler_input_bus(1)
+        with pytest.raises(CircuitError):
+            blocks.barrel_shift_left(b, value, amount)
+
+
+class TestPopcount:
+    @given(v=st.integers(0, 2**12 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_hamming_weight(self, v):
+        b = NetlistBuilder("pc")
+        bits = b.garbler_input_bus(12)
+        b.set_outputs(blocks.popcount(b, bits))
+        net = b.build()
+        out = net.evaluate_plain(to_bits(v, 12), [])
+        assert from_bits(out) == bin(v).count("1")
+
+    def test_single_bit(self):
+        b = NetlistBuilder("pc1")
+        bits = b.garbler_input_bus(1)
+        b.set_outputs(blocks.popcount(b, bits))
+        net = b.build()
+        assert net.evaluate_plain([1], []) == [1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            blocks.popcount(NetlistBuilder(), [])
+
+
+class TestMaxArgmax:
+    @given(x=st.integers(-128, 127), y=st.integers(-128, 127))
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_max(self, x, y):
+        b = NetlistBuilder("max")
+        xb = b.garbler_input_bus(8)
+        yb = b.garbler_input_bus(8)
+        out, sel = blocks.maximum(b, xb, yb)
+        b.set_outputs(list(out) + [sel])
+        net = b.build()
+        res = net.evaluate_plain(to_bits(x, 8) + to_bits(y, 8), [])
+        assert from_bits(res[:8], signed=True) == max(x, y)
+        assert res[8] == int(x < y)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_argmax_structure(self, n):
+        net = blocks.build_argmax_netlist(n, 8)
+        values = [(-1) ** i * (i * 13 % 97) for i in range(n)]
+        bits = [bit for v in values for bit in to_bits(v, 8)]
+        out = net.evaluate_plain([], bits)
+        assert from_bits(out) == values.index(max(values))
+
+    @given(values=st.lists(st.integers(-100, 100), min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_argmax_random(self, values):
+        net = blocks.build_argmax_netlist(len(values), 8)
+        bits = [bit for v in values for bit in to_bits(v, 8)]
+        out = net.evaluate_plain([], bits)
+        assert values[from_bits(out)] == max(values)
+
+    def test_argmax_garbles(self):
+        from tests.gc.test_garble_evaluate import gc_run
+
+        net = blocks.build_argmax_netlist(4, 8)
+        values = [5, -3, 90, 17]
+        bits = [bit for v in values for bit in to_bits(v, 8)]
+        result, _ = gc_run(net, [], bits)
+        assert from_bits(result.output_bits) == 2
+
+    def test_mismatched_widths_rejected(self):
+        b = NetlistBuilder()
+        with pytest.raises(CircuitError):
+            blocks.argmax(b, [b.garbler_input_bus(4), b.garbler_input_bus(5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            blocks.argmax(NetlistBuilder(), [])

@@ -1,0 +1,210 @@
+"""Builder DSL and arithmetic library tests (vs plaintext arithmetic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.builder import ONE, ZERO, Const, NetlistBuilder
+from repro.circuits.gates import GateType
+from repro.circuits import library as lib
+from repro.errors import CircuitError
+
+
+def run1(build):
+    """Build a 1-output netlist via callback and return an eval closure."""
+    b = NetlistBuilder("t")
+    out = build(b)
+    b.set_outputs([out])
+    net = b.build()
+    return net
+
+
+class TestConstantFolding:
+    def test_const_validation(self):
+        with pytest.raises(CircuitError):
+            Const(2)
+
+    def test_xor_folds(self):
+        b = NetlistBuilder()
+        w = b.garbler_input_bus(1)[0]
+        assert b.XOR(ZERO, ONE) == ONE
+        assert b.XOR(w, ZERO) == w
+        assert b.XOR(w, w) == ZERO
+        assert len(b.netlist.gates) == 0
+        assert b.XOR(w, ONE) != w  # becomes a NOT gate
+        assert b.netlist.gates[-1].gtype is GateType.NOT
+
+    def test_and_folds(self):
+        b = NetlistBuilder()
+        w = b.garbler_input_bus(1)[0]
+        assert b.AND(w, ZERO) == ZERO
+        assert b.AND(w, ONE) == w
+        assert b.AND(w, w) == w
+        assert b.AND(ZERO, ONE) == ZERO
+        assert len(b.netlist.gates) == 0
+
+    def test_or_folds(self):
+        b = NetlistBuilder()
+        w = b.garbler_input_bus(1)[0]
+        assert b.OR(w, ONE) == ONE
+        assert b.OR(w, ZERO) == w
+        assert b.OR(w, w) == w
+        assert len(b.netlist.gates) == 0
+
+    def test_nand_fuses_single_table(self):
+        b = NetlistBuilder()
+        w1, w2 = b.garbler_input_bus(2)
+        b.NAND(w1, w2)
+        assert [g.gtype for g in b.netlist.gates] == [GateType.NAND]
+
+    def test_nand_of_same_wire_is_not(self):
+        b = NetlistBuilder()
+        (w,) = b.garbler_input_bus(1)
+        b.NAND(w, w)
+        assert [g.gtype for g in b.netlist.gates] == [GateType.NOT]
+        assert b.NAND(ZERO, ZERO) == ONE
+
+    def test_const_wires_are_shared(self):
+        b = NetlistBuilder()
+        assert b.const_wire(1) == b.const_wire(1)
+        assert b.const_wire(0) != b.const_wire(1)
+
+    def test_mux_semantics(self):
+        b = NetlistBuilder("mux")
+        s, a0, a1 = b.garbler_input_bus(3)
+        b.set_outputs([b.MUX(s, a0, a1)])
+        net = b.build()
+        for s_v in (0, 1):
+            for v0 in (0, 1):
+                for v1 in (0, 1):
+                    expect = v1 if s_v else v0
+                    assert net.evaluate_plain([s_v, v0, v1], []) == [expect]
+
+
+def arith_netlist(width, fn, n_inputs=2):
+    b = NetlistBuilder("arith")
+    buses = [b.garbler_input_bus(width) for _ in range(n_inputs)]
+    out = fn(b, *buses)
+    b.set_outputs(out)
+    return b.build()
+
+
+class TestAdder:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_add_unsigned(self, a, x):
+        net = arith_netlist(8, lambda b, p, q: lib.add(b, p, q, keep_cout=True))
+        out = net.evaluate_plain(to_bits(a, 8) + to_bits(x, 8), [])
+        assert from_bits(out) == a + x
+
+    def test_adder_gate_budget(self):
+        # the paper's adder: exactly 1 AND per bit, no other non-free gates
+        net = arith_netlist(16, lambda b, p, q: lib.add(b, p, q))
+        assert net.stats().n_nonfree == 16
+        assert all(g.gtype in (GateType.AND, GateType.XOR) for g in net.gates)
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    @settings(max_examples=60, deadline=None)
+    def test_sub_signed(self, a, x):
+        net = arith_netlist(8, lambda b, p, q: lib.sub(b, p, q))
+        out = net.evaluate_plain(to_bits(a, 8) + to_bits(x, 8), [])
+        assert from_bits(out, signed=True) == ((a - x + 128) % 256) - 128
+
+    def test_width_mismatch(self):
+        b = NetlistBuilder()
+        with pytest.raises(CircuitError):
+            lib.add(b, b.garbler_input_bus(4), b.garbler_input_bus(5))
+
+
+class TestNegateAndMux:
+    @given(st.integers(-127, 127))
+    @settings(max_examples=40, deadline=None)
+    def test_negate(self, a):
+        net = arith_netlist(8, lambda b, p: lib.negate(b, p), n_inputs=1)
+        out = net.evaluate_plain(to_bits(a, 8), [])
+        assert from_bits(out, signed=True) == -a
+
+    @given(st.integers(-127, 127), st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_cond_negate(self, a, s):
+        b = NetlistBuilder()
+        bus = b.garbler_input_bus(8)
+        sign = b.garbler_input_bus(1)[0]
+        b.set_outputs(lib.cond_negate(b, bus, sign))
+        net = b.build()
+        out = net.evaluate_plain(to_bits(a, 8) + [s], [])
+        assert from_bits(out, signed=True) == (-a if s else a)
+
+    def test_cond_negate_gate_budget(self):
+        # 1 AND per bit: the increment chain; inversion XORs are free
+        b = NetlistBuilder()
+        bus = b.garbler_input_bus(8)
+        sign = b.garbler_input_bus(1)[0]
+        b.set_outputs(lib.cond_negate(b, bus, sign))
+        assert b.build().stats().n_nonfree == 8
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_mux_bus(self, v0, v1, s):
+        b = NetlistBuilder()
+        bus0 = b.garbler_input_bus(8)
+        bus1 = b.garbler_input_bus(8)
+        sel = b.garbler_input_bus(1)[0]
+        b.set_outputs(lib.mux_bus(b, sel, bus0, bus1))
+        net = b.build()
+        out = net.evaluate_plain(to_bits(v0, 8) + to_bits(v1, 8) + [s], [])
+        assert from_bits(out) == (v1 if s else v0)
+
+
+class TestComparators:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_equals(self, a, x):
+        net = arith_netlist(8, lambda b, p, q: [lib.equals(b, p, q)])
+        out = net.evaluate_plain(to_bits(a, 8) + to_bits(x, 8), [])
+        assert out == [int(a == x)]
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_less_than_unsigned(self, a, x):
+        net = arith_netlist(8, lambda b, p, q: [lib.less_than(b, p, q)])
+        out = net.evaluate_plain(to_bits(a, 8) + to_bits(x, 8), [])
+        assert out == [int(a < x)]
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    @settings(max_examples=60, deadline=None)
+    def test_less_than_signed(self, a, x):
+        net = arith_netlist(8, lambda b, p, q: [lib.less_than(b, p, q, signed=True)])
+        out = net.evaluate_plain(to_bits(a, 8) + to_bits(x, 8), [])
+        assert out == [int(a < x)]
+
+
+class TestExtensions:
+    def test_shift_left_const(self):
+        b = NetlistBuilder()
+        bus = b.garbler_input_bus(4)
+        b.set_outputs(lib.shift_left_const(bus, 2, width=6))
+        net = b.build()
+        out = net.evaluate_plain(to_bits(5, 4), [])
+        assert from_bits(out) == 5 << 2
+
+    @given(st.integers(-8, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_sign_extend(self, v):
+        b = NetlistBuilder()
+        bus = b.garbler_input_bus(4)
+        b.set_outputs(lib.sign_extend(bus, 9))
+        net = b.build()
+        out = net.evaluate_plain(to_bits(v, 4), [])
+        assert from_bits(out, signed=True) == v
+
+    def test_extend_narrower_raises(self):
+        with pytest.raises(CircuitError):
+            lib.sign_extend([ZERO] * 8, 4)
+        with pytest.raises(CircuitError):
+            lib.zero_extend([ZERO] * 8, 4)
+
+    def test_constant_bus(self):
+        bus = lib.constant_bus(10, 4)
+        assert [s.bit for s in bus] == [0, 1, 0, 1]

@@ -1,0 +1,96 @@
+"""Divider and square-root netlists — plus the Table 3 gate-ratio check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.division import build_divider_netlist, build_sqrt_netlist
+from repro.errors import CircuitError
+
+
+class TestDivider:
+    @given(a=st.integers(0, 255), d=st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_8bit_division(self, a, d):
+        net = build_divider_netlist(8)
+        out = net.evaluate_plain(to_bits(a, 8), to_bits(d, 8))
+        q, r = from_bits(out[:8]), from_bits(out[8:])
+        assert q == a // d
+        assert r == a % d
+
+    def test_corners(self):
+        net = build_divider_netlist(8)
+        for a, d in [(255, 1), (255, 255), (0, 7), (1, 255), (128, 2)]:
+            out = net.evaluate_plain(to_bits(a, 8), to_bits(d, 8))
+            assert from_bits(out[:8]) == a // d, (a, d)
+            assert from_bits(out[8:]) == a % d, (a, d)
+
+    def test_divide_by_zero_convention(self):
+        net = build_divider_netlist(8)
+        out = net.evaluate_plain(to_bits(77, 8), to_bits(0, 8))
+        assert from_bits(out[:8]) == 255  # all-ones quotient
+
+    def test_16bit_spot_checks(self):
+        net = build_divider_netlist(16)
+        for a, d in [(50000, 7), (12345, 123), (65535, 2)]:
+            out = net.evaluate_plain(to_bits(a, 16), to_bits(d, 16))
+            assert from_bits(out[:16]) == a // d
+
+    def test_gate_count_scales_quadratically(self):
+        ands = {b: build_divider_netlist(b).stats().n_nonfree for b in (8, 16, 32)}
+        assert 3.2 < ands[16] / ands[8] < 4.5
+        assert 3.2 < ands[32] / ands[16] < 4.5
+
+    def test_garbled_division(self):
+        from tests.gc.test_garble_evaluate import gc_run
+
+        net = build_divider_netlist(8)
+        result, _ = gc_run(net, to_bits(200, 8), to_bits(9, 8))
+        assert from_bits(result.output_bits[:8]) == 200 // 9
+        assert from_bits(result.output_bits[8:]) == 200 % 9
+
+
+class TestSqrt:
+    @given(a=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_8bit_sqrt(self, a):
+        net = build_sqrt_netlist(8)
+        out = net.evaluate_plain([], to_bits(a, 8))
+        assert from_bits(out) == int(a**0.5)
+
+    def test_perfect_squares(self):
+        net = build_sqrt_netlist(8)
+        for root in range(16):
+            out = net.evaluate_plain([], to_bits(root * root, 8))
+            assert from_bits(out) == root
+
+    def test_16bit_spot_checks(self):
+        net = build_sqrt_netlist(16)
+        for a in (65535, 40000, 10000, 9999, 2):
+            out = net.evaluate_plain([], to_bits(a, 16))
+            assert from_bits(out) == int(a**0.5)
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(CircuitError):
+            build_sqrt_netlist(7)
+
+    def test_cheaper_than_divider(self):
+        div = build_divider_netlist(16).stats().n_nonfree
+        sqrt = build_sqrt_netlist(16).stats().n_nonfree
+        assert sqrt < div
+
+
+class TestTable3GateRatio:
+    def test_mac_to_division_ratio_is_about_two(self):
+        # the 2d decomposition of the Table 3 model (repro.apps.ridge)
+        # assumes one 32-bit MAC costs ~2x one 32-bit division in AND
+        # gates; measure it on the real netlists
+        from repro.accel.tree_mac import build_scheduled_mac
+
+        mac_ands = sum(
+            1 for g in build_scheduled_mac(32).netlist.gates if not g.is_free
+        )
+        div_ands = build_divider_netlist(32).stats().n_nonfree
+        ratio = mac_ands / div_ands
+        assert 1.5 < ratio < 2.5, f"measured MAC/div gate ratio {ratio:.2f}"

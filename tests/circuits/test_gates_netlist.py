@@ -1,0 +1,125 @@
+"""Gate IR and netlist container tests."""
+
+import pytest
+
+from repro.circuits.gates import Gate, GateType
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+class TestGateTypes:
+    def test_free_classification(self):
+        free = {GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF}
+        for gt in GateType:
+            assert gt.is_free == (gt in free)
+            assert gt.is_nonlinear != gt.is_free
+
+    @pytest.mark.parametrize(
+        "gtype,table",
+        [
+            (GateType.AND, [0, 0, 0, 1]),
+            (GateType.NAND, [1, 1, 1, 0]),
+            (GateType.OR, [0, 1, 1, 1]),
+            (GateType.NOR, [1, 0, 0, 0]),
+            (GateType.ANDNOT, [0, 0, 1, 0]),  # a & ~b
+            (GateType.NOTAND, [0, 1, 0, 0]),  # ~a & b
+            (GateType.ORNOT, [1, 0, 1, 1]),  # a | ~b
+            (GateType.NOTOR, [1, 1, 0, 1]),  # ~a | b
+            (GateType.XOR, [0, 1, 1, 0]),
+            (GateType.XNOR, [1, 0, 0, 1]),
+        ],
+    )
+    def test_truth_tables(self, gtype, table):
+        got = [gtype.eval(a, b) for a in (0, 1) for b in (0, 1)]
+        assert got == table
+
+    def test_unary_gates(self):
+        assert [GateType.NOT.eval(v) for v in (0, 1)] == [1, 0]
+        assert [GateType.BUF.eval(v) for v in (0, 1)] == [0, 1]
+
+    def test_and_form_consistency(self):
+        # every AND-class type must satisfy out = ((a^alpha)&(b^beta))^gamma
+        for gt in GateType:
+            if gt.and_form is None:
+                continue
+            alpha, beta, gamma = gt.and_form
+            for a in (0, 1):
+                for b in (0, 1):
+                    assert gt.eval(a, b) == ((a ^ alpha) & (b ^ beta)) ^ gamma
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(CircuitError):
+            GateType.AND.eval(1)
+        with pytest.raises(CircuitError):
+            Gate(0, GateType.NOT, (1, 2), 3)
+
+
+def tiny_netlist():
+    """Manual two-gate netlist: out = (g0 AND e0) XOR e1."""
+    net = Netlist(n_wires=5, name="tiny")
+    net.garbler_inputs = [0]
+    net.evaluator_inputs = [1, 2]
+    net.gates = [
+        Gate(0, GateType.AND, (0, 1), 3),
+        Gate(1, GateType.XOR, (3, 2), 4),
+    ]
+    net.outputs = [4]
+    return net
+
+
+class TestNetlist:
+    def test_validate_accepts_good_netlist(self):
+        tiny_netlist().validate()
+
+    def test_plain_evaluation(self):
+        net = tiny_netlist()
+        for g0 in (0, 1):
+            for e0 in (0, 1):
+                for e1 in (0, 1):
+                    assert net.evaluate_plain([g0], [e0, e1]) == [(g0 & e0) ^ e1]
+
+    def test_stats(self):
+        stats = tiny_netlist().stats()
+        assert stats.n_nonfree == 1
+        assert stats.n_free == 1
+        assert stats.table_bytes == 32
+        assert stats.nonfree_depth == 1
+
+    def test_wrong_input_counts_raise(self):
+        net = tiny_netlist()
+        with pytest.raises(CircuitError):
+            net.evaluate_plain([0, 1], [0, 0])
+        with pytest.raises(CircuitError):
+            net.evaluate_plain([0], [0])
+
+    def test_double_driver_rejected(self):
+        net = tiny_netlist()
+        net.gates.append(Gate(2, GateType.XOR, (0, 1), 4))
+        with pytest.raises(CircuitError):
+            net.validate()
+
+    def test_undriven_read_rejected(self):
+        net = tiny_netlist()
+        net.gates[0] = Gate(0, GateType.AND, (0, 4), 3)  # reads later wire
+        with pytest.raises(CircuitError):
+            net.validate()
+
+    def test_undriven_output_rejected(self):
+        net = tiny_netlist()
+        net.outputs = [2, 4]
+        net.validate()  # inputs are fine as outputs
+        net.outputs = [4]
+        net.n_wires = 6
+        net.outputs = [5]
+        with pytest.raises(CircuitError):
+            net.validate()
+
+    def test_state_bits_path(self):
+        net = Netlist(n_wires=3, name="st")
+        net.state_inputs = [0, 1]
+        net.gates = [Gate(0, GateType.XOR, (0, 1), 2)]
+        net.outputs = [2]
+        net.validate()
+        assert net.evaluate_plain([], [], [1, 1]) == [0]
+        with pytest.raises(CircuitError):
+            net.evaluate_plain([], [], [1])

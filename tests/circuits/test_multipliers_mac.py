@@ -1,0 +1,153 @@
+"""Multiplier and MAC netlist tests (tree and serial, signed/unsigned)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.mac import (
+    accumulator_width,
+    build_mac_netlist,
+    build_sequential_mac,
+)
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.circuits.sequential import SequentialCircuit
+from repro.errors import CircuitError
+
+
+def mul_out(net, a, x, width, signed):
+    out = net.evaluate_plain(to_bits(a, width), to_bits(x, width))
+    return from_bits(out, signed=signed)
+
+
+class TestUnsignedMultipliers:
+    @pytest.mark.parametrize("kind", ["tree", "serial"])
+    @given(a=st.integers(0, 255), x=st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_8bit_exhaustive_random(self, kind, a, x):
+        net = build_multiplier_netlist(8, kind=kind, signed=False)
+        assert mul_out(net, a, x, 8, signed=False) == a * x
+
+    @pytest.mark.parametrize("kind", ["tree", "serial"])
+    def test_corners(self, kind):
+        net = build_multiplier_netlist(8, kind=kind, signed=False)
+        for a, x in [(0, 0), (0, 255), (255, 255), (1, 255), (128, 128)]:
+            assert mul_out(net, a, x, 8, signed=False) == a * x
+
+    @pytest.mark.parametrize("width", [2, 4, 6, 8, 16])
+    def test_tree_handles_widths(self, width):
+        net = build_multiplier_netlist(width, kind="tree", signed=False)
+        a = (1 << width) - 1
+        assert mul_out(net, a, a, width, signed=False) == a * a
+
+    def test_serial_gate_count_matches_model(self):
+        # 2b^2 - b non-XOR gates: the TinyGarble calibration constant in
+        # DESIGN.md rests on this count.
+        for b in (4, 8, 16):
+            net = build_multiplier_netlist(b, kind="serial", signed=False)
+            assert net.stats().n_nonfree == 2 * b * b - b
+
+    def test_tree_parallelism_beats_serial(self):
+        # The paper's point is schedulability: the tree form exposes more
+        # AND gates per dependency level, which the FSM maps onto
+        # parallel cores.  (Pure combinational AND-depth is dominated by
+        # the ripple-carry chains in both forms; the hardware streams
+        # those serially, one bit per stage.)
+        serial = build_multiplier_netlist(16, kind="serial", signed=False)
+        tree = build_multiplier_netlist(16, kind="tree", signed=False)
+
+        def avg_parallelism(net):
+            return net.stats().n_nonfree / net.nonfree_depth()
+
+        assert avg_parallelism(tree) > avg_parallelism(serial)
+
+    def test_odd_width_tree_rejected(self):
+        with pytest.raises(CircuitError):
+            build_multiplier_netlist(7, kind="tree", signed=False)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CircuitError):
+            build_multiplier_netlist(8, kind="booth")
+
+
+class TestSignedMultipliers:
+    @pytest.mark.parametrize("kind", ["tree", "serial"])
+    @given(a=st.integers(-127, 127), x=st.integers(-127, 127))
+    @settings(max_examples=40, deadline=None)
+    def test_8bit_signed(self, kind, a, x):
+        net = build_multiplier_netlist(8, kind=kind, signed=True)
+        assert mul_out(net, a, x, 8, signed=True) == a * x
+
+    def test_signed_corners(self):
+        net = build_multiplier_netlist(8, kind="tree", signed=True)
+        for a, x in [(-127, 127), (127, -127), (-1, -1), (-127, -127), (0, -5)]:
+            assert mul_out(net, a, x, 8, signed=True) == a * x
+
+    def test_16bit_signed_spot(self):
+        net = build_multiplier_netlist(16, kind="tree", signed=True)
+        for a, x in [(-30000, 2), (12345, -2), (-5000, -6)]:
+            assert mul_out(net, a, x, 16, signed=True) == a * x
+
+
+class TestMacNetlist:
+    def test_accumulator_width(self):
+        assert accumulator_width(8, max_rounds=256) == 24
+        assert accumulator_width(32, max_rounds=2) == 65
+        with pytest.raises(CircuitError):
+            accumulator_width(8, max_rounds=0)
+
+    @given(
+        a=st.integers(-100, 100),
+        x=st.integers(-100, 100),
+        acc=st.integers(-30000, 30000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_combinational_mac(self, a, x, acc):
+        width = 8
+        acc_w = accumulator_width(width)
+        net = build_mac_netlist(width, acc_w)
+        g_bits = to_bits(a, width) + to_bits(acc, acc_w)
+        out = net.evaluate_plain(g_bits, to_bits(x, width))
+        assert from_bits(out, signed=True) == acc + a * x
+
+    def test_unsigned_mac(self):
+        net = build_mac_netlist(8, 20, signed=False)
+        g_bits = to_bits(200, 8) + to_bits(1000, 20)
+        out = net.evaluate_plain(g_bits, to_bits(250, 8))
+        assert from_bits(out) == 1000 + 200 * 250
+
+
+class TestSequentialMac:
+    def test_dot_product(self):
+        seq = build_sequential_mac(8, accumulator_width(8, 16))
+        a_vec = [3, -5, 7, 100, -100, 0, 1, -1]
+        x_vec = [2, 2, -3, 50, 50, 9, -9, 127]
+        g_rounds = [to_bits(a, 8) for a in a_vec]
+        e_rounds = [to_bits(x, 8) for x in x_vec]
+        history = seq.run_plain(g_rounds, e_rounds)
+        running = 0
+        for out, a, x in zip(history, a_vec, x_vec):
+            running += a * x
+            assert from_bits(out, signed=True) == running
+
+    def test_state_feedback_validation(self):
+        seq = build_sequential_mac(4)
+        with pytest.raises(CircuitError):
+            SequentialCircuit(seq.netlist, state_feedback=[0])
+        with pytest.raises(CircuitError):
+            SequentialCircuit(
+                seq.netlist,
+                state_feedback=[9999] * len(seq.netlist.state_inputs),
+            )
+
+    def test_initial_state(self):
+        acc_w = accumulator_width(4, 4)
+        seq = build_sequential_mac(4, acc_w)
+        seq.initial_state = to_bits(5, acc_w)
+        history = seq.run_plain([to_bits(2, 4)], [to_bits(3, 4)])
+        assert from_bits(history[0], signed=True) == 5 + 6
+
+    def test_round_count_mismatch(self):
+        seq = build_sequential_mac(4)
+        with pytest.raises(CircuitError):
+            seq.run_plain([to_bits(1, 4)], [])

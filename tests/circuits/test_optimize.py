@@ -1,0 +1,137 @@
+"""Netlist optimisation passes: semantics preserved, gates removed."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.builder import NetlistBuilder
+from repro.circuits.gates import GateType
+from repro.circuits.library import add
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.circuits.optimize import optimize
+
+
+def exhaustively_equivalent(before, after, n_g, n_e):
+    for g_bits in itertools.product((0, 1), repeat=n_g):
+        for e_bits in itertools.product((0, 1), repeat=n_e):
+            assert before.evaluate_plain(list(g_bits), list(e_bits)) == \
+                after.evaluate_plain(list(g_bits), list(e_bits))
+
+
+class TestCse:
+    def test_duplicate_and_merged(self):
+        b = NetlistBuilder("dup")
+        x, y = b.garbler_input_bus(2)
+        first = b._emit(GateType.AND, x, y)
+        second = b._emit(GateType.AND, x, y)
+        b.set_outputs([b.XOR(first, second)])  # folds to ZERO after CSE? no:
+        net = b.build()
+        opt, report = optimize(net)
+        assert report.cse_merged >= 1
+        exhaustively_equivalent(net, opt, 2, 0)
+
+    def test_commutative_inputs_normalised(self):
+        b = NetlistBuilder("comm")
+        x, y = b.garbler_input_bus(2)
+        g1 = b._emit(GateType.AND, x, y)
+        g2 = b._emit(GateType.AND, y, x)
+        b.set_outputs([g1, g2])
+        opt, report = optimize(b.build())
+        assert report.cse_merged == 1
+        assert opt.stats().n_nonfree == 1
+
+    def test_noncommutative_not_merged(self):
+        b = NetlistBuilder("ncomm")
+        x, y = b.garbler_input_bus(2)
+        g1 = b._emit(GateType.ANDNOT, x, y)  # x & ~y
+        g2 = b._emit(GateType.ANDNOT, y, x)  # y & ~x
+        b.set_outputs([g1, g2])
+        net = b.build()
+        opt, report = optimize(net)
+        assert opt.stats().n_nonfree == 2
+        exhaustively_equivalent(net, opt, 2, 0)
+
+
+class TestNotCollapse:
+    def test_double_not_removed(self):
+        b = NetlistBuilder("nn")
+        (x,) = b.garbler_input_bus(1)
+        b.set_outputs([b.NOT(b.NOT(x))])
+        net = b.build()
+        opt, report = optimize(net)
+        assert report.nots_collapsed >= 1
+        exhaustively_equivalent(net, opt, 1, 0)
+
+    def test_not_folds_into_xor(self):
+        b = NetlistBuilder("nx")
+        x, y = b.garbler_input_bus(2)
+        b.set_outputs([b._emit(GateType.XOR, b._emit(GateType.NOT, x), y)])
+        net = b.build()
+        opt, report = optimize(net)
+        assert report.nots_collapsed >= 1
+        # the XOR became XNOR and the NOT died
+        assert opt.count(GateType.XNOR) == 1
+        assert opt.count(GateType.NOT) == 0
+        exhaustively_equivalent(net, opt, 2, 0)
+
+    def test_not_folds_into_and_polarity(self):
+        b = NetlistBuilder("na")
+        x, y = b.garbler_input_bus(2)
+        b.set_outputs([b._emit(GateType.AND, b._emit(GateType.NOT, x), y)])
+        net = b.build()
+        opt, report = optimize(net)
+        assert opt.count(GateType.NOTAND) == 1  # ~x & y, one table either way
+        exhaustively_equivalent(net, opt, 2, 0)
+
+
+class TestDeadGates:
+    def test_unused_gate_removed(self):
+        b = NetlistBuilder("dead")
+        x, y = b.garbler_input_bus(2)
+        b._emit(GateType.AND, x, y)  # never used
+        b.set_outputs([b.XOR(x, y)])
+        opt, report = optimize(b.build())
+        assert report.dead_removed == 1
+        assert opt.stats().n_nonfree == 0
+
+
+class TestOnRealCircuits:
+    @pytest.mark.parametrize("kind", ["tree", "serial"])
+    def test_multiplier_already_tight(self, kind):
+        # the builder's constant folding leaves little on the table
+        net = build_multiplier_netlist(8, kind=kind, signed=False)
+        opt, report = optimize(net)
+        assert report.nonfree_after <= report.nonfree_before
+
+    @given(a=st.integers(0, 255), x=st.integers(0, 255))
+    @settings(max_examples=15, deadline=None)
+    def test_optimized_multiplier_still_multiplies(self, a, x):
+        net = build_multiplier_netlist(8, kind="tree", signed=False)
+        opt, _ = optimize(net)
+        out = opt.evaluate_plain(to_bits(a, 8), to_bits(x, 8))
+        assert from_bits(out) == a * x
+
+    def test_optimized_netlist_still_garbles(self):
+        from tests.gc.test_garble_evaluate import gc_run
+
+        b = NetlistBuilder("mix")
+        xs = b.garbler_input_bus(4)
+        ys = b.evaluator_input_bus(4)
+        total = add(b, xs, ys, keep_cout=True)
+        noisy = b.NOT(b.NOT(total[0]))  # junk for the optimiser
+        b._emit(GateType.AND, xs[0], ys[0])  # dead gate
+        b.set_outputs(total[:-1] + [noisy])
+        net = b.build()
+        opt, report = optimize(net)
+        assert report.dead_removed >= 1
+        result, _ = gc_run(opt, to_bits(5, 4), to_bits(11, 4))
+        out = from_bits(result.output_bits[:4])
+        assert out == (5 + 11) % 16
+
+    def test_report_renders(self):
+        net = build_multiplier_netlist(4, signed=False)
+        _, report = optimize(net)
+        assert "optimise" in str(report)

@@ -1,0 +1,97 @@
+"""Vectorised simulator tests (against the scalar reference)."""
+
+import numpy as np
+import pytest
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.mac import build_mac_netlist
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.circuits.simulate import exhaustive_truth_table, simulate_batch
+from repro.errors import CircuitError
+
+from tests.gc.test_random_circuits import random_netlists
+
+
+class TestSimulateBatch:
+    def test_matches_scalar_on_multiplier(self):
+        net = build_multiplier_netlist(6, kind="tree", signed=False)
+        rng = np.random.default_rng(1)
+        g = rng.integers(0, 2, size=(50, 6), dtype=np.uint8)
+        e = rng.integers(0, 2, size=(50, 6), dtype=np.uint8)
+        batch = simulate_batch(net, g, e)
+        for i in range(50):
+            scalar = net.evaluate_plain(list(g[i]), list(e[i]))
+            assert list(batch[i]) == scalar
+
+    def test_values_decode_correctly(self):
+        net = build_multiplier_netlist(8, kind="serial", signed=False)
+        g = np.array([to_bits(13, 8)], dtype=np.uint8)
+        e = np.array([to_bits(11, 8)], dtype=np.uint8)
+        out = simulate_batch(net, g, e)
+        assert from_bits(list(out[0])) == 143
+
+    def test_state_inputs_supported(self):
+        from repro.circuits.mac import build_sequential_mac
+
+        seq = build_sequential_mac(4, 12)
+        g = np.array([to_bits(3, 4)], dtype=np.uint8)
+        e = np.array([to_bits(5, 4)], dtype=np.uint8)
+        s = np.array([to_bits(100, 12)], dtype=np.uint8)
+        out = simulate_batch(seq.netlist, g, e, s)
+        assert from_bits(list(out[0]), signed=True) == 115
+
+    def test_missing_state_bits_raise(self):
+        from repro.circuits.mac import build_sequential_mac
+
+        seq = build_sequential_mac(4, 12)
+        with pytest.raises(CircuitError):
+            simulate_batch(
+                seq.netlist,
+                np.zeros((1, 4), np.uint8),
+                np.zeros((1, 4), np.uint8),
+            )
+
+    def test_shape_validation(self):
+        net = build_multiplier_netlist(4, signed=False)
+        with pytest.raises(CircuitError):
+            simulate_batch(net, np.zeros((2, 3), np.uint8), np.zeros((2, 4), np.uint8))
+
+    def test_random_circuits_match_scalar(self):
+        from hypothesis import given, settings
+
+        @given(random_netlists())
+        @settings(max_examples=20, deadline=None)
+        def inner(net):
+            rng = np.random.default_rng(3)
+            n_g, n_e = len(net.garbler_inputs), len(net.evaluator_inputs)
+            g = rng.integers(0, 2, size=(8, n_g), dtype=np.uint8)
+            e = rng.integers(0, 2, size=(8, n_e), dtype=np.uint8)
+            batch = simulate_batch(net, g, e)
+            for i in range(8):
+                assert list(batch[i]) == net.evaluate_plain(list(g[i]), list(e[i]))
+
+        inner()
+
+
+class TestExhaustiveTable:
+    def test_and_gate_table(self):
+        from repro.circuits.builder import NetlistBuilder
+
+        b = NetlistBuilder("and")
+        (x,) = b.garbler_input_bus(1)
+        (y,) = b.evaluator_input_bus(1)
+        b.set_outputs([b.AND(x, y)])
+        table = exhaustive_truth_table(b.build())
+        assert [int(r[0]) for r in table] == [0, 0, 0, 1]
+
+    def test_too_many_inputs_rejected(self):
+        net = build_multiplier_netlist(16, signed=False)
+        with pytest.raises(CircuitError):
+            exhaustive_truth_table(net)
+
+    def test_multiplier_4bit_full_table(self):
+        net = build_multiplier_netlist(4, kind="tree", signed=False)
+        table = exhaustive_truth_table(net)
+        for code in range(256):
+            a, x = code & 15, code >> 4
+            assert from_bits(list(table[code])) == a * x

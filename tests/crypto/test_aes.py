@@ -1,0 +1,98 @@
+"""AES-128 correctness against FIPS-197 and cross-path consistency."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.aes import (
+    AES128,
+    SBOX,
+    INV_SBOX,
+    expand_key,
+    words_from_u128,
+    u128_from_words,
+)
+from repro.errors import CryptoError
+
+# FIPS-197 Appendix B example
+FIPS_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS_PLAIN = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+FIPS_CIPHER = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+# FIPS-197 Appendix C.1 example
+C1_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+C1_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+C1_CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+def test_sbox_known_entries():
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_inv_sbox_is_inverse():
+    for v in range(256):
+        assert INV_SBOX[SBOX[v]] == v
+
+
+def test_key_expansion_fips_appendix_a():
+    words = expand_key(FIPS_KEY)
+    assert words[4] == 0xA0FAFE17
+    assert words[43] == 0xB6630CA6
+
+
+def test_encrypt_fips_appendix_b():
+    assert AES128(FIPS_KEY).encrypt_block(FIPS_PLAIN) == FIPS_CIPHER
+
+
+def test_encrypt_fips_appendix_c1():
+    assert AES128(C1_KEY).encrypt_block(C1_PLAIN) == C1_CIPHER
+
+
+def test_decrypt_round_trips():
+    aes = AES128(C1_KEY)
+    assert aes.decrypt_block(C1_CIPHER) == C1_PLAIN
+    rng = np.random.default_rng(7)
+    for _ in range(20):
+        block = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+def test_u128_interface_matches_bytes():
+    aes = AES128(FIPS_KEY)
+    value = int.from_bytes(FIPS_PLAIN, "big")
+    assert aes.encrypt_u128(value).to_bytes(16, "big") == FIPS_CIPHER
+
+
+def test_batch_matches_scalar():
+    aes = AES128(C1_KEY)
+    rng = np.random.default_rng(11)
+    blocks = rng.integers(0, 256, (64, 16), dtype=np.uint8).tobytes()
+    batch_out = aes.encrypt_blocks(blocks)
+    for i in range(64):
+        scalar = aes.encrypt_block(blocks[16 * i : 16 * i + 16])
+        assert batch_out[16 * i : 16 * i + 16] == scalar
+
+
+def test_words_u128_round_trip():
+    values = [0, 1, (1 << 128) - 1, 0x0123456789ABCDEF0123456789ABCDEF]
+    assert u128_from_words(words_from_u128(values)) == values
+
+
+def test_bad_key_and_block_sizes_raise():
+    with pytest.raises(CryptoError):
+        AES128(b"short")
+    aes = AES128(FIPS_KEY)
+    with pytest.raises(CryptoError):
+        aes.encrypt_block(b"x" * 15)
+    with pytest.raises(CryptoError):
+        aes.decrypt_block(b"x" * 17)
+    with pytest.raises(CryptoError):
+        aes.encrypt_blocks(b"x" * 17)
+
+
+def test_batch_rejects_bad_shape():
+    aes = AES128(FIPS_KEY)
+    with pytest.raises(CryptoError):
+        aes.encrypt_words(np.zeros((4, 3), dtype=np.uint32))

@@ -1,0 +1,94 @@
+"""Edge cases across the crypto layer."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.ot import TOY_GROUP, transfer_labels
+from repro.crypto.prf import FIXED_KEY, GarblingHash, MASK128, gf_double
+from repro.crypto.rng import TRNGSeededDRBG
+from repro.gc.channel import local_channel
+
+
+class TestAesEdges:
+    def test_empty_batch(self):
+        aes = AES128(FIXED_KEY)
+        assert aes.encrypt_blocks(b"") == b""
+
+    def test_single_block_batch_equals_scalar(self):
+        aes = AES128(FIXED_KEY)
+        block = bytes(range(16))
+        assert aes.encrypt_blocks(block) == aes.encrypt_block(block)
+
+    def test_large_batch(self):
+        aes = AES128(FIXED_KEY)
+        data = bytes(range(256)) * 64  # 1024 blocks
+        out = aes.encrypt_blocks(data)
+        assert len(out) == len(data)
+        assert out[:16] == aes.encrypt_block(data[:16])
+
+    def test_all_zero_and_all_one_blocks(self):
+        aes = AES128(FIXED_KEY)
+        for block in (bytes(16), b"\xff" * 16):
+            out = aes.encrypt_block(block)
+            assert out != block
+            assert aes.decrypt_block(out) == block
+
+
+class TestHashEdges:
+    def test_hash_of_zero_label(self):
+        h = GarblingHash()
+        assert 0 <= h(0, 0) <= MASK128
+
+    def test_hash_many_empty(self):
+        assert GarblingHash().hash_many([], []) == []
+
+    def test_gf_double_iterated_stays_in_field(self):
+        v = 1
+        for _ in range(300):
+            v = gf_double(v)
+            assert 0 <= v <= MASK128
+        assert v != 0  # doubling is invertible, never collapses
+
+
+class TestDrbgEdges:
+    def test_large_read(self):
+        drbg = TRNGSeededDRBG(seed=bytes(16))
+        data = drbg.random_bytes(100_000)
+        assert len(data) == 100_000
+        # quick sanity: roughly balanced bits
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        assert 0.49 < bits.mean() < 0.51
+
+    def test_sequential_reads_differ(self):
+        drbg = TRNGSeededDRBG(seed=bytes(16))
+        assert drbg.random_bytes(16) != drbg.random_bytes(16)
+
+    def test_getrandbits_zero_width_edge(self):
+        drbg = TRNGSeededDRBG(seed=bytes(16))
+        assert drbg.getrandbits(1) in (0, 1)
+
+
+class TestOtEdges:
+    def test_single_pair_transfer(self):
+        garbler, evaluator = local_channel()
+        got = transfer_labels(
+            garbler, evaluator, [(111, 222)], [1], TOY_GROUP, use_extension=False
+        )
+        assert got == [222]
+
+    def test_zero_message_values(self):
+        garbler, evaluator = local_channel()
+        got = transfer_labels(
+            garbler, evaluator, [(0, 1)], [0], TOY_GROUP, use_extension=False
+        )
+        assert got == [0]
+
+    def test_extension_with_exactly_129_pairs(self):
+        # one past the auto-extension threshold
+        pairs = [(i, i + 1000) for i in range(129)]
+        choices = [i % 2 for i in range(129)]
+        garbler, evaluator = local_channel()
+        got = transfer_labels(garbler, evaluator, pairs, choices, TOY_GROUP)
+        assert got == [p[c] for p, c in zip(pairs, choices)]
+        assert "ot.ext.u" in evaluator.sent.by_tag

@@ -1,0 +1,79 @@
+"""Oblivious-transfer tests (base OT and IKNP extension)."""
+
+import random
+
+import pytest
+
+from repro.crypto.ot import (
+    TOY_GROUP,
+    BaseOTReceiver,
+    BaseOTSender,
+    transfer_labels,
+)
+from repro.errors import CryptoError
+from repro.gc.channel import local_channel, run_two_party
+
+
+def random_pairs(n, seed=0):
+    rng = random.Random(seed)
+    return [(rng.getrandbits(128), rng.getrandbits(128)) for _ in range(n)]
+
+
+class TestBaseOT:
+    def test_receiver_gets_chosen_messages(self):
+        pairs = random_pairs(8, seed=1)
+        choices = [0, 1, 1, 0, 1, 0, 0, 1]
+        garbler, evaluator = local_channel()
+        got = transfer_labels(garbler, evaluator, pairs, choices, TOY_GROUP, use_extension=False)
+        assert got == [pair[c] for pair, c in zip(pairs, choices)]
+
+    def test_all_zero_and_all_one_choices(self):
+        pairs = random_pairs(4, seed=2)
+        for bit in (0, 1):
+            garbler, evaluator = local_channel()
+            got = transfer_labels(garbler, evaluator, pairs, [bit] * 4, TOY_GROUP, use_extension=False)
+            assert got == [p[bit] for p in pairs]
+
+    def test_mismatched_lengths_raise(self):
+        garbler, evaluator = local_channel()
+        with pytest.raises(CryptoError):
+            transfer_labels(garbler, evaluator, random_pairs(2), [0], TOY_GROUP)
+
+    def test_key_count_mismatch_detected(self):
+        garbler, evaluator = local_channel()
+        sender = BaseOTSender(garbler, TOY_GROUP)
+        receiver = BaseOTReceiver(evaluator, TOY_GROUP)
+        with pytest.raises(CryptoError):
+            run_two_party(
+                lambda: sender.send(random_pairs(3)),
+                lambda: receiver.receive([0, 1]),  # one key short
+            )
+
+
+class TestOTExtension:
+    def test_extension_correctness(self):
+        n = 300  # force several PRG blocks and a non-trivial matrix
+        pairs = random_pairs(n, seed=3)
+        rng = random.Random(4)
+        choices = [rng.getrandbits(1) for _ in range(n)]
+        garbler, evaluator = local_channel()
+        got = transfer_labels(garbler, evaluator, pairs, choices, TOY_GROUP, use_extension=True)
+        assert got == [pair[c] for pair, c in zip(pairs, choices)]
+
+    def test_auto_selects_extension_for_large_batches(self):
+        n = 200
+        pairs = random_pairs(n, seed=5)
+        choices = [i % 2 for i in range(n)]
+        garbler, evaluator = local_channel()
+        got = transfer_labels(garbler, evaluator, pairs, choices, TOY_GROUP)
+        assert got == [pair[c] for pair, c in zip(pairs, choices)]
+        # extension traffic includes the 'u' matrix message
+        assert "ot.ext.u" in evaluator.sent.by_tag
+
+    def test_traffic_is_accounted(self):
+        pairs = random_pairs(4, seed=6)
+        garbler, evaluator = local_channel()
+        transfer_labels(garbler, evaluator, pairs, [1, 0, 1, 0], TOY_GROUP, use_extension=False)
+        assert garbler.sent.payload_bytes > 0
+        assert evaluator.sent.payload_bytes > 0
+        assert "ot.base.enc" in garbler.sent.by_tag

@@ -1,0 +1,122 @@
+"""Batched (level-order) garbling: bit-identical, faster, correct."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.division import build_divider_netlist
+from repro.circuits.mac import build_mac_netlist
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.crypto.labels import LabelFactory
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import Garbler
+
+from tests.gc.test_random_circuits import netlist_with_inputs
+
+
+def twin_garble(net, seed=1, tweak_offset=0):
+    """Garble the same netlist with both paths under identical labels."""
+    scalar = Garbler(net, factory=LabelFactory(source=random.Random(seed))).garble(
+        tweak_offset=tweak_offset
+    )
+    batched = Garbler(net, factory=LabelFactory(source=random.Random(seed))).garble(
+        tweak_offset=tweak_offset, batch=True
+    )
+    return scalar, batched
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: build_mac_netlist(8),
+            lambda: build_multiplier_netlist(8, kind="serial", signed=True),
+            lambda: build_divider_netlist(8),
+        ],
+        ids=["mac", "serial-mul", "divider"],
+    )
+    def test_tables_and_pairs_match_scalar_path(self, builder):
+        net = builder()
+        scalar, batched = twin_garble(net)
+        assert scalar.tables == batched.tables
+        assert scalar.wire_pairs == batched.wire_pairs
+
+    def test_tweak_offset_respected(self):
+        net = build_mac_netlist(8)
+        scalar, batched = twin_garble(net, tweak_offset=1000)
+        assert scalar.tables == batched.tables
+
+    def test_hash_call_count_identical(self):
+        net = build_mac_netlist(8)
+        scalar, batched = twin_garble(net)
+        assert scalar.hash_calls == batched.hash_calls
+
+
+class TestBatchedEvaluation:
+    def test_batched_tables_evaluate_correctly(self):
+        net = build_multiplier_netlist(8, kind="tree", signed=True)
+        gc = Garbler(net).garble(batch=True)
+        labels = {}
+        for w, bit in zip(net.garbler_inputs, to_bits(-45, 8)):
+            labels[w] = gc.wire_pairs[w].select(bit)
+        for w, bit in zip(net.evaluator_inputs, to_bits(77, 8)):
+            labels[w] = gc.wire_pairs[w].select(bit)
+        for w, bit in net.constants.items():
+            labels[w] = gc.wire_pairs[w].select(bit)
+        result = Evaluator(net).evaluate(gc.tables, labels, gc.output_permute_bits)
+        assert from_bits(result.output_bits, signed=True) == -45 * 77
+
+
+class TestBatchedEvaluatorPath:
+    def _labels(self, net, gc, a, x):
+        labels = {}
+        for w, bit in zip(net.garbler_inputs, to_bits(a, 8)):
+            labels[w] = gc.wire_pairs[w].select(bit)
+        for w, bit in zip(net.evaluator_inputs, to_bits(x, 8)):
+            labels[w] = gc.wire_pairs[w].select(bit)
+        for w, bit in net.constants.items():
+            labels[w] = gc.wire_pairs[w].select(bit)
+        return labels
+
+    def test_batched_eval_equals_scalar_eval(self):
+        net = build_multiplier_netlist(8, kind="tree", signed=True)
+        gc = Garbler(net).garble()
+        labels = self._labels(net, gc, -3, 99)
+        scalar = Evaluator(net).evaluate(gc.tables, labels, gc.output_permute_bits)
+        batched = Evaluator(net).evaluate(
+            gc.tables, labels, gc.output_permute_bits, batch=True
+        )
+        assert scalar.output_labels == batched.output_labels
+        assert scalar.output_bits == batched.output_bits
+        assert scalar.hash_calls == batched.hash_calls
+
+    def test_full_batch_pipeline(self):
+        net = build_multiplier_netlist(8, kind="tree", signed=True)
+        gc = Garbler(net).garble(batch=True)
+        labels = self._labels(net, gc, -101, 42)
+        result = Evaluator(net).evaluate(
+            gc.tables, labels, gc.output_permute_bits, batch=True
+        )
+        assert from_bits(result.output_bits, signed=True) == -101 * 42
+
+    def test_batched_eval_checks_table_order(self):
+        from repro.errors import GCProtocolError
+
+        net = build_multiplier_netlist(8, kind="tree", signed=True)
+        gc = Garbler(net).garble()
+        labels = self._labels(net, gc, 1, 1)
+        shuffled = list(reversed(gc.tables))
+        with pytest.raises(GCProtocolError):
+            Evaluator(net).evaluate(shuffled, labels, batch=True)
+
+
+class TestOnRandomCircuits:
+    @given(netlist_with_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_random_circuits_batch_equals_scalar(self, case):
+        net, _g, _e = case
+        scalar, batched = twin_garble(net, seed=7)
+        assert scalar.tables == batched.tables
+        assert scalar.wire_pairs == batched.wire_pairs

@@ -1,0 +1,126 @@
+"""Channel semantics: tags, blocking, accounting, helpers."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import GCProtocolError
+from repro.gc.channel import TrafficStats, local_channel, run_two_party
+
+
+class TestBasics:
+    def test_send_recv_round_trip(self):
+        a, b = local_channel()
+        a.send("x", b"payload")
+        assert b.recv("x") == b"payload"
+
+    def test_tag_mismatch_detected(self):
+        a, b = local_channel()
+        a.send("x", b"payload")
+        with pytest.raises(GCProtocolError):
+            b.recv("y")
+
+    def test_fifo_order(self):
+        a, b = local_channel()
+        a.send("m", b"1")
+        a.send("m", b"2")
+        assert b.recv("m") == b"1"
+        assert b.recv("m") == b"2"
+
+    def test_non_bytes_rejected(self):
+        a, _ = local_channel()
+        with pytest.raises(GCProtocolError):
+            a.send("x", "a string")
+
+    def test_empty_recv_times_out(self):
+        _, b = local_channel()
+        with pytest.raises(GCProtocolError):
+            b.recv("x", timeout=0.05)
+
+    def test_duplex(self):
+        a, b = local_channel()
+        a.send("ping", b"1")
+        b.send("pong", b"2")
+        assert b.recv("ping") == b"1"
+        assert a.recv("pong") == b"2"
+
+    def test_pending_counts(self):
+        a, b = local_channel()
+        assert b.pending == 0
+        a.send("x", b"")
+        assert b.pending == 1
+
+
+class TestBlocking:
+    def test_recv_blocks_until_peer_sends(self):
+        a, b = local_channel()
+        result = []
+
+        def late_sender():
+            time.sleep(0.05)
+            a.send("slow", b"data")
+
+        t = threading.Thread(target=late_sender)
+        t.start()
+        result.append(b.recv("slow", timeout=2.0))
+        t.join()
+        assert result == [b"data"]
+
+    def test_run_two_party_returns_both_results(self):
+        a, b = local_channel()
+
+        def left():
+            a.send("q", b"hello")
+            return a.recv("r")
+
+        def right():
+            msg = b.recv("q")
+            b.send("r", msg.upper())
+            return msg
+
+        left_out, right_out = run_two_party(left, right)
+        assert left_out == b"HELLO"
+        assert right_out == b"hello"
+
+    def test_run_two_party_propagates_right_exception(self):
+        a, b = local_channel()
+
+        def left():
+            return a.recv("never", timeout=0.5)
+
+        def right():
+            raise ValueError("boom")
+
+        with pytest.raises((ValueError, GCProtocolError)):
+            run_two_party(left, right)
+
+
+class TestAccounting:
+    def test_bytes_and_messages_counted(self):
+        a, b = local_channel()
+        a.send("t1", b"12345")
+        a.send("t2", b"abc")
+        assert a.sent.messages == 2
+        assert a.sent.payload_bytes == 8
+        assert a.sent.by_tag == {"t1": 5, "t2": 3}
+
+    def test_stats_record_direct(self):
+        stats = TrafficStats()
+        stats.record("x", 10)
+        stats.record("x", 5)
+        assert stats.by_tag["x"] == 15
+
+
+class TestU128Helpers:
+    def test_round_trip(self):
+        a, b = local_channel()
+        values = [0, 1, (1 << 128) - 1]
+        a.send_u128_list("labels", values)
+        assert b.recv_u128_list("labels") == values
+
+    def test_ragged_payload_rejected(self):
+        a, b = local_channel()
+        a.send("labels", b"x" * 17)
+        with pytest.raises(GCProtocolError):
+            b.recv_u128_list("labels")

@@ -1,0 +1,80 @@
+"""Classic garbling schemes (4-row p&p, GRR3) — the Section 2.2 lineage."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.errors import GCProtocolError
+from repro.gc.classic import ClassicEvaluator, ClassicGarbler
+from repro.gc.garble import Garbler
+
+from tests.gc.test_random_circuits import netlist_with_inputs
+
+
+def classic_run(net, scheme, g_bits, e_bits):
+    gc = ClassicGarbler(net, scheme=scheme).garble()
+    assignments = {}
+    for w, b in zip(net.garbler_inputs, g_bits):
+        assignments[w] = b
+    for w, b in zip(net.evaluator_inputs, e_bits):
+        assignments[w] = b
+    for w, b in net.constants.items():
+        assignments[w] = b
+    labels = gc.select_labels(assignments)
+    return ClassicEvaluator(net, scheme=scheme).evaluate(
+        gc.gates, labels, gc.output_permute_bits
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheme", ["p&p", "grr3"])
+    def test_multiplier(self, scheme):
+        net = build_multiplier_netlist(6, kind="tree", signed=False)
+        out = classic_run(net, scheme, to_bits(51, 6), to_bits(37, 6))
+        assert from_bits(out) == 51 * 37
+
+    @pytest.mark.parametrize("scheme", ["p&p", "grr3"])
+    @given(netlist_with_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_random_circuits(self, scheme, case):
+        net, g_bits, e_bits = case
+        assert classic_run(net, scheme, g_bits, e_bits) == net.evaluate_plain(
+            g_bits, e_bits
+        )
+
+    def test_unknown_scheme_rejected(self):
+        net = build_multiplier_netlist(4, signed=False)
+        with pytest.raises(GCProtocolError):
+            ClassicGarbler(net, scheme="grr2")
+        with pytest.raises(GCProtocolError):
+            ClassicEvaluator(net, scheme="yao1986")
+
+
+class TestSizeProgression:
+    def test_optimisation_lineage_shrinks_tables(self):
+        # Section 2.2's story measured end to end: 4-row p&p over all
+        # gates > GRR3 (3 rows, XOR free) > half gates (2 rows)
+        net = build_multiplier_netlist(8, kind="tree", signed=False)
+        pnp = ClassicGarbler(net, scheme="p&p").garble().table_bytes
+        grr3 = ClassicGarbler(net, scheme="grr3").garble().table_bytes
+        half = sum(len(t.to_bytes()) for t in Garbler(net).garble().tables)
+        assert pnp > grr3 > half
+
+    def test_pnp_garbles_every_gate(self):
+        net = build_multiplier_netlist(4, signed=False)
+        gc = ClassicGarbler(net, scheme="p&p").garble()
+        # every 2-input gate (XORs included) costs 4 ciphertexts
+        two_input = sum(1 for g in net.gates if g.gtype.arity == 2)
+        assert gc.table_bytes == 4 * 16 * two_input
+
+    def test_grr3_costs_three_rows_per_nonfree(self):
+        net = build_multiplier_netlist(4, signed=False)
+        gc = ClassicGarbler(net, scheme="grr3").garble()
+        assert gc.table_bytes == 3 * 16 * net.stats().n_nonfree
+
+    def test_half_gates_ratio_on_real_circuit(self):
+        net = build_multiplier_netlist(8, kind="tree", signed=False)
+        grr3 = ClassicGarbler(net, scheme="grr3").garble().table_bytes
+        half = sum(len(t.to_bytes()) for t in Garbler(net).garble().tables)
+        assert half / grr3 == pytest.approx(2 / 3, rel=0.01)

@@ -1,0 +1,130 @@
+"""Failure injection: tampering, corruption, and protocol misuse.
+
+Honest-but-curious GC does not authenticate tables, so corruption shows
+up as *wrong labels*, not exceptions; these tests pin down exactly how
+each failure class manifests so integrators know what to expect.
+"""
+
+import random
+
+import pytest
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.mac import build_mac_netlist
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.crypto.labels import LabelPair
+from repro.errors import CryptoError, GCProtocolError
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import Garbler
+from repro.gc.tables import GarbledTable
+
+
+def setup_net(width=4):
+    net = build_multiplier_netlist(width, signed=False)
+    gc = Garbler(net).garble()
+    labels = {}
+    for w, bit in zip(net.garbler_inputs, to_bits(3, width)):
+        labels[w] = gc.wire_pairs[w].select(bit)
+    for w, bit in zip(net.evaluator_inputs, to_bits(5, width)):
+        labels[w] = gc.wire_pairs[w].select(bit)
+    for w, bit in net.constants.items():
+        labels[w] = gc.wire_pairs[w].select(bit)
+    return net, gc, labels
+
+
+class TestTableCorruption:
+    @staticmethod
+    def _corrupt_all(tables):
+        # a single flipped half-gate ciphertext is only *used* when the
+        # evaluator's colour bit selects it, so corrupt both halves of
+        # every table to make the damage deterministic
+        return [
+            GarbledTable(t.gate_index, t.t_g ^ 0xFF00FF, t.t_e ^ 0xFF00FF)
+            for t in tables
+        ]
+
+    def test_flipped_table_bits_corrupt_output_labels(self):
+        net, gc, labels = setup_net()
+        result = Evaluator(net).evaluate(self._corrupt_all(gc.tables), labels)
+        clean = Evaluator(net).evaluate(gc.tables, labels)
+        assert result.output_labels != clean.output_labels
+
+    def test_garbler_decode_rejects_corrupted_labels(self):
+        # the garbler-side decode map *does* detect garbage labels
+        net, gc, labels = setup_net()
+        result = Evaluator(net).evaluate(self._corrupt_all(gc.tables), labels)
+        with pytest.raises(CryptoError):
+            gc.decode(result.output_labels)
+
+    def test_swapped_tables_detected_by_index_check(self):
+        net, gc, labels = setup_net()
+        tampered = list(gc.tables)
+        tampered[0], tampered[1] = tampered[1], tampered[0]
+        with pytest.raises(GCProtocolError):
+            Evaluator(net).evaluate(tampered, labels)
+
+
+class TestLabelMisuse:
+    def test_wrong_wire_label_corrupts_output(self):
+        net, gc, labels = setup_net()
+        w = net.evaluator_inputs[0]
+        bad = dict(labels)
+        bad[w] = labels[w] ^ 0xDEADBEEF
+        clean = Evaluator(net).evaluate(gc.tables, labels, gc.output_permute_bits)
+        dirty = Evaluator(net).evaluate(gc.tables, bad, gc.output_permute_bits)
+        assert dirty.output_labels != clean.output_labels
+
+    def test_stale_labels_from_previous_garbling_fail(self):
+        # fresh labels every round (the paper's security requirement):
+        # labels from garbling #1 are useless against garbling #2
+        net = build_mac_netlist(4, 12)
+        gc1 = Garbler(net).garble()
+        gc2 = Garbler(net).garble()
+        stale = {
+            w: gc1.wire_pairs[w].zero
+            for w in net.input_wires + list(net.constants)
+        }
+        result = Evaluator(net).evaluate(gc2.tables, stale)
+        with pytest.raises(CryptoError):
+            gc2.decode(result.output_labels)
+
+
+class TestProtocolMisuse:
+    def test_evaluating_with_wrong_tweak_offset_detected(self):
+        net, gc, labels = setup_net()
+        with pytest.raises(GCProtocolError):
+            Evaluator(net).evaluate(gc.tables, labels, tweak_offset=999)
+
+    def test_label_pair_with_foreign_offset_rejected(self):
+        net = build_mac_netlist(4, 12)
+        garbler = Garbler(net)
+        foreign = LabelPair(12345, (1 << 127) | 1)
+        with pytest.raises(GCProtocolError):
+            garbler.garble(preset_pairs={net.garbler_inputs[0]: foreign})
+
+    def test_bit_flip_in_output_map_flips_decoded_bit(self):
+        net, gc, labels = setup_net()
+        clean_map = gc.output_permute_bits
+        flipped = [clean_map[0] ^ 1] + clean_map[1:]
+        clean = Evaluator(net).evaluate(gc.tables, labels, clean_map)
+        dirty = Evaluator(net).evaluate(gc.tables, labels, flipped)
+        assert dirty.output_bits[0] == clean.output_bits[0] ^ 1
+        assert dirty.output_bits[1:] == clean.output_bits[1:]
+
+
+class TestRobustnessOfCleanPath:
+    def test_many_independent_garblings_all_decode(self):
+        net = build_multiplier_netlist(4, signed=False)
+        rng = random.Random(9)
+        for _ in range(5):
+            a, x = rng.randrange(16), rng.randrange(16)
+            gc = Garbler(net).garble()
+            labels = {}
+            for w, bit in zip(net.garbler_inputs, to_bits(a, 4)):
+                labels[w] = gc.wire_pairs[w].select(bit)
+            for w, bit in zip(net.evaluator_inputs, to_bits(x, 4)):
+                labels[w] = gc.wire_pairs[w].select(bit)
+            for w, bit in net.constants.items():
+                labels[w] = gc.wire_pairs[w].select(bit)
+            result = Evaluator(net).evaluate(gc.tables, labels, gc.output_permute_bits)
+            assert from_bits(result.output_bits) == a * x

@@ -1,0 +1,264 @@
+"""Garble/evaluate round-trip correctness and GC invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.builder import NetlistBuilder
+from repro.circuits.gates import GateType
+from repro.circuits import library as lib
+from repro.circuits.mac import accumulator_width, build_mac_netlist
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.crypto.labels import LabelFactory, LabelPair, color
+from repro.errors import GCProtocolError
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import Garbler
+from repro.gc.tables import GarbledTable, deserialize_tables, serialize_tables
+
+
+def gc_run(net, g_bits, e_bits, const_known=True):
+    """Garble, pick active labels, evaluate, decode."""
+    gc = Garbler(net).garble()
+    labels = {}
+    for w, b in zip(net.garbler_inputs, g_bits):
+        labels[w] = gc.wire_pairs[w].select(b)
+    for w, b in zip(net.evaluator_inputs, e_bits):
+        labels[w] = gc.wire_pairs[w].select(b)
+    for w, b in net.constants.items():
+        labels[w] = gc.wire_pairs[w].select(b)
+    result = Evaluator(net).evaluate(gc.tables, labels, gc.output_permute_bits)
+    return result, gc
+
+
+def single_gate_netlist(gtype):
+    b = NetlistBuilder(f"g_{gtype.label}")
+    if gtype.arity == 2:
+        a, x = b.garbler_input_bus(1)[0], b.evaluator_input_bus(1)[0]
+        b.set_outputs([b._emit(gtype, a, x)])
+    else:
+        a = b.garbler_input_bus(1)[0]
+        b.set_outputs([b._emit(gtype, a)])
+    return b.build()
+
+
+class TestSingleGates:
+    @pytest.mark.parametrize(
+        "gtype",
+        [
+            GateType.AND,
+            GateType.NAND,
+            GateType.OR,
+            GateType.NOR,
+            GateType.ANDNOT,
+            GateType.NOTAND,
+            GateType.ORNOT,
+            GateType.NOTOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ],
+    )
+    def test_all_two_input_gates_all_inputs(self, gtype):
+        net = single_gate_netlist(gtype)
+        for a in (0, 1):
+            for x in (0, 1):
+                result, _ = gc_run(net, [a], [x])
+                assert result.output_bits == [gtype.eval(a, x)], (gtype, a, x)
+
+    @pytest.mark.parametrize("gtype", [GateType.NOT, GateType.BUF])
+    def test_unary_gates(self, gtype):
+        net = single_gate_netlist(gtype)
+        for a in (0, 1):
+            result, _ = gc_run(net, [a], [])
+            assert result.output_bits == [gtype.eval(a)]
+
+
+class TestFreeXorInvariants:
+    def test_xor_produces_no_tables(self):
+        b = NetlistBuilder("xors")
+        g = b.garbler_input_bus(4)
+        e = b.evaluator_input_bus(4)
+        outs = [b.XOR(gi, ei) for gi, ei in zip(g, e)]
+        outs.append(b.NOT(outs[0]))
+        b.set_outputs(outs)
+        net = b.build()
+        gc = Garbler(net).garble()
+        assert gc.tables == []
+        assert gc.hash_calls == 0
+
+    def test_and_costs_exactly_four_garbler_hashes(self):
+        net = single_gate_netlist(GateType.AND)
+        gc = Garbler(net).garble()
+        assert gc.hash_calls == 4
+        assert len(gc.tables) == 1
+
+    def test_and_costs_exactly_two_evaluator_hashes(self):
+        net = single_gate_netlist(GateType.AND)
+        result, _ = gc_run(net, [1], [1])
+        assert result.hash_calls == 2
+
+    def test_table_bytes_invariant(self):
+        # 32 bytes per AND-class gate, nothing else
+        net = build_mac_netlist(8)
+        gc = Garbler(net).garble()
+        payload = serialize_tables(gc.tables)
+        assert len(payload) == 32 * net.stats().n_nonfree
+
+    def test_all_wire_pairs_share_offset(self):
+        net = build_mac_netlist(8)
+        gc = Garbler(net).garble()
+        for pair in gc.wire_pairs.values():
+            assert pair.one ^ pair.zero == gc.offset
+            assert color(pair.zero) != color(pair.one)
+
+
+class TestArithmeticRoundTrips:
+    @given(a=st.integers(-100, 100), x=st.integers(-100, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_signed_tree_multiplier(self, a, x):
+        net = build_multiplier_netlist(8, kind="tree", signed=True)
+        result, _ = gc_run(net, to_bits(a, 8), to_bits(x, 8))
+        assert from_bits(result.output_bits, signed=True) == a * x
+
+    def test_serial_multiplier(self):
+        net = build_multiplier_netlist(8, kind="serial", signed=False)
+        result, _ = gc_run(net, to_bits(201, 8), to_bits(173, 8))
+        assert from_bits(result.output_bits) == 201 * 173
+
+    @given(
+        a=st.integers(-100, 100),
+        x=st.integers(-100, 100),
+        acc=st.integers(-1000, 1000),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_mac(self, a, x, acc):
+        aw = accumulator_width(8)
+        net = build_mac_netlist(8, aw)
+        result, _ = gc_run(net, to_bits(a, 8) + to_bits(acc, aw), to_bits(x, 8))
+        assert from_bits(result.output_bits, signed=True) == acc + a * x
+
+    def test_comparator(self):
+        b = NetlistBuilder("cmp")
+        g = b.garbler_input_bus(8)
+        e = b.evaluator_input_bus(8)
+        b.set_outputs([lib.less_than(b, g, e, signed=True)])
+        net = b.build()
+        for a, x in [(-5, 3), (3, -5), (7, 7), (-128, 127)]:
+            result, _ = gc_run(net, to_bits(a, 8), to_bits(x, 8))
+            assert result.output_bits == [int(a < x)]
+
+
+class TestGarblerDecode:
+    def test_garbler_decodes_returned_labels(self):
+        net = build_multiplier_netlist(4, signed=False)
+        result, gc = gc_run(net, to_bits(9, 4), to_bits(11, 4))
+        assert from_bits(gc.decode(result.output_labels)) == 99
+
+
+class TestSequentialStatePresets:
+    def test_preset_pairs_flow_through(self):
+        net = build_mac_netlist(4, 12)
+        factory = LabelFactory()
+        garbler = Garbler(net, factory=factory)
+        first = garbler.garble()
+        preset = {net.garbler_inputs[0]: first.output_pairs[0]}
+        second = garbler.garble(preset_pairs=preset, tweak_offset=len(net.gates))
+        assert second.wire_pairs[net.garbler_inputs[0]] == first.output_pairs[0]
+
+    def test_foreign_offset_preset_rejected(self):
+        net = build_mac_netlist(4, 12)
+        garbler = Garbler(net)
+        other = LabelFactory()  # different R
+        bad = {net.garbler_inputs[0]: other.fresh_pair()}
+        with pytest.raises(GCProtocolError):
+            garbler.garble(preset_pairs=bad)
+
+    def test_distinct_tweak_offsets_change_tables(self):
+        net = single_gate_netlist(GateType.AND)
+        factory = LabelFactory(source=random.Random(5))
+        t0 = Garbler(net, factory=LabelFactory(source=random.Random(5))).garble(
+            tweak_offset=0
+        )
+        t1 = Garbler(net, factory=LabelFactory(source=random.Random(5))).garble(
+            tweak_offset=100
+        )
+        # same labels, different tweaks -> different ciphertexts
+        assert (t0.tables[0].t_g, t0.tables[0].t_e) != (t1.tables[0].t_g, t1.tables[0].t_e)
+
+
+class TestEvaluatorErrors:
+    def test_missing_labels_detected(self):
+        net = build_multiplier_netlist(4, signed=False)
+        gc = Garbler(net).garble()
+        with pytest.raises(GCProtocolError):
+            Evaluator(net).evaluate(gc.tables, {})
+
+    def test_wrong_table_count_detected(self):
+        net = build_multiplier_netlist(4, signed=False)
+        result, gc = gc_run(net, to_bits(1, 4), to_bits(1, 4))
+        labels = {
+            w: gc.wire_pairs[w].zero for w in net.input_wires + list(net.constants)
+        }
+        with pytest.raises(GCProtocolError):
+            Evaluator(net).evaluate(gc.tables[:-1], labels)
+
+    def test_out_of_order_tables_detected(self):
+        net = build_multiplier_netlist(4, signed=False)
+        gc = Garbler(net).garble()
+        labels = {
+            w: gc.wire_pairs[w].zero for w in net.input_wires + list(net.constants)
+        }
+        shuffled = list(reversed(gc.tables))
+        with pytest.raises(GCProtocolError):
+            Evaluator(net).evaluate(shuffled, labels)
+
+    def test_output_map_length_checked(self):
+        net = single_gate_netlist(GateType.AND)
+        gc = Garbler(net).garble()
+        labels = {w: gc.wire_pairs[w].zero for w in net.input_wires}
+        with pytest.raises(GCProtocolError):
+            Evaluator(net).evaluate(gc.tables, labels, output_permute_bits=[0, 1])
+
+
+class TestTableSerialization:
+    def test_round_trip(self):
+        tables = [GarbledTable(i, i * 7919, i * 104729) for i in range(5)]
+        payload = serialize_tables(tables)
+        back = deserialize_tables(payload, [t.gate_index for t in tables])
+        assert back == tables
+
+    def test_bad_sizes_raise(self):
+        with pytest.raises(GCProtocolError):
+            GarbledTable.from_bytes(0, b"x" * 31)
+        with pytest.raises(GCProtocolError):
+            deserialize_tables(b"x" * 33, [0])
+
+
+class TestSecurityHygiene:
+    def test_evaluator_never_sees_both_labels(self):
+        # the set of labels visible to the evaluator along the run must
+        # never contain both labels of any wire
+        net = build_mac_netlist(4, 12)
+        g_bits = to_bits(3, 4) + to_bits(100, 12)
+        e_bits = to_bits(-2, 4)
+        gc = Garbler(net).garble()
+        labels = {}
+        for w, b in zip(net.garbler_inputs, g_bits):
+            labels[w] = gc.wire_pairs[w].select(b)
+        for w, b in zip(net.evaluator_inputs, e_bits):
+            labels[w] = gc.wire_pairs[w].select(b)
+        for w, b in net.constants.items():
+            labels[w] = gc.wire_pairs[w].select(b)
+        result = Evaluator(net).evaluate(gc.tables, labels, gc.output_permute_bits)
+        seen = set(labels.values()) | set(result.output_labels)
+        for pair in gc.wire_pairs.values():
+            assert not ({pair.zero, pair.one} <= seen), "evaluator saw both labels"
+
+    def test_permute_bits_roughly_uniform(self):
+        net = build_mac_netlist(8)
+        gc = Garbler(net).garble()
+        bits = [p.permute_bit for p in gc.wire_pairs.values()]
+        frac = sum(bits) / len(bits)
+        assert 0.35 < frac < 0.65

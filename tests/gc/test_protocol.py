@@ -1,0 +1,143 @@
+"""End-to-end two-party protocol tests (channel + OT + GC)."""
+
+import pytest
+
+from repro.bits import from_bits, to_bits
+from repro.circuits.builder import NetlistBuilder
+from repro.circuits import library as lib
+from repro.circuits.mac import accumulator_width, build_mac_netlist, build_sequential_mac
+from repro.circuits.multipliers import build_multiplier_netlist
+from repro.crypto.ot import TOY_GROUP
+from repro.errors import GCProtocolError
+from repro.gc.channel import local_channel, run_two_party
+from repro.gc.protocol import EvaluatorParty, GarblerParty, run_protocol
+from repro.gc.sequential_gc import run_sequential
+
+
+class TestRunProtocol:
+    def test_multiplier_evaluator_learns(self):
+        net = build_multiplier_netlist(8, signed=True)
+        g_rep, e_rep = run_protocol(net, to_bits(-77, 8), to_bits(45, 8), group=TOY_GROUP)
+        assert g_rep.output_bits is None
+        assert from_bits(e_rep.output_bits, signed=True) == -77 * 45
+
+    def test_reveal_garbler(self):
+        net = build_multiplier_netlist(4, signed=False)
+        g_rep, e_rep = run_protocol(
+            net, to_bits(9, 4), to_bits(13, 4), reveal="garbler", group=TOY_GROUP
+        )
+        assert e_rep.output_bits is None
+        assert from_bits(g_rep.output_bits) == 117
+
+    def test_reveal_both(self):
+        net = build_multiplier_netlist(4, signed=False)
+        g_rep, e_rep = run_protocol(
+            net, to_bits(5, 4), to_bits(6, 4), reveal="both", group=TOY_GROUP
+        )
+        assert from_bits(g_rep.output_bits) == 30
+        assert from_bits(e_rep.output_bits) == 30
+
+    def test_bad_reveal_mode(self):
+        net = build_multiplier_netlist(4)
+        with pytest.raises(GCProtocolError):
+            run_protocol(net, to_bits(1, 4), to_bits(1, 4), reveal="nobody")
+
+    def test_mac_protocol(self):
+        aw = accumulator_width(8)
+        net = build_mac_netlist(8, aw)
+        g_bits = to_bits(-3, 8) + to_bits(500, aw)
+        _, e_rep = run_protocol(net, g_bits, to_bits(99, 8), group=TOY_GROUP)
+        assert from_bits(e_rep.output_bits, signed=True) == 500 - 3 * 99
+
+    def test_traffic_accounting(self):
+        net = build_multiplier_netlist(8, signed=True)
+        g_rep, e_rep = run_protocol(net, to_bits(1, 8), to_bits(1, 8), group=TOY_GROUP)
+        assert g_rep.bytes_by_tag["gc.tables"] == 32 * g_rep.n_tables
+        # garbler input labels: 8 bits * 16 bytes
+        assert g_rep.bytes_by_tag["gc.garbler_labels"] == 8 * 16
+        assert g_rep.bytes_sent > e_rep.bytes_sent  # tables dominate
+
+    def test_wrong_input_width_raises(self):
+        net = build_multiplier_netlist(4)
+        g_chan, e_chan = local_channel()
+        garbler = GarblerParty(net, g_chan, TOY_GROUP)
+        with pytest.raises(GCProtocolError):
+            garbler.run([0, 1])  # needs 4 bits
+
+    def test_evaluator_wrong_width_raises(self):
+        net = build_multiplier_netlist(4)
+        _, e_chan = local_channel()
+        evaluator = EvaluatorParty(net, e_chan, TOY_GROUP)
+        with pytest.raises(GCProtocolError):
+            evaluator.run([0])
+
+    def test_garbler_only_inputs_no_ot(self):
+        # circuits without evaluator inputs skip OT entirely
+        b = NetlistBuilder("gonly")
+        g = b.garbler_input_bus(8)
+        b.set_outputs(lib.negate(b, g))
+        net = b.build()
+        g_rep, e_rep = run_protocol(net, to_bits(42, 8), [], group=TOY_GROUP)
+        assert from_bits(e_rep.output_bits, signed=True) == -42
+        assert all(not t.startswith("ot.") for t in g_rep.bytes_by_tag)
+
+
+class TestSequentialProtocol:
+    def test_dot_product_over_rounds(self):
+        seq = build_sequential_mac(8, accumulator_width(8, 8))
+        a_vec = [3, -5, 7, 100]
+        x_vec = [2, 2, -3, 50]
+        g_rounds = [to_bits(a, 8) for a in a_vec]
+        e_rounds = [to_bits(x, 8) for x in x_vec]
+        g_rep, e_rep = run_sequential(seq, g_rounds, e_rounds, group=TOY_GROUP)
+        expect = sum(a * x for a, x in zip(a_vec, x_vec))
+        assert from_bits(e_rep.output_bits, signed=True) == expect
+        assert g_rep.rounds == 4
+
+    def test_initial_state_carried(self):
+        aw = accumulator_width(4, 4)
+        seq = build_sequential_mac(4, aw)
+        seq.initial_state = to_bits(7, aw)
+        g_rep, e_rep = run_sequential(
+            seq, [to_bits(2, 4)], [to_bits(3, 4)], reveal="both", group=TOY_GROUP
+        )
+        assert from_bits(e_rep.output_bits, signed=True) == 13
+        assert from_bits(g_rep.output_bits, signed=True) == 13
+
+    def test_fresh_tables_every_round(self):
+        # security: each round's table bytes must differ (fresh labels)
+        seq = build_sequential_mac(4, accumulator_width(4, 2))
+        g_chan, e_chan = local_channel()
+        tables_seen = []
+
+        from repro.gc.sequential_gc import SequentialEvaluator, SequentialGarbler
+
+        garbler = SequentialGarbler(seq, g_chan, TOY_GROUP)
+        evaluator = SequentialEvaluator(seq, e_chan, TOY_GROUP)
+
+        original_send = g_chan.send
+
+        def spy_send(tag, payload):
+            if tag == "seq.tables":
+                tables_seen.append(payload)
+            original_send(tag, payload)
+
+        g_chan.send = spy_send
+        rounds_g = [to_bits(1, 4), to_bits(1, 4)]
+        rounds_e = [to_bits(1, 4), to_bits(1, 4)]
+        run_two_party(
+            lambda: garbler.run(rounds_g),
+            lambda: evaluator.run(rounds_e),
+        )
+        assert len(tables_seen) == 2
+        assert tables_seen[0] != tables_seen[1]
+
+    def test_round_count_mismatch_detected(self):
+        seq = build_sequential_mac(4)
+        with pytest.raises(GCProtocolError):
+            run_sequential(seq, [to_bits(1, 4)], [], group=TOY_GROUP)
+
+    def test_zero_rounds_rejected(self):
+        seq = build_sequential_mac(4)
+        with pytest.raises(GCProtocolError):
+            run_sequential(seq, [], [], group=TOY_GROUP)

@@ -1,0 +1,78 @@
+"""Table 2 regeneration tests: every row and the headline ratios."""
+
+import pytest
+
+from repro.perf.comparison import PAPER_RATIOS, Table2
+from repro.perf.timing import PerfRow, dot_product_time_s, matmul_time_s
+
+PAPER_TABLE2 = {
+    # framework -> b -> (cycles/MAC, time us, throughput, cores, thr/core)
+    "tinygarble": {
+        8: (1.44e5, 42.29, 2.36e4, 1, 2.36e4),
+        16: (5.45e5, 160.35, 6.24e3, 1, 6.24e3),
+        32: (2.24e6, 657.65, 1.52e3, 1, 1.52e3),
+    },
+    "overlay": {
+        8: (4.40e3, 22.0, 4.55e4, 43, 1.06e3),
+        16: (1.20e4, 60.0, 1.67e4, 43, 3.88e2),
+        32: (3.60e4, 180.0, 5.56e3, 43, 1.29e2),
+    },
+    "maxelerator": {
+        8: (24, 0.12, 8.33e6, 8, 1.04e6),
+        16: (48, 0.24, 4.17e6, 14, 2.98e5),
+        32: (96, 0.48, 2.08e6, 24, 8.68e4),
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def table():
+    return Table2.build()
+
+
+class TestTable2Rows:
+    @pytest.mark.parametrize("framework", ["tinygarble", "overlay", "maxelerator"])
+    @pytest.mark.parametrize("b", [8, 16, 32])
+    def test_every_cell_within_tolerance(self, table, framework, b):
+        cycles, time_us, thr, cores, thr_core = PAPER_TABLE2[framework][b]
+        row = table.row(framework, b)
+        tol = 0.07  # worst model deviation (TinyGarble b=32) is ~6%
+        assert row.cycles_per_mac == pytest.approx(cycles, rel=tol)
+        assert row.time_per_mac_us == pytest.approx(time_us, rel=tol)
+        assert row.macs_per_second == pytest.approx(thr, rel=tol)
+        assert row.n_cores == cores
+        assert row.macs_per_second_per_core == pytest.approx(thr_core, rel=tol)
+
+    @pytest.mark.parametrize("framework", ["tinygarble", "overlay"])
+    @pytest.mark.parametrize("b", [8, 16, 32])
+    def test_headline_ratios(self, table, framework, b):
+        # 44/48/57 and 985/768/672: who wins and by what factor
+        model = table.speedup_per_core(framework, b)
+        paper = PAPER_RATIOS[framework][b]
+        assert model == pytest.approx(paper, rel=0.07)
+
+    def test_max_speedup_near_57(self, table):
+        assert 50 <= table.max_speedup_vs_software() <= 57
+
+    def test_winner_is_always_maxelerator(self, table):
+        for b in (8, 16, 32):
+            max_thr = table.row("maxelerator", b).macs_per_second_per_core
+            for fw in ("tinygarble", "overlay"):
+                assert max_thr > table.row(fw, b).macs_per_second_per_core
+
+    def test_format_renders_all_sections(self, table):
+        text = table.format()
+        assert "TinyGarble" in text and "Overlay" in text and "MAXelerator" in text
+        assert "985x" in text
+
+
+class TestPerfRowHelpers:
+    def test_dot_product_and_matmul_time(self):
+        row = PerfRow("x", 8, 24, 1e-6, 2)
+        assert dot_product_time_s(row, 100) == pytest.approx(1e-4)
+        assert matmul_time_s(row, 2, 3, 4) == pytest.approx(24e-6)
+
+    def test_throughput_ratio(self):
+        slow = PerfRow("slow", 8, 0, 1e-3, 1)
+        fast = PerfRow("fast", 8, 0, 1e-6, 10)
+        assert slow.throughput_ratio_vs(fast) == pytest.approx(100.0)

@@ -1,0 +1,34 @@
+"""Sweep utility unit tests (the bench covers the figure itself)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.sweep import SweepPoint, format_sweep, throughput_sweep
+
+
+class TestSweep:
+    def test_default_covers_4_to_64(self):
+        points = throughput_sweep()
+        widths = [p.bitwidth for p in points]
+        assert widths[0] == 4 and widths[-1] == 64
+        assert all(b % 2 == 0 for b in widths)
+
+    def test_published_points_on_curve(self):
+        by_b = {p.bitwidth: p for p in throughput_sweep([8, 16, 32])}
+        assert by_b[8].maxelerator == pytest.approx(1.04e6, rel=0.01)
+        assert by_b[16].tinygarble == pytest.approx(6.25e3, rel=0.01)
+        assert by_b[32].overlay == pytest.approx(126, rel=0.03)
+
+    def test_speedups(self):
+        point = SweepPoint(8, 100.0, 2.0, 0.5)
+        assert point.speedup_vs_software == 50
+        assert point.speedup_vs_overlay == 200
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            throughput_sweep([1])
+
+    def test_format_renders(self):
+        text = format_sweep(throughput_sweep([8, 32]))
+        assert "MAXelerator" in text
+        assert text.count("\n") >= 3

@@ -1,0 +1,60 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_table1(capsys):
+    out = run_cli(capsys, "table1")
+    assert "LUTRAM" in out
+
+
+def test_table2(capsys):
+    out = run_cli(capsys, "table2")
+    assert "MAXelerator" in out and "985x" in out
+
+
+def test_table3(capsys):
+    out = run_cli(capsys, "table3")
+    assert "communities11.IV" in out
+
+
+def test_recommender(capsys):
+    out = run_cli(capsys, "recommender")
+    assert "2.9 h" in out
+
+
+def test_portfolio(capsys):
+    out = run_cli(capsys, "portfolio")
+    assert "15.23" in out
+
+
+def test_schedule(capsys):
+    out = run_cli(capsys, "schedule", "-b", "8")
+    assert "cycles/MAC: 24" in out
+
+
+def test_serving(capsys):
+    out = run_cli(capsys, "serving", "-b", "32")
+    assert "bottleneck" in out
+
+
+def test_demo(capsys):
+    out = run_cli(capsys, "demo", "--seed", "3")
+    assert "privately computed" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_sweep(capsys):
+    out = run_cli(capsys, "sweep")
+    assert "MAXelerator" in out and "64" in out

@@ -1,0 +1,85 @@
+"""Cloud-server runtime tests (Figure 1's operational pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GCProtocolError
+from repro.fixedpoint import Q8_4
+from repro.host import AnalyticsClient, CloudServer
+
+MODEL = np.array([[0.5, -1.0, 2.0], [1.5, 0.25, -0.5]])
+
+
+@pytest.fixture(scope="module")
+def server():
+    return CloudServer(MODEL, Q8_4, pool_size=2, seed=23)
+
+
+class TestServing:
+    def test_client_query_is_correct(self, server):
+        client = AnalyticsClient(server)
+        x = np.array([1.0, 2.0, -0.5])
+        result = client.query_row(0, x)
+        assert result == pytest.approx(MODEL[0] @ x, abs=0.05)
+
+    def test_multiple_queries_consume_pool(self, server):
+        client = AnalyticsClient(server)
+        x = np.array([0.5, 0.5, 0.5])
+        before = server.stats.requests_served
+        for row in (0, 1):
+            got = client.query_row(row, x)
+            assert got == pytest.approx(MODEL[row] @ x, abs=0.05)
+        assert server.stats.requests_served == before + 2
+
+    def test_pool_miss_falls_back_to_fresh_garbling(self):
+        server = CloudServer(MODEL, Q8_4, pool_size=0, seed=24)
+        client = AnalyticsClient(server)
+        client.query_row(0, np.array([1.0, 0.0, 0.0]))
+        assert server.stats.pool_misses == 1
+        assert server.stats.pool_hit_rate == 0.0
+
+    def test_pool_refill(self):
+        server = CloudServer(MODEL, Q8_4, pool_size=2, seed=25)
+        client = AnalyticsClient(server)
+        client.query_row(0, np.array([1.0, 0.0, 0.0]))
+        assert server.pool_level == 1
+        assert server.refill_pool() == 1
+        assert server.pool_level == 2
+
+
+class TestModelManagement:
+    def test_update_model_changes_results(self):
+        server = CloudServer(MODEL, Q8_4, pool_size=1, seed=26)
+        client = AnalyticsClient(server)
+        new_model = np.array([[1.0, 1.0]])
+        server.update_model(new_model)
+        got = client.query_row(0, np.array([0.5, 0.25]))
+        assert got == pytest.approx(0.75, abs=0.05)
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CloudServer(np.zeros(3), Q8_4)
+
+    def test_bad_row_rejected(self, server):
+        from repro.gc.channel import local_channel
+
+        chan, _ = local_channel()
+        with pytest.raises(ConfigurationError):
+            server.serve_row(chan, 99)
+
+    def test_wrong_query_width_rejected(self, server):
+        client = AnalyticsClient(server)
+        with pytest.raises(GCProtocolError):
+            client.query_row(0, np.array([1.0, 2.0]))
+
+    def test_negative_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CloudServer(MODEL, Q8_4, pool_size=-1)
+
+
+class TestFreshLabelsPerServing:
+    def test_two_servings_use_different_tables(self):
+        # each pooled run is consumed once; reuse would break security
+        server = CloudServer(MODEL, Q8_4, pool_size=2, seed=27)
+        runs = list(server._pool)
+        assert runs[0].stream[0].table != runs[1].stream[0].table
