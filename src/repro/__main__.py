@@ -8,6 +8,7 @@
     python -m repro schedule -b 8     # FSM schedule summary
     python -m repro serving -b 32     # communication-bottleneck analysis
     python -m repro demo              # run a private mat-vec end to end
+    python -m repro serve --clients 4 # concurrent serving + telemetry
 """
 
 from __future__ import annotations
@@ -110,6 +111,59 @@ def cmd_demo(args) -> str:
     return "\n".join(lines)
 
 
+def cmd_serve(args) -> str:
+    """Drive the concurrent serving layer and print its telemetry."""
+    import threading
+
+    import numpy as np
+
+    from repro.accel.fleet import FleetModel
+    from repro.fixedpoint import Q8_4
+    from repro.host import CloudServer
+    from repro.serve import ServingConfig, ServingServer
+    from repro.telemetry import render_text
+
+    rng = np.random.default_rng(args.seed)
+    model = rng.uniform(-2, 2, size=(4, args.rounds)).round(2)
+    server = CloudServer(model, Q8_4, pool_size=args.pool, seed=args.seed)
+    config = ServingConfig(workers=args.workers, queue_depth=4 * args.clients)
+    expected = []
+    got = []
+    lock = threading.Lock()
+
+    def one_client(cid: int):
+        crng = np.random.default_rng(1000 + cid)
+        for _ in range(args.requests):
+            row = int(crng.integers(0, model.shape[0]))
+            x = crng.uniform(-1, 1, size=model.shape[1]).round(2)
+            result = serving.query(row, x)
+            with lock:
+                expected.append(float(model[row] @ x))
+                got.append(result)
+
+    with ServingServer(server, config) as serving:
+        threads = [
+            threading.Thread(target=one_client, args=(c,)) for c in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    worst = max(abs(e - g) for e, g in zip(expected, got))
+    plan = FleetModel().plan(Q8_4.total_bits)
+    lines = [
+        f"served {len(got)} requests from {args.clients} clients "
+        f"({args.workers} workers, pool={args.pool})",
+        f"max |error| vs plaintext: {worst:.4f}",
+        f"pool hit rate: {server.stats.pool_hit_rate:.2f}",
+        f"fleet projection (b={Q8_4.total_bits}, {plan.units} units): "
+        f"{plan.refills_per_second(model.shape[1]):,.0f} pre-garbled req/s",
+        render_text(server.telemetry.snapshot(), title="serving telemetry"),
+    ]
+    return "\n".join(lines)
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -120,6 +174,7 @@ COMMANDS = {
     "serving": cmd_serving,
     "sweep": cmd_sweep,
     "demo": cmd_demo,
+    "serve": cmd_serve,
 }
 
 
@@ -134,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("schedule", "serving"):
             p.add_argument("-b", "--bitwidth", type=int, default=8, choices=(8, 16, 32, 64))
         if name == "demo":
+            p.add_argument("--seed", type=int, default=0)
+        if name == "serve":
+            p.add_argument("--clients", type=int, default=4)
+            p.add_argument("--requests", type=int, default=2)
+            p.add_argument("--workers", type=int, default=2)
+            p.add_argument("--pool", type=int, default=4)
+            p.add_argument("--rounds", type=int, default=2)
             p.add_argument("--seed", type=int, default=0)
     return parser
 

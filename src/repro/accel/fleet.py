@@ -60,6 +60,31 @@ class FleetPlan:
         sw = TinyGarbleModel(self.bitwidth).macs_per_second
         return self.macs_per_second / sw
 
+    # ------------------------------------------------------------------
+    # serving capacity (what the pool refiller can sustain)
+    # ------------------------------------------------------------------
+    def refills_per_second(self, rounds_per_request: int) -> float:
+        """Pre-garbled runs/s the fleet can push into the serving pool.
+
+        One request consumes one pooled run of ``rounds_per_request``
+        MACs, so this is the request rate at which the background
+        refiller (`repro.serve.PoolRefiller`) keeps the pool level flat
+        — beyond it the pool drains and requests degrade to on-demand
+        garbling.
+        """
+        if rounds_per_request < 1:
+            raise ConfigurationError("a request needs at least one MAC round")
+        return self.macs_per_second / rounds_per_request
+
+    def sustained_clients(
+        self, rounds_per_request: int, requests_per_client_s: float
+    ) -> int:
+        """How many clients at a given per-client request rate stay
+        inside the refill budget (steady-state pool hit rate ~1)."""
+        if requests_per_client_s <= 0:
+            raise ConfigurationError("per-client request rate must be positive")
+        return int(self.refills_per_second(rounds_per_request) / requests_per_client_s)
+
 
 class FleetModel:
     """Packs MAC units into the FPGA under the Table 1 resource model."""
@@ -93,6 +118,30 @@ class FleetModel:
             lut_used=units * est.lut,
             ff_used=units * est.flip_flop,
         )
+
+    def provision_for(
+        self,
+        bitwidth: int,
+        rounds_per_request: int,
+        target_requests_per_s: float,
+    ) -> FleetPlan:
+        """Smallest unit count whose refill rate covers the target load.
+
+        Raises :class:`ConfigurationError` when even a full board cannot
+        sustain ``target_requests_per_s`` (the serving CLI surfaces this
+        as "add boards or shrink the model").
+        """
+        if target_requests_per_s <= 0:
+            raise ConfigurationError("target request rate must be positive")
+        full = self.plan(bitwidth)
+        per_unit = self.plan(bitwidth, units=1).refills_per_second(rounds_per_request)
+        needed = max(1, -(-target_requests_per_s // per_unit))  # ceil division
+        if needed > full.units:
+            raise ConfigurationError(
+                f"{target_requests_per_s:.0f} req/s needs {int(needed)} units but "
+                f"only {full.units} fit the XCVU095 ({full.limiting_resource}-bound)"
+            )
+        return self.plan(bitwidth, units=int(needed))
 
     def paper_scaling_claim_gap(self, bitwidth: int = 32) -> float:
         """Ratio of the paper's '25x more cores' claim to our model's fit.

@@ -10,6 +10,7 @@ so the unmodified client-side evaluator works against it — the paper's
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.accel.fsm import AcceleratorFSM, AcceleratorRun
@@ -89,6 +90,9 @@ class MAXelerator:
         self._seed = seed
         self._garble_count = 0
         self._schedule_cache: dict[int, MacSchedule] = {}
+        # the serving layer garbles from several threads at once; the
+        # seed-diversification counter and schedule cache are shared state
+        self._lock = threading.Lock()
 
     @property
     def bitwidth(self) -> int:
@@ -104,9 +108,14 @@ class MAXelerator:
 
     # ------------------------------------------------------------------
     def schedule(self, n_rounds: int) -> MacSchedule:
-        if n_rounds not in self._schedule_cache:
-            self._schedule_cache[n_rounds] = schedule_rounds(self.circuit, n_rounds)
-        return self._schedule_cache[n_rounds]
+        with self._lock:
+            cached = self._schedule_cache.get(n_rounds)
+        if cached is None:
+            cached = schedule_rounds(self.circuit, n_rounds)
+            with self._lock:
+                self._schedule_cache.setdefault(n_rounds, cached)
+                cached = self._schedule_cache[n_rounds]
+        return cached
 
     def garble(self, n_rounds: int) -> AcceleratorRun:
         """Garble an M-round MAC (one dot-product element) on the FSM.
@@ -116,8 +125,9 @@ class MAXelerator:
         of the same circuit breaks GC security (Section 3: "new labels
         are required for every garbling operation").
         """
-        seed = None if self._seed is None else self._seed + self._garble_count
-        self._garble_count += 1
+        with self._lock:
+            seed = None if self._seed is None else self._seed + self._garble_count
+            self._garble_count += 1
         fsm = AcceleratorFSM(self.circuit, seed=seed)
         return fsm.garble_rounds(n_rounds, self.schedule(n_rounds))
 

@@ -27,3 +27,7 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Unsupported parameter combination (bit-width, core count...)."""
+
+
+class ServingError(ReproError):
+    """Serving-layer failure (backpressure rejection, request timeout...)."""

@@ -61,24 +61,46 @@ class _Queue:
 
 
 class Endpoint:
-    """One side of a duplex channel."""
+    """One side of a duplex channel.
 
-    def __init__(self, name: str, outbox: _Queue, inbox: _Queue, stats: TrafficStats):
+    ``telemetry`` (a :class:`repro.telemetry.MetricsRegistry`) is
+    optional; when attached, every send also lands in the shared
+    ``channel.messages`` / ``channel.bytes`` counters so the serving
+    layer sees aggregate wire traffic across all concurrent sessions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        outbox: _Queue,
+        inbox: _Queue,
+        stats: TrafficStats,
+        telemetry=None,
+    ):
         self.name = name
         self._outbox = outbox
         self._inbox = inbox
         self.sent = stats
+        self.telemetry = telemetry
 
     def send(self, tag: str, payload: bytes) -> None:
         """Send a tagged binary message to the peer."""
         if not isinstance(payload, (bytes, bytearray)):
             raise GCProtocolError(f"channel payloads must be bytes, got {type(payload)!r}")
         self.sent.record(tag, len(payload))
+        if self.telemetry is not None:
+            self.telemetry.counter("channel.messages").inc()
+            self.telemetry.counter("channel.bytes").inc(len(payload))
         self._outbox.put((tag, bytes(payload)))
 
-    def recv(self, expected_tag: str, timeout: float = RECV_TIMEOUT_S) -> bytes:
-        """Receive the next message; the tag must match the protocol step."""
-        tag, payload = self._inbox.get(timeout)
+    def recv(self, expected_tag: str, timeout: float | None = None) -> bytes:
+        """Receive the next message; the tag must match the protocol step.
+
+        ``timeout`` defaults to the module-level ``RECV_TIMEOUT_S`` *at
+        call time*, so operators (and tests) can tighten the safety net
+        globally without threading a parameter through the protocol.
+        """
+        tag, payload = self._inbox.get(RECV_TIMEOUT_S if timeout is None else timeout)
         if tag != expected_tag:
             raise GCProtocolError(
                 f"{self.name}: expected message '{expected_tag}', got '{tag}'"
@@ -101,12 +123,14 @@ class Endpoint:
         return len(self._inbox)
 
 
-def local_channel(left: str = "garbler", right: str = "evaluator") -> tuple[Endpoint, Endpoint]:
-    """Create a connected pair of endpoints."""
+def local_channel(
+    left: str = "garbler", right: str = "evaluator", telemetry=None
+) -> tuple[Endpoint, Endpoint]:
+    """Create a connected pair of endpoints (optionally instrumented)."""
     a_to_b = _Queue()
     b_to_a = _Queue()
-    left_end = Endpoint(left, a_to_b, b_to_a, TrafficStats())
-    right_end = Endpoint(right, b_to_a, a_to_b, TrafficStats())
+    left_end = Endpoint(left, a_to_b, b_to_a, TrafficStats(), telemetry=telemetry)
+    right_end = Endpoint(right, b_to_a, a_to_b, TrafficStats(), telemetry=telemetry)
     return left_end, right_end
 
 

@@ -34,6 +34,7 @@ from repro.gc.channel import Endpoint, local_channel, run_two_party
 from repro.gc.evaluate import EvaluationResult, Evaluator
 from repro.gc.garble import Garbler
 from repro.gc.tables import deserialize_tables, serialize_tables
+from repro.telemetry import MetricsRegistry
 
 REVEAL_MODES = ("evaluator", "garbler", "both")
 
@@ -63,32 +64,39 @@ class GarblerParty:
         channel: Endpoint,
         group: DHGroup = DEFAULT_GROUP,
         factory: LabelFactory | None = None,
+        telemetry: MetricsRegistry | None = None,
     ):
         self.netlist = netlist
         self.channel = channel
         self.group = group
         self.garbler = Garbler(netlist, factory=factory)
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
 
     def run(self, input_bits: list[int], reveal: str = "evaluator") -> ProtocolReport:
         _check_reveal(reveal)
         net = self.netlist
+        tm = self.telemetry
         if len(input_bits) != len(net.garbler_inputs):
             raise GCProtocolError(
                 f"garbler expected {len(net.garbler_inputs)} input bits, "
                 f"got {len(input_bits)}"
             )
-        gc = self.garbler.garble()
+        with tm.timer("protocol.garble"):
+            gc = self.garbler.garble()
+        tm.counter("gc.hash_calls").inc(gc.hash_calls)
 
         chan = self.channel
-        chan.send("gc.tables", serialize_tables(gc.tables))
-        chan.send_u128_list(
-            "gc.garbler_labels", gc.input_labels_for(net.garbler_inputs, input_bits)
-        )
-        const_wires = sorted(net.constants)
-        chan.send_u128_list(
-            "gc.const_labels",
-            gc.input_labels_for(const_wires, [net.constants[w] for w in const_wires]),
-        )
+        with tm.timer("protocol.stream"):
+            chan.send("gc.tables", serialize_tables(gc.tables))
+            tm.counter("stream.tables").inc(len(gc.tables))
+            chan.send_u128_list(
+                "gc.garbler_labels", gc.input_labels_for(net.garbler_inputs, input_bits)
+            )
+            const_wires = sorted(net.constants)
+            chan.send_u128_list(
+                "gc.const_labels",
+                gc.input_labels_for(const_wires, [net.constants[w] for w in const_wires]),
+            )
 
         pairs = gc.evaluator_input_pairs()
         if pairs:
@@ -98,7 +106,9 @@ class GarblerParty:
                 if use_ext
                 else BaseOTSender(chan, self.group)
             )
-            sender.send(pairs)
+            with tm.timer("protocol.ot"):
+                sender.send(pairs)
+            tm.counter("ot.transfers").inc(len(pairs))
 
         if reveal in ("evaluator", "both"):
             chan.send("gc.output_map", bytes(gc.output_permute_bits))
@@ -187,10 +197,11 @@ def run_protocol(
     evaluator_bits: list[int],
     reveal: str = "evaluator",
     group: DHGroup = DEFAULT_GROUP,
+    telemetry: MetricsRegistry | None = None,
 ) -> tuple[ProtocolReport, ProtocolReport]:
     """Run both parties on a fresh local channel; returns both reports."""
-    g_chan, e_chan = local_channel()
-    garbler = GarblerParty(netlist, g_chan, group)
+    g_chan, e_chan = local_channel(telemetry=telemetry)
+    garbler = GarblerParty(netlist, g_chan, group, telemetry=telemetry)
     evaluator = EvaluatorParty(netlist, e_chan, group)
     return run_two_party(
         lambda: garbler.run(garbler_bits, reveal),

@@ -12,12 +12,18 @@ Section 3 describes an operational pattern beyond the raw protocol:
 runs (each usable exactly once — fresh labels per garbling is the
 security requirement), model storage, and per-client service that
 consumes one pooled run per request.  The pool refills from the
-accelerator between requests, which is what turns the accelerator's
+accelerator between requests — either synchronously after each serve
+(``auto_refill``) or from the background refiller thread the serving
+layer (`repro.serve`) attaches — which is what turns the accelerator's
 throughput into client capacity.
+
+All pool and statistics mutations are lock-protected so one server can
+be shared by the concurrent session manager in :mod:`repro.serve`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -32,20 +38,34 @@ from repro.fixedpoint import FixedPointFormat, Q16_8
 from repro.gc.channel import local_channel, run_two_party
 from repro.gc.sequential_gc import SequentialEvaluator
 from repro.gc.tables import serialize_tables
+from repro.telemetry import MetricsRegistry
 
 
 @dataclass
 class ServerStats:
+    """Race-free serving counters (one lock guards every increment)."""
+
     requests_served: int = 0
     runs_garbled: int = 0
     pool_hits: int = 0
     pool_misses: int = 0
     tables_streamed: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Atomically add ``n`` to counter ``name``."""
+        if name.startswith("_") or not hasattr(self, name):
+            raise ConfigurationError(f"no counter named '{name}'")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
 
     @property
     def pool_hit_rate(self) -> float:
-        total = self.pool_hits + self.pool_misses
-        return self.pool_hits / total if total else 0.0
+        with self._lock:
+            total = self.pool_hits + self.pool_misses
+            return self.pool_hits / total if total else 0.0
 
 
 class CloudServer:
@@ -58,15 +78,25 @@ class CloudServer:
         pool_size: int = 2,
         group: DHGroup = TOY_GROUP,
         seed: int | None = None,
+        auto_refill: bool = True,
+        telemetry: MetricsRegistry | None = None,
     ):
         self.fmt = fmt
         self.group = group
         self._seed = seed
         self.stats = ServerStats()
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         if pool_size < 0:
             raise ConfigurationError("pool size cannot be negative")
         self.pool_size = pool_size
+        self.auto_refill = auto_refill
         self._pool: deque[AcceleratorRun] = deque()
+        #: guards the pool deque and the accelerator/model references
+        self._lock = threading.Lock()
+        #: serialises refillers so garbling happens outside the pool lock
+        self._refill_lock = threading.Lock()
+        #: set by the serving layer; called (not blocking) after each serve
+        self._refill_listener = None
         self.update_model(model_matrix)
 
     # ------------------------------------------------------------------
@@ -76,83 +106,149 @@ class CloudServer:
         matrix = np.asarray(model_matrix, dtype=np.float64)
         if matrix.ndim != 2:
             raise ConfigurationError("model must be a matrix")
-        self.model = matrix
-        self._encoded = self.fmt.encode_array(matrix)
         n, m = matrix.shape
-        self.rounds_per_request = m
-        self.accelerator = MAXelerator(
+        accelerator = MAXelerator(
             self.fmt.total_bits,
             acc_width=2 * self.fmt.total_bits + max(1, (m - 1).bit_length() + 1),
             seed=self._seed,
         )
-        # a model change invalidates nothing cryptographically (tables
-        # are input-independent!) but the pool is sized per round count
-        self._pool.clear()
+        with self._lock:
+            self.model = matrix
+            self._encoded = self.fmt.encode_array(matrix)
+            self.rounds_per_request = m
+            self.accelerator = accelerator
+            # a model change invalidates nothing cryptographically (tables
+            # are input-independent!) but the pool is sized per round count
+            self._pool.clear()
         self.refill_pool()
 
     def refill_pool(self) -> int:
-        """Garble ahead of demand; returns the number of runs added."""
+        """Garble ahead of demand; returns the number of runs added.
+
+        Garbling happens outside the pool lock so concurrent serves can
+        keep draining while the refill is in flight; ``_refill_lock``
+        keeps at most one refiller garbling at a time.
+        """
         added = 0
-        while len(self._pool) < self.pool_size:
-            self._pool.append(self.accelerator.garble(self.rounds_per_request))
-            self.stats.runs_garbled += 1
-            added += 1
+        with self._refill_lock:
+            while True:
+                with self._lock:
+                    if len(self._pool) >= self.pool_size:
+                        break
+                    accelerator = self.accelerator
+                    rounds = self.rounds_per_request
+                with self.telemetry.timer("garble.refill"):
+                    run = accelerator.garble(rounds)
+                with self._lock:
+                    # a model swap mid-refill retires this run
+                    if accelerator is self.accelerator:
+                        self._pool.append(run)
+                self.stats.bump("runs_garbled")
+                added += 1
         return added
 
     @property
     def pool_level(self) -> int:
-        return len(self._pool)
+        with self._lock:
+            return len(self._pool)
+
+    def attach_refill_listener(self, listener) -> None:
+        """Register a callable poked after each serve (the background
+        refiller's wake-up); replaces synchronous auto-refill."""
+        self._refill_listener = listener
+
+    def detach_refill_listener(self) -> None:
+        self._refill_listener = None
 
     def _take_run(self) -> AcceleratorRun:
-        if self._pool:
-            self.stats.pool_hits += 1
-            return self._pool.popleft()
-        self.stats.pool_misses += 1
-        self.stats.runs_garbled += 1
-        return self.accelerator.garble(self.rounds_per_request)
+        with self._lock:
+            if self._pool:
+                run = self._pool.popleft()
+            else:
+                run = None
+            accelerator = self.accelerator
+            rounds = self.rounds_per_request
+        if run is not None:
+            self.stats.bump("pool_hits")
+            self.telemetry.counter("pool.hits").inc()
+            return run
+        # graceful degradation: garble on demand when the pool is dry
+        self.stats.bump("pool_misses")
+        self.telemetry.counter("pool.misses").inc()
+        with self.telemetry.timer("garble.on_demand"):
+            run = accelerator.garble(rounds)
+        self.stats.bump("runs_garbled")
+        return run
+
+    def _after_serve(self) -> None:
+        """Keep the pool warm between requests (the PR's drain fix)."""
+        listener = self._refill_listener
+        if listener is not None:
+            listener()
+        elif self.auto_refill:
+            self.refill_pool()
 
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
     def serve_row(self, channel, row_index: int) -> None:
         """Serve one dot product <model[row], x> to a connected client."""
-        if not (0 <= row_index < self.model.shape[0]):
+        with self._lock:
+            n_rows = self.model.shape[0]
+            encoded_row = (
+                self._encoded[row_index] if 0 <= row_index < n_rows else None
+            )
+            accelerator = self.accelerator
+            rounds = self.rounds_per_request
+        if encoded_row is None:
             raise ConfigurationError(f"model has no row {row_index}")
-        run = self._take_run()
-        net = self.accelerator.circuit.netlist
-        bits_per_round = [
-            to_bits(int(v), self.fmt.total_bits) for v in self._encoded[row_index]
-        ]
-        channel.send("seq.rounds", self.rounds_per_request.to_bytes(4, "big"))
-        channel.send("seq.ot_mode", b"per_round")
-        for r, bits in enumerate(bits_per_round):
-            meta = run.rounds[r]
-            channel.send("seq.tables", serialize_tables(run.tables_for_round(r)))
-            channel.send_u128_list(
-                "seq.garbler_labels",
-                [p.select(b) for p, b in zip(meta.garbler_pairs, bits)],
-            )
-            const_wires = sorted(net.constants)
-            channel.send_u128_list(
-                "seq.const_labels",
-                [meta.const_pairs[w].select(net.constants[w]) for w in const_wires],
-            )
-            if r == 0:
-                init = self.accelerator.circuit.circuit.initial_state
-                channel.send_u128_list(
-                    "seq.state_labels",
-                    [p.select(b) for p, b in zip(meta.state_pairs, init)],
+        tm = self.telemetry
+        with tm.span("serve_row"):
+            run = self._take_run()
+            net = accelerator.circuit.netlist
+            bits_per_round = [
+                to_bits(int(v), self.fmt.total_bits) for v in encoded_row
+            ]
+            channel.send("seq.rounds", rounds.to_bytes(4, "big"))
+            channel.send("seq.ot_mode", b"per_round")
+            for r, bits in enumerate(bits_per_round):
+                meta = run.rounds[r]
+                with tm.timer("stream.round"):
+                    payload = serialize_tables(run.tables_for_round(r))
+                    channel.send("seq.tables", payload)
+                    tm.counter("stream.bytes").inc(len(payload))
+                    channel.send_u128_list(
+                        "seq.garbler_labels",
+                        [p.select(b) for p, b in zip(meta.garbler_pairs, bits)],
+                    )
+                    const_wires = sorted(net.constants)
+                    channel.send_u128_list(
+                        "seq.const_labels",
+                        [meta.const_pairs[w].select(net.constants[w]) for w in const_wires],
+                    )
+                    if r == 0:
+                        init = accelerator.circuit.circuit.initial_state
+                        channel.send_u128_list(
+                            "seq.state_labels",
+                            [p.select(b) for p, b in zip(meta.state_pairs, init)],
+                        )
+                pairs = [(p.zero, p.one) for p in meta.evaluator_pairs]
+                sender = (
+                    OTExtensionSender(channel, self.group)
+                    if len(pairs) > K_SECURITY
+                    else BaseOTSender(channel, self.group)
                 )
-            pairs = [(p.zero, p.one) for p in meta.evaluator_pairs]
-            sender = (
-                OTExtensionSender(channel, self.group)
-                if len(pairs) > K_SECURITY
-                else BaseOTSender(channel, self.group)
-            )
-            sender.send(pairs)
-        channel.send("seq.output_map", bytes(run.output_permute_bits))
-        self.stats.requests_served += 1
-        self.stats.tables_streamed += run.total_tables
+                with tm.timer("ot.send"):
+                    sender.send(pairs)
+                tm.counter("ot.transfers").inc(len(pairs))
+            channel.send("seq.output_map", bytes(run.output_permute_bits))
+        self.stats.bump("requests_served")
+        self.stats.bump("tables_streamed", run.total_tables)
+        tm.counter("stream.tables").inc(run.total_tables)
+        tm.counter("gc.hash_calls").inc(
+            sum(c.engine.stats.aes_activations for c in run.cores)
+        )
+        self._after_serve()
 
 
 class AnalyticsClient:

@@ -1,0 +1,21 @@
+"""Concurrent serving layer: many clients against one :class:`CloudServer`.
+
+The paper's Figure 1 system only makes sense operationally when the
+host serves *sustained* traffic: requests queue, the pre-garbled pool
+must be kept warm while requests drain it, and slow or stuck sessions
+must time out instead of wedging a worker.  This package supplies that
+layer:
+
+* :class:`ServingConfig` — worker count, bounded queue depth
+  (backpressure), per-request timeout, retry budget, refiller policy;
+* :class:`PoolRefiller` — a background thread that keeps the
+  pre-garbling pool at its target level between requests;
+* :class:`ServingServer` — the thread-pool session manager with
+  submit/query APIs and full telemetry.
+"""
+
+from repro.serve.config import ServingConfig
+from repro.serve.refiller import PoolRefiller
+from repro.serve.server import PendingRequest, ServingServer
+
+__all__ = ["PendingRequest", "PoolRefiller", "ServingConfig", "ServingServer"]

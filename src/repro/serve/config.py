@@ -1,0 +1,42 @@
+"""Serving-layer tunables (validated once, then frozen)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """How the session manager schedules work.
+
+    ``queue_depth`` bounds the request queue: when it is full,
+    non-blocking submits are rejected with :class:`ServingError`
+    (backpressure) instead of growing memory without bound.
+    ``request_timeout_s`` is the end-to-end budget per request measured
+    from enqueue; a request that exceeds it fails typed instead of
+    wedging a worker.  ``max_retries`` re-runs a request whose GC
+    session failed with a (transient) protocol error.
+    """
+
+    workers: int = 4
+    queue_depth: int = 32
+    request_timeout_s: float = 60.0
+    max_retries: int = 1
+    refill: bool = True
+    #: refiller fallback poll period; it is normally woken by the server
+    refill_poll_s: float = 0.05
+
+    def validate(self) -> "ServingConfig":
+        if self.workers < 1:
+            raise ConfigurationError("serving needs at least one worker")
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue depth must be positive")
+        if self.request_timeout_s <= 0:
+            raise ConfigurationError("request timeout must be positive")
+        if self.max_retries < 0:
+            raise ConfigurationError("retry budget cannot be negative")
+        if self.refill_poll_s <= 0:
+            raise ConfigurationError("refill poll period must be positive")
+        return self

@@ -1,0 +1,77 @@
+"""Background pool refiller: the accelerator garbles between requests.
+
+The seed implementation only refilled the pre-garbled pool on
+``update_model``, so sustained load drained it to 100% misses — every
+request then paid full on-demand garbling latency.  The refiller is the
+paper's "MAXelerator keeps generating the garbled tables independently"
+made operational: a daemon thread that tops the pool back up whenever a
+serve consumes a run (event-driven, with a poll fallback so it also
+recovers from missed wake-ups).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.host import CloudServer
+
+
+class PoolRefiller:
+    """Keeps ``server``'s pre-garbled pool at its target level."""
+
+    def __init__(
+        self,
+        server: CloudServer,
+        poll_interval_s: float = 0.05,
+        telemetry=None,
+    ):
+        self.server = server
+        self.poll_interval_s = poll_interval_s
+        self.telemetry = telemetry if telemetry is not None else server.telemetry
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PoolRefiller":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self.server.attach_refill_listener(self.notify)
+        self._thread = threading.Thread(
+            target=self._loop, name="pool-refiller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self.server.detach_refill_listener()
+        self._stop.set()
+        self._wake.set()
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def notify(self) -> None:
+        """Poke the refiller (called by the server after each serve)."""
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            added = self.server.refill_pool()
+            if added:
+                self.telemetry.counter("refill.runs").inc(added)
+            self._wake.wait(timeout=self.poll_interval_s)
+            self._wake.clear()
+
+    def __enter__(self) -> "PoolRefiller":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,219 @@
+"""The thread-pool session manager around :class:`CloudServer`.
+
+Each worker runs complete GC sessions (garble-pool take, table stream,
+OT, evaluation) against the shared server; the request queue is bounded
+so overload surfaces as typed backpressure instead of unbounded memory;
+each request carries an end-to-end deadline and a bounded retry budget.
+Results are bit-identical to the sequential path because workers run
+the *same* :class:`AnalyticsClient` protocol — concurrency only changes
+scheduling, never the transcript of any one session.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GCProtocolError, ServingError
+from repro.host import AnalyticsClient, CloudServer
+from repro.serve.config import ServingConfig
+from repro.serve.refiller import PoolRefiller
+from repro.telemetry import MetricsRegistry
+
+_SHUTDOWN = object()
+
+
+class PendingRequest:
+    """A future for one submitted query."""
+
+    def __init__(self, row_index: int, x_values, deadline: float):
+        self.row_index = row_index
+        self.x_values = x_values
+        self.deadline = deadline
+        self.enqueued_at = time.perf_counter()
+        self.attempts = 0
+        self._done = threading.Event()
+        self._cancelled = threading.Event()
+        self._result: float | None = None
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def _finish(self, result: float | None, error: BaseException | None) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def cancel(self) -> None:
+        """Ask workers to skip this request (used on waiter timeout)."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> float:
+        """Block for the result; raises the stored error on failure."""
+        if not self._done.wait(timeout=timeout):
+            self.cancel()
+            raise ServingError(
+                f"request for row {self.row_index} timed out after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class ServingServer:
+    """Bounded-queue, multi-worker serving of ``AnalyticsClient`` queries."""
+
+    def __init__(
+        self,
+        server: CloudServer,
+        config: ServingConfig | None = None,
+        telemetry: MetricsRegistry | None = None,
+    ):
+        self.server = server
+        self.config = (config or ServingConfig()).validate()
+        self.telemetry = telemetry if telemetry is not None else server.telemetry
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
+        self._workers: list[threading.Thread] = []
+        self._refiller: PoolRefiller | None = None
+        self._accepting = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingServer":
+        if self._workers:
+            return self
+        if self.config.refill:
+            self._refiller = PoolRefiller(
+                self.server,
+                poll_interval_s=self.config.refill_poll_s,
+                telemetry=self.telemetry,
+            ).start()
+        for i in range(self.config.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            t.start()
+            self._workers.append(t)
+        self._accepting = True
+        return self
+
+    def stop(self) -> None:
+        """Drain queued requests, then stop workers and the refiller."""
+        if not self._workers:
+            return
+        self._accepting = False
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        for t in self._workers:
+            t.join(timeout=self.config.request_timeout_s + 30.0)
+        self._workers = []
+        if self._refiller is not None:
+            self._refiller.stop()
+            self._refiller = None
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, row_index: int, x_values, block: bool = True) -> PendingRequest:
+        """Enqueue a query; returns a :class:`PendingRequest` future.
+
+        With ``block=False`` a full queue raises :class:`ServingError`
+        immediately (backpressure); with ``block=True`` the caller waits
+        for a slot, bounded by the request timeout.
+        """
+        if not self._accepting:
+            raise ServingError("serving layer is not running (call start())")
+        req = PendingRequest(
+            row_index,
+            np.asarray(x_values, dtype=np.float64),
+            deadline=time.perf_counter() + self.config.request_timeout_s,
+        )
+        try:
+            if block:
+                self._queue.put(req, timeout=self.config.request_timeout_s)
+            else:
+                self._queue.put_nowait(req)
+        except queue.Full:
+            self.telemetry.counter("serve.rejected").inc()
+            raise ServingError(
+                f"request queue full ({self.config.queue_depth} deep): backpressure"
+            ) from None
+        self.telemetry.counter("serve.submitted").inc()
+        return req
+
+    def query(self, row_index: int, x_values, timeout: float | None = None) -> float:
+        """Synchronous query: submit and wait (default: the config timeout)."""
+        req = self.submit(row_index, x_values)
+        budget = self.config.request_timeout_s if timeout is None else timeout
+        try:
+            return req.wait(timeout=budget)
+        except ServingError:
+            self.telemetry.counter("serve.timeouts").inc()
+            raise
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        client = AnalyticsClient(self.server)
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            self._run_request(client, item)
+
+    def _run_request(self, client: AnalyticsClient, req: PendingRequest) -> None:
+        tm = self.telemetry
+        now = time.perf_counter()
+        tm.histogram("serve.queue_wait").record(now - req.enqueued_at)
+        if req.cancelled:
+            req._finish(None, ServingError("request cancelled"))
+            return
+        if now > req.deadline:
+            tm.counter("serve.timeouts").inc()
+            req._finish(
+                None,
+                ServingError(
+                    f"request for row {req.row_index} exceeded its "
+                    f"{self.config.request_timeout_s}s deadline in the queue"
+                ),
+            )
+            return
+        with tm.span("request"):
+            last_error: BaseException | None = None
+            for attempt in range(1 + self.config.max_retries):
+                req.attempts = attempt + 1
+                if attempt:
+                    tm.counter("serve.retries").inc()
+                try:
+                    result = client.query_row(req.row_index, req.x_values)
+                except (ConfigurationError, GCProtocolError) as exc:
+                    last_error = exc
+                    if isinstance(exc, ConfigurationError):
+                        break  # a client error will not heal on retry
+                    continue
+                tm.histogram("request.latency").record(
+                    time.perf_counter() - req.enqueued_at
+                )
+                tm.counter("serve.completed").inc()
+                req._finish(result, None)
+                return
+            tm.counter("serve.failed").inc()
+            req._finish(None, last_error)

@@ -1,0 +1,23 @@
+"""Dependency-free telemetry: counters, histograms, spans, exporters.
+
+The serving layer (`repro.serve`) threads a :class:`MetricsRegistry`
+through the garble -> OT -> stream hot path so a production operator can
+see where time goes — pool hit rate, on-demand garbling latency, OT
+time, per-request end-to-end latency — without attaching a profiler.
+Everything is stdlib-only and thread-safe; a fixed clock can be injected
+for deterministic tests.
+"""
+
+from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
+from repro.telemetry.spans import Span, SpanRecorder
+from repro.telemetry.report import render_text, to_json
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "render_text",
+    "to_json",
+]

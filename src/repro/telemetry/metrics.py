@@ -1,0 +1,183 @@
+"""Thread-safe counters, latency histograms, and the metrics registry.
+
+Counters and histograms are the two primitives the serving path needs:
+monotone event counts (pool hits, tables streamed, retries) and latency
+distributions with percentile readout (request latency, garbling time,
+OT time).  A :class:`MetricsRegistry` owns both by name, plus a span
+recorder, and takes an injectable ``clock`` so exporter snapshots are
+bit-deterministic under a fixed clock in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import ConfigurationError
+from repro.telemetry.spans import SpanRecorder
+
+#: Percentiles included in every histogram snapshot.
+SNAPSHOT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A monotone, thread-safe event counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigurationError("counters are monotone; cannot add a negative")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A thread-safe value distribution with percentile readout.
+
+    Observations are kept exactly (the serving bench records thousands,
+    not millions, of samples), so percentiles are exact: for percentile
+    ``p`` over ``n`` sorted samples the rank is ``(p/100) * (n-1)`` with
+    linear interpolation between neighbouring samples — the same
+    definition numpy's default ``percentile`` uses, chosen so tests can
+    assert against hand-computed values.
+    """
+
+    __slots__ = ("_lock", "_values")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: list[float] = []
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            if not self._values:
+                raise ConfigurationError("empty histogram has no mean")
+            return sum(self._values) / len(self._values)
+
+    @property
+    def minimum(self) -> float:
+        with self._lock:
+            if not self._values:
+                raise ConfigurationError("empty histogram has no minimum")
+            return min(self._values)
+
+    @property
+    def maximum(self) -> float:
+        with self._lock:
+            if not self._values:
+                raise ConfigurationError("empty histogram has no maximum")
+            return max(self._values)
+
+    def percentile(self, p: float) -> float:
+        if not 0.0 <= p <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self._values:
+                raise ConfigurationError("empty histogram has no percentiles")
+            ordered = sorted(self._values)
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if frac == 0.0 or lo + 1 == len(ordered):
+            return ordered[lo]
+        return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            values = list(self._values)
+        if not values:
+            return {"count": 0}
+        ordered = sorted(values)
+        snap = {
+            "count": len(values),
+            "total": sum(values),
+            "mean": sum(values) / len(values),
+            "min": ordered[0],
+            "max": ordered[-1],
+        }
+        for p in SNAPSHOT_PERCENTILES:
+            rank = (p / 100.0) * (len(ordered) - 1)
+            lo = int(rank)
+            frac = rank - lo
+            if frac == 0.0 or lo + 1 == len(ordered):
+                snap[f"p{p:g}"] = ordered[lo]
+            else:
+                snap[f"p{p:g}"] = ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+        return snap
+
+
+class MetricsRegistry:
+    """Named counters + histograms + spans behind one injectable clock."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.spans = SpanRecorder(clock)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram()
+            return self._histograms[name]
+
+    @contextmanager
+    def timer(self, name: str):
+        """Record the block's wall time (seconds) into histogram ``name``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.histogram(name).record(self._clock() - start)
+
+    def span(self, name: str):
+        """Open a (nestable) span; see :class:`repro.telemetry.spans.SpanRecorder`."""
+        return self.spans.span(name)
+
+    def snapshot(self) -> dict:
+        """A deterministic point-in-time view (keys sorted, spans in end order)."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: counters[name].value for name in sorted(counters)},
+            "histograms": {
+                name: histograms[name].snapshot() for name in sorted(histograms)
+            },
+            "spans": self.spans.snapshot(),
+        }

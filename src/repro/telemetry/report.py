@@ -1,0 +1,63 @@
+"""Exporters: render a registry snapshot as aligned text or stable JSON.
+
+Both exporters are pure functions of ``MetricsRegistry.snapshot()``, so
+under an injected fixed clock the rendered output is byte-deterministic
+— the property the telemetry unit tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def to_json(snapshot: dict) -> str:
+    """Stable JSON encoding (sorted keys, fixed separators)."""
+    return json.dumps(snapshot, sort_keys=True, indent=2)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def render_text(snapshot: dict, title: str = "telemetry") -> str:
+    """Human-readable report of counters, histograms, and span rollups."""
+    lines = [f"== {title} =="]
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms (seconds unless noted):")
+        for name in sorted(histograms):
+            h = histograms[name]
+            if h.get("count", 0) == 0:
+                lines.append(f"  {name}: empty")
+                continue
+            lines.append(
+                f"  {name}: n={h['count']} mean={_fmt(h['mean'])} "
+                f"p50={_fmt(h['p50'])} p90={_fmt(h['p90'])} "
+                f"p99={_fmt(h['p99'])} max={_fmt(h['max'])}"
+            )
+
+    spans = snapshot.get("spans", [])
+    if spans:
+        rollup: dict[str, list[float]] = {}
+        for sp in spans:
+            rollup.setdefault(sp["name"], []).append(sp["duration"])
+        lines.append("spans:")
+        for name in sorted(rollup):
+            durations = rollup[name]
+            lines.append(
+                f"  {name}: n={len(durations)} "
+                f"total={_fmt(sum(durations))} "
+                f"mean={_fmt(sum(durations) / len(durations))}"
+            )
+
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -112,6 +112,101 @@ class TestAccounting:
         assert stats.by_tag["x"] == 15
 
 
+class TestServingErrorPaths:
+    """Wire-level failures must surface as typed errors, never hangs.
+
+    These drive the *real* sequential evaluator against hand-crafted
+    garbler messages: truncated table payloads, out-of-order tags, and
+    a silent peer all raise ``GCProtocolError`` with the evaluator's
+    state intact enough to report, instead of corrupting or deadlocking.
+    """
+
+    @staticmethod
+    def _evaluator(chan):
+        from repro.accel.tree_mac import build_scheduled_mac
+        from repro.gc.sequential_gc import SequentialEvaluator
+
+        circuit = build_scheduled_mac(4).circuit
+        n_in = len(circuit.netlist.evaluator_inputs)
+        return SequentialEvaluator(circuit, chan), [[0] * n_in]
+
+    def test_truncated_tables_payload_raises_typed_error(self):
+        g_chan, e_chan = local_channel()
+        evaluator, rounds = self._evaluator(e_chan)
+        g_chan.send("seq.rounds", (1).to_bytes(4, "big"))
+        g_chan.send("seq.ot_mode", b"per_round")
+        g_chan.send("seq.tables", b"\x00" * 31)  # not a whole table
+        with pytest.raises(GCProtocolError, match="table bytes"):
+            evaluator.run(rounds)
+
+    def test_out_of_order_tags_raise_typed_error(self):
+        g_chan, e_chan = local_channel()
+        evaluator, rounds = self._evaluator(e_chan)
+        g_chan.send("seq.rounds", (1).to_bytes(4, "big"))
+        # garbler skips ot_mode and jumps straight to tables
+        g_chan.send("seq.tables", b"\x00" * 64)
+        with pytest.raises(GCProtocolError, match="seq.ot_mode"):
+            evaluator.run(rounds)
+
+    def test_unknown_ot_mode_rejected(self):
+        g_chan, e_chan = local_channel()
+        evaluator, rounds = self._evaluator(e_chan)
+        g_chan.send("seq.rounds", (1).to_bytes(4, "big"))
+        g_chan.send("seq.ot_mode", b"telepathy")
+        with pytest.raises(GCProtocolError, match="ot_mode"):
+            evaluator.run(rounds)
+
+    def test_round_count_mismatch_rejected(self):
+        g_chan, e_chan = local_channel()
+        evaluator, rounds = self._evaluator(e_chan)
+        g_chan.send("seq.rounds", (7).to_bytes(4, "big"))
+        with pytest.raises(GCProtocolError, match="rounds"):
+            evaluator.run(rounds)
+
+    def test_silent_garbler_times_out_not_hangs(self):
+        import repro.gc.channel as channel_mod
+
+        _, e_chan = local_channel()
+        evaluator, rounds = self._evaluator(e_chan)
+        original = channel_mod.RECV_TIMEOUT_S
+        channel_mod.RECV_TIMEOUT_S = 0.1
+        try:
+            with pytest.raises(GCProtocolError, match="timed out"):
+                evaluator.run(rounds)
+        finally:
+            channel_mod.RECV_TIMEOUT_S = original
+
+    def test_ragged_label_payload_raises_typed_error(self):
+        g_chan, e_chan = local_channel()
+        evaluator, rounds = self._evaluator(e_chan)
+        net = evaluator.circuit.netlist
+        n_tables = sum(1 for g in net.gates if not g.is_free)
+        g_chan.send("seq.rounds", (1).to_bytes(4, "big"))
+        g_chan.send("seq.ot_mode", b"per_round")
+        g_chan.send("seq.tables", b"\x00" * (32 * n_tables))
+        g_chan.send("seq.garbler_labels", b"\x01" * 15)  # not 16-aligned
+        with pytest.raises(GCProtocolError, match="16-byte"):
+            evaluator.run(rounds)
+
+
+class TestChannelTelemetry:
+    def test_sends_land_in_shared_counters(self):
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        a, b = local_channel(telemetry=reg)
+        a.send("x", b"12345")
+        b.send("y", b"abc")
+        assert reg.counter("channel.messages").value == 2
+        assert reg.counter("channel.bytes").value == 8
+
+    def test_uninstrumented_channel_unaffected(self):
+        a, _ = local_channel()
+        assert a.telemetry is None
+        a.send("x", b"1")
+        assert a.sent.payload_bytes == 1
+
+
 class TestU128Helpers:
     def test_round_trip(self):
         a, b = local_channel()

@@ -1,0 +1,169 @@
+"""Session-manager semantics: backpressure, timeouts, retries, shutdown.
+
+These tests replace the GC session with a controllable stub (the real
+protocol is exercised in ``test_serving_stress``) so queueing behaviour
+can be pinned deterministically.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GCProtocolError, ServingError
+from repro.fixedpoint import Q8_4
+from repro.host import CloudServer
+from repro.serve import ServingConfig, ServingServer
+
+MODEL = np.array([[1.0, 0.0], [0.0, 1.0]])
+
+
+@pytest.fixture
+def server():
+    # pool_size=0 and no refiller: these tests never run real GC
+    return CloudServer(MODEL, Q8_4, pool_size=0, seed=5, auto_refill=False)
+
+
+class StubClient:
+    """Drop-in for AnalyticsClient: controllable latency and failures."""
+
+    started = threading.Event()
+    release = threading.Event()
+    failures: list = []
+
+    def __init__(self, server):
+        self.server = server
+
+    def query_row(self, row_index, x_values):
+        StubClient.started.set()
+        if not StubClient.release.wait(timeout=10.0):
+            raise GCProtocolError("stub was never released")
+        if StubClient.failures:
+            raise StubClient.failures.pop(0)
+        return 42.0
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    StubClient.started = threading.Event()
+    StubClient.release = threading.Event()
+    StubClient.failures = []
+    monkeypatch.setattr("repro.serve.server.AnalyticsClient", StubClient)
+    return StubClient
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_nonblocking_submit(self, server, stubbed):
+        config = ServingConfig(workers=1, queue_depth=1, refill=False)
+        with ServingServer(server, config) as serving:
+            first = serving.submit(0, [1.0, 0.0])  # occupies the worker
+            assert stubbed.started.wait(timeout=5.0)
+            serving.submit(0, [1.0, 0.0])  # fills the queue's one slot
+            with pytest.raises(ServingError, match="backpressure"):
+                serving.submit(0, [1.0, 0.0], block=False)
+            assert serving.telemetry.counter("serve.rejected").value == 1
+            stubbed.release.set()
+            assert first.wait(timeout=5.0) == 42.0
+
+    def test_submit_requires_running_server(self, server, stubbed):
+        serving = ServingServer(server, ServingConfig(refill=False))
+        with pytest.raises(ServingError):
+            serving.submit(0, [1.0, 0.0])
+
+    def test_queue_drained_on_stop(self, server, stubbed):
+        config = ServingConfig(workers=1, queue_depth=8, refill=False)
+        serving = ServingServer(server, config).start()
+        stubbed.release.set()
+        reqs = [serving.submit(0, [1.0, 0.0]) for _ in range(5)]
+        serving.stop()
+        assert all(r.done for r in reqs)
+        assert all(r.wait(timeout=0.1) == 42.0 for r in reqs)
+
+
+class TestTimeouts:
+    def test_waiter_timeout_raises_typed_error(self, server, stubbed):
+        config = ServingConfig(workers=1, queue_depth=4, refill=False)
+        with ServingServer(server, config) as serving:
+            with pytest.raises(ServingError, match="timed out"):
+                serving.query(0, [1.0, 0.0], timeout=0.2)
+            assert serving.telemetry.counter("serve.timeouts").value >= 1
+            stubbed.release.set()
+
+    def test_stale_request_dropped_at_dequeue(self, server, stubbed):
+        config = ServingConfig(
+            workers=1, queue_depth=4, request_timeout_s=0.2, refill=False
+        )
+        with ServingServer(server, config) as serving:
+            blocker = serving.submit(0, [1.0, 0.0])  # holds the worker
+            assert stubbed.started.wait(timeout=5.0)
+            stale = serving.submit(1, [0.0, 1.0])
+            time.sleep(0.3)  # let the stale request's deadline lapse
+            stubbed.release.set()
+            assert blocker.wait(timeout=5.0) == 42.0
+            with pytest.raises(ServingError, match="deadline"):
+                stale.wait(timeout=5.0)
+
+    def test_cancelled_request_not_executed(self, server, stubbed):
+        config = ServingConfig(workers=1, queue_depth=4, refill=False)
+        with ServingServer(server, config) as serving:
+            blocker = serving.submit(0, [1.0, 0.0])
+            assert stubbed.started.wait(timeout=5.0)
+            victim = serving.submit(1, [0.0, 1.0])
+            victim.cancel()
+            stubbed.release.set()
+            assert blocker.wait(timeout=5.0) == 42.0
+            with pytest.raises(ServingError, match="cancelled"):
+                victim.wait(timeout=5.0)
+
+
+class TestRetries:
+    def test_transient_protocol_error_is_retried(self, server, stubbed):
+        stubbed.release.set()
+        stubbed.failures = [GCProtocolError("transient corruption")]
+        config = ServingConfig(workers=1, max_retries=1, refill=False)
+        with ServingServer(server, config) as serving:
+            req = serving.submit(0, [1.0, 0.0])
+            assert req.wait(timeout=5.0) == 42.0
+            assert req.attempts == 2
+            assert serving.telemetry.counter("serve.retries").value == 1
+
+    def test_retry_budget_exhausted_surfaces_error(self, server, stubbed):
+        stubbed.release.set()
+        stubbed.failures = [GCProtocolError("one"), GCProtocolError("two")]
+        config = ServingConfig(workers=1, max_retries=1, refill=False)
+        with ServingServer(server, config) as serving:
+            req = serving.submit(0, [1.0, 0.0])
+            with pytest.raises(GCProtocolError, match="two"):
+                req.wait(timeout=5.0)
+            assert serving.telemetry.counter("serve.failed").value == 1
+
+    def test_client_errors_never_retried(self, server, stubbed):
+        stubbed.release.set()
+        stubbed.failures = [ConfigurationError("no such row")]
+        config = ServingConfig(workers=1, max_retries=3, refill=False)
+        with ServingServer(server, config) as serving:
+            req = serving.submit(0, [1.0, 0.0])
+            with pytest.raises(ConfigurationError):
+                req.wait(timeout=5.0)
+            assert req.attempts == 1
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"queue_depth": 0},
+            {"request_timeout_s": 0},
+            {"max_retries": -1},
+            {"refill_poll_s": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(**kwargs).validate()
+
+    def test_validation_runs_at_construction(self, server):
+        with pytest.raises(ConfigurationError):
+            ServingServer(server, ServingConfig(workers=0))

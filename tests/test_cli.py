@@ -58,3 +58,19 @@ def test_unknown_command_rejected():
 def test_sweep(capsys):
     out = run_cli(capsys, "sweep")
     assert "MAXelerator" in out and "64" in out
+
+
+def test_serve(capsys):
+    out = run_cli(
+        capsys,
+        "serve",
+        "--clients", "2",
+        "--requests", "1",
+        "--workers", "2",
+        "--pool", "2",
+        "--rounds", "2",
+    )
+    assert "served 2 requests" in out
+    assert "pool hit rate" in out
+    assert "serving telemetry" in out
+    assert "request.latency" in out

@@ -38,13 +38,53 @@ class TestServing:
         assert server.stats.pool_misses == 1
         assert server.stats.pool_hit_rate == 0.0
 
-    def test_pool_refill(self):
-        server = CloudServer(MODEL, Q8_4, pool_size=2, seed=25)
+    def test_manual_pool_refill(self):
+        server = CloudServer(MODEL, Q8_4, pool_size=2, seed=25, auto_refill=False)
         client = AnalyticsClient(server)
         client.query_row(0, np.array([1.0, 0.0, 0.0]))
         assert server.pool_level == 1
         assert server.refill_pool() == 1
         assert server.pool_level == 2
+
+    def test_auto_refill_keeps_pool_full_after_serve(self):
+        server = CloudServer(MODEL, Q8_4, pool_size=2, seed=25)
+        client = AnalyticsClient(server)
+        client.query_row(0, np.array([1.0, 0.0, 0.0]))
+        assert server.pool_level == 2
+        assert server.refill_pool() == 0
+
+    def test_sustained_load_stays_on_pool_hits(self):
+        # regression for the drain bug: the pool used to refill only on
+        # update_model, so request 3+ degraded to 100% on-demand misses
+        server = CloudServer(MODEL, Q8_4, pool_size=2, seed=28)
+        client = AnalyticsClient(server)
+        x = np.array([0.25, -0.5, 1.0])
+        for i in range(6):
+            client.query_row(i % 2, x)
+        assert server.stats.pool_hits == 6
+        assert server.stats.pool_misses == 0
+        assert server.stats.pool_hit_rate == 1.0
+
+    def test_without_auto_refill_pool_drains_to_misses(self):
+        server = CloudServer(MODEL, Q8_4, pool_size=1, seed=29, auto_refill=False)
+        client = AnalyticsClient(server)
+        x = np.array([1.0, 0.0, 0.0])
+        for _ in range(3):
+            client.query_row(0, x)
+        assert server.stats.pool_hits == 1
+        assert server.stats.pool_misses == 2
+
+    def test_refill_listener_replaces_sync_refill(self):
+        server = CloudServer(MODEL, Q8_4, pool_size=1, seed=30)
+        pokes = []
+        server.attach_refill_listener(lambda: pokes.append(1))
+        client = AnalyticsClient(server)
+        client.query_row(0, np.array([1.0, 0.0, 0.0]))
+        assert pokes == [1]
+        assert server.pool_level == 0  # the listener owns refilling now
+        server.detach_refill_listener()
+        client.query_row(0, np.array([1.0, 0.0, 0.0]))
+        assert server.pool_level == 1  # sync auto-refill is back
 
 
 class TestModelManagement:
