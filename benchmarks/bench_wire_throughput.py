@@ -1,0 +1,118 @@
+"""Wire-transport bench: table streaming over loopback sockets vs memory.
+
+The FHE-vs-GC comparison literature says GC inference cost is dominated
+by communication volume — so before optimizing it, measure what the
+transport itself costs.  We stream realistic garbled-table payloads
+(32 B per AND gate, batched per round like ``CloudServer.serve_row``)
+through three transports and report tables/sec and MB/s:
+
+* the in-memory queue channel (`gc.channel.local_channel`) — the PR 1
+  serving path's transport, the zero-copy upper bound;
+* a ``socketpair`` loopback `SocketEndpoint` — real kernel sockets and
+  framing, no ports;
+* and the full `GCGateway` + `RemoteAnalyticsClient` GC session, which
+  adds garbling/OT/evaluation on top (the end-to-end figure).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import Q8_4
+from repro.gc.channel import local_channel
+from repro.host import CloudServer
+from repro.net import GCGateway, RemoteAnalyticsClient, socketpair_endpoints
+from repro.serve import ServingConfig
+
+TABLE_BYTES = 32
+#: one payload ~= a 32-round serve of the 8-bit MAC (322 tables/round)
+TABLES_PER_ROUND = 322
+ROUNDS = 32
+PAYLOAD = b"\xa5" * (TABLE_BYTES * TABLES_PER_ROUND)
+
+
+def stream_rounds(left, right, n_rounds: int) -> float:
+    """Push ``n_rounds`` table payloads left->right; returns seconds."""
+    done = []
+
+    def consumer():
+        for _ in range(n_rounds):
+            right.recv("seq.tables", timeout=30.0)
+        done.append(True)
+
+    t = threading.Thread(target=consumer)
+    start = time.perf_counter()
+    t.start()
+    for _ in range(n_rounds):
+        left.send("seq.tables", PAYLOAD)
+    t.join(timeout=60.0)
+    elapsed = time.perf_counter() - start
+    assert done, "consumer never finished"
+    return elapsed
+
+
+def rates(elapsed: float, n_rounds: int) -> tuple[float, float]:
+    tables = n_rounds * TABLES_PER_ROUND
+    mb = tables * TABLE_BYTES / 1e6
+    return tables / elapsed, mb / elapsed
+
+
+@pytest.mark.benchmark(group="wire-throughput")
+def test_in_memory_channel_throughput(benchmark, artifact):
+    left, right = local_channel()
+    elapsed = benchmark(lambda: stream_rounds(left, right, ROUNDS))
+    tps, mbps = rates(elapsed, ROUNDS)
+    artifact(
+        "wire_inmemory.txt",
+        f"in-memory channel: {tps:,.0f} tables/s, {mbps:,.1f} MB/s "
+        f"({ROUNDS} rounds x {TABLES_PER_ROUND} tables)",
+    )
+
+
+@pytest.mark.benchmark(group="wire-throughput")
+def test_socketpair_loopback_throughput(benchmark, artifact):
+    left, right = socketpair_endpoints(recv_timeout_s=30.0)
+    elapsed = benchmark(lambda: stream_rounds(left, right, ROUNDS))
+    tps, mbps = rates(elapsed, ROUNDS)
+    artifact(
+        "wire_socketpair.txt",
+        f"socketpair loopback: {tps:,.0f} tables/s, {mbps:,.1f} MB/s "
+        f"({ROUNDS} rounds x {TABLES_PER_ROUND} tables, framed)",
+    )
+
+
+@pytest.mark.benchmark(group="wire-throughput")
+def test_full_remote_gc_session(benchmark, artifact):
+    """End-to-end: handshake + query + garbled eval over loopback."""
+    import socket as socket_mod
+
+    model = np.array([[0.5, -1.0], [1.5, 0.25]])
+    server = CloudServer(model, Q8_4, pool_size=4, seed=13)
+    config = ServingConfig(workers=2, recv_timeout_s=30.0)
+    gateway = GCGateway(server, config=config)
+    gateway.serving.start()
+    ours, theirs = socket_mod.socketpair()
+    gateway.adopt(theirs)
+    client = RemoteAnalyticsClient.from_socket(ours, recv_timeout_s=30.0)
+    x = np.array([0.5, 0.25])
+
+    def one_query():
+        return client.query_row(0, x)
+
+    try:
+        result = benchmark(one_query)
+        assert result == pytest.approx(float(model[0] @ x), abs=1e-12)
+        sent = client.endpoint.sent.payload_bytes
+        artifact(
+            "wire_remote_session.txt",
+            "full remote GC session over loopback: "
+            f"result={result}, client sent {sent} B/query "
+            "(handshake amortized across queries)",
+        )
+    finally:
+        client.close()
+        gateway.stop()

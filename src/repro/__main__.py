@@ -9,6 +9,8 @@
     python -m repro serving -b 32     # communication-bottleneck analysis
     python -m repro demo              # run a private mat-vec end to end
     python -m repro serve --clients 4 # concurrent serving + telemetry
+    python -m repro gateway -p 7788   # TCP gateway for remote evaluators
+    python -m repro connect -p 7788 --row 1 -x 0.5,0.25   # query it
 """
 
 from __future__ import annotations
@@ -164,6 +166,88 @@ def cmd_serve(args) -> str:
     return "\n".join(lines)
 
 
+def cmd_gateway(args) -> str:
+    """Run the TCP gateway: remote evaluators connect over the wire."""
+    import time
+
+    import numpy as np
+
+    from repro.fixedpoint import Q8_4
+    from repro.host import CloudServer
+    from repro.net import GCGateway
+    from repro.serve import ServingConfig
+    from repro.telemetry import render_text, render_traffic
+
+    rng = np.random.default_rng(args.seed)
+    model = rng.uniform(-2, 2, size=(args.model_rows, args.rounds)).round(2)
+    server = CloudServer(model, Q8_4, pool_size=args.pool, seed=args.seed)
+    config = ServingConfig(
+        workers=args.workers,
+        queue_depth=4 * args.workers,
+        recv_timeout_s=args.recv_timeout,
+    )
+    with GCGateway(server, host=args.host, port=args.port, config=config) as gateway:
+        host, port = gateway.address
+        print(
+            f"gateway listening on {host}:{port} "
+            f"(model {model.shape[0]}x{model.shape[1]}, Q8.4, "
+            f"{args.workers} workers, pool={args.pool}); "
+            + (
+                f"serving for {args.serve_seconds:g}s"
+                if args.serve_seconds
+                else "Ctrl-C to stop"
+            ),
+            flush=True,
+        )
+        try:
+            if args.serve_seconds:
+                time.sleep(args.serve_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    snapshot = server.telemetry.snapshot()
+    return "\n".join(
+        [
+            f"sessions: {snapshot['counters'].get('gateway.sessions', 0)}, "
+            f"queries: {snapshot['counters'].get('gateway.queries', 0)}, "
+            f"session errors: {snapshot['counters'].get('gateway.session_errors', 0)}",
+            render_traffic(snapshot),
+            render_text(snapshot, title="gateway telemetry"),
+        ]
+    )
+
+
+def cmd_connect(args) -> str:
+    """One remote query against a running gateway."""
+    import numpy as np
+
+    from repro.net import RemoteAnalyticsClient
+
+    x = np.array([float(v) for v in args.x.split(",")])
+    with RemoteAnalyticsClient(
+        args.host, args.port, recv_timeout_s=args.recv_timeout
+    ) as client:
+        d = client.descriptor
+        if x.shape != (d.rounds,):
+            return (
+                f"error: the gateway's model takes {d.rounds} inputs per query, "
+                f"got {x.shape[0]} (-x takes comma-separated floats)"
+            )
+        result = client.query_row(args.row, x)
+        return "\n".join(
+            [
+                f"connected: protocol v{d.protocol_version}, Q{d.total_bits}.{d.frac_bits}, "
+                f"{d.n_rows} rows x {d.rounds} columns, "
+                f"circuit {d.fingerprint[:16]}...",
+                f"<model[{args.row}], x> = {result}",
+                f"wire traffic sent: {client.endpoint.sent.payload_bytes} B "
+                f"in {client.endpoint.sent.messages} messages",
+            ]
+        )
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -175,6 +259,8 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "demo": cmd_demo,
     "serve": cmd_serve,
+    "gateway": cmd_gateway,
+    "connect": cmd_connect,
 }
 
 
@@ -197,6 +283,25 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--pool", type=int, default=4)
             p.add_argument("--rounds", type=int, default=2)
             p.add_argument("--seed", type=int, default=0)
+        if name == "gateway":
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("-p", "--port", type=int, default=0,
+                           help="0 picks a free port and prints it")
+            p.add_argument("--workers", type=int, default=2)
+            p.add_argument("--pool", type=int, default=4)
+            p.add_argument("--rounds", type=int, default=2)
+            p.add_argument("--model-rows", type=int, default=4)
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--recv-timeout", type=float, default=None)
+            p.add_argument("--serve-seconds", type=float, default=0.0,
+                           help="serve this long then exit (0 = until Ctrl-C)")
+        if name == "connect":
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("-p", "--port", type=int, required=True)
+            p.add_argument("--row", type=int, default=0)
+            p.add_argument("-x", default="0.5,0.25",
+                           help="comma-separated client vector")
+            p.add_argument("--recv-timeout", type=float, default=None)
     return parser
 
 

@@ -31,3 +31,17 @@ class ConfigurationError(ReproError):
 
 class ServingError(ReproError):
     """Serving-layer failure (backpressure rejection, request timeout...)."""
+
+
+class WireError(GCProtocolError):
+    """Wire-transport failure (truncated/oversized/out-of-order frame,
+    bad magic, peer disconnect, receive timeout).
+
+    Subclasses :class:`GCProtocolError` so protocol code that treats a
+    broken channel as a protocol failure keeps working unchanged when
+    the channel is a real socket.
+    """
+
+
+class HandshakeError(WireError):
+    """Session negotiation failed (version/bit-width/fingerprint mismatch)."""

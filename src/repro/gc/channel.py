@@ -2,10 +2,13 @@
 
 The paper's system (Figure 1) moves garbled tables from the FPGA over
 PCIe to the host, and from the host over the network to the client.  In
-this reproduction both parties live in one process (each side typically
-on its own thread), so the "network" is a pair of thread-safe FIFO
-queues; what we preserve is *what* is sent and *how many bytes* it
-costs, which is all the throughput analysis needs.
+this reproduction both parties usually live in one process (each side
+typically on its own thread), so the "network" is a pair of thread-safe
+FIFO queues; what we preserve is *what* is sent and *how many bytes* it
+costs, which is all the throughput analysis needs.  The real-socket
+transport (:mod:`repro.net`) shares :class:`EndpointBase`, so protocol
+code is written once against the endpoint contract and runs unchanged
+over the wire.
 
 ``recv`` blocks until the peer's message arrives, so protocol code can
 be written in the natural sequential style on each side.
@@ -13,14 +16,50 @@ be written in the natural sequential style on each side.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.errors import GCProtocolError
+from repro.errors import ConfigurationError, GCProtocolError
 
-#: Safety net so a protocol bug surfaces as an error, not a hang.
-RECV_TIMEOUT_S = 60.0
+#: Fallback safety net so a protocol bug surfaces as an error, not a
+#: hang.  Resolution order for an endpoint's receive timeout:
+#: explicit ``recv(..., timeout=)`` argument > per-endpoint
+#: ``recv_timeout_s`` (e.g. from ``ServingConfig``) > the
+#: ``REPRO_RECV_TIMEOUT_S`` environment variable > this default.
+DEFAULT_RECV_TIMEOUT_S = 60.0
+
+#: Deprecated module-global knob, kept so existing operator scripts that
+#: mutate it keep working; prefer ``REPRO_RECV_TIMEOUT_S`` or
+#: ``ServingConfig.recv_timeout_s``.
+RECV_TIMEOUT_S = DEFAULT_RECV_TIMEOUT_S
+
+RECV_TIMEOUT_ENV = "REPRO_RECV_TIMEOUT_S"
+
+
+def resolve_recv_timeout(
+    explicit: float | None = None, configured: float | None = None
+) -> float:
+    """Resolve the receive-timeout from the documented precedence chain."""
+    if explicit is not None:
+        return explicit
+    if configured is not None:
+        return configured
+    env = os.environ.get(RECV_TIMEOUT_ENV)
+    if env is not None and env != "":
+        try:
+            value = float(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{RECV_TIMEOUT_ENV} must be a number of seconds, got {env!r}"
+            ) from None
+        if value <= 0:
+            raise ConfigurationError(
+                f"{RECV_TIMEOUT_ENV} must be positive, got {value}"
+            )
+        return value
+    return RECV_TIMEOUT_S
 
 
 @dataclass
@@ -60,28 +99,41 @@ class _Queue:
             return len(self._items)
 
 
-class Endpoint:
-    """One side of a duplex channel.
+class EndpointBase:
+    """The endpoint contract shared by the in-memory channel and the
+    socket transport (:class:`repro.net.SocketEndpoint`).
 
-    ``telemetry`` (a :class:`repro.telemetry.MetricsRegistry`) is
-    optional; when attached, every send also lands in the shared
-    ``channel.messages`` / ``channel.bytes`` counters so the serving
-    layer sees aggregate wire traffic across all concurrent sessions.
+    Subclasses implement ``_send_message(tag, payload)`` and
+    ``_recv_message(timeout) -> (tag, payload)``; everything the
+    protocol layer relies on — traffic accounting, telemetry counters
+    (aggregate ``channel.messages``/``channel.bytes`` plus per-tag
+    ``channel.bytes.<tag>`` so reports can split tables vs OT vs
+    labels), tag checking, and the u128-list helpers — lives here so
+    both transports behave identically.
     """
 
     def __init__(
         self,
         name: str,
-        outbox: _Queue,
-        inbox: _Queue,
-        stats: TrafficStats,
+        stats: TrafficStats | None = None,
         telemetry=None,
+        recv_timeout_s: float | None = None,
     ):
         self.name = name
-        self._outbox = outbox
-        self._inbox = inbox
-        self.sent = stats
+        self.sent = stats if stats is not None else TrafficStats()
         self.telemetry = telemetry
+        self.recv_timeout_s = recv_timeout_s
+
+    # -- transport hooks ------------------------------------------------
+    def _send_message(self, tag: str, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def _recv_message(self, timeout: float) -> tuple[str, bytes]:
+        raise NotImplementedError
+
+    # -- shared behaviour ----------------------------------------------
+    def _resolve_timeout(self, timeout: float | None) -> float:
+        return resolve_recv_timeout(timeout, self.recv_timeout_s)
 
     def send(self, tag: str, payload: bytes) -> None:
         """Send a tagged binary message to the peer."""
@@ -91,16 +143,18 @@ class Endpoint:
         if self.telemetry is not None:
             self.telemetry.counter("channel.messages").inc()
             self.telemetry.counter("channel.bytes").inc(len(payload))
-        self._outbox.put((tag, bytes(payload)))
+            self.telemetry.counter(f"channel.bytes.{tag}").inc(len(payload))
+        self._send_message(tag, bytes(payload))
 
     def recv(self, expected_tag: str, timeout: float | None = None) -> bytes:
         """Receive the next message; the tag must match the protocol step.
 
-        ``timeout`` defaults to the module-level ``RECV_TIMEOUT_S`` *at
+        ``timeout`` defaults through :func:`resolve_recv_timeout` *at
         call time*, so operators (and tests) can tighten the safety net
-        globally without threading a parameter through the protocol.
+        via ``REPRO_RECV_TIMEOUT_S`` or ``ServingConfig`` without
+        threading a parameter through the protocol.
         """
-        tag, payload = self._inbox.get(RECV_TIMEOUT_S if timeout is None else timeout)
+        tag, payload = self._recv_message(self._resolve_timeout(timeout))
         if tag != expected_tag:
             raise GCProtocolError(
                 f"{self.name}: expected message '{expected_tag}', got '{tag}'"
@@ -118,19 +172,58 @@ class Endpoint:
             int.from_bytes(payload[i : i + 16], "big") for i in range(0, len(payload), 16)
         ]
 
+
+class Endpoint(EndpointBase):
+    """One side of an in-memory duplex channel.
+
+    ``telemetry`` (a :class:`repro.telemetry.MetricsRegistry`) is
+    optional; when attached, every send also lands in the shared
+    ``channel.messages`` / ``channel.bytes`` / ``channel.bytes.<tag>``
+    counters so the serving layer sees aggregate wire traffic across
+    all concurrent sessions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        outbox: _Queue,
+        inbox: _Queue,
+        stats: TrafficStats,
+        telemetry=None,
+        recv_timeout_s: float | None = None,
+    ):
+        super().__init__(name, stats, telemetry, recv_timeout_s)
+        self._outbox = outbox
+        self._inbox = inbox
+
+    def _send_message(self, tag: str, payload: bytes) -> None:
+        self._outbox.put((tag, payload))
+
+    def _recv_message(self, timeout: float) -> tuple[str, bytes]:
+        return self._inbox.get(timeout)
+
     @property
     def pending(self) -> int:
         return len(self._inbox)
 
 
 def local_channel(
-    left: str = "garbler", right: str = "evaluator", telemetry=None
+    left: str = "garbler",
+    right: str = "evaluator",
+    telemetry=None,
+    recv_timeout_s: float | None = None,
 ) -> tuple[Endpoint, Endpoint]:
     """Create a connected pair of endpoints (optionally instrumented)."""
     a_to_b = _Queue()
     b_to_a = _Queue()
-    left_end = Endpoint(left, a_to_b, b_to_a, TrafficStats(), telemetry=telemetry)
-    right_end = Endpoint(right, b_to_a, a_to_b, TrafficStats(), telemetry=telemetry)
+    left_end = Endpoint(
+        left, a_to_b, b_to_a, TrafficStats(), telemetry=telemetry,
+        recv_timeout_s=recv_timeout_s,
+    )
+    right_end = Endpoint(
+        right, b_to_a, a_to_b, TrafficStats(), telemetry=telemetry,
+        recv_timeout_s=recv_timeout_s,
+    )
     return left_end, right_end
 
 
@@ -138,7 +231,11 @@ def run_two_party(left_fn, right_fn):
     """Run the two protocol sides concurrently and return their results.
 
     ``left_fn``/``right_fn`` take no arguments (bind their endpoint with a
-    closure).  Exceptions on either side are re-raised in the caller.
+    closure).  Exceptions on either side are re-raised in the caller;
+    when *both* sides fail (the usual shape of a deadlock post-mortem:
+    one side dies, the other times out), the left error is re-raised
+    ``from`` the right one with both messages combined, so a single
+    traceback shows both failures.
     """
     results: dict[str, object] = {}
     errors: list[BaseException] = []
@@ -152,16 +249,33 @@ def run_two_party(left_fn, right_fn):
 
         return runner
 
+    join_timeout = resolve_recv_timeout()
     thread = threading.Thread(target=wrap("right", right_fn), daemon=True)
     thread.start()
     try:
         results["left"] = left_fn()
-    except BaseException:
-        thread.join(timeout=RECV_TIMEOUT_S)
+    except BaseException as left_exc:
+        thread.join(timeout=join_timeout)
+        if errors:
+            raise _combined(left_exc, errors[0]) from errors[0]
         raise
-    thread.join(timeout=RECV_TIMEOUT_S)
+    thread.join(timeout=join_timeout)
     if thread.is_alive():
         raise GCProtocolError("right-hand party did not terminate")
     if errors:
         raise errors[0]
     return results["left"], results["right"]
+
+
+def _combined(left_exc: BaseException, right_exc: BaseException) -> BaseException:
+    """The left-side error, its message extended with the right side's."""
+    message = (
+        f"{left_exc} (the other party also failed: "
+        f"{type(right_exc).__name__}: {right_exc})"
+    )
+    try:
+        combined = type(left_exc)(message)
+    except Exception:
+        # exotic constructor signature: fall back to a generic wrapper
+        combined = GCProtocolError(message)
+    return combined

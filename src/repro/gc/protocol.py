@@ -198,9 +198,17 @@ def run_protocol(
     reveal: str = "evaluator",
     group: DHGroup = DEFAULT_GROUP,
     telemetry: MetricsRegistry | None = None,
+    channels: tuple[Endpoint, Endpoint] | None = None,
 ) -> tuple[ProtocolReport, ProtocolReport]:
-    """Run both parties on a fresh local channel; returns both reports."""
-    g_chan, e_chan = local_channel(telemetry=telemetry)
+    """Run both parties concurrently; returns both reports.
+
+    ``channels`` is any connected endpoint pair — the in-memory default,
+    or socket endpoints (:func:`repro.net.socketpair_endpoints`) to run
+    the classic protocol over a real wire.
+    """
+    if channels is None:
+        channels = local_channel(telemetry=telemetry)
+    g_chan, e_chan = channels
     garbler = GarblerParty(netlist, g_chan, group, telemetry=telemetry)
     evaluator = EvaluatorParty(netlist, e_chan, group)
     return run_two_party(

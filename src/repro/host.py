@@ -252,10 +252,16 @@ class CloudServer:
 
 
 class AnalyticsClient:
-    """A client of the Figure 1 system: OT in, one scalar out."""
+    """A client of the Figure 1 system: OT in, one scalar out.
 
-    def __init__(self, server: CloudServer):
+    ``recv_timeout_s`` bounds every channel receive in the session
+    (``None`` defers to ``REPRO_RECV_TIMEOUT_S`` / the channel
+    default); the serving layer sets it from ``ServingConfig``.
+    """
+
+    def __init__(self, server: CloudServer, recv_timeout_s: float | None = None):
         self.server = server
+        self.recv_timeout_s = recv_timeout_s
 
     def query_row(self, row_index: int, x_values) -> float:
         """Learn <model[row], x> without revealing x."""
@@ -267,7 +273,7 @@ class AnalyticsClient:
         fmt = self.server.fmt
         x_bits = [to_bits(int(v), fmt.total_bits) for v in fmt.encode_array(x)]
         circuit = self.server.accelerator.circuit.circuit
-        g_chan, e_chan = local_channel()
+        g_chan, e_chan = local_channel(recv_timeout_s=self.recv_timeout_s)
         evaluator = SequentialEvaluator(circuit, e_chan, self.server.group)
         _, report = run_two_party(
             lambda: self.server.serve_row(g_chan, row_index),

@@ -1,0 +1,121 @@
+"""The remote analytics client: ``AnalyticsClient`` over a real socket.
+
+Mirrors :class:`repro.host.AnalyticsClient` — same query API, same
+result — but the garbler is a :class:`repro.net.gateway.GCGateway` on
+the far side of a TCP connection (or an adopted socketpair half).  The
+handshake's session descriptor tells the client how to rebuild the MAC
+round circuit locally; the fingerprint check guarantees the rebuild
+matches what the gateway garbles, so a skewed client fails typed at
+connect time, not with garbage labels mid-evaluation.
+
+The evaluator that runs here is the *unmodified*
+:class:`repro.gc.sequential_gc.SequentialEvaluator` — the socket
+endpoint is drop-in for the in-memory channel, which is the whole point
+of the transport layer.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+
+from repro.accel.tree_mac import build_scheduled_mac
+from repro.bits import from_bits, to_bits
+from repro.errors import GCProtocolError, HandshakeError, ServingError
+from repro.fixedpoint import FixedPointFormat
+from repro.gc.sequential_gc import SequentialEvaluator
+from repro.net.endpoint import SocketEndpoint
+from repro.net.gateway import ACK_TAG, BYE_TAG, ERROR_TAG, QUERY_TAG
+from repro.net.handshake import client_handshake, netlist_fingerprint
+
+
+class RemoteAnalyticsClient:
+    """Query a remote model over the GC wire: OT in, one scalar out."""
+
+    def __init__(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        sock: socket.socket | None = None,
+        name: str = "client",
+        telemetry=None,
+        recv_timeout_s: float | None = None,
+    ):
+        if sock is None:
+            if host is None or port is None:
+                raise ServingError("RemoteAnalyticsClient needs host+port or a socket")
+            sock = socket.create_connection((host, port))
+        self.endpoint = SocketEndpoint(
+            name, sock, telemetry=telemetry, recv_timeout_s=recv_timeout_s
+        )
+        self.descriptor = client_handshake(self.endpoint, client_name=name)
+        d = self.descriptor
+        self.fmt = FixedPointFormat(d.total_bits, d.frac_bits)
+        self.circuit = build_scheduled_mac(d.total_bits, d.acc_width).circuit
+        local_print = netlist_fingerprint(self.circuit)
+        if local_print != d.fingerprint:
+            self.endpoint.close()
+            raise HandshakeError(
+                "circuit fingerprint mismatch: gateway garbles "
+                f"{d.fingerprint[:16]}..., this client built {local_print[:16]}... "
+                "(version skew between client and gateway builds)"
+            )
+        self.group = d.group
+        self._closed = False
+
+    @classmethod
+    def from_socket(cls, sock: socket.socket, **kwargs) -> "RemoteAnalyticsClient":
+        """Wrap an already-connected socket (socketpair loopback tests)."""
+        return cls(sock=sock, **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds_per_request(self) -> int:
+        return self.descriptor.rounds
+
+    @property
+    def n_rows(self) -> int:
+        return self.descriptor.n_rows
+
+    def query_row(self, row_index: int, x_values) -> float:
+        """Learn <model[row], x> without revealing x — over the wire."""
+        if self._closed:
+            raise ServingError("client is closed")
+        x = np.asarray(x_values, dtype=np.float64)
+        if x.shape != (self.descriptor.rounds,):
+            raise GCProtocolError(
+                f"query vector must have {self.descriptor.rounds} entries"
+            )
+        ep = self.endpoint
+        ep.send(QUERY_TAG, json.dumps({"row": int(row_index)}).encode())
+        tag, payload = ep.recv_any((ACK_TAG, ERROR_TAG))
+        if tag == ERROR_TAG:
+            raise ServingError(
+                f"gateway refused the query: {payload.decode(errors='replace')}"
+            )
+        x_bits = [
+            to_bits(int(v), self.fmt.total_bits) for v in self.fmt.encode_array(x)
+        ]
+        evaluator = SequentialEvaluator(self.circuit, ep, self.group)
+        report = evaluator.run(x_bits)
+        raw = from_bits(report.output_bits, signed=True)
+        return self.fmt.decode_product(raw)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.endpoint.send(BYE_TAG, b"")
+        except GCProtocolError:
+            pass  # gateway already gone; nothing left to say
+        self.endpoint.close()
+
+    def __enter__(self) -> "RemoteAnalyticsClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

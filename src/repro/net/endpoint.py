@@ -1,0 +1,148 @@
+"""A real-socket endpoint that is drop-in for :class:`repro.gc.channel.Endpoint`.
+
+The protocol layer (``GarblerParty``, ``SequentialEvaluator``,
+``CloudServer.serve_row`` ...) is written against the endpoint contract
+of :class:`repro.gc.channel.EndpointBase` — ``send``/``recv``/
+``send_u128_list``/``recv_u128_list`` plus traffic accounting.  This
+module supplies the same contract over a connected stream socket (TCP
+or an ``AF_UNIX`` socketpair for port-free loopback testing), framing
+every message with :mod:`repro.net.frames`.
+
+Failure model: every transport-level problem — peer disconnect,
+truncated frame, bad magic, oversized length, receive timeout — raises
+:class:`~repro.errors.WireError` (a :class:`GCProtocolError`), so
+protocol code and the serving layer's retry/timeout machinery treat a
+broken wire exactly like any other failed session, never a hang.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import GCProtocolError, WireError
+from repro.gc.channel import EndpointBase, TrafficStats
+from repro.net.frames import MAX_FRAME_BYTES, FrameReader, encode_frame
+
+
+class SocketEndpoint(EndpointBase):
+    """One side of a duplex GC channel over a connected stream socket."""
+
+    def __init__(
+        self,
+        name: str,
+        sock: socket.socket,
+        telemetry=None,
+        recv_timeout_s: float | None = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        super().__init__(name, TrafficStats(), telemetry, recv_timeout_s)
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+        self._reader = FrameReader(self._read_exact, max_frame_bytes)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # AF_UNIX socketpairs have no Nagle to disable
+
+    # ------------------------------------------------------------------
+    # transport hooks (EndpointBase contract)
+    # ------------------------------------------------------------------
+    def _send_message(self, tag: str, payload: bytes) -> None:
+        frame = encode_frame(tag, payload, self._reader.max_frame_bytes)
+        with self._send_lock:
+            if self._closed:
+                raise WireError(f"{self.name}: send on a closed endpoint")
+            try:
+                self._sock.sendall(frame)
+            except OSError as exc:
+                raise WireError(
+                    f"{self.name}: send of '{tag}' failed, peer gone ({exc})"
+                ) from exc
+
+    def _recv_message(self, timeout: float) -> tuple[str, bytes]:
+        with self._recv_lock:
+            if self._closed:
+                raise WireError(f"{self.name}: receive on a closed endpoint")
+            try:
+                self._sock.settimeout(timeout)
+            except OSError as exc:
+                raise WireError(f"{self.name}: socket unusable ({exc})") from exc
+            return self._reader.read_frame()
+
+    # ------------------------------------------------------------------
+    def recv_any(
+        self, tags: tuple[str, ...], timeout: float | None = None
+    ) -> tuple[str, bytes]:
+        """Receive the next message, allowing any of ``tags`` (control loops)."""
+        tag, payload = self._recv_message(self._resolve_timeout(timeout))
+        if tag not in tags:
+            raise GCProtocolError(
+                f"{self.name}: expected one of {tags}, got '{tag}'"
+            )
+        return tag, payload
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout:
+                raise WireError(
+                    f"{self.name}: receive timed out (protocol deadlock or "
+                    "dead peer?)"
+                ) from None
+            except OSError as exc:
+                raise WireError(f"{self.name}: receive failed ({exc})") from exc
+            if not chunk:
+                got = n - remaining
+                detail = (
+                    f"mid-frame after {got} of {n} bytes"
+                    if got
+                    else "at a frame boundary"
+                )
+                raise WireError(f"{self.name}: peer closed the connection {detail}")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Frames buffered locally: always 0 — sockets read on demand."""
+        return 0
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "SocketEndpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def socketpair_endpoints(
+    left: str = "garbler",
+    right: str = "evaluator",
+    telemetry=None,
+    recv_timeout_s: float | None = None,
+) -> tuple[SocketEndpoint, SocketEndpoint]:
+    """A connected pair of socket endpoints over :func:`socket.socketpair`.
+
+    The loopback transport for CI: real kernel sockets, framing and all,
+    without binding a port.
+    """
+    a, b = socket.socketpair()
+    return (
+        SocketEndpoint(left, a, telemetry=telemetry, recv_timeout_s=recv_timeout_s),
+        SocketEndpoint(right, b, telemetry=telemetry, recv_timeout_s=recv_timeout_s),
+    )

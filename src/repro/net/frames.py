@@ -1,0 +1,115 @@
+"""Length-prefixed binary framing for the GC wire protocol.
+
+Every message of the tagged channel protocol travels as one frame:
+
+    +-------+-----------+-----------+-------------+-------------+
+    | magic | u32 length| u8 taglen | tag (ASCII) |   payload   |
+    | 2 B   | big-endian|           | taglen B    | length-1-   |
+    |       |           |           |             | taglen B    |
+    +-------+-----------+-----------+-------------+-------------+
+
+``length`` counts everything after the length field (taglen byte + tag
++ payload), so a reader needs exactly two reads per frame: the 6-byte
+header, then ``length`` body bytes.  The magic makes a client that
+connects to the wrong port (or speaks the wrong protocol) fail
+immediately with a typed :class:`~repro.errors.WireError` instead of
+misinterpreting garbage as garbled tables; the length bound rejects
+absurd frames before allocating for them.
+
+The codec is transport-agnostic: :class:`FrameReader` pulls bytes from
+any ``read_exact(n)`` callable, so it is testable against in-memory
+buffers and reusable over sockets (:mod:`repro.net.endpoint`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import WireError
+
+#: Two magic bytes in front of every frame ("GC" with the high bits set
+#: so accidental ASCII/HTTP traffic never matches).
+MAGIC = b"\xc7\xc3"
+
+#: Refuse frames larger than this (64 MiB — a 32-bit MAC round streams
+#: a few KiB of tables, so anything near the cap is a corrupt length).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">2sI")
+HEADER_BYTES = _HEADER.size
+
+
+def encode_frame(tag: str, payload: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one tagged message into its wire frame."""
+    tag_bytes = tag.encode("ascii")
+    if not 1 <= len(tag_bytes) <= 255:
+        raise WireError(f"frame tag must be 1..255 ASCII bytes, got {tag!r}")
+    length = 1 + len(tag_bytes) + len(payload)
+    if length > max_frame_bytes:
+        raise WireError(
+            f"frame '{tag}' is {length} bytes; the wire cap is {max_frame_bytes}"
+        )
+    return b"".join(
+        (_HEADER.pack(MAGIC, length), bytes([len(tag_bytes)]), tag_bytes, payload)
+    )
+
+
+def decode_frame_body(body: bytes) -> tuple[str, bytes]:
+    """Split a frame body (everything after the length field) into (tag, payload)."""
+    if not body:
+        raise WireError("empty frame body (zero-length frame)")
+    tag_len = body[0]
+    if tag_len == 0 or len(body) < 1 + tag_len:
+        raise WireError(f"frame body too short for its tag length ({tag_len})")
+    try:
+        tag = body[1 : 1 + tag_len].decode("ascii")
+    except UnicodeDecodeError:
+        raise WireError("frame tag is not ASCII") from None
+    return tag, body[1 + tag_len :]
+
+
+class FrameReader:
+    """Reads frames from a ``read_exact(n) -> bytes`` callable.
+
+    ``read_exact`` must return exactly ``n`` bytes or raise
+    :class:`WireError` itself (truncation, timeout, disconnect); this
+    class adds the header validation on top.
+    """
+
+    def __init__(self, read_exact, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self._read_exact = read_exact
+        self.max_frame_bytes = max_frame_bytes
+
+    def read_frame(self) -> tuple[str, bytes]:
+        header = self._read_exact(HEADER_BYTES)
+        magic, length = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise WireError(
+                f"bad frame magic {magic!r} (expected {MAGIC!r}): "
+                "peer is not speaking the repro GC wire protocol"
+            )
+        if length > self.max_frame_bytes:
+            raise WireError(
+                f"frame announces {length} bytes; the wire cap is "
+                f"{self.max_frame_bytes} (corrupt or hostile length prefix)"
+            )
+        return decode_frame_body(self._read_exact(length))
+
+
+def buffer_reader(data: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> FrameReader:
+    """A :class:`FrameReader` over an in-memory byte string (for tests)."""
+    view = memoryview(data)
+    offset = 0
+
+    def read_exact(n: int) -> bytes:
+        nonlocal offset
+        if offset + n > len(view):
+            raise WireError(
+                f"truncated frame: wanted {n} bytes, only "
+                f"{len(view) - offset} left in the buffer"
+            )
+        chunk = bytes(view[offset : offset + n])
+        offset += n
+        return chunk
+
+    return FrameReader(read_exact, max_frame_bytes)

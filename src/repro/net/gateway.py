@@ -1,0 +1,204 @@
+"""The GC gateway: a TCP front door for remote evaluators.
+
+Figure 1's deployment finally made literal — the cloud host accepts
+client connections over the network, handshakes each session
+(:mod:`repro.net.handshake`), and streams garbled tables + OT through
+the PR 1 serving layer, so remote sessions share the pre-garbled pool,
+bounded queue, deadlines, and telemetry with in-process traffic.
+
+Session wire lifecycle (client's view)::
+
+    connect -> net.hello -> net.welcome (or net.reject)
+    repeat:
+        net.query {row} -> net.ack (or net.error {reason})
+        <seq.* table/label/OT stream, evaluated locally>
+    net.bye -> close
+
+Ordering matters on a single socket: the worker that streams tables
+must not start before ``net.ack`` is on the wire, which is what
+``RemoteSessionRequest.start_gate`` enforces.
+
+For CI and benches the gateway also serves *adopted* sockets
+(:meth:`GCGateway.adopt`) — one half of a ``socketpair`` — so the whole
+stack runs without binding a port.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.errors import GCProtocolError, ServingError, WireError
+from repro.host import CloudServer
+from repro.net.endpoint import SocketEndpoint
+from repro.net.handshake import descriptor_for, server_handshake
+from repro.serve import ServingConfig, ServingServer
+from repro.telemetry import MetricsRegistry
+
+QUERY_TAG = "net.query"
+ACK_TAG = "net.ack"
+ERROR_TAG = "net.error"
+BYE_TAG = "net.bye"
+
+
+class GCGateway:
+    """Accepts N concurrent evaluator connections for one :class:`CloudServer`."""
+
+    def __init__(
+        self,
+        server: CloudServer,
+        serving: ServingServer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: ServingConfig | None = None,
+        telemetry: MetricsRegistry | None = None,
+    ):
+        self.server = server
+        self.telemetry = telemetry if telemetry is not None else server.telemetry
+        if serving is None:
+            serving = ServingServer(server, config, telemetry=self.telemetry)
+            self._owns_serving = True
+        else:
+            self._owns_serving = False
+        self.serving = serving
+        self.host = host
+        self.port = port
+        self.descriptor = descriptor_for(server)
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._sessions: list[threading.Thread] = []
+        self._sessions_lock = threading.Lock()
+        self._stopping = threading.Event()
+        #: the most recent session-terminating error (post-mortem aid)
+        self._last_session_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound — resolves port 0 to the real one."""
+        if self._listener is None:
+            return (self.host, self.port)
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "GCGateway":
+        if self._listener is not None:
+            return self
+        self._stopping.clear()
+        if self._owns_serving:
+            self.serving.start()
+        self._listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        self._listener.settimeout(0.2)  # so stop() is noticed promptly
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="gateway-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            finally:
+                self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        for t in sessions:
+            t.join(timeout=self.serving.config.request_timeout_s)
+        if self._owns_serving:
+            self.serving.stop()
+
+    def __enter__(self) -> "GCGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # connection intake
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us: shutting down
+            self.adopt(sock)
+
+    def adopt(self, sock: socket.socket) -> threading.Thread:
+        """Serve an already-connected socket (the socketpair/CI entry point)."""
+        self.telemetry.counter("gateway.connections").inc()
+        t = threading.Thread(
+            target=self._session, args=(sock,), name="gateway-session", daemon=True
+        )
+        with self._sessions_lock:
+            self._sessions = [s for s in self._sessions if s.is_alive()]
+            self._sessions.append(t)
+        t.start()
+        return t
+
+    # ------------------------------------------------------------------
+    # one session
+    # ------------------------------------------------------------------
+    def _session(self, sock: socket.socket) -> None:
+        tm = self.telemetry
+        endpoint = SocketEndpoint(
+            "gateway",
+            sock,
+            telemetry=tm,
+            recv_timeout_s=self.serving.config.recv_timeout_s,
+        )
+        try:
+            with tm.span("gateway.session"):
+                server_handshake(endpoint, self.descriptor)
+                tm.counter("gateway.sessions").inc()
+                while not self._stopping.is_set():
+                    tag, payload = endpoint.recv_any((QUERY_TAG, BYE_TAG))
+                    if tag == BYE_TAG:
+                        break
+                    self._serve_query(endpoint, payload)
+        except (WireError, GCProtocolError) as exc:
+            # includes HandshakeError; a vanished client is routine churn
+            tm.counter("gateway.session_errors").inc()
+            self._last_session_error = exc
+        finally:
+            endpoint.close()
+
+    def _serve_query(self, endpoint: SocketEndpoint, payload: bytes) -> None:
+        tm = self.telemetry
+        try:
+            row = int(json.loads(payload.decode())["row"])
+        except (ValueError, KeyError, TypeError) as exc:
+            endpoint.send(ERROR_TAG, f"malformed query: {exc}".encode())
+            return
+        if not 0 <= row < self.descriptor.n_rows:
+            endpoint.send(
+                ERROR_TAG,
+                f"model has no row {row} (rows: 0..{self.descriptor.n_rows - 1})".encode(),
+            )
+            return
+        try:
+            request = self.serving.submit_remote(row, endpoint)
+        except ServingError as exc:  # backpressure: full queue, not running
+            tm.counter("gateway.rejected").inc()
+            endpoint.send(ERROR_TAG, str(exc).encode())
+            return
+        # ack first, *then* open the gate: both share the socket, and the
+        # client reads the ack before the first streamed table
+        endpoint.send(ACK_TAG, b"{}")
+        request.start_gate.set()
+        request.wait(timeout=self.serving.config.request_timeout_s)
+        tm.counter("gateway.queries").inc()

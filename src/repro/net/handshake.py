@@ -1,0 +1,156 @@
+"""Session negotiation: version, bit-width, circuit fingerprint.
+
+Before any garbled table crosses the wire, gateway and client agree on
+what they are about to run.  The client opens with ``net.hello``
+(protocol version + client name); the gateway answers ``net.welcome``
+with the full session descriptor — fixed-point format, accumulator
+width, rounds per query, model row count, OT group, and a SHA-256
+fingerprint of the round circuit — or ``net.reject`` with a reason.
+
+The fingerprint is the load-bearing part: both sides build the MAC
+round circuit locally from the negotiated widths, and the client
+*verifies* that its construction hashes to the gateway's fingerprint.
+A version-skewed client therefore fails fast with a typed
+:class:`~repro.errors.HandshakeError` instead of evaluating garbage
+labels against a circuit it mis-built.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.sequential import SequentialCircuit
+from repro.crypto.ot import DHGroup
+from repro.errors import HandshakeError, WireError
+
+#: Bump on any wire-visible change to framing or the session protocol.
+PROTOCOL_VERSION = 1
+
+HELLO_TAG = "net.hello"
+WELCOME_TAG = "net.welcome"
+REJECT_TAG = "net.reject"
+
+
+def netlist_fingerprint(circuit: SequentialCircuit) -> str:
+    """SHA-256 over the round circuit's complete structure.
+
+    Covers every field an evaluator's correctness depends on: gate
+    ops/wiring (including AND-class alpha/beta/gamma), the party input
+    partition, constants, outputs, state feedback, and the initial
+    state.  Two independently built circuits share a fingerprint iff
+    they garble/evaluate identically.
+    """
+    net: Netlist = circuit.netlist
+    parts: list[object] = [
+        "v1",
+        net.n_wires,
+        tuple(net.garbler_inputs),
+        tuple(net.evaluator_inputs),
+        tuple(net.state_inputs),
+        tuple(net.outputs),
+        tuple(sorted(net.constants.items())),
+        tuple(circuit.state_feedback),
+        tuple(circuit.initial_state),
+    ]
+    for gate in net.gates:
+        parts.append((gate.index, gate.gtype.name, tuple(gate.inputs), gate.output))
+    blob = repr(parts).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class SessionDescriptor:
+    """Everything a remote evaluator needs to mirror the server's session."""
+
+    protocol_version: int
+    total_bits: int
+    frac_bits: int
+    acc_width: int
+    rounds: int
+    n_rows: int
+    fingerprint: str
+    group_p: int
+    group_g: int
+
+    def to_payload(self) -> bytes:
+        return json.dumps(asdict(self), sort_keys=True).encode()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "SessionDescriptor":
+        try:
+            raw = json.loads(payload.decode())
+            return cls(**{f: raw[f] for f in cls.__dataclass_fields__})
+        except (ValueError, KeyError, TypeError) as exc:
+            raise HandshakeError(f"malformed session descriptor: {exc}") from exc
+
+    @property
+    def group(self) -> DHGroup:
+        return DHGroup(self.group_p, self.group_g)
+
+
+def descriptor_for(server) -> SessionDescriptor:
+    """Build the handshake descriptor for a :class:`repro.host.CloudServer`."""
+    accel = server.accelerator
+    return SessionDescriptor(
+        protocol_version=PROTOCOL_VERSION,
+        total_bits=server.fmt.total_bits,
+        frac_bits=server.fmt.frac_bits,
+        acc_width=accel.acc_width,
+        rounds=server.rounds_per_request,
+        n_rows=int(server.model.shape[0]),
+        fingerprint=netlist_fingerprint(accel.circuit.circuit),
+        group_p=server.group.p,
+        group_g=server.group.g,
+    )
+
+
+def server_handshake(endpoint, descriptor: SessionDescriptor) -> dict:
+    """Gateway side: validate the client's hello, answer welcome/reject.
+
+    Returns the parsed hello.  On a version mismatch the rejection is
+    *sent to the client* before the typed error is raised locally, so
+    both sides see the same diagnosis.
+    """
+    payload = endpoint.recv(HELLO_TAG)
+    try:
+        hello = json.loads(payload.decode())
+        version = int(hello["protocol_version"])
+    except (ValueError, KeyError, TypeError) as exc:
+        _reject(endpoint, f"malformed hello: {exc}")
+        raise HandshakeError(f"malformed client hello: {exc}") from exc
+    if version != descriptor.protocol_version:
+        reason = (
+            f"protocol version mismatch: client speaks v{version}, "
+            f"gateway speaks v{descriptor.protocol_version}"
+        )
+        _reject(endpoint, reason)
+        raise HandshakeError(reason)
+    endpoint.send(WELCOME_TAG, descriptor.to_payload())
+    return hello
+
+
+def client_handshake(endpoint, client_name: str = "client") -> SessionDescriptor:
+    """Client side: send hello, receive the session descriptor (or reject)."""
+    hello = {"protocol_version": PROTOCOL_VERSION, "name": client_name}
+    endpoint.send(HELLO_TAG, json.dumps(hello, sort_keys=True).encode())
+    tag, payload = endpoint.recv_any((WELCOME_TAG, REJECT_TAG))
+    if tag == REJECT_TAG:
+        reason = payload.decode(errors="replace")
+        raise HandshakeError(f"gateway rejected the session: {reason}")
+    descriptor = SessionDescriptor.from_payload(payload)
+    if descriptor.protocol_version != PROTOCOL_VERSION:
+        raise HandshakeError(
+            f"gateway speaks protocol v{descriptor.protocol_version}, "
+            f"this client speaks v{PROTOCOL_VERSION}"
+        )
+    return descriptor
+
+
+def _reject(endpoint, reason: str) -> None:
+    try:
+        endpoint.send(REJECT_TAG, reason.encode())
+    except WireError:
+        pass  # the peer is already gone; the local typed error suffices

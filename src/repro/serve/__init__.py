@@ -16,6 +16,12 @@ layer:
 
 from repro.serve.config import ServingConfig
 from repro.serve.refiller import PoolRefiller
-from repro.serve.server import PendingRequest, ServingServer
+from repro.serve.server import PendingRequest, RemoteSessionRequest, ServingServer
 
-__all__ = ["PendingRequest", "PoolRefiller", "ServingConfig", "ServingServer"]
+__all__ = [
+    "PendingRequest",
+    "PoolRefiller",
+    "RemoteSessionRequest",
+    "ServingConfig",
+    "ServingServer",
+]

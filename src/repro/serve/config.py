@@ -18,6 +18,10 @@ class ServingConfig:
     from enqueue; a request that exceeds it fails typed instead of
     wedging a worker.  ``max_retries`` re-runs a request whose GC
     session failed with a (transient) protocol error.
+    ``recv_timeout_s`` is the per-message channel receive timeout for
+    sessions run under this config (``None`` defers to the
+    ``REPRO_RECV_TIMEOUT_S`` environment variable, then the channel
+    default — see :func:`repro.gc.channel.resolve_recv_timeout`).
     """
 
     workers: int = 4
@@ -27,6 +31,7 @@ class ServingConfig:
     refill: bool = True
     #: refiller fallback poll period; it is normally woken by the server
     refill_poll_s: float = 0.05
+    recv_timeout_s: float | None = None
 
     def validate(self) -> "ServingConfig":
         if self.workers < 1:
@@ -39,4 +44,6 @@ class ServingConfig:
             raise ConfigurationError("retry budget cannot be negative")
         if self.refill_poll_s <= 0:
             raise ConfigurationError("refill poll period must be positive")
+        if self.recv_timeout_s is not None and self.recv_timeout_s <= 0:
+            raise ConfigurationError("receive timeout must be positive")
         return self

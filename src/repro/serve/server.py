@@ -29,6 +29,10 @@ _SHUTDOWN = object()
 class PendingRequest:
     """A future for one submitted query."""
 
+    #: retried on transient protocol errors; remote sessions are not
+    #: (a half-streamed wire session is not replayable to the client)
+    retryable = True
+
     def __init__(self, row_index: int, x_values, deadline: float):
         self.row_index = row_index
         self.x_values = x_values
@@ -39,6 +43,10 @@ class PendingRequest:
         self._cancelled = threading.Event()
         self._result: float | None = None
         self._error: BaseException | None = None
+
+    def _execute(self, client: AnalyticsClient):
+        """Run one attempt of this request on a worker's client."""
+        return client.query_row(self.row_index, self.x_values)
 
     # ------------------------------------------------------------------
     def _finish(self, result: float | None, error: BaseException | None) -> None:
@@ -70,8 +78,36 @@ class PendingRequest:
         return self._result
 
 
+class RemoteSessionRequest(PendingRequest):
+    """A remote evaluator session: the worker garbles *to* the client.
+
+    Unlike the local path (worker runs both parties), the evaluator
+    lives on the far side of ``endpoint``; the worker only runs
+    ``CloudServer.serve_row`` against it.  ``start_gate`` lets the
+    gateway order its control-frame acknowledgement *before* the first
+    streamed table (both travel over the same socket, so the worker
+    must not start until the gate opens).
+    """
+
+    retryable = False
+
+    def __init__(self, row_index: int, endpoint, deadline: float):
+        super().__init__(row_index, None, deadline)
+        self.endpoint = endpoint
+        self.start_gate = threading.Event()
+
+    def _execute(self, client: AnalyticsClient):
+        if not self.start_gate.wait(timeout=max(0.0, self.deadline - time.perf_counter())):
+            raise ServingError(
+                f"remote session for row {self.row_index} never released its start gate"
+            )
+        client.server.serve_row(self.endpoint, self.row_index)
+        return True
+
+
 class ServingServer:
-    """Bounded-queue, multi-worker serving of ``AnalyticsClient`` queries."""
+    """Bounded-queue, multi-worker serving of ``AnalyticsClient`` queries
+    and remote gateway sessions (:meth:`submit_remote`)."""
 
     def __init__(
         self,
@@ -114,7 +150,10 @@ class ServingServer:
             return
         self._accepting = False
         for _ in self._workers:
-            self._queue.put(_SHUTDOWN)
+            try:
+                self._queue.put(_SHUTDOWN, timeout=self.config.request_timeout_s)
+            except queue.Full:  # dead workers left the queue full: don't deadlock
+                break
         for t in self._workers:
             t.join(timeout=self.config.request_timeout_s + 30.0)
         self._workers = []
@@ -138,13 +177,34 @@ class ServingServer:
         immediately (backpressure); with ``block=True`` the caller waits
         for a slot, bounded by the request timeout.
         """
-        if not self._accepting:
-            raise ServingError("serving layer is not running (call start())")
         req = PendingRequest(
             row_index,
             np.asarray(x_values, dtype=np.float64),
             deadline=time.perf_counter() + self.config.request_timeout_s,
         )
+        return self._enqueue(req, block)
+
+    def submit_remote(
+        self, row_index: int, endpoint, block: bool = False
+    ) -> RemoteSessionRequest:
+        """Enqueue a remote evaluator session (the gateway's entry point).
+
+        The returned request does not stream until its ``start_gate`` is
+        set, so the caller can first acknowledge the query on the same
+        wire.  Remote sessions default to non-blocking submission: the
+        gateway turns backpressure into an immediate typed reply instead
+        of holding the client's socket silent.
+        """
+        req = RemoteSessionRequest(
+            row_index,
+            endpoint,
+            deadline=time.perf_counter() + self.config.request_timeout_s,
+        )
+        return self._enqueue(req, block)
+
+    def _enqueue(self, req: PendingRequest, block: bool) -> PendingRequest:
+        if not self._accepting:
+            raise ServingError("serving layer is not running (call start())")
         try:
             if block:
                 self._queue.put(req, timeout=self.config.request_timeout_s)
@@ -172,7 +232,7 @@ class ServingServer:
     # workers
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
-        client = AnalyticsClient(self.server)
+        client = AnalyticsClient(self.server, recv_timeout_s=self.config.recv_timeout_s)
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
@@ -198,13 +258,14 @@ class ServingServer:
             return
         with tm.span("request"):
             last_error: BaseException | None = None
-            for attempt in range(1 + self.config.max_retries):
+            retries = self.config.max_retries if req.retryable else 0
+            for attempt in range(1 + retries):
                 req.attempts = attempt + 1
                 if attempt:
                     tm.counter("serve.retries").inc()
                 try:
-                    result = client.query_row(req.row_index, req.x_values)
-                except (ConfigurationError, GCProtocolError) as exc:
+                    result = req._execute(client)
+                except (ConfigurationError, GCProtocolError, ServingError) as exc:
                     last_error = exc
                     if isinstance(exc, ConfigurationError):
                         break  # a client error will not heal on retry

@@ -10,7 +10,7 @@ for deterministic tests.
 
 from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
 from repro.telemetry.spans import Span, SpanRecorder
-from repro.telemetry.report import render_text, to_json
+from repro.telemetry.report import render_text, render_traffic, to_json, traffic_by_tag
 
 __all__ = [
     "Counter",
@@ -19,5 +19,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "render_text",
+    "render_traffic",
     "to_json",
+    "traffic_by_tag",
 ]

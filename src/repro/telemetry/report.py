@@ -15,6 +15,38 @@ def to_json(snapshot: dict) -> str:
     return json.dumps(snapshot, sort_keys=True, indent=2)
 
 
+def traffic_by_tag(snapshot: dict) -> dict[str, int]:
+    """Per-tag wire-byte totals from the ``channel.bytes.<tag>`` counters.
+
+    The endpoint layer records one counter per message tag, which is the
+    paper's communication accounting: the gateway report splits traffic
+    into tables (``seq.tables``), OT (``ot.*``), labels
+    (``seq.*_labels``), and control frames (``net.*``).
+    """
+    prefix = "channel.bytes."
+    return {
+        name[len(prefix):]: value
+        for name, value in snapshot.get("counters", {}).items()
+        if name.startswith(prefix)
+    }
+
+
+def render_traffic(snapshot: dict, title: str = "wire traffic by tag") -> str:
+    """Aligned per-tag byte breakdown with a share column."""
+    by_tag = traffic_by_tag(snapshot)
+    lines = [f"== {title} =="]
+    if not by_tag:
+        lines.append("(no tagged traffic recorded)")
+        return "\n".join(lines)
+    total = sum(by_tag.values())
+    width = max(len(t) for t in by_tag)
+    for tag in sorted(by_tag, key=lambda t: (-by_tag[t], t)):
+        share = by_tag[tag] / total if total else 0.0
+        lines.append(f"  {tag:<{width}}  {by_tag[tag]:>12,} B  {share:6.1%}")
+    lines.append(f"  {'total':<{width}}  {total:>12,} B")
+    return "\n".join(lines)
+
+
 def _fmt(value: float) -> str:
     return f"{value:.6g}"
 

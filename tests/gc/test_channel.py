@@ -95,6 +95,34 @@ class TestBlocking:
         with pytest.raises((ValueError, GCProtocolError)):
             run_two_party(left, right)
 
+    def test_run_two_party_surfaces_both_failures(self):
+        """Deadlock post-mortems: the left error carries the right one."""
+
+        def left():
+            raise GCProtocolError("left timed out")
+
+        def right():
+            raise ValueError("right exploded first")
+
+        with pytest.raises(GCProtocolError) as exc_info:
+            run_two_party(left, right)
+        message = str(exc_info.value)
+        assert "left timed out" in message
+        assert "right exploded first" in message
+        assert "ValueError" in message
+        # the chained cause is the actual right-side exception object
+        assert isinstance(exc_info.value.__cause__, ValueError)
+
+    def test_run_two_party_single_failure_unwrapped(self):
+        def left():
+            return "ok"
+
+        def right():
+            raise ValueError("only failure")
+
+        with pytest.raises(ValueError, match="only failure"):
+            run_two_party(left, right)
+
 
 class TestAccounting:
     def test_bytes_and_messages_counted(self):
@@ -200,6 +228,18 @@ class TestChannelTelemetry:
         assert reg.counter("channel.messages").value == 2
         assert reg.counter("channel.bytes").value == 8
 
+    def test_per_tag_byte_counters(self):
+        from repro.telemetry import MetricsRegistry, traffic_by_tag
+
+        reg = MetricsRegistry()
+        a, _ = local_channel(telemetry=reg)
+        a.send("seq.tables", b"12345")
+        a.send("seq.tables", b"678")
+        a.send("ot.base.A", b"ab")
+        assert reg.counter("channel.bytes.seq.tables").value == 8
+        assert reg.counter("channel.bytes.ot.base.A").value == 2
+        assert traffic_by_tag(reg.snapshot()) == {"seq.tables": 8, "ot.base.A": 2}
+
     def test_uninstrumented_channel_unaffected(self):
         a, _ = local_channel()
         assert a.telemetry is None
@@ -219,3 +259,64 @@ class TestU128Helpers:
         a.send("labels", b"x" * 17)
         with pytest.raises(GCProtocolError):
             b.recv_u128_list("labels")
+
+
+class TestRecvTimeoutConfiguration:
+    """The REPRO_RECV_TIMEOUT_S / per-endpoint / explicit precedence chain."""
+
+    def test_env_var_governs_default(self, monkeypatch):
+        from repro.gc.channel import resolve_recv_timeout
+
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT_S", "12.5")
+        assert resolve_recv_timeout() == 12.5
+
+    def test_explicit_beats_everything(self, monkeypatch):
+        from repro.gc.channel import resolve_recv_timeout
+
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT_S", "12.5")
+        assert resolve_recv_timeout(3.0, 7.0) == 3.0
+
+    def test_endpoint_config_beats_env(self, monkeypatch):
+        from repro.gc.channel import resolve_recv_timeout
+
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT_S", "12.5")
+        assert resolve_recv_timeout(None, 7.0) == 7.0
+
+    def test_module_global_is_final_fallback(self, monkeypatch):
+        import repro.gc.channel as channel_mod
+
+        monkeypatch.delenv("REPRO_RECV_TIMEOUT_S", raising=False)
+        monkeypatch.setattr(channel_mod, "RECV_TIMEOUT_S", 42.0)
+        assert channel_mod.resolve_recv_timeout() == 42.0
+
+    def test_bad_env_value_typed(self, monkeypatch):
+        from repro.errors import ConfigurationError
+        from repro.gc.channel import resolve_recv_timeout
+
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT_S", "soon")
+        with pytest.raises(ConfigurationError, match="REPRO_RECV_TIMEOUT_S"):
+            resolve_recv_timeout()
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT_S", "-1")
+        with pytest.raises(ConfigurationError, match="positive"):
+            resolve_recv_timeout()
+
+    def test_env_var_times_out_blocked_recv(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT_S", "0.05")
+        _, b = local_channel()
+        start = time.perf_counter()
+        with pytest.raises(GCProtocolError, match="timed out"):
+            b.recv("never")
+        assert time.perf_counter() - start < 5.0
+
+    def test_channel_recv_timeout_parameter(self):
+        _, b = local_channel(recv_timeout_s=0.05)
+        with pytest.raises(GCProtocolError, match="timed out"):
+            b.recv("never")
+
+    def test_serving_config_rejects_bad_recv_timeout(self):
+        from repro.errors import ConfigurationError
+        from repro.serve import ServingConfig
+
+        with pytest.raises(ConfigurationError, match="receive timeout"):
+            ServingConfig(recv_timeout_s=0.0).validate()
+        assert ServingConfig(recv_timeout_s=5.0).validate().recv_timeout_s == 5.0

@@ -1,0 +1,154 @@
+"""Frame codec: round trips plus the malformed-wire fuzz battery.
+
+Every corruption mode must surface as a typed ``WireError`` — never a
+hang, never a silently mis-parsed frame.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.errors import WireError
+from repro.net.frames import (
+    HEADER_BYTES,
+    MAGIC,
+    FrameReader,
+    buffer_reader,
+    decode_frame_body,
+    encode_frame,
+)
+
+
+class TestRoundTrip:
+    def test_encode_decode(self):
+        frame = encode_frame("gc.tables", b"\x01\x02\x03")
+        assert buffer_reader(frame).read_frame() == ("gc.tables", b"\x01\x02\x03")
+
+    def test_empty_payload(self):
+        frame = encode_frame("seq.rounds", b"")
+        assert buffer_reader(frame).read_frame() == ("seq.rounds", b"")
+
+    def test_back_to_back_frames(self):
+        stream = encode_frame("a", b"1") + encode_frame("b", b"22") + encode_frame("c", b"")
+        reader = buffer_reader(stream)
+        assert reader.read_frame() == ("a", b"1")
+        assert reader.read_frame() == ("b", b"22")
+        assert reader.read_frame() == ("c", b"")
+
+    def test_large_payload(self):
+        payload = bytes(range(256)) * 1024
+        frame = encode_frame("seq.tables", payload)
+        assert buffer_reader(frame).read_frame() == ("seq.tables", payload)
+
+    def test_header_layout_is_pinned(self):
+        # magic | u32 big-endian length | u8 taglen | tag | payload
+        frame = encode_frame("ab", b"xyz")
+        assert frame[:2] == MAGIC
+        assert struct.unpack(">I", frame[2:6])[0] == 1 + 2 + 3
+        assert frame[6] == 2
+        assert frame[7:9] == b"ab"
+        assert frame[9:] == b"xyz"
+
+
+class TestEncodeValidation:
+    def test_empty_tag_rejected(self):
+        with pytest.raises(WireError, match="1..255"):
+            encode_frame("", b"x")
+
+    def test_oversized_tag_rejected(self):
+        with pytest.raises(WireError, match="1..255"):
+            encode_frame("t" * 256, b"")
+
+    def test_non_ascii_tag_rejected(self):
+        with pytest.raises(UnicodeEncodeError):
+            encode_frame("té", b"")
+
+    def test_payload_over_cap_rejected(self):
+        with pytest.raises(WireError, match="wire cap"):
+            encode_frame("t", b"x" * 100, max_frame_bytes=50)
+
+
+class TestMalformedWire:
+    def test_truncated_header(self):
+        frame = encode_frame("tag", b"payload")
+        with pytest.raises(WireError, match="truncated"):
+            buffer_reader(frame[: HEADER_BYTES - 2]).read_frame()
+
+    def test_truncated_body(self):
+        frame = encode_frame("tag", b"payload")
+        with pytest.raises(WireError, match="truncated"):
+            buffer_reader(frame[:-3]).read_frame()
+
+    def test_bad_magic(self):
+        frame = b"HT" + encode_frame("tag", b"payload")[2:]
+        with pytest.raises(WireError, match="magic"):
+            buffer_reader(frame).read_frame()
+
+    def test_oversized_length_prefix(self):
+        frame = MAGIC + struct.pack(">I", 1 << 31) + b"\x01t"
+        with pytest.raises(WireError, match="cap"):
+            buffer_reader(frame).read_frame()
+
+    def test_zero_length_frame(self):
+        frame = MAGIC + struct.pack(">I", 0)
+        with pytest.raises(WireError, match="empty frame body"):
+            buffer_reader(frame).read_frame()
+
+    def test_tag_length_exceeds_body(self):
+        body = bytes([40]) + b"short"
+        frame = MAGIC + struct.pack(">I", len(body)) + body
+        with pytest.raises(WireError, match="tag length"):
+            buffer_reader(frame).read_frame()
+
+    def test_zero_tag_length(self):
+        body = bytes([0]) + b"payload"
+        frame = MAGIC + struct.pack(">I", len(body)) + body
+        with pytest.raises(WireError, match="tag length"):
+            buffer_reader(frame).read_frame()
+
+    def test_non_ascii_tag_on_wire(self):
+        with pytest.raises(WireError, match="ASCII"):
+            decode_frame_body(bytes([2]) + b"\xff\xfe" + b"payload")
+
+
+class TestFuzz:
+    def test_random_garbage_never_escapes_typed_errors(self):
+        """Any byte soup either fails typed or decodes a valid frame."""
+        rng = random.Random(0xC0FFEE)
+        for _ in range(500):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 64)))
+            reader = buffer_reader(blob)
+            try:
+                tag, payload = reader.read_frame()
+            except WireError:
+                continue
+            assert isinstance(tag, str) and isinstance(payload, bytes)
+
+    def test_bit_flips_in_valid_frames(self):
+        """Flipping any single header byte yields WireError or a clean parse."""
+        frame = encode_frame("seq.tables", b"\xaa" * 40)
+        for pos in range(min(len(frame), HEADER_BYTES + 3)):
+            for flip in (0x01, 0x80, 0xFF):
+                mutated = bytearray(frame)
+                mutated[pos] ^= flip
+                try:
+                    tag, payload = buffer_reader(bytes(mutated)).read_frame()
+                except WireError:
+                    continue
+                assert isinstance(tag, str) and isinstance(payload, bytes)
+
+    def test_truncation_at_every_boundary(self):
+        frame = encode_frame("t", b"0123456789")
+        for cut in range(len(frame)):
+            with pytest.raises(WireError):
+                buffer_reader(frame[:cut]).read_frame()
+
+
+class TestFrameReaderContract:
+    def test_reader_propagates_transport_errors(self):
+        def broken_read(n):
+            raise WireError("mid-frame disconnect")
+
+        with pytest.raises(WireError, match="disconnect"):
+            FrameReader(broken_read).read_frame()

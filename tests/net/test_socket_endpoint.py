@@ -1,0 +1,181 @@
+"""SocketEndpoint: the in-memory channel contract over real sockets."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import GCProtocolError, WireError
+from repro.net import MAGIC, SocketEndpoint, encode_frame, socketpair_endpoints
+from repro.telemetry import MetricsRegistry
+
+
+class TestDropInContract:
+    """The semantics `tests/gc/test_channel.py` pins for Endpoint."""
+
+    def test_send_recv_round_trip(self):
+        a, b = socketpair_endpoints()
+        a.send("x", b"payload")
+        assert b.recv("x") == b"payload"
+
+    def test_tag_mismatch_detected(self):
+        a, b = socketpair_endpoints()
+        a.send("x", b"payload")
+        with pytest.raises(GCProtocolError, match="expected message 'y'"):
+            b.recv("y")
+
+    def test_fifo_order(self):
+        a, b = socketpair_endpoints()
+        a.send("m", b"1")
+        a.send("m", b"2")
+        assert b.recv("m") == b"1"
+        assert b.recv("m") == b"2"
+
+    def test_non_bytes_rejected(self):
+        a, _ = socketpair_endpoints()
+        with pytest.raises(GCProtocolError, match="must be bytes"):
+            a.send("x", "a string")
+
+    def test_empty_recv_times_out_typed(self):
+        _, b = socketpair_endpoints()
+        with pytest.raises(WireError, match="timed out"):
+            b.recv("x", timeout=0.05)
+
+    def test_duplex(self):
+        a, b = socketpair_endpoints()
+        a.send("ping", b"1")
+        b.send("pong", b"2")
+        assert b.recv("ping") == b"1"
+        assert a.recv("pong") == b"2"
+
+    def test_u128_list_round_trip(self):
+        a, b = socketpair_endpoints()
+        values = [0, 1, (1 << 128) - 1, 0xDEADBEEF]
+        a.send_u128_list("labels", values)
+        assert b.recv_u128_list("labels") == values
+
+    def test_ragged_u128_payload_rejected(self):
+        a, b = socketpair_endpoints()
+        a.send("labels", b"\x01" * 15)
+        with pytest.raises(GCProtocolError, match="16-byte"):
+            b.recv_u128_list("labels")
+
+    def test_traffic_stats_recorded(self):
+        a, b = socketpair_endpoints()
+        a.send("gc.tables", b"12345")
+        a.send("ot.msg", b"abc")
+        assert a.sent.messages == 2
+        assert a.sent.payload_bytes == 8
+        assert a.sent.by_tag == {"gc.tables": 5, "ot.msg": 3}
+
+    def test_per_tag_telemetry_counters(self):
+        reg = MetricsRegistry()
+        a, b = socketpair_endpoints(telemetry=reg)
+        a.send("seq.tables", b"12345")
+        b.send("ot.base.A", b"abc")
+        assert reg.counter("channel.messages").value == 2
+        assert reg.counter("channel.bytes").value == 8
+        assert reg.counter("channel.bytes.seq.tables").value == 5
+        assert reg.counter("channel.bytes.ot.base.A").value == 3
+
+    def test_recv_blocks_until_peer_sends(self):
+        a, b = socketpair_endpoints()
+
+        def late_sender():
+            a.send("slow", b"data")
+
+        t = threading.Timer(0.05, late_sender)
+        t.start()
+        assert b.recv("slow", timeout=5.0) == b"data"
+        t.join()
+
+
+class TestRecvAny:
+    def test_accepts_any_listed_tag(self):
+        a, b = socketpair_endpoints()
+        a.send("net.bye", b"")
+        assert b.recv_any(("net.query", "net.bye")) == ("net.bye", b"")
+
+    def test_rejects_unlisted_tag(self):
+        a, b = socketpair_endpoints()
+        a.send("net.other", b"")
+        with pytest.raises(GCProtocolError, match="expected one of"):
+            b.recv_any(("net.query", "net.bye"))
+
+
+class TestWireFailures:
+    def test_peer_close_at_frame_boundary(self):
+        a, b = socketpair_endpoints()
+        a.close()
+        with pytest.raises(WireError, match="frame boundary"):
+            b.recv("x", timeout=1.0)
+
+    def test_mid_frame_disconnect(self):
+        raw_a, raw_b = socket.socketpair()
+        b = SocketEndpoint("victim", raw_b)
+        frame = encode_frame("seq.tables", b"\xaa" * 1000)
+        raw_a.sendall(frame[:37])  # header + a sliver of body
+        raw_a.close()
+        with pytest.raises(WireError, match="mid-frame"):
+            b.recv("seq.tables", timeout=1.0)
+
+    def test_bad_magic_from_rogue_peer(self):
+        raw_a, raw_b = socket.socketpair()
+        b = SocketEndpoint("victim", raw_b)
+        raw_a.sendall(b"GET / HTTP/1.1\r\n\r\n" + b"\x00" * 16)
+        with pytest.raises(WireError, match="magic"):
+            b.recv("x", timeout=1.0)
+
+    def test_oversized_length_prefix_fails_fast(self):
+        raw_a, raw_b = socket.socketpair()
+        b = SocketEndpoint("victim", raw_b)
+        raw_a.sendall(MAGIC + struct.pack(">I", 1 << 31))
+        with pytest.raises(WireError, match="cap"):
+            b.recv("x", timeout=1.0)
+
+    def test_send_to_dead_peer_raises_wire_error(self):
+        a, b = socketpair_endpoints()
+        b.close()
+        with pytest.raises(WireError):
+            for _ in range(64):  # outrun any kernel buffering
+                a.send("x", b"\x00" * 65536)
+
+    def test_send_on_closed_endpoint(self):
+        a, _ = socketpair_endpoints()
+        a.close()
+        with pytest.raises(WireError, match="closed endpoint"):
+            a.send("x", b"")
+
+    def test_configured_timeout_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT_S", "0.05")
+        _, b = socketpair_endpoints()
+        with pytest.raises(WireError, match="timed out"):
+            b.recv("x")  # no explicit timeout: env var governs
+
+    def test_endpoint_recv_timeout_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT_S", "60")
+        _, b = socketpair_endpoints(recv_timeout_s=0.05)
+        with pytest.raises(WireError, match="timed out"):
+            b.recv("x")
+
+
+class TestProtocolOverTheWire:
+    def test_classic_gc_protocol_bit_identical_over_sockets(self):
+        """run_protocol over socketpair endpoints == in-memory channel."""
+        from repro.bits import from_bits, to_bits
+        from repro.circuits.multipliers import build_multiplier_netlist
+        from repro.crypto.ot import TOY_GROUP
+        from repro.gc.protocol import run_protocol
+
+        net = build_multiplier_netlist(4, signed=False)
+        g_bits, e_bits = to_bits(9, 4), to_bits(13, 4)
+        _, local_report = run_protocol(net, g_bits, e_bits, group=TOY_GROUP)
+        _, wire_report = run_protocol(
+            net, g_bits, e_bits, group=TOY_GROUP,
+            channels=socketpair_endpoints(recv_timeout_s=30.0),
+        )
+        assert from_bits(wire_report.output_bits) == 9 * 13
+        assert wire_report.output_bits == local_report.output_bits
+        assert wire_report.n_tables == local_report.n_tables
+        assert wire_report.bytes_sent == local_report.bytes_sent

@@ -32,8 +32,9 @@ class StubClient:
     release = threading.Event()
     failures: list = []
 
-    def __init__(self, server):
+    def __init__(self, server, recv_timeout_s=None):
         self.server = server
+        self.recv_timeout_s = recv_timeout_s
 
     def query_row(self, row_index, x_values):
         StubClient.started.set()
