@@ -11,6 +11,7 @@
     python -m repro serve --clients 4 # concurrent serving + telemetry
     python -m repro gateway -p 7788   # TCP gateway for remote evaluators
     python -m repro connect -p 7788 --row 1 -x 0.5,0.25   # query it
+    python -m repro chaos --seed 7 --sessions 20   # fault-injection suite
 """
 
 from __future__ import annotations
@@ -248,6 +249,34 @@ def cmd_connect(args) -> str:
         )
 
 
+def cmd_chaos(args):
+    """Run the seeded fault-injection suite against the full stack."""
+    from repro.testkit import ChaosConfig, ChaosRunner
+
+    transports = tuple(t.strip() for t in args.transports.split(",") if t.strip())
+    config = ChaosConfig(
+        sessions=args.sessions,
+        seed=args.seed,
+        transports=transports,
+        recv_timeout_s=args.recv_timeout,
+        deadline_s=args.deadline,
+        max_retries=args.max_retries,
+    )
+    runner = ChaosRunner(config)
+    report = runner.run(
+        progress=(
+            (lambda v: print(f"  session {v.session}: {v.verdict}", flush=True))
+            if args.verbose
+            else None
+        )
+    )
+    if args.log:
+        report.write_log(args.log)
+    # a violation is the one outcome the conformance contract forbids:
+    # fail the process so CI goes red and uploads the replay log
+    return report.format(), (0 if report.ok else 1)
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -261,6 +290,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "gateway": cmd_gateway,
     "connect": cmd_connect,
+    "chaos": cmd_chaos,
 }
 
 
@@ -302,16 +332,32 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("-x", default="0.5,0.25",
                            help="comma-separated client vector")
             p.add_argument("--recv-timeout", type=float, default=None)
+        if name == "chaos":
+            p.add_argument("--sessions", type=int, default=20)
+            p.add_argument("--seed", type=int, default=7)
+            p.add_argument("--transports", default="memory,socket",
+                           help="comma-separated: memory, socket")
+            p.add_argument("--recv-timeout", type=float, default=0.25)
+            p.add_argument("--deadline", type=float, default=15.0)
+            p.add_argument("--max-retries", type=int, default=1)
+            p.add_argument("--log", default=None,
+                           help="write a JSONL replay log here")
+            p.add_argument("-v", "--verbose", action="store_true",
+                           help="print each verdict as it lands")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    code = 0
     try:
-        print(COMMANDS[args.command](args))
+        result = COMMANDS[args.command](args)
+        if isinstance(result, tuple):  # (text, exit_code) commands
+            result, code = result
+        print(result)
     except BrokenPipeError:  # e.g. `python -m repro sweep | head`
         pass
-    return 0
+    return code
 
 
 if __name__ == "__main__":

@@ -43,5 +43,16 @@ class WireError(GCProtocolError):
     """
 
 
+class IntegrityError(GCProtocolError):
+    """A message failed its end-to-end integrity check (flipped or lost
+    bytes between the sender's endpoint and the receiver's).
+
+    Raised by :meth:`repro.gc.channel.EndpointBase.recv` when the CRC32
+    trailer does not match, so a corrupted frame mid-MAC fails loudly
+    instead of silently desynchronising the accumulator labels.
+    """
+
+
 class HandshakeError(WireError):
-    """Session negotiation failed (version/bit-width/fingerprint mismatch)."""
+    """Session negotiation failed (version/bit-width/fingerprint
+    mismatch, or the peer vanished mid-negotiation)."""

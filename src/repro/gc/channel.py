@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import os
 import threading
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError, GCProtocolError
+from repro.errors import ConfigurationError, GCProtocolError, IntegrityError
 
 #: Fallback safety net so a protocol bug surfaces as an error, not a
 #: hang.  Resolution order for an endpoint's receive timeout:
@@ -36,6 +37,31 @@ DEFAULT_RECV_TIMEOUT_S = 60.0
 RECV_TIMEOUT_S = DEFAULT_RECV_TIMEOUT_S
 
 RECV_TIMEOUT_ENV = "REPRO_RECV_TIMEOUT_S"
+
+#: Every message carries a CRC32 trailer over (sequence, tag, payload)
+#: so that corruption, truncation, or *replay* anywhere between the two
+#: endpoint hooks — a flipped bit on the wire, a frame cut short, a
+#: duplicated frame consumed as the next protocol step — surfaces as a
+#: typed :class:`~repro.errors.IntegrityError` on receive instead of
+#: silently desynchronising the evaluator's labels.  Honest-but-curious
+#: GC does not authenticate tables, so without this a single corrupted
+#: or duplicated frame mid-MAC yields a *wrong answer*, not an
+#: exception (a duplicated OT message, for example, shifts every later
+#: round's key schedule by one while every tag still matches).
+INTEGRITY_TRAILER_BYTES = 4
+
+
+def message_checksum(tag: str, body: bytes, seq: int = 0) -> bytes:
+    """The 4-byte big-endian CRC32 trailer for one tagged message.
+
+    ``seq`` is the sender's message index on this direction of the
+    channel; mixing it into the checksum is what makes duplicated or
+    reordered frames fail verification even though their bytes are a
+    faithful copy of a legitimate message.
+    """
+    state = zlib.crc32(seq.to_bytes(8, "big"))
+    state = zlib.crc32(tag.encode(), state)
+    return zlib.crc32(body, state).to_bytes(INTEGRITY_TRAILER_BYTES, "big")
 
 
 def resolve_recv_timeout(
@@ -123,6 +149,10 @@ class EndpointBase:
         self.sent = stats if stats is not None else TrafficStats()
         self.telemetry = telemetry
         self.recv_timeout_s = recv_timeout_s
+        #: per-direction message indexes, mixed into the integrity
+        #: trailer (see :func:`message_checksum`)
+        self._send_seq = 0
+        self._recv_seq = 0
 
     # -- transport hooks ------------------------------------------------
     def _send_message(self, tag: str, payload: bytes) -> None:
@@ -136,7 +166,11 @@ class EndpointBase:
         return resolve_recv_timeout(timeout, self.recv_timeout_s)
 
     def send(self, tag: str, payload: bytes) -> None:
-        """Send a tagged binary message to the peer."""
+        """Send a tagged binary message to the peer.
+
+        Accounting sees the caller's payload size; the integrity
+        trailer is transport overhead appended below it.
+        """
         if not isinstance(payload, (bytes, bytearray)):
             raise GCProtocolError(f"channel payloads must be bytes, got {type(payload)!r}")
         self.sent.record(tag, len(payload))
@@ -144,7 +178,34 @@ class EndpointBase:
             self.telemetry.counter("channel.messages").inc()
             self.telemetry.counter("channel.bytes").inc(len(payload))
             self.telemetry.counter(f"channel.bytes.{tag}").inc(len(payload))
-        self._send_message(tag, bytes(payload))
+        body = bytes(payload)
+        seq = self._send_seq
+        self._send_seq += 1
+        self._send_message(tag, body + message_checksum(tag, body, seq))
+
+    def _checked_body(self, tag: str, data: bytes) -> bytes:
+        """Strip and verify the integrity trailer of a received message.
+
+        Verification uses *this* endpoint's expected receive index, so a
+        duplicated or reordered frame — byte-identical to a legitimate
+        one — fails the check exactly like corruption does.
+        """
+        if len(data) < INTEGRITY_TRAILER_BYTES:
+            raise IntegrityError(
+                f"{self.name}: message '{tag}' too short to carry its "
+                f"integrity trailer ({len(data)} bytes) — truncated in transit?"
+            )
+        body = data[:-INTEGRITY_TRAILER_BYTES]
+        if data[-INTEGRITY_TRAILER_BYTES:] != message_checksum(
+            tag, body, self._recv_seq
+        ):
+            raise IntegrityError(
+                f"{self.name}: message '{tag}' (index {self._recv_seq}) failed "
+                f"its integrity check ({len(body)} bytes) — corrupted, "
+                "truncated, duplicated, or out of order in transit"
+            )
+        self._recv_seq += 1
+        return body
 
     def recv(self, expected_tag: str, timeout: float | None = None) -> bytes:
         """Receive the next message; the tag must match the protocol step.
@@ -154,12 +215,25 @@ class EndpointBase:
         via ``REPRO_RECV_TIMEOUT_S`` or ``ServingConfig`` without
         threading a parameter through the protocol.
         """
-        tag, payload = self._recv_message(self._resolve_timeout(timeout))
+        tag, data = self._recv_message(self._resolve_timeout(timeout))
+        body = self._checked_body(tag, data)
         if tag != expected_tag:
             raise GCProtocolError(
                 f"{self.name}: expected message '{expected_tag}', got '{tag}'"
             )
-        return payload
+        return body
+
+    def recv_any(
+        self, tags: tuple[str, ...], timeout: float | None = None
+    ) -> tuple[str, bytes]:
+        """Receive the next message, allowing any of ``tags`` (control loops)."""
+        tag, data = self._recv_message(self._resolve_timeout(timeout))
+        body = self._checked_body(tag, data)
+        if tag not in tags:
+            raise GCProtocolError(
+                f"{self.name}: expected one of {tags}, got '{tag}'"
+            )
+        return tag, body
 
     def send_u128_list(self, tag: str, values: list[int]) -> None:
         self.send(tag, b"".join(v.to_bytes(16, "big") for v in values))
@@ -227,7 +301,7 @@ def local_channel(
     return left_end, right_end
 
 
-def run_two_party(left_fn, right_fn):
+def run_two_party(left_fn, right_fn, cleanup=None, join_timeout_s: float | None = None):
     """Run the two protocol sides concurrently and return their results.
 
     ``left_fn``/``right_fn`` take no arguments (bind their endpoint with a
@@ -236,6 +310,16 @@ def run_two_party(left_fn, right_fn):
     one side dies, the other times out), the left error is re-raised
     ``from`` the right one with both messages combined, so a single
     traceback shows both failures.
+
+    ``cleanup`` (no arguments) runs after both parties have finished —
+    the place to close socket endpoints.  A cleanup that raises can
+    never *mask* a primary protocol failure: the primary error is
+    re-raised with the teardown failure appended to its message and
+    chained as its cause.  A cleanup failure with no primary error is
+    raised on its own.
+
+    ``join_timeout_s`` bounds the wait for the right-hand thread
+    (defaults through :func:`resolve_recv_timeout`).
     """
     results: dict[str, object] = {}
     errors: list[BaseException] = []
@@ -249,33 +333,64 @@ def run_two_party(left_fn, right_fn):
 
         return runner
 
-    join_timeout = resolve_recv_timeout()
+    join_timeout = (
+        join_timeout_s if join_timeout_s is not None else resolve_recv_timeout()
+    )
     thread = threading.Thread(target=wrap("right", right_fn), daemon=True)
     thread.start()
+    primary: BaseException | None = None
+    cause: BaseException | None = None
     try:
         results["left"] = left_fn()
     except BaseException as left_exc:
         thread.join(timeout=join_timeout)
         if errors:
-            raise _combined(left_exc, errors[0]) from errors[0]
-        raise
-    thread.join(timeout=join_timeout)
-    if thread.is_alive():
-        raise GCProtocolError("right-hand party did not terminate")
-    if errors:
-        raise errors[0]
+            primary, cause = _combined(left_exc, errors[0]), errors[0]
+        else:
+            primary = left_exc
+    else:
+        thread.join(timeout=join_timeout)
+        if thread.is_alive():
+            primary = GCProtocolError("right-hand party did not terminate")
+        elif errors:
+            primary = errors[0]
+
+    teardown_error: BaseException | None = None
+    if cleanup is not None:
+        try:
+            cleanup()
+        except BaseException as exc:
+            teardown_error = exc
+
+    if primary is not None:
+        if teardown_error is not None:
+            # the primary failure wins; the teardown failure rides along
+            raise _annotated(
+                primary, f"teardown also failed: {type(teardown_error).__name__}: "
+                f"{teardown_error}"
+            ) from teardown_error
+        if cause is not None:
+            raise primary from cause
+        raise primary
+    if teardown_error is not None:
+        raise teardown_error
     return results["left"], results["right"]
+
+
+def _annotated(exc: BaseException, note: str) -> BaseException:
+    """A copy of ``exc`` (same type when possible) with ``note`` appended."""
+    message = f"{exc} ({note})"
+    try:
+        rebuilt = type(exc)(message)
+    except Exception:
+        # exotic constructor signature: fall back to a generic wrapper
+        rebuilt = GCProtocolError(message)
+    return rebuilt
 
 
 def _combined(left_exc: BaseException, right_exc: BaseException) -> BaseException:
     """The left-side error, its message extended with the right side's."""
-    message = (
-        f"{left_exc} (the other party also failed: "
-        f"{type(right_exc).__name__}: {right_exc})"
+    return _annotated(
+        left_exc,
+        f"the other party also failed: {type(right_exc).__name__}: {right_exc}",
     )
-    try:
-        combined = type(left_exc)(message)
-    except Exception:
-        # exotic constructor signature: fall back to a generic wrapper
-        combined = GCProtocolError(message)
-    return combined

@@ -152,6 +152,17 @@ class CloudServer:
         with self._lock:
             return len(self._pool)
 
+    def drain_pool(self) -> int:
+        """Discard every pre-garbled run; returns how many were dropped.
+
+        The chaos harness's ``exhaust_pool`` fault: the next serve must
+        degrade gracefully to on-demand garbling, never fail.
+        """
+        with self._lock:
+            dropped = len(self._pool)
+            self._pool.clear()
+        return dropped
+
     def attach_refill_listener(self, listener) -> None:
         """Register a callable poked after each serve (the background
         refiller's wake-up); replaces synchronous auto-refill."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 import socket
 import threading
 
-from repro.errors import GCProtocolError, WireError
+from repro.errors import WireError
 from repro.gc.channel import EndpointBase, TrafficStats
 from repro.net.frames import MAX_FRAME_BYTES, FrameReader, encode_frame
 
@@ -73,17 +73,6 @@ class SocketEndpoint(EndpointBase):
             return self._reader.read_frame()
 
     # ------------------------------------------------------------------
-    def recv_any(
-        self, tags: tuple[str, ...], timeout: float | None = None
-    ) -> tuple[str, bytes]:
-        """Receive the next message, allowing any of ``tags`` (control loops)."""
-        tag, payload = self._recv_message(self._resolve_timeout(timeout))
-        if tag not in tags:
-            raise GCProtocolError(
-                f"{self.name}: expected one of {tags}, got '{tag}'"
-            )
-        return tag, payload
-
     def _read_exact(self, n: int) -> bytes:
         chunks = []
         remaining = n

@@ -28,8 +28,9 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 
-from repro.errors import GCProtocolError, ServingError, WireError
+from repro.errors import GCProtocolError, HandshakeError, ServingError, WireError
 from repro.host import CloudServer
 from repro.net.endpoint import SocketEndpoint
 from repro.net.handshake import descriptor_for, server_handshake
@@ -42,8 +43,29 @@ ERROR_TAG = "net.error"
 BYE_TAG = "net.bye"
 
 
+class _GatewaySession:
+    """One live connection: its thread, endpoint, and reaper bookkeeping."""
+
+    __slots__ = ("thread", "endpoint", "started_at", "handshaken", "reaped")
+
+    def __init__(self, thread: threading.Thread | None, endpoint: SocketEndpoint):
+        self.thread = thread
+        self.endpoint = endpoint
+        self.started_at = time.monotonic()
+        self.handshaken = False
+        self.reaped = False
+
+
 class GCGateway:
-    """Accepts N concurrent evaluator connections for one :class:`CloudServer`."""
+    """Accepts N concurrent evaluator connections for one :class:`CloudServer`.
+
+    ``handshake_timeout_s`` bounds how long a connection may sit without
+    completing session negotiation before the reaper closes it: a
+    half-open socket (SYN-and-silence, a port scanner, a client that
+    died mid-connect) otherwise pins a session thread for the full
+    receive timeout each.  ``session_lifetime_s``, when set, is a hard
+    cap on any session's total wall time regardless of progress.
+    """
 
     def __init__(
         self,
@@ -53,6 +75,9 @@ class GCGateway:
         port: int = 0,
         config: ServingConfig | None = None,
         telemetry: MetricsRegistry | None = None,
+        handshake_timeout_s: float = 10.0,
+        session_lifetime_s: float | None = None,
+        reap_interval_s: float = 0.25,
     ):
         self.server = server
         self.telemetry = telemetry if telemetry is not None else server.telemetry
@@ -65,9 +90,13 @@ class GCGateway:
         self.host = host
         self.port = port
         self.descriptor = descriptor_for(server)
+        self.handshake_timeout_s = handshake_timeout_s
+        self.session_lifetime_s = session_lifetime_s
+        self.reap_interval_s = reap_interval_s
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
-        self._sessions: list[threading.Thread] = []
+        self._reaper_thread: threading.Thread | None = None
+        self._sessions: list[_GatewaySession] = []
         self._sessions_lock = threading.Lock()
         self._stopping = threading.Event()
         #: the most recent session-terminating error (post-mortem aid)
@@ -111,8 +140,14 @@ class GCGateway:
             self._accept_thread = None
         with self._sessions_lock:
             sessions = list(self._sessions)
-        for t in sessions:
-            t.join(timeout=self.serving.config.request_timeout_s)
+        for s in sessions:
+            s.thread.join(timeout=self.serving.config.request_timeout_s)
+            if s.thread.is_alive():
+                s.endpoint.close()  # wedge-breaker: wake any blocked recv
+                s.thread.join(timeout=5.0)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=5.0)
+            self._reaper_thread = None
         if self._owns_serving:
             self.serving.stop()
 
@@ -141,37 +176,81 @@ class GCGateway:
     def adopt(self, sock: socket.socket) -> threading.Thread:
         """Serve an already-connected socket (the socketpair/CI entry point)."""
         self.telemetry.counter("gateway.connections").inc()
-        t = threading.Thread(
-            target=self._session, args=(sock,), name="gateway-session", daemon=True
+        endpoint = SocketEndpoint(
+            "gateway",
+            sock,
+            telemetry=self.telemetry,
+            recv_timeout_s=self.serving.config.recv_timeout_s,
+        )
+        session = _GatewaySession(None, endpoint)
+        session.thread = threading.Thread(
+            target=self._session, args=(session,), name="gateway-session", daemon=True
         )
         with self._sessions_lock:
-            self._sessions = [s for s in self._sessions if s.is_alive()]
-            self._sessions.append(t)
-        t.start()
-        return t
+            self._sessions = [s for s in self._sessions if s.thread.is_alive()]
+            self._sessions.append(session)
+        self._ensure_reaper()
+        session.thread.start()
+        return session.thread
+
+    # ------------------------------------------------------------------
+    # the session reaper
+    # ------------------------------------------------------------------
+    def _ensure_reaper(self) -> None:
+        """Start the reaper lazily (``adopt`` works without ``start()``)."""
+        if self._reaper_thread is not None and self._reaper_thread.is_alive():
+            return
+        self._reaper_thread = threading.Thread(
+            target=self._reap_loop, name="gateway-reaper", daemon=True
+        )
+        self._reaper_thread.start()
+
+    def _reap_loop(self) -> None:
+        while not self._stopping.wait(timeout=self.reap_interval_s):
+            now = time.monotonic()
+            with self._sessions_lock:
+                self._sessions = [s for s in self._sessions if s.thread.is_alive()]
+                sessions = list(self._sessions)
+            for s in sessions:
+                if s.reaped:
+                    continue
+                age = now - s.started_at
+                half_open = not s.handshaken and age > self.handshake_timeout_s
+                over_lifetime = (
+                    self.session_lifetime_s is not None
+                    and age > self.session_lifetime_s
+                )
+                if half_open or over_lifetime:
+                    s.reaped = True
+                    self.telemetry.counter("gateway.reaped").inc()
+                    # closing the endpoint wakes the session thread's
+                    # blocked recv with a typed WireError
+                    s.endpoint.close()
 
     # ------------------------------------------------------------------
     # one session
     # ------------------------------------------------------------------
-    def _session(self, sock: socket.socket) -> None:
+    def _session(self, session: _GatewaySession) -> None:
         tm = self.telemetry
-        endpoint = SocketEndpoint(
-            "gateway",
-            sock,
-            telemetry=tm,
-            recv_timeout_s=self.serving.config.recv_timeout_s,
-        )
+        endpoint = session.endpoint
         try:
             with tm.span("gateway.session"):
                 server_handshake(endpoint, self.descriptor)
+                session.handshaken = True
                 tm.counter("gateway.sessions").inc()
                 while not self._stopping.is_set():
                     tag, payload = endpoint.recv_any((QUERY_TAG, BYE_TAG))
                     if tag == BYE_TAG:
                         break
                     self._serve_query(endpoint, payload)
+        except HandshakeError as exc:
+            # the session never existed: half-open socket, rogue peer,
+            # version skew — counted apart from mid-session failures
+            tm.counter("gateway.handshake_failures").inc()
+            tm.counter("gateway.session_errors").inc()
+            self._last_session_error = exc
         except (WireError, GCProtocolError) as exc:
-            # includes HandshakeError; a vanished client is routine churn
+            # a vanished client mid-session is routine churn
             tm.counter("gateway.session_errors").inc()
             self._last_session_error = exc
         finally:

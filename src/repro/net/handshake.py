@@ -24,10 +24,12 @@ from dataclasses import asdict, dataclass
 from repro.circuits.netlist import Netlist
 from repro.circuits.sequential import SequentialCircuit
 from repro.crypto.ot import DHGroup
-from repro.errors import HandshakeError, WireError
+from repro.errors import GCProtocolError, HandshakeError, WireError
 
 #: Bump on any wire-visible change to framing or the session protocol.
-PROTOCOL_VERSION = 1
+#: v2: every message carries a CRC32 integrity trailer
+#: (:mod:`repro.gc.channel`), so a v1 peer cannot interoperate.
+PROTOCOL_VERSION = 2
 
 HELLO_TAG = "net.hello"
 WELCOME_TAG = "net.welcome"
@@ -113,8 +115,21 @@ def server_handshake(endpoint, descriptor: SessionDescriptor) -> dict:
     Returns the parsed hello.  On a version mismatch the rejection is
     *sent to the client* before the typed error is raised locally, so
     both sides see the same diagnosis.
+
+    Any wire or protocol failure while negotiating — the client closing
+    the socket before (or mid-) hello, garbage instead of a frame, a
+    vanished peer when the welcome goes out — is re-raised as
+    :class:`HandshakeError`, so callers can tell "the session never
+    existed" apart from "an established session broke".
     """
-    payload = endpoint.recv(HELLO_TAG)
+    try:
+        payload = endpoint.recv(HELLO_TAG)
+    except HandshakeError:
+        raise
+    except GCProtocolError as exc:
+        raise HandshakeError(
+            f"client failed before completing its hello: {exc}"
+        ) from exc
     try:
         hello = json.loads(payload.decode())
         version = int(hello["protocol_version"])
@@ -128,15 +143,32 @@ def server_handshake(endpoint, descriptor: SessionDescriptor) -> dict:
         )
         _reject(endpoint, reason)
         raise HandshakeError(reason)
-    endpoint.send(WELCOME_TAG, descriptor.to_payload())
+    try:
+        endpoint.send(WELCOME_TAG, descriptor.to_payload())
+    except WireError as exc:
+        raise HandshakeError(
+            f"client vanished before the welcome could be sent: {exc}"
+        ) from exc
     return hello
 
 
 def client_handshake(endpoint, client_name: str = "client") -> SessionDescriptor:
-    """Client side: send hello, receive the session descriptor (or reject)."""
+    """Client side: send hello, receive the session descriptor (or reject).
+
+    A gateway that vanishes mid-negotiation surfaces as
+    :class:`HandshakeError` (not a bare wire error), mirroring
+    :func:`server_handshake`.
+    """
     hello = {"protocol_version": PROTOCOL_VERSION, "name": client_name}
-    endpoint.send(HELLO_TAG, json.dumps(hello, sort_keys=True).encode())
-    tag, payload = endpoint.recv_any((WELCOME_TAG, REJECT_TAG))
+    try:
+        endpoint.send(HELLO_TAG, json.dumps(hello, sort_keys=True).encode())
+        tag, payload = endpoint.recv_any((WELCOME_TAG, REJECT_TAG))
+    except HandshakeError:
+        raise
+    except GCProtocolError as exc:
+        raise HandshakeError(
+            f"gateway vanished during the handshake: {exc}"
+        ) from exc
     if tag == REJECT_TAG:
         reason = payload.decode(errors="replace")
         raise HandshakeError(f"gateway rejected the session: {reason}")

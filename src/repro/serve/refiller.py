@@ -31,6 +31,9 @@ class PoolRefiller:
         self._wake = threading.Event()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        #: the exception that killed the refill loop, if any — the
+        #: health flag :meth:`repro.serve.ServingServer.health` reports
+        self.last_error: BaseException | None = None
 
     # ------------------------------------------------------------------
     def start(self) -> "PoolRefiller":
@@ -57,18 +60,32 @@ class PoolRefiller:
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
+    @property
+    def healthy(self) -> bool:
+        """False once the refill loop has died on an exception.
+
+        A dead refiller silently degrades every future request to
+        on-demand garbling; the serving layer surfaces this flag via
+        :meth:`repro.serve.ServingServer.health`.
+        """
+        return self.last_error is None
+
     def notify(self) -> None:
         """Poke the refiller (called by the server after each serve)."""
         self._wake.set()
 
     # ------------------------------------------------------------------
     def _loop(self) -> None:
-        while not self._stop.is_set():
-            added = self.server.refill_pool()
-            if added:
-                self.telemetry.counter("refill.runs").inc(added)
-            self._wake.wait(timeout=self.poll_interval_s)
-            self._wake.clear()
+        try:
+            while not self._stop.is_set():
+                added = self.server.refill_pool()
+                if added:
+                    self.telemetry.counter("refill.runs").inc(added)
+                self._wake.wait(timeout=self.poll_interval_s)
+                self._wake.clear()
+        except Exception as exc:  # noqa: BLE001 — record, flag, die loudly
+            self.last_error = exc
+            self.telemetry.counter("refill.crashes").inc()
 
     def __enter__(self) -> "PoolRefiller":
         return self.start()

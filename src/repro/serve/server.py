@@ -168,6 +168,43 @@ class ServingServer:
         self.stop()
 
     # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness report: workers, refiller, and an overall verdict.
+
+        A dead refiller (its thread raised) or a dead worker no longer
+        fails silently — operators poll this, and the chaos harness
+        asserts on it.
+        """
+        refiller = self._refiller
+        expected = len(self._workers)
+        alive = sum(t.is_alive() for t in self._workers)
+        refiller_configured = self.config.refill
+        refiller_running = refiller is not None and refiller.running
+        refiller_healthy = refiller is None or refiller.healthy
+        healthy = (
+            self._accepting
+            and alive == expected
+            and expected > 0
+            and (not refiller_configured or (refiller_running and refiller_healthy))
+        )
+        return {
+            "healthy": healthy,
+            "accepting": self._accepting,
+            "workers_alive": alive,
+            "workers_expected": expected,
+            "refiller_configured": refiller_configured,
+            "refiller_running": refiller_running,
+            "refiller_healthy": refiller_healthy,
+            "refiller_error": (
+                repr(refiller.last_error)
+                if refiller is not None and refiller.last_error is not None
+                else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
     # client API
     # ------------------------------------------------------------------
     def submit(self, row_index: int, x_values, block: bool = True) -> PendingRequest:
@@ -237,7 +274,18 @@ class ServingServer:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            self._run_request(client, item)
+            try:
+                self._run_request(client, item)
+            except Exception as exc:  # noqa: BLE001 — a request must never kill its worker
+                self.telemetry.counter("serve.worker_crashes").inc()
+                if not item.done:
+                    item._finish(
+                        None,
+                        ServingError(
+                            f"worker crashed serving row {item.row_index}: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
 
     def _run_request(self, client: AnalyticsClient, req: PendingRequest) -> None:
         tm = self.telemetry
@@ -270,6 +318,14 @@ class ServingServer:
                     if isinstance(exc, ConfigurationError):
                         break  # a client error will not heal on retry
                     continue
+                except Exception as exc:  # poison request: isolate, don't retry
+                    tm.counter("serve.poisoned").inc()
+                    last_error = ServingError(
+                        f"request for row {req.row_index} raised an unexpected "
+                        f"{type(exc).__name__}: {exc} (poison request isolated)"
+                    )
+                    last_error.__cause__ = exc
+                    break
                 tm.histogram("request.latency").record(
                     time.perf_counter() - req.enqueued_at
                 )

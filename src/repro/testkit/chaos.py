@@ -1,0 +1,235 @@
+"""The seeded chaos suite: N faulted sessions, one verdict each.
+
+``ChaosRunner`` derives a per-session seed from the master seed, builds
+a :class:`~repro.testkit.FaultPlan` and a grid-snapped workload from it,
+alternates transports, and hands each session to the
+:class:`~repro.testkit.ConformanceOracle`.  Same seed → same plans →
+same workloads → same verdicts, which is what makes a red chaos run
+*debuggable*: re-run with the seed from the replay log and the failing
+session reappears.
+
+CLI entry point: ``python -m repro chaos --seed 7 --sessions 20``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q8_4
+from repro.host import CloudServer
+from repro.telemetry import MetricsRegistry, render_text
+from repro.testkit.endpoint import TRANSPORTS
+from repro.testkit.faults import FaultPlan
+from repro.testkit.oracle import (
+    ConformanceOracle,
+    SessionVerdict,
+    SURFACED,
+    TOLERATED,
+    VIOLATION,
+)
+
+#: mixes the master seed with a session index (distinct from the
+#: workload stream's mixer so plan and workload are independent draws)
+_SEED_STRIDE = 1_000_003
+_WORKLOAD_SALT = 0x9E3779B9
+
+
+def derive_session_seed(master_seed: int, session: int) -> int:
+    """The per-session plan seed: stable across runs and platforms."""
+    return master_seed * _SEED_STRIDE + session
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape of one chaos run (all verdict-relevant knobs are here)."""
+
+    sessions: int = 20
+    seed: int = 7
+    transports: tuple[str, ...] = TRANSPORTS
+    #: per-message receive timeout; fault durations derive from it
+    recv_timeout_s: float = 0.25
+    #: hard wall per session — exceeding it is a *violation* (hang)
+    deadline_s: float = 15.0
+    max_retries: int = 1
+    rows: int = 4
+    rounds: int = 2
+    pool_size: int = 2
+
+    def validate(self) -> "ChaosConfig":
+        if self.sessions < 1:
+            raise ConfigurationError("a chaos run needs at least one session")
+        if not self.transports:
+            raise ConfigurationError("at least one transport is required")
+        for t in self.transports:
+            if t not in TRANSPORTS:
+                raise ConfigurationError(
+                    f"unknown transport '{t}' (transports: {TRANSPORTS})"
+                )
+        if self.recv_timeout_s <= 0 or self.deadline_s <= 0:
+            raise ConfigurationError("timeouts must be positive")
+        if self.deadline_s <= self.recv_timeout_s:
+            raise ConfigurationError("the deadline must exceed the recv timeout")
+        if self.rows < 1 or self.rounds < 1 or self.pool_size < 0:
+            raise ConfigurationError("model shape/pool size out of range")
+        if self.max_retries < 0:
+            raise ConfigurationError("retry budget cannot be negative")
+        return self
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run produced, renderable and dumpable."""
+
+    config: ChaosConfig
+    verdicts: list[SessionVerdict] = field(default_factory=list)
+    telemetry_text: str = ""
+
+    @property
+    def counts(self) -> dict:
+        out = {TOLERATED: 0, SURFACED: 0, VIOLATION: 0}
+        for v in self.verdicts:
+            out[v.verdict] += 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """True iff no session violated the conformance contract."""
+        return self.counts[VIOLATION] == 0
+
+    def signature(self) -> tuple:
+        """Seed-stable fingerprint: equal for equal (config, seed)."""
+        return tuple(v.signature() for v in self.verdicts)
+
+    def violations(self) -> list[SessionVerdict]:
+        return [v for v in self.verdicts if v.verdict == VIOLATION]
+
+    def format(self) -> str:
+        c = self.counts
+        lines = [
+            f"chaos run: seed={self.config.seed} sessions={self.config.sessions} "
+            f"transports={','.join(self.config.transports)}",
+            f"verdicts: {c[TOLERATED]} tolerated, {c[SURFACED]} surfaced, "
+            f"{c[VIOLATION]} violations",
+            "",
+        ]
+        for v in self.verdicts:
+            plan = FaultPlan.from_dict(v.plan)
+            marker = {TOLERATED: "ok ", SURFACED: "err", VIOLATION: "XXX"}[v.verdict]
+            lines.append(
+                f"  [{marker}] session {v.session:3d} ({v.transport:7s}) "
+                f"{plan.describe():<42s} -> {v.verdict}"
+                + (f" [{v.error_type}]" if v.error_type else "")
+                + (f" x{v.attempts}" if v.attempts > 1 else "")
+            )
+            if v.verdict == VIOLATION:
+                lines.append(f"        {v.detail}")
+        if self.telemetry_text:
+            lines += ["", self.telemetry_text]
+        return "\n".join(lines)
+
+    # -- replay log ----------------------------------------------------
+    def write_log(self, path) -> None:
+        """JSONL replay log: one session per line + a header record.
+
+        A failed CI chaos job uploads this; ``FaultPlan.from_dict`` on
+        any line's ``plan`` rebuilds the exact faulted session.
+        """
+        records = [{"record": "chaos_header", **self._header()}]
+        records += [{"record": "session", **v.to_dict()} for v in self.verdicts]
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+
+    def _header(self) -> dict:
+        c = self.counts
+        return {
+            "seed": self.config.seed,
+            "sessions": self.config.sessions,
+            "transports": list(self.config.transports),
+            "recv_timeout_s": self.config.recv_timeout_s,
+            "deadline_s": self.config.deadline_s,
+            "tolerated": c[TOLERATED],
+            "surfaced": c[SURFACED],
+            "violations": c[VIOLATION],
+        }
+
+
+class ChaosRunner:
+    """Builds the server + oracle once, then runs the seeded sessions."""
+
+    def __init__(
+        self,
+        config: ChaosConfig | None = None,
+        telemetry: MetricsRegistry | None = None,
+    ):
+        self.config = (config or ChaosConfig()).validate()
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        model_rng = np.random.default_rng(self.config.seed)
+        model = _snap_q84(
+            model_rng.uniform(-2.0, 2.0, size=(self.config.rows, self.config.rounds))
+        )
+        self.server = CloudServer(
+            model,
+            Q8_4,
+            pool_size=self.config.pool_size,
+            seed=self.config.seed,
+            auto_refill=True,
+            telemetry=self.telemetry,
+        )
+        self.oracle = ConformanceOracle(
+            self.server,
+            telemetry=self.telemetry,
+            recv_timeout_s=self.config.recv_timeout_s,
+            deadline_s=self.config.deadline_s,
+            max_retries=self.config.max_retries,
+        )
+
+    # ------------------------------------------------------------------
+    def plan_for(self, session: int) -> FaultPlan:
+        return FaultPlan.random(
+            derive_session_seed(self.config.seed, session),
+            recv_timeout_s=self.config.recv_timeout_s,
+        )
+
+    def workload_for(self, session: int) -> tuple[int, list[float]]:
+        """The (row, x) a session queries — grid-snapped, seed-stable."""
+        rng = random.Random(
+            derive_session_seed(self.config.seed, session) ^ _WORKLOAD_SALT
+        )
+        row = rng.randrange(self.config.rows)
+        x = [round(rng.uniform(-1.0, 1.0) * 16) / 16 for _ in range(self.config.rounds)]
+        return row, x
+
+    def transport_for(self, session: int) -> str:
+        return self.config.transports[session % len(self.config.transports)]
+
+    def run(self, progress=None) -> ChaosReport:
+        """Run every session; ``progress`` (if given) is called per verdict."""
+        verdicts = []
+        for session in range(self.config.sessions):
+            plan = self.plan_for(session)
+            row, x = self.workload_for(session)
+            verdict = self.oracle.run_session(
+                plan, row, x, self.transport_for(session)
+            )
+            verdict.session = session
+            verdicts.append(verdict)
+            if progress is not None:
+                progress(verdict)
+        return ChaosReport(
+            config=self.config,
+            verdicts=verdicts,
+            telemetry_text=render_text(
+                self.telemetry.snapshot(), title="chaos telemetry"
+            ),
+        )
+
+
+def _snap_q84(matrix: np.ndarray) -> np.ndarray:
+    """Snap to the Q8.4 grid so MAC results are bit-exact comparable."""
+    return np.round(matrix * 16.0) / 16.0

@@ -1,0 +1,127 @@
+"""Fault-injecting endpoint wrappers for both transports.
+
+:class:`FaultyEndpoint` subclasses the :class:`~repro.gc.channel.
+EndpointBase` contract and wraps any inner endpoint (the in-memory
+:class:`~repro.gc.channel.Endpoint` or a
+:class:`~repro.net.SocketEndpoint`), injecting the endpoint faults of a
+:class:`~repro.testkit.FaultPlan` at its ``_send_message`` hook.  The
+injection point sits *below* the integrity trailer the base class
+appends, so a ``corrupt`` or ``truncate`` fault models genuine wire
+damage — the receiving side's CRC check must catch it.
+
+Faults are one-shot: each spec fires at most once, which is what makes
+"retry the session without the fault" a meaningful recovery model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.gc.channel import EndpointBase, local_channel
+from repro.net.endpoint import socketpair_endpoints
+from repro.testkit.faults import (
+    CORRUPT,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FaultPlan,
+    STALL,
+    TRUNCATE,
+)
+
+TRANSPORTS = ("memory", "socket")
+
+
+class FaultyEndpoint(EndpointBase):
+    """Wraps an endpoint, injecting a plan's faults into its sends."""
+
+    def __init__(self, inner: EndpointBase, plan: FaultPlan, side: str, telemetry=None):
+        # share the inner endpoint's stats object so accounting lands in
+        # one place; the inner send/recv entry points are bypassed (we
+        # call its transport hooks directly), never double-counted
+        super().__init__(
+            inner.name,
+            stats=inner.sent,
+            telemetry=telemetry,
+            recv_timeout_s=inner.recv_timeout_s,
+        )
+        self.inner = inner
+        self.side = side
+        self._armed = list(plan.endpoint_faults(side))
+        self._send_index = 0
+        #: (kind, frame, tag) for every fault that actually fired
+        self.injected: list[tuple[str, int, str]] = []
+
+    # -- transport hooks ------------------------------------------------
+    def _send_message(self, tag: str, payload: bytes) -> None:
+        index = self._send_index
+        self._send_index += 1
+        for spec in list(self._armed):
+            if spec.frame != index:
+                continue
+            self._armed.remove(spec)  # one-shot
+            self._record(spec.kind, index, tag)
+            if spec.kind == DROP:
+                return  # swallowed: the peer's recv times out, typed
+            if spec.kind == CORRUPT:
+                payload = _flip_bits(payload)
+            elif spec.kind == TRUNCATE:
+                payload = payload[: len(payload) // 2]
+            elif spec.kind == DUPLICATE:
+                self.inner._send_message(tag, payload)
+            elif spec.kind in (DELAY, STALL):
+                time.sleep(spec.duration_s)
+        self.inner._send_message(tag, payload)
+
+    def _recv_message(self, timeout: float) -> tuple[str, bytes]:
+        return self.inner._recv_message(timeout)
+
+    # -- bookkeeping ----------------------------------------------------
+    def _record(self, kind: str, frame: int, tag: str) -> None:
+        self.injected.append((kind, frame, tag))
+        if self.telemetry is not None:
+            self.telemetry.counter(f"faults.injected.{kind}").inc()
+
+    @property
+    def pending(self) -> int:
+        return self.inner.pending
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+
+def _flip_bits(payload: bytes) -> bytes:
+    """Deterministically flip bits at both ends of the payload."""
+    if not payload:
+        return payload
+    mutated = bytearray(payload)
+    mutated[0] ^= 0x5A
+    mutated[len(mutated) // 2] ^= 0xA5
+    return bytes(mutated)
+
+
+def faulty_pair(
+    plan: FaultPlan,
+    transport: str = "memory",
+    telemetry=None,
+    recv_timeout_s: float | None = None,
+) -> tuple[FaultyEndpoint, FaultyEndpoint]:
+    """A connected (garbler, evaluator) pair with ``plan`` armed on both.
+
+    ``transport`` selects the in-memory channel or the socketpair
+    loopback; the identical plan drives either, which is the testkit's
+    core contract.  Close both wrappers when done (a no-op for the
+    in-memory transport).
+    """
+    if transport == "memory":
+        g_inner, e_inner = local_channel(recv_timeout_s=recv_timeout_s)
+    elif transport == "socket":
+        g_inner, e_inner = socketpair_endpoints(recv_timeout_s=recv_timeout_s)
+    else:
+        raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+    return (
+        FaultyEndpoint(g_inner, plan, "garbler", telemetry=telemetry),
+        FaultyEndpoint(e_inner, plan, "evaluator", telemetry=telemetry),
+    )

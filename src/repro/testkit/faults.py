@@ -1,0 +1,203 @@
+"""The fault-injection DSL: seeded, serialisable, reproducible.
+
+A :class:`FaultPlan` is a small declarative description of what goes
+wrong in one GC session — which party's endpoint misbehaves, at which
+send-frame index, and how.  Plans are built either explicitly (unit
+tests pin one fault) or via :meth:`FaultPlan.random` from a seed (the
+chaos suite), and they serialise to plain dicts so a failed chaos run
+can dump a replay log from which the exact session is reconstructible.
+
+Two fault families:
+
+* **endpoint faults** (``drop``/``corrupt``/``duplicate``/``delay``/
+  ``truncate``/``stall``) are injected by
+  :class:`repro.testkit.FaultyEndpoint` between the protocol layer and
+  the transport, so the same plan runs unchanged against the in-memory
+  channel and the socketpair loopback;
+* **environment faults** (``exhaust_pool``/``kill_worker``/
+  ``abort_handshake``) attack the serving stack around the wire — the
+  pre-garbled pool, a serving worker, the gateway handshake.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+# -- endpoint faults ---------------------------------------------------
+DROP = "drop"            #: swallow send-frame N (peer times out, typed)
+CORRUPT = "corrupt"      #: flip bits in send-frame N (integrity check fires)
+DUPLICATE = "duplicate"  #: send frame N twice (tag sequencing catches it)
+DELAY = "delay"          #: sleep briefly before frame N (tolerated)
+TRUNCATE = "truncate"    #: cut frame N short (integrity check fires)
+STALL = "stall"          #: sleep past the peer's recv timeout at frame N
+
+# -- environment faults ------------------------------------------------
+EXHAUST_POOL = "exhaust_pool"        #: drain the pre-garbled pool first
+KILL_WORKER = "kill_worker"          #: poison request aimed at a worker
+ABORT_HANDSHAKE = "abort_handshake"  #: client drops mid-negotiation
+
+ENDPOINT_FAULT_KINDS = (DROP, CORRUPT, DUPLICATE, DELAY, TRUNCATE, STALL)
+ENVIRONMENT_FAULT_KINDS = (EXHAUST_POOL, KILL_WORKER, ABORT_HANDSHAKE)
+ALL_FAULT_KINDS = ENDPOINT_FAULT_KINDS + ENVIRONMENT_FAULT_KINDS
+
+#: Faults worth one bounded retry: transient wire gremlins where a
+#: fresh attempt of the whole session is expected to succeed.  A
+#: corrupted frame is deliberately *not* retryable — integrity failure
+#: means the channel cannot be trusted — and neither is a poison
+#: request (isolation, not repetition) or an aborted handshake (the
+#: client is gone).
+RETRYABLE_KINDS = frozenset({DROP, DUPLICATE, DELAY, TRUNCATE, STALL, EXHAUST_POOL})
+
+SIDES = ("garbler", "evaluator")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what, where, and when.
+
+    ``frame`` indexes the injecting side's *sent* messages (0-based);
+    ``duration_s`` parameterises ``delay``/``stall``; ``after_frames``
+    is the ``abort_handshake`` boundary — how many handshake frames the
+    client sends before vanishing.
+    """
+
+    kind: str
+    side: str = "garbler"
+    frame: int = 0
+    duration_s: float = 0.0
+    after_frames: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind '{self.kind}' (kinds: {ALL_FAULT_KINDS})"
+            )
+        if self.side not in SIDES:
+            raise ConfigurationError(f"fault side must be one of {SIDES}")
+        if self.frame < 0 or self.after_frames < 0 or self.duration_s < 0:
+            raise ConfigurationError("fault parameters cannot be negative")
+
+    @property
+    def is_endpoint_fault(self) -> bool:
+        return self.kind in ENDPOINT_FAULT_KINDS
+
+    @property
+    def retryable(self) -> bool:
+        return self.kind in RETRYABLE_KINDS
+
+    def describe(self) -> str:
+        if self.kind in (DELAY, STALL):
+            return f"{self.kind}({self.side}@{self.frame}, {self.duration_s:.3g}s)"
+        if self.kind == ABORT_HANDSHAKE:
+            return f"{self.kind}(after {self.after_frames} frames)"
+        if self.is_endpoint_fault:
+            return f"{self.kind}({self.side}@{self.frame})"
+        return self.kind
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "side": self.side,
+            "frame": self.frame,
+            "duration_s": self.duration_s,
+            "after_frames": self.after_frames,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultSpec":
+        return cls(**{f: raw[f] for f in cls.__dataclass_fields__ if f in raw})
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of faults for one session, tagged with its seed."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int | None = None
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(f.kind for f in self.faults)
+
+    @property
+    def is_environment(self) -> bool:
+        """True when the plan attacks the serving stack, not the wire."""
+        return any(not f.is_endpoint_fault for f in self.faults)
+
+    @property
+    def retryable(self) -> bool:
+        """A session worth one bounded retry after a typed failure."""
+        return bool(self.faults) and all(f.retryable for f in self.faults)
+
+    def endpoint_faults(self, side: str) -> list[FaultSpec]:
+        return [f for f in self.faults if f.is_endpoint_fault and f.side == side]
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "clean"
+        return "+".join(f.describe() for f in self.faults)
+
+    # -- serialisation (replay logs) -----------------------------------
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        return cls(
+            faults=tuple(FaultSpec.from_dict(f) for f in raw.get("faults", ())),
+            seed=raw.get("seed"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- generation ----------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        recv_timeout_s: float = 0.25,
+        garbler_frames: int = 12,
+        evaluator_frames: int = 4,
+        environment_rate: float = 0.25,
+    ) -> "FaultPlan":
+        """A reproducible random plan: same arguments, same plan.
+
+        Durations are derived from ``recv_timeout_s`` so verdicts are
+        deterministic: delays stay well inside the timeout (tolerated),
+        stalls well past it (surfaced).  Frame indexes may land beyond
+        the session's actual frame count, in which case the fault never
+        fires and the session runs clean — the oracle records that.
+        """
+        rng = random.Random(seed)
+        if rng.random() < environment_rate:
+            kind = rng.choice(ENVIRONMENT_FAULT_KINDS)
+            spec = FaultSpec(
+                kind=kind,
+                after_frames=rng.randint(0, 1) if kind == ABORT_HANDSHAKE else 0,
+            )
+            return cls(faults=(spec,), seed=seed)
+        faults = []
+        for _ in range(rng.choice((1, 1, 2))):
+            kind = rng.choice(ENDPOINT_FAULT_KINDS)
+            side = rng.choice(SIDES)
+            frame = rng.randint(
+                0, garbler_frames if side == "garbler" else evaluator_frames
+            )
+            duration = 0.0
+            if kind == DELAY:
+                duration = round(rng.uniform(0.2, 0.6) * recv_timeout_s * 0.1, 4)
+            elif kind == STALL:
+                duration = round(4.0 * recv_timeout_s, 4)
+            faults.append(
+                FaultSpec(kind=kind, side=side, frame=frame, duration_s=duration)
+            )
+        return cls(faults=tuple(faults), seed=seed)

@@ -1,0 +1,416 @@
+"""The conformance oracle: every faulted session must end well.
+
+"Well" means exactly one of two things, each within the configured
+deadline:
+
+* **tolerated** — the session completes with the bit-identical MAC
+  result the fault-free session produces (possibly after one bounded
+  retry of a retryable fault);
+* **surfaced** — a typed error from the :mod:`repro.errors` hierarchy.
+
+Anything else — a silent wrong answer, an untyped exception, a hang —
+is a **violation**, the class of failure TinyGarble-style sequential
+garbling makes catastrophic: a desynchronised accumulator label stream
+that keeps running and reports garbage.
+
+The oracle runs the *real* stack: ``CloudServer.serve_row`` against the
+unmodified ``SequentialEvaluator``, over either transport, with
+:class:`~repro.testkit.FaultyEndpoint` wrappers injecting the plan.
+Environment faults (pool exhaustion, worker poison, handshake abort)
+drive the serving layer and gateway instead of the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bits import from_bits, to_bits
+from repro.errors import HandshakeError, ReproError, ServingError
+from repro.gc.channel import run_two_party
+from repro.gc.sequential_gc import SequentialEvaluator
+from repro.net.endpoint import SocketEndpoint
+from repro.net.gateway import GCGateway
+from repro.net.handshake import HELLO_TAG, PROTOCOL_VERSION
+from repro.serve import PendingRequest, ServingConfig, ServingServer
+from repro.telemetry import MetricsRegistry
+from repro.testkit.endpoint import faulty_pair
+from repro.testkit.faults import (
+    ABORT_HANDSHAKE,
+    EXHAUST_POOL,
+    FaultPlan,
+    KILL_WORKER,
+)
+
+TOLERATED = "tolerated"
+SURFACED = "surfaced"
+VIOLATION = "violation"
+
+
+@dataclass
+class SessionVerdict:
+    """What one faulted session ended as, and why."""
+
+    plan: dict
+    transport: str
+    verdict: str
+    detail: str = ""
+    error_type: str = ""
+    attempts: int = 1
+    injected: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    session: int = -1
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict != VIOLATION
+
+    def signature(self) -> tuple:
+        """The reproducibility fingerprint: seed-stable fields only."""
+        return (
+            self.session,
+            self.transport,
+            FaultPlan.from_dict(self.plan).describe(),
+            self.verdict,
+            self.error_type,
+            self.attempts,
+            tuple(self.injected),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "session": self.session,
+            "transport": self.transport,
+            "plan": self.plan,
+            "verdict": self.verdict,
+            "detail": self.detail,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "injected": self.injected,
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+
+class PoisonRequest(PendingRequest):
+    """A request whose execution raises an untyped exception — the
+    ``kill_worker`` fault.  Pre-hardening this killed the worker thread;
+    the serving layer must now isolate it as a typed failure."""
+
+    retryable = False
+
+    def __init__(self, deadline: float):
+        super().__init__(0, None, deadline)
+
+    def _execute(self, client):
+        raise RuntimeError("injected poison request (testkit kill_worker fault)")
+
+
+class ConformanceOracle:
+    """Runs faulted sessions against one server and classifies them."""
+
+    def __init__(
+        self,
+        server,
+        telemetry: MetricsRegistry | None = None,
+        recv_timeout_s: float = 0.25,
+        deadline_s: float = 10.0,
+        max_retries: int = 1,
+    ):
+        self.server = server
+        self.telemetry = telemetry if telemetry is not None else server.telemetry
+        self.recv_timeout_s = recv_timeout_s
+        self.deadline_s = deadline_s
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run_session(
+        self, plan: FaultPlan, row: int, x_values, transport: str = "memory"
+    ) -> SessionVerdict:
+        """Run one session under ``plan`` and return its verdict."""
+        if ABORT_HANDSHAKE in plan.kinds:
+            verdict = self.run_handshake_abort(plan)
+        elif KILL_WORKER in plan.kinds:
+            verdict = self.run_worker_poison(plan, row, x_values)
+        elif EXHAUST_POOL in plan.kinds:
+            verdict = self.run_pool_exhaustion(plan, row, x_values, transport)
+        else:
+            verdict = self.run_channel_session(plan, row, x_values, transport)
+        self.telemetry.counter(
+            {
+                TOLERATED: "faults.tolerated",
+                SURFACED: "faults.surfaced",
+                VIOLATION: "faults.violations",
+            }[verdict.verdict]
+        ).inc()
+        return verdict
+
+    # ------------------------------------------------------------------
+    # wire faults
+    # ------------------------------------------------------------------
+    def run_channel_session(
+        self, plan: FaultPlan, row: int, x_values, transport: str
+    ) -> SessionVerdict:
+        start = time.perf_counter()
+        expected = self._expected(row, x_values)
+        injected: list[str] = []
+        attempts = 0
+        current = plan
+        while True:
+            attempts += 1
+            status, value = self._attempt_with_deadline(
+                current, row, x_values, transport, injected
+            )
+            if status == "hang":
+                return self._verdict(
+                    plan, transport, VIOLATION, "session exceeded its deadline (hang)",
+                    attempts=attempts, injected=injected, start=start,
+                )
+            if status == "ok":
+                if abs(value - expected) < 1e-9:
+                    return self._verdict(
+                        plan, transport, TOLERATED,
+                        "result bit-identical to the fault-free session",
+                        attempts=attempts, injected=injected, start=start,
+                    )
+                return self._verdict(
+                    plan, transport, VIOLATION,
+                    f"silent wrong MAC result: got {value}, expected {expected}",
+                    attempts=attempts, injected=injected, start=start,
+                )
+            exc = value
+            if not isinstance(exc, ReproError):
+                return self._verdict(
+                    plan, transport, VIOLATION,
+                    f"untyped exception escaped: {type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    attempts=attempts, injected=injected, start=start,
+                )
+            if plan.retryable and attempts <= self.max_retries:
+                # the fault was one-shot: a bounded retry should succeed
+                self.telemetry.counter("faults.retried").inc()
+                current = FaultPlan(seed=plan.seed)
+                continue
+            return self._verdict(
+                plan, transport, SURFACED, f"typed error within deadline: {exc}",
+                error_type=type(exc).__name__,
+                attempts=attempts, injected=injected, start=start,
+            )
+
+    def _attempt_with_deadline(
+        self, plan: FaultPlan, row: int, x_values, transport: str, injected: list
+    ):
+        """One session attempt on a watchdog thread: ok/error/hang."""
+        box: dict = {}
+
+        def attempt():
+            g_chan, e_chan = faulty_pair(
+                plan,
+                transport,
+                telemetry=self.telemetry,
+                recv_timeout_s=self.recv_timeout_s,
+            )
+            injected_ref = (g_chan, e_chan)
+            fmt = self.server.fmt
+            x_bits = [
+                to_bits(int(v), fmt.total_bits)
+                for v in fmt.encode_array(np.asarray(x_values, dtype=np.float64))
+            ]
+            circuit = self.server.accelerator.circuit.circuit
+            evaluator = SequentialEvaluator(circuit, e_chan, self.server.group)
+            try:
+                _, report = run_two_party(
+                    lambda: self.server.serve_row(g_chan, row),
+                    lambda: evaluator.run(x_bits),
+                    cleanup=lambda: (g_chan.close(), e_chan.close()),
+                    join_timeout_s=max(1.0, 4 * self.recv_timeout_s),
+                )
+                raw = from_bits(report.output_bits, signed=True)
+                box["value"] = fmt.decode_product(raw)
+            finally:
+                for ep in injected_ref:
+                    for kind, frame, tag in ep.injected:
+                        injected.append(f"{kind}@{ep.side}:{frame}:{tag}")
+
+        def runner():
+            try:
+                attempt()
+            except BaseException as exc:
+                box["error"] = exc
+
+        watchdog = threading.Thread(target=runner, daemon=True, name="oracle-session")
+        watchdog.start()
+        watchdog.join(timeout=self.deadline_s)
+        if watchdog.is_alive():
+            return "hang", None
+        if "error" in box:
+            return "error", box["error"]
+        return "ok", box["value"]
+
+    # ------------------------------------------------------------------
+    # environment faults
+    # ------------------------------------------------------------------
+    def run_pool_exhaustion(
+        self, plan: FaultPlan, row: int, x_values, transport: str
+    ) -> SessionVerdict:
+        """Drain the pre-garbled pool, then serve: must degrade, not fail."""
+        start = time.perf_counter()
+        dropped = self.server.drain_pool()
+        self.telemetry.counter(f"faults.injected.{EXHAUST_POOL}").inc()
+        inner = self.run_channel_session(FaultPlan(seed=plan.seed), row, x_values, transport)
+        inner.plan = plan.to_dict()
+        inner.injected.insert(0, f"{EXHAUST_POOL}:dropped={dropped}")
+        inner.elapsed_s = time.perf_counter() - start
+        if inner.verdict == SURFACED:
+            # with no wire fault there is nothing legitimate to surface:
+            # an empty pool must never fail a session
+            inner.verdict = VIOLATION
+            inner.detail = f"pool exhaustion was not tolerated: {inner.detail}"
+        return inner
+
+    def run_worker_poison(self, plan: FaultPlan, row: int, x_values) -> SessionVerdict:
+        """A poison request must fail typed AND leave its worker serving."""
+        start = time.perf_counter()
+        injected = [f"{KILL_WORKER}:poison"]
+        self.telemetry.counter(f"faults.injected.{KILL_WORKER}").inc()
+        config = ServingConfig(
+            workers=1,
+            queue_depth=4,
+            request_timeout_s=self.deadline_s,
+            max_retries=0,
+            refill=False,
+            recv_timeout_s=self.recv_timeout_s,
+        )
+        expected = self._expected(row, x_values)
+        serving = ServingServer(self.server, config, telemetry=self.telemetry)
+        try:
+            serving.start()
+            poison = PoisonRequest(deadline=time.perf_counter() + self.deadline_s)
+            serving._enqueue(poison, block=True)
+            try:
+                poison.wait(timeout=self.deadline_s)
+                return self._verdict(
+                    plan, "serving", VIOLATION,
+                    "poison request reported success",
+                    injected=injected, start=start,
+                )
+            except ServingError:
+                pass  # typed isolation: exactly right
+            except ReproError as exc:
+                return self._verdict(
+                    plan, "serving", VIOLATION,
+                    f"poison surfaced as {type(exc).__name__}, expected ServingError",
+                    error_type=type(exc).__name__, injected=injected, start=start,
+                )
+            health = serving.health()
+            if health["workers_alive"] != health["workers_expected"]:
+                return self._verdict(
+                    plan, "serving", VIOLATION,
+                    f"poison killed a worker: {health}",
+                    injected=injected, start=start,
+                )
+            result = serving.query(row, x_values, timeout=self.deadline_s)
+            if abs(result - expected) < 1e-9:
+                return self._verdict(
+                    plan, "serving", TOLERATED,
+                    "poison isolated typed; follow-up query served correctly",
+                    injected=injected, start=start,
+                )
+            return self._verdict(
+                plan, "serving", VIOLATION,
+                f"follow-up query wrong after poison: {result} != {expected}",
+                injected=injected, start=start,
+            )
+        except ReproError as exc:
+            return self._verdict(
+                plan, "serving", VIOLATION,
+                f"worker poison broke the serving layer: {exc}",
+                error_type=type(exc).__name__, injected=injected, start=start,
+            )
+        finally:
+            serving.stop()
+
+    def run_handshake_abort(self, plan: FaultPlan) -> SessionVerdict:
+        """Client vanishes mid-negotiation: gateway must surface
+        :class:`HandshakeError` and release the session thread."""
+        start = time.perf_counter()
+        spec = next(f for f in plan.faults if f.kind == ABORT_HANDSHAKE)
+        injected = [f"{ABORT_HANDSHAKE}:after={spec.after_frames}"]
+        self.telemetry.counter(f"faults.injected.{ABORT_HANDSHAKE}").inc()
+        config = ServingConfig(
+            workers=1, queue_depth=4, refill=False, recv_timeout_s=self.recv_timeout_s
+        )
+        serving = ServingServer(self.server, config, telemetry=self.telemetry)
+        gateway = GCGateway(
+            self.server,
+            serving=serving,
+            telemetry=self.telemetry,
+            handshake_timeout_s=self.recv_timeout_s,
+            reap_interval_s=0.05,
+        )
+        ours, theirs = socket.socketpair()
+        # send the client's frames and close BEFORE the gateway adopts the
+        # socket: the buffered bytes are still delivered, and the abort is
+        # deterministic (no race between our close and the gateway's
+        # welcome) — the gateway always observes a vanished peer
+        client = SocketEndpoint(
+            "chaos-client", ours, recv_timeout_s=self.recv_timeout_s
+        )
+        try:
+            if spec.after_frames >= 1:
+                hello = {"protocol_version": PROTOCOL_VERSION, "name": "chaos-abort"}
+                client.send(HELLO_TAG, json.dumps(hello, sort_keys=True).encode())
+        finally:
+            client.close()
+        thread = gateway.adopt(theirs)
+        thread.join(timeout=self.deadline_s)
+        try:
+            if thread.is_alive():
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    "gateway session thread leaked after handshake abort",
+                    injected=injected, start=start,
+                )
+            error = gateway._last_session_error
+            if isinstance(error, HandshakeError):
+                return self._verdict(
+                    plan, "gateway", SURFACED,
+                    f"gateway surfaced typed HandshakeError: {error}",
+                    error_type=type(error).__name__, injected=injected, start=start,
+                )
+            return self._verdict(
+                plan, "gateway", VIOLATION,
+                f"expected HandshakeError, gateway recorded {error!r}",
+                error_type=type(error).__name__ if error else "",
+                injected=injected, start=start,
+            )
+        finally:
+            gateway.stop()
+
+    # ------------------------------------------------------------------
+    def _expected(self, row: int, x_values) -> float:
+        return float(
+            self.server.model[row] @ np.asarray(x_values, dtype=np.float64)
+        )
+
+    @staticmethod
+    def _verdict(
+        plan, transport, verdict, detail, error_type="", attempts=1, injected=None,
+        start=0.0,
+    ) -> SessionVerdict:
+        return SessionVerdict(
+            plan=plan.to_dict(),
+            transport=transport,
+            verdict=verdict,
+            detail=detail,
+            error_type=error_type,
+            attempts=attempts,
+            injected=list(injected or []),
+            elapsed_s=time.perf_counter() - start,
+        )

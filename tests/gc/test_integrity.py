@@ -1,0 +1,124 @@
+"""The end-to-end integrity trailer: CRC32 over (sequence, tag, body).
+
+Honest-but-curious GC never authenticates tables, so a flipped bit or a
+replayed frame between the endpoint hooks used to produce *wrong MAC
+labels*, not an exception.  These tests pin the trailer mechanics
+directly at the EndpointBase layer.
+"""
+
+import pytest
+
+from repro.errors import GCProtocolError, IntegrityError
+from repro.gc.channel import (
+    INTEGRITY_TRAILER_BYTES,
+    Endpoint,
+    local_channel,
+    message_checksum,
+)
+
+
+class TestMessageChecksum:
+    def test_depends_on_every_input(self):
+        base = message_checksum("tag", b"body", seq=0)
+        assert message_checksum("tag", b"body!", seq=0) != base
+        assert message_checksum("tag!", b"body", seq=0) != base
+        assert message_checksum("tag", b"body", seq=1) != base
+
+    def test_is_trailer_sized_and_deterministic(self):
+        a = message_checksum("seq.tables", b"\x00" * 100, seq=42)
+        b = message_checksum("seq.tables", b"\x00" * 100, seq=42)
+        assert a == b
+        assert len(a) == INTEGRITY_TRAILER_BYTES
+
+
+class TestWireDamageDetection:
+    def test_clean_traffic_passes(self):
+        g, e = local_channel()
+        for i in range(5):
+            g.send("t.n", bytes([i]) * 8)
+            assert e.recv("t.n") == bytes([i]) * 8
+
+    def test_corruption_below_the_trailer_is_caught(self):
+        g, e = local_channel()
+        original = Endpoint._send_message
+
+        def corrupting(self, tag, payload):
+            damaged = bytearray(payload)
+            damaged[0] ^= 0x01  # single flipped bit on the "wire"
+            original(self, tag, bytes(damaged))
+
+        g._send_message = corrupting.__get__(g)
+        g.send("t.data", b"sensitive labels")
+        with pytest.raises(IntegrityError, match="integrity"):
+            e.recv("t.data")
+
+    def test_truncation_below_the_trailer_is_caught(self):
+        g, e = local_channel()
+        original = Endpoint._send_message
+
+        def truncating(self, tag, payload):
+            original(self, tag, payload[:-2])
+
+        g._send_message = truncating.__get__(g)
+        g.send("t.data", b"cut short in transit")
+        with pytest.raises(IntegrityError):
+            e.recv("t.data")
+
+    def test_replayed_frame_fails_the_sequence_check(self):
+        g, e = local_channel()
+        g.send("t.msg", b"legitimate")
+        # replay the exact frame bytes (trailer and all) a second time
+        tag, data = e._inbox.get(timeout=1.0)
+        e._inbox.put((tag, data))
+        e._inbox.put((tag, data))
+        assert e.recv("t.msg") == b"legitimate"
+        with pytest.raises(IntegrityError, match="out of order"):
+            e.recv("t.msg")
+
+    def test_recv_any_also_verifies(self):
+        g, e = local_channel()
+        original = Endpoint._send_message
+
+        def corrupting(self, tag, payload):
+            original(self, tag, payload[:-1] + bytes([payload[-1] ^ 0xFF]))
+
+        g._send_message = corrupting.__get__(g)
+        g.send("t.a", b"x")
+        with pytest.raises(IntegrityError):
+            e.recv_any(("t.a", "t.b"))
+
+    def test_integrity_is_checked_before_the_tag(self):
+        """A damaged frame must fail integrity even if its tag happens
+        not to match — the bytes are untrustworthy, period."""
+        g, e = local_channel()
+        original = Endpoint._send_message
+
+        def corrupting(self, tag, payload):
+            original(self, tag, b"\x00" + payload[1:])
+
+        g._send_message = corrupting.__get__(g)
+        g.send("t.unexpected", b"\xff" * 16)
+        with pytest.raises(IntegrityError):
+            e.recv("t.something_else")
+
+    def test_accounting_sees_payload_not_trailer(self):
+        g, e = local_channel()
+        g.send("t.sized", b"12345678")
+        assert g.sent.payload_bytes == 8
+        assert g.sent.by_tag["t.sized"] == 8
+        assert e.recv("t.sized") == b"12345678"
+
+    def test_sequences_are_per_direction(self):
+        g, e = local_channel()
+        for _ in range(3):
+            g.send("t.down", b"d")
+            assert e.recv("t.down") == b"d"
+        # the reverse direction starts its own sequence at zero
+        e.send("t.up", b"u")
+        assert g.recv("t.up") == b"u"
+
+    def test_tag_mismatch_is_still_a_protocol_error(self):
+        g, e = local_channel()
+        g.send("t.actual", b"x")
+        with pytest.raises(GCProtocolError, match="expected message"):
+            e.recv("t.expected")

@@ -1,0 +1,88 @@
+"""run_two_party teardown semantics: a failing cleanup can never mask
+the primary protocol failure (regression tests for this PR's fix).
+
+The failure this guards against: a session dies with a protocol error,
+then closing the socket endpoints raises too — and the caller sees only
+the boring close error, losing the diagnosis.
+"""
+
+import pytest
+
+from repro.errors import GCProtocolError, WireError
+from repro.gc.channel import run_two_party
+
+
+def _boom_left():
+    raise GCProtocolError("primary protocol failure")
+
+
+def _ok():
+    return "fine"
+
+
+class TestCleanupCannotMask:
+    def test_cleanup_failure_rides_along_with_primary(self):
+        def bad_cleanup():
+            raise OSError("close() failed")
+
+        with pytest.raises(GCProtocolError) as excinfo:
+            run_two_party(_boom_left, _ok, cleanup=bad_cleanup)
+        # the primary diagnosis leads...
+        assert "primary protocol failure" in str(excinfo.value)
+        # ...the teardown failure is appended, not substituted
+        assert "teardown also failed" in str(excinfo.value)
+        assert "OSError" in str(excinfo.value)
+        # and chained as the cause for full-traceback debugging
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_right_side_primary_survives_bad_cleanup(self):
+        def boom_right():
+            raise WireError("peer exploded")
+
+        def bad_cleanup():
+            raise RuntimeError("cleanup also broke")
+
+        with pytest.raises(WireError) as excinfo:
+            run_two_party(_ok, boom_right, cleanup=bad_cleanup)
+        assert "peer exploded" in str(excinfo.value)
+        assert "teardown also failed" in str(excinfo.value)
+
+    def test_both_sides_fail_plus_cleanup(self):
+        def boom_right():
+            raise WireError("right died")
+
+        def bad_cleanup():
+            raise OSError("and close failed")
+
+        with pytest.raises(GCProtocolError) as excinfo:
+            run_two_party(_boom_left, boom_right, cleanup=bad_cleanup)
+        message = str(excinfo.value)
+        assert "primary protocol failure" in message
+        assert "the other party also failed" in message
+        assert "teardown also failed" in message
+
+
+class TestCleanupAlone:
+    def test_cleanup_only_failure_is_raised(self):
+        def bad_cleanup():
+            raise OSError("close failed on a clean session")
+
+        with pytest.raises(OSError, match="close failed"):
+            run_two_party(_ok, _ok, cleanup=bad_cleanup)
+
+    def test_clean_session_with_clean_cleanup(self):
+        ran = []
+        left, right = run_two_party(
+            lambda: "L", lambda: "R", cleanup=lambda: ran.append(True)
+        )
+        assert (left, right) == ("L", "R")
+        assert ran == [True]
+
+    def test_cleanup_runs_after_a_failure(self):
+        ran = []
+        with pytest.raises(GCProtocolError):
+            run_two_party(_boom_left, _ok, cleanup=lambda: ran.append(True))
+        assert ran == [True]
+
+    def test_no_cleanup_still_works(self):
+        assert run_two_party(lambda: 1, lambda: 2) == (1, 2)

@@ -1,0 +1,73 @@
+"""Poison-request isolation: an untyped exception inside a request must
+fail *that request* typed and leave its worker alive and serving."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.fixedpoint import Q8_4
+from repro.host import CloudServer
+from repro.serve import PendingRequest, ServingConfig, ServingServer
+from repro.telemetry import MetricsRegistry
+
+
+class _Poison(PendingRequest):
+    retryable = False
+
+    def __init__(self, exc: BaseException):
+        super().__init__(0, None, deadline=float("inf"))
+        self._exc = exc
+
+    def _execute(self, client):
+        raise self._exc
+
+
+@pytest.fixture
+def serving():
+    server = CloudServer(
+        np.array([[0.5, -0.25], [1.0, 0.75]]),
+        Q8_4,
+        pool_size=1,
+        seed=0,
+        telemetry=MetricsRegistry(),
+    )
+    config = ServingConfig(workers=1, queue_depth=4, refill=False,
+                           request_timeout_s=30.0)
+    with ServingServer(server, config) as s:
+        yield s
+
+
+class TestPoisonIsolation:
+    def test_poison_fails_typed_not_raw(self, serving):
+        req = serving._enqueue(_Poison(RuntimeError("kaboom")), block=True)
+        with pytest.raises(ServingError, match="poison request isolated"):
+            req.wait(timeout=30.0)
+        # the original exception rides along as the cause for debugging
+        assert isinstance(req._error.__cause__, RuntimeError)
+
+    def test_worker_survives_and_keeps_serving(self, serving):
+        req = serving._enqueue(_Poison(ValueError("bad state")), block=True)
+        with pytest.raises(ServingError):
+            req.wait(timeout=30.0)
+        health = serving.health()
+        assert health["workers_alive"] == health["workers_expected"] == 1
+        expected = float(serving.server.model[1] @ np.array([0.25, 0.5]))
+        assert serving.query(1, [0.25, 0.5], timeout=30.0) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_poison_counter_increments(self, serving):
+        for exc in (RuntimeError("a"), KeyError("b"), ZeroDivisionError()):
+            req = serving._enqueue(_Poison(exc), block=True)
+            with pytest.raises(ServingError):
+                req.wait(timeout=30.0)
+        counters = serving.telemetry.snapshot()["counters"]
+        assert counters["serve.poisoned"] == 3
+        assert counters["serve.failed"] == 3
+
+    def test_poison_is_not_retried(self, serving):
+        req = serving._enqueue(_Poison(RuntimeError("once only")), block=True)
+        with pytest.raises(ServingError):
+            req.wait(timeout=30.0)
+        assert req.attempts == 1
+        assert "serve.retries" not in serving.telemetry.snapshot()["counters"]

@@ -1,0 +1,117 @@
+"""A dying refiller must not fail silently: it sets a health flag the
+serving layer reports (satellite of the fault-injection PR).
+
+Before this PR, an exception in the refill loop killed the daemon
+thread and every subsequent request quietly degraded to on-demand
+garbling — correct results, silently worse latency, no signal.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import Q8_4
+from repro.host import CloudServer
+from repro.serve import PoolRefiller, ServingConfig, ServingServer
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture
+def server():
+    return CloudServer(
+        np.array([[0.5, -0.25], [1.0, 0.75]]),
+        Q8_4,
+        pool_size=1,
+        seed=0,
+        auto_refill=False,
+        telemetry=MetricsRegistry(),
+    )
+
+
+def _wait_for(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestRefillerHealthFlag:
+    def test_healthy_while_running(self, server):
+        with PoolRefiller(server, poll_interval_s=0.01) as refiller:
+            assert refiller.healthy
+            assert refiller.last_error is None
+            assert _wait_for(lambda: server.pool_level == server.pool_size)
+
+    def test_crash_sets_the_flag_and_counter(self, server, monkeypatch):
+        refiller = PoolRefiller(server, poll_interval_s=0.01)
+
+        def explode():
+            raise RuntimeError("garbling backend fell over")
+
+        monkeypatch.setattr(server, "refill_pool", explode)
+        refiller.start()
+        try:
+            assert _wait_for(lambda: not refiller.healthy)
+            assert isinstance(refiller.last_error, RuntimeError)
+            assert not refiller.running  # the loop died, loudly flagged
+            counters = server.telemetry.snapshot()["counters"]
+            assert counters["refill.crashes"] == 1
+        finally:
+            refiller.stop()
+
+
+class TestServingHealthReport:
+    def test_healthy_server_reports_healthy(self, server):
+        config = ServingConfig(workers=1, queue_depth=2, refill=True,
+                               refill_poll_s=0.01)
+        with ServingServer(server, config) as serving:
+            assert _wait_for(lambda: serving.health()["healthy"])
+            health = serving.health()
+            assert health["workers_alive"] == 1
+            assert health["refiller_configured"]
+            assert health["refiller_running"]
+            assert health["refiller_healthy"]
+            assert health["refiller_error"] is None
+
+    def test_dead_refiller_flips_overall_health(self, server, monkeypatch):
+        config = ServingConfig(workers=1, queue_depth=2, refill=True,
+                               refill_poll_s=0.01)
+        serving = ServingServer(server, config)
+
+        def explode():
+            raise RuntimeError("accelerator disappeared")
+
+        monkeypatch.setattr(server, "refill_pool", explode)
+        serving.start()
+        try:
+            assert _wait_for(lambda: not serving.health()["healthy"])
+            health = serving.health()
+            assert health["workers_alive"] == 1  # workers are fine
+            assert not health["refiller_healthy"]
+            assert not health["refiller_running"]
+            assert "accelerator disappeared" in health["refiller_error"]
+            # and requests still work — degraded on-demand, not broken
+            assert serving.query(0, [0.5, 0.5], timeout=30.0) == pytest.approx(
+                float(server.model[0] @ np.array([0.5, 0.5])), abs=1e-9
+            )
+        finally:
+            serving.stop()
+
+    def test_unconfigured_refiller_does_not_gate_health(self, server):
+        config = ServingConfig(workers=1, queue_depth=2, refill=False)
+        with ServingServer(server, config) as serving:
+            health = serving.health()
+            assert health["healthy"]
+            assert not health["refiller_configured"]
+            assert not health["refiller_running"]
+
+    def test_stopped_server_is_unhealthy(self, server):
+        config = ServingConfig(workers=1, queue_depth=2, refill=False)
+        serving = ServingServer(server, config)
+        assert not serving.health()["healthy"]  # never started
+        serving.start()
+        serving.stop()
+        assert not serving.health()["healthy"]

@@ -1,0 +1,164 @@
+"""Property-based chaos: seeded random fault plans against the real
+stack, classified by the conformance oracle.
+
+The conformance property: every faulted session is *tolerated* (bit-
+identical MAC result) or *surfaced* (typed error within the deadline).
+Never a hang, never a silent wrong answer.
+
+The fast smoke subset runs in tier-1; the broad sweeps are marked
+``slow`` (run them with ``-m slow``; CI's chaos job drives the seeded
+CLI suite instead).
+"""
+
+import pytest
+
+from repro.testkit import (
+    ChaosConfig,
+    ChaosRunner,
+    ConformanceOracle,
+    FaultPlan,
+    FaultSpec,
+    SURFACED,
+    TOLERATED,
+    VIOLATION,
+    derive_session_seed,
+)
+from repro.testkit.faults import CORRUPT, DELAY, DROP, DUPLICATE, STALL, TRUNCATE
+
+SMOKE = ChaosConfig(sessions=6, seed=7, recv_timeout_s=0.2, deadline_s=15.0)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return ChaosRunner(SMOKE).run()
+
+
+class TestChaosSmoke:
+    """The tier-1 subset: small, seeded, still end-to-end."""
+
+    def test_no_session_violates_the_contract(self, smoke_report):
+        assert smoke_report.violations() == [], smoke_report.format()
+
+    def test_verdict_counts_partition_the_sessions(self, smoke_report):
+        c = smoke_report.counts
+        assert c[TOLERATED] + c[SURFACED] + c[VIOLATION] == SMOKE.sessions
+
+    def test_fault_counters_reach_telemetry(self, smoke_report):
+        text = smoke_report.telemetry_text
+        assert "faults.injected." in text
+        assert "faults.tolerated" in text or "faults.surfaced" in text
+
+    def test_replay_log_roundtrips(self, smoke_report, tmp_path):
+        import json
+
+        path = tmp_path / "replay.jsonl"
+        smoke_report.write_log(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        header, sessions = lines[0], lines[1:]
+        assert header["record"] == "chaos_header"
+        assert header["seed"] == SMOKE.seed
+        assert len(sessions) == SMOKE.sessions
+        for rec in sessions:
+            plan = FaultPlan.from_dict(rec["plan"])  # reconstructible
+            assert plan == FaultPlan.random(
+                derive_session_seed(SMOKE.seed, rec["session"]),
+                recv_timeout_s=SMOKE.recv_timeout_s,
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_plans_and_workloads(self):
+        a, b = ChaosRunner(SMOKE), ChaosRunner(SMOKE)
+        for s in range(SMOKE.sessions):
+            assert a.plan_for(s) == b.plan_for(s)
+            assert a.workload_for(s) == b.workload_for(s)
+            assert a.transport_for(s) == b.transport_for(s)
+
+    def test_different_seeds_differ(self):
+        a = ChaosRunner(ChaosConfig(sessions=8, seed=1))
+        b = ChaosRunner(ChaosConfig(sessions=8, seed=2))
+        assert [a.plan_for(s) for s in range(8)] != [b.plan_for(s) for s in range(8)]
+
+    def test_same_seed_same_verdicts(self):
+        """The acceptance property: rerunning the suite with one seed
+        reproduces every plan, workload, and verdict bit-for-bit."""
+        cfg = ChaosConfig(sessions=4, seed=11, recv_timeout_s=0.2)
+        first = ChaosRunner(cfg).run()
+        second = ChaosRunner(cfg).run()
+        assert first.signature() == second.signature()
+
+
+class TestOracleClassification:
+    """Pinned plans whose verdicts are known by construction."""
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ChaosRunner(ChaosConfig(sessions=1, seed=3, recv_timeout_s=0.2))
+
+    def test_clean_plan_is_tolerated(self, runner):
+        v = runner.oracle.run_session(FaultPlan(), 0, [0.5, -0.25], "memory")
+        assert v.verdict == TOLERATED
+        assert v.attempts == 1
+
+    def test_retryable_fault_is_tolerated_on_retry(self, runner):
+        plan = FaultPlan(faults=(FaultSpec(kind=DROP, side="garbler", frame=2),))
+        v = runner.oracle.run_session(plan, 1, [0.25, 0.5], "memory")
+        assert v.verdict == TOLERATED
+        assert v.attempts == 2
+        assert v.injected  # the fault demonstrably fired
+
+    def test_corrupt_surfaces_without_retry(self, runner):
+        plan = FaultPlan(faults=(FaultSpec(kind=CORRUPT, side="garbler", frame=2),))
+        v = runner.oracle.run_session(plan, 0, [0.5, 0.5], "memory")
+        assert v.verdict == SURFACED
+        assert v.attempts == 1
+        assert v.error_type  # typed, named
+
+    def test_stall_past_timeout_surfaces_then_retries_clean(self, runner):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind=STALL, side="evaluator", frame=0, duration_s=0.8),)
+        )
+        v = runner.oracle.run_session(plan, 0, [0.0, 1.0], "memory")
+        assert v.verdict == TOLERATED  # stall is retryable
+        assert v.attempts == 2
+
+    def test_fault_beyond_session_length_runs_clean(self, runner):
+        plan = FaultPlan(faults=(FaultSpec(kind=DROP, side="evaluator", frame=400),))
+        v = runner.oracle.run_session(plan, 0, [0.5, 0.25], "memory")
+        assert v.verdict == TOLERATED
+        assert v.attempts == 1
+        assert v.injected == []  # never fired
+
+
+@pytest.mark.slow
+class TestChaosSweeps:
+    """The broad sweeps: many seeds, every transport, every fault kind."""
+
+    def test_fifty_sessions_conform(self):
+        report = ChaosRunner(
+            ChaosConfig(sessions=50, seed=7, recv_timeout_s=0.2)
+        ).run()
+        assert report.violations() == [], report.format()
+
+    def test_every_endpoint_fault_kind_on_both_transports(self):
+        runner = ChaosRunner(ChaosConfig(sessions=1, seed=5, recv_timeout_s=0.2))
+        for transport in ("memory", "socket"):
+            for kind in (DROP, CORRUPT, DUPLICATE, DELAY, TRUNCATE, STALL):
+                duration = {DELAY: 0.005, STALL: 0.8}.get(kind, 0.0)
+                for side in ("garbler", "evaluator"):
+                    plan = FaultPlan(
+                        faults=(
+                            FaultSpec(
+                                kind=kind, side=side, frame=1, duration_s=duration
+                            ),
+                        )
+                    )
+                    v = runner.oracle.run_session(plan, 0, [0.5, -0.5], transport)
+                    assert v.verdict != VIOLATION, (transport, kind, side, v.detail)
+
+    def test_alternate_seeds_conform(self):
+        for seed in (0, 1, 99):
+            report = ChaosRunner(
+                ChaosConfig(sessions=10, seed=seed, recv_timeout_s=0.2)
+            ).run()
+            assert report.violations() == [], report.format()

@@ -1,0 +1,104 @@
+"""The FaultPlan DSL: validation, determinism, serialisation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testkit import (
+    ALL_FAULT_KINDS,
+    ENDPOINT_FAULT_KINDS,
+    ENVIRONMENT_FAULT_KINDS,
+    RETRYABLE_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.testkit.faults import ABORT_HANDSHAKE, CORRUPT, DELAY, DROP, STALL
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultSpec(kind="gremlin")
+
+    def test_rejects_unknown_side(self):
+        with pytest.raises(ConfigurationError, match="side"):
+            FaultSpec(kind=DROP, side="adversary")
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind=DROP, frame=-1)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind=DELAY, duration_s=-0.5)
+
+    def test_taxonomy_is_complete_and_disjoint(self):
+        assert set(ENDPOINT_FAULT_KINDS) | set(ENVIRONMENT_FAULT_KINDS) == set(
+            ALL_FAULT_KINDS
+        )
+        assert not set(ENDPOINT_FAULT_KINDS) & set(ENVIRONMENT_FAULT_KINDS)
+        # every retryable kind is a real kind
+        assert RETRYABLE_KINDS <= set(ALL_FAULT_KINDS)
+        # corruption is deliberately not retryable: an untrusted channel
+        # must not be silently retried into a "success"
+        assert CORRUPT not in RETRYABLE_KINDS
+        assert ABORT_HANDSHAKE not in RETRYABLE_KINDS
+
+    def test_roundtrips_through_dict(self):
+        spec = FaultSpec(kind=STALL, side="evaluator", frame=3, duration_s=1.25)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_retryable_requires_every_fault_retryable(self):
+        good = FaultPlan(faults=(FaultSpec(kind=DROP), FaultSpec(kind=DELAY)))
+        mixed = FaultPlan(faults=(FaultSpec(kind=DROP), FaultSpec(kind=CORRUPT)))
+        assert good.retryable
+        assert not mixed.retryable
+        assert not FaultPlan().retryable  # an empty plan has nothing to retry
+
+    def test_endpoint_faults_filter_by_side(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind=DROP, side="garbler", frame=1),
+                FaultSpec(kind=STALL, side="evaluator", frame=2, duration_s=1.0),
+                FaultSpec(kind=ABORT_HANDSHAKE),
+            )
+        )
+        assert [f.kind for f in plan.endpoint_faults("garbler")] == [DROP]
+        assert [f.kind for f in plan.endpoint_faults("evaluator")] == [STALL]
+        assert plan.is_environment
+
+    def test_random_is_deterministic_per_seed(self):
+        plans_a = [FaultPlan.random(seed) for seed in range(50)]
+        plans_b = [FaultPlan.random(seed) for seed in range(50)]
+        assert plans_a == plans_b
+        # and the seed actually varies the plans
+        assert len({p.describe() for p in plans_a}) > 5
+
+    def test_random_covers_both_fault_families(self):
+        kinds = set()
+        for seed in range(200):
+            kinds.update(FaultPlan.random(seed).kinds)
+        assert kinds & set(ENDPOINT_FAULT_KINDS)
+        assert kinds & set(ENVIRONMENT_FAULT_KINDS)
+
+    def test_random_durations_respect_the_timeout_contract(self):
+        """Delays stay well under the recv timeout, stalls well past it —
+        this is what makes chaos verdicts deterministic."""
+        timeout = 0.25
+        for seed in range(300):
+            for spec in FaultPlan.random(seed, recv_timeout_s=timeout).faults:
+                if spec.kind == DELAY:
+                    assert 0 < spec.duration_s < timeout / 2
+                elif spec.kind == STALL:
+                    assert spec.duration_s > 2 * timeout
+
+    def test_json_roundtrip_preserves_the_plan(self):
+        for seed in range(40):
+            plan = FaultPlan.random(seed)
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_describe_is_stable(self):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind=DELAY, side="garbler", frame=2, duration_s=0.01),)
+        )
+        assert plan.describe() == "delay(garbler@2, 0.01s)"
+        assert FaultPlan().describe() == "clean"

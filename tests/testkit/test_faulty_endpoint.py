@@ -1,0 +1,171 @@
+"""FaultyEndpoint: every wire fault lands as a typed error, on both
+transports, and never mutates what a fault-free frame carries."""
+
+import time
+
+import pytest
+
+from repro.errors import GCProtocolError, IntegrityError
+from repro.gc.channel import INTEGRITY_TRAILER_BYTES
+from repro.telemetry import MetricsRegistry
+from repro.testkit import TRANSPORTS, FaultPlan, FaultSpec, faulty_pair
+from repro.testkit.faults import CORRUPT, DELAY, DROP, DUPLICATE, STALL, TRUNCATE
+
+
+def _pair(plan, transport, **kw):
+    kw.setdefault("recv_timeout_s", 0.2)
+    return faulty_pair(plan, transport, **kw)
+
+
+def _close(*endpoints):
+    for ep in endpoints:
+        ep.close()
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+class TestEndpointFaults:
+    def test_clean_plan_is_transparent(self, transport):
+        g, e = _pair(FaultPlan(), transport)
+        try:
+            g.send("t.ping", b"payload-bytes")
+            assert e.recv("t.ping") == b"payload-bytes"
+            e.send("t.pong", b"reply")
+            assert g.recv("t.pong") == b"reply"
+            assert g.injected == [] and e.injected == []
+        finally:
+            _close(g, e)
+
+    def test_drop_times_out_typed(self, transport):
+        plan = FaultPlan(faults=(FaultSpec(kind=DROP, side="garbler", frame=0),))
+        g, e = _pair(plan, transport)
+        try:
+            g.send("t.lost", b"never arrives")
+            with pytest.raises(GCProtocolError, match="(?i)tim"):
+                e.recv("t.lost", timeout=0.1)
+            assert g.injected == [(DROP, 0, "t.lost")]
+        finally:
+            _close(g, e)
+
+    def test_corrupt_raises_integrity_error(self, transport):
+        plan = FaultPlan(faults=(FaultSpec(kind=CORRUPT, side="garbler", frame=0),))
+        g, e = _pair(plan, transport)
+        try:
+            g.send("t.data", b"A" * 64)
+            with pytest.raises(IntegrityError, match="integrity"):
+                e.recv("t.data")
+        finally:
+            _close(g, e)
+
+    def test_truncate_raises_integrity_error(self, transport):
+        plan = FaultPlan(faults=(FaultSpec(kind=TRUNCATE, side="garbler", frame=0),))
+        g, e = _pair(plan, transport)
+        try:
+            g.send("t.data", b"B" * 64)
+            with pytest.raises(IntegrityError):
+                e.recv("t.data")
+        finally:
+            _close(g, e)
+
+    def test_truncate_below_trailer_size_is_still_typed(self, transport):
+        # a 0-byte payload truncates to less than the trailer itself
+        plan = FaultPlan(faults=(FaultSpec(kind=TRUNCATE, side="garbler", frame=0),))
+        g, e = _pair(plan, transport)
+        try:
+            g.send("t.tiny", b"")
+            assert INTEGRITY_TRAILER_BYTES // 2 < INTEGRITY_TRAILER_BYTES
+            with pytest.raises(IntegrityError, match="too short"):
+                e.recv("t.tiny")
+        finally:
+            _close(g, e)
+
+    def test_duplicate_is_caught_by_the_sequence_check(self, transport):
+        """The replayed frame is byte-identical, so only the sequence
+        number mixed into the trailer can catch it — this exact fault
+        silently desynchronised the OT key schedule before hardening."""
+        plan = FaultPlan(faults=(FaultSpec(kind=DUPLICATE, side="garbler", frame=0),))
+        g, e = _pair(plan, transport)
+        try:
+            g.send("t.first", b"once")
+            assert e.recv("t.first") == b"once"  # the original is fine
+            with pytest.raises(IntegrityError, match="out of order"):
+                e.recv("t.first")  # the replay is not
+        finally:
+            _close(g, e)
+
+    def test_delay_preserves_content(self, transport):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind=DELAY, side="garbler", frame=0, duration_s=0.05),)
+        )
+        g, e = _pair(plan, transport)
+        try:
+            t0 = time.perf_counter()
+            g.send("t.slow", b"late but intact")
+            assert time.perf_counter() - t0 >= 0.05
+            assert e.recv("t.slow") == b"late but intact"
+        finally:
+            _close(g, e)
+
+    def test_faults_target_their_frame_only(self, transport):
+        plan = FaultPlan(faults=(FaultSpec(kind=CORRUPT, side="garbler", frame=1),))
+        g, e = _pair(plan, transport)
+        try:
+            g.send("t.a", b"frame zero")
+            g.send("t.b", b"frame one")
+            assert e.recv("t.a") == b"frame zero"
+            with pytest.raises(IntegrityError):
+                e.recv("t.b")
+        finally:
+            _close(g, e)
+
+    def test_sides_are_independent(self, transport):
+        plan = FaultPlan(faults=(FaultSpec(kind=DROP, side="evaluator", frame=0),))
+        g, e = _pair(plan, transport)
+        try:
+            g.send("t.fine", b"garbler unaffected")
+            assert e.recv("t.fine") == b"garbler unaffected"
+            e.send("t.gone", b"dropped")
+            with pytest.raises(GCProtocolError):
+                g.recv("t.gone", timeout=0.1)
+        finally:
+            _close(g, e)
+
+    def test_each_fault_fires_once(self, transport):
+        plan = FaultPlan(faults=(FaultSpec(kind=DROP, side="garbler", frame=0),))
+        g, e = _pair(plan, transport)
+        try:
+            g.send("t.x", b"eaten")
+            with pytest.raises(GCProtocolError):
+                e.recv("t.x", timeout=0.1)
+        finally:
+            _close(g, e)
+        # a fresh pair from the same plan arms the fault again
+        g2, e2 = _pair(plan, transport)
+        try:
+            g2.send("t.x", b"eaten again")
+            with pytest.raises(GCProtocolError):
+                e2.recv("t.x", timeout=0.1)
+        finally:
+            _close(g2, e2)
+
+    def test_injection_telemetry(self, transport):
+        tm = MetricsRegistry()
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind=DROP, side="garbler", frame=0),
+                FaultSpec(kind=STALL, side="evaluator", frame=0, duration_s=0.01),
+            )
+        )
+        g, e = _pair(plan, transport, telemetry=tm)
+        try:
+            g.send("t.a", b"x")
+            e.send("t.b", b"y")
+            counters = tm.snapshot()["counters"]
+            assert counters[f"faults.injected.{DROP}"] == 1
+            assert counters[f"faults.injected.{STALL}"] == 1
+        finally:
+            _close(g, e)
+
+
+def test_unknown_transport_is_rejected():
+    with pytest.raises(ValueError, match="transport"):
+        faulty_pair(FaultPlan(), transport="carrier-pigeon")
