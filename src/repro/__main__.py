@@ -188,6 +188,9 @@ def cmd_gateway(args) -> str:
         recv_timeout_s=args.recv_timeout,
     )
     with GCGateway(server, host=args.host, port=args.port, config=config) as gateway:
+        # SIGTERM drains gracefully: stop accepting, checkpoint in-flight
+        # sessions at their next round boundary, tell v3 clients to resume
+        gateway.install_signal_handlers()
         host, port = gateway.address
         print(
             f"gateway listening on {host}:{port} "
@@ -253,23 +256,30 @@ def cmd_chaos(args):
     """Run the seeded fault-injection suite against the full stack."""
     from repro.testkit import ChaosConfig, ChaosRunner
 
-    transports = tuple(t.strip() for t in args.transports.split(",") if t.strip())
-    config = ChaosConfig(
-        sessions=args.sessions,
-        seed=args.seed,
-        transports=transports,
-        recv_timeout_s=args.recv_timeout,
-        deadline_s=args.deadline,
-        max_retries=args.max_retries,
+    progress = (
+        (lambda v: print(f"  session {v.session}: {v.verdict}", flush=True))
+        if args.verbose
+        else None
     )
-    runner = ChaosRunner(config)
-    report = runner.run(
-        progress=(
-            (lambda v: print(f"  session {v.session}: {v.verdict}", flush=True))
-            if args.verbose
-            else None
+    if args.replay:
+        # re-execute a recorded fault plan log verbatim: same plans,
+        # same workloads, fresh verdicts
+        report = ChaosRunner.replay(args.replay, progress=progress)
+    else:
+        transports = tuple(
+            t.strip() for t in args.transports.split(",") if t.strip()
         )
-    )
+        config = ChaosConfig(
+            sessions=args.sessions,
+            seed=args.seed,
+            transports=transports,
+            recv_timeout_s=args.recv_timeout,
+            deadline_s=args.deadline,
+            max_retries=args.max_retries,
+            profile=args.profile,
+        )
+        runner = ChaosRunner(config)
+        report = runner.run(progress=progress)
     if args.log:
         report.write_log(args.log)
     # a violation is the one outcome the conformance contract forbids:
@@ -340,8 +350,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--recv-timeout", type=float, default=0.25)
             p.add_argument("--deadline", type=float, default=15.0)
             p.add_argument("--max-retries", type=int, default=1)
+            p.add_argument("--profile", default="default",
+                           choices=("default", "recovery"),
+                           help="fault profile: classic wire faults, or "
+                                "disconnect/shed/stall recovery plans")
             p.add_argument("--log", default=None,
                            help="write a JSONL replay log here")
+            p.add_argument("--replay", default=None, metavar="LOG.jsonl",
+                           help="re-execute the fault plans recorded in a "
+                                "replay log instead of drawing from a seed")
             p.add_argument("-v", "--verbose", action="store_true",
                            help="print each verdict as it lands")
     return parser

@@ -33,6 +33,15 @@ class ServingError(ReproError):
     """Serving-layer failure (backpressure rejection, request timeout...)."""
 
 
+class OverloadedError(ServingError):
+    """The serving queue (or another admission-controlled resource) is
+    saturated *right now*.  Distinguished from other serving failures so
+    the gateway can answer with a ``net.retry_after`` load-shed hint —
+    the condition is transient and a backoff-then-retry is expected to
+    succeed — while misconfiguration and hard failures stay terminal.
+    """
+
+
 class WireError(GCProtocolError):
     """Wire-transport failure (truncated/oversized/out-of-order frame,
     bad magic, peer disconnect, receive timeout).
@@ -56,3 +65,35 @@ class IntegrityError(GCProtocolError):
 class HandshakeError(WireError):
     """Session negotiation failed (version/bit-width/fingerprint
     mismatch, or the peer vanished mid-negotiation)."""
+
+
+class ResumeError(WireError):
+    """A session resume attempt failed: the gateway no longer knows the
+    session (expired checkpoint, restarted store), the replay horizon
+    was exceeded, or the resume negotiation itself broke.
+
+    Subclasses :class:`WireError` so callers that treat a broken wire
+    as a failed session need no new handling — a failed resume is a
+    failed session, surfaced typed.
+    """
+
+
+class SessionDrainedError(ServingError):
+    """The gateway checkpointed this session and closed it (graceful
+    drain).  The session is *resumable*: reconnect with the carried
+    ``session_id`` and the server replays only the remaining rounds.
+
+    ``session_id``/``next_round`` are optional so the generic
+    re-raise machinery (which rebuilds exceptions from their message
+    alone) keeps working.
+    """
+
+    def __init__(self, message: str, session_id: str | None = None,
+                 next_round: int = 0, resumed: bool = False):
+        super().__init__(message)
+        self.session_id = session_id
+        self.next_round = next_round
+        #: True when a resume negotiation already happened and the
+        #: server is streaming from ``next_round`` — the caller should
+        #: re-enter evaluation directly instead of reconnecting.
+        self.resumed = resumed

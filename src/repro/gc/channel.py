@@ -125,6 +125,56 @@ class _Queue:
             return len(self._items)
 
 
+class ReplayBuffer:
+    """A bounded record of sent wire frames, keyed by send sequence.
+
+    The resume protocol (:mod:`repro.recover`) retransmits every frame
+    the peer has not acknowledged after a reconnect.  Entries store the
+    exact wire payload (body + integrity trailer), so a replayed frame
+    is byte-identical to the original — the peer's sequence-mixed CRC
+    check passes without special cases.
+
+    The buffer is bounded (``capacity`` frames); when it overflows the
+    oldest entry is dropped and the *replay horizon* advances.  A
+    resume that needs a dropped frame cannot be honoured — callers
+    detect that via :meth:`can_replay_from` and fail typed instead of
+    replaying a gap.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError("replay buffer capacity must be positive")
+        self.capacity = capacity
+        self._frames: deque = deque()  # (seq, tag, wire_payload)
+
+    def record(self, seq: int, tag: str, wire_payload: bytes) -> None:
+        self._frames.append((seq, tag, wire_payload))
+        while len(self._frames) > self.capacity:
+            self._frames.popleft()
+
+    def ack(self, acked_seq: int) -> None:
+        """Drop frames the peer confirmed receiving (seq < acked_seq)."""
+        while self._frames and self._frames[0][0] < acked_seq:
+            self._frames.popleft()
+
+    def can_replay_from(self, seq: int) -> bool:
+        """True iff no frame with index >= ``seq`` has been dropped."""
+        if not self._frames:
+            return True
+        return self._frames[0][0] <= seq
+
+    def frames_from(self, seq: int) -> list:
+        """Every recorded frame with index >= ``seq``, in send order."""
+        return [f for f in self._frames if f[0] >= seq]
+
+    @property
+    def oldest_seq(self) -> int | None:
+        return self._frames[0][0] if self._frames else None
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+
 class EndpointBase:
     """The endpoint contract shared by the in-memory channel and the
     socket transport (:class:`repro.net.SocketEndpoint`).
@@ -136,6 +186,11 @@ class EndpointBase:
     ``channel.bytes.<tag>`` so reports can split tables vs OT vs
     labels), tag checking, and the u128-list helpers — lives here so
     both transports behave identically.
+
+    Resumable endpoints (:mod:`repro.recover`) additionally call
+    :meth:`enable_replay` so every sent frame lands in a bounded
+    :class:`ReplayBuffer`, and :meth:`restore_sequences` when a
+    rebuilt endpoint must continue an interrupted frame stream.
     """
 
     def __init__(
@@ -153,6 +208,7 @@ class EndpointBase:
         #: trailer (see :func:`message_checksum`)
         self._send_seq = 0
         self._recv_seq = 0
+        self._replay: ReplayBuffer | None = None
 
     # -- transport hooks ------------------------------------------------
     def _send_message(self, tag: str, payload: bytes) -> None:
@@ -164,6 +220,37 @@ class EndpointBase:
     # -- shared behaviour ----------------------------------------------
     def _resolve_timeout(self, timeout: float | None) -> float:
         return resolve_recv_timeout(timeout, self.recv_timeout_s)
+
+    # -- resume support -------------------------------------------------
+    def enable_replay(self, capacity: int = 4096) -> None:
+        """Record every sent frame into a bounded :class:`ReplayBuffer`."""
+        self._replay = ReplayBuffer(capacity)
+
+    @property
+    def replay_buffer(self) -> ReplayBuffer | None:
+        return self._replay
+
+    @property
+    def send_seq(self) -> int:
+        """Frames sent on this direction (the peer's expected recv index)."""
+        return self._send_seq
+
+    @property
+    def recv_seq(self) -> int:
+        """Frames received and verified — the ack value a resume reports."""
+        return self._recv_seq
+
+    def restore_sequences(self, send_seq: int, recv_seq: int) -> None:
+        """Continue an interrupted frame stream at the given indexes.
+
+        Used when a resumed session rebuilds its endpoint: the trailer
+        checks on both sides only pass if the sequence counters pick up
+        exactly where the broken connection left off.
+        """
+        if send_seq < 0 or recv_seq < 0:
+            raise ConfigurationError("sequence counters cannot be negative")
+        self._send_seq = send_seq
+        self._recv_seq = recv_seq
 
     def send(self, tag: str, payload: bytes) -> None:
         """Send a tagged binary message to the peer.
@@ -181,7 +268,12 @@ class EndpointBase:
         body = bytes(payload)
         seq = self._send_seq
         self._send_seq += 1
-        self._send_message(tag, body + message_checksum(tag, body, seq))
+        wire = body + message_checksum(tag, body, seq)
+        if self._replay is not None:
+            # record before transmitting: a send that dies mid-frame is
+            # replayed whole on resume (the peer never verified it)
+            self._replay.record(seq, tag, wire)
+        self._send_message(tag, wire)
 
     def _checked_body(self, tag: str, data: bytes) -> bytes:
         """Strip and verify the integrity trailer of a received message.
@@ -218,6 +310,7 @@ class EndpointBase:
         tag, data = self._recv_message(self._resolve_timeout(timeout))
         body = self._checked_body(tag, data)
         if tag != expected_tag:
+            self._intercept(tag, body)
             raise GCProtocolError(
                 f"{self.name}: expected message '{expected_tag}', got '{tag}'"
             )
@@ -230,10 +323,17 @@ class EndpointBase:
         tag, data = self._recv_message(self._resolve_timeout(timeout))
         body = self._checked_body(tag, data)
         if tag not in tags:
+            self._intercept(tag, body)
             raise GCProtocolError(
                 f"{self.name}: expected one of {tags}, got '{tag}'"
             )
         return tag, body
+
+    def _intercept(self, tag: str, body: bytes) -> None:
+        """Hook for out-of-band control frames (e.g. a gateway drain
+        notice) that may arrive where protocol frames were expected.
+        Subclasses raise a typed error; the default accepts everything.
+        """
 
     def send_u128_list(self, tag: str, values: list[int]) -> None:
         self.send(tag, b"".join(v.to_bytes(16, "big") for v in values))

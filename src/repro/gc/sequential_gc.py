@@ -76,7 +76,12 @@ class SequentialGarbler:
         round_inputs: list[list[int]],
         reveal: str = "evaluator",
         ot_mode: str = "per_round",
+        on_round=None,
     ) -> SequentialReport:
+        """``on_round(next_round)`` fires after each round's material
+        (tables, labels, OT) is fully on the wire — the checkpointing
+        hook of :mod:`repro.recover`.  It may raise to abort streaming
+        at a round boundary (graceful drain)."""
         net = self.circuit.netlist
         chan = self.channel
         rounds = len(round_inputs)
@@ -153,6 +158,8 @@ class SequentialGarbler:
                         for w in net.evaluator_inputs
                     ]
                 )
+            if on_round is not None:
+                on_round(r + 1)
 
         output_bits = None
         if reveal in ("evaluator", "both"):
@@ -188,9 +195,31 @@ class SequentialEvaluator:
         self,
         round_inputs: list[list[int]],
         reveal: str = "evaluator",
+        start_round: int = 0,
+        state_labels: list[int] | None = None,
+        progress=None,
     ) -> SequentialReport:
+        """Evaluate rounds ``start_round..rounds-1``.
+
+        ``round_inputs`` is always the *full* per-round input list; on
+        a resume (``start_round > 0``) the completed rounds' inputs are
+        skipped, the carried accumulator labels come from
+        ``state_labels``, and the garbler re-streams only the remaining
+        rounds (:func:`repro.recover.checkpoint.serve_from_checkpoint`).
+        ``progress`` (a :class:`~repro.recover.checkpoint.EvaluatorProgress`)
+        is updated at every round boundary so the caller can resume
+        after a mid-stream disconnect.
+        """
         net = self.circuit.netlist
         chan = self.channel
+        if not 0 <= start_round < len(round_inputs):
+            raise GCProtocolError(
+                f"start_round {start_round} outside 0..{len(round_inputs) - 1}"
+            )
+        if start_round > 0 and not state_labels:
+            raise GCProtocolError(
+                "resuming past round 0 needs the carried state labels"
+            )
         rounds = int.from_bytes(chan.recv("seq.rounds"), "big")
         if rounds != len(round_inputs):
             raise GCProtocolError(
@@ -199,6 +228,11 @@ class SequentialEvaluator:
         ot_mode = chan.recv("seq.ot_mode").decode()
         if ot_mode not in OT_MODES:
             raise GCProtocolError(f"garbler announced unknown ot_mode '{ot_mode}'")
+        if start_round > 0 and ot_mode != "per_round":
+            raise GCProtocolError(
+                "a resumed session streams per-round OT only "
+                f"(garbler announced '{ot_mode}')"
+            )
         nonfree = [g.index for g in net.gates if not g.is_free]
 
         n_in = len(net.evaluator_inputs)
@@ -220,10 +254,11 @@ class SequentialEvaluator:
             upfront_labels = receiver.receive(choices)
             peak_label_bytes = 16 * len(choices)
 
-        state_labels: list[int] = []
+        state_labels = list(state_labels) if state_labels else []
         hash_calls = 0
         result = None
-        for r, bits in enumerate(round_inputs):
+        for r in range(start_round, rounds):
+            bits = round_inputs[r]
             offset = r * len(net.gates)
             tables = deserialize_tables(
                 chan.recv("seq.tables"), [i + offset for i in nonfree]
@@ -258,6 +293,12 @@ class SequentialEvaluator:
             result = self.evaluator.evaluate(tables, labels, tweak_offset=offset)
             hash_calls += result.hash_calls
             state_labels = result.labels_for_state(self.circuit.state_feedback)
+            if progress is not None:
+                # record the boundary *after* the carry labels exist, so
+                # a disconnect mid-round resumes at this round, not past it
+                progress.completed_rounds = r + 1
+                progress.state_labels = list(state_labels)
+                progress.hash_calls += result.hash_calls
 
         output_bits = None
         if reveal in ("evaluator", "both"):

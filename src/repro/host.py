@@ -202,8 +202,17 @@ class CloudServer:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def serve_row(self, channel, row_index: int) -> None:
-        """Serve one dot product <model[row], x> to a connected client."""
+    def serve_row(self, channel, row_index: int, on_round=None, on_run=None) -> None:
+        """Serve one dot product <model[row], x> to a connected client.
+
+        Recovery hooks (:mod:`repro.recover`): ``on_run(run,
+        encoded_row)`` fires once, after the pooled run is taken and
+        before anything is streamed — the gateway uses it to snapshot
+        the session's resumable material.  ``on_round(next_round)``
+        fires after each round's tables/labels/OT are fully on the wire;
+        it may raise (e.g. :class:`~repro.errors.SessionDrainedError`)
+        to abort streaming at a round boundary.
+        """
         with self._lock:
             n_rows = self.model.shape[0]
             encoded_row = (
@@ -216,6 +225,8 @@ class CloudServer:
         tm = self.telemetry
         with tm.span("serve_row"):
             run = self._take_run()
+            if on_run is not None:
+                on_run(run, encoded_row)
             net = accelerator.circuit.netlist
             bits_per_round = [
                 to_bits(int(v), self.fmt.total_bits) for v in encoded_row
@@ -252,6 +263,8 @@ class CloudServer:
                 with tm.timer("ot.send"):
                     sender.send(pairs)
                 tm.counter("ot.transfers").inc(len(pairs))
+                if on_round is not None:
+                    on_round(r + 1)
             channel.send("seq.output_map", bytes(run.output_permute_bits))
         self.stats.bump("requests_served")
         self.stats.bump("tables_streamed", run.total_tables)

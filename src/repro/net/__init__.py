@@ -31,8 +31,10 @@ from repro.net.frames import (
 from repro.net.gateway import GCGateway
 from repro.net.handshake import (
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     SessionDescriptor,
     client_handshake,
+    client_session_handshake,
     descriptor_for,
     netlist_fingerprint,
     server_handshake,
@@ -44,12 +46,14 @@ __all__ = [
     "MAGIC",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "FrameReader",
     "RemoteAnalyticsClient",
     "SessionDescriptor",
     "SocketEndpoint",
     "buffer_reader",
     "client_handshake",
+    "client_session_handshake",
     "decode_frame_body",
     "descriptor_for",
     "encode_frame",

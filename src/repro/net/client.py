@@ -12,27 +12,60 @@ The evaluator that runs here is the *unmodified*
 :class:`repro.gc.sequential_gc.SequentialEvaluator` — the socket
 endpoint is drop-in for the in-memory channel, which is the whole point
 of the transport layer.
+
+Recovery (protocol v3, :mod:`repro.recover`): when constructed with a
+``dial`` callable (or host+port, from which one is synthesized), the
+session endpoint is a :class:`ResumableClientEndpoint` — a wire break
+mid-query reconnects under capped exponential backoff, resumes the
+session by id, and either continues the interrupted frame stream
+in place (rebind) or re-enters the evaluation at the gateway's last
+checkpointed round (restart), carrying the accumulator state labels
+forward so completed rounds are never re-evaluated.  A ``net.drain``
+notice and a ``net.retry_after`` shed reply are handled the same way:
+back off, come back, finish the query.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 
 import numpy as np
 
 from repro.accel.tree_mac import build_scheduled_mac
 from repro.bits import from_bits, to_bits
-from repro.errors import GCProtocolError, HandshakeError, ServingError
+from repro.errors import (
+    GCProtocolError,
+    HandshakeError,
+    OverloadedError,
+    ResumeError,
+    ServingError,
+    SessionDrainedError,
+)
 from repro.fixedpoint import FixedPointFormat
 from repro.gc.sequential_gc import SequentialEvaluator
 from repro.net.endpoint import SocketEndpoint
 from repro.net.gateway import ACK_TAG, BYE_TAG, ERROR_TAG, QUERY_TAG
-from repro.net.handshake import client_handshake, netlist_fingerprint
+from repro.net.handshake import client_session_handshake, netlist_fingerprint
+from repro.recover.checkpoint import EvaluatorProgress
+from repro.recover.endpoint import (
+    RETRY_AFTER_TAG,
+    BackoffPolicy,
+    ResumableClientEndpoint,
+)
 
 
 class RemoteAnalyticsClient:
-    """Query a remote model over the GC wire: OT in, one scalar out."""
+    """Query a remote model over the GC wire: OT in, one scalar out.
+
+    ``dial`` is a zero-argument callable returning a *connected*
+    transport endpoint (a :class:`SocketEndpoint`); it is what makes
+    the session resumable — without one (the ``from_socket`` loopback
+    path) the client still speaks v3 but cannot reconnect, exactly like
+    the pre-recovery client.  ``backoff`` shapes both reconnect pacing
+    and how a ``net.retry_after`` shed reply is honored.
+    """
 
     def __init__(
         self,
@@ -42,27 +75,62 @@ class RemoteAnalyticsClient:
         name: str = "client",
         telemetry=None,
         recv_timeout_s: float | None = None,
+        dial=None,
+        backoff: BackoffPolicy | None = None,
+        sleeper=time.sleep,
     ):
-        if sock is None:
-            if host is None or port is None:
-                raise ServingError("RemoteAnalyticsClient needs host+port or a socket")
-            sock = socket.create_connection((host, port))
-        self.endpoint = SocketEndpoint(
-            name, sock, telemetry=telemetry, recv_timeout_s=recv_timeout_s
+        self.telemetry = telemetry
+        self.backoff = backoff or BackoffPolicy()
+        self._sleeper = sleeper
+        if dial is None and host is not None and port is not None:
+            def dial():
+                s = socket.create_connection((host, port))
+                return SocketEndpoint(
+                    name, s, telemetry=telemetry, recv_timeout_s=recv_timeout_s
+                )
+        self._dial = dial
+        if sock is not None:
+            transport = SocketEndpoint(
+                name, sock, telemetry=telemetry, recv_timeout_s=recv_timeout_s
+            )
+        elif self._dial is not None:
+            transport = self._dial()
+        else:
+            raise ServingError(
+                "RemoteAnalyticsClient needs host+port, a socket, or a dial callable"
+            )
+        self.descriptor, welcome = client_session_handshake(
+            transport, client_name=name
         )
-        self.descriptor = client_handshake(self.endpoint, client_name=name)
         d = self.descriptor
         self.fmt = FixedPointFormat(d.total_bits, d.frac_bits)
         self.circuit = build_scheduled_mac(d.total_bits, d.acc_width).circuit
         local_print = netlist_fingerprint(self.circuit)
         if local_print != d.fingerprint:
-            self.endpoint.close()
+            transport.close()
             raise HandshakeError(
                 "circuit fingerprint mismatch: gateway garbles "
                 f"{d.fingerprint[:16]}..., this client built {local_print[:16]}... "
                 "(version skew between client and gateway builds)"
             )
         self.group = d.group
+        self.session_id = str(welcome.get("session_id", ""))
+        if (
+            d.protocol_version >= 3
+            and self.session_id
+            and self._dial is not None
+        ):
+            self.endpoint = ResumableClientEndpoint(
+                transport,
+                dial=self._dial,
+                session_id=self.session_id,
+                policy=self.backoff,
+                telemetry=telemetry,
+                recv_timeout_s=recv_timeout_s,
+                sleeper=sleeper,
+            )
+        else:
+            self.endpoint = transport
         self._closed = False
 
     @classmethod
@@ -79,8 +147,17 @@ class RemoteAnalyticsClient:
     def n_rows(self) -> int:
         return self.descriptor.n_rows
 
+    @property
+    def resumable(self) -> bool:
+        return isinstance(self.endpoint, ResumableClientEndpoint)
+
     def query_row(self, row_index: int, x_values) -> float:
-        """Learn <model[row], x> without revealing x — over the wire."""
+        """Learn <model[row], x> without revealing x — over the wire.
+
+        Survives (when resumable) a gateway shed, a mid-stream
+        disconnect, and a graceful drain: the query always either
+        completes with the correct scalar or raises a typed error.
+        """
         if self._closed:
             raise ServingError("client is closed")
         x = np.asarray(x_values, dtype=np.float64)
@@ -88,29 +165,89 @@ class RemoteAnalyticsClient:
             raise GCProtocolError(
                 f"query vector must have {self.descriptor.rounds} entries"
             )
-        ep = self.endpoint
-        ep.send(QUERY_TAG, json.dumps({"row": int(row_index)}).encode())
-        tag, payload = ep.recv_any((ACK_TAG, ERROR_TAG))
-        if tag == ERROR_TAG:
-            raise ServingError(
-                f"gateway refused the query: {payload.decode(errors='replace')}"
-            )
         x_bits = [
             to_bits(int(v), self.fmt.total_bits) for v in self.fmt.encode_array(x)
         ]
-        evaluator = SequentialEvaluator(self.circuit, ep, self.group)
-        report = evaluator.run(x_bits)
+        self._admit(row_index)
+        report = self._evaluate(x_bits)
         raw = from_bits(report.output_bits, signed=True)
         return self.fmt.decode_product(raw)
+
+    def _admit(self, row_index: int) -> None:
+        """QUERY until ACKed, honoring ``net.retry_after`` shed replies."""
+        ep = self.endpoint
+        payload = json.dumps({"row": int(row_index)}).encode()
+        for attempt in range(self.backoff.max_attempts):
+            ep.send(QUERY_TAG, payload)
+            tag, reply = ep.recv_any((ACK_TAG, ERROR_TAG, RETRY_AFTER_TAG))
+            if tag == ACK_TAG:
+                return
+            if tag == ERROR_TAG:
+                raise ServingError(
+                    f"gateway refused the query: {reply.decode(errors='replace')}"
+                )
+            # shed: the gateway is saturated (or draining) right now
+            try:
+                hint = float(json.loads(reply.decode()).get("delay_s", 0.0))
+            except (ValueError, TypeError):
+                hint = 0.0
+            if self.telemetry is not None:
+                self.telemetry.counter("client.shed").inc()
+            if attempt + 1 >= self.backoff.max_attempts:
+                break
+            self.backoff.sleep(attempt, hint_s=hint, sleeper=self._sleeper)
+        raise OverloadedError(
+            f"gateway still shedding after {self.backoff.max_attempts} attempts"
+        )
+
+    def _evaluate(self, x_bits):
+        """Run the evaluator, re-entering at a checkpointed round after
+        a drain notice or a restart-mode resume."""
+        ep = self.endpoint
+        progress = EvaluatorProgress()
+        evaluator = SequentialEvaluator(self.circuit, ep, self.group)
+        start_round = 0
+        state_labels = None
+        while True:
+            try:
+                return evaluator.run(
+                    x_bits,
+                    start_round=start_round,
+                    state_labels=state_labels,
+                    progress=progress,
+                )
+            except SessionDrainedError as exc:
+                if not self.resumable:
+                    raise
+                if exc.resumed:
+                    # a wire break resumed as a checkpoint restart
+                    next_round = exc.next_round
+                else:
+                    # an explicit drain notice: reconnect and resume now
+                    next_round = ep.force_resume()
+                if next_round != progress.completed_rounds:
+                    raise ResumeError(
+                        f"gateway resumed session {self.session_id} at round "
+                        f"{next_round} but this client completed "
+                        f"{progress.completed_rounds} — state diverged"
+                    ) from exc
+                if self.telemetry is not None:
+                    self.telemetry.counter("client.resumed_queries").inc()
+                start_round = next_round
+                state_labels = (
+                    list(progress.state_labels) if next_round > 0 else None
+                )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        if self.resumable:
+            self.endpoint.disable_resume()
         try:
             self.endpoint.send(BYE_TAG, b"")
-        except GCProtocolError:
+        except (GCProtocolError, ServingError):
             pass  # gateway already gone; nothing left to say
         self.endpoint.close()
 

@@ -10,13 +10,25 @@ Session wire lifecycle (client's view)::
 
     connect -> net.hello -> net.welcome (or net.reject)
     repeat:
-        net.query {row} -> net.ack (or net.error {reason})
+        net.query {row} -> net.ack (or net.error {reason},
+                                    or net.retry_after {delay_s})
         <seq.* table/label/OT stream, evaluated locally>
     net.bye -> close
 
 Ordering matters on a single socket: the worker that streams tables
 must not start before ``net.ack`` is on the wire, which is what
 ``RemoteSessionRequest.start_gate`` enforces.
+
+Recovery (protocol v3, :mod:`repro.recover`): a reconnecting client
+opens with ``net.resume`` instead of ``net.hello``.  If the original
+session thread is still alive (parked on its broken wire inside a
+:class:`RebindableEndpoint`), the gateway *rebinds* the fresh socket to
+it and both sides replay only unacked frames — completed rounds are
+never re-garbled.  If the thread is gone (graceful drain, gateway
+restart with a JSONL store), the gateway *restarts* the stream at the
+last checkpointed round boundary from the session store.  A SIGTERM
+drain stops accepting, lets in-flight sessions finish their current
+round, checkpoints them, and tells v3 clients where to resume.
 
 For CI and benches the gateway also serves *adopted* sockets
 (:meth:`GCGateway.adopt`) — one half of a ``socketpair`` — so the whole
@@ -26,15 +38,39 @@ stack runs without binding a port.
 from __future__ import annotations
 
 import json
+import signal
 import socket
 import threading
 import time
+import uuid
 
-from repro.errors import GCProtocolError, HandshakeError, ServingError, WireError
+from repro.errors import (
+    GCProtocolError,
+    HandshakeError,
+    OverloadedError,
+    ResumeError,
+    ServingError,
+    SessionDrainedError,
+    WireError,
+)
 from repro.host import CloudServer
 from repro.net.endpoint import SocketEndpoint
-from repro.net.handshake import descriptor_for, server_handshake
-from repro.serve import ServingConfig, ServingServer
+from repro.net.handshake import (
+    HELLO_TAG,
+    REJECT_TAG,
+    descriptor_for,
+    server_handshake,
+)
+from repro.recover.checkpoint import checkpoint_from_run
+from repro.recover.endpoint import (
+    DRAIN_TAG,
+    RESUME_OK_TAG,
+    RESUME_TAG,
+    RETRY_AFTER_TAG,
+    RebindableEndpoint,
+)
+from repro.recover.store import InMemorySessionStore, SessionStore
+from repro.serve import ServingConfig, ServingServer, resolve_reaper_timeout
 from repro.telemetry import MetricsRegistry
 
 QUERY_TAG = "net.query"
@@ -44,16 +80,40 @@ BYE_TAG = "net.bye"
 
 
 class _GatewaySession:
-    """One live connection: its thread, endpoint, and reaper bookkeeping."""
+    """One live connection: its thread, endpoints, and reaper bookkeeping."""
 
-    __slots__ = ("thread", "endpoint", "started_at", "handshaken", "reaped")
+    __slots__ = (
+        "thread", "endpoint", "channel", "started_at", "handshaken",
+        "reaped", "session_id", "client_name", "version", "in_query",
+        "handoff",
+    )
 
     def __init__(self, thread: threading.Thread | None, endpoint: SocketEndpoint):
         self.thread = thread
         self.endpoint = endpoint
+        #: the session-layer endpoint queries run on — a
+        #: :class:`RebindableEndpoint` for v3, the transport itself for v2
+        self.channel = None
         self.started_at = time.monotonic()
         self.handshaken = False
         self.reaped = False
+        self.session_id = ""
+        self.client_name = "client"
+        self.version = 2
+        self.in_query = False
+        #: set when this connection's socket was handed to another live
+        #: session (resume rebind) — teardown must not close it
+        self.handoff = False
+
+    def close_hard(self) -> None:
+        """Tear the session down, waking any parked or blocked thread."""
+        if self.handoff:
+            return
+        channel = self.channel
+        if channel is not None and hasattr(channel, "kill"):
+            channel.kill()
+        else:
+            self.endpoint.close()
 
 
 class GCGateway:
@@ -63,8 +123,16 @@ class GCGateway:
     completing session negotiation before the reaper closes it: a
     half-open socket (SYN-and-silence, a port scanner, a client that
     died mid-connect) otherwise pins a session thread for the full
-    receive timeout each.  ``session_lifetime_s``, when set, is a hard
-    cap on any session's total wall time regardless of progress.
+    receive timeout each.  It resolves through
+    :func:`repro.serve.resolve_reaper_timeout` (explicit argument >
+    ``ServingConfig.reaper_timeout_s`` > ``REPRO_REAPER_TIMEOUT_S`` >
+    default).  ``session_lifetime_s``, when set, is a hard cap on any
+    session's total wall time regardless of progress.
+
+    ``store`` holds resumable session checkpoints; pass a
+    :class:`repro.recover.JsonlSessionStore` to survive gateway
+    restarts (a restarted gateway sharing the file serves ``net.resume``
+    for sessions its predecessor drained).
     """
 
     def __init__(
@@ -75,9 +143,10 @@ class GCGateway:
         port: int = 0,
         config: ServingConfig | None = None,
         telemetry: MetricsRegistry | None = None,
-        handshake_timeout_s: float = 10.0,
+        handshake_timeout_s: float | None = None,
         session_lifetime_s: float | None = None,
         reap_interval_s: float = 0.25,
+        store: SessionStore | None = None,
     ):
         self.server = server
         self.telemetry = telemetry if telemetry is not None else server.telemetry
@@ -90,15 +159,28 @@ class GCGateway:
         self.host = host
         self.port = port
         self.descriptor = descriptor_for(server)
-        self.handshake_timeout_s = handshake_timeout_s
+        self.handshake_timeout_s = resolve_reaper_timeout(
+            handshake_timeout_s, self.serving.config.reaper_timeout_s
+        )
         self.session_lifetime_s = session_lifetime_s
         self.reap_interval_s = reap_interval_s
+        self.store = (
+            store
+            if store is not None
+            else InMemorySessionStore(
+                ttl_s=self.serving.config.checkpoint_ttl_s,
+                telemetry=self.telemetry,
+            )
+        )
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._reaper_thread: threading.Thread | None = None
         self._sessions: list[_GatewaySession] = []
         self._sessions_lock = threading.Lock()
+        #: session_id -> live _GatewaySession, for resume rebinds
+        self._live: dict[str, _GatewaySession] = {}
         self._stopping = threading.Event()
+        self._draining = threading.Event()
         #: the most recent session-terminating error (post-mortem aid)
         self._last_session_error: BaseException | None = None
 
@@ -112,10 +194,15 @@ class GCGateway:
             return (self.host, self.port)
         return self._listener.getsockname()[:2]
 
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
     def start(self) -> "GCGateway":
         if self._listener is not None:
             return self
         self._stopping.clear()
+        self._draining.clear()
         if self._owns_serving:
             self.serving.start()
         self._listener = socket.create_server(
@@ -130,6 +217,21 @@ class GCGateway:
 
     def stop(self) -> None:
         self._stopping.set()
+        self._close_listener()
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        for s in sessions:
+            s.thread.join(timeout=self.serving.config.request_timeout_s)
+            if s.thread.is_alive():
+                s.close_hard()  # wedge-breaker: wake any blocked recv
+                s.thread.join(timeout=5.0)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=5.0)
+            self._reaper_thread = None
+        if self._owns_serving:
+            self.serving.stop()
+
+    def _close_listener(self) -> None:
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -138,18 +240,60 @@ class GCGateway:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Graceful shutdown of traffic (the SIGTERM path): stop
+        accepting, let in-flight sessions reach their next round
+        boundary and checkpoint, close idle ones, and hard-close
+        whatever is left when the deadline expires.
+
+        Returns True when every session ended inside the deadline.
+        The serving layer keeps running — call :meth:`stop` after (a
+        drained gateway can also hand its store to a successor).
+        """
+        timeout = (
+            timeout_s if timeout_s is not None
+            else self.serving.config.drain_timeout_s
+        )
+        self.telemetry.counter("gateway.drains").inc()
+        self._draining.set()
+        self._close_listener()
+        deadline = time.monotonic() + timeout
         with self._sessions_lock:
             sessions = list(self._sessions)
+        # idle sessions have nothing to checkpoint: close them now so
+        # the deadline is spent on sessions that are mid-stream
         for s in sessions:
-            s.thread.join(timeout=self.serving.config.request_timeout_s)
+            if not s.in_query and not s.handoff and s.thread.is_alive():
+                s.close_hard()
+        clean = True
+        for s in sessions:
+            s.thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        for s in sessions:
             if s.thread.is_alive():
-                s.endpoint.close()  # wedge-breaker: wake any blocked recv
-                s.thread.join(timeout=5.0)
-        if self._reaper_thread is not None:
-            self._reaper_thread.join(timeout=5.0)
-            self._reaper_thread = None
-        if self._owns_serving:
-            self.serving.stop()
+                clean = False
+                s.close_hard()
+                s.thread.join(timeout=1.0)
+        if hasattr(self.store, "compact"):
+            self.store.compact()
+        self.telemetry.counter("gateway.drained").inc()
+        return clean
+
+    def install_signal_handlers(self, signals=(signal.SIGTERM,)) -> None:
+        """Route SIGTERM to :meth:`drain` then :meth:`stop` (call from
+        the main thread; the CLI ``gateway`` command does)."""
+
+        def handler(signum, frame):
+            threading.Thread(
+                target=self._drain_and_stop, name="gateway-drain", daemon=True
+            ).start()
+
+        for sig in signals:
+            signal.signal(sig, handler)
+
+    def _drain_and_stop(self) -> None:
+        self.drain()
+        self.stop()
 
     def __enter__(self) -> "GCGateway":
         return self.start()
@@ -212,7 +356,7 @@ class GCGateway:
                 self._sessions = [s for s in self._sessions if s.thread.is_alive()]
                 sessions = list(self._sessions)
             for s in sessions:
-                if s.reaped:
+                if s.reaped or s.handoff:
                     continue
                 age = now - s.started_at
                 half_open = not s.handshaken and age > self.handshake_timeout_s
@@ -223,9 +367,10 @@ class GCGateway:
                 if half_open or over_lifetime:
                     s.reaped = True
                     self.telemetry.counter("gateway.reaped").inc()
-                    # closing the endpoint wakes the session thread's
-                    # blocked recv with a typed WireError
-                    s.endpoint.close()
+                    self.telemetry.counter("gateway.sessions.reaped").inc()
+                    # closing the session wakes the thread's blocked
+                    # (or parked) recv with a typed WireError
+                    s.close_hard()
 
     # ------------------------------------------------------------------
     # one session
@@ -235,49 +380,315 @@ class GCGateway:
         endpoint = session.endpoint
         try:
             with tm.span("gateway.session"):
-                server_handshake(endpoint, self.descriptor)
+                try:
+                    tag, payload = endpoint.recv_any((HELLO_TAG, RESUME_TAG))
+                except HandshakeError:
+                    raise
+                except GCProtocolError as exc:
+                    raise HandshakeError(
+                        f"client failed before completing its hello: {exc}"
+                    ) from exc
+                if tag == RESUME_TAG:
+                    self._resume_session(session, payload)
+                    return
+                session_id = f"s-{uuid.uuid4().hex[:12]}"
+                hello = server_handshake(
+                    endpoint, self.descriptor,
+                    hello_payload=payload, session_id=session_id,
+                )
                 session.handshaken = True
+                session.session_id = session_id
+                session.client_name = str(hello.get("name", "client"))
+                session.version = int(hello.get("negotiated_version", 2))
                 tm.counter("gateway.sessions").inc()
-                while not self._stopping.is_set():
-                    tag, payload = endpoint.recv_any((QUERY_TAG, BYE_TAG))
-                    if tag == BYE_TAG:
-                        break
-                    self._serve_query(endpoint, payload)
+                self._query_loop(session)
         except HandshakeError as exc:
             # the session never existed: half-open socket, rogue peer,
             # version skew — counted apart from mid-session failures
             tm.counter("gateway.handshake_failures").inc()
             tm.counter("gateway.session_errors").inc()
             self._last_session_error = exc
-        except (WireError, GCProtocolError) as exc:
-            # a vanished client mid-session is routine churn
-            tm.counter("gateway.session_errors").inc()
+        except SessionDrainedError as exc:
+            # a drained session is a *successful* graceful degradation,
+            # not an error: it was checkpointed and told where to resume
+            tm.counter("gateway.sessions.drained").inc()
+            self._last_session_error = exc
+        except (WireError, GCProtocolError, ServingError) as exc:
+            if self._draining.is_set() and isinstance(exc, WireError):
+                # an idle session closed by drain, not a real failure
+                tm.counter("gateway.sessions.drained").inc()
+            else:
+                # a vanished client mid-session is routine churn
+                tm.counter("gateway.session_errors").inc()
             self._last_session_error = exc
         finally:
-            endpoint.close()
+            if session.session_id:
+                with self._sessions_lock:
+                    if self._live.get(session.session_id) is session:
+                        del self._live[session.session_id]
+            session.close_hard()
 
-    def _serve_query(self, endpoint: SocketEndpoint, payload: bytes) -> None:
+    def _query_loop(self, session: _GatewaySession) -> None:
+        """Serve QUERY/BYE on a handshaken session until it ends."""
+        cfg = self.serving.config
+        if session.version >= 3:
+            # v3 sessions survive wire breaks: the rebindable wrapper
+            # inherits the transport's post-handshake counters, so the
+            # wire stream is identical to v2 until a resume happens
+            session.channel = RebindableEndpoint(
+                session.endpoint,
+                resume_window_s=cfg.resume_window_s,
+                telemetry=self.telemetry,
+                recv_timeout_s=cfg.recv_timeout_s,
+                replay_capacity=cfg.replay_buffer_frames,
+            )
+            with self._sessions_lock:
+                self._live[session.session_id] = session
+        else:
+            session.channel = session.endpoint
+        channel = session.channel
+        while not self._stopping.is_set():
+            tag, payload = channel.recv_any((QUERY_TAG, BYE_TAG))
+            if tag == BYE_TAG:
+                break
+            session.in_query = True
+            try:
+                self._serve_query(session, payload)
+            finally:
+                session.in_query = False
+
+    def _serve_query(self, session: _GatewaySession, payload: bytes) -> None:
         tm = self.telemetry
+        cfg = self.serving.config
+        channel = session.channel
+        v3 = session.version >= 3
         try:
             row = int(json.loads(payload.decode())["row"])
         except (ValueError, KeyError, TypeError) as exc:
-            endpoint.send(ERROR_TAG, f"malformed query: {exc}".encode())
+            channel.send(ERROR_TAG, f"malformed query: {exc}".encode())
             return
         if not 0 <= row < self.descriptor.n_rows:
-            endpoint.send(
+            channel.send(
                 ERROR_TAG,
                 f"model has no row {row} (rows: 0..{self.descriptor.n_rows - 1})".encode(),
             )
             return
+        if self._draining.is_set():
+            self._shed(channel, v3, "gateway is draining")
+            return
+        on_run = on_round = None
+        if v3:
+            on_run, on_round = self._checkpoint_hooks(session, row)
         try:
-            request = self.serving.submit_remote(row, endpoint)
-        except ServingError as exc:  # backpressure: full queue, not running
+            request = self.serving.submit_remote(
+                row, channel, on_round=on_round, on_run=on_run
+            )
+        except OverloadedError as exc:  # transient saturation: shed with a hint
+            self._shed(channel, v3, str(exc))
+            return
+        except ServingError as exc:  # not running / hard failure: terminal
             tm.counter("gateway.rejected").inc()
-            endpoint.send(ERROR_TAG, str(exc).encode())
+            channel.send(ERROR_TAG, str(exc).encode())
             return
         # ack first, *then* open the gate: both share the socket, and the
         # client reads the ack before the first streamed table
-        endpoint.send(ACK_TAG, b"{}")
+        channel.send(ACK_TAG, b"{}")
         request.start_gate.set()
-        request.wait(timeout=self.serving.config.request_timeout_s)
+        try:
+            request.wait(timeout=cfg.request_timeout_s)
+        except SessionDrainedError as exc:
+            self._notify_drained(session, exc)
+            raise
+        if v3:
+            # the query completed: its checkpoint has nothing to resume
+            self.store.delete(session.session_id)
         tm.counter("gateway.queries").inc()
+
+    def _checkpoint_hooks(self, session: _GatewaySession, row: int):
+        """Build the ``on_run``/``on_round`` closures that snapshot one
+        query's resumable state into the session store."""
+        channel = session.channel
+        holder: dict = {}
+
+        def on_run(run, encoded_row):
+            cp = checkpoint_from_run(
+                run,
+                encoded_row,
+                self.server.fmt.total_bits,
+                session.session_id,
+                row,
+                client_name=session.client_name,
+            )
+            holder["cp"] = cp
+            self.store.put(cp)
+
+        def on_round(next_round: int):
+            cp = holder.get("cp")
+            if cp is not None:
+                cp.advance(next_round, channel.send_seq, channel.recv_seq)
+                self.store.put(cp)
+            if self._draining.is_set():
+                raise SessionDrainedError(
+                    f"gateway draining: session {session.session_id} "
+                    f"checkpointed at round {next_round}",
+                    session_id=session.session_id,
+                    next_round=next_round,
+                )
+
+        return on_run, on_round
+
+    def _shed(self, channel, v3: bool, reason: str) -> None:
+        """Overload reply: a v3 client gets a machine-readable backoff
+        hint; a v2 client gets the legacy typed error."""
+        self.telemetry.counter("gateway.shed").inc()
+        if v3:
+            hint = {
+                "delay_s": self.serving.config.retry_after_s,
+                "reason": reason,
+            }
+            channel.send(
+                RETRY_AFTER_TAG, json.dumps(hint, sort_keys=True).encode()
+            )
+        else:
+            channel.send(ERROR_TAG, f"overloaded, retry later: {reason}".encode())
+
+    def _notify_drained(self, session: _GatewaySession,
+                        exc: SessionDrainedError) -> None:
+        """Tell the client its session was checkpointed (drain), then
+        unregister it so a resume goes through the store, not a rebind."""
+        with self._sessions_lock:
+            if self._live.get(session.session_id) is session:
+                del self._live[session.session_id]
+        notice = {
+            "session_id": session.session_id,
+            "next_round": exc.next_round,
+        }
+        try:
+            if session.version >= 3:
+                session.channel.send(
+                    DRAIN_TAG, json.dumps(notice, sort_keys=True).encode()
+                )
+            else:
+                session.channel.send(ERROR_TAG, f"gateway draining: {exc}".encode())
+        except (WireError, GCProtocolError):
+            pass  # the checkpoint still exists; the client can resume blind
+
+    # ------------------------------------------------------------------
+    # resume intake
+    # ------------------------------------------------------------------
+    def _resume_session(self, session: _GatewaySession, payload: bytes) -> None:
+        """Handle a ``net.resume`` opener on a fresh connection."""
+        tm = self.telemetry
+        cfg = self.serving.config
+        endpoint = session.endpoint
+        tm.counter("gateway.resume_requests").inc()
+        try:
+            request = json.loads(payload.decode())
+            sid = str(request["session_id"])
+            client_acked = int(request["last_acked_seq"])
+        except (ValueError, KeyError, TypeError) as exc:
+            endpoint.send(REJECT_TAG, f"malformed resume: {exc}".encode())
+            raise HandshakeError(f"malformed resume request: {exc}") from exc
+        session.handshaken = True  # negotiation is done; don't reap mid-resume
+        session.session_id = sid
+        session.version = 3
+
+        with self._sessions_lock:
+            live = self._live.get(sid)
+        if (
+            live is not None
+            and live.channel is not None
+            and live.thread.is_alive()
+        ):
+            self._rebind(session, live, client_acked)
+            return
+        self._restart_from_store(session, sid)
+
+    def _rebind(self, session: _GatewaySession, live: _GatewaySession,
+                client_acked: int) -> None:
+        """Splice a fresh socket into a still-live (parked) session."""
+        tm = self.telemetry
+        endpoint = session.endpoint
+        buffer = live.channel.replay_buffer
+        if buffer is not None and not buffer.can_replay_from(client_acked):
+            endpoint.send(
+                REJECT_TAG,
+                (
+                    f"cannot resume session {session.session_id}: replay "
+                    f"horizon passed frame {client_acked}"
+                ).encode(),
+            )
+            raise ResumeError(
+                f"resume for {session.session_id} beyond the replay horizon"
+            )
+        answer = {
+            "mode": "rebind",
+            "last_acked_seq": live.channel.recv_seq,
+            "session_id": session.session_id,
+        }
+        # the OK must be on the wire before any replayed session frame:
+        # the client reads it on the fresh transport's own counters
+        endpoint.send(RESUME_OK_TAG, json.dumps(answer, sort_keys=True).encode())
+        live.channel.rebind(endpoint, client_acked)
+        live.endpoint = endpoint  # teardown follows the live socket
+        session.handoff = True  # this thread no longer owns the socket
+        tm.counter("gateway.resumes.rebind").inc()
+
+    def _restart_from_store(self, session: _GatewaySession, sid: str) -> None:
+        """Serve the remaining rounds of a checkpointed session, then
+        fall into the normal query loop on this connection."""
+        tm = self.telemetry
+        cfg = self.serving.config
+        endpoint = session.endpoint
+        checkpoint = self.store.get(sid)
+        if checkpoint is None or checkpoint.complete:
+            endpoint.send(
+                REJECT_TAG,
+                f"unknown session {sid}: nothing to resume".encode(),
+            )
+            raise ResumeError(f"resume for unknown session {sid}")
+        if self._draining.is_set():
+            self._shed(endpoint, True, "gateway is draining")
+            raise ResumeError(f"resume for {sid} shed: gateway draining")
+
+        def on_round(progress):
+            self.store.put(checkpoint)
+            if self._draining.is_set():
+                raise SessionDrainedError(
+                    f"gateway draining: session {sid} re-checkpointed at "
+                    f"round {progress.next_round}",
+                    session_id=sid,
+                    next_round=progress.next_round,
+                )
+
+        try:
+            request = self.serving.submit_resume(
+                checkpoint, endpoint, self.server.group, on_round=on_round
+            )
+        except OverloadedError:
+            self._shed(endpoint, True, "resume queue full")
+            return
+        except ServingError as exc:
+            endpoint.send(REJECT_TAG, str(exc).encode())
+            raise ResumeError(f"resume for {sid} failed: {exc}") from exc
+        answer = {
+            "mode": "restart",
+            "next_round": checkpoint.next_round,
+            "last_acked_seq": 0,
+            "session_id": sid,
+        }
+        endpoint.send(RESUME_OK_TAG, json.dumps(answer, sort_keys=True).encode())
+        request.start_gate.set()
+        try:
+            request.wait(timeout=cfg.request_timeout_s)
+        except SessionDrainedError as exc:
+            session.channel = endpoint
+            self._notify_drained(session, exc)
+            raise
+        self.store.delete(sid)
+        session.client_name = checkpoint.client_name or session.client_name
+        tm.counter("gateway.resumes.restart").inc()
+        tm.counter("gateway.queries").inc()
+        # the resumed query is done; keep serving this connection like
+        # any other v3 session (the wrapper inherits the live counters)
+        self._query_loop(session)

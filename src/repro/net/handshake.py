@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 from repro.circuits.netlist import Netlist
 from repro.circuits.sequential import SequentialCircuit
@@ -29,7 +29,18 @@ from repro.errors import GCProtocolError, HandshakeError, WireError
 #: Bump on any wire-visible change to framing or the session protocol.
 #: v2: every message carries a CRC32 integrity trailer
 #: (:mod:`repro.gc.channel`), so a v1 peer cannot interoperate.
-PROTOCOL_VERSION = 2
+#: v3: session resume (``net.resume``/``net.resume_ok``), load-shed
+#: ``net.retry_after`` replies, and ``net.drain`` notices
+#: (:mod:`repro.recover`).  v3 is a strict superset of v2 on the happy
+#: path — the welcome carries a ``session_id``, which a v2 client's
+#: descriptor parser ignores — so a v3 gateway still serves v2 clients
+#: (negotiating each session down to the client's version), while a v3
+#: client never silently assumes resume support from a v2 gateway.
+PROTOCOL_VERSION = 3
+
+#: Versions this build can serve.  A hello outside this set is
+#: rejected; one inside it is served *at the client's version*.
+SUPPORTED_VERSIONS = (2, 3)
 
 HELLO_TAG = "net.hello"
 WELCOME_TAG = "net.welcome"
@@ -109,12 +120,26 @@ def descriptor_for(server) -> SessionDescriptor:
     )
 
 
-def server_handshake(endpoint, descriptor: SessionDescriptor) -> dict:
+def server_handshake(
+    endpoint,
+    descriptor: SessionDescriptor,
+    hello_payload: bytes | None = None,
+    session_id: str | None = None,
+) -> dict:
     """Gateway side: validate the client's hello, answer welcome/reject.
 
-    Returns the parsed hello.  On a version mismatch the rejection is
-    *sent to the client* before the typed error is raised locally, so
-    both sides see the same diagnosis.
+    Returns the parsed hello, with ``negotiated_version`` added: the
+    session runs at the *client's* version when this build supports it
+    (:data:`SUPPORTED_VERSIONS`), so a v3 gateway still serves v2
+    clients.  The welcome's descriptor carries the negotiated version;
+    with ``session_id`` set (v3) it also names the session the client
+    can later resume.  On a version mismatch the rejection is *sent to
+    the client* before the typed error is raised locally, so both sides
+    see the same diagnosis.
+
+    ``hello_payload`` lets a caller that already read the first frame
+    (the gateway's hello-or-resume intake) hand it in instead of
+    receiving again.
 
     Any wire or protocol failure while negotiating — the client closing
     the socket before (or mid-) hello, garbage instead of a frame, a
@@ -122,39 +147,51 @@ def server_handshake(endpoint, descriptor: SessionDescriptor) -> dict:
     :class:`HandshakeError`, so callers can tell "the session never
     existed" apart from "an established session broke".
     """
+    if hello_payload is None:
+        try:
+            hello_payload = endpoint.recv(HELLO_TAG)
+        except HandshakeError:
+            raise
+        except GCProtocolError as exc:
+            raise HandshakeError(
+                f"client failed before completing its hello: {exc}"
+            ) from exc
     try:
-        payload = endpoint.recv(HELLO_TAG)
-    except HandshakeError:
-        raise
-    except GCProtocolError as exc:
-        raise HandshakeError(
-            f"client failed before completing its hello: {exc}"
-        ) from exc
-    try:
-        hello = json.loads(payload.decode())
+        hello = json.loads(hello_payload.decode())
         version = int(hello["protocol_version"])
     except (ValueError, KeyError, TypeError) as exc:
         _reject(endpoint, f"malformed hello: {exc}")
         raise HandshakeError(f"malformed client hello: {exc}") from exc
-    if version != descriptor.protocol_version:
+    if version not in SUPPORTED_VERSIONS:
         reason = (
             f"protocol version mismatch: client speaks v{version}, "
-            f"gateway speaks v{descriptor.protocol_version}"
+            f"gateway serves v{min(SUPPORTED_VERSIONS)}..v{max(SUPPORTED_VERSIONS)}"
         )
         _reject(endpoint, reason)
         raise HandshakeError(reason)
+    negotiated = min(version, descriptor.protocol_version)
+    welcome = asdict(replace(descriptor, protocol_version=negotiated))
+    if session_id is not None and negotiated >= 3:
+        welcome["session_id"] = session_id
     try:
-        endpoint.send(WELCOME_TAG, descriptor.to_payload())
+        endpoint.send(WELCOME_TAG, json.dumps(welcome, sort_keys=True).encode())
     except WireError as exc:
         raise HandshakeError(
             f"client vanished before the welcome could be sent: {exc}"
         ) from exc
+    hello["negotiated_version"] = negotiated
     return hello
 
 
-def client_handshake(endpoint, client_name: str = "client") -> SessionDescriptor:
-    """Client side: send hello, receive the session descriptor (or reject).
+def client_session_handshake(
+    endpoint, client_name: str = "client"
+) -> tuple[SessionDescriptor, dict]:
+    """Client side: send hello, receive the descriptor *and* the raw
+    welcome (which carries the resumable ``session_id`` on v3).
 
+    The gateway may negotiate the session down to an older version this
+    client still speaks (:data:`SUPPORTED_VERSIONS`); anything outside
+    that range — or *newer* than what the client offered — fails typed.
     A gateway that vanishes mid-negotiation surfaces as
     :class:`HandshakeError` (not a bare wire error), mirroring
     :func:`server_handshake`.
@@ -173,11 +210,22 @@ def client_handshake(endpoint, client_name: str = "client") -> SessionDescriptor
         reason = payload.decode(errors="replace")
         raise HandshakeError(f"gateway rejected the session: {reason}")
     descriptor = SessionDescriptor.from_payload(payload)
-    if descriptor.protocol_version != PROTOCOL_VERSION:
+    negotiated = descriptor.protocol_version
+    if negotiated not in SUPPORTED_VERSIONS or negotiated > PROTOCOL_VERSION:
         raise HandshakeError(
-            f"gateway speaks protocol v{descriptor.protocol_version}, "
-            f"this client speaks v{PROTOCOL_VERSION}"
+            f"gateway negotiated protocol v{negotiated}, this client "
+            f"speaks v{min(SUPPORTED_VERSIONS)}..v{PROTOCOL_VERSION}"
         )
+    try:
+        welcome = json.loads(payload.decode())
+    except ValueError:  # unreachable after from_payload, kept for safety
+        welcome = {}
+    return descriptor, welcome
+
+
+def client_handshake(endpoint, client_name: str = "client") -> SessionDescriptor:
+    """Client side: send hello, receive the session descriptor (or reject)."""
+    descriptor, _ = client_session_handshake(endpoint, client_name)
     return descriptor
 
 

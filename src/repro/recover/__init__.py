@@ -1,0 +1,52 @@
+"""Crash/disconnect recovery for the GC serving path.
+
+MAXelerator's sequential GC makes one dot product a long-lived stateful
+stream: accumulator labels carry across M garbled rounds, so a dropped
+connection at round k used to throw away all k rounds of garbling.
+This package closes that loop:
+
+* :mod:`repro.recover.store` — session checkpoint stores (in-memory +
+  JSONL-on-disk) with TTL eviction;
+* :mod:`repro.recover.checkpoint` — the per-round resumable snapshot a
+  gateway writes at round boundaries (round index, remaining streaming
+  material, output map) and the evaluator-side progress recorder
+  (completed rounds + carried accumulator labels);
+* :mod:`repro.recover.endpoint` — resumable endpoints: the client side
+  reconnects with capped exponential backoff and replays unacked
+  frames; the server side parks on a broken wire and waits for the
+  gateway to rebind a fresh socket to the live session.
+"""
+
+from repro.recover.checkpoint import (
+    EvaluatorProgress,
+    GarblerProgress,
+    RoundMaterial,
+    SessionCheckpoint,
+    checkpoint_from_run,
+    serve_from_checkpoint,
+)
+from repro.recover.endpoint import (
+    BackoffPolicy,
+    RebindableEndpoint,
+    ResumableClientEndpoint,
+)
+from repro.recover.store import (
+    InMemorySessionStore,
+    JsonlSessionStore,
+    SessionStore,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "EvaluatorProgress",
+    "GarblerProgress",
+    "InMemorySessionStore",
+    "JsonlSessionStore",
+    "RebindableEndpoint",
+    "ResumableClientEndpoint",
+    "RoundMaterial",
+    "SessionCheckpoint",
+    "SessionStore",
+    "checkpoint_from_run",
+    "serve_from_checkpoint",
+]

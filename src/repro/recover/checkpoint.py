@@ -1,0 +1,295 @@
+"""Per-round resumable session state and the resumed streaming path.
+
+A :class:`SessionCheckpoint` is what the gateway writes at every round
+boundary: everything needed to serve the *remaining* rounds of one
+``serve_row`` query to a reconnecting client without re-garbling —
+the pre-serialized tables, the already-selected garbler/constant
+labels, the evaluator label pairs for fresh OT, and the output
+permutation map.  Completed rounds' material is pruned as the session
+advances, so a checkpoint shrinks as the session nears completion.
+
+The security argument for storing this is unchanged from the pooled
+:class:`~repro.accel.fsm.AcceleratorRun` it is derived from: each run
+is used by exactly one session, active labels for garbler inputs are
+already destined for this client, and evaluator label *pairs* are
+consumed by OT exactly once per round (a resume re-runs OT only for
+rounds the client never evaluated).
+
+On the client side, :class:`EvaluatorProgress` is the mirror image:
+the rounds completed so far and the carried accumulator labels, enough
+to re-enter :meth:`~repro.gc.sequential_gc.SequentialEvaluator.run`
+at ``start_round=k`` after a reconnect.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+
+from repro.crypto.ot import (
+    DHGroup,
+    TOY_GROUP,
+    BaseOTSender,
+    OTExtensionSender,
+    K_SECURITY,
+)
+from repro.errors import ResumeError
+from repro.gc.tables import serialize_tables
+
+
+def _b64(raw: bytes) -> str:
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+@dataclass
+class RoundMaterial:
+    """Everything the server must transmit for one remaining round."""
+
+    round_index: int
+    #: pre-serialized garbled tables (`seq.tables` payload, verbatim)
+    tables: bytes
+    #: active labels for the garbler's (model) input bits, already selected
+    garbler_labels: list[int]
+    #: active labels for the netlist's constant wires
+    const_labels: list[int]
+    #: (zero, one) pairs for the evaluator's input wires — OT material
+    evaluator_pairs: list[tuple[int, int]]
+    #: active initial-state labels; only round 0 carries them
+    state_labels: list[int] | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "round_index": self.round_index,
+            "tables": _b64(self.tables),
+            "garbler_labels": self.garbler_labels,
+            "const_labels": self.const_labels,
+            "evaluator_pairs": [list(p) for p in self.evaluator_pairs],
+            "state_labels": self.state_labels,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundMaterial":
+        return cls(
+            round_index=int(data["round_index"]),
+            tables=_unb64(data["tables"]),
+            garbler_labels=[int(v) for v in data["garbler_labels"]],
+            const_labels=[int(v) for v in data["const_labels"]],
+            evaluator_pairs=[
+                (int(p[0]), int(p[1])) for p in data["evaluator_pairs"]
+            ],
+            state_labels=(
+                [int(v) for v in data["state_labels"]]
+                if data.get("state_labels") is not None
+                else None
+            ),
+        )
+
+
+@dataclass
+class SessionCheckpoint:
+    """One session's resumable state, written at round boundaries.
+
+    ``send_seq``/``recv_seq`` record the server endpoint's channel
+    sequence counters at checkpoint time; a frame-level rebind restores
+    them so the CRC trailers (which mix the sequence index) keep
+    verifying across the reconnect.  A round-level resume instead
+    restarts the stream on fresh counters — the counters then only
+    document how far the broken stream got.
+    """
+
+    session_id: str
+    row_index: int
+    rounds: int
+    next_round: int
+    materials: list[RoundMaterial]
+    output_permute_bits: list[int]
+    send_seq: int = 0
+    recv_seq: int = 0
+    client_name: str = ""
+
+    def advance(self, next_round: int, send_seq: int = 0, recv_seq: int = 0) -> None:
+        """Mark rounds below ``next_round`` complete and prune their material."""
+        if next_round < self.next_round:
+            raise ResumeError(
+                f"session {self.session_id}: checkpoint cannot move backwards "
+                f"(round {self.next_round} -> {next_round})"
+            )
+        self.next_round = next_round
+        self.send_seq = send_seq
+        self.recv_seq = recv_seq
+        self.materials = [m for m in self.materials if m.round_index >= next_round]
+
+    @property
+    def complete(self) -> bool:
+        return self.next_round >= self.rounds
+
+    def material_for(self, round_index: int) -> RoundMaterial:
+        for m in self.materials:
+            if m.round_index == round_index:
+                return m
+        raise ResumeError(
+            f"session {self.session_id}: no stored material for round "
+            f"{round_index} (completed rounds are pruned and never re-served)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "row_index": self.row_index,
+            "rounds": self.rounds,
+            "next_round": self.next_round,
+            "materials": [m.to_dict() for m in self.materials],
+            "output_permute_bits": self.output_permute_bits,
+            "send_seq": self.send_seq,
+            "recv_seq": self.recv_seq,
+            "client_name": self.client_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionCheckpoint":
+        return cls(
+            session_id=data["session_id"],
+            row_index=int(data["row_index"]),
+            rounds=int(data["rounds"]),
+            next_round=int(data["next_round"]),
+            materials=[RoundMaterial.from_dict(m) for m in data["materials"]],
+            output_permute_bits=[int(b) for b in data["output_permute_bits"]],
+            send_seq=int(data.get("send_seq", 0)),
+            recv_seq=int(data.get("recv_seq", 0)),
+            client_name=data.get("client_name", ""),
+        )
+
+
+@dataclass
+class EvaluatorProgress:
+    """Client-side resume state: rounds done + carried accumulator labels.
+
+    Passed into :meth:`SequentialEvaluator.run`, which updates it at
+    every round boundary; after a ``WireError`` mid-stream the client
+    re-enters ``run(start_round=progress.completed_rounds,
+    state_labels=progress.state_labels)`` on a resumed channel.
+    """
+
+    completed_rounds: int = 0
+    state_labels: list[int] = field(default_factory=list)
+    hash_calls: int = 0
+
+
+@dataclass
+class GarblerProgress:
+    """Server-side round-boundary report handed to ``on_round`` hooks:
+    the next round to stream and the channel counters at the boundary."""
+
+    next_round: int
+    send_seq: int
+    recv_seq: int
+
+
+def checkpoint_from_run(
+    run,
+    encoded_row,
+    total_bits: int,
+    session_id: str,
+    row_index: int,
+    client_name: str = "",
+) -> SessionCheckpoint:
+    """Snapshot a pooled :class:`AcceleratorRun` + one model row.
+
+    ``encoded_row`` is the fixed-point-encoded row (one integer per
+    round); the active garbler labels are selected here, once, so the
+    checkpoint never stores inactive garbler label material.
+    """
+    from repro.bits import to_bits
+
+    net = run.circuit.netlist
+    const_wires = sorted(net.constants)
+    initial_state = run.circuit.circuit.initial_state
+    materials = []
+    for r, value in enumerate(encoded_row):
+        meta = run.rounds[r]
+        bits = to_bits(int(value), total_bits)
+        materials.append(
+            RoundMaterial(
+                round_index=r,
+                tables=serialize_tables(run.tables_for_round(r)),
+                garbler_labels=[
+                    p.select(b) for p, b in zip(meta.garbler_pairs, bits)
+                ],
+                const_labels=[
+                    meta.const_pairs[w].select(net.constants[w])
+                    for w in const_wires
+                ],
+                evaluator_pairs=[
+                    (p.zero, p.one) for p in meta.evaluator_pairs
+                ],
+                state_labels=(
+                    [p.select(b) for p, b in zip(meta.state_pairs, initial_state)]
+                    if r == 0
+                    else None
+                ),
+            )
+        )
+    return SessionCheckpoint(
+        session_id=session_id,
+        row_index=row_index,
+        rounds=len(materials),
+        next_round=0,
+        materials=materials,
+        output_permute_bits=list(run.output_permute_bits),
+        client_name=client_name,
+    )
+
+
+def serve_from_checkpoint(
+    channel,
+    checkpoint: SessionCheckpoint,
+    group: DHGroup = TOY_GROUP,
+    on_round=None,
+    telemetry=None,
+) -> int:
+    """Stream the *remaining* rounds of a checkpointed session.
+
+    The wire dialogue is shaped exactly like a fresh ``serve_row``
+    (preamble, per-round tables/labels/OT, output map) so the client
+    re-enters the unmodified evaluator loop at ``start_round`` — no
+    garbling happens here, only retransmission of stored material plus
+    fresh OT for the rounds the client never evaluated.  Returns the
+    number of rounds streamed.
+    """
+    start = checkpoint.next_round
+    if start >= checkpoint.rounds:
+        raise ResumeError(
+            f"session {checkpoint.session_id}: nothing to resume — all "
+            f"{checkpoint.rounds} rounds already streamed"
+        )
+    channel.send("seq.rounds", checkpoint.rounds.to_bytes(4, "big"))
+    channel.send("seq.ot_mode", b"per_round")
+    streamed = 0
+    for r in range(start, checkpoint.rounds):
+        m = checkpoint.material_for(r)
+        channel.send("seq.tables", m.tables)
+        if telemetry is not None:
+            telemetry.counter("recover.stream.bytes").inc(len(m.tables))
+        channel.send_u128_list("seq.garbler_labels", m.garbler_labels)
+        channel.send_u128_list("seq.const_labels", m.const_labels)
+        if m.state_labels is not None:
+            channel.send_u128_list("seq.state_labels", m.state_labels)
+        if m.evaluator_pairs:
+            sender = (
+                OTExtensionSender(channel, group)
+                if len(m.evaluator_pairs) > K_SECURITY
+                else BaseOTSender(channel, group)
+            )
+            sender.send(list(m.evaluator_pairs))
+        streamed += 1
+        checkpoint.advance(r + 1, channel.send_seq, channel.recv_seq)
+        if on_round is not None:
+            on_round(GarblerProgress(r + 1, channel.send_seq, channel.recv_seq))
+    channel.send("seq.output_map", bytes(checkpoint.output_permute_bits))
+    if telemetry is not None:
+        telemetry.counter("recover.rounds.streamed").inc(streamed)
+    return streamed

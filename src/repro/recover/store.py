@@ -1,0 +1,167 @@
+"""Session checkpoint stores: in-memory and JSONL-on-disk, TTL-evicted.
+
+A store maps ``session_id -> SessionCheckpoint`` and is the gateway's
+memory of in-flight sessions across disconnects (and, for the JSONL
+backend, across process restarts — the drain path persists every
+in-flight session so a restarted gateway can serve its resumes).
+
+Eviction is lazy: every mutating call first sweeps entries older than
+``ttl_s``.  Checkpoints are small (a few KiB of remaining-round label
+material for the test-sized circuits) but they hold key material, so
+bounded lifetime is a hygiene requirement, not just a memory one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.errors import ConfigurationError
+from repro.recover.checkpoint import SessionCheckpoint
+
+#: Default checkpoint lifetime.  A client that has not resumed within
+#: this window has abandoned the session; its labels are discarded.
+DEFAULT_TTL_S = 300.0
+
+
+class SessionStore:
+    """The store contract + the TTL/locking machinery both backends share.
+
+    Subclasses implement ``_load()/_persist(op, checkpoint_or_id)``;
+    the in-memory dict is the source of truth at runtime either way.
+    """
+
+    def __init__(self, ttl_s: float = DEFAULT_TTL_S, telemetry=None, clock=time.monotonic):
+        if ttl_s <= 0:
+            raise ConfigurationError("checkpoint TTL must be positive")
+        self.ttl_s = ttl_s
+        self.telemetry = telemetry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: dict[str, tuple[float, SessionCheckpoint]] = {}
+
+    # -- backend hooks --------------------------------------------------
+    def _persist(self, op: str, value) -> None:
+        """Record a mutation durably (no-op for the in-memory backend)."""
+
+    # -- API ------------------------------------------------------------
+    def put(self, checkpoint: SessionCheckpoint) -> None:
+        with self._lock:
+            self._sweep_locked()
+            self._entries[checkpoint.session_id] = (self._clock(), checkpoint)
+            self._persist("put", checkpoint)
+        if self.telemetry is not None:
+            self.telemetry.counter("recover.store.puts").inc()
+
+    def get(self, session_id: str) -> SessionCheckpoint | None:
+        with self._lock:
+            self._sweep_locked()
+            entry = self._entries.get(session_id)
+            return entry[1] if entry is not None else None
+
+    def delete(self, session_id: str) -> bool:
+        with self._lock:
+            self._sweep_locked()
+            existed = self._entries.pop(session_id, None) is not None
+            if existed:
+                self._persist("delete", session_id)
+            return existed
+
+    def sweep(self) -> int:
+        """Evict expired checkpoints; returns how many were dropped."""
+        with self._lock:
+            return self._sweep_locked()
+
+    def _sweep_locked(self) -> int:
+        horizon = self._clock() - self.ttl_s
+        expired = [sid for sid, (at, _) in self._entries.items() if at < horizon]
+        for sid in expired:
+            del self._entries[sid]
+            self._persist("delete", sid)
+        if expired and self.telemetry is not None:
+            self.telemetry.counter("recover.store.evicted").inc(len(expired))
+        return len(expired)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+
+class InMemorySessionStore(SessionStore):
+    """The default store: a dict behind a lock, gone with the process."""
+
+
+class JsonlSessionStore(SessionStore):
+    """A crash-surviving store: every mutation appended to a JSONL log.
+
+    The log is replayed on construction (last record per session wins;
+    a ``delete`` record tombstones).  :meth:`compact` rewrites the log
+    to just the live entries — the drain path calls it so a restarted
+    gateway loads a minimal file.
+
+    Restored entries have their age reset to load time: a monotonic
+    timestamp from a previous process is meaningless here, and the TTL
+    still bounds how long a restart-then-resume window stays open.
+    """
+
+    def __init__(self, path, ttl_s: float = DEFAULT_TTL_S, telemetry=None,
+                 clock=time.monotonic):
+        super().__init__(ttl_s=ttl_s, telemetry=telemetry, clock=clock)
+        self.path = os.fspath(path)
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        entries: dict[str, SessionCheckpoint] = {}
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"corrupt checkpoint log {self.path!r}: {exc}"
+                    ) from exc
+                if rec.get("op") == "delete":
+                    entries.pop(rec.get("session_id"), None)
+                elif rec.get("op") == "put":
+                    cp = SessionCheckpoint.from_dict(rec["checkpoint"])
+                    entries[cp.session_id] = cp
+        now = self._clock()
+        with self._lock:
+            self._entries = {sid: (now, cp) for sid, cp in entries.items()}
+
+    def _persist(self, op: str, value) -> None:
+        if op == "put":
+            rec = {"op": "put", "checkpoint": value.to_dict()}
+        else:
+            rec = {"op": "delete", "session_id": value}
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def compact(self) -> None:
+        """Rewrite the log with only the live (unexpired) entries."""
+        with self._lock:
+            self._sweep_locked()
+            tmp = f"{self.path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for _, cp in self._entries.values():
+                    fh.write(
+                        json.dumps({"op": "put", "checkpoint": cp.to_dict()},
+                                   sort_keys=True)
+                        + "\n"
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)

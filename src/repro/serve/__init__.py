@@ -14,14 +14,21 @@ layer:
   submit/query APIs and full telemetry.
 """
 
-from repro.serve.config import ServingConfig
+from repro.serve.config import ServingConfig, resolve_reaper_timeout
 from repro.serve.refiller import PoolRefiller
-from repro.serve.server import PendingRequest, RemoteSessionRequest, ServingServer
+from repro.serve.server import (
+    CheckpointSessionRequest,
+    PendingRequest,
+    RemoteSessionRequest,
+    ServingServer,
+)
 
 __all__ = [
+    "CheckpointSessionRequest",
     "PendingRequest",
     "PoolRefiller",
     "RemoteSessionRequest",
     "ServingConfig",
     "ServingServer",
+    "resolve_reaper_timeout",
 ]

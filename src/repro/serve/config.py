@@ -2,9 +2,42 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+
+REAPER_TIMEOUT_ENV = "REPRO_REAPER_TIMEOUT_S"
+
+#: Gateway default: how long a connection may sit without completing
+#: its handshake before the session reaper closes it.
+DEFAULT_REAPER_TIMEOUT_S = 10.0
+
+
+def resolve_reaper_timeout(
+    explicit: float | None = None, configured: float | None = None
+) -> float:
+    """Reaper-timeout precedence: explicit argument >
+    ``ServingConfig.reaper_timeout_s`` > ``REPRO_REAPER_TIMEOUT_S`` >
+    the built-in default."""
+    if explicit is not None:
+        return explicit
+    if configured is not None:
+        return configured
+    env = os.environ.get(REAPER_TIMEOUT_ENV)
+    if env is not None and env != "":
+        try:
+            value = float(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{REAPER_TIMEOUT_ENV} must be a number of seconds, got {env!r}"
+            ) from None
+        if value <= 0:
+            raise ConfigurationError(
+                f"{REAPER_TIMEOUT_ENV} must be positive, got {value}"
+            )
+        return value
+    return DEFAULT_REAPER_TIMEOUT_S
 
 
 @dataclass(frozen=True)
@@ -22,6 +55,16 @@ class ServingConfig:
     sessions run under this config (``None`` defers to the
     ``REPRO_RECV_TIMEOUT_S`` environment variable, then the channel
     default — see :func:`repro.gc.channel.resolve_recv_timeout`).
+
+    Recovery knobs (PR 4): ``reaper_timeout_s`` feeds the gateway's
+    half-open-session reaper (``None`` defers to
+    ``REPRO_REAPER_TIMEOUT_S`` then the default); ``retry_after_s`` is
+    the backoff hint a load-shedding gateway sends with
+    ``net.retry_after``; ``resume_window_s`` is how long a broken v3
+    session waits parked for the client to reconnect before giving up;
+    ``drain_timeout_s`` is the SIGTERM drain deadline;
+    ``replay_buffer_frames`` bounds the per-endpoint resume replay
+    buffer; ``checkpoint_ttl_s`` is the session-store eviction horizon.
     """
 
     workers: int = 4
@@ -32,6 +75,12 @@ class ServingConfig:
     #: refiller fallback poll period; it is normally woken by the server
     refill_poll_s: float = 0.05
     recv_timeout_s: float | None = None
+    reaper_timeout_s: float | None = None
+    retry_after_s: float = 0.25
+    resume_window_s: float = 5.0
+    drain_timeout_s: float = 10.0
+    replay_buffer_frames: int = 4096
+    checkpoint_ttl_s: float = 300.0
 
     def validate(self) -> "ServingConfig":
         if self.workers < 1:
@@ -46,4 +95,16 @@ class ServingConfig:
             raise ConfigurationError("refill poll period must be positive")
         if self.recv_timeout_s is not None and self.recv_timeout_s <= 0:
             raise ConfigurationError("receive timeout must be positive")
+        if self.reaper_timeout_s is not None and self.reaper_timeout_s <= 0:
+            raise ConfigurationError("reaper timeout must be positive")
+        if self.retry_after_s <= 0:
+            raise ConfigurationError("retry-after hint must be positive")
+        if self.resume_window_s <= 0:
+            raise ConfigurationError("resume window must be positive")
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError("drain timeout must be positive")
+        if self.replay_buffer_frames < 1:
+            raise ConfigurationError("replay buffer must hold at least one frame")
+        if self.checkpoint_ttl_s <= 0:
+            raise ConfigurationError("checkpoint TTL must be positive")
         return self

@@ -17,7 +17,12 @@ import time
 
 import numpy as np
 
-from repro.errors import ConfigurationError, GCProtocolError, ServingError
+from repro.errors import (
+    ConfigurationError,
+    GCProtocolError,
+    OverloadedError,
+    ServingError,
+)
 from repro.host import AnalyticsClient, CloudServer
 from repro.serve.config import ServingConfig
 from repro.serve.refiller import PoolRefiller
@@ -91,17 +96,63 @@ class RemoteSessionRequest(PendingRequest):
 
     retryable = False
 
-    def __init__(self, row_index: int, endpoint, deadline: float):
+    def __init__(self, row_index: int, endpoint, deadline: float,
+                 on_round=None, on_run=None):
         super().__init__(row_index, None, deadline)
         self.endpoint = endpoint
         self.start_gate = threading.Event()
+        #: recovery hooks forwarded to :meth:`CloudServer.serve_row` —
+        #: the gateway checkpoints the session through these
+        self.on_round = on_round
+        self.on_run = on_run
 
     def _execute(self, client: AnalyticsClient):
         if not self.start_gate.wait(timeout=max(0.0, self.deadline - time.perf_counter())):
             raise ServingError(
                 f"remote session for row {self.row_index} never released its start gate"
             )
-        client.server.serve_row(self.endpoint, self.row_index)
+        client.server.serve_row(
+            self.endpoint, self.row_index,
+            on_round=self.on_round, on_run=self.on_run,
+        )
+        return True
+
+
+class CheckpointSessionRequest(PendingRequest):
+    """Resume a checkpointed remote session: stream only the remaining
+    rounds from stored material (:mod:`repro.recover`) — no garbling.
+
+    Shares the ``start_gate`` discipline with
+    :class:`RemoteSessionRequest`: the gateway's ``net.resume_ok`` must
+    be on the wire before the first re-streamed table.
+    """
+
+    retryable = False
+
+    def __init__(self, checkpoint, endpoint, group, deadline: float,
+                 on_round=None):
+        super().__init__(checkpoint.row_index, None, deadline)
+        self.checkpoint = checkpoint
+        self.endpoint = endpoint
+        self.group = group
+        self.start_gate = threading.Event()
+        self.on_round = on_round
+
+    def _execute(self, client: AnalyticsClient):
+        from repro.recover.checkpoint import serve_from_checkpoint
+
+        if not self.start_gate.wait(timeout=max(0.0, self.deadline - time.perf_counter())):
+            raise ServingError(
+                f"resumed session for row {self.row_index} never released "
+                "its start gate"
+            )
+        serve_from_checkpoint(
+            self.endpoint,
+            self.checkpoint,
+            self.group,
+            on_round=self.on_round,
+            telemetry=client.server.telemetry,
+        )
         return True
 
 
@@ -222,7 +273,8 @@ class ServingServer:
         return self._enqueue(req, block)
 
     def submit_remote(
-        self, row_index: int, endpoint, block: bool = False
+        self, row_index: int, endpoint, block: bool = False,
+        on_round=None, on_run=None,
     ) -> RemoteSessionRequest:
         """Enqueue a remote evaluator session (the gateway's entry point).
 
@@ -230,12 +282,35 @@ class ServingServer:
         set, so the caller can first acknowledge the query on the same
         wire.  Remote sessions default to non-blocking submission: the
         gateway turns backpressure into an immediate typed reply instead
-        of holding the client's socket silent.
+        of holding the client's socket silent.  ``on_round``/``on_run``
+        are the checkpointing hooks threaded through to
+        :meth:`CloudServer.serve_row`.
         """
         req = RemoteSessionRequest(
             row_index,
             endpoint,
             deadline=time.perf_counter() + self.config.request_timeout_s,
+            on_round=on_round,
+            on_run=on_run,
+        )
+        return self._enqueue(req, block)
+
+    def submit_resume(
+        self, checkpoint, endpoint, group, block: bool = False, on_round=None
+    ) -> CheckpointSessionRequest:
+        """Enqueue the remaining rounds of a checkpointed session.
+
+        Resume traffic goes through the same bounded queue as fresh
+        queries — a saturated gateway sheds resumes with the same
+        ``retry_after`` discipline rather than letting them bypass
+        admission control.
+        """
+        req = CheckpointSessionRequest(
+            checkpoint,
+            endpoint,
+            group,
+            deadline=time.perf_counter() + self.config.request_timeout_s,
+            on_round=on_round,
         )
         return self._enqueue(req, block)
 
@@ -249,7 +324,7 @@ class ServingServer:
                 self._queue.put_nowait(req)
         except queue.Full:
             self.telemetry.counter("serve.rejected").inc()
-            raise ServingError(
+            raise OverloadedError(
                 f"request queue full ({self.config.queue_depth} deep): backpressure"
             ) from None
         self.telemetry.counter("serve.submitted").inc()

@@ -19,6 +19,7 @@ Pieces:
 """
 
 from repro.testkit.chaos import (
+    PROFILES,
     ChaosConfig,
     ChaosReport,
     ChaosRunner,
@@ -27,13 +28,17 @@ from repro.testkit.chaos import (
 from repro.testkit.endpoint import TRANSPORTS, FaultyEndpoint, faulty_pair
 from repro.testkit.faults import (
     ALL_FAULT_KINDS,
+    DISCONNECT,
     ENDPOINT_FAULT_KINDS,
     ENVIRONMENT_FAULT_KINDS,
+    RECOVERY_FAULT_KINDS,
     RETRYABLE_KINDS,
+    SHED,
     FaultPlan,
     FaultSpec,
 )
 from repro.testkit.oracle import (
+    RECOVERED,
     SURFACED,
     TOLERATED,
     VIOLATION,
@@ -47,12 +52,17 @@ __all__ = [
     "ChaosReport",
     "ChaosRunner",
     "ConformanceOracle",
+    "DISCONNECT",
     "ENDPOINT_FAULT_KINDS",
     "ENVIRONMENT_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "FaultyEndpoint",
+    "PROFILES",
+    "RECOVERED",
+    "RECOVERY_FAULT_KINDS",
     "RETRYABLE_KINDS",
+    "SHED",
     "SURFACED",
     "SessionVerdict",
     "TOLERATED",

@@ -27,11 +27,18 @@ from repro.testkit.endpoint import TRANSPORTS
 from repro.testkit.faults import FaultPlan
 from repro.testkit.oracle import (
     ConformanceOracle,
+    RECOVERED,
     SessionVerdict,
     SURFACED,
     TOLERATED,
     VIOLATION,
 )
+
+#: Chaos fault profiles: ``default`` draws from the classic wire +
+#: environment kinds (its seed → plan mapping is pinned and must never
+#: change); ``recovery`` draws disconnect/shed/stall plans that
+#: exercise the protocol-v3 resume machinery.
+PROFILES = ("default", "recovery")
 
 #: mixes the master seed with a session index (distinct from the
 #: workload stream's mixer so plan and workload are independent draws)
@@ -59,8 +66,13 @@ class ChaosConfig:
     rows: int = 4
     rounds: int = 2
     pool_size: int = 2
+    profile: str = "default"
 
     def validate(self) -> "ChaosConfig":
+        if self.profile not in PROFILES:
+            raise ConfigurationError(
+                f"unknown chaos profile '{self.profile}' (profiles: {PROFILES})"
+            )
         if self.sessions < 1:
             raise ConfigurationError("a chaos run needs at least one session")
         if not self.transports:
@@ -91,7 +103,7 @@ class ChaosReport:
 
     @property
     def counts(self) -> dict:
-        out = {TOLERATED: 0, SURFACED: 0, VIOLATION: 0}
+        out = {TOLERATED: 0, SURFACED: 0, VIOLATION: 0, RECOVERED: 0}
         for v in self.verdicts:
             out[v.verdict] += 1
         return out
@@ -112,14 +124,18 @@ class ChaosReport:
         c = self.counts
         lines = [
             f"chaos run: seed={self.config.seed} sessions={self.config.sessions} "
+            f"profile={self.config.profile} "
             f"transports={','.join(self.config.transports)}",
-            f"verdicts: {c[TOLERATED]} tolerated, {c[SURFACED]} surfaced, "
-            f"{c[VIOLATION]} violations",
+            f"verdicts: {c[TOLERATED]} tolerated, {c[RECOVERED]} recovered, "
+            f"{c[SURFACED]} surfaced, {c[VIOLATION]} violations",
             "",
         ]
         for v in self.verdicts:
             plan = FaultPlan.from_dict(v.plan)
-            marker = {TOLERATED: "ok ", SURFACED: "err", VIOLATION: "XXX"}[v.verdict]
+            marker = {
+                TOLERATED: "ok ", RECOVERED: "rec", SURFACED: "err",
+                VIOLATION: "XXX",
+            }[v.verdict]
             lines.append(
                 f"  [{marker}] session {v.session:3d} ({v.transport:7s}) "
                 f"{plan.describe():<42s} -> {v.verdict}"
@@ -153,7 +169,13 @@ class ChaosReport:
             "transports": list(self.config.transports),
             "recv_timeout_s": self.config.recv_timeout_s,
             "deadline_s": self.config.deadline_s,
+            "max_retries": self.config.max_retries,
+            "rows": self.config.rows,
+            "rounds": self.config.rounds,
+            "pool_size": self.config.pool_size,
+            "profile": self.config.profile,
             "tolerated": c[TOLERATED],
+            "recovered": c[RECOVERED],
             "surfaced": c[SURFACED],
             "violations": c[VIOLATION],
         }
@@ -191,9 +213,13 @@ class ChaosRunner:
 
     # ------------------------------------------------------------------
     def plan_for(self, session: int) -> FaultPlan:
+        session_seed = derive_session_seed(self.config.seed, session)
+        if self.config.profile == "recovery":
+            return FaultPlan.random_recovery(
+                session_seed, recv_timeout_s=self.config.recv_timeout_s
+            )
         return FaultPlan.random(
-            derive_session_seed(self.config.seed, session),
-            recv_timeout_s=self.config.recv_timeout_s,
+            session_seed, recv_timeout_s=self.config.recv_timeout_s
         )
 
     def workload_for(self, session: int) -> tuple[int, list[float]]:
@@ -226,6 +252,77 @@ class ChaosRunner:
             verdicts=verdicts,
             telemetry_text=render_text(
                 self.telemetry.snapshot(), title="chaos telemetry"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay(
+        cls,
+        path,
+        telemetry: MetricsRegistry | None = None,
+        progress=None,
+    ) -> ChaosReport:
+        """Re-execute the exact fault plans a chaos run logged.
+
+        The JSONL log's header record rebuilds the run's config (so the
+        server, workloads, and timeouts match the original), and each
+        session record's serialized plan is re-run as-is — no re-draw
+        from the seed, so a log from an older build replays faithfully
+        even if plan generation has since changed.  The returned
+        report's ``ok`` reflects the *re-execution*: a fixed bug replays
+        green, a live one replays red.
+        """
+        records = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"corrupt chaos replay log {path}: {exc}"
+                    ) from exc
+        header = next(
+            (r for r in records if r.get("record") == "chaos_header"), None
+        )
+        if header is None:
+            raise ConfigurationError(
+                f"chaos replay log {path} has no chaos_header record"
+            )
+        sessions = [r for r in records if r.get("record") == "session"]
+        config = ChaosConfig(
+            sessions=max(1, len(sessions)),
+            seed=int(header["seed"]),
+            transports=tuple(header["transports"]),
+            recv_timeout_s=float(header["recv_timeout_s"]),
+            deadline_s=float(header["deadline_s"]),
+            max_retries=int(header.get("max_retries", 1)),
+            rows=int(header.get("rows", 4)),
+            rounds=int(header.get("rounds", 2)),
+            pool_size=int(header.get("pool_size", 2)),
+            profile=str(header.get("profile", "default")),
+        )
+        runner = cls(config, telemetry=telemetry)
+        verdicts = []
+        for rec in sessions:
+            session = int(rec.get("session", len(verdicts)))
+            plan = FaultPlan.from_dict(rec["plan"])
+            row, x = runner.workload_for(session)
+            verdict = runner.oracle.run_session(
+                plan, row, x, runner.transport_for(session)
+            )
+            verdict.session = session
+            verdicts.append(verdict)
+            if progress is not None:
+                progress(verdict)
+        return ChaosReport(
+            config=config,
+            verdicts=verdicts,
+            telemetry_text=render_text(
+                runner.telemetry.snapshot(), title="chaos replay telemetry"
             ),
         )
 

@@ -40,9 +40,16 @@ EXHAUST_POOL = "exhaust_pool"        #: drain the pre-garbled pool first
 KILL_WORKER = "kill_worker"          #: poison request aimed at a worker
 ABORT_HANDSHAKE = "abort_handshake"  #: client drops mid-negotiation
 
+# -- recovery faults (protocol v3, :mod:`repro.recover`) ---------------
+DISCONNECT = "disconnect"  #: cut the client's wire after frame N; must resume
+SHED = "shed"              #: saturate the gateway queue; must retry after hint
+
 ENDPOINT_FAULT_KINDS = (DROP, CORRUPT, DUPLICATE, DELAY, TRUNCATE, STALL)
 ENVIRONMENT_FAULT_KINDS = (EXHAUST_POOL, KILL_WORKER, ABORT_HANDSHAKE)
-ALL_FAULT_KINDS = ENDPOINT_FAULT_KINDS + ENVIRONMENT_FAULT_KINDS
+RECOVERY_FAULT_KINDS = (DISCONNECT, SHED)
+ALL_FAULT_KINDS = (
+    ENDPOINT_FAULT_KINDS + ENVIRONMENT_FAULT_KINDS + RECOVERY_FAULT_KINDS
+)
 
 #: Faults worth one bounded retry: transient wire gremlins where a
 #: fresh attempt of the whole session is expected to succeed.  A
@@ -94,6 +101,8 @@ class FaultSpec:
             return f"{self.kind}({self.side}@{self.frame}, {self.duration_s:.3g}s)"
         if self.kind == ABORT_HANDSHAKE:
             return f"{self.kind}(after {self.after_frames} frames)"
+        if self.kind == DISCONNECT:
+            return f"{self.kind}(cut@{self.frame})"
         if self.is_endpoint_fault:
             return f"{self.kind}({self.side}@{self.frame})"
         return self.kind
@@ -127,6 +136,11 @@ class FaultPlan:
     def is_environment(self) -> bool:
         """True when the plan attacks the serving stack, not the wire."""
         return any(not f.is_endpoint_fault for f in self.faults)
+
+    @property
+    def is_recovery(self) -> bool:
+        """True when the plan exercises the v3 resume/shed machinery."""
+        return any(f.kind in RECOVERY_FAULT_KINDS for f in self.faults)
 
     @property
     def retryable(self) -> bool:
@@ -201,3 +215,37 @@ class FaultPlan:
                 FaultSpec(kind=kind, side=side, frame=frame, duration_s=duration)
             )
         return cls(faults=tuple(faults), seed=seed)
+
+    @classmethod
+    def random_recovery(
+        cls,
+        seed: int,
+        recv_timeout_s: float = 0.25,
+        max_cut_frame: int = 24,
+    ) -> "FaultPlan":
+        """A reproducible plan from the *recovery* profile: disconnects
+        (weighted highest — the tentpole fault), queue sheds, and stalls.
+
+        Kept separate from :meth:`random` on purpose: the default
+        profile's seed → plan mapping is pinned by the determinism
+        tests, and adding kinds to its draw stream would silently remap
+        every historical seed.
+        """
+        rng = random.Random(seed)
+        kind = rng.choice((DISCONNECT, DISCONNECT, SHED, STALL))
+        if kind == DISCONNECT:
+            spec = FaultSpec(
+                kind=DISCONNECT,
+                side="evaluator",
+                frame=rng.randint(1, max_cut_frame),
+            )
+        elif kind == SHED:
+            spec = FaultSpec(kind=SHED)
+        else:
+            spec = FaultSpec(
+                kind=STALL,
+                side=rng.choice(SIDES),
+                frame=rng.randint(0, 8),
+                duration_s=round(4.0 * recv_timeout_s, 4),
+            )
+        return cls(faults=(spec,), seed=seed)

@@ -34,22 +34,31 @@ from repro.bits import from_bits, to_bits
 from repro.errors import HandshakeError, ReproError, ServingError
 from repro.gc.channel import run_two_party
 from repro.gc.sequential_gc import SequentialEvaluator
+from repro.host import CloudServer
+from repro.net.client import RemoteAnalyticsClient
 from repro.net.endpoint import SocketEndpoint
 from repro.net.gateway import GCGateway
 from repro.net.handshake import HELLO_TAG, PROTOCOL_VERSION
+from repro.recover.endpoint import BackoffPolicy
 from repro.serve import PendingRequest, ServingConfig, ServingServer
 from repro.telemetry import MetricsRegistry
 from repro.testkit.endpoint import faulty_pair
 from repro.testkit.faults import (
     ABORT_HANDSHAKE,
+    DISCONNECT,
     EXHAUST_POOL,
     FaultPlan,
     KILL_WORKER,
+    SHED,
 )
 
 TOLERATED = "tolerated"
 SURFACED = "surfaced"
 VIOLATION = "violation"
+#: The fourth outcome (protocol v3): the session lost its wire (or was
+#: shed) mid-query and still finished with the bit-identical result —
+#: without re-garbling any completed round.
+RECOVERED = "recovered"
 
 
 @dataclass
@@ -96,6 +105,20 @@ class SessionVerdict:
         }
 
 
+class _BlockerRequest(PendingRequest):
+    """Occupies a worker (or a queue slot) until released — the
+    ``shed`` fault's way of saturating admission control."""
+
+    retryable = False
+
+    def __init__(self, release: threading.Event, deadline: float):
+        super().__init__(0, None, deadline)
+        self._release = release
+
+    def _execute(self, client):
+        self._release.wait(timeout=30.0)
+
+
 class PoisonRequest(PendingRequest):
     """A request whose execution raises an untyped exception — the
     ``kill_worker`` fault.  Pre-hardening this killed the worker thread;
@@ -140,6 +163,8 @@ class ConformanceOracle:
             verdict = self.run_worker_poison(plan, row, x_values)
         elif EXHAUST_POOL in plan.kinds:
             verdict = self.run_pool_exhaustion(plan, row, x_values, transport)
+        elif plan.is_recovery:
+            verdict = self.run_gateway_recovery(plan, row, x_values)
         else:
             verdict = self.run_channel_session(plan, row, x_values, transport)
         self.telemetry.counter(
@@ -147,6 +172,7 @@ class ConformanceOracle:
                 TOLERATED: "faults.tolerated",
                 SURFACED: "faults.surfaced",
                 VIOLATION: "faults.violations",
+                RECOVERED: "faults.recovered",
             }[verdict.verdict]
         ).inc()
         return verdict
@@ -392,6 +418,177 @@ class ConformanceOracle:
             )
         finally:
             gateway.stop()
+
+    # ------------------------------------------------------------------
+    # recovery faults (protocol v3)
+    # ------------------------------------------------------------------
+    def run_gateway_recovery(self, plan: FaultPlan, row: int, x_values) -> SessionVerdict:
+        """Cut or shed a live gateway session; the query must still end
+        with the bit-identical result — and without re-garbling.
+
+        The run gets its own :class:`CloudServer` with ``pool_size=0``
+        so ``runs_garbled`` is an exact oracle: one query, resumed or
+        not, must garble exactly once.  A delta of 2 means a completed
+        round was re-garbled, which is both wasted accelerator work and
+        a label-reuse hazard.
+        """
+        start = time.perf_counter()
+        spec = next(f for f in plan.faults if f.kind in (DISCONNECT, SHED))
+        injected: list[str] = []
+        self.telemetry.counter(f"faults.injected.{spec.kind}").inc()
+        expected = self._expected(row, x_values)
+        rec_server = CloudServer(
+            self.server.model,
+            self.server.fmt,
+            pool_size=0,
+            seed=plan.seed,
+            auto_refill=False,
+            telemetry=self.telemetry,
+        )
+        recv_timeout = max(1.0, 8.0 * self.recv_timeout_s)
+        config = ServingConfig(
+            workers=1,
+            queue_depth=1,
+            refill=False,
+            recv_timeout_s=recv_timeout,
+            request_timeout_s=self.deadline_s,
+            resume_window_s=self.deadline_s,
+            retry_after_s=0.02,
+        )
+        serving = ServingServer(rec_server, config, telemetry=self.telemetry)
+        gateway = GCGateway(rec_server, serving=serving, telemetry=self.telemetry)
+        serving.start()
+        client = None
+        release = threading.Event()
+        try:
+            def dial():
+                ours, theirs = socket.socketpair()
+                gateway.adopt(theirs)
+                return SocketEndpoint(
+                    "chaos-recovery", ours, recv_timeout_s=recv_timeout
+                )
+
+            client = RemoteAnalyticsClient(
+                dial=dial,
+                name="chaos-recovery",
+                backoff=BackoffPolicy(
+                    base_s=0.01, cap_s=0.1, max_attempts=10, seed=plan.seed
+                ),
+                recv_timeout_s=recv_timeout,
+            )
+            if spec.kind == SHED:
+                self._saturate(serving, release)
+            garbled_before = rec_server.stats.runs_garbled
+            box: dict = {}
+
+            def attempt():
+                try:
+                    box["value"] = client.query_row(row, x_values)
+                except BaseException as exc:
+                    box["error"] = exc
+
+            worker = threading.Thread(
+                target=attempt, daemon=True, name="oracle-recovery"
+            )
+            worker.start()
+            if spec.kind == DISCONNECT:
+                cut = self._cut_after_frame(client, spec.frame, worker)
+                if cut:
+                    injected.append(f"{DISCONNECT}:cut@{spec.frame}")
+            else:
+                # the queue is saturated, so the first QUERY is shed;
+                # release the blockers once the shed reply went out
+                self._await_counter("gateway.shed", worker)
+                injected.append(f"{SHED}:queue_full")
+                release.set()
+            worker.join(timeout=self.deadline_s)
+            if worker.is_alive():
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    "recovery session exceeded its deadline (hang)",
+                    injected=injected, start=start,
+                )
+            if "error" in box:
+                exc = box["error"]
+                if isinstance(exc, ReproError):
+                    return self._verdict(
+                        plan, "gateway", SURFACED,
+                        f"typed error within deadline: {exc}",
+                        error_type=type(exc).__name__,
+                        injected=injected, start=start,
+                    )
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    f"untyped exception escaped: {type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    injected=injected, start=start,
+                )
+            if abs(box["value"] - expected) >= 1e-9:
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    f"silent wrong MAC result after recovery: "
+                    f"got {box['value']}, expected {expected}",
+                    injected=injected, start=start,
+                )
+            garbled = rec_server.stats.runs_garbled - garbled_before
+            if garbled != 1:
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    f"query garbled {garbled} runs (expected exactly 1): "
+                    "a completed round was re-garbled",
+                    injected=injected, start=start,
+                )
+            resumes = getattr(client.endpoint, "resumes", 0)
+            if injected and (resumes >= 1 or spec.kind == SHED):
+                return self._verdict(
+                    plan, "gateway", RECOVERED,
+                    "fault hit a live session; query finished bit-identical "
+                    "without re-garbling",
+                    attempts=1 + resumes, injected=injected, start=start,
+                )
+            return self._verdict(
+                plan, "gateway", TOLERATED,
+                "fault never fired (cut frame beyond the session); clean run",
+                injected=injected, start=start,
+            )
+        finally:
+            release.set()
+            if client is not None:
+                client.close()
+            gateway.stop()
+            serving.stop()
+
+    def _cut_after_frame(self, client, frame: int, worker) -> bool:
+        """Close the client's transport once it has verified ``frame``
+        session frames; returns False if the query finished first."""
+        deadline = time.monotonic() + self.deadline_s
+        while time.monotonic() < deadline and worker.is_alive():
+            endpoint = client.endpoint
+            if endpoint.recv_seq >= frame:
+                endpoint.transport.close()
+                return True
+            time.sleep(0.001)
+        return False
+
+    def _await_counter(self, name: str, worker, minimum: int = 1) -> None:
+        deadline = time.monotonic() + self.deadline_s
+        while time.monotonic() < deadline and worker.is_alive():
+            if self.telemetry.counter(name).value >= minimum:
+                return
+            time.sleep(0.001)
+
+    def _saturate(self, serving, release: threading.Event) -> None:
+        """Fill the 1-worker/depth-1 serving layer with requests that
+        block on ``release``, so the next admission must shed."""
+        deadline = time.perf_counter() + self.deadline_s
+
+        first = _BlockerRequest(release, deadline)
+        serving._enqueue(first, block=True)
+        # wait until the worker picked it up, then fill the queue slot
+        wait_until = time.monotonic() + self.deadline_s
+        while time.monotonic() < wait_until and not serving._queue.empty():
+            time.sleep(0.001)
+        serving._enqueue(_BlockerRequest(release, deadline), block=True)
 
     # ------------------------------------------------------------------
     def _expected(self, row: int, x_values) -> float:

@@ -1,0 +1,166 @@
+"""Frames split at every byte boundary must reassemble bit-identically.
+
+TCP gives no framing guarantees: a sender's single ``sendall`` may
+arrive as any sequence of partial reads.  These tests force the worst
+case — every possible split point, including mid-magic, mid-length,
+mid-tag, mid-payload, and mid-CRC-trailer — and require the receiver
+to reconstruct the exact (tag, body) pair with the integrity trailer
+verifying.  Parametrized over v2-style frames (counters from zero) and
+v3-style frames (counters restored mid-stream, as after a resume).
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.gc.channel import message_checksum
+from repro.net.endpoint import SocketEndpoint
+from repro.net.frames import FrameReader, encode_frame
+
+
+def wire_bytes(messages, start_seq=0):
+    """The exact byte stream a SocketEndpoint sender produces."""
+    out = b""
+    for i, (tag, body) in enumerate(messages):
+        wire = body + message_checksum(tag, body, start_seq + i)
+        out += encode_frame(tag, wire)
+    return out
+
+
+class _ChunkedReader:
+    """A read_exact source that honours chunk boundaries: each call
+    returns bytes from the current chunk only, like a socket recv that
+    got a partial segment."""
+
+    def __init__(self, chunks):
+        self.chunks = [c for c in chunks if c]
+        self.pos = 0
+
+    def read(self, n: int) -> bytes:
+        out = b""
+        while len(out) < n and self.chunks:
+            chunk = self.chunks[0]
+            take = min(n - len(out), len(chunk) - self.pos)
+            out += chunk[self.pos : self.pos + take]
+            self.pos += take
+            if self.pos == len(self.chunks[0]):
+                self.chunks.pop(0)
+                self.pos = 0
+        return out
+
+
+# v2: a fresh session, counters from zero.  v3: the same messages as a
+# resumed stream — counters restored to mid-session values, which the
+# sequence-mixed CRC trailers must reflect.
+SCENARIOS = {
+    "v2-fresh": 0,
+    "v3-resumed": 17,
+}
+
+MESSAGES = [
+    ("net.query", b'{"row": 1}'),
+    ("seq.tables", bytes(range(256)) * 2),
+    ("seq.garbler_labels", (123456789).to_bytes(16, "big") * 3),
+    ("net.resume_ok", b'{"mode": "rebind", "last_acked_seq": 4}'),
+    ("seq.output_map", b"\x01\x00\x01"),
+]
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+class TestEveryByteBoundary:
+    def test_two_way_split_reassembles_bit_identically(self, scenario):
+        start_seq = SCENARIOS[scenario]
+        stream = wire_bytes(MESSAGES, start_seq)
+        for cut in range(len(stream) + 1):
+            reader = _ChunkedReader([stream[:cut], stream[cut:]])
+            frames = []
+            fr = FrameReader(reader.read)
+            for _ in MESSAGES:
+                frames.append(fr.read_frame())
+            for (tag, body), (sent_tag, sent_body) in zip(frames, MESSAGES):
+                assert tag == sent_tag
+                # bit-identical: body + the original sequence-mixed trailer
+                expected_wire = sent_body + message_checksum(
+                    sent_tag, sent_body,
+                    start_seq + MESSAGES.index((sent_tag, sent_body)),
+                )
+                assert body == expected_wire
+
+    def test_byte_at_a_time_dribble(self, scenario):
+        start_seq = SCENARIOS[scenario]
+        stream = wire_bytes(MESSAGES, start_seq)
+        reader = _ChunkedReader([bytes([b]) for b in stream])
+        fr = FrameReader(reader.read)
+        for sent_tag, sent_body in MESSAGES:
+            tag, body = fr.read_frame()
+            assert tag == sent_tag
+            assert body[: -4] == sent_body
+
+
+class TestSocketEndpointReassembly:
+    """The real transport: a dribbling sender against SocketEndpoint's
+    read loop, with the endpoint's own trailer verification engaged."""
+
+    @pytest.mark.parametrize("start_seq", sorted(SCENARIOS.values()))
+    def test_dribbled_frames_verify_and_decode(self, start_seq):
+        ours, theirs = socket.socketpair()
+        receiver = SocketEndpoint("rx", theirs, recv_timeout_s=10.0)
+        receiver.restore_sequences(0, start_seq)
+        stream = wire_bytes(MESSAGES, start_seq)
+
+        def dribble():
+            for i in range(0, len(stream), 7):  # prime stride: frames
+                ours.sendall(stream[i : i + 7])  # never align to chunks
+
+        t = threading.Thread(target=dribble)
+        t.start()
+        try:
+            for sent_tag, sent_body in MESSAGES:
+                assert receiver.recv(sent_tag) == sent_body
+        finally:
+            t.join(timeout=10.0)
+            receiver.close()
+            ours.close()
+
+    def test_split_inside_the_integrity_trailer(self):
+        """The nastiest cut: the frame body arrives whole except the
+        last CRC byte.  The receiver must block, not mis-verify."""
+        ours, theirs = socket.socketpair()
+        receiver = SocketEndpoint("rx", theirs, recv_timeout_s=10.0)
+        stream = wire_bytes([("seq.tables", b"\xaa" * 64)])
+        got = {}
+
+        def rx():
+            got["body"] = receiver.recv("seq.tables")
+
+        t = threading.Thread(target=rx)
+        ours.sendall(stream[:-1])
+        t.start()
+        t.join(timeout=0.3)
+        assert t.is_alive()  # still waiting on the final trailer byte
+        ours.sendall(stream[-1:])
+        t.join(timeout=10.0)
+        assert got["body"] == b"\xaa" * 64
+        receiver.close()
+        ours.close()
+
+
+class TestRoundTripThroughRealSender:
+    """Sender-side SocketEndpoint output is exactly wire_bytes()."""
+
+    @pytest.mark.parametrize("start_seq", sorted(SCENARIOS.values()))
+    def test_sender_bytes_are_pinned(self, start_seq):
+        ours, theirs = socket.socketpair()
+        sender = SocketEndpoint("tx", ours, recv_timeout_s=5.0)
+        sender.restore_sequences(start_seq, 0)
+        for tag, body in MESSAGES:
+            sender.send(tag, body)
+        expected = wire_bytes(MESSAGES, start_seq)
+        theirs.settimeout(5.0)
+        raw = b""
+        while len(raw) < len(expected):
+            raw += theirs.recv(1 << 16)
+        assert raw == expected
+        sender.close()
+        theirs.close()

@@ -1,0 +1,154 @@
+"""Session stores: TTL eviction, JSONL persistence, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.recover import (
+    InMemorySessionStore,
+    JsonlSessionStore,
+    RoundMaterial,
+    SessionCheckpoint,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def make_checkpoint(sid="s-1", rounds=2, next_round=0) -> SessionCheckpoint:
+    materials = [
+        RoundMaterial(
+            round_index=r,
+            tables=bytes(range(32)) * (r + 1),
+            garbler_labels=[r * 10 + 1, r * 10 + 2],
+            const_labels=[7],
+            evaluator_pairs=[(100 + r, 200 + r)],
+            state_labels=[1, 2, 3] if r == 0 else None,
+        )
+        for r in range(rounds)
+    ]
+    cp = SessionCheckpoint(
+        session_id=sid,
+        row_index=1,
+        rounds=rounds,
+        next_round=0,
+        materials=materials,
+        output_permute_bits=[0, 1, 1, 0],
+        client_name="tester",
+    )
+    if next_round:
+        cp.advance(next_round, send_seq=5, recv_seq=3)
+    return cp
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestInMemoryStore:
+    def test_put_get_delete_roundtrip(self):
+        store = InMemorySessionStore(ttl_s=60.0)
+        cp = make_checkpoint("s-a")
+        store.put(cp)
+        assert store.get("s-a") is cp
+        assert len(store) == 1
+        assert store.delete("s-a") is True
+        assert store.get("s-a") is None
+        assert store.delete("s-a") is False
+
+    def test_ttl_evicts_stale_checkpoints(self):
+        clock = FakeClock()
+        tm = MetricsRegistry()
+        store = InMemorySessionStore(ttl_s=10.0, telemetry=tm, clock=clock)
+        store.put(make_checkpoint("s-old"))
+        clock.now += 11.0
+        store.put(make_checkpoint("s-new"))
+        assert store.get("s-old") is None
+        assert store.get("s-new") is not None
+        assert tm.counter("recover.store.evicted").value == 1
+        assert tm.counter("recover.store.puts").value == 2
+
+    def test_fresh_entries_survive_a_sweep(self):
+        clock = FakeClock()
+        store = InMemorySessionStore(ttl_s=10.0, clock=clock)
+        store.put(make_checkpoint("s-a"))
+        clock.now += 5.0
+        assert store.sweep() == 0
+        assert store.get("s-a") is not None
+        clock.now += 6.0
+        assert store.sweep() == 1
+        assert len(store) == 0
+
+    def test_put_refreshes_the_ttl_clock(self):
+        clock = FakeClock()
+        store = InMemorySessionStore(ttl_s=10.0, clock=clock)
+        store.put(make_checkpoint("s-a"))
+        clock.now += 8.0
+        store.put(make_checkpoint("s-a", next_round=1))
+        clock.now += 8.0  # 16s after first put, 8s after refresh
+        assert store.get("s-a") is not None
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ConfigurationError, match="TTL"):
+            InMemorySessionStore(ttl_s=0.0)
+
+
+class TestJsonlStore:
+    def test_checkpoints_survive_a_process_restart(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        cp = make_checkpoint("s-persist", rounds=2, next_round=1)
+        store.put(cp)
+        # a brand-new store instance (the restarted gateway) reloads it
+        reloaded = JsonlSessionStore(path, ttl_s=60.0)
+        got = reloaded.get("s-persist")
+        assert got is not None
+        assert got.to_dict() == cp.to_dict()
+
+    def test_delete_tombstones_survive_reload(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        store.put(make_checkpoint("s-a"))
+        store.put(make_checkpoint("s-b"))
+        store.delete("s-a")
+        reloaded = JsonlSessionStore(path, ttl_s=60.0)
+        assert reloaded.get("s-a") is None
+        assert reloaded.get("s-b") is not None
+
+    def test_last_put_wins_on_reload(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        store.put(make_checkpoint("s-a", rounds=2, next_round=0))
+        store.put(make_checkpoint("s-a", rounds=2, next_round=1))
+        reloaded = JsonlSessionStore(path, ttl_s=60.0)
+        assert reloaded.get("s-a").next_round == 1
+
+    def test_corrupt_log_line_fails_typed(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        JsonlSessionStore(path, ttl_s=60.0).put(make_checkpoint("s-a"))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ConfigurationError, match="corrupt checkpoint log"):
+            JsonlSessionStore(path, ttl_s=60.0)
+
+    def test_compact_rewrites_to_live_entries_only(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        for i in range(4):
+            store.put(make_checkpoint(f"s-{i}"))
+        for i in range(3):
+            store.delete(f"s-{i}")
+        assert sum(1 for _ in open(path)) == 7  # 4 puts + 3 tombstones
+        store.compact()
+        lines = [json.loads(l) for l in open(path)]
+        assert len(lines) == 1
+        assert lines[0]["checkpoint"]["session_id"] == "s-3"
+        # and the compacted file still reloads
+        assert JsonlSessionStore(path, ttl_s=60.0).get("s-3") is not None
+
+    def test_missing_file_means_empty_store(self, tmp_path):
+        store = JsonlSessionStore(tmp_path / "absent.jsonl", ttl_s=60.0)
+        assert len(store) == 0

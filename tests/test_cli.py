@@ -60,6 +60,40 @@ def test_sweep(capsys):
     assert "MAXelerator" in out and "64" in out
 
 
+def test_chaos_recovery_profile(capsys):
+    out = run_cli(
+        capsys,
+        "chaos",
+        "--profile", "recovery",
+        "--sessions", "2",
+        "--seed", "3",
+        "--deadline", "30.0",
+    )
+    assert "profile=recovery" in out
+    assert "0 violations" in out
+
+
+def test_chaos_log_and_replay_roundtrip(capsys, tmp_path):
+    log = tmp_path / "replay.jsonl"
+    out = run_cli(
+        capsys,
+        "chaos",
+        "--sessions", "2",
+        "--seed", "1",
+        "--transports", "memory",
+        "--log", str(log),
+    )
+    assert "chaos run" in out
+    assert log.exists()
+    replay_out = run_cli(capsys, "chaos", "--replay", str(log))
+    assert "0 violations" in replay_out
+
+
+def test_chaos_unknown_profile_rejected():
+    with pytest.raises(SystemExit):
+        main(["chaos", "--profile", "bogus"])
+
+
 def test_serve(capsys):
     out = run_cli(
         capsys,

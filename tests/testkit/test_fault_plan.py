@@ -7,6 +7,7 @@ from repro.testkit import (
     ALL_FAULT_KINDS,
     ENDPOINT_FAULT_KINDS,
     ENVIRONMENT_FAULT_KINDS,
+    RECOVERY_FAULT_KINDS,
     RETRYABLE_KINDS,
     FaultPlan,
     FaultSpec,
@@ -30,10 +31,15 @@ class TestFaultSpec:
             FaultSpec(kind=DELAY, duration_s=-0.5)
 
     def test_taxonomy_is_complete_and_disjoint(self):
-        assert set(ENDPOINT_FAULT_KINDS) | set(ENVIRONMENT_FAULT_KINDS) == set(
-            ALL_FAULT_KINDS
+        families = (
+            set(ENDPOINT_FAULT_KINDS),
+            set(ENVIRONMENT_FAULT_KINDS),
+            set(RECOVERY_FAULT_KINDS),
         )
-        assert not set(ENDPOINT_FAULT_KINDS) & set(ENVIRONMENT_FAULT_KINDS)
+        assert set().union(*families) == set(ALL_FAULT_KINDS)
+        for i, a in enumerate(families):
+            for b in families[i + 1 :]:
+                assert not a & b
         # every retryable kind is a real kind
         assert RETRYABLE_KINDS <= set(ALL_FAULT_KINDS)
         # corruption is deliberately not retryable: an untrusted channel

@@ -1,0 +1,173 @@
+"""The recovery chaos profile: disconnect/shed plans against a live
+gateway, the fourth ``recovered`` verdict, and replay determinism.
+
+The slow sweep at the bottom is the PR's acceptance gate: a seed-pinned
+>= 20-session recovery run where every session ends recovered,
+tolerated, or surfaced-typed — zero violations, bit-identical MAC
+outputs, no re-garbled rounds (the oracle itself asserts the garble
+count per session).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testkit import (
+    DISCONNECT,
+    RECOVERED,
+    RECOVERY_FAULT_KINDS,
+    SHED,
+    SURFACED,
+    TOLERATED,
+    VIOLATION,
+    ChaosConfig,
+    ChaosReport,
+    ChaosRunner,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+RECOVERY_CONFIG = dict(
+    sessions=4, seed=3, profile="recovery",
+    recv_timeout_s=0.25, deadline_s=30.0,
+)
+
+
+class TestRecoveryPlans:
+    def test_recovery_kinds_are_registered(self):
+        assert DISCONNECT in RECOVERY_FAULT_KINDS
+        assert SHED in RECOVERY_FAULT_KINDS
+
+    def test_random_recovery_is_deterministic(self):
+        a = FaultPlan.random_recovery(42)
+        b = FaultPlan.random_recovery(42)
+        assert a.to_dict() == b.to_dict()
+        assert a.is_recovery or a.faults[0].kind == "stall"
+
+    def test_recovery_plans_serialize_roundtrip(self):
+        plan = FaultPlan.random_recovery(7)
+        assert FaultPlan.from_dict(plan.to_dict()).to_dict() == plan.to_dict()
+
+    def test_default_profile_draw_is_unchanged(self):
+        """Adding the recovery kinds must not remap historical seeds:
+        the classic profile's seed -> plan mapping is pinned."""
+        plan = FaultPlan.random(1234)
+        assert plan.faults[0].kind not in (DISCONNECT, SHED)
+
+
+class TestOracleRecoveryVerdicts:
+    @pytest.fixture
+    def runner(self):
+        return ChaosRunner(ChaosConfig(**RECOVERY_CONFIG))
+
+    def oracle_run(self, runner, plan) -> tuple:
+        row, x = runner.workload_for(0)
+        verdict = runner.oracle.run_session(plan, row, x, "socket")
+        return verdict, row, x
+
+    def test_mid_stream_disconnect_recovers(self, runner):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind=DISCONNECT, side="evaluator", frame=5),),
+            seed=101,
+        )
+        verdict, _, _ = self.oracle_run(runner, plan)
+        assert verdict.verdict == RECOVERED, verdict.detail
+
+    def test_shed_recovers_after_backoff(self, runner):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind=SHED, side="evaluator"),), seed=102
+        )
+        verdict, _, _ = self.oracle_run(runner, plan)
+        assert verdict.verdict == RECOVERED, verdict.detail
+
+    def test_late_cut_frame_is_tolerated_not_violated(self, runner):
+        """A cut scheduled past the session's last frame never fires —
+        that is 'tolerated', and must never be misread as recovery."""
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind=DISCONNECT, side="evaluator", frame=10_000),
+            ),
+            seed=103,
+        )
+        verdict, _, _ = self.oracle_run(runner, plan)
+        assert verdict.verdict in (TOLERATED, RECOVERED)
+        assert verdict.verdict != VIOLATION
+
+    def test_recovered_counter_lands_in_telemetry(self, runner):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind=DISCONNECT, side="evaluator", frame=5),),
+            seed=104,
+        )
+        self.oracle_run(runner, plan)
+        assert runner.telemetry.counter("faults.recovered").value >= 1
+        assert (
+            runner.telemetry.counter(f"faults.injected.{DISCONNECT}").value
+            >= 1
+        )
+
+
+class TestRecoveryChaosRun:
+    def test_small_recovery_run_has_zero_violations(self):
+        report = ChaosRunner(ChaosConfig(**RECOVERY_CONFIG)).run()
+        assert report.ok, report.format()
+        assert sum(report.counts.values()) == RECOVERY_CONFIG["sessions"]
+        assert "profile=recovery" in report.format()
+
+    def test_replay_reproduces_the_recorded_run(self, tmp_path):
+        report = ChaosRunner(ChaosConfig(**RECOVERY_CONFIG)).run()
+        log = tmp_path / "recovery.jsonl"
+        report.write_log(log)
+        replayed = ChaosRunner.replay(log)
+        assert replayed.ok == report.ok
+        assert len(replayed.verdicts) == len(report.verdicts)
+        assert [v.plan for v in replayed.verdicts] == [
+            v.plan for v in report.verdicts
+        ]
+
+    def test_replay_of_corrupt_log_fails_typed(self, tmp_path):
+        log = tmp_path / "broken.jsonl"
+        log.write_text('{"record": "session"\n')
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            ChaosRunner.replay(log)
+
+    def test_replay_without_header_fails_typed(self, tmp_path):
+        log = tmp_path / "headless.jsonl"
+        log.write_text('{"record": "session", "plan": {}}\n')
+        with pytest.raises(ConfigurationError, match="chaos_header"):
+            ChaosRunner.replay(log)
+
+    def test_report_counts_include_recovered(self):
+        report = ChaosReport(config=ChaosConfig(**RECOVERY_CONFIG))
+        assert set(report.counts) == {TOLERATED, SURFACED, VIOLATION, RECOVERED}
+
+
+@pytest.mark.slow
+class TestRecoverySweep:
+    """The acceptance sweep: seed-pinned, >= 20 sessions, all recovery
+    kinds, zero violations, and the machinery demonstrably fired."""
+
+    @pytest.mark.parametrize("seed", [7, 101, 4242])
+    def test_twenty_session_recovery_sweep(self, seed):
+        config = ChaosConfig(
+            sessions=20, seed=seed, profile="recovery",
+            recv_timeout_s=0.25, deadline_s=30.0,
+        )
+        report = ChaosRunner(config).run()
+        assert report.counts[VIOLATION] == 0, report.format()
+        assert report.counts[RECOVERED] >= 1, report.format()
+        # determinism: the same seed reproduces the same verdict stream
+        again = ChaosRunner(config).run()
+        assert [v.verdict for v in again.verdicts] == [
+            v.verdict for v in report.verdicts
+        ]
+
+    def test_sweep_replay_roundtrip(self, tmp_path):
+        config = ChaosConfig(
+            sessions=20, seed=7, profile="recovery",
+            recv_timeout_s=0.25, deadline_s=30.0,
+        )
+        report = ChaosRunner(config).run()
+        log = tmp_path / "sweep.jsonl"
+        report.write_log(log)
+        replayed = ChaosRunner.replay(log)
+        assert replayed.counts[VIOLATION] == 0, replayed.format()
