@@ -187,7 +187,56 @@ def cmd_gateway(args) -> str:
         queue_depth=4 * args.workers,
         recv_timeout_s=args.recv_timeout,
     )
-    with GCGateway(server, host=args.host, port=args.port, config=config) as gateway:
+    store = None
+    if args.store:
+        from repro.recover import JsonlSessionStore
+
+        store = JsonlSessionStore(args.store, telemetry=server.telemetry)
+    if args.gateways > 1:
+        # fleet mode: N members, one shared (lease-fenced) session store;
+        # clients failover between the printed addresses
+        from repro.fleet import GatewayGroup
+
+        group = GatewayGroup(
+            server, n_gateways=args.gateways, store=store,
+            config=config, host=args.host,
+        )
+        group.start(bind=True)
+        try:
+            addrs = ", ".join(f"{h}:{p}" for h, p in group.addresses)
+            print(
+                f"gateway group ({args.gateways} members) listening on {addrs} "
+                f"(model {model.shape[0]}x{model.shape[1]}, Q8.4); "
+                + (
+                    f"serving for {args.serve_seconds:g}s"
+                    if args.serve_seconds
+                    else "Ctrl-C to stop"
+                ),
+                flush=True,
+            )
+            if args.serve_seconds:
+                time.sleep(args.serve_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            group.stop()
+        snapshot = server.telemetry.snapshot()
+        return "\n".join(
+            [
+                f"sessions: {snapshot['counters'].get('gateway.sessions', 0)}, "
+                f"queries: {snapshot['counters'].get('gateway.queries', 0)}, "
+                f"lease steals: "
+                f"{snapshot['counters'].get('recover.lease.steals', 0)}",
+                render_traffic(snapshot),
+                render_text(snapshot, title="gateway group telemetry"),
+            ]
+        )
+    with GCGateway(
+        server, host=args.host, port=args.port, config=config, store=store
+    ) as gateway:
         # SIGTERM drains gracefully: stop accepting, checkpoint in-flight
         # sessions at their next round boundary, tell v3 clients to resume
         gateway.install_signal_handlers()
@@ -277,6 +326,7 @@ def cmd_chaos(args):
             deadline_s=args.deadline,
             max_retries=args.max_retries,
             profile=args.profile,
+            gateways=args.gateways,
         )
         runner = ChaosRunner(config)
         report = runner.run(progress=progress)
@@ -335,6 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--recv-timeout", type=float, default=None)
             p.add_argument("--serve-seconds", type=float, default=0.0,
                            help="serve this long then exit (0 = until Ctrl-C)")
+            p.add_argument("--gateways", type=int, default=1,
+                           help=">1 runs a gateway group sharing one "
+                                "session store (each member picks a port)")
+            p.add_argument("--store", default=None, metavar="SESSIONS.jsonl",
+                           help="JSONL session store path (survives restarts; "
+                                "shared in fleet mode)")
         if name == "connect":
             p.add_argument("--host", default="127.0.0.1")
             p.add_argument("-p", "--port", type=int, required=True)
@@ -351,9 +407,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--deadline", type=float, default=15.0)
             p.add_argument("--max-retries", type=int, default=1)
             p.add_argument("--profile", default="default",
-                           choices=("default", "recovery"),
-                           help="fault profile: classic wire faults, or "
-                                "disconnect/shed/stall recovery plans")
+                           choices=("default", "recovery", "handoff"),
+                           help="fault profile: classic wire faults, "
+                                "disconnect/shed/stall recovery plans, or "
+                                "multi-gateway kill/drain handoffs")
+            p.add_argument("--gateways", type=int, default=3,
+                           help="fleet size for --profile handoff")
             p.add_argument("--log", default=None,
                            help="write a JSONL replay log here")
             p.add_argument("--replay", default=None, metavar="LOG.jsonl",

@@ -78,6 +78,17 @@ class ResumeError(WireError):
     """
 
 
+class LeaseError(ResumeError):
+    """A fleet-coordination lease violation: a gateway tried to advance
+    or adopt a session whose lease it does not hold (another gateway
+    stole it after expiry, or a compare-and-swap advance lost a race).
+
+    Subclasses :class:`ResumeError`: from the session's point of view a
+    lost lease is a failed resume on *this* gateway — the session
+    itself lives on wherever the lease went.
+    """
+
+
 class SessionDrainedError(ServingError):
     """The gateway checkpointed this session and closed it (graceful
     drain).  The session is *resumable*: reconnect with the carried

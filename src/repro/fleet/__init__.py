@@ -1,0 +1,13 @@
+"""Fleet coordination: gateway groups, failover dialing, session handoff.
+
+Built on :mod:`repro.recover`'s checkpoints plus the session store's
+lease/CAS primitives: a :class:`GatewayGroup` is N gateways sharing one
+store, a :class:`FailoverDialer` walks the member list client-side, and
+the store's fencing guarantees a migrated session is never garbled
+twice no matter which member answers the resume.
+"""
+
+from repro.fleet.dialer import FailoverDialer
+from repro.fleet.group import GatewayGroup
+
+__all__ = ["FailoverDialer", "GatewayGroup"]

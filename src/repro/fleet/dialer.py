@@ -1,0 +1,92 @@
+"""Client-side gateway failover: one dial callable over an address list.
+
+A :class:`FailoverDialer` is a drop-in for the single-endpoint ``dial``
+callable :class:`~repro.recover.endpoint.ResumableClientEndpoint`
+already takes: calling it returns a connected transport, walking the
+gateway list from a sticky cursor until one answers.  The resume
+machinery's existing :class:`~repro.recover.endpoint.BackoffPolicy`
+stays in charge of *pacing* — this class only decides *where* the next
+attempt lands.
+
+The cursor is sticky on success (a healthy gateway keeps its clients)
+and advances on :meth:`penalize` — called by the resume loop when a
+gateway answers ``net.retry_after``, because a draining or saturated
+gateway will not get healthier during the backoff sleep, while the
+session's checkpoint in the shared store is servable by any member.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ConfigurationError, WireError
+
+
+class FailoverDialer:
+    """Rotate over per-gateway dial callables; sticky on success."""
+
+    def __init__(self, dials, telemetry=None, start_at: int = 0):
+        self.dials = list(dials)
+        if not self.dials:
+            raise ConfigurationError("failover dialer needs at least one gateway")
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._cursor = start_at % len(self.dials)
+
+    @classmethod
+    def from_addresses(cls, addresses, name: str = "client", telemetry=None,
+                       recv_timeout_s: float | None = None, start_at: int = 0):
+        """Build from ``[(host, port), ...]`` — the CLI/fleet entry point."""
+        from repro.net.endpoint import SocketEndpoint
+
+        def make_dial(host, port):
+            def dial():
+                s = socket.create_connection((host, port))
+                return SocketEndpoint(
+                    name, s, telemetry=telemetry, recv_timeout_s=recv_timeout_s
+                )
+            return dial
+
+        return cls(
+            [make_dial(h, p) for h, p in addresses],
+            telemetry=telemetry,
+            start_at=start_at,
+        )
+
+    @property
+    def cursor(self) -> int:
+        with self._lock:
+            return self._cursor
+
+    def penalize(self) -> None:
+        """Move off the current gateway before the next attempt."""
+        with self._lock:
+            self._cursor = (self._cursor + 1) % len(self.dials)
+        if self.telemetry is not None:
+            self.telemetry.counter("fleet.dialer.penalties").inc()
+
+    def __call__(self):
+        with self._lock:
+            order = [
+                (self._cursor + i) % len(self.dials)
+                for i in range(len(self.dials))
+            ]
+        last_error: Exception | None = None
+        for idx in order:
+            try:
+                transport = self.dials[idx]()
+            except (WireError, OSError) as exc:
+                last_error = exc
+                if self.telemetry is not None:
+                    self.telemetry.counter("fleet.dialer.failures").inc()
+                continue
+            with self._lock:
+                self._cursor = idx
+            if self.telemetry is not None:
+                self.telemetry.counter("fleet.dialer.dials").inc()
+            return transport
+        raise WireError(
+            f"all {len(self.dials)} gateways refused the connection "
+            f"(last error: {type(last_error).__name__}: {last_error})"
+        )

@@ -212,11 +212,21 @@ class SequentialEvaluator:
         """
         net = self.circuit.netlist
         chan = self.channel
-        if not 0 <= start_round < len(round_inputs):
+        if not 0 <= start_round <= len(round_inputs):
             raise GCProtocolError(
-                f"start_round {start_round} outside 0..{len(round_inputs) - 1}"
+                f"start_round {start_round} outside 0..{len(round_inputs)}"
             )
-        if start_round > 0 and not state_labels:
+        tail_resume = start_round == len(round_inputs)
+        if tail_resume and (
+            progress is None or not getattr(progress, "output_labels", None)
+        ):
+            # Every round was evaluated but the output map never arrived:
+            # re-entering past the last round needs the output labels the
+            # final evaluation produced.
+            raise GCProtocolError(
+                "resuming past the last round needs the carried output labels"
+            )
+        if 0 < start_round < len(round_inputs) and not state_labels:
             raise GCProtocolError(
                 "resuming past round 0 needs the carried state labels"
             )
@@ -228,11 +238,6 @@ class SequentialEvaluator:
         ot_mode = chan.recv("seq.ot_mode").decode()
         if ot_mode not in OT_MODES:
             raise GCProtocolError(f"garbler announced unknown ot_mode '{ot_mode}'")
-        if start_round > 0 and ot_mode != "per_round":
-            raise GCProtocolError(
-                "a resumed session streams per-round OT only "
-                f"(garbler announced '{ot_mode}')"
-            )
         nonfree = [g.index for g in net.gates if not g.is_free]
 
         n_in = len(net.evaluator_inputs)
@@ -244,8 +249,11 @@ class SequentialEvaluator:
 
         upfront_labels: list[int] = []
         peak_label_bytes = 16 * n_in
-        if ot_mode == "upfront" and n_in:
-            choices = [b for bits in round_inputs for b in bits]
+        if ot_mode == "upfront" and n_in and start_round < rounds:
+            # Only the *remaining* rounds' labels: on a resume the
+            # garbler (any gateway holding the checkpoint) re-runs one
+            # OT over rounds start_round..M-1, concatenated in order.
+            choices = [b for bits in round_inputs[start_round:] for b in bits]
             receiver = (
                 OTExtensionReceiver(chan, self.group)
                 if len(choices) > K_SECURITY
@@ -270,7 +278,8 @@ class SequentialEvaluator:
             my_labels: list[int] = []
             if n_in:
                 if ot_mode == "upfront":
-                    my_labels = upfront_labels[r * n_in : (r + 1) * n_in]
+                    base = (r - start_round) * n_in
+                    my_labels = upfront_labels[base : base + n_in]
                 else:
                     use_ext = n_in > K_SECURITY
                     receiver = (
@@ -299,15 +308,21 @@ class SequentialEvaluator:
                 progress.completed_rounds = r + 1
                 progress.state_labels = list(state_labels)
                 progress.hash_calls += result.hash_calls
+                progress.output_labels = list(result.output_labels)
 
+        out_labels = (
+            list(result.output_labels)
+            if result is not None
+            else list(progress.output_labels)
+        )
         output_bits = None
         if reveal in ("evaluator", "both"):
             output_map = list(chan.recv("seq.output_map"))
             output_bits = [
-                color(label) ^ p for label, p in zip(result.output_labels, output_map)
+                color(label) ^ p for label, p in zip(out_labels, output_map)
             ]
         if reveal in ("garbler", "both"):
-            chan.send_u128_list("seq.output_labels", result.output_labels)
+            chan.send_u128_list("seq.output_labels", out_labels)
 
         return SequentialReport(
             rounds=rounds,

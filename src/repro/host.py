@@ -36,7 +36,7 @@ from repro.crypto.ot import DHGroup, TOY_GROUP, BaseOTSender, OTExtensionSender,
 from repro.errors import ConfigurationError, GCProtocolError
 from repro.fixedpoint import FixedPointFormat, Q16_8
 from repro.gc.channel import local_channel, run_two_party
-from repro.gc.sequential_gc import SequentialEvaluator
+from repro.gc.sequential_gc import OT_MODES, SequentialEvaluator
 from repro.gc.tables import serialize_tables
 from repro.telemetry import MetricsRegistry
 
@@ -202,7 +202,8 @@ class CloudServer:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def serve_row(self, channel, row_index: int, on_round=None, on_run=None) -> None:
+    def serve_row(self, channel, row_index: int, on_round=None, on_run=None,
+                  ot_mode: str = "per_round") -> None:
         """Serve one dot product <model[row], x> to a connected client.
 
         Recovery hooks (:mod:`repro.recover`): ``on_run(run,
@@ -212,7 +213,16 @@ class CloudServer:
         fires after each round's tables/labels/OT are fully on the wire;
         it may raise (e.g. :class:`~repro.errors.SessionDrainedError`)
         to abort streaming at a round boundary.
+
+        ``ot_mode`` follows :data:`repro.gc.sequential_gc.OT_MODES`:
+        ``per_round`` interleaves one OT per round, ``upfront``
+        transfers every round's evaluator labels in a single OT before
+        the first round (fewer flights, more client memory).
         """
+        if ot_mode not in OT_MODES:
+            raise ConfigurationError(
+                f"unknown OT mode {ot_mode!r} (expected one of {OT_MODES})"
+            )
         with self._lock:
             n_rows = self.model.shape[0]
             encoded_row = (
@@ -232,7 +242,22 @@ class CloudServer:
                 to_bits(int(v), self.fmt.total_bits) for v in encoded_row
             ]
             channel.send("seq.rounds", rounds.to_bytes(4, "big"))
-            channel.send("seq.ot_mode", b"per_round")
+            channel.send("seq.ot_mode", ot_mode.encode("ascii"))
+            if ot_mode == "upfront":
+                all_pairs = [
+                    (p.zero, p.one)
+                    for meta in run.rounds
+                    for p in meta.evaluator_pairs
+                ]
+                if all_pairs:
+                    sender = (
+                        OTExtensionSender(channel, self.group)
+                        if len(all_pairs) > K_SECURITY
+                        else BaseOTSender(channel, self.group)
+                    )
+                    with tm.timer("ot.send"):
+                        sender.send(all_pairs)
+                    tm.counter("ot.transfers").inc(len(all_pairs))
             for r, bits in enumerate(bits_per_round):
                 meta = run.rounds[r]
                 with tm.timer("stream.round"):
@@ -254,15 +279,16 @@ class CloudServer:
                             "seq.state_labels",
                             [p.select(b) for p, b in zip(meta.state_pairs, init)],
                         )
-                pairs = [(p.zero, p.one) for p in meta.evaluator_pairs]
-                sender = (
-                    OTExtensionSender(channel, self.group)
-                    if len(pairs) > K_SECURITY
-                    else BaseOTSender(channel, self.group)
-                )
-                with tm.timer("ot.send"):
-                    sender.send(pairs)
-                tm.counter("ot.transfers").inc(len(pairs))
+                if ot_mode == "per_round":
+                    pairs = [(p.zero, p.one) for p in meta.evaluator_pairs]
+                    sender = (
+                        OTExtensionSender(channel, self.group)
+                        if len(pairs) > K_SECURITY
+                        else BaseOTSender(channel, self.group)
+                    )
+                    with tm.timer("ot.send"):
+                        sender.send(pairs)
+                    tm.counter("ot.transfers").inc(len(pairs))
                 if on_round is not None:
                     on_round(r + 1)
             channel.send("seq.output_map", bytes(run.output_permute_bits))
@@ -287,7 +313,7 @@ class AnalyticsClient:
         self.server = server
         self.recv_timeout_s = recv_timeout_s
 
-    def query_row(self, row_index: int, x_values) -> float:
+    def query_row(self, row_index: int, x_values, ot_mode: str = "per_round") -> float:
         """Learn <model[row], x> without revealing x."""
         x = np.asarray(x_values, dtype=np.float64)
         if x.shape != (self.server.rounds_per_request,):
@@ -300,7 +326,7 @@ class AnalyticsClient:
         g_chan, e_chan = local_channel(recv_timeout_s=self.recv_timeout_s)
         evaluator = SequentialEvaluator(circuit, e_chan, self.server.group)
         _, report = run_two_party(
-            lambda: self.server.serve_row(g_chan, row_index),
+            lambda: self.server.serve_row(g_chan, row_index, ot_mode=ot_mode),
             lambda: evaluator.run(x_bits),
         )
         raw = from_bits(report.output_bits, signed=True)

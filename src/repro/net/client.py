@@ -44,7 +44,7 @@ from repro.errors import (
     SessionDrainedError,
 )
 from repro.fixedpoint import FixedPointFormat
-from repro.gc.sequential_gc import SequentialEvaluator
+from repro.gc.sequential_gc import OT_MODES, SequentialEvaluator
 from repro.net.endpoint import SocketEndpoint
 from repro.net.gateway import ACK_TAG, BYE_TAG, ERROR_TAG, QUERY_TAG
 from repro.net.handshake import client_session_handshake, netlist_fingerprint
@@ -78,10 +78,22 @@ class RemoteAnalyticsClient:
         dial=None,
         backoff: BackoffPolicy | None = None,
         sleeper=time.sleep,
+        addresses=None,
     ):
         self.telemetry = telemetry
         self.backoff = backoff or BackoffPolicy()
         self._sleeper = sleeper
+        if dial is None and addresses:
+            # fleet mode: walk the gateway list on failure — any member
+            # sharing the session store can answer this client's resume
+            from repro.fleet import FailoverDialer
+
+            dial = FailoverDialer.from_addresses(
+                addresses,
+                name=name,
+                telemetry=telemetry,
+                recv_timeout_s=recv_timeout_s,
+            )
         if dial is None and host is not None and port is not None:
             def dial():
                 s = socket.create_connection((host, port))
@@ -151,15 +163,22 @@ class RemoteAnalyticsClient:
     def resumable(self) -> bool:
         return isinstance(self.endpoint, ResumableClientEndpoint)
 
-    def query_row(self, row_index: int, x_values) -> float:
+    def query_row(self, row_index: int, x_values, ot_mode: str = "per_round") -> float:
         """Learn <model[row], x> without revealing x — over the wire.
 
         Survives (when resumable) a gateway shed, a mid-stream
         disconnect, and a graceful drain: the query always either
         completes with the correct scalar or raises a typed error.
+        ``ot_mode`` picks the label-transfer schedule (see
+        :data:`repro.gc.sequential_gc.OT_MODES`); either mode survives a
+        mid-query migration to another gateway.
         """
         if self._closed:
             raise ServingError("client is closed")
+        if ot_mode not in OT_MODES:
+            raise GCProtocolError(
+                f"unknown OT mode {ot_mode!r} (expected one of {OT_MODES})"
+            )
         x = np.asarray(x_values, dtype=np.float64)
         if x.shape != (self.descriptor.rounds,):
             raise GCProtocolError(
@@ -168,15 +187,17 @@ class RemoteAnalyticsClient:
         x_bits = [
             to_bits(int(v), self.fmt.total_bits) for v in self.fmt.encode_array(x)
         ]
-        self._admit(row_index)
+        self._admit(row_index, ot_mode)
         report = self._evaluate(x_bits)
         raw = from_bits(report.output_bits, signed=True)
         return self.fmt.decode_product(raw)
 
-    def _admit(self, row_index: int) -> None:
+    def _admit(self, row_index: int, ot_mode: str = "per_round") -> None:
         """QUERY until ACKed, honoring ``net.retry_after`` shed replies."""
         ep = self.endpoint
-        payload = json.dumps({"row": int(row_index)}).encode()
+        payload = json.dumps(
+            {"row": int(row_index), "ot_mode": ot_mode}, sort_keys=True
+        ).encode()
         for attempt in range(self.backoff.max_attempts):
             ep.send(QUERY_TAG, payload)
             tag, reply = ep.recv_any((ACK_TAG, ERROR_TAG, RETRY_AFTER_TAG))

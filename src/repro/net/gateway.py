@@ -33,6 +33,20 @@ round, checkpoints them, and tells v3 clients where to resume.
 For CI and benches the gateway also serves *adopted* sockets
 (:meth:`GCGateway.adopt`) — one half of a ``socketpair`` — so the whole
 stack runs without binding a port.
+
+Fleet operation (:mod:`repro.fleet`): N gateways share one session
+store.  Every streamed session is fenced by a store lease
+(``acquire_lease`` / ``cas_advance``) so the gateway that answers a
+``net.resume`` — possibly not the one that issued the checkpoint —
+provably owns the session before it streams a single round, and two
+gateways can never garble or re-stream the same round.  A resume
+restart rewinds to the round the *client* proved it completed (its
+``last_acked_seq`` against the checkpoint's stream-boundary map) and
+goes through the :class:`~repro.serve.batcher.ResumeBatcher`, which
+coalesces the reconnect burst after a gateway kill into batched
+round-robin serves.  :meth:`GCGateway.kill` is the crash used by the
+handoff chaos profile: no drain, no lease release — successors steal
+expired leases.
 """
 
 from __future__ import annotations
@@ -47,12 +61,14 @@ import uuid
 from repro.errors import (
     GCProtocolError,
     HandshakeError,
+    LeaseError,
     OverloadedError,
     ResumeError,
     ServingError,
     SessionDrainedError,
     WireError,
 )
+from repro.gc.sequential_gc import OT_MODES
 from repro.host import CloudServer
 from repro.net.endpoint import SocketEndpoint
 from repro.net.handshake import (
@@ -61,7 +77,7 @@ from repro.net.handshake import (
     descriptor_for,
     server_handshake,
 )
-from repro.recover.checkpoint import checkpoint_from_run
+from repro.recover.checkpoint import SessionCheckpoint, checkpoint_from_run
 from repro.recover.endpoint import (
     DRAIN_TAG,
     RESUME_OK_TAG,
@@ -71,6 +87,7 @@ from repro.recover.endpoint import (
 )
 from repro.recover.store import InMemorySessionStore, SessionStore
 from repro.serve import ServingConfig, ServingServer, resolve_reaper_timeout
+from repro.serve.batcher import ResumeBatcher
 from repro.telemetry import MetricsRegistry
 
 QUERY_TAG = "net.query"
@@ -147,8 +164,10 @@ class GCGateway:
         session_lifetime_s: float | None = None,
         reap_interval_s: float = 0.25,
         store: SessionStore | None = None,
+        gateway_id: str = "",
     ):
         self.server = server
+        self.gateway_id = gateway_id or f"gw-{uuid.uuid4().hex[:8]}"
         self.telemetry = telemetry if telemetry is not None else server.telemetry
         if serving is None:
             serving = ServingServer(server, config, telemetry=self.telemetry)
@@ -171,6 +190,12 @@ class GCGateway:
                 ttl_s=self.serving.config.checkpoint_ttl_s,
                 telemetry=self.telemetry,
             )
+        )
+        self._batcher = ResumeBatcher(
+            self.serving,
+            window_s=self.serving.config.resume_batch_window_s,
+            max_batch=self.serving.config.resume_batch_max,
+            telemetry=self.telemetry,
         )
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -228,6 +253,32 @@ class GCGateway:
         if self._reaper_thread is not None:
             self._reaper_thread.join(timeout=5.0)
             self._reaper_thread = None
+        self._batcher.close()
+        if self._owns_serving:
+            self.serving.stop()
+
+    def kill(self) -> None:
+        """Crash this gateway: no drain, no checkpoint flush, no lease
+        release, no compaction — the chaos profile's model of a power
+        cut.  Sessions it was streaming keep their store leases until
+        expiry, which is exactly what a peer's lease *steal* is for.
+        """
+        self.telemetry.counter("gateway.kills").inc()
+        self._stopping.set()
+        self._close_listener()
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+            self._sessions = []
+            self._live.clear()
+        for s in sessions:
+            s.handoff = False  # a crash closes every socket it holds
+            s.close_hard()
+        for s in sessions:
+            s.thread.join(timeout=2.0)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=2.0)
+            self._reaper_thread = None
+        self._batcher.close()
         if self._owns_serving:
             self.serving.stop()
 
@@ -274,6 +325,11 @@ class GCGateway:
                 clean = False
                 s.close_hard()
                 s.thread.join(timeout=1.0)
+        # hand ownership to the fleet: a successor adopting a drained
+        # session must not wait out this gateway's lease
+        if hasattr(self.store, "release_lease"):
+            for sid in self.store.session_ids():
+                self.store.release_lease(sid, self.gateway_id)
         if hasattr(self.store, "compact"):
             self.store.compact()
         self.telemetry.counter("gateway.drained").inc()
@@ -319,6 +375,14 @@ class GCGateway:
 
     def adopt(self, sock: socket.socket) -> threading.Thread:
         """Serve an already-connected socket (the socketpair/CI entry point)."""
+        if self._stopping.is_set():
+            # a killed/stopped gateway refuses new sockets the way a dead
+            # listener would: the failover dialer rotates to a peer
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise WireError(f"gateway {self.gateway_id} is not accepting")
         self.telemetry.counter("gateway.connections").inc()
         endpoint = SocketEndpoint(
             "gateway",
@@ -450,6 +514,10 @@ class GCGateway:
         while not self._stopping.is_set():
             tag, payload = channel.recv_any((QUERY_TAG, BYE_TAG))
             if tag == BYE_TAG:
+                # an explicit goodbye confirms every answer arrived:
+                # nothing left for any gateway to resume
+                if session.version >= 3:
+                    self.store.delete(session.session_id)
                 break
             session.in_query = True
             try:
@@ -463,9 +531,17 @@ class GCGateway:
         channel = session.channel
         v3 = session.version >= 3
         try:
-            row = int(json.loads(payload.decode())["row"])
+            query = json.loads(payload.decode())
+            row = int(query["row"])
+            ot_mode = str(query.get("ot_mode", "per_round"))
         except (ValueError, KeyError, TypeError) as exc:
             channel.send(ERROR_TAG, f"malformed query: {exc}".encode())
+            return
+        if ot_mode not in OT_MODES:
+            channel.send(
+                ERROR_TAG,
+                f"unknown ot_mode {ot_mode!r} (expected one of {OT_MODES})".encode(),
+            )
             return
         if not 0 <= row < self.descriptor.n_rows:
             channel.send(
@@ -478,15 +554,31 @@ class GCGateway:
             return
         on_run = on_round = None
         if v3:
-            on_run, on_round = self._checkpoint_hooks(session, row)
+            # a new query proves the previous one fully arrived: drop its
+            # checkpoint (kept until now for the post-completion tail)
+            self.store.delete(session.session_id)
+            # lease before ack: peers answering an early failover resume
+            # (this gateway killed mid-garble, before the first put) must
+            # see a live lease — "shed, retry" — not an unknown session
+            lease = self.store.acquire_lease(
+                session.session_id, self.gateway_id, cfg.lease_ttl_s
+            )
+            if lease is None:
+                self._shed(channel, v3, "session is leased to a peer")
+                return
+            on_run, on_round = self._checkpoint_hooks(session, row, ot_mode)
         try:
             request = self.serving.submit_remote(
-                row, channel, on_round=on_round, on_run=on_run
+                row, channel, on_round=on_round, on_run=on_run, ot_mode=ot_mode
             )
         except OverloadedError as exc:  # transient saturation: shed with a hint
+            if v3:  # nothing was garbled: don't pin the admission lease
+                self.store.release_lease(session.session_id, self.gateway_id)
             self._shed(channel, v3, str(exc))
             return
         except ServingError as exc:  # not running / hard failure: terminal
+            if v3:
+                self.store.release_lease(session.session_id, self.gateway_id)
             tm.counter("gateway.rejected").inc()
             channel.send(ERROR_TAG, str(exc).encode())
             return
@@ -500,14 +592,27 @@ class GCGateway:
             self._notify_drained(session, exc)
             raise
         if v3:
-            # the query completed: its checkpoint has nothing to resume
-            self.store.delete(session.session_id)
+            # every round is streamed, but the client may not have read
+            # them all yet: keep the checkpoint (its unacked tail) until
+            # the client's next query/bye confirms delivery, or the TTL
+            # judges the session abandoned.  Ownership is released so a
+            # post-crash resume needs no lease steal.
+            self.store.release_lease(session.session_id, self.gateway_id)
         tm.counter("gateway.queries").inc()
 
-    def _checkpoint_hooks(self, session: _GatewaySession, row: int):
+    def _checkpoint_hooks(self, session: _GatewaySession, row: int,
+                          ot_mode: str = "per_round"):
         """Build the ``on_run``/``on_round`` closures that snapshot one
-        query's resumable state into the session store."""
+        query's resumable state into the session store.
+
+        Every round boundary is committed through the store's fenced
+        compare-and-swap: if another gateway stole this session's lease
+        (this one looked dead) the CAS raises :class:`LeaseError` and
+        streaming stops at the boundary — two gateways never advance the
+        same session.
+        """
         channel = session.channel
+        cfg = self.serving.config
         holder: dict = {}
 
         def on_run(run, encoded_row):
@@ -518,15 +623,28 @@ class GCGateway:
                 session.session_id,
                 row,
                 client_name=session.client_name,
+                ot_mode=ot_mode,
             )
+            lease = self.store.acquire_lease(
+                session.session_id, self.gateway_id, cfg.lease_ttl_s
+            )
+            if lease is None:
+                raise LeaseError(
+                    f"session {session.session_id}: lease held by another "
+                    "gateway; refusing to stream"
+                )
             holder["cp"] = cp
+            holder["expected"] = cp.next_round
             self.store.put(cp)
 
         def on_round(next_round: int):
             cp = holder.get("cp")
             if cp is not None:
                 cp.advance(next_round, channel.send_seq, channel.recv_seq)
-                self.store.put(cp)
+                self.store.cas_advance(
+                    cp, self.gateway_id, holder["expected"], cfg.lease_ttl_s
+                )
+                holder["expected"] = cp.next_round
             if self._draining.is_set():
                 raise SessionDrainedError(
                     f"gateway draining: session {session.session_id} "
@@ -602,7 +720,7 @@ class GCGateway:
         ):
             self._rebind(session, live, client_acked)
             return
-        self._restart_from_store(session, sid)
+        self._restart_from_store(session, sid, client_acked)
 
     def _rebind(self, session: _GatewaySession, live: _GatewaySession,
                 client_acked: int) -> None:
@@ -625,6 +743,7 @@ class GCGateway:
             "mode": "rebind",
             "last_acked_seq": live.channel.recv_seq,
             "session_id": session.session_id,
+            "gateway_id": self.gateway_id,
         }
         # the OK must be on the wire before any replayed session frame:
         # the client reads it on the fresh transport's own counters
@@ -634,14 +753,39 @@ class GCGateway:
         session.handoff = True  # this thread no longer owns the socket
         tm.counter("gateway.resumes.rebind").inc()
 
-    def _restart_from_store(self, session: _GatewaySession, sid: str) -> None:
+    def _restart_from_store(self, session: _GatewaySession, sid: str,
+                            client_acked: int = 0) -> None:
         """Serve the remaining rounds of a checkpointed session, then
-        fall into the normal query loop on this connection."""
+        fall into the normal query loop on this connection.
+
+        This is the cross-gateway adoption path: the checkpoint may have
+        been written by a *different* gateway.  Adoption (1) takes the
+        session's lease (stealing it if the writer's expired), (2)
+        deep-copies the stored checkpoint so no two gateways ever mutate
+        one object, (3) rewinds it to the round the client's
+        ``last_acked_seq`` proves complete — the writer's ``next_round``
+        runs ahead of the client by however much the dead stream had
+        buffered — and (4) commits the rewound state through the fenced
+        CAS before streaming a byte.
+        """
         tm = self.telemetry
         cfg = self.serving.config
         endpoint = session.endpoint
-        checkpoint = self.store.get(sid)
-        if checkpoint is None or checkpoint.complete:
+        stored = self.store.get(sid)
+        if stored is None:
+            holder = self.store.lease_holder(sid)
+            if holder is not None:
+                # the session is mid-admission on its owner: the lease
+                # was taken before the query ack but the first checkpoint
+                # put has not landed yet (the owner may have just been
+                # killed mid-garble — its put still completes).  Shed so
+                # the client retries once there is material to adopt.
+                self._shed(
+                    endpoint, True, f"session {sid} is admitting on {holder}"
+                )
+                raise ResumeError(
+                    f"resume for {sid} shed: admission in flight on {holder}"
+                )
             endpoint.send(
                 REJECT_TAG,
                 f"unknown session {sid}: nothing to resume".encode(),
@@ -650,9 +794,38 @@ class GCGateway:
         if self._draining.is_set():
             self._shed(endpoint, True, "gateway is draining")
             raise ResumeError(f"resume for {sid} shed: gateway draining")
+        lease = self.store.acquire_lease(sid, self.gateway_id, cfg.lease_ttl_s)
+        if lease is None:
+            # a live peer owns the stream; tell the client to come back
+            # (or rotate gateways) — the lease expires if the owner died
+            self._shed(endpoint, True, f"session {sid} is leased to a peer")
+            raise ResumeError(f"resume for {sid} shed: lease held by a peer")
+        checkpoint = SessionCheckpoint.from_dict(stored.to_dict())
+        committed = self.store.committed_round(sid)
+        restart_round = checkpoint.acked_round(client_acked)
+        if restart_round < checkpoint.next_round:
+            checkpoint.rewind_to(restart_round)
+            tm.counter("gateway.resumes.rewound").inc()
+        try:
+            # commit the adoption (and any rewind) under the fence before
+            # anything reaches the wire
+            self.store.cas_advance(
+                checkpoint, self.gateway_id,
+                committed if committed is not None else checkpoint.next_round,
+                cfg.lease_ttl_s,
+            )
+        except LeaseError as exc:
+            self._shed(endpoint, True, str(exc))
+            raise ResumeError(f"resume for {sid} lost the adoption race") from exc
+        state = {"expected": checkpoint.next_round}
 
         def on_round(progress):
-            self.store.put(checkpoint)
+            # CheckpointStreamer already advanced the checkpoint; commit
+            # the boundary or learn we lost the session
+            self.store.cas_advance(
+                checkpoint, self.gateway_id, state["expected"], cfg.lease_ttl_s
+            )
+            state["expected"] = checkpoint.next_round
             if self._draining.is_set():
                 raise SessionDrainedError(
                     f"gateway draining: session {sid} re-checkpointed at "
@@ -662,7 +835,7 @@ class GCGateway:
                 )
 
         try:
-            request = self.serving.submit_resume(
+            handle = self._batcher.submit(
                 checkpoint, endpoint, self.server.group, on_round=on_round
             )
         except OverloadedError:
@@ -676,18 +849,28 @@ class GCGateway:
             "next_round": checkpoint.next_round,
             "last_acked_seq": 0,
             "session_id": sid,
+            "gateway_id": self.gateway_id,
         }
         endpoint.send(RESUME_OK_TAG, json.dumps(answer, sort_keys=True).encode())
-        request.start_gate.set()
+        # counted at admission, not completion: the OK precedes every
+        # streamed frame, so once a client holds the result this counter
+        # provably reflects its restart (completion would race the
+        # client's own return)
+        tm.counter("gateway.resumes.restart").inc()
+        handle.start_gate.set()
         try:
-            request.wait(timeout=cfg.request_timeout_s)
+            handle.wait(timeout=cfg.request_timeout_s)
         except SessionDrainedError as exc:
             session.channel = endpoint
             self._notify_drained(session, exc)
             raise
-        self.store.delete(sid)
+        except LeaseError:
+            tm.counter("gateway.resumes.lease_lost").inc()
+            raise
+        # like a fresh query: keep the checkpoint for the unacked tail,
+        # give up ownership now that streaming is done
+        self.store.release_lease(sid, self.gateway_id)
         session.client_name = checkpoint.client_name or session.client_name
-        tm.counter("gateway.resumes.restart").inc()
         tm.counter("gateway.queries").inc()
         # the resumed query is done; keep serving this connection like
         # any other v3 session (the wrapper inherits the live counters)

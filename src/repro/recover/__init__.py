@@ -18,6 +18,7 @@ This package closes that loop:
 """
 
 from repro.recover.checkpoint import (
+    CheckpointStreamer,
     EvaluatorProgress,
     GarblerProgress,
     RoundMaterial,
@@ -31,17 +32,22 @@ from repro.recover.endpoint import (
     ResumableClientEndpoint,
 )
 from repro.recover.store import (
+    DEFAULT_LEASE_TTL_S,
     InMemorySessionStore,
     JsonlSessionStore,
+    LeaseRecord,
     SessionStore,
 )
 
 __all__ = [
     "BackoffPolicy",
+    "CheckpointStreamer",
+    "DEFAULT_LEASE_TTL_S",
     "EvaluatorProgress",
     "GarblerProgress",
     "InMemorySessionStore",
     "JsonlSessionStore",
+    "LeaseRecord",
     "RebindableEndpoint",
     "ResumableClientEndpoint",
     "RoundMaterial",

@@ -5,8 +5,15 @@ boundary: everything needed to serve the *remaining* rounds of one
 ``serve_row`` query to a reconnecting client without re-garbling —
 the pre-serialized tables, the already-selected garbler/constant
 labels, the evaluator label pairs for fresh OT, and the output
-permutation map.  Completed rounds' material is pruned as the session
-advances, so a checkpoint shrinks as the session nears completion.
+permutation map.  Material the client has *confirmed* is pruned as the
+session advances; because the server streams ahead of the client's
+verified-receive counter, each checkpoint also keeps an unacked tail
+(one round in ``per_round`` OT mode, every streamed round in
+``upfront`` mode, where nothing throttles the server's lead) plus a
+``stream_boundaries`` map from round boundaries to the send-sequence
+counter at each — which is how a *different* gateway adopting the
+session computes the exact round the client last completed from the
+``last_acked_seq`` in its ``net.resume``.
 
 The security argument for storing this is unchanged from the pooled
 :class:`~repro.accel.fsm.AcceleratorRun` it is derived from: each run
@@ -34,6 +41,7 @@ from repro.crypto.ot import (
     K_SECURITY,
 )
 from repro.errors import ResumeError
+from repro.gc.sequential_gc import OT_MODES
 from repro.gc.tables import serialize_tables
 
 
@@ -99,6 +107,22 @@ class SessionCheckpoint:
     verifying across the reconnect.  A round-level resume instead
     restarts the stream on fresh counters — the counters then only
     document how far the broken stream got.
+
+    ``stream_boundaries`` maps round boundaries reached by the *current*
+    stream to the server send-sequence counter at each: the entry
+    ``[r, s]`` means "after ``s`` server frames the client can have
+    verified at most ``r`` complete rounds".  A gateway restarting the
+    session (possibly a different gateway than streamed it) combines
+    this with the client's ``last_acked_seq`` to :meth:`rewind_to` the
+    exact round the client completed, instead of trusting its own
+    (always-ahead) ``next_round``.  :meth:`begin_stream` resets the map
+    whenever a stream starts on fresh channel counters.
+
+    ``next_round == rounds`` means every round was *streamed*, not that
+    the client confirmed them: the unacked tail (the last round in
+    ``per_round`` OT mode, every streamed round in ``upfront`` mode) is
+    retained so a post-completion crash can still rewind and re-serve
+    what the client provably never received.
     """
 
     session_id: str
@@ -110,9 +134,19 @@ class SessionCheckpoint:
     send_seq: int = 0
     recv_seq: int = 0
     client_name: str = ""
+    ot_mode: str = "per_round"
+    stream_boundaries: list[list[int]] = field(default_factory=list)
 
     def advance(self, next_round: int, send_seq: int = 0, recv_seq: int = 0) -> None:
-        """Mark rounds below ``next_round`` complete and prune their material."""
+        """Mark rounds below ``next_round`` streamed and prune confirmed material.
+
+        Pruning keeps an unacked tail: in ``per_round`` OT mode the
+        round just streamed (the client's interactive OT reply bounds
+        its lag to one round), in ``upfront`` mode everything — the
+        server free-runs arbitrarily far ahead of the client there, so
+        only :meth:`rewind_to` (which knows what the client acked) may
+        discard material.
+        """
         if next_round < self.next_round:
             raise ResumeError(
                 f"session {self.session_id}: checkpoint cannot move backwards "
@@ -121,7 +155,50 @@ class SessionCheckpoint:
         self.next_round = next_round
         self.send_seq = send_seq
         self.recv_seq = recv_seq
-        self.materials = [m for m in self.materials if m.round_index >= next_round]
+        self.stream_boundaries.append([next_round, send_seq])
+        if self.ot_mode == "per_round":
+            horizon = max(0, next_round - 1)
+            self.materials = [m for m in self.materials if m.round_index >= horizon]
+
+    def begin_stream(self, start_round: int) -> None:
+        """Reset the boundary map for a stream starting at ``start_round``.
+
+        The base entry ``[start_round, 0]`` is a floor: any acked count
+        proves at least the rounds completed before this stream began.
+        """
+        self.stream_boundaries = [[start_round, 0]]
+
+    def acked_round(self, peer_acked_seq: int) -> int:
+        """Highest round boundary the client's verified-receive counter covers.
+
+        Falls back to ``next_round`` when no boundary map exists (a
+        checkpoint loaded from a pre-fleet store) — the old, optimistic
+        behaviour.
+        """
+        if not self.stream_boundaries:
+            return self.next_round
+        best = self.stream_boundaries[0][0]
+        for r, seq in self.stream_boundaries:
+            if seq <= peer_acked_seq and r > best:
+                best = r
+        return min(best, self.rounds)
+
+    def rewind_to(self, round_index: int) -> None:
+        """Move ``next_round`` *backwards* to a client-confirmed boundary.
+
+        The only sanctioned backwards move: a resume adopting this
+        session re-serves the rounds the client never verified.  Every
+        round in ``[round_index, rounds)`` must still have material.
+        """
+        if round_index > self.next_round:
+            raise ResumeError(
+                f"session {self.session_id}: cannot rewind forward "
+                f"(round {self.next_round} -> {round_index})"
+            )
+        for r in range(round_index, self.rounds):
+            self.material_for(r)
+        self.next_round = round_index
+        self.materials = [m for m in self.materials if m.round_index >= round_index]
 
     @property
     def complete(self) -> bool:
@@ -147,6 +224,8 @@ class SessionCheckpoint:
             "send_seq": self.send_seq,
             "recv_seq": self.recv_seq,
             "client_name": self.client_name,
+            "ot_mode": self.ot_mode,
+            "stream_boundaries": [list(b) for b in self.stream_boundaries],
         }
 
     @classmethod
@@ -161,6 +240,11 @@ class SessionCheckpoint:
             send_seq=int(data.get("send_seq", 0)),
             recv_seq=int(data.get("recv_seq", 0)),
             client_name=data.get("client_name", ""),
+            ot_mode=data.get("ot_mode", "per_round"),
+            stream_boundaries=[
+                [int(b[0]), int(b[1])]
+                for b in data.get("stream_boundaries", [])
+            ],
         )
 
 
@@ -177,6 +261,11 @@ class EvaluatorProgress:
     completed_rounds: int = 0
     state_labels: list[int] = field(default_factory=list)
     hash_calls: int = 0
+    #: output labels of the last completed round — needed only for the
+    #: tail resume where every round was evaluated but the crash ate
+    #: ``seq.output_map``: the re-entered evaluator has no round left
+    #: to produce them from.
+    output_labels: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -196,6 +285,7 @@ def checkpoint_from_run(
     session_id: str,
     row_index: int,
     client_name: str = "",
+    ot_mode: str = "per_round",
 ) -> SessionCheckpoint:
     """Snapshot a pooled :class:`AcceleratorRun` + one model row.
 
@@ -233,7 +323,9 @@ def checkpoint_from_run(
                 ),
             )
         )
-    return SessionCheckpoint(
+    if ot_mode not in OT_MODES:
+        raise ResumeError(f"unknown OT mode {ot_mode!r} (expected one of {OT_MODES})")
+    cp = SessionCheckpoint(
         session_id=session_id,
         row_index=row_index,
         rounds=len(materials),
@@ -241,7 +333,115 @@ def checkpoint_from_run(
         materials=materials,
         output_permute_bits=list(run.output_permute_bits),
         client_name=client_name,
+        ot_mode=ot_mode,
     )
+    cp.begin_stream(0)
+    return cp
+
+
+class CheckpointStreamer:
+    """Incremental resumed-session streamer: the round-at-a-time core of
+    :func:`serve_from_checkpoint`, split open so a batcher can interleave
+    many resumed sessions round-robin through one serving worker instead
+    of streaming each to completion serially.
+
+    Usage: ``begin()`` once (preamble + the remaining ``upfront`` OT when
+    the session was negotiated in that mode), then ``stream_round()``
+    until it returns ``False``, then ``finish()``.  The wire dialogue is
+    shaped exactly like a fresh ``serve_row`` resumed at ``start_round``
+    — no garbling happens here, only retransmission of stored material
+    plus fresh OT for rounds the client never evaluated.
+
+    A *tail* resume (``checkpoint.complete`` but the client never acked
+    ``seq.output_map``) is legal: ``begin()`` sends the preamble, zero
+    rounds follow, and ``finish()`` re-sends the output map.
+    """
+
+    def __init__(
+        self,
+        channel,
+        checkpoint: SessionCheckpoint,
+        group: DHGroup = TOY_GROUP,
+        on_round=None,
+        telemetry=None,
+    ):
+        self.channel = channel
+        self.checkpoint = checkpoint
+        self.group = group
+        self.on_round = on_round
+        self.telemetry = telemetry
+        self.start = checkpoint.next_round
+        self.streamed = 0
+        self._round = self.start
+        self._begun = False
+
+    def begin(self) -> None:
+        """Send the stream preamble (and the remaining upfront OT)."""
+        cp = self.checkpoint
+        self._begun = True
+        self.channel.send("seq.rounds", cp.rounds.to_bytes(4, "big"))
+        self.channel.send("seq.ot_mode", cp.ot_mode.encode("ascii"))
+        cp.begin_stream(self.start)
+        if cp.ot_mode == "upfront":
+            # One OT over every *remaining* round's evaluator pairs, in
+            # round order — the evaluator slices its labels relative to
+            # start_round, so the concatenation must too.
+            pairs = [
+                pair
+                for r in range(self.start, cp.rounds)
+                for pair in cp.material_for(r).evaluator_pairs
+            ]
+            if pairs:
+                sender = (
+                    OTExtensionSender(self.channel, self.group)
+                    if len(pairs) > K_SECURITY
+                    else BaseOTSender(self.channel, self.group)
+                )
+                sender.send([tuple(p) for p in pairs])
+
+    def stream_round(self) -> bool:
+        """Stream one round; returns True while more rounds remain."""
+        if not self._begun:
+            raise ResumeError(
+                f"session {self.checkpoint.session_id}: stream_round() "
+                "before begin()"
+            )
+        cp = self.checkpoint
+        if self._round >= cp.rounds:
+            return False
+        r = self._round
+        m = cp.material_for(r)
+        self.channel.send("seq.tables", m.tables)
+        if self.telemetry is not None:
+            self.telemetry.counter("recover.stream.bytes").inc(len(m.tables))
+        self.channel.send_u128_list("seq.garbler_labels", m.garbler_labels)
+        self.channel.send_u128_list("seq.const_labels", m.const_labels)
+        if m.state_labels is not None:
+            self.channel.send_u128_list("seq.state_labels", m.state_labels)
+        if cp.ot_mode == "per_round" and m.evaluator_pairs:
+            sender = (
+                OTExtensionSender(self.channel, self.group)
+                if len(m.evaluator_pairs) > K_SECURITY
+                else BaseOTSender(self.channel, self.group)
+            )
+            sender.send(list(m.evaluator_pairs))
+        self.streamed += 1
+        self._round = r + 1
+        cp.advance(r + 1, self.channel.send_seq, self.channel.recv_seq)
+        if self.on_round is not None:
+            self.on_round(
+                GarblerProgress(r + 1, self.channel.send_seq, self.channel.recv_seq)
+            )
+        return self._round < cp.rounds
+
+    def finish(self) -> int:
+        """Send the output map; returns the number of rounds streamed."""
+        self.channel.send(
+            "seq.output_map", bytes(self.checkpoint.output_permute_bits)
+        )
+        if self.telemetry is not None:
+            self.telemetry.counter("recover.rounds.streamed").inc(self.streamed)
+        return self.streamed
 
 
 def serve_from_checkpoint(
@@ -253,43 +453,21 @@ def serve_from_checkpoint(
 ) -> int:
     """Stream the *remaining* rounds of a checkpointed session.
 
-    The wire dialogue is shaped exactly like a fresh ``serve_row``
-    (preamble, per-round tables/labels/OT, output map) so the client
-    re-enters the unmodified evaluator loop at ``start_round`` — no
-    garbling happens here, only retransmission of stored material plus
-    fresh OT for the rounds the client never evaluated.  Returns the
-    number of rounds streamed.
+    Serial convenience wrapper over :class:`CheckpointStreamer`; the
+    batched admission path drives the streamer directly.  Refuses a
+    complete checkpoint — callers that can prove the client never acked
+    the output map (the gateway restart path) use the streamer, which
+    allows the zero-round tail resume.
     """
-    start = checkpoint.next_round
-    if start >= checkpoint.rounds:
+    if checkpoint.next_round >= checkpoint.rounds:
         raise ResumeError(
             f"session {checkpoint.session_id}: nothing to resume — all "
             f"{checkpoint.rounds} rounds already streamed"
         )
-    channel.send("seq.rounds", checkpoint.rounds.to_bytes(4, "big"))
-    channel.send("seq.ot_mode", b"per_round")
-    streamed = 0
-    for r in range(start, checkpoint.rounds):
-        m = checkpoint.material_for(r)
-        channel.send("seq.tables", m.tables)
-        if telemetry is not None:
-            telemetry.counter("recover.stream.bytes").inc(len(m.tables))
-        channel.send_u128_list("seq.garbler_labels", m.garbler_labels)
-        channel.send_u128_list("seq.const_labels", m.const_labels)
-        if m.state_labels is not None:
-            channel.send_u128_list("seq.state_labels", m.state_labels)
-        if m.evaluator_pairs:
-            sender = (
-                OTExtensionSender(channel, group)
-                if len(m.evaluator_pairs) > K_SECURITY
-                else BaseOTSender(channel, group)
-            )
-            sender.send(list(m.evaluator_pairs))
-        streamed += 1
-        checkpoint.advance(r + 1, channel.send_seq, channel.recv_seq)
-        if on_round is not None:
-            on_round(GarblerProgress(r + 1, channel.send_seq, channel.recv_seq))
-    channel.send("seq.output_map", bytes(checkpoint.output_permute_bits))
-    if telemetry is not None:
-        telemetry.counter("recover.rounds.streamed").inc(streamed)
-    return streamed
+    streamer = CheckpointStreamer(
+        channel, checkpoint, group=group, on_round=on_round, telemetry=telemetry
+    )
+    streamer.begin()
+    while streamer.stream_round():
+        pass
+    return streamer.finish()

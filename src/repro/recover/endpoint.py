@@ -138,6 +138,10 @@ class ResumableClientEndpoint(EndpointBase):
         #: set when the gateway answered a resume with mode=restart:
         #: the round the checkpointed session will re-stream from
         self.restart_round: int | None = None
+        #: the ``gateway_id`` from the most recent ``net.resume_ok`` —
+        #: in a fleet it may differ from the gateway that issued the
+        #: session (the chaos oracle records it in its replay logs)
+        self.last_gateway_id: str = ""
         self._resume_disabled = False
         self.enable_replay(replay_capacity)
         # the handshake consumed transport frames; continue seamlessly
@@ -228,10 +232,15 @@ class ResumableClientEndpoint(EndpointBase):
                 self._negotiate(fresh)
             except _RetryLater as exc:
                 # the gateway shed the resume (draining / queue full):
-                # honor its hint as the floor of the next backoff sleep
+                # honor its hint as the floor of the next backoff sleep,
+                # and rotate a failover dialer to the next gateway — a
+                # draining peer will not get healthier while we wait
                 last_error = exc
                 hint_s = exc.delay_s
                 fresh.close()
+                penalize = getattr(self._dial, "penalize", None)
+                if penalize is not None:
+                    penalize()
                 continue
             except ResumeError:
                 fresh.close()
@@ -298,6 +307,7 @@ class ResumableClientEndpoint(EndpointBase):
             ) from exc
         if mode not in RESUME_MODES:
             raise ResumeError(f"{self.name}: unknown resume mode '{mode}'")
+        self.last_gateway_id = str(answer.get("gateway_id", ""))
         if mode == "restart":
             # the original session thread is gone; the gateway will
             # re-stream from a round boundary on this very connection,

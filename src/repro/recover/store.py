@@ -9,6 +9,15 @@ Eviction is lazy: every mutating call first sweeps entries older than
 ``ttl_s``.  Checkpoints are small (a few KiB of remaining-round label
 material for the test-sized circuits) but they hold key material, so
 bounded lifetime is a hygiene requirement, not just a memory one.
+
+For fleet operation (N gateways sharing one store) the store also keeps
+per-session :class:`LeaseRecord` ownership: a gateway must hold the
+session's lease to stream it, an expired lease can be stolen (epoch
+increments — a fencing token), and every round-boundary advance goes
+through :meth:`SessionStore.cas_advance`, which compares against the
+store's own *committed round* for the session — not the checkpoint
+object, which the gateways mutate — so two gateways can never both
+commit the same round.
 """
 
 from __future__ import annotations
@@ -17,13 +26,46 @@ import json
 import os
 import threading
 import time
+from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LeaseError
 from repro.recover.checkpoint import SessionCheckpoint
 
 #: Default checkpoint lifetime.  A client that has not resumed within
 #: this window has abandoned the session; its labels are discarded.
 DEFAULT_TTL_S = 300.0
+
+#: Default lease lifetime.  Long enough to stream several rounds, short
+#: enough that a crashed gateway's sessions become stealable quickly.
+DEFAULT_LEASE_TTL_S = 30.0
+
+
+@dataclass
+class LeaseRecord:
+    """Who owns a session right now, fenced by a monotonic epoch.
+
+    The epoch increments on every steal, never resets (it survives
+    expiry — expired leases are kept, not swept, exactly so the next
+    steal continues the fence), so a gateway that went dark holding
+    epoch ``e`` can never race a successor holding ``e+1``: the store
+    checks ownership on every CAS advance.
+    """
+
+    session_id: str
+    owner: str
+    epoch: int
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "owner": self.owner,
+            "epoch": self.epoch,
+            "expires_at": self.expires_at,
+        }
 
 
 class SessionStore:
@@ -41,6 +83,15 @@ class SessionStore:
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: dict[str, tuple[float, SessionCheckpoint]] = {}
+        #: session ownership records; expired leases are retained (only
+        #: replaced by a steal or removed with the session) so the epoch
+        #: fence never restarts from 1 mid-session.
+        self._leases: dict[str, LeaseRecord] = {}
+        #: last *committed* next_round per session — the CAS comparand.
+        #: Deliberately not read off the stored checkpoint: the
+        #: in-memory backend holds the same object the gateway mutates,
+        #: and a CAS against a self-mutated field always "succeeds".
+        self._committed: dict[str, int] = {}
 
     # -- backend hooks --------------------------------------------------
     def _persist(self, op: str, value) -> None:
@@ -51,9 +102,117 @@ class SessionStore:
         with self._lock:
             self._sweep_locked()
             self._entries[checkpoint.session_id] = (self._clock(), checkpoint)
+            self._committed[checkpoint.session_id] = checkpoint.next_round
             self._persist("put", checkpoint)
         if self.telemetry is not None:
             self.telemetry.counter("recover.store.puts").inc()
+
+    def committed_round(self, session_id: str) -> int | None:
+        """The last round boundary committed through put/cas_advance."""
+        with self._lock:
+            return self._committed.get(session_id)
+
+    # -- leases ----------------------------------------------------------
+    def acquire_lease(
+        self, session_id: str, owner: str, ttl_s: float = DEFAULT_LEASE_TTL_S
+    ) -> LeaseRecord | None:
+        """Take (or renew, or steal-on-expiry) the session's lease.
+
+        Returns the live lease on success, ``None`` when another owner
+        holds an unexpired lease.  A steal increments the epoch.
+        """
+        if ttl_s <= 0:
+            raise ConfigurationError("lease TTL must be positive")
+        with self._lock:
+            now = self._clock()
+            lease = self._leases.get(session_id)
+            stolen = False
+            if lease is None:
+                lease = LeaseRecord(session_id, owner, 1, now + ttl_s)
+            elif lease.owner == owner:
+                lease = LeaseRecord(session_id, owner, lease.epoch, now + ttl_s)
+            elif lease.expired(now):
+                lease = LeaseRecord(session_id, owner, lease.epoch + 1, now + ttl_s)
+                stolen = True
+            else:
+                if self.telemetry is not None:
+                    self.telemetry.counter("recover.lease.denied").inc()
+                return None
+            self._leases[session_id] = lease
+            self._persist("lease", lease)
+        if self.telemetry is not None:
+            self.telemetry.counter("recover.lease.acquires").inc()
+            if stolen:
+                self.telemetry.counter("recover.lease.steals").inc()
+        return lease
+
+    def release_lease(self, session_id: str, owner: str) -> bool:
+        """Drop the lease if ``owner`` still holds it (stale releases no-op)."""
+        with self._lock:
+            lease = self._leases.get(session_id)
+            if lease is None or lease.owner != owner:
+                return False
+            del self._leases[session_id]
+            self._persist("lease_release", session_id)
+            return True
+
+    def get_lease(self, session_id: str) -> LeaseRecord | None:
+        with self._lock:
+            return self._leases.get(session_id)
+
+    def lease_holder(self, session_id: str) -> str | None:
+        """The owner of a *live* lease, or ``None`` (absent or expired).
+
+        A live lease with no checkpoint means the session is real but
+        mid-admission: its owner took the lease before acking the query
+        and the first checkpoint put is still in flight.  Resume paths
+        use this to shed (come back soon) instead of rejecting
+        (permanently unknown)."""
+        with self._lock:
+            lease = self._leases.get(session_id)
+            if lease is None or lease.expired(self._clock()):
+                return None
+            return lease.owner
+
+    def cas_advance(
+        self,
+        checkpoint: SessionCheckpoint,
+        owner: str,
+        expected_next_round: int,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    ) -> None:
+        """Commit a round boundary iff ``owner`` holds the lease *and* the
+        store's committed round still equals ``expected_next_round``.
+
+        Raises :class:`LeaseError` otherwise — the caller's serve is a
+        no-op from the fleet's point of view (some other gateway owns
+        the session now) and must stop streaming.  Success renews the
+        lease and persists the checkpoint.
+        """
+        sid = checkpoint.session_id
+        with self._lock:
+            now = self._clock()
+            lease = self._leases.get(sid)
+            if lease is None or lease.owner != owner:
+                holder = lease.owner if lease is not None else "nobody"
+                raise LeaseError(
+                    f"session {sid}: {owner!r} cannot advance — lease held "
+                    f"by {holder!r}"
+                )
+            committed = self._committed.get(sid)
+            if committed != expected_next_round:
+                raise LeaseError(
+                    f"session {sid}: CAS advance lost — committed round is "
+                    f"{committed}, caller expected {expected_next_round}"
+                )
+            self._entries[sid] = (now, checkpoint)
+            self._committed[sid] = checkpoint.next_round
+            lease = LeaseRecord(sid, owner, lease.epoch, now + lease_ttl_s)
+            self._leases[sid] = lease
+            self._persist("put", checkpoint)
+            self._persist("lease", lease)
+        if self.telemetry is not None:
+            self.telemetry.counter("recover.store.cas_advances").inc()
 
     def get(self, session_id: str) -> SessionCheckpoint | None:
         with self._lock:
@@ -66,6 +225,8 @@ class SessionStore:
             self._sweep_locked()
             existed = self._entries.pop(session_id, None) is not None
             if existed:
+                self._leases.pop(session_id, None)
+                self._committed.pop(session_id, None)
                 self._persist("delete", session_id)
             return existed
 
@@ -79,6 +240,8 @@ class SessionStore:
         expired = [sid for sid, (at, _) in self._entries.items() if at < horizon]
         for sid in expired:
             del self._entries[sid]
+            self._leases.pop(sid, None)
+            self._committed.pop(sid, None)
             self._persist("delete", sid)
         if expired and self.telemetry is not None:
             self.telemetry.counter("recover.store.evicted").inc(len(expired))
@@ -120,6 +283,7 @@ class JsonlSessionStore(SessionStore):
         if not os.path.exists(self.path):
             return
         entries: dict[str, SessionCheckpoint] = {}
+        leases: dict[str, dict] = {}
         with open(self.path, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -133,16 +297,44 @@ class JsonlSessionStore(SessionStore):
                     ) from exc
                 if rec.get("op") == "delete":
                     entries.pop(rec.get("session_id"), None)
+                    leases.pop(rec.get("session_id"), None)
                 elif rec.get("op") == "put":
                     cp = SessionCheckpoint.from_dict(rec["checkpoint"])
                     entries[cp.session_id] = cp
+                elif rec.get("op") == "lease":
+                    leases[rec["session_id"]] = rec
+                elif rec.get("op") == "lease_release":
+                    leases.pop(rec.get("session_id"), None)
         now = self._clock()
         with self._lock:
             self._entries = {sid: (now, cp) for sid, cp in entries.items()}
+            self._committed = {sid: cp.next_round for sid, cp in entries.items()}
+            # Lease expiry is persisted *relative* (a monotonic deadline
+            # from another process is meaningless); remaining validity
+            # resumes from load time.
+            self._leases = {
+                sid: LeaseRecord(
+                    session_id=sid,
+                    owner=rec["owner"],
+                    epoch=int(rec["epoch"]),
+                    expires_at=now + float(rec.get("expires_in", 0.0)),
+                )
+                for sid, rec in leases.items()
+            }
 
     def _persist(self, op: str, value) -> None:
         if op == "put":
             rec = {"op": "put", "checkpoint": value.to_dict()}
+        elif op == "lease":
+            rec = {
+                "op": "lease",
+                "session_id": value.session_id,
+                "owner": value.owner,
+                "epoch": value.epoch,
+                "expires_in": max(0.0, value.expires_at - self._clock()),
+            }
+        elif op == "lease_release":
+            rec = {"op": "lease_release", "session_id": value}
         else:
             rec = {"op": "delete", "session_id": value}
         with open(self.path, "a", encoding="utf-8") as fh:
@@ -151,15 +343,35 @@ class JsonlSessionStore(SessionStore):
             os.fsync(fh.fileno())
 
     def compact(self) -> None:
-        """Rewrite the log with only the live (unexpired) entries."""
+        """Rewrite the log with only the live entries *and their leases*.
+
+        Leases survive compaction even when expired: dropping one would
+        reset the epoch fence to 1 on the next steal, letting a stale
+        pre-compaction owner collide with a post-compaction one.
+        """
         with self._lock:
             self._sweep_locked()
+            now = self._clock()
             tmp = f"{self.path}.tmp"
             with open(tmp, "w", encoding="utf-8") as fh:
                 for _, cp in self._entries.values():
                     fh.write(
                         json.dumps({"op": "put", "checkpoint": cp.to_dict()},
                                    sort_keys=True)
+                        + "\n"
+                    )
+                for lease in self._leases.values():
+                    fh.write(
+                        json.dumps(
+                            {
+                                "op": "lease",
+                                "session_id": lease.session_id,
+                                "owner": lease.owner,
+                                "epoch": lease.epoch,
+                                "expires_in": max(0.0, lease.expires_at - now),
+                            },
+                            sort_keys=True,
+                        )
                         + "\n"
                     )
                 fh.flush()

@@ -14,6 +14,11 @@ layer:
   submit/query APIs and full telemetry.
 """
 
+from repro.serve.batcher import (
+    BatchedResumeRequest,
+    ResumeBatcher,
+    ResumeHandle,
+)
 from repro.serve.config import ServingConfig, resolve_reaper_timeout
 from repro.serve.refiller import PoolRefiller
 from repro.serve.server import (
@@ -24,10 +29,13 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "BatchedResumeRequest",
     "CheckpointSessionRequest",
     "PendingRequest",
     "PoolRefiller",
     "RemoteSessionRequest",
+    "ResumeBatcher",
+    "ResumeHandle",
     "ServingConfig",
     "ServingServer",
     "resolve_reaper_timeout",

@@ -65,6 +65,14 @@ class ServingConfig:
     ``drain_timeout_s`` is the SIGTERM drain deadline;
     ``replay_buffer_frames`` bounds the per-endpoint resume replay
     buffer; ``checkpoint_ttl_s`` is the session-store eviction horizon.
+
+    Fleet knobs (PR 5): ``lease_ttl_s`` bounds how long a gateway owns
+    a session without committing a round before another gateway may
+    steal it; ``resume_batch_window_s``/``resume_batch_max`` shape the
+    resumed-session admission batcher — restored sessions arriving
+    within the window coalesce into one batched serve (round-robin
+    interleaved through a single worker) instead of one-off
+    ``serve_from_checkpoint`` requests.
     """
 
     workers: int = 4
@@ -81,6 +89,9 @@ class ServingConfig:
     drain_timeout_s: float = 10.0
     replay_buffer_frames: int = 4096
     checkpoint_ttl_s: float = 300.0
+    lease_ttl_s: float = 30.0
+    resume_batch_window_s: float = 0.02
+    resume_batch_max: int = 4
 
     def validate(self) -> "ServingConfig":
         if self.workers < 1:
@@ -107,4 +118,10 @@ class ServingConfig:
             raise ConfigurationError("replay buffer must hold at least one frame")
         if self.checkpoint_ttl_s <= 0:
             raise ConfigurationError("checkpoint TTL must be positive")
+        if self.lease_ttl_s <= 0:
+            raise ConfigurationError("lease TTL must be positive")
+        if self.resume_batch_window_s < 0:
+            raise ConfigurationError("resume batch window cannot be negative")
+        if self.resume_batch_max < 1:
+            raise ConfigurationError("resume batch must admit at least one session")
         return self

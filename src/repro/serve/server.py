@@ -97,7 +97,7 @@ class RemoteSessionRequest(PendingRequest):
     retryable = False
 
     def __init__(self, row_index: int, endpoint, deadline: float,
-                 on_round=None, on_run=None):
+                 on_round=None, on_run=None, ot_mode: str = "per_round"):
         super().__init__(row_index, None, deadline)
         self.endpoint = endpoint
         self.start_gate = threading.Event()
@@ -105,6 +105,7 @@ class RemoteSessionRequest(PendingRequest):
         #: the gateway checkpoints the session through these
         self.on_round = on_round
         self.on_run = on_run
+        self.ot_mode = ot_mode
 
     def _execute(self, client: AnalyticsClient):
         if not self.start_gate.wait(timeout=max(0.0, self.deadline - time.perf_counter())):
@@ -114,6 +115,7 @@ class RemoteSessionRequest(PendingRequest):
         client.server.serve_row(
             self.endpoint, self.row_index,
             on_round=self.on_round, on_run=self.on_run,
+            ot_mode=self.ot_mode,
         )
         return True
 
@@ -274,7 +276,7 @@ class ServingServer:
 
     def submit_remote(
         self, row_index: int, endpoint, block: bool = False,
-        on_round=None, on_run=None,
+        on_round=None, on_run=None, ot_mode: str = "per_round",
     ) -> RemoteSessionRequest:
         """Enqueue a remote evaluator session (the gateway's entry point).
 
@@ -284,7 +286,8 @@ class ServingServer:
         gateway turns backpressure into an immediate typed reply instead
         of holding the client's socket silent.  ``on_round``/``on_run``
         are the checkpointing hooks threaded through to
-        :meth:`CloudServer.serve_row`.
+        :meth:`CloudServer.serve_row`; ``ot_mode`` is the client's
+        negotiated OT scheduling mode.
         """
         req = RemoteSessionRequest(
             row_index,
@@ -292,6 +295,7 @@ class ServingServer:
             deadline=time.perf_counter() + self.config.request_timeout_s,
             on_round=on_round,
             on_run=on_run,
+            ot_mode=ot_mode,
         )
         return self._enqueue(req, block)
 

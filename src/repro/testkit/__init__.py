@@ -29,8 +29,11 @@ from repro.testkit.endpoint import TRANSPORTS, FaultyEndpoint, faulty_pair
 from repro.testkit.faults import (
     ALL_FAULT_KINDS,
     DISCONNECT,
+    DRAIN_GATEWAY,
     ENDPOINT_FAULT_KINDS,
     ENVIRONMENT_FAULT_KINDS,
+    HANDOFF_FAULT_KINDS,
+    KILL_GATEWAY,
     RECOVERY_FAULT_KINDS,
     RETRYABLE_KINDS,
     SHED,
@@ -53,8 +56,11 @@ __all__ = [
     "ChaosRunner",
     "ConformanceOracle",
     "DISCONNECT",
+    "DRAIN_GATEWAY",
     "ENDPOINT_FAULT_KINDS",
     "ENVIRONMENT_FAULT_KINDS",
+    "HANDOFF_FAULT_KINDS",
+    "KILL_GATEWAY",
     "FaultPlan",
     "FaultSpec",
     "FaultyEndpoint",

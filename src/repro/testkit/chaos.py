@@ -37,13 +37,17 @@ from repro.testkit.oracle import (
 #: Chaos fault profiles: ``default`` draws from the classic wire +
 #: environment kinds (its seed → plan mapping is pinned and must never
 #: change); ``recovery`` draws disconnect/shed/stall plans that
-#: exercise the protocol-v3 resume machinery.
-PROFILES = ("default", "recovery")
+#: exercise the protocol-v3 resume machinery; ``handoff`` kills/drains
+#: members of a multi-gateway fleet mid-stream (:mod:`repro.fleet`).
+PROFILES = ("default", "recovery", "handoff")
 
 #: mixes the master seed with a session index (distinct from the
 #: workload stream's mixer so plan and workload are independent draws)
 _SEED_STRIDE = 1_000_003
 _WORKLOAD_SALT = 0x9E3779B9
+#: a third independent stream: the handoff profile's per-session OT
+#: mode draw (per_round vs upfront) must not perturb plan or workload
+_OT_MODE_SALT = 0x51F15EED
 
 
 def derive_session_seed(master_seed: int, session: int) -> int:
@@ -67,11 +71,19 @@ class ChaosConfig:
     rounds: int = 2
     pool_size: int = 2
     profile: str = "default"
+    #: fleet size for the ``handoff`` profile (ignored by the others)
+    gateways: int = 3
 
     def validate(self) -> "ChaosConfig":
         if self.profile not in PROFILES:
             raise ConfigurationError(
                 f"unknown chaos profile '{self.profile}' (profiles: {PROFILES})"
+            )
+        if self.gateways < 1:
+            raise ConfigurationError("the fleet needs at least one gateway")
+        if self.profile == "handoff" and self.gateways < 2:
+            raise ConfigurationError(
+                "the handoff profile needs at least two gateways to hand off between"
             )
         if self.sessions < 1:
             raise ConfigurationError("a chaos run needs at least one session")
@@ -174,6 +186,7 @@ class ChaosReport:
             "rounds": self.config.rounds,
             "pool_size": self.config.pool_size,
             "profile": self.config.profile,
+            "gateways": self.config.gateways,
             "tolerated": c[TOLERATED],
             "recovered": c[RECOVERED],
             "surfaced": c[SURFACED],
@@ -209,11 +222,18 @@ class ChaosRunner:
             recv_timeout_s=self.config.recv_timeout_s,
             deadline_s=self.config.deadline_s,
             max_retries=self.config.max_retries,
+            gateways=self.config.gateways,
         )
 
     # ------------------------------------------------------------------
     def plan_for(self, session: int) -> FaultPlan:
         session_seed = derive_session_seed(self.config.seed, session)
+        if self.config.profile == "handoff":
+            return FaultPlan.random_handoff(
+                session_seed,
+                recv_timeout_s=self.config.recv_timeout_s,
+                n_gateways=self.config.gateways,
+            )
         if self.config.profile == "recovery":
             return FaultPlan.random_recovery(
                 session_seed, recv_timeout_s=self.config.recv_timeout_s
@@ -221,6 +241,18 @@ class ChaosRunner:
         return FaultPlan.random(
             session_seed, recv_timeout_s=self.config.recv_timeout_s
         )
+
+    def ot_mode_for(self, session: int) -> str:
+        """Seed-stable OT mode for a session: the handoff profile mixes
+        upfront-OT sessions in (about one in three) so migrations cover
+        both label-transfer schedules; the other profiles stay per-round
+        (their verdict fingerprints are pinned)."""
+        if self.config.profile != "handoff":
+            return "per_round"
+        rng = random.Random(
+            derive_session_seed(self.config.seed, session) ^ _OT_MODE_SALT
+        )
+        return "upfront" if rng.random() < (1.0 / 3.0) else "per_round"
 
     def workload_for(self, session: int) -> tuple[int, list[float]]:
         """The (row, x) a session queries — grid-snapped, seed-stable."""
@@ -241,7 +273,8 @@ class ChaosRunner:
             plan = self.plan_for(session)
             row, x = self.workload_for(session)
             verdict = self.oracle.run_session(
-                plan, row, x, self.transport_for(session)
+                plan, row, x, self.transport_for(session),
+                ot_mode=self.ot_mode_for(session),
             )
             verdict.session = session
             verdicts.append(verdict)
@@ -304,6 +337,10 @@ class ChaosRunner:
             rounds=int(header.get("rounds", 2)),
             pool_size=int(header.get("pool_size", 2)),
             profile=str(header.get("profile", "default")),
+            # pre-fleet logs carry no gateway count; 3 matches the old
+            # single-endpoint behaviour closely enough (the plans in
+            # such logs have no handoff faults anyway)
+            gateways=int(header.get("gateways", 3)),
         )
         runner = cls(config, telemetry=telemetry)
         verdicts = []
@@ -312,7 +349,8 @@ class ChaosRunner:
             plan = FaultPlan.from_dict(rec["plan"])
             row, x = runner.workload_for(session)
             verdict = runner.oracle.run_session(
-                plan, row, x, runner.transport_for(session)
+                plan, row, x, runner.transport_for(session),
+                ot_mode=runner.ot_mode_for(session),
             )
             verdict.session = session
             verdicts.append(verdict)

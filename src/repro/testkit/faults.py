@@ -44,11 +44,19 @@ ABORT_HANDSHAKE = "abort_handshake"  #: client drops mid-negotiation
 DISCONNECT = "disconnect"  #: cut the client's wire after frame N; must resume
 SHED = "shed"              #: saturate the gateway queue; must retry after hint
 
+# -- fleet handoff faults (:mod:`repro.fleet`) --------------------------
+KILL_GATEWAY = "kill_gateway"    #: crash gateway G after frame N; a peer
+                                 #: must steal the lease and finish the query
+DRAIN_GATEWAY = "drain_gateway"  #: gracefully drain gateway G mid-stream;
+                                 #: a peer resumes from its checkpoint
+
 ENDPOINT_FAULT_KINDS = (DROP, CORRUPT, DUPLICATE, DELAY, TRUNCATE, STALL)
 ENVIRONMENT_FAULT_KINDS = (EXHAUST_POOL, KILL_WORKER, ABORT_HANDSHAKE)
 RECOVERY_FAULT_KINDS = (DISCONNECT, SHED)
+HANDOFF_FAULT_KINDS = (KILL_GATEWAY, DRAIN_GATEWAY)
 ALL_FAULT_KINDS = (
     ENDPOINT_FAULT_KINDS + ENVIRONMENT_FAULT_KINDS + RECOVERY_FAULT_KINDS
+    + HANDOFF_FAULT_KINDS
 )
 
 #: Faults worth one bounded retry: transient wire gremlins where a
@@ -69,7 +77,9 @@ class FaultSpec:
     ``frame`` indexes the injecting side's *sent* messages (0-based);
     ``duration_s`` parameterises ``delay``/``stall``; ``after_frames``
     is the ``abort_handshake`` boundary — how many handshake frames the
-    client sends before vanishing.
+    client sends before vanishing; ``gateway`` is the fleet member a
+    handoff fault targets (so replay logs reproduce *which* gateway
+    died, not just that one did).
     """
 
     kind: str
@@ -77,6 +87,7 @@ class FaultSpec:
     frame: int = 0
     duration_s: float = 0.0
     after_frames: int = 0
+    gateway: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_FAULT_KINDS:
@@ -87,6 +98,8 @@ class FaultSpec:
             raise ConfigurationError(f"fault side must be one of {SIDES}")
         if self.frame < 0 or self.after_frames < 0 or self.duration_s < 0:
             raise ConfigurationError("fault parameters cannot be negative")
+        if self.gateway < 0:
+            raise ConfigurationError("gateway index cannot be negative")
 
     @property
     def is_endpoint_fault(self) -> bool:
@@ -103,6 +116,8 @@ class FaultSpec:
             return f"{self.kind}(after {self.after_frames} frames)"
         if self.kind == DISCONNECT:
             return f"{self.kind}(cut@{self.frame})"
+        if self.kind in HANDOFF_FAULT_KINDS:
+            return f"{self.kind}(gw{self.gateway}, cut@{self.frame})"
         if self.is_endpoint_fault:
             return f"{self.kind}({self.side}@{self.frame})"
         return self.kind
@@ -114,6 +129,7 @@ class FaultSpec:
             "frame": self.frame,
             "duration_s": self.duration_s,
             "after_frames": self.after_frames,
+            "gateway": self.gateway,
         }
 
     @classmethod
@@ -141,6 +157,11 @@ class FaultPlan:
     def is_recovery(self) -> bool:
         """True when the plan exercises the v3 resume/shed machinery."""
         return any(f.kind in RECOVERY_FAULT_KINDS for f in self.faults)
+
+    @property
+    def is_handoff(self) -> bool:
+        """True when the plan kills/drains a fleet member mid-stream."""
+        return any(f.kind in HANDOFF_FAULT_KINDS for f in self.faults)
 
     @property
     def retryable(self) -> bool:
@@ -248,4 +269,34 @@ class FaultPlan:
                 frame=rng.randint(0, 8),
                 duration_s=round(4.0 * recv_timeout_s, 4),
             )
+        return cls(faults=(spec,), seed=seed)
+
+    @classmethod
+    def random_handoff(
+        cls,
+        seed: int,
+        recv_timeout_s: float = 0.25,
+        max_cut_frame: int = 24,
+        n_gateways: int = 3,
+    ) -> "FaultPlan":
+        """A reproducible plan from the *handoff* profile: crash
+        (weighted highest — the lease-steal tentpole) or drain one
+        member of an ``n_gateways`` fleet mid-stream.
+
+        A separate generator for the same reason :meth:`random_recovery`
+        is: the older profiles' seed → plan mappings are pinned, and new
+        kinds must not remap their draw streams.
+        """
+        if n_gateways < 2:
+            raise ConfigurationError(
+                "a handoff plan needs at least two gateways to hand off between"
+            )
+        rng = random.Random(seed)
+        kind = rng.choice((KILL_GATEWAY, KILL_GATEWAY, DRAIN_GATEWAY))
+        spec = FaultSpec(
+            kind=kind,
+            side="evaluator",
+            frame=rng.randint(1, max_cut_frame),
+            gateway=rng.randrange(n_gateways),
+        )
         return cls(faults=(spec,), seed=seed)

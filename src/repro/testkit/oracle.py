@@ -46,8 +46,11 @@ from repro.testkit.endpoint import faulty_pair
 from repro.testkit.faults import (
     ABORT_HANDSHAKE,
     DISCONNECT,
+    DRAIN_GATEWAY,
     EXHAUST_POOL,
     FaultPlan,
+    HANDOFF_FAULT_KINDS,
+    KILL_GATEWAY,
     KILL_WORKER,
     SHED,
 )
@@ -74,6 +77,11 @@ class SessionVerdict:
     injected: list[str] = field(default_factory=list)
     elapsed_s: float = 0.0
     session: int = -1
+    #: fleet runs: the gateway that finally served the session (may
+    #: differ from the one that started it).  Deliberately excluded
+    #: from :meth:`signature` — which member wins a lease race is
+    #: timing-dependent; what must be reproducible is the verdict.
+    gateway_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -102,6 +110,7 @@ class SessionVerdict:
             "attempts": self.attempts,
             "injected": self.injected,
             "elapsed_s": round(self.elapsed_s, 4),
+            "gateway_id": self.gateway_id,
         }
 
 
@@ -143,18 +152,21 @@ class ConformanceOracle:
         recv_timeout_s: float = 0.25,
         deadline_s: float = 10.0,
         max_retries: int = 1,
+        gateways: int = 3,
     ):
         self.server = server
         self.telemetry = telemetry if telemetry is not None else server.telemetry
         self.recv_timeout_s = recv_timeout_s
         self.deadline_s = deadline_s
         self.max_retries = max_retries
+        self.gateways = gateways
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def run_session(
-        self, plan: FaultPlan, row: int, x_values, transport: str = "memory"
+        self, plan: FaultPlan, row: int, x_values, transport: str = "memory",
+        ot_mode: str = "per_round",
     ) -> SessionVerdict:
         """Run one session under ``plan`` and return its verdict."""
         if ABORT_HANDSHAKE in plan.kinds:
@@ -163,6 +175,8 @@ class ConformanceOracle:
             verdict = self.run_worker_poison(plan, row, x_values)
         elif EXHAUST_POOL in plan.kinds:
             verdict = self.run_pool_exhaustion(plan, row, x_values, transport)
+        elif plan.is_handoff:
+            verdict = self.run_gateway_handoff(plan, row, x_values, ot_mode)
         elif plan.is_recovery:
             verdict = self.run_gateway_recovery(plan, row, x_values)
         else:
@@ -558,6 +572,173 @@ class ConformanceOracle:
             gateway.stop()
             serving.stop()
 
+    def run_gateway_handoff(
+        self, plan: FaultPlan, row: int, x_values, ot_mode: str = "per_round"
+    ) -> SessionVerdict:
+        """Kill or drain one member of a gateway fleet mid-stream; a
+        peer sharing the session store must finish the query.
+
+        The conformance bar is the tentpole's acceptance criterion: the
+        migrated session ends with the bit-identical MAC result, exactly
+        one run is garbled (``pool_size=0`` makes ``runs_garbled`` an
+        exact no-double-garbling oracle — a lease-fencing failure shows
+        up as a delta of 2), and either OT mode survives the handoff
+        (an ``upfront`` session's remaining label slices ride in the
+        checkpoint).
+        """
+        from repro.fleet import GatewayGroup
+
+        start = time.perf_counter()
+        spec = next(f for f in plan.faults if f.kind in HANDOFF_FAULT_KINDS)
+        injected: list[str] = []
+        self.telemetry.counter(f"faults.injected.{spec.kind}").inc()
+        expected = self._expected(row, x_values)
+        rec_server = CloudServer(
+            self.server.model,
+            self.server.fmt,
+            pool_size=0,
+            seed=plan.seed,
+            auto_refill=False,
+            telemetry=self.telemetry,
+        )
+        recv_timeout = max(1.0, 8.0 * self.recv_timeout_s)
+        config = ServingConfig(
+            workers=1,
+            queue_depth=2,
+            refill=False,
+            recv_timeout_s=recv_timeout,
+            request_timeout_s=self.deadline_s,
+            resume_window_s=self.deadline_s,
+            retry_after_s=0.02,
+            # short enough that a peer steals a dead member's lease well
+            # inside the client's backoff budget
+            lease_ttl_s=0.3,
+            resume_batch_window_s=0.01,
+        )
+        group = GatewayGroup(
+            rec_server, n_gateways=self.gateways, config=config,
+            telemetry=self.telemetry,
+        )
+        group.start()
+        client = None
+        try:
+            # the dialer starts at the target member so the fault is
+            # guaranteed to hit the gateway actually serving the session
+            dialer = group.loopback_dialer(
+                name="chaos-handoff",
+                recv_timeout_s=recv_timeout,
+                start_at=spec.gateway,
+            )
+            client = RemoteAnalyticsClient(
+                dial=dialer,
+                name="chaos-handoff",
+                backoff=BackoffPolicy(
+                    base_s=0.02, cap_s=0.1, max_attempts=12, seed=plan.seed
+                ),
+                recv_timeout_s=recv_timeout,
+            )
+            garbled_before = rec_server.stats.runs_garbled
+            box: dict = {}
+
+            def attempt():
+                try:
+                    box["value"] = client.query_row(row, x_values, ot_mode=ot_mode)
+                except BaseException as exc:
+                    box["error"] = exc
+
+            worker = threading.Thread(
+                target=attempt, daemon=True, name="oracle-handoff"
+            )
+            worker.start()
+            fired = self._fire_gateway_fault(client, group, spec, worker)
+            if fired:
+                injected.append(f"{spec.kind}:gw{spec.gateway}@{spec.frame}")
+            worker.join(timeout=self.deadline_s)
+            gateway_id = getattr(client.endpoint, "last_gateway_id", "")
+            if worker.is_alive():
+                return self._verdict(
+                    plan, "fleet", VIOLATION,
+                    "handoff session exceeded its deadline (hang)",
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            if "error" in box:
+                exc = box["error"]
+                if isinstance(exc, ReproError):
+                    return self._verdict(
+                        plan, "fleet", SURFACED,
+                        f"typed error within deadline: {exc}",
+                        error_type=type(exc).__name__,
+                        injected=injected, start=start, gateway_id=gateway_id,
+                    )
+                return self._verdict(
+                    plan, "fleet", VIOLATION,
+                    f"untyped exception escaped: {type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            if abs(box["value"] - expected) >= 1e-9:
+                return self._verdict(
+                    plan, "fleet", VIOLATION,
+                    f"silent wrong MAC result after handoff: "
+                    f"got {box['value']}, expected {expected}",
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            garbled = rec_server.stats.runs_garbled - garbled_before
+            if garbled != 1:
+                return self._verdict(
+                    plan, "fleet", VIOLATION,
+                    f"query garbled {garbled} runs (expected exactly 1): "
+                    "a migrated round was re-garbled",
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            resumes = getattr(client.endpoint, "resumes", 0)
+            if fired and (resumes >= 1 or spec.kind == DRAIN_GATEWAY):
+                return self._verdict(
+                    plan, "fleet", RECOVERED,
+                    f"gateway gw{spec.gateway} {spec.kind.split('_')[0]}ed "
+                    "mid-stream; a peer finished the query bit-identical "
+                    "without re-garbling",
+                    attempts=1 + resumes, injected=injected, start=start,
+                    gateway_id=gateway_id,
+                )
+            return self._verdict(
+                plan, "fleet", TOLERATED,
+                "fault never fired (cut frame beyond the session); clean run",
+                injected=injected, start=start, gateway_id=gateway_id,
+            )
+        finally:
+            if client is not None:
+                client.close()
+            group.stop()
+
+    def _fire_gateway_fault(self, client, group, spec, worker) -> bool:
+        """Trigger the handoff fault once the client has verified
+        ``spec.frame`` session frames; returns False if the query
+        finished before the trigger point was reached."""
+        deadline = time.monotonic() + self.deadline_s
+        while time.monotonic() < deadline and worker.is_alive():
+            if client.endpoint.recv_seq >= spec.frame:
+                break
+            time.sleep(0.001)
+        else:
+            return False
+        if spec.kind == KILL_GATEWAY:
+            # the power-cut model: the member dies AND the client's wire
+            # drops.  Closing only the server side would leave buffered
+            # socketpair bytes readable — a free-running upfront stream
+            # could finish without ever migrating, testing nothing.
+            transport = client.endpoint.transport
+            group.kill(spec.gateway)
+            try:
+                transport.close()
+            except Exception:
+                pass
+            return True
+        # graceful drain: blocks until the member checkpointed its
+        # sessions and released their leases
+        group.drain(spec.gateway, timeout_s=max(2.0, self.deadline_s / 4))
+        return True
+
     def _cut_after_frame(self, client, frame: int, worker) -> bool:
         """Close the client's transport once it has verified ``frame``
         session frames; returns False if the query finished first."""
@@ -599,7 +780,7 @@ class ConformanceOracle:
     @staticmethod
     def _verdict(
         plan, transport, verdict, detail, error_type="", attempts=1, injected=None,
-        start=0.0,
+        start=0.0, gateway_id="",
     ) -> SessionVerdict:
         return SessionVerdict(
             plan=plan.to_dict(),
@@ -610,4 +791,5 @@ class ConformanceOracle:
             attempts=attempts,
             injected=list(injected or []),
             elapsed_s=time.perf_counter() - start,
+            gateway_id=gateway_id,
         )

@@ -1,0 +1,89 @@
+"""FailoverDialer: rotation, stickiness, penalties, exhaustion."""
+
+import socket
+
+import pytest
+
+from repro.errors import ConfigurationError, WireError
+from repro.fleet import FailoverDialer
+from repro.telemetry import MetricsRegistry
+
+
+class _FakeTransport:
+    def __init__(self, label):
+        self.label = label
+
+
+def ok(label):
+    def dial():
+        return _FakeTransport(label)
+    return dial
+
+
+def dead(exc=None):
+    def dial():
+        raise exc if exc is not None else WireError("gateway down")
+    return dial
+
+
+class TestFailoverDialer:
+    def test_needs_at_least_one_gateway(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            FailoverDialer([])
+
+    def test_sticky_on_success(self):
+        dialer = FailoverDialer([ok("a"), ok("b")])
+        assert dialer().label == "a"
+        assert dialer().label == "a"
+        assert dialer.cursor == 0
+
+    def test_rotates_past_a_dead_gateway(self):
+        tm = MetricsRegistry()
+        dialer = FailoverDialer([dead(), ok("b"), ok("c")], telemetry=tm)
+        assert dialer().label == "b"
+        # the cursor moved: the healthy member keeps this client
+        assert dialer.cursor == 1
+        assert dialer().label == "b"
+        assert tm.counter("fleet.dialer.failures").value == 1
+        assert tm.counter("fleet.dialer.dials").value == 2
+
+    def test_oserror_also_rotates(self):
+        dialer = FailoverDialer([dead(ConnectionRefusedError()), ok("b")])
+        assert dialer().label == "b"
+
+    def test_penalize_moves_off_the_current_gateway(self):
+        tm = MetricsRegistry()
+        dialer = FailoverDialer([ok("a"), ok("b"), ok("c")], telemetry=tm)
+        assert dialer().label == "a"
+        dialer.penalize()  # e.g. gateway a answered net.retry_after
+        assert dialer().label == "b"
+        dialer.penalize()
+        dialer.penalize()  # wraps back around
+        assert dialer().label == "a"
+        assert tm.counter("fleet.dialer.penalties").value == 3
+
+    def test_all_dead_raises_wire_error(self):
+        dialer = FailoverDialer([dead(), dead(), dead()])
+        with pytest.raises(WireError, match="all 3 gateways refused"):
+            dialer()
+
+    def test_start_at_offsets_the_cursor(self):
+        dialer = FailoverDialer([ok("a"), ok("b"), ok("c")], start_at=2)
+        assert dialer().label == "c"
+
+    def test_from_addresses_dials_a_listener(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            dialer = FailoverDialer.from_addresses(
+                [listener.getsockname()], name="t", recv_timeout_s=1.0
+            )
+            transport = dialer()
+            try:
+                accepted, _ = listener.accept()
+                accepted.close()
+            finally:
+                transport.close()
+        finally:
+            listener.close()

@@ -1,0 +1,233 @@
+"""GatewayGroup: lifecycle, kill/drain handoff, lease-fenced adoption.
+
+The tentpole scenarios: a client mid-query when its gateway dies (or
+drains) fails over to a peer, which adopts the session from the shared
+store — lease steal, checkpoint rewind to the client's acked round,
+batched restart stream — and the query finishes bit-identical with the
+session garbled exactly once.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q8_4
+from repro.fleet import GatewayGroup
+from repro.host import AnalyticsClient, CloudServer
+from repro.net import RemoteAnalyticsClient
+from repro.recover import BackoffPolicy
+from repro.serve import ServingConfig
+from repro.telemetry import MetricsRegistry
+
+MODEL = np.array([
+    [0.5, -1.0, 0.25, 0.75, -0.5, 1.0, 0.125, -0.25],
+    [1.0, 1.0, -1.5, 0.5, 0.75, -0.75, 2.0, 0.25],
+])
+X = np.array([0.5, -0.25, 1.0, 0.75, 0.125, -0.5, 0.25, 1.0])
+RECV_TIMEOUT = 20.0
+
+
+def fresh_server():
+    return CloudServer(
+        MODEL, Q8_4, pool_size=0, seed=13, auto_refill=False,
+        telemetry=MetricsRegistry(),
+    )
+
+
+def make_group(server, n=3, lease_ttl_s=0.4):
+    cfg = ServingConfig(
+        workers=2,
+        queue_depth=8,
+        refill=False,
+        recv_timeout_s=RECV_TIMEOUT,
+        drain_timeout_s=10.0,
+        lease_ttl_s=lease_ttl_s,
+        resume_batch_window_s=0.01,
+        retry_after_s=0.02,
+    )
+    return GatewayGroup(server, n_gateways=n, config=cfg)
+
+
+def client_for(group, start_at=0):
+    dialer = group.loopback_dialer(
+        name="client", recv_timeout_s=RECV_TIMEOUT,
+        telemetry=group.server.telemetry, start_at=start_at,
+    )
+    return RemoteAnalyticsClient(
+        dial=dialer,
+        telemetry=group.server.telemetry,
+        backoff=BackoffPolicy(base_s=0.02, cap_s=0.1, max_attempts=12, seed=3),
+    )
+
+
+def wait_for_checkpoint(store, deadline_s=15.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        for sid in store.session_ids():
+            cp = store.get(sid)
+            if cp is not None and 1 <= cp.next_round < cp.rounds:
+                return sid
+        time.sleep(0.002)
+    pytest.fail("no round-boundary checkpoint appeared")
+
+
+def run_handoff(group, fault, ot_mode="per_round", row=1):
+    """Start a query, fire ``fault(sid)`` once a boundary checkpoint
+    exists, and return the client plus its result."""
+    client = client_for(group)
+    result = {}
+
+    def query():
+        try:
+            result["got"] = client.query_row(row, X, ot_mode=ot_mode)
+        except BaseException as exc:  # surfaced to the assertion below
+            result["err"] = exc
+
+    t = threading.Thread(target=query)
+    t.start()
+    try:
+        sid = wait_for_checkpoint(group.store)
+        fault(sid, client)
+    finally:
+        t.join(timeout=60.0)
+    assert not t.is_alive(), "query never finished after the fault"
+    if "err" in result:
+        raise result["err"]
+    return client, result["got"]
+
+
+class TestGroupLifecycle:
+    def test_needs_at_least_one_member(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            GatewayGroup(fresh_server(), n_gateways=0)
+
+    def test_members_share_the_store_and_get_distinct_ids(self):
+        group = make_group(fresh_server())
+        assert len(group) == 3
+        ids = [gw.gateway_id for gw in group.gateways]
+        assert ids == ["gw0", "gw1", "gw2"]
+        assert all(gw.store is group.store for gw in group.gateways)
+
+    def test_bind_start_exposes_addresses_and_stop_is_idempotent(self):
+        group = make_group(fresh_server(), n=2)
+        group.start(bind=True)
+        try:
+            addrs = group.addresses
+            assert len(addrs) == 2
+            assert all(port > 0 for _, port in addrs)
+        finally:
+            group.stop()
+            group.stop()  # killed/stopped members tolerate a second stop
+
+    def test_killed_member_refuses_adoption_and_dialer_rotates(self):
+        server = fresh_server()
+        group = make_group(server).start()
+        try:
+            group.kill(0)
+            client = client_for(group, start_at=0)
+            try:
+                # the dialer walked past the dead member transparently
+                assert client.session_id
+                assert client.query_row(0, X) == pytest.approx(
+                    float(MODEL[0] @ X), abs=1e-12
+                )
+            finally:
+                client.close()
+            assert server.telemetry.counter("fleet.dialer.failures").value >= 1
+        finally:
+            group.stop()
+
+
+class TestKillHandoff:
+    @pytest.mark.parametrize("ot_mode", ["per_round", "upfront"])
+    def test_kill_mid_query_migrates_bit_exact(self, ot_mode):
+        """A gateway crash mid-stream: the client fails over, a peer
+        steals the expired lease, and the result is bit-identical to the
+        uninterrupted reference with zero re-garbled rounds."""
+        server = fresh_server()
+        # uninterrupted reference, garbled independently
+        reference = AnalyticsClient(server).query_row(1, X, ot_mode=ot_mode)
+        garbled0 = server.stats.runs_garbled
+        group = make_group(server).start()
+        try:
+            def fault(sid, client):
+                transport = client.endpoint.transport
+                group.kill(0)
+                # the socketpair still holds buffered frames the dead
+                # gateway wrote; drop them so the break is observable
+                transport.close()
+
+            client, got = run_handoff(group, fault, ot_mode=ot_mode)
+            try:
+                assert got == reference  # bit-for-bit, not approx
+                # the migrated session was garbled exactly once
+                assert server.stats.runs_garbled == garbled0 + 1
+                tm = server.telemetry
+                assert tm.counter("gateway.resumes.restart").value == 1
+                assert tm.counter("recover.lease.steals").value == 1
+                # the answering gateway provably was not the dead one
+                assert client.endpoint.last_gateway_id in ("gw1", "gw2")
+            finally:
+                client.close()
+        finally:
+            group.stop()
+
+    def test_live_lease_sheds_then_expiry_steals(self):
+        """Satellite (gateway layer): while the dead owner's lease is
+        still live a peer's adoption is denied — a typed shed, served
+        rounds untouched — and only after expiry does exactly one peer
+        steal and finish.  The loser's serve is a no-op."""
+        server = fresh_server()
+        group = make_group(server, lease_ttl_s=0.6).start()
+        try:
+            committed_at_kill = {}
+
+            def fault(sid, client):
+                transport = client.endpoint.transport
+                group.kill(0)
+                transport.close()
+                committed_at_kill["round"] = group.store.committed_round(sid)
+
+            client, got = run_handoff(group, fault)
+            try:
+                assert got == pytest.approx(float(MODEL[1] @ X), abs=1e-12)
+                tm = server.telemetry
+                # at least one adoption bounced off the live lease...
+                assert tm.counter("recover.lease.denied").value >= 1
+                # ...and the denial did not advance the session
+                assert committed_at_kill["round"] is not None
+                # exactly one steal won the session
+                assert tm.counter("recover.lease.steals").value == 1
+                assert tm.counter("gateway.resumes.restart").value == 1
+                assert server.stats.runs_garbled == 1
+            finally:
+                client.close()
+        finally:
+            group.stop()
+
+
+class TestDrainHandoff:
+    def test_drain_hands_off_without_a_steal(self):
+        """A graceful drain releases the session's lease, so the
+        successor adopts epoch-clean — no steal, no re-garble."""
+        server = fresh_server()
+        group = make_group(server).start()
+        try:
+            def fault(sid, client):
+                assert group.drain(0, timeout_s=10.0) is True
+
+            client, got = run_handoff(group, fault)
+            try:
+                assert got == pytest.approx(float(MODEL[1] @ X), abs=1e-12)
+                tm = server.telemetry
+                assert tm.counter("recover.lease.steals").value == 0
+                assert tm.counter("gateway.resumes.restart").value == 1
+                assert tm.counter("gateway.sessions.drained").value >= 1
+                assert server.stats.runs_garbled == 1
+            finally:
+                client.close()
+        finally:
+            group.stop()

@@ -55,11 +55,56 @@ class TestAdvance:
         cp = make_checkpoint(rounds=3)
         cp.advance(2, send_seq=14, recv_seq=9)
         assert cp.next_round == 2
-        assert [m.round_index for m in cp.materials] == [2]
+        # round 1 is the unacked tail: streamed, but the client may not
+        # have verified it yet — a successor gateway can re-serve it
+        assert [m.round_index for m in cp.materials] == [1, 2]
         assert (cp.send_seq, cp.recv_seq) == (14, 9)
         assert not cp.complete
         cp.advance(3)
         assert cp.complete
+        assert [m.round_index for m in cp.materials] == [2]
+
+    def test_upfront_mode_never_prunes_on_advance(self):
+        cp = make_checkpoint(rounds=3)
+        cp.ot_mode = "upfront"
+        cp.advance(3, send_seq=20, recv_seq=2)
+        # the free-running upfront stream keeps everything; only
+        # rewind_to (which knows the acked round) may discard
+        assert [m.round_index for m in cp.materials] == [0, 1, 2]
+
+    def test_boundary_map_tracks_advances(self):
+        cp = make_checkpoint(rounds=3)
+        cp.begin_stream(0)
+        cp.advance(1, send_seq=5)
+        cp.advance(2, send_seq=9)
+        assert cp.stream_boundaries == [[0, 0], [1, 5], [2, 9]]
+        assert cp.acked_round(0) == 0
+        assert cp.acked_round(4) == 0
+        assert cp.acked_round(5) == 1
+        assert cp.acked_round(8) == 1
+        assert cp.acked_round(9) == 2
+        assert cp.acked_round(999) == 2
+
+    def test_rewind_restores_reservable_rounds(self):
+        cp = make_checkpoint(rounds=3)
+        cp.ot_mode = "upfront"
+        cp.advance(3, send_seq=20)
+        cp.rewind_to(1)
+        assert cp.next_round == 1
+        assert [m.round_index for m in cp.materials] == [1, 2]
+        with pytest.raises(ResumeError, match="cannot rewind forward"):
+            cp.rewind_to(2)
+
+    def test_rewind_without_material_is_typed(self):
+        cp = make_checkpoint(rounds=3)
+        cp.advance(2, send_seq=9)
+        cp.advance(3, send_seq=14)
+        # per_round pruning dropped rounds 0 and 1; only round 2 (the
+        # tail) is re-servable
+        with pytest.raises(ResumeError, match="never re-served"):
+            cp.rewind_to(0)
+        cp.rewind_to(2)
+        assert cp.next_round == 2
 
     def test_advance_backwards_is_typed(self):
         cp = make_checkpoint()
@@ -70,6 +115,7 @@ class TestAdvance:
     def test_material_for_pruned_round_is_typed(self):
         cp = make_checkpoint()
         cp.advance(1)
+        cp.advance(2)
         with pytest.raises(ResumeError, match="never re-served"):
             cp.material_for(0)
         assert cp.material_for(1).round_index == 1
@@ -78,7 +124,7 @@ class TestAdvance:
 class TestSerialization:
     def test_dict_roundtrip_is_lossless(self):
         cp = make_checkpoint()
-        cp.advance(1, send_seq=7, recv_seq=4)
+        cp.advance(2, send_seq=7, recv_seq=4)
         rebuilt = SessionCheckpoint.from_dict(cp.to_dict())
         assert rebuilt.to_dict() == cp.to_dict()
         assert rebuilt.materials[0].tables == b"\xaa" * 32

@@ -1,10 +1,12 @@
-"""Session stores: TTL eviction, JSONL persistence, corruption handling."""
+"""Session stores: TTL eviction, JSONL persistence, corruption handling,
+and the fleet lease/CAS fence."""
 
 import json
+import threading
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LeaseError
 from repro.recover import (
     InMemorySessionStore,
     JsonlSessionStore,
@@ -152,3 +154,176 @@ class TestJsonlStore:
     def test_missing_file_means_empty_store(self, tmp_path):
         store = JsonlSessionStore(tmp_path / "absent.jsonl", ttl_s=60.0)
         assert len(store) == 0
+
+
+class TestLeases:
+    def test_acquire_renew_release(self):
+        store = InMemorySessionStore(ttl_s=60.0)
+        store.put(make_checkpoint("s-l"))
+        lease = store.acquire_lease("s-l", "gw-a", ttl_s=30.0)
+        assert lease is not None and lease.epoch == 1
+        # renewal keeps the epoch
+        again = store.acquire_lease("s-l", "gw-a", ttl_s=30.0)
+        assert again.epoch == 1
+        assert store.release_lease("s-l", "gw-a") is True
+        assert store.get_lease("s-l") is None
+        # a stale owner cannot release what it no longer holds
+        assert store.release_lease("s-l", "gw-a") is False
+
+    def test_live_lease_denies_other_owners(self):
+        tm = MetricsRegistry()
+        store = InMemorySessionStore(ttl_s=60.0, telemetry=tm)
+        store.acquire_lease("s-l", "gw-a", ttl_s=30.0)
+        assert store.acquire_lease("s-l", "gw-b", ttl_s=30.0) is None
+        assert tm.counter("recover.lease.denied").value == 1
+
+    def test_expired_lease_is_stolen_with_epoch_bump(self):
+        clock = FakeClock()
+        tm = MetricsRegistry()
+        store = InMemorySessionStore(ttl_s=600.0, telemetry=tm, clock=clock)
+        store.acquire_lease("s-l", "gw-a", ttl_s=5.0)
+        clock.now += 6.0
+        stolen = store.acquire_lease("s-l", "gw-b", ttl_s=5.0)
+        assert stolen is not None
+        assert stolen.owner == "gw-b" and stolen.epoch == 2
+        assert tm.counter("recover.lease.steals").value == 1
+
+    def test_expired_lease_contention_has_exactly_one_winner(self):
+        """Satellite: two gateways race to adopt the same expired
+        session — one wins, the loser is denied, the epoch moves once."""
+        clock = FakeClock()
+        store = InMemorySessionStore(ttl_s=600.0, clock=clock)
+        store.put(make_checkpoint("s-race", rounds=2, next_round=1))
+        store.acquire_lease("s-race", "gw-dead", ttl_s=1.0)
+        clock.now += 2.0  # the owner is provably dark now
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def adopt(owner):
+            barrier.wait()
+            results[owner] = store.acquire_lease("s-race", owner, ttl_s=30.0)
+
+        threads = [
+            threading.Thread(target=adopt, args=(o,))
+            for o in ("gw-x", "gw-y")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wins = [o for o, lease in results.items() if lease is not None]
+        assert len(wins) == 1
+        winner = wins[0]
+        lease = store.get_lease("s-race")
+        assert lease.owner == winner and lease.epoch == 2
+
+    def test_cas_advance_requires_lease_and_agreement(self):
+        store = InMemorySessionStore(ttl_s=60.0)
+        cp = make_checkpoint("s-cas", rounds=2, next_round=0)
+        store.put(cp)
+        # no lease: the caller's serve is a no-op
+        mine = SessionCheckpoint.from_dict(cp.to_dict())
+        mine.advance(1)
+        with pytest.raises(LeaseError, match="lease held by"):
+            store.cas_advance(mine, "gw-a", 0)
+        store.acquire_lease("s-cas", "gw-a", ttl_s=30.0)
+        store.cas_advance(mine, "gw-a", 0)
+        assert store.committed_round("s-cas") == 1
+        # stale expectation: someone else committed since
+        other = SessionCheckpoint.from_dict(cp.to_dict())
+        other.advance(1)
+        with pytest.raises(LeaseError, match="CAS advance lost"):
+            store.cas_advance(other, "gw-a", 0)
+
+    def test_loser_cannot_advance_after_a_steal(self):
+        """The fencing property: the stale owner's copy is rejected even
+        though it disagrees with the store by nothing but ownership."""
+        clock = FakeClock()
+        store = InMemorySessionStore(ttl_s=600.0, clock=clock)
+        cp = make_checkpoint("s-fence", rounds=2, next_round=0)
+        store.put(cp)
+        store.acquire_lease("s-fence", "gw-old", ttl_s=1.0)
+        clock.now += 2.0
+        store.acquire_lease("s-fence", "gw-new", ttl_s=30.0)
+        stale = SessionCheckpoint.from_dict(cp.to_dict())
+        stale.advance(1)
+        with pytest.raises(LeaseError, match="lease held by 'gw-new'"):
+            store.cas_advance(stale, "gw-old", 0)
+        assert store.committed_round("s-fence") == 0
+
+    def test_delete_drops_lease_and_committed_round(self):
+        store = InMemorySessionStore(ttl_s=60.0)
+        store.put(make_checkpoint("s-d"))
+        store.acquire_lease("s-d", "gw-a", ttl_s=30.0)
+        store.delete("s-d")
+        assert store.get_lease("s-d") is None
+        assert store.committed_round("s-d") is None
+
+    def test_nonpositive_lease_ttl_rejected(self):
+        store = InMemorySessionStore(ttl_s=60.0)
+        with pytest.raises(ConfigurationError, match="lease TTL"):
+            store.acquire_lease("s-l", "gw-a", ttl_s=0.0)
+
+
+class TestJsonlLeasePersistence:
+    def test_lease_survives_restart_with_relative_expiry(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        store.put(make_checkpoint("s-l", rounds=2, next_round=1))
+        store.acquire_lease("s-l", "gw-a", ttl_s=30.0)
+        reloaded = JsonlSessionStore(path, ttl_s=60.0)
+        lease = reloaded.get_lease("s-l")
+        assert lease is not None
+        assert lease.owner == "gw-a" and lease.epoch == 1
+        # still live after the reload: another owner is denied
+        assert reloaded.acquire_lease("s-l", "gw-b", ttl_s=30.0) is None
+        # and the committed round was rebuilt for the CAS fence
+        assert reloaded.committed_round("s-l") == 1
+
+    def test_lease_release_survives_restart(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        store.put(make_checkpoint("s-l"))
+        store.acquire_lease("s-l", "gw-a", ttl_s=30.0)
+        store.release_lease("s-l", "gw-a")
+        reloaded = JsonlSessionStore(path, ttl_s=60.0)
+        assert reloaded.get_lease("s-l") is None
+        assert reloaded.acquire_lease("s-l", "gw-b", ttl_s=30.0) is not None
+
+    def test_compact_mid_handoff_keeps_lease_and_unacked_tail(self, tmp_path):
+        """Satellite: compaction while a handoff is in flight must not
+        lose the lease record or the unacked-frame tail material."""
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        cp = make_checkpoint("s-mid", rounds=2)
+        store.put(cp)
+        store.acquire_lease("s-mid", "gw-a", ttl_s=30.0)
+        # advance to round 1: round 0 becomes the unacked tail
+        mine = SessionCheckpoint.from_dict(cp.to_dict())
+        mine.advance(1, send_seq=9, recv_seq=4)
+        store.cas_advance(mine, "gw-a", 0)
+        store.compact()  # a draining peer compacts the shared log now
+        reloaded = JsonlSessionStore(path, ttl_s=60.0)
+        got = reloaded.get("s-mid")
+        assert got is not None
+        assert [m.round_index for m in got.materials] == [0, 1]
+        assert got.stream_boundaries == mine.stream_boundaries
+        lease = reloaded.get_lease("s-mid")
+        assert lease is not None
+        assert lease.owner == "gw-a" and lease.epoch == 1
+        assert reloaded.committed_round("s-mid") == 1
+
+    def test_compact_keeps_expired_leases_for_the_epoch_fence(self, tmp_path):
+        """Dropping an expired lease at compaction would restart the
+        epoch fence at 1 — the next steal must continue it instead."""
+        clock = FakeClock()
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=600.0, clock=clock)
+        store.put(make_checkpoint("s-fence"))
+        store.acquire_lease("s-fence", "gw-a", ttl_s=1.0)
+        clock.now += 2.0  # expired, not released
+        store.compact()
+        reloaded = JsonlSessionStore(path, ttl_s=600.0, clock=clock)
+        stolen = reloaded.acquire_lease("s-fence", "gw-b", ttl_s=30.0)
+        assert stolen is not None
+        assert stolen.epoch == 2

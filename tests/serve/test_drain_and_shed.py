@@ -276,8 +276,16 @@ class TestDrain:
             assert (
                 server.telemetry.counter("gateway.sessions.drained").value >= 1
             )
-            # the resumed query completed: its checkpoint was deleted
-            assert store.get(client.session_id) is None
+            # the resumed query completed but the checkpoint is retained
+            # until the client confirms (BYE) — a post-completion crash
+            # could still need the tail re-served
+            assert store.get(client.session_id) is not None
+            sid = client.session_id
+            client.close()  # idempotent; the finally-close is still safe
+            deadline = time.monotonic() + 5.0
+            while store.get(sid) is not None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert store.get(sid) is None, "BYE never deleted the checkpoint"
         finally:
             client.close()
             gw2.stop()

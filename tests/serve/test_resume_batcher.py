@@ -1,0 +1,171 @@
+"""ResumeBatcher: coalescing, admission control, error isolation."""
+
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.errors import OverloadedError, ServingError
+from repro.serve import ResumeBatcher, ServingConfig
+from repro.serve.batcher import BatchedResumeRequest, ResumeHandle
+
+
+class FakeServing:
+    """Just enough of ServingServer for the batcher: a bounded queue,
+    an accepting flag, and the request timeout."""
+
+    def __init__(self, depth=4, accepting=True):
+        self.config = ServingConfig(refill=False)
+        self._queue = queue.Queue(maxsize=depth)
+        self._accepting = accepting
+        self.enqueued = []
+
+    def _enqueue(self, req, block):
+        if not self._accepting:
+            raise ServingError("serving layer is not running")
+        try:
+            self._queue.put_nowait(req)
+        except queue.Full:
+            raise OverloadedError("queue full") from None
+        self.enqueued.append(req)
+        return req
+
+
+def checkpoint_stub(sid="s-b"):
+    class _Cp:
+        session_id = sid
+        row_index = 0
+    return _Cp()
+
+
+class TestResumeBatcher:
+    def test_max_batch_flushes_immediately(self):
+        serving = FakeServing()
+        batcher = ResumeBatcher(serving, window_s=60.0, max_batch=2)
+        h1 = batcher.submit(checkpoint_stub("s-1"), None, None)
+        assert serving.enqueued == []  # still inside the window
+        h2 = batcher.submit(checkpoint_stub("s-2"), None, None)
+        assert len(serving.enqueued) == 1
+        req = serving.enqueued[0]
+        assert isinstance(req, BatchedResumeRequest)
+        assert req.entries == [h1, h2]
+
+    def test_window_timer_flushes_a_partial_batch(self):
+        serving = FakeServing()
+        batcher = ResumeBatcher(serving, window_s=0.02, max_batch=8)
+        batcher.submit(checkpoint_stub(), None, None)
+        deadline = time.monotonic() + 2.0
+        while not serving.enqueued and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert len(serving.enqueued) == 1
+        assert len(serving.enqueued[0].entries) == 1
+
+    def test_zero_window_flushes_every_submit(self):
+        serving = FakeServing()
+        batcher = ResumeBatcher(serving, window_s=0.0, max_batch=8)
+        batcher.submit(checkpoint_stub("s-1"), None, None)
+        batcher.submit(checkpoint_stub("s-2"), None, None)
+        assert len(serving.enqueued) == 2
+
+    def test_full_queue_sheds_at_submit_time(self):
+        serving = FakeServing(depth=1)
+        serving._queue.put_nowait(object())  # saturate
+        batcher = ResumeBatcher(serving, window_s=0.0, max_batch=1)
+        with pytest.raises(OverloadedError, match="batched admission shed"):
+            batcher.submit(checkpoint_stub(), None, None)
+
+    def test_stopped_serving_sheds_at_submit_time(self):
+        serving = FakeServing(accepting=False)
+        batcher = ResumeBatcher(serving, window_s=0.0, max_batch=1)
+        with pytest.raises(OverloadedError):
+            batcher.submit(checkpoint_stub(), None, None)
+
+    def test_close_flushes_pending_and_refuses_new(self):
+        serving = FakeServing()
+        batcher = ResumeBatcher(serving, window_s=60.0, max_batch=8)
+        batcher.submit(checkpoint_stub(), None, None)
+        batcher.close()
+        assert len(serving.enqueued) == 1
+        with pytest.raises(ServingError, match="closed"):
+            batcher.submit(checkpoint_stub(), None, None)
+
+    def test_enqueue_race_fails_the_whole_batch_typed(self):
+        """The submit-time pre-check can race a fill-up; every waiter
+        must then see the typed shed instead of hanging."""
+        serving = FakeServing(depth=1)
+        batcher = ResumeBatcher(serving, window_s=60.0, max_batch=3)
+        h1 = batcher.submit(checkpoint_stub("s-1"), None, None)
+        h2 = batcher.submit(checkpoint_stub("s-2"), None, None)
+        serving._queue.put_nowait(object())  # fills up before the flush
+        batcher.close()  # forces the flush into the now-full queue
+        for handle in (h1, h2):
+            assert handle.done
+            with pytest.raises(OverloadedError):
+                handle.wait(timeout=0.1)
+
+    def test_min_batch_size_validated(self):
+        with pytest.raises(ServingError, match="at least one"):
+            ResumeBatcher(FakeServing(), max_batch=0)
+
+
+class TestResumeHandle:
+    def test_wait_times_out_typed(self):
+        handle = ResumeHandle(checkpoint_stub(), None, None)
+        with pytest.raises(ServingError, match="timed out"):
+            handle.wait(timeout=0.01)
+
+    def test_wait_reraises_the_sessions_own_error(self):
+        handle = ResumeHandle(checkpoint_stub(), None, None)
+        handle._finish(ServingError("boom"))
+        with pytest.raises(ServingError, match="boom"):
+            handle.wait(timeout=0.1)
+
+    def test_batch_isolates_a_failing_entry(self):
+        """One entry whose stream dies must not take the batch down:
+        the other entry still streams to completion."""
+
+        class _Chan:
+            """Counts sends; the 'broken' instance raises on first use."""
+
+            def __init__(self, broken=False):
+                self.broken = broken
+                self.sent = []
+                self.send_seq = 0
+                self.recv_seq = 0
+
+            def send(self, tag, payload):
+                if self.broken:
+                    raise ServingError("wire gone")
+                self.send_seq += 1
+                self.sent.append(tag)
+
+            def send_u128_list(self, tag, values):
+                self.send(tag, values)
+
+        from repro.recover import RoundMaterial, SessionCheckpoint
+
+        def cp(sid):
+            return SessionCheckpoint(
+                session_id=sid, row_index=0, rounds=1, next_round=0,
+                materials=[RoundMaterial(0, b"\x00" * 8, [1], [], [])],
+                output_permute_bits=[0],
+            )
+
+        good_chan, bad_chan = _Chan(), _Chan(broken=True)
+        good = ResumeHandle(cp("s-good"), good_chan, None)
+        bad = ResumeHandle(cp("s-bad"), bad_chan, None)
+        good.start_gate.set()
+        bad.start_gate.set()
+
+        class _Client:
+            class server:
+                telemetry = None
+
+        req = BatchedResumeRequest([bad, good], deadline=time.monotonic() + 5.0)
+        assert req._execute(_Client()) is True
+        with pytest.raises(ServingError, match="wire gone"):
+            bad.wait(timeout=0.1)
+        assert good.wait(timeout=0.1) is True
+        assert good.rounds_streamed == 1
+        assert "seq.output_map" in good_chan.sent

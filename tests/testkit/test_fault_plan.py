@@ -7,6 +7,7 @@ from repro.testkit import (
     ALL_FAULT_KINDS,
     ENDPOINT_FAULT_KINDS,
     ENVIRONMENT_FAULT_KINDS,
+    HANDOFF_FAULT_KINDS,
     RECOVERY_FAULT_KINDS,
     RETRYABLE_KINDS,
     FaultPlan,
@@ -35,6 +36,7 @@ class TestFaultSpec:
             set(ENDPOINT_FAULT_KINDS),
             set(ENVIRONMENT_FAULT_KINDS),
             set(RECOVERY_FAULT_KINDS),
+            set(HANDOFF_FAULT_KINDS),
         )
         assert set().union(*families) == set(ALL_FAULT_KINDS)
         for i, a in enumerate(families):
