@@ -407,12 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--deadline", type=float, default=15.0)
             p.add_argument("--max-retries", type=int, default=1)
             p.add_argument("--profile", default="default",
-                           choices=("default", "recovery", "handoff"),
+                           choices=("default", "recovery", "handoff", "vectorized"),
                            help="fault profile: classic wire faults, "
-                                "disconnect/shed/stall recovery plans, or "
-                                "multi-gateway kill/drain handoffs")
+                                "disconnect/shed/stall recovery plans, "
+                                "multi-gateway kill/drain handoffs, or the "
+                                "recovery+handoff mix rerun with "
+                                "garble_mode=vectorized")
             p.add_argument("--gateways", type=int, default=3,
-                           help="fleet size for --profile handoff")
+                           help="fleet size for --profile handoff/vectorized")
             p.add_argument("--log", default=None,
                            help="write a JSONL replay log here")
             p.add_argument("--replay", default=None, metavar="LOG.jsonl",

@@ -75,6 +75,21 @@ class AcceleratorRun:
     def output_permute_bits(self) -> list[int]:
         return [p.permute_bit for p in self.rounds[-1].output_pairs]
 
+    @property
+    def hash_calls(self) -> int:
+        """Total garbling-hash (AES engine) activations across all cores."""
+        return sum(c.engine.stats.aes_activations for c in self.cores)
+
+    def tables_payload(self, r: int) -> bytes:
+        """Round ``r``'s tables serialised in netlist order.
+
+        Shares a signature with :meth:`repro.gc.vector_garble.VectorRun.
+        tables_payload` so the serving path is garble-mode agnostic.
+        """
+        from repro.gc.tables import serialize_tables
+
+        return serialize_tables(self.tables_for_round(r))
+
     def tables_for_round(self, r: int, netlist_order: bool = True) -> list[GarbledTable]:
         """Tables of round ``r`` (host-side reorder buffer when requested)."""
         entries = [s for s in self.stream if s.round_index == r]

@@ -131,6 +131,37 @@ class MAXelerator:
         fsm = AcceleratorFSM(self.circuit, seed=seed)
         return fsm.garble_rounds(n_rounds, self.schedule(n_rounds))
 
+    def garble_vectorized(self, n_rounds: int, n_runs: int = 1, telemetry=None):
+        """Garble ``n_runs`` independent MAC runs in one vectorised pass.
+
+        Every run still gets fresh labels (one diversified seed slot per
+        run — the same "new labels per garbling" rule as :meth:`garble`);
+        the vectorisation only batches the AES work of runs that share
+        this circuit's fingerprint, it never shares label material.
+        Returns a list of ``n_runs`` :class:`~repro.gc.vector_garble.
+        VectorRun` objects that duck-type :class:`AcceleratorRun` for
+        the serving/recovery layers.
+        """
+        import random as _random
+
+        from repro.gc.vector_garble import garble_mac_runs
+        from repro.crypto.labels import LabelFactory
+
+        if n_runs <= 0:
+            raise ConfigurationError("n_runs must be positive")
+        with self._lock:
+            base = None if self._seed is None else self._seed + self._garble_count
+            self._garble_count += n_runs
+        factories = [
+            LabelFactory(
+                source=None if base is None else _random.Random(base + i)
+            )
+            for i in range(n_runs)
+        ]
+        return garble_mac_runs(
+            self.circuit, n_rounds, factories, telemetry=telemetry
+        )
+
     def transfer_report(self, run: AcceleratorRun) -> TransferReport:
         sim = CoreMemorySimulator(
             self.n_cores,

@@ -137,7 +137,14 @@ def expand_key(key: bytes) -> list[int]:
 
 
 class AES128:
-    """AES-128 block cipher with scalar and numpy-batch encryption paths."""
+    """AES-128 block cipher with scalar and numpy-batch encryption paths.
+
+    Invocation counters (`scalar_calls`, `batch_calls`, `batch_blocks`)
+    model the hardware interface: each *batch call* is one hand-off to
+    the vectorised engine regardless of how many blocks ride in it, so
+    the stage-vectorised garbler can prove "one AES invocation per
+    topological stage" from the counters alone.
+    """
 
     def __init__(self, key: bytes):
         self.key = bytes(key)
@@ -145,6 +152,9 @@ class AES128:
         # Batch path wants the round keys as a (11, 4) uint32 array.
         self._nrk = np.array(self._rk, dtype=np.uint32).reshape(11, 4)
         self._dec_rk = self._build_dec_schedule()
+        self.scalar_calls = 0
+        self.batch_calls = 0
+        self.batch_blocks = 0
 
     # ------------------------------------------------------------------
     # scalar path
@@ -153,6 +163,7 @@ class AES128:
         """Encrypt a single 16-byte block."""
         if len(block) != BLOCK_BYTES:
             raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        self.scalar_calls += 1
         rk = self._rk
         w0 = int.from_bytes(block[0:4], "big") ^ rk[0]
         w1 = int.from_bytes(block[4:8], "big") ^ rk[1]
@@ -254,15 +265,34 @@ class AES128:
     # ------------------------------------------------------------------
     # numpy batch path
     # ------------------------------------------------------------------
-    def encrypt_words(self, words: np.ndarray) -> np.ndarray:
+    def encrypt_words(self, words: np.ndarray, allow_copy: bool = True) -> np.ndarray:
         """Encrypt a batch of blocks given as an (n, 4) uint32 array.
 
         Each row holds the four big-endian column words of one block.
+
+        The batch contract is explicit: the input must be a C-contiguous
+        ``uint32`` array.  Anything else is either *copied explicitly*
+        into that layout (``allow_copy=True``, the default) or rejected
+        with :class:`~repro.errors.CryptoError` (``allow_copy=False``,
+        the hot-path setting).  There is deliberately no silent
+        degradation path — a strided view never dribbles through a
+        per-block fallback.
         """
         if words.ndim != 2 or words.shape[1] != 4:
             raise CryptoError(f"expected (n, 4) uint32 array, got shape {words.shape}")
+        if words.dtype != np.uint32 or not words.flags.c_contiguous:
+            if not allow_copy:
+                raise CryptoError(
+                    "batch AES input must be a C-contiguous uint32 array "
+                    f"(got dtype={words.dtype}, contiguous="
+                    f"{words.flags.c_contiguous}); pass allow_copy=True to "
+                    "copy it into that layout explicitly"
+                )
+            words = np.ascontiguousarray(words, dtype=np.uint32)
+        self.batch_calls += 1
+        self.batch_blocks += int(words.shape[0])
         rk = self._nrk
-        w = words.astype(np.uint32) ^ rk[0]
+        w = words ^ rk[0]
         w0, w1, w2, w3 = w[:, 0], w[:, 1], w[:, 2], w[:, 3]
         t0, t1, t2, t3 = _NT
         for rnd in range(1, 10):
@@ -287,6 +317,25 @@ class AES128:
         raw = np.frombuffer(blocks, dtype=">u4").reshape(-1, 4).astype(np.uint32)
         out = self.encrypt_words(raw)
         return out.astype(">u4").tobytes()
+
+
+def words32_from_words64(words64: np.ndarray) -> np.ndarray:
+    """(n, 2) uint64 [hi, lo] rows -> the (n, 4) uint32 batch layout."""
+    out = np.empty((words64.shape[0], 4), dtype=np.uint32)
+    out[:, 0] = words64[:, 0] >> np.uint64(32)
+    out[:, 1] = words64[:, 0] & np.uint64(0xFFFFFFFF)
+    out[:, 2] = words64[:, 1] >> np.uint64(32)
+    out[:, 3] = words64[:, 1] & np.uint64(0xFFFFFFFF)
+    return out
+
+
+def words64_from_words32(words32: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`words32_from_words64`."""
+    w = words32.astype(np.uint64)
+    out = np.empty((words32.shape[0], 2), dtype=np.uint64)
+    out[:, 0] = (w[:, 0] << np.uint64(32)) | w[:, 1]
+    out[:, 1] = (w[:, 2] << np.uint64(32)) | w[:, 3]
+    return out
 
 
 def words_from_u128(values: list[int]) -> np.ndarray:

@@ -16,7 +16,14 @@ from repro.gc.sequential_gc import (
     SequentialReport,
     run_sequential,
 )
+from repro.gc.stage_plan import StagePlan, netlist_fingerprint, plan_stages, stage_plan_for
 from repro.gc.tables import TABLE_BYTES, GarbledTable
+from repro.gc.vector_garble import (
+    VectorBatch,
+    VectorGarbler,
+    VectorRun,
+    garble_mac_runs,
+)
 
 __all__ = [
     "ClassicEvaluator",
@@ -33,10 +40,18 @@ __all__ = [
     "SequentialEvaluator",
     "SequentialGarbler",
     "SequentialReport",
+    "StagePlan",
     "TABLE_BYTES",
     "TrafficStats",
+    "VectorBatch",
+    "VectorGarbler",
+    "VectorRun",
+    "garble_mac_runs",
     "local_channel",
+    "netlist_fingerprint",
+    "plan_stages",
     "run_protocol",
     "run_sequential",
     "run_two_party",
+    "stage_plan_for",
 ]

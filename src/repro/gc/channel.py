@@ -252,23 +252,39 @@ class EndpointBase:
         self._send_seq = send_seq
         self._recv_seq = recv_seq
 
-    def send(self, tag: str, payload: bytes) -> None:
+    def send(self, tag: str, payload) -> None:
         """Send a tagged binary message to the peer.
 
-        Accounting sees the caller's payload size; the integrity
-        trailer is transport overhead appended below it.
+        ``payload`` is ``bytes``/``bytearray`` or any C-contiguous
+        buffer (``memoryview``, numpy byte views): the vectorised
+        garbler's table arrays are written straight into the wire frame
+        without an intermediate ``bytes`` materialisation.  Accounting
+        sees the caller's payload size; the integrity trailer is
+        transport overhead appended below it.
         """
-        if not isinstance(payload, (bytes, bytearray)):
-            raise GCProtocolError(f"channel payloads must be bytes, got {type(payload)!r}")
-        self.sent.record(tag, len(payload))
+        if isinstance(payload, (bytes, bytearray)):
+            body = payload
+        else:
+            try:
+                # cast raises on non-contiguous views — the explicit
+                # contract; callers copy deliberately, never silently
+                body = memoryview(payload).cast("B")
+            except TypeError:
+                raise GCProtocolError(
+                    f"channel payloads must be bytes-like, got {type(payload)!r}"
+                ) from None
+        n = len(body)
+        self.sent.record(tag, n)
         if self.telemetry is not None:
             self.telemetry.counter("channel.messages").inc()
-            self.telemetry.counter("channel.bytes").inc(len(payload))
-            self.telemetry.counter(f"channel.bytes.{tag}").inc(len(payload))
-        body = bytes(payload)
+            self.telemetry.counter("channel.bytes").inc(n)
+            self.telemetry.counter(f"channel.bytes.{tag}").inc(n)
         seq = self._send_seq
         self._send_seq += 1
-        wire = body + message_checksum(tag, body, seq)
+        # one frame buffer: payload lands next to its trailer, no joins
+        wire = bytearray(n + INTEGRITY_TRAILER_BYTES)
+        wire[:n] = body
+        wire[n:] = message_checksum(tag, body, seq)
         if self._replay is not None:
             # record before transmitting: a send that dies mid-frame is
             # replayed whole on resume (the peer never verified it)

@@ -1,0 +1,213 @@
+"""Topological stage planner for the vectorised garbler.
+
+A *stage* is the unit of AES batching: all AND-class gates at one
+AND-depth level are independent given the previous level's outputs, so
+their ``4 * n_and`` garbling hashes can go through a single vectorised
+fixed-key AES invocation.  Free gates (XOR/XNOR/NOT/BUF) are attached to
+the stage whose outputs they consume, mirroring the interleaving of
+:meth:`repro.gc.garble.Garbler._garble_batched` exactly — stage ``i``
+first folds the free gates at AND-depth ``i``, then batches the AND
+gates at depth ``i + 1``.
+
+Planning walks the whole netlist, so plans are cached per structural
+*fingerprint*: concurrent sessions serving the same circuit (the common
+cloud-MAC case) share one plan and pay the topological sort once.  The
+per-gate tweak words are likewise cached per ``tweak_offset`` because
+sequential GC reuses the same offsets round after round.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.circuits.netlist import Netlist
+
+#: tweak values stay on the uint64 fast path while 2*gate_id + 1 < 2^64
+_U64_TWEAK_LIMIT = 1 << 64
+_MASK64 = (1 << 64) - 1
+_MASK128 = (1 << 128) - 1
+
+#: distinct tweak_offset values cached per plan before eviction
+_TWEAK_CACHE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One AES batch: free gates to fold first, then the AND-gate arrays.
+
+    The index arrays are parallel, one entry per AND gate in the stage:
+    ``a_idx``/``b_idx``/``out_idx`` are wire ids, ``alpha``/``beta``/
+    ``gamma`` the AND-form triple, ``gate_idx`` the netlist gate index
+    (tweak base) and ``table_pos`` the gate's position in the netlist's
+    non-free order (where its table lands in the serialised payload).
+    """
+
+    free_gates: tuple[Gate, ...]
+    a_idx: np.ndarray
+    b_idx: np.ndarray
+    out_idx: np.ndarray
+    alpha: np.ndarray
+    beta: np.ndarray
+    gamma: np.ndarray
+    gate_idx: np.ndarray
+    table_pos: np.ndarray
+
+    @property
+    def n_and(self) -> int:
+        return int(self.gate_idx.shape[0])
+
+
+@dataclass
+class StagePlan:
+    """Cached per-fingerprint schedule of a netlist's garbling stages."""
+
+    fingerprint: str
+    n_wires: int
+    n_and: int
+    stages: tuple[Stage, ...]
+    #: every wire the garbler assigns a pair to, in assignment order
+    driven_wires: tuple[int, ...]
+    _tweak_cache: dict[int, list[np.ndarray]] = field(default_factory=dict)
+    _tweak_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def n_stages(self) -> int:
+        """Stages that actually batch AND gates (AES invocations/session)."""
+        return sum(1 for s in self.stages if s.n_and)
+
+    @property
+    def and_counts(self) -> tuple[int, ...]:
+        return tuple(s.n_and for s in self.stages if s.n_and)
+
+    # ------------------------------------------------------------------
+    def tweak_words(self, tweak_offset: int) -> list[np.ndarray]:
+        """Per-stage ``(n_and, 4, 2)`` uint64 tweak arrays [j0 j0 j1 j1].
+
+        Matches ``make_tweak(gate.index + tweak_offset, half)`` exactly,
+        including the 128-bit wrap-around for absurdly large offsets.
+        """
+        with self._tweak_lock:
+            cached = self._tweak_cache.get(tweak_offset)
+            if cached is not None:
+                return cached
+        words = [self._stage_tweaks(s, tweak_offset) for s in self.stages]
+        with self._tweak_lock:
+            if len(self._tweak_cache) >= _TWEAK_CACHE_LIMIT:
+                self._tweak_cache.clear()
+            self._tweak_cache[tweak_offset] = words
+        return words
+
+    def _stage_tweaks(self, stage: Stage, tweak_offset: int) -> np.ndarray:
+        n = stage.n_and
+        out = np.zeros((n, 4, 2), dtype=np.uint64)
+        if n == 0:
+            return out
+        max_id = int(stage.gate_idx.max()) + tweak_offset
+        if 0 <= tweak_offset and 2 * max_id + 1 < _U64_TWEAK_LIMIT:
+            base = stage.gate_idx + np.uint64(tweak_offset)
+            j0 = base << np.uint64(1)
+            out[:, 0, 1] = j0
+            out[:, 1, 1] = j0
+            out[:, 2, 1] = j0 | np.uint64(1)
+            out[:, 3, 1] = j0 | np.uint64(1)
+            return out
+        for i, gi in enumerate(stage.gate_idx.tolist()):
+            for half in (0, 1):
+                t = (2 * (gi + tweak_offset) + half) & _MASK128
+                out[i, 2 * half, 0] = out[i, 2 * half + 1, 0] = t >> 64
+                out[i, 2 * half, 1] = out[i, 2 * half + 1, 1] = t & _MASK64
+        return out
+
+
+# ----------------------------------------------------------------------
+def netlist_fingerprint(net: Netlist) -> str:
+    """Structural identity of a netlist (labels sessions sharing a plan)."""
+    h = hashlib.sha256()
+    h.update(
+        repr(
+            (
+                net.n_wires,
+                net.garbler_inputs,
+                net.evaluator_inputs,
+                net.state_inputs,
+                net.outputs,
+                sorted(net.constants.items()),
+            )
+        ).encode()
+    )
+    for g in net.gates:
+        h.update(repr((g.index, g.gtype.label, g.inputs, g.output)).encode())
+    return h.hexdigest()
+
+
+def plan_stages(net: Netlist) -> StagePlan:
+    """Extract the AND-depth level schedule (uncached)."""
+    wire_level: dict[int, int] = {w: 0 for w in net.input_wires + list(net.constants)}
+    levels: dict[int, list[Gate]] = {}
+    free_by_level: dict[int, list[Gate]] = {}
+    for gate in net.gates:
+        in_level = max((wire_level[w] for w in gate.inputs), default=0)
+        if gate.is_free:
+            wire_level[gate.output] = in_level
+            free_by_level.setdefault(in_level, []).append(gate)
+        else:
+            wire_level[gate.output] = in_level + 1
+            levels.setdefault(in_level + 1, []).append(gate)
+
+    table_pos = {
+        g.index: i for i, g in enumerate(g for g in net.gates if not g.is_free)
+    }
+    stages = []
+    max_level = max(levels, default=0)
+    for level in range(0, max_level + 1):
+        ands = levels.get(level + 1, [])
+        stages.append(
+            Stage(
+                free_gates=tuple(free_by_level.get(level, [])),
+                a_idx=np.array([g.inputs[0] for g in ands], dtype=np.int64),
+                b_idx=np.array([g.inputs[1] for g in ands], dtype=np.int64),
+                out_idx=np.array([g.output for g in ands], dtype=np.int64),
+                alpha=np.array([g.gtype.and_form[0] for g in ands], dtype=bool),
+                beta=np.array([g.gtype.and_form[1] for g in ands], dtype=bool),
+                gamma=np.array([g.gtype.and_form[2] for g in ands], dtype=bool),
+                gate_idx=np.array([g.index for g in ands], dtype=np.uint64),
+                table_pos=np.array([table_pos[g.index] for g in ands], dtype=np.int64),
+            )
+        )
+
+    driven = list(net.input_wires) + list(net.constants)
+    driven += [g.output for g in net.gates]
+    return StagePlan(
+        fingerprint=netlist_fingerprint(net),
+        n_wires=net.n_wires,
+        n_and=len(table_pos),
+        stages=tuple(stages),
+        driven_wires=tuple(driven),
+    )
+
+
+_PLAN_CACHE: dict[str, StagePlan] = {}
+_PLAN_LOCK = threading.Lock()
+
+
+def stage_plan_for(net: Netlist) -> StagePlan:
+    """The cached plan for this netlist's fingerprint (thread-safe)."""
+    fp = netlist_fingerprint(net)
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(fp)
+    if plan is not None:
+        return plan
+    plan = plan_stages(net)
+    with _PLAN_LOCK:
+        return _PLAN_CACHE.setdefault(fp, plan)
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans (test isolation helper)."""
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()

@@ -1,0 +1,340 @@
+"""Stage-vectorised half-gates garbling across gates *and* sessions.
+
+:class:`repro.gc.garble.Garbler` batches the AND gates of one circuit
+level through ``hash_many``; this module goes two axes further.  All
+label material lives in one ``(sessions, wires, 2)`` uint64 array, so a
+topological stage of ``G`` independent AND gates across ``S`` concurrent
+sessions becomes a single ``(S, G, 4, 2)`` hash batch — ONE invocation
+of the vectorised fixed-key AES per stage, regardless of how many
+sessions share the circuit fingerprint.  That is the software analogue
+of the paper's point: keep the AES engines saturated by exposing all the
+gate-level parallelism the schedule allows.
+
+Everything here is bit-identical to the sequential garbler: same label
+stream per session (a seeded :class:`LabelFactory` draws the identical
+sequence), same tweaks, same table bytes.  The sequential path stays
+around as the differential-testing oracle (see
+``tests/gc/test_vector_bit_identity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.crypto.labels import LabelFactory, LabelPair
+from repro.crypto.prf import GarblingHash
+from repro.errors import GCProtocolError
+from repro.gc.garble import GarbledCircuit
+from repro.gc.stage_plan import StagePlan, stage_plan_for
+from repro.gc.tables import GarbledTable
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ONE = np.uint64(1)
+_ZERO = np.uint64(0)
+
+
+def u128_rows(values) -> np.ndarray:
+    """Pack 128-bit ints into an ``(n, 2)`` uint64 [hi, lo] array."""
+    arr = np.empty((len(values), 2), dtype=np.uint64)
+    for i, v in enumerate(values):
+        arr[i, 0] = (v >> 64) & 0xFFFFFFFFFFFFFFFF
+        arr[i, 1] = v & 0xFFFFFFFFFFFFFFFF
+    return arr
+
+
+def words_to_u128(row) -> int:
+    """The 128-bit int encoded by one [hi, lo] uint64 row."""
+    return (int(row[0]) << 64) | int(row[1])
+
+
+@dataclass
+class VectorBatch:
+    """One vectorised garbling of a netlist for ``S`` sessions.
+
+    ``W[s, w]`` is session ``s``'s zero-label of wire ``w`` as [hi, lo]
+    uint64 words; ``tables_be[s]`` is that session's garbled tables in
+    netlist non-free order as big-endian u64 quadruples — its raw bytes
+    ARE the ``serialize_tables`` payload, so the serving path can hand a
+    row of this array straight to the frame writer without copies.
+    """
+
+    netlist: Netlist
+    plan: StagePlan
+    W: np.ndarray
+    offsets: np.ndarray
+    offset_ints: list[int]
+    tables_be: np.ndarray
+    tweak_offset: int
+    preset_keys: list[frozenset]
+
+    @property
+    def n_sessions(self) -> int:
+        return int(self.W.shape[0])
+
+    @property
+    def hash_calls_per_session(self) -> int:
+        """Garbling-hash invocations per session (4 per AND, as scalar)."""
+        return 4 * self.plan.n_and
+
+    # ------------------------------------------------------------------
+    def zero_label(self, s: int, wire: int) -> int:
+        return words_to_u128(self.W[s, wire])
+
+    def pair(self, s: int, wire: int) -> LabelPair:
+        return LabelPair(self.zero_label(s, wire), self.offset_ints[s])
+
+    def tables_payload(self, s: int) -> memoryview:
+        """Session ``s``'s serialised tables as a zero-copy buffer."""
+        return memoryview(self.tables_be[s].view(np.uint8).reshape(-1))
+
+    def tables(self, s: int) -> list[GarbledTable]:
+        be = self.tables_be[s]
+        return [
+            GarbledTable(
+                g.index + self.tweak_offset,
+                (int(be[i, 0]) << 64) | int(be[i, 1]),
+                (int(be[i, 2]) << 64) | int(be[i, 3]),
+            )
+            for i, g in enumerate(self.netlist.nonfree_gates)
+        ]
+
+    def to_garbled_circuit(self, s: int) -> GarbledCircuit:
+        """Materialise session ``s`` as a sequential-garbler-shaped result."""
+        pairs = {w: self.pair(s, w) for w in self.plan.driven_wires}
+        for w in self.preset_keys[s]:
+            if w not in pairs:
+                pairs[w] = self.pair(s, w)
+        return GarbledCircuit(
+            netlist=self.netlist,
+            wire_pairs=pairs,
+            tables=self.tables(s),
+            offset=self.offset_ints[s],
+            hash_calls=self.hash_calls_per_session,
+            tweak_offset=self.tweak_offset,
+        )
+
+
+class VectorGarbler:
+    """Garbles one netlist for many sessions with one AES call per stage."""
+
+    def __init__(self, netlist: Netlist, hash_fn: GarblingHash | None = None):
+        netlist.validate()
+        self.netlist = netlist
+        self.plan = stage_plan_for(netlist)
+        self.hash = hash_fn or GarblingHash()
+
+    def garble(
+        self,
+        factories: list[LabelFactory],
+        preset_pairs: list[dict[int, LabelPair] | None] | None = None,
+        tweak_offset: int = 0,
+        telemetry=None,
+    ) -> VectorBatch:
+        """Vectorised equivalent of ``S`` sequential ``Garbler.garble`` calls.
+
+        ``factories[s]`` supplies session ``s``'s labels; with a seeded
+        source the draw order (presets pinned, then input wires and
+        constants) consumes the entropy stream exactly like the
+        sequential garbler, so outputs are bit-identical per session.
+        """
+        net = self.netlist
+        plan = self.plan
+        S = len(factories)
+        if S == 0:
+            raise GCProtocolError("vector garbling needs at least one session")
+        if preset_pairs is not None and len(preset_pairs) != S:
+            raise GCProtocolError("preset_pairs must have one entry per session")
+
+        W = np.zeros((S, plan.n_wires, 2), dtype=np.uint64)
+        offsets = np.empty((S, 2), dtype=np.uint64)
+        offset_ints = [f.offset for f in factories]
+        preset_keys: list[frozenset] = []
+        input_order = list(net.input_wires) + list(net.constants)
+        for s, factory in enumerate(factories):
+            offsets[s, 0] = (factory.offset >> 64) & 0xFFFFFFFFFFFFFFFF
+            offsets[s, 1] = factory.offset & 0xFFFFFFFFFFFFFFFF
+            preset = (preset_pairs[s] if preset_pairs else None) or {}
+            for pair in preset.values():
+                if pair.offset != factory.offset:
+                    raise GCProtocolError(
+                        "preset label pair has a foreign free-XOR offset"
+                    )
+            keys = list(preset)
+            if keys:
+                W[s, keys] = u128_rows([preset[w].zero for w in keys])
+            fresh_wires = [w for w in input_order if w not in preset]
+            if fresh_wires:
+                W[s, fresh_wires] = u128_rows(factory.fresh_zeros(len(fresh_wires)))
+            preset_keys.append(frozenset(keys))
+
+        tweaks = plan.tweak_words(tweak_offset)
+        tables_be = np.zeros((S, plan.n_and, 4), dtype=">u8")
+        off3 = offsets[:, None, :]
+        for stage, tw in zip(plan.stages, tweaks):
+            for g in stage.free_gates:
+                gt = g.gtype
+                if gt is GateType.BUF:
+                    W[:, g.output] = W[:, g.inputs[0]]
+                elif gt is GateType.NOT:
+                    W[:, g.output] = W[:, g.inputs[0]] ^ offsets
+                elif gt is GateType.XOR:
+                    W[:, g.output] = W[:, g.inputs[0]] ^ W[:, g.inputs[1]]
+                else:  # XNOR
+                    W[:, g.output] = W[:, g.inputs[0]] ^ W[:, g.inputs[1]] ^ offsets
+            n = stage.n_and
+            if not n:
+                continue
+            A = W[:, stage.a_idx]
+            B = W[:, stage.b_idx]
+            a0 = np.where(stage.alpha[None, :, None], A ^ off3, A)
+            b0 = np.where(stage.beta[None, :, None], B ^ off3, B)
+            # hash inputs per gate: (a0, a0^R, b0, b0^R) against (j0 j0 j1 j1)
+            K = np.empty((S, n, 4, 2), dtype=np.uint64)
+            K[:, :, 0] = a0
+            K[:, :, 1] = a0 ^ off3
+            K[:, :, 2] = b0
+            K[:, :, 3] = b0 ^ off3
+            H = self.hash.hash_words(K, tw[None, :, :, :])
+            if telemetry is not None:
+                telemetry.counter("gc.aes_batch_calls").inc()
+            p_a = (a0[..., 1] & _ONE).astype(bool)[..., None]
+            p_b = (b0[..., 1] & _ONE).astype(bool)[..., None]
+            h_a0, h_a1 = H[:, :, 0], H[:, :, 1]
+            h_b0, h_b1 = H[:, :, 2], H[:, :, 3]
+            t_g = h_a0 ^ h_a1 ^ np.where(p_b, off3, _ZERO)
+            w_g = np.where(p_a, h_a0 ^ t_g, h_a0)
+            t_e = h_b0 ^ h_b1 ^ a0
+            w_e = np.where(p_b, h_b0 ^ t_e ^ a0, h_b0)
+            out0 = w_g ^ w_e
+            out0 = np.where(stage.gamma[None, :, None], out0 ^ off3, out0)
+            W[:, stage.out_idx] = out0
+            tables_be[:, stage.table_pos, 0] = t_g[..., 0]
+            tables_be[:, stage.table_pos, 1] = t_g[..., 1]
+            tables_be[:, stage.table_pos, 2] = t_e[..., 0]
+            tables_be[:, stage.table_pos, 3] = t_e[..., 1]
+
+        if telemetry is not None:
+            telemetry.counter("gc.vector_garbles").inc()
+            telemetry.counter("gc.vector_sessions").inc(S)
+        return VectorBatch(
+            netlist=net,
+            plan=plan,
+            W=W,
+            offsets=offsets,
+            offset_ints=offset_ints,
+            tables_be=tables_be,
+            tweak_offset=tweak_offset,
+            preset_keys=preset_keys,
+        )
+
+
+# ----------------------------------------------------------------------
+# sequential-GC MAC runs (the serving path's unit of work)
+# ----------------------------------------------------------------------
+@dataclass
+class VectorRun:
+    """One session's view of a vectorised multi-round MAC garbling.
+
+    Duck-types the parts of :class:`repro.accel.fsm.AcceleratorRun` the
+    host serving/recovery layers consume: ``rounds`` metadata,
+    per-round tables, output permute bits and hash-call accounting.
+    """
+
+    circuit: object  # ScheduledMacCircuit
+    batches: list[VectorBatch]
+    session: int
+    offset: int
+    _rounds: list | None = field(default=None, repr=False)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_tables(self) -> int:
+        return sum(b.plan.n_and for b in self.batches)
+
+    @property
+    def hash_calls(self) -> int:
+        return sum(b.hash_calls_per_session for b in self.batches)
+
+    @property
+    def rounds(self) -> list:
+        if self._rounds is None:
+            self._rounds = [self._round_labels(r) for r in range(self.n_rounds)]
+        return self._rounds
+
+    def _round_labels(self, r: int):
+        from repro.accel.fsm import RoundLabels
+
+        net = self.circuit.netlist
+        batch = self.batches[r]
+        s = self.session
+        return RoundLabels(
+            garbler_pairs=[batch.pair(s, w) for w in net.garbler_inputs],
+            evaluator_pairs=[batch.pair(s, w) for w in net.evaluator_inputs],
+            const_pairs={w: batch.pair(s, w) for w in net.constants},
+            state_pairs=[batch.pair(s, w) for w in net.state_inputs],
+            output_pairs=[batch.pair(s, w) for w in net.outputs],
+        )
+
+    @property
+    def output_permute_bits(self) -> list[int]:
+        return [p.permute_bit for p in self.rounds[-1].output_pairs]
+
+    def tables_for_round(self, r: int) -> list[GarbledTable]:
+        return self.batches[r].tables(self.session)
+
+    def tables_payload(self, r: int) -> memoryview:
+        """Round ``r``'s serialised tables, zero-copy."""
+        return self.batches[r].tables_payload(self.session)
+
+
+def garble_mac_runs(
+    circuit,
+    n_rounds: int,
+    factories: list[LabelFactory],
+    hash_fn: GarblingHash | None = None,
+    telemetry=None,
+) -> list[VectorRun]:
+    """Garble ``len(factories)`` independent M-round MAC runs together.
+
+    Rounds chain through preset state pairs exactly like sequential GC
+    (round ``r`` presets the feedback outputs of round ``r - 1`` and
+    tweaks by ``r * len(gates)``), so each returned run is bit-identical
+    to a seeded :class:`~repro.gc.garble.Garbler` chain over the same
+    label stream.
+    """
+    if n_rounds <= 0:
+        raise GCProtocolError("sequential GC needs at least one round")
+    net = circuit.netlist
+    vg = VectorGarbler(net, hash_fn=hash_fn)
+    S = len(factories)
+    feedback_wires = [net.outputs[i] for i in circuit.circuit.state_feedback]
+    batches: list[VectorBatch] = []
+    preset: list[dict[int, LabelPair] | None] | None = None
+    for r in range(n_rounds):
+        batch = vg.garble(
+            factories,
+            preset_pairs=preset,
+            tweak_offset=r * len(net.gates),
+            telemetry=telemetry,
+        )
+        batches.append(batch)
+        preset = [
+            {w: batch.pair(s, fw) for w, fw in zip(net.state_inputs, feedback_wires)}
+            for s in range(S)
+        ]
+    return [
+        VectorRun(
+            circuit=circuit,
+            batches=batches,
+            session=s,
+            offset=factories[s].offset,
+        )
+        for s in range(S)
+    ]

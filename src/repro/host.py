@@ -37,8 +37,12 @@ from repro.errors import ConfigurationError, GCProtocolError
 from repro.fixedpoint import FixedPointFormat, Q16_8
 from repro.gc.channel import local_channel, run_two_party
 from repro.gc.sequential_gc import OT_MODES, SequentialEvaluator
-from repro.gc.tables import serialize_tables
 from repro.telemetry import MetricsRegistry
+
+#: How the host garbles: gate-at-a-time on the FSM simulator
+#: (``sequential``, the differential-testing reference) or stage-batched
+#: through the vectorised fixed-key AES (``vectorized``).
+GARBLE_MODES = ("sequential", "vectorized")
 
 
 @dataclass
@@ -80,6 +84,7 @@ class CloudServer:
         seed: int | None = None,
         auto_refill: bool = True,
         telemetry: MetricsRegistry | None = None,
+        garble_mode: str = "sequential",
     ):
         self.fmt = fmt
         self.group = group
@@ -88,6 +93,11 @@ class CloudServer:
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         if pool_size < 0:
             raise ConfigurationError("pool size cannot be negative")
+        if garble_mode not in GARBLE_MODES:
+            raise ConfigurationError(
+                f"unknown garble mode {garble_mode!r} (expected one of {GARBLE_MODES})"
+            )
+        self.garble_mode = garble_mode
         self.pool_size = pool_size
         self.auto_refill = auto_refill
         self._pool: deque[AcceleratorRun] = deque()
@@ -122,29 +132,48 @@ class CloudServer:
             self._pool.clear()
         self.refill_pool()
 
+    def set_garble_mode(self, mode: str) -> None:
+        """Switch garbling paths (applied by the serving layer's config)."""
+        if mode not in GARBLE_MODES:
+            raise ConfigurationError(
+                f"unknown garble mode {mode!r} (expected one of {GARBLE_MODES})"
+            )
+        with self._lock:
+            self.garble_mode = mode
+
     def refill_pool(self) -> int:
         """Garble ahead of demand; returns the number of runs added.
 
         Garbling happens outside the pool lock so concurrent serves can
         keep draining while the refill is in flight; ``_refill_lock``
-        keeps at most one refiller garbling at a time.
+        keeps at most one refiller garbling at a time.  In vectorized
+        mode the whole deficit is garbled as ONE stage-batched pass —
+        the runs share AES batches (same circuit fingerprint) but never
+        label material.
         """
         added = 0
         with self._refill_lock:
             while True:
                 with self._lock:
-                    if len(self._pool) >= self.pool_size:
-                        break
+                    deficit = self.pool_size - len(self._pool)
                     accelerator = self.accelerator
                     rounds = self.rounds_per_request
+                    mode = self.garble_mode
+                if deficit <= 0:
+                    break
                 with self.telemetry.timer("garble.refill"):
-                    run = accelerator.garble(rounds)
+                    if mode == "vectorized":
+                        runs = accelerator.garble_vectorized(
+                            rounds, deficit, telemetry=self.telemetry
+                        )
+                    else:
+                        runs = [accelerator.garble(rounds)]
                 with self._lock:
-                    # a model swap mid-refill retires this run
+                    # a model swap mid-refill retires these runs
                     if accelerator is self.accelerator:
-                        self._pool.append(run)
-                self.stats.bump("runs_garbled")
-                added += 1
+                        self._pool.extend(runs)
+                self.stats.bump("runs_garbled", len(runs))
+                added += len(runs)
         return added
 
     @property
@@ -179,6 +208,7 @@ class CloudServer:
                 run = None
             accelerator = self.accelerator
             rounds = self.rounds_per_request
+            mode = self.garble_mode
         if run is not None:
             self.stats.bump("pool_hits")
             self.telemetry.counter("pool.hits").inc()
@@ -187,7 +217,12 @@ class CloudServer:
         self.stats.bump("pool_misses")
         self.telemetry.counter("pool.misses").inc()
         with self.telemetry.timer("garble.on_demand"):
-            run = accelerator.garble(rounds)
+            if mode == "vectorized":
+                run = accelerator.garble_vectorized(
+                    rounds, 1, telemetry=self.telemetry
+                )[0]
+            else:
+                run = accelerator.garble(rounds)
         self.stats.bump("runs_garbled")
         return run
 
@@ -261,7 +296,9 @@ class CloudServer:
             for r, bits in enumerate(bits_per_round):
                 meta = run.rounds[r]
                 with tm.timer("stream.round"):
-                    payload = serialize_tables(run.tables_for_round(r))
+                    # vectorized runs hand back a zero-copy view of the
+                    # table array; sequential runs serialise on the fly
+                    payload = run.tables_payload(r)
                     channel.send("seq.tables", payload)
                     tm.counter("stream.bytes").inc(len(payload))
                     channel.send_u128_list(
@@ -295,9 +332,7 @@ class CloudServer:
         self.stats.bump("requests_served")
         self.stats.bump("tables_streamed", run.total_tables)
         tm.counter("stream.tables").inc(run.total_tables)
-        tm.counter("gc.hash_calls").inc(
-            sum(c.engine.stats.aes_activations for c in run.cores)
-        )
+        tm.counter("gc.hash_calls").inc(run.hash_calls)
         self._after_serve()
 
 

@@ -22,7 +22,7 @@ import threading
 
 from repro.errors import WireError
 from repro.gc.channel import EndpointBase, TrafficStats
-from repro.net.frames import MAX_FRAME_BYTES, FrameReader, encode_frame
+from repro.net.frames import MAX_FRAME_BYTES, FrameReader, encode_frame_parts
 
 
 class SocketEndpoint(EndpointBase):
@@ -51,16 +51,37 @@ class SocketEndpoint(EndpointBase):
     # transport hooks (EndpointBase contract)
     # ------------------------------------------------------------------
     def _send_message(self, tag: str, payload: bytes) -> None:
-        frame = encode_frame(tag, payload, self._reader.max_frame_bytes)
+        prefix, body = encode_frame_parts(tag, payload, self._reader.max_frame_bytes)
         with self._send_lock:
             if self._closed:
                 raise WireError(f"{self.name}: send on a closed endpoint")
             try:
-                self._sock.sendall(frame)
+                self._sendall_parts(prefix, body)
             except OSError as exc:
                 raise WireError(
                     f"{self.name}: send of '{tag}' failed, peer gone ({exc})"
                 ) from exc
+
+    def _sendall_parts(self, prefix: bytes, body) -> None:
+        """Scatter/gather equivalent of ``sendall(prefix + body)``.
+
+        ``sendmsg`` writes the frame header and the (possibly large,
+        array-backed) payload in one syscall without joining them; the
+        loop advances memoryviews across partial sends.  Falls back to
+        a joined ``sendall`` where ``sendmsg`` is unavailable.
+        """
+        if not hasattr(self._sock, "sendmsg"):
+            self._sock.sendall(b"".join((prefix, body)))
+            return
+        parts = [memoryview(prefix), memoryview(body).cast("B")]
+        parts = [p for p in parts if len(p)]
+        while parts:
+            sent = self._sock.sendmsg(parts)
+            while parts and sent >= len(parts[0]):
+                sent -= len(parts[0])
+                parts.pop(0)
+            if parts and sent:
+                parts[0] = parts[0][sent:]
 
     def _recv_message(self, timeout: float) -> tuple[str, bytes]:
         with self._recv_lock:

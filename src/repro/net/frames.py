@@ -54,6 +54,28 @@ def encode_frame(tag: str, payload: bytes, max_frame_bytes: int = MAX_FRAME_BYTE
     )
 
 
+def encode_frame_parts(
+    tag: str, payload, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> tuple[bytes, object]:
+    """The frame as (header+tag prefix, payload) without joining them.
+
+    The scatter/gather send path (``socket.sendmsg``) writes both parts
+    in one syscall, so a large table payload — already a view into the
+    vectorised garbler's array — never gets copied into a joined frame.
+    ``payload`` may be any bytes-like object; only its length is read.
+    """
+    tag_bytes = tag.encode("ascii")
+    if not 1 <= len(tag_bytes) <= 255:
+        raise WireError(f"frame tag must be 1..255 ASCII bytes, got {tag!r}")
+    length = 1 + len(tag_bytes) + len(payload)
+    if length > max_frame_bytes:
+        raise WireError(
+            f"frame '{tag}' is {length} bytes; the wire cap is {max_frame_bytes}"
+        )
+    prefix = _HEADER.pack(MAGIC, length) + bytes([len(tag_bytes)]) + tag_bytes
+    return prefix, payload
+
+
 def decode_frame_body(body: bytes) -> tuple[str, bytes]:
     """Split a frame body (everything after the length field) into (tag, payload)."""
     if not body:

@@ -42,7 +42,6 @@ from repro.crypto.ot import (
 )
 from repro.errors import ResumeError
 from repro.gc.sequential_gc import OT_MODES
-from repro.gc.tables import serialize_tables
 
 
 def _b64(raw: bytes) -> str:
@@ -305,7 +304,9 @@ def checkpoint_from_run(
         materials.append(
             RoundMaterial(
                 round_index=r,
-                tables=serialize_tables(run.tables_for_round(r)),
+                # bytes() materialises the vectorized runs' zero-copy
+                # view; checkpoints must own their table material
+                tables=bytes(run.tables_payload(r)),
                 garbler_labels=[
                     p.select(b) for p, b in zip(meta.garbler_pairs, bits)
                 ],

@@ -19,7 +19,11 @@ from repro.serve.batcher import (
     ResumeBatcher,
     ResumeHandle,
 )
-from repro.serve.config import ServingConfig, resolve_reaper_timeout
+from repro.serve.config import (
+    ServingConfig,
+    resolve_garble_mode,
+    resolve_reaper_timeout,
+)
 from repro.serve.refiller import PoolRefiller
 from repro.serve.server import (
     CheckpointSessionRequest,
@@ -38,5 +42,6 @@ __all__ = [
     "ResumeHandle",
     "ServingConfig",
     "ServingServer",
+    "resolve_garble_mode",
     "resolve_reaper_timeout",
 ]

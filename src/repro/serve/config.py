@@ -6,8 +6,32 @@ import os
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.host import GARBLE_MODES
 
 REAPER_TIMEOUT_ENV = "REPRO_REAPER_TIMEOUT_S"
+
+GARBLE_MODE_ENV = "REPRO_GARBLE_MODE"
+
+
+def resolve_garble_mode(
+    explicit: str | None = None, configured: str | None = None
+) -> str | None:
+    """Garble-mode precedence: explicit argument >
+    ``ServingConfig.garble_mode`` > ``REPRO_GARBLE_MODE`` > ``None``
+    (leave the server's constructor-chosen mode untouched)."""
+    for source, value in (
+        ("explicit garble mode", explicit),
+        ("ServingConfig.garble_mode", configured),
+        (GARBLE_MODE_ENV, os.environ.get(GARBLE_MODE_ENV)),
+    ):
+        if value is None or value == "":
+            continue
+        if value not in GARBLE_MODES:
+            raise ConfigurationError(
+                f"{source} must be one of {GARBLE_MODES}, got {value!r}"
+            )
+        return value
+    return None
 
 #: Gateway default: how long a connection may sit without completing
 #: its handshake before the session reaper closes it.
@@ -92,6 +116,11 @@ class ServingConfig:
     lease_ttl_s: float = 30.0
     resume_batch_window_s: float = 0.02
     resume_batch_max: int = 4
+    #: Garbling path applied to the server at ``ServingServer.start()``:
+    #: ``sequential`` (FSM reference), ``vectorized`` (stage-batched
+    #: AES), or ``None`` to defer to ``REPRO_GARBLE_MODE`` and then to
+    #: whatever mode the :class:`~repro.host.CloudServer` was built with.
+    garble_mode: str | None = None
 
     def validate(self) -> "ServingConfig":
         if self.workers < 1:
@@ -124,4 +153,8 @@ class ServingConfig:
             raise ConfigurationError("resume batch window cannot be negative")
         if self.resume_batch_max < 1:
             raise ConfigurationError("resume batch must admit at least one session")
+        if self.garble_mode is not None and self.garble_mode not in GARBLE_MODES:
+            raise ConfigurationError(
+                f"garble_mode must be one of {GARBLE_MODES}, got {self.garble_mode!r}"
+            )
         return self

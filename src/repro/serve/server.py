@@ -24,7 +24,7 @@ from repro.errors import (
     ServingError,
 )
 from repro.host import AnalyticsClient, CloudServer
-from repro.serve.config import ServingConfig
+from repro.serve.config import ServingConfig, resolve_garble_mode
 from repro.serve.refiller import PoolRefiller
 from repro.telemetry import MetricsRegistry
 
@@ -182,6 +182,9 @@ class ServingServer:
     def start(self) -> "ServingServer":
         if self._workers:
             return self
+        mode = resolve_garble_mode(configured=self.config.garble_mode)
+        if mode is not None:
+            self.server.set_garble_mode(mode)
         if self.config.refill:
             self._refiller = PoolRefiller(
                 self.server,

@@ -38,8 +38,11 @@ from repro.testkit.oracle import (
 #: environment kinds (its seed → plan mapping is pinned and must never
 #: change); ``recovery`` draws disconnect/shed/stall plans that
 #: exercise the protocol-v3 resume machinery; ``handoff`` kills/drains
-#: members of a multi-gateway fleet mid-stream (:mod:`repro.fleet`).
-PROFILES = ("default", "recovery", "handoff")
+#: members of a multi-gateway fleet mid-stream (:mod:`repro.fleet`);
+#: ``vectorized`` reruns the recovery and handoff oracles with
+#: ``garble_mode=vectorized``, so the zero-regarble invariant and
+#: resume bit-identity are proven against the stage-batched garbler too.
+PROFILES = ("default", "recovery", "handoff", "vectorized")
 
 #: mixes the master seed with a session index (distinct from the
 #: workload stream's mixer so plan and workload are independent draws)
@@ -81,9 +84,10 @@ class ChaosConfig:
             )
         if self.gateways < 1:
             raise ConfigurationError("the fleet needs at least one gateway")
-        if self.profile == "handoff" and self.gateways < 2:
+        if self.profile in ("handoff", "vectorized") and self.gateways < 2:
             raise ConfigurationError(
-                "the handoff profile needs at least two gateways to hand off between"
+                f"the {self.profile} profile needs at least two gateways to "
+                "hand off between"
             )
         if self.sessions < 1:
             raise ConfigurationError("a chaos run needs at least one session")
@@ -186,6 +190,9 @@ class ChaosReport:
             "rounds": self.config.rounds,
             "pool_size": self.config.pool_size,
             "profile": self.config.profile,
+            "garble_mode": (
+                "vectorized" if self.config.profile == "vectorized" else "sequential"
+            ),
             "gateways": self.config.gateways,
             "tolerated": c[TOLERATED],
             "recovered": c[RECOVERED],
@@ -215,6 +222,7 @@ class ChaosRunner:
             seed=self.config.seed,
             auto_refill=True,
             telemetry=self.telemetry,
+            garble_mode=self.garble_mode,
         )
         self.oracle = ConformanceOracle(
             self.server,
@@ -226,15 +234,28 @@ class ChaosRunner:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def garble_mode(self) -> str:
+        """The server garbling path this profile exercises."""
+        return "vectorized" if self.config.profile == "vectorized" else "sequential"
+
+    def _is_handoff_session(self, session: int) -> bool:
+        """Which oracle a session runs under the ``vectorized`` profile:
+        the differential tier alternates recovery (even sessions) and
+        handoff (odd sessions) plans, seed-stable by parity."""
+        if self.config.profile == "handoff":
+            return True
+        return self.config.profile == "vectorized" and session % 2 == 1
+
     def plan_for(self, session: int) -> FaultPlan:
         session_seed = derive_session_seed(self.config.seed, session)
-        if self.config.profile == "handoff":
+        if self._is_handoff_session(session):
             return FaultPlan.random_handoff(
                 session_seed,
                 recv_timeout_s=self.config.recv_timeout_s,
                 n_gateways=self.config.gateways,
             )
-        if self.config.profile == "recovery":
+        if self.config.profile in ("recovery", "vectorized"):
             return FaultPlan.random_recovery(
                 session_seed, recv_timeout_s=self.config.recv_timeout_s
             )
@@ -243,11 +264,11 @@ class ChaosRunner:
         )
 
     def ot_mode_for(self, session: int) -> str:
-        """Seed-stable OT mode for a session: the handoff profile mixes
-        upfront-OT sessions in (about one in three) so migrations cover
-        both label-transfer schedules; the other profiles stay per-round
+        """Seed-stable OT mode for a session: handoff sessions mix
+        upfront-OT in (about one in three) so migrations cover both
+        label-transfer schedules; everything else stays per-round
         (their verdict fingerprints are pinned)."""
-        if self.config.profile != "handoff":
+        if not self._is_handoff_session(session):
             return "per_round"
         rng = random.Random(
             derive_session_seed(self.config.seed, session) ^ _OT_MODE_SALT

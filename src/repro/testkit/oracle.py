@@ -458,6 +458,7 @@ class ConformanceOracle:
             seed=plan.seed,
             auto_refill=False,
             telemetry=self.telemetry,
+            garble_mode=getattr(self.server, "garble_mode", "sequential"),
         )
         recv_timeout = max(1.0, 8.0 * self.recv_timeout_s)
         config = ServingConfig(
@@ -600,6 +601,7 @@ class ConformanceOracle:
             seed=plan.seed,
             auto_refill=False,
             telemetry=self.telemetry,
+            garble_mode=getattr(self.server, "garble_mode", "sequential"),
         )
         recv_timeout = max(1.0, 8.0 * self.recv_timeout_s)
         config = ServingConfig(

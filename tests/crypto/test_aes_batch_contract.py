@@ -1,0 +1,143 @@
+"""The batch AES contract: explicit layout handling, counted invocations.
+
+Two invariants guard the vectorised garbling hot path:
+
+1. ``AES128.encrypt_words`` never silently degrades on a non-contiguous
+   or mistyped input — it either copies *explicitly* (``allow_copy=True``)
+   or raises ``CryptoError`` (``allow_copy=False``, the setting the
+   garbling hash uses).
+2. One topological stage is ONE AES invocation, regardless of how many
+   gates or sessions ride in it — proven from the cipher's own
+   ``batch_calls`` counter and the ``gc.aes_batch_calls`` telemetry.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.labels import LabelFactory
+from repro.crypto.prf import FIXED_KEY, GarblingHash
+from repro.errors import CryptoError
+from repro.gc.vector_garble import VectorGarbler, garble_mac_runs
+from repro.telemetry import MetricsRegistry
+
+
+def _blocks(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**32, size=(n, 4), dtype=np.uint32)
+
+
+class TestExplicitLayoutContract:
+    def test_batch_matches_scalar_path(self):
+        aes = AES128(FIXED_KEY)
+        words = _blocks(17)
+        enc = aes.encrypt_words(words)
+        for row, out in zip(words, enc):
+            block = b"".join(int(w).to_bytes(4, "big") for w in row)
+            assert aes.encrypt_block(block) == b"".join(
+                int(w).to_bytes(4, "big") for w in out
+            )
+
+    def test_non_contiguous_rejected_without_allow_copy(self):
+        aes = AES128(FIXED_KEY)
+        strided = _blocks(32)[::2]  # every other row: not C-contiguous
+        assert not strided.flags.c_contiguous
+        with pytest.raises(CryptoError, match="C-contiguous"):
+            aes.encrypt_words(strided, allow_copy=False)
+        assert aes.batch_calls == 0  # rejected before touching the engine
+
+    def test_wrong_dtype_rejected_without_allow_copy(self):
+        aes = AES128(FIXED_KEY)
+        with pytest.raises(CryptoError, match="uint32"):
+            aes.encrypt_words(
+                _blocks(4).astype(np.uint64), allow_copy=False
+            )
+
+    def test_allow_copy_copies_explicitly_and_matches(self):
+        aes = AES128(FIXED_KEY)
+        base = _blocks(32)
+        strided = base[::2]
+        copied = aes.encrypt_words(strided, allow_copy=True)
+        direct = aes.encrypt_words(np.ascontiguousarray(strided))
+        np.testing.assert_array_equal(copied, direct)
+
+    def test_bad_shape_rejected(self):
+        aes = AES128(FIXED_KEY)
+        with pytest.raises(CryptoError, match="shape"):
+            aes.encrypt_words(np.zeros((4, 3), dtype=np.uint32))
+
+    def test_counters_count_invocations_not_blocks(self):
+        aes = AES128(FIXED_KEY)
+        aes.encrypt_words(_blocks(100))
+        aes.encrypt_words(_blocks(7))
+        assert aes.batch_calls == 2
+        assert aes.batch_blocks == 107
+        assert aes.scalar_calls == 0
+
+
+class TestOneInvocationPerStage:
+    def _mac_netlist(self):
+        from repro.circuits.mac import build_mac_netlist
+
+        return build_mac_netlist(8)
+
+    @pytest.mark.parametrize("n_sessions", [1, 2, 8])
+    def test_cipher_counter_one_call_per_stage(self, n_sessions):
+        """The regression the tentpole exists for: adding sessions must
+        not add AES invocations — only blocks per invocation."""
+        net = self._mac_netlist()
+        hash_fn = GarblingHash()
+        vg = VectorGarbler(net, hash_fn=hash_fn)
+        factories = [
+            LabelFactory(source=random.Random(s)) for s in range(n_sessions)
+        ]
+        vg.garble(factories)
+        assert hash_fn.aes.batch_calls == vg.plan.n_stages
+        assert hash_fn.batch_calls == vg.plan.n_stages
+        assert hash_fn.aes.scalar_calls == 0
+        # per-element accounting still matches the scalar garbler's
+        assert hash_fn.calls == n_sessions * 4 * vg.plan.n_and
+        assert hash_fn.aes.batch_blocks == n_sessions * 4 * vg.plan.n_and
+
+    def test_telemetry_counter_scales_with_rounds_not_sessions(self):
+        from repro.accel.tree_mac import build_scheduled_mac
+
+        scheduled = build_scheduled_mac(8)
+        n_stages = VectorGarbler(scheduled.netlist).plan.n_stages
+        for n_sessions in (1, 3):
+            tm = MetricsRegistry()
+            factories = [
+                LabelFactory(source=random.Random(s)) for s in range(n_sessions)
+            ]
+            garble_mac_runs(scheduled, 3, factories, telemetry=tm)
+            assert tm.counter("gc.aes_batch_calls").value == 3 * n_stages
+            assert tm.counter("gc.vector_sessions").value == 3 * n_sessions
+
+    def test_hash_words_refuses_copies_on_the_hot_path(self):
+        """hash_words hands the cipher an already-contiguous buffer; the
+        allow_copy=False setting would surface any regression as an
+        error instead of a silent slow copy."""
+        hash_fn = GarblingHash()
+        labels = np.array([[1, 2], [3, 4]], dtype=np.uint64)
+        tweaks = np.array([[0, 5], [0, 6]], dtype=np.uint64)
+        out = hash_fn.hash_words(labels, tweaks)
+        assert out.shape == (2, 2)
+        assert hash_fn.batch_calls == 1
+        # bit-identical to the scalar hash
+        scalar = GarblingHash()
+        for row_l, row_t, row_o in zip(labels, tweaks, out):
+            l = (int(row_l[0]) << 64) | int(row_l[1])
+            t = (int(row_t[0]) << 64) | int(row_t[1])
+            o = (int(row_o[0]) << 64) | int(row_o[1])
+            assert scalar(l, t) == o
+
+    def test_hash_words_empty_batch_is_free(self):
+        hash_fn = GarblingHash()
+        out = hash_fn.hash_words(
+            np.zeros((0, 2), dtype=np.uint64), np.zeros((0, 2), dtype=np.uint64)
+        )
+        assert out.shape == (0, 2)
+        assert hash_fn.batch_calls == 0
+        assert hash_fn.aes.batch_calls == 0

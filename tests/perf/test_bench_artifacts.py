@@ -1,0 +1,98 @@
+"""The committed ``BENCH_garble.json`` artifact: shape and acceptance.
+
+The vector-garbling bench commits its output at the repository root so
+the perf trajectory is reviewable in diffs.  These tests pin the
+artifact's contract: it must exist, parse, carry the full
+schema/metadata/metrics/derived shape (validated by the bench's own
+``structural_errors``, so the bench and the tests cannot drift apart),
+and record the tentpole's acceptance numbers — vectorized >= 3x
+sequential tables/s at an effective AES batch >= 64 AND gates.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_garble.json"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_vector_garble", REPO_ROOT / "benchmarks" / "bench_vector_garble.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return _load_bench_module()
+
+
+@pytest.fixture(scope="module")
+def doc():
+    assert ARTIFACT.exists(), (
+        "BENCH_garble.json is missing — regenerate it with "
+        "`python benchmarks/bench_vector_garble.py`"
+    )
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestArtifactShape:
+    def test_structurally_valid(self, bench, doc):
+        assert bench.structural_errors(doc) == []
+
+    def test_schema_and_provenance(self, bench, doc):
+        assert doc["schema_version"] == bench.SCHEMA_VERSION
+        assert doc["artifact"] == "BENCH_garble.json"
+        assert doc["generated_by"] == "benchmarks/bench_vector_garble.py"
+        # git_rev is a short hex rev (or the explicit "unknown" fallback)
+        rev = doc["git_rev"]
+        assert rev == "unknown" or (
+            4 <= len(rev) <= 40 and all(c in "0123456789abcdef" for c in rev)
+        )
+        assert isinstance(doc["seed"], int)
+
+    def test_config_records_the_run_parameters(self, bench, doc):
+        config = doc["config"]
+        assert set(bench.CONFIG_KEYS) <= set(config)
+        assert config["bitwidth"] >= 2
+        assert config["rounds"] >= 1
+        assert config["runs"] >= 1
+        assert isinstance(config["smoke"], bool)
+
+    def test_metrics_cover_both_modes_with_units_in_keys(self, bench, doc):
+        assert set(doc["metrics"]) == {"sequential", "vectorized"}
+        for mode, entry in doc["metrics"].items():
+            assert set(entry) == set(bench.METRIC_KEYS), mode
+            for key, value in entry.items():
+                assert isinstance(value, (int, float)) and value >= 0, (mode, key)
+
+    def test_sequential_mode_is_the_four_calls_per_gate_reference(self, doc):
+        assert doc["metrics"]["sequential"]["aes_invocations_per_gate"] == 4.0
+
+    def test_check_mode_accepts_the_committed_artifact(self, bench, doc):
+        """The CI bench-smoke gate: a fresh run's shape must match the
+        committed artifact's (stale artifacts fail here first)."""
+        errors = bench.check_artifact(ARTIFACT, doc)
+        assert errors == []
+
+
+class TestAcceptanceNumbers:
+    def test_committed_run_is_not_a_smoke_run(self, doc):
+        assert doc["config"]["smoke"] is False, (
+            "the committed artifact must come from a full run, not --smoke"
+        )
+
+    def test_vectorized_speedup_at_least_3x(self, doc):
+        assert doc["derived"]["speedup_tables_per_s"] >= 3.0
+
+    def test_effective_batch_at_least_64_gates_per_aes_call(self, doc):
+        assert doc["derived"]["effective_batch_per_aes_call"] >= 64.0
+
+    def test_vectorized_amortizes_aes_below_one_call_per_gate(self, doc):
+        assert doc["metrics"]["vectorized"]["aes_invocations_per_gate"] < 1.0
