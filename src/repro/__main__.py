@@ -186,6 +186,7 @@ def cmd_gateway(args) -> str:
         workers=args.workers,
         queue_depth=4 * args.workers,
         recv_timeout_s=args.recv_timeout,
+        backend=args.backend,
     )
     store = None
     if args.store:
@@ -280,7 +281,8 @@ def cmd_connect(args) -> str:
 
     x = np.array([float(v) for v in args.x.split(",")])
     with RemoteAnalyticsClient(
-        args.host, args.port, recv_timeout_s=args.recv_timeout
+        args.host, args.port, recv_timeout_s=args.recv_timeout,
+        backend=args.backend,
     ) as client:
         d = client.descriptor
         if x.shape != (d.rounds,):
@@ -293,7 +295,7 @@ def cmd_connect(args) -> str:
             [
                 f"connected: protocol v{d.protocol_version}, Q{d.total_bits}.{d.frac_bits}, "
                 f"{d.n_rows} rows x {d.rounds} columns, "
-                f"circuit {d.fingerprint[:16]}...",
+                f"backend {client.backend}, circuit {d.fingerprint[:16]}...",
                 f"<model[{args.row}], x> = {result}",
                 f"wire traffic sent: {client.endpoint.sent.payload_bytes} B "
                 f"in {client.endpoint.sent.messages} messages",
@@ -391,6 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--store", default=None, metavar="SESSIONS.jsonl",
                            help="JSONL session store path (survives restarts; "
                                 "shared in fleet mode)")
+            p.add_argument("--backend", default=None, choices=("gc", "he"),
+                           help="default private-MAC backend granted to v4 "
+                                "clients that don't request one (default: "
+                                "REPRO_BACKEND, then gc)")
         if name == "connect":
             p.add_argument("--host", default="127.0.0.1")
             p.add_argument("-p", "--port", type=int, required=True)
@@ -398,6 +404,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("-x", default="0.5,0.25",
                            help="comma-separated client vector")
             p.add_argument("--recv-timeout", type=float, default=None)
+            p.add_argument("--backend", default=None, choices=("gc", "he"),
+                           help="require this private-MAC backend (default: "
+                                "accept the gateway's)")
         if name == "chaos":
             p.add_argument("--sessions", type=int, default=20)
             p.add_argument("--seed", type=int, default=7)
@@ -407,14 +416,17 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--deadline", type=float, default=15.0)
             p.add_argument("--max-retries", type=int, default=1)
             p.add_argument("--profile", default="default",
-                           choices=("default", "recovery", "handoff", "vectorized"),
+                           choices=("default", "recovery", "handoff",
+                                    "vectorized", "backends"),
                            help="fault profile: classic wire faults, "
                                 "disconnect/shed/stall recovery plans, "
-                                "multi-gateway kill/drain handoffs, or the "
+                                "multi-gateway kill/drain handoffs, the "
                                 "recovery+handoff mix rerun with "
-                                "garble_mode=vectorized")
+                                "garble_mode=vectorized, or the same mix "
+                                "against HE-backed sessions")
             p.add_argument("--gateways", type=int, default=3,
-                           help="fleet size for --profile handoff/vectorized")
+                           help="fleet size for --profile "
+                                "handoff/vectorized/backends")
             p.add_argument("--log", default=None,
                            help="write a JSONL replay log here")
             p.add_argument("--replay", default=None, metavar="LOG.jsonl",

@@ -30,8 +30,12 @@ from repro.fixedpoint import FixedPointFormat, Q16_8
 from repro.gc.channel import local_channel, run_two_party
 from repro.gc.sequential_gc import SequentialEvaluator, SequentialGarbler
 from repro.bits import from_bits
+from repro.privatemac import open_session
 
-BACKENDS = ("maxelerator", "tinygarble")
+#: ``maxelerator``/``tinygarble`` garble the paper's MAC circuit; ``he``
+#: routes through the BFV-style encrypted MAC (:mod:`repro.he`) via the
+#: backend-neutral :func:`repro.privatemac.open_session` seam.
+BACKENDS = ("maxelerator", "tinygarble", "he")
 
 
 @dataclass
@@ -89,6 +93,10 @@ class PrivateMatVec:
                 self.bitwidth, self.acc_width, seed=seed
             )
             self._circuit = self._accelerator.circuit.circuit
+        elif backend == "he":
+            # no circuit at all: the session owns the BFV machinery
+            self._accelerator = None
+            self._circuit = None
         else:
             self._accelerator = None
             self._circuit = build_sequential_mac(
@@ -111,6 +119,8 @@ class PrivateMatVec:
         n, m = self.matrix.shape
         if x.shape != (m,):
             raise ConfigurationError(f"client vector must have shape ({m},)")
+        if self.backend == "he":
+            return self._run_he(x)
         x_enc = self.fmt.encode_array(x)
         x_rounds = [to_bits(int(v), self.bitwidth) for v in x_enc]
 
@@ -138,6 +148,22 @@ class PrivateMatVec:
             bytes_sent_garbler=g_bytes,
             bytes_sent_evaluator=e_bytes,
             tables=tables,
+            estimates=estimate_times_s(self.n_macs, self.bitwidth),
+        )
+
+    def _run_he(self, x: np.ndarray) -> MatVecReport:
+        """The encrypted-MAC path: one SIMD-batched matvec, no tables."""
+        with open_session(self.matrix, self.fmt, "he", seed=self._seed) as sess:
+            result = sess.query_matvec(x)
+            acct = sess.accounting
+        return MatVecReport(
+            result=result,
+            n_macs=self.n_macs,
+            bitwidth=self.bitwidth,
+            backend=self.backend,
+            bytes_sent_garbler=acct.bytes_to_client,
+            bytes_sent_evaluator=acct.bytes_to_server,
+            tables=0,
             estimates=estimate_times_s(self.n_macs, self.bitwidth),
         )
 

@@ -1,0 +1,216 @@
+"""Secret-key BFV over ``Z_q[x]/(x^N + 1)`` — the minimal op set.
+
+The encrypted-MAC protocol only ever needs encrypt -> plaintext
+multiply (-> add) -> decrypt: the model matrix belongs to the server
+and stays in the clear, so there are no relinearisation or rotation
+keys and no ciphertext-ciphertext products.  That restriction keeps
+the noise analysis exact: a decrypted ciphertext satisfies
+
+    c0 + c1*s = Delta * P + E   (mod q)
+
+with ``P`` the *integer* plaintext polynomial (coefficients centered,
+``|P| < t/2`` by the accumulator-width sizing in :mod:`repro.he.params`)
+and ``E`` the multiplied encryption error.  Decoding rounds by
+``Delta`` directly — correct whenever ``|E| < Delta/2`` — and the
+measured residual *is* the noise, which is what
+:meth:`BFVContext.noise_budget_bits` reports.
+
+All randomness flows through a caller-supplied numpy ``Generator`` so
+keygen/encrypt are deterministic under a seed (reproducibility is a
+tentpole requirement); the server-side operations use no randomness
+at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CryptoError, GCProtocolError
+from repro.he.ntt import NegacyclicNTT
+from repro.he.params import ERROR_BOUND, HEParams
+
+_MAGIC = b"RHE1"
+#: magic(4) + ring_degree uint32 + coeff_bytes uint16
+CIPHERTEXT_HEADER_BYTES = 10
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """Ternary RLWE secret (coefficients in {-1, 0, 1})."""
+
+    coeffs: tuple[int, ...]
+
+
+class Ciphertext:
+    """An RLWE pair ``(c0, c1)`` in the coefficient domain."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: list[int], c1: list[int]):
+        self.c0 = c0
+        self.c1 = c1
+
+    def to_bytes(self, params: HEParams) -> bytes:
+        width = params.coeff_bytes
+        n = params.ring_degree
+        parts = [_MAGIC, n.to_bytes(4, "big"), width.to_bytes(2, "big")]
+        for poly in (self.c0, self.c1):
+            for c in poly:
+                parts.append(c.to_bytes(width, "big"))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, params: HEParams) -> "Ciphertext":
+        if len(data) < CIPHERTEXT_HEADER_BYTES or data[:4] != _MAGIC:
+            raise GCProtocolError("malformed HE ciphertext: bad header")
+        n = int.from_bytes(data[4:8], "big")
+        width = int.from_bytes(data[8:10], "big")
+        if n != params.ring_degree or width != params.coeff_bytes:
+            raise GCProtocolError(
+                f"HE ciphertext shape mismatch: got N={n}/width={width}, "
+                f"expected N={params.ring_degree}/width={params.coeff_bytes}"
+            )
+        body = data[CIPHERTEXT_HEADER_BYTES:]
+        if len(body) != 2 * n * width:
+            raise GCProtocolError("truncated HE ciphertext body")
+        q = params.q
+        polys = []
+        for half in range(2):
+            base = half * n * width
+            coeffs = [
+                int.from_bytes(body[base + i * width: base + (i + 1) * width], "big")
+                for i in range(n)
+            ]
+            if any(c >= q for c in coeffs):
+                raise GCProtocolError("HE ciphertext coefficient out of range")
+            polys.append(coeffs)
+        return cls(polys[0], polys[1])
+
+
+class PlainPoly:
+    """A plaintext ring element with its NTT image cached, so a model
+    row encoded once multiplies many ciphertexts at one forward
+    transform each."""
+
+    __slots__ = ("coeffs", "ntt_values")
+
+    def __init__(self, coeffs: list[int], ntt_values: list[int]):
+        self.coeffs = coeffs
+        self.ntt_values = ntt_values
+
+
+class BFVContext:
+    """Parameter-bound BFV operations (shared by client and server)."""
+
+    def __init__(self, params: HEParams):
+        self.params = params
+        self.ntt = NegacyclicNTT(params.q, params.ring_degree)
+
+    # -- randomness ---------------------------------------------------
+
+    def _uniform_poly(self, rng: np.random.Generator) -> list[int]:
+        """Uniform element of Z_q^N (8 spare bytes make mod bias
+        negligible, and the draw stays seed-deterministic)."""
+        width = self.params.coeff_bytes + 8
+        raw = rng.bytes(self.params.ring_degree * width)
+        q = self.params.q
+        return [
+            int.from_bytes(raw[i * width: (i + 1) * width], "big") % q
+            for i in range(self.params.ring_degree)
+        ]
+
+    def _error_poly(self, rng: np.random.Generator) -> list[int]:
+        draws = rng.normal(0.0, self.params.sigma, self.params.ring_degree)
+        return [int(e) for e in
+                np.clip(np.rint(draws), -ERROR_BOUND, ERROR_BOUND).astype(np.int64)]
+
+    # -- keys and encryption ------------------------------------------
+
+    def keygen(self, rng: np.random.Generator) -> SecretKey:
+        coeffs = rng.integers(-1, 2, self.params.ring_degree)
+        return SecretKey(tuple(int(c) for c in coeffs))
+
+    def _centered_to_residues(self, centered: list[int]) -> list[int]:
+        q = self.params.q
+        return [c % q for c in centered]
+
+    def encrypt(self, plain_centered: list[int], sk: SecretKey,
+                rng: np.random.Generator) -> Ciphertext:
+        """Encrypt a centered plaintext polynomial (``|coeff| < t/2``)."""
+        params = self.params
+        half_t = params.plain_modulus // 2
+        if len(plain_centered) != params.ring_degree:
+            raise CryptoError(
+                f"plaintext must have {params.ring_degree} coefficients"
+            )
+        if any(c < -half_t or c >= half_t for c in plain_centered):
+            raise CryptoError("plaintext coefficient outside the centered range")
+        q, delta = params.q, params.delta
+        a = self._uniform_poly(rng)
+        e = self._error_poly(rng)
+        a_s = self.ntt.multiply(a, self._centered_to_residues(list(sk.coeffs)))
+        c0 = [
+            (delta * m - prod + err) % q
+            for m, prod, err in zip(plain_centered, a_s, e)
+        ]
+        return Ciphertext(c0, a)
+
+    # -- homomorphic operations ---------------------------------------
+
+    def make_plain(self, centered_coeffs: list[int]) -> PlainPoly:
+        residues = self._centered_to_residues(centered_coeffs)
+        return PlainPoly(residues, self.ntt.forward(residues))
+
+    def plain_mul(self, ct: Ciphertext, plain: PlainPoly) -> Ciphertext:
+        """Multiply a ciphertext by a plaintext ring element."""
+        ntt = self.ntt
+        c0 = ntt.inverse(ntt.pointwise(ntt.forward(ct.c0), plain.ntt_values))
+        c1 = ntt.inverse(ntt.pointwise(ntt.forward(ct.c1), plain.ntt_values))
+        return Ciphertext(c0, c1)
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        q = self.params.q
+        return Ciphertext(
+            [(x + y) % q for x, y in zip(a.c0, b.c0)],
+            [(x + y) % q for x, y in zip(a.c1, b.c1)],
+        )
+
+    # -- decryption and noise -----------------------------------------
+
+    def _phase(self, ct: Ciphertext, sk: SecretKey) -> list[int]:
+        """Centered ``(c0 + c1*s) mod q`` — equals ``Delta*P + E``."""
+        q = self.params.q
+        c1_s = self.ntt.multiply(ct.c1, self._centered_to_residues(list(sk.coeffs)))
+        out = []
+        for x, y in zip(ct.c0, c1_s):
+            v = (x + y) % q
+            out.append(v - q if v >= (q + 1) // 2 else v)
+        return out
+
+    def decrypt(self, ct: Ciphertext, sk: SecretKey) -> list[int]:
+        """Centered plaintext coefficients (mod ``t``, in ``[-t/2, t/2)``)."""
+        params = self.params
+        delta, t = params.delta, params.plain_modulus
+        out = []
+        for v in self._phase(ct, sk):
+            p = (v + delta // 2) // delta
+            p %= t
+            out.append(p - t if p >= t // 2 else p)
+        return out
+
+    def noise_budget_bits(self, ct: Ciphertext, sk: SecretKey) -> int:
+        """Exact remaining noise budget: ``floor(log2(Delta / 2|E|))``.
+
+        Positive means every coefficient still decodes correctly with
+        at least that many bits of headroom; zero or negative means
+        the ciphertext is at (or past) the decryption threshold.
+        """
+        delta = self.params.delta
+        worst = 1
+        for v in self._phase(ct, sk):
+            p = (v + delta // 2) // delta
+            residual = abs(v - p * delta)
+            worst = max(worst, residual)
+        return delta.bit_length() - 1 - (2 * worst).bit_length() + 1

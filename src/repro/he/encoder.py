@@ -1,0 +1,85 @@
+"""Fixed-point <-> plaintext-polynomial packing.
+
+The packing is the coefficient-domain inner-product trick: the client
+encrypts its query as
+
+    a(x) = sum_i  enc(x_i) * x^i            (i < cols)
+
+and the server multiplies by a plaintext row reversed into the top of
+a block,
+
+    b_r(x) = sum_l enc(A[r, l]) * x^((r+1)*cols - 1 - l),
+
+so coefficient ``(r+1)*cols - 1`` of ``a*b`` is exactly
+``sum_l enc(x_l) * enc(A[r, l])`` — the raw product-scale MAC value
+the GC accumulator computes.  Packing *all* rows into one ``b`` gives
+a batched SIMD matvec: one plaintext multiplication evaluates every
+row, and the block offsets are far enough apart (``|i - l| < cols``
+forces ``r' = r``) that no cross terms land on a result coefficient.
+``params_for_workload`` sizes ``N`` so no product exponent reaches
+``x^N`` — result coefficients collect no negacyclic sign flips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CryptoError
+from repro.fixedpoint import FixedPointFormat
+from repro.he.params import HEParams
+
+
+def _check_shape(params: HEParams, rows: int, cols: int):
+    if cols != params.cols:
+        raise CryptoError(f"expected {params.cols}-element vectors, got {cols}")
+    if rows > params.rows:
+        raise CryptoError(f"parameter set packs at most {params.rows} rows, got {rows}")
+
+
+def result_index(params: HEParams, block: int = 0) -> int:
+    """Coefficient carrying block ``block``'s dot product."""
+    return (block + 1) * params.cols - 1
+
+
+def encode_query(x, fmt: FixedPointFormat, params: HEParams) -> list[int]:
+    """Pack a query vector into centered plaintext coefficients 0..cols-1."""
+    values = np.asarray(x, dtype=float).reshape(-1)
+    _check_shape(params, 1, values.size)
+    coeffs = [0] * params.ring_degree
+    encoded = fmt.encode_array(values)
+    for i in range(values.size):
+        coeffs[i] = int(encoded[i])
+    return coeffs
+
+
+def encode_row(row, fmt: FixedPointFormat, params: HEParams,
+               block: int = 0) -> list[int]:
+    """Pack one model row (reversed) into plaintext block ``block``."""
+    values = np.asarray(row, dtype=float).reshape(-1)
+    _check_shape(params, block + 1, values.size)
+    coeffs = [0] * params.ring_degree
+    encoded = fmt.encode_array(values)
+    top = result_index(params, block)
+    for l in range(values.size):
+        coeffs[top - l] = int(encoded[l])
+    return coeffs
+
+
+def encode_matrix(matrix, fmt: FixedPointFormat, params: HEParams) -> list[int]:
+    """Pack every row of ``matrix`` at its own block offset (SIMD)."""
+    a = np.atleast_2d(np.asarray(matrix, dtype=float))
+    _check_shape(params, a.shape[0], a.shape[1])
+    coeffs = [0] * params.ring_degree
+    for r in range(a.shape[0]):
+        for l, c in enumerate(encode_row(a[r], fmt, params, block=r)):
+            if c:
+                coeffs[l] = c
+    return coeffs
+
+
+def extract_result(plain_centered: list[int], params: HEParams,
+                   block: int = 0) -> int:
+    """Raw product-scale MAC value for block ``block`` — a centered
+    ``acc_width``-bit two's-complement integer, bit-identical to the
+    GC accumulator's decoded output."""
+    return plain_centered[result_index(params, block)]

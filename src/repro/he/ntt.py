@@ -1,0 +1,182 @@
+"""Negacyclic number-theoretic transform over ``Z_q[x]/(x^N + 1)``.
+
+Everything here works on plain python integers: the moduli sized for
+the paper's 32-bit fixed-point format run well past 64 bits, so numpy
+integer arrays cannot hold the coefficients.  ``N`` stays small (the
+reproduction uses toy ring degrees the way :data:`repro.crypto.ot`
+uses ``TOY_GROUP``), which keeps the ``O(N log N)`` big-int transform
+comfortably fast.
+
+The negacyclic trick is the textbook one: with ``psi`` a primitive
+``2N``-th root of unity mod ``q`` (so ``psi**N == -1``), pre-scaling
+coefficient ``i`` by ``psi**i`` turns the cyclic convolution computed
+by a plain NTT of ``omega = psi**2`` into the negacyclic convolution
+that reduction by ``x^N + 1`` demands.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+# Deterministic Miller-Rabin witness set.  For the < 2^64 range the
+# first twelve primes are a proven-deterministic test; above that the
+# fixed set keeps the search reproducible with a vanishing (< 2^-128)
+# composite-slip probability — fine for a reproduction, and critically
+# both endpoints derive the *same* q from the same inputs.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37,
+                 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Miller-Rabin with a fixed witness set (deterministic output)."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_prime(bits: int, ring_degree: int) -> int:
+    """Smallest prime ``q >= 2**bits`` with ``q ≡ 1 (mod 2N)``.
+
+    The congruence guarantees ``Z_q*`` contains an element of order
+    ``2N``, i.e. the negacyclic NTT exists.  Deterministic: both the
+    gateway and the client find the same modulus independently.
+    """
+    if ring_degree <= 0 or ring_degree & (ring_degree - 1):
+        raise CryptoError(f"ring degree must be a power of two, got {ring_degree}")
+    step = 2 * ring_degree
+    # First candidate >= 2**bits that is 1 mod 2N.
+    k = (2 ** bits - 2) // step + 1
+    while True:
+        q = k * step + 1
+        if is_probable_prime(q):
+            return q
+        k += 1
+
+
+def find_primitive_2n_root(q: int, ring_degree: int) -> int:
+    """Smallest-base primitive ``2N``-th root of unity mod ``q``.
+
+    Tries bases 2, 3, ... and accepts ``psi = base**((q-1)/2N)`` once
+    ``psi**N == -1`` — that single check pins the order to exactly
+    ``2N``.  Deterministic by construction.
+    """
+    exponent = (q - 1) // (2 * ring_degree)
+    for base in range(2, 1000):
+        psi = pow(base, exponent, q)
+        if pow(psi, ring_degree, q) == q - 1:
+            return psi
+    raise CryptoError(f"no primitive 2N-th root found for q={q}, N={ring_degree}")
+
+
+def _bit_reverse_permutation(n: int) -> list[int]:
+    bits = n.bit_length() - 1
+    out = [0] * n
+    for i in range(n):
+        out[i] = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+    return out
+
+
+class NegacyclicNTT:
+    """Forward/inverse negacyclic NTT plus ring multiplication.
+
+    Precomputes the psi power tables once per ``(q, N)`` pair; the
+    transforms are iterative Cooley-Tukey over python ints.
+    """
+
+    def __init__(self, q: int, ring_degree: int):
+        if ring_degree <= 0 or ring_degree & (ring_degree - 1):
+            raise CryptoError(f"ring degree must be a power of two, got {ring_degree}")
+        if (q - 1) % (2 * ring_degree):
+            raise CryptoError(f"q={q} does not support a degree-{ring_degree} negacyclic NTT")
+        self.q = q
+        self.n = ring_degree
+        self.psi = find_primitive_2n_root(q, ring_degree)
+        self.omega = self.psi * self.psi % q
+        self.n_inv = pow(ring_degree, q - 2, q)
+        self._psi_pow = [pow(self.psi, i, q) for i in range(ring_degree)]
+        psi_inv = pow(self.psi, q - 2, q)
+        self._psi_inv_pow = [pow(psi_inv, i, q) for i in range(ring_degree)]
+        self._rev = _bit_reverse_permutation(ring_degree)
+        # Stage twiddles for omega and omega^{-1}.
+        self._omega_pow = [pow(self.omega, i, q) for i in range(ring_degree)]
+        omega_inv = pow(self.omega, q - 2, q)
+        self._omega_inv_pow = [pow(omega_inv, i, q) for i in range(ring_degree)]
+
+    def _transform(self, values: list[int], powers: list[int]) -> list[int]:
+        q, n = self.q, self.n
+        a = [values[self._rev[i]] for i in range(n)]
+        length = 2
+        while length <= n:
+            half = length // 2
+            stride = n // length
+            for start in range(0, n, length):
+                for j in range(half):
+                    w = powers[j * stride]
+                    lo = a[start + j]
+                    hi = a[start + j + half] * w % q
+                    a[start + j] = (lo + hi) % q
+                    a[start + j + half] = (lo - hi) % q
+            length *= 2
+        return a
+
+    def forward(self, coeffs: list[int]) -> list[int]:
+        """Coefficient domain -> evaluation domain (negacyclic)."""
+        if len(coeffs) != self.n:
+            raise CryptoError(f"expected {self.n} coefficients, got {len(coeffs)}")
+        q = self.q
+        scaled = [coeffs[i] * self._psi_pow[i] % q for i in range(self.n)]
+        return self._transform(scaled, self._omega_pow)
+
+    def inverse(self, values: list[int]) -> list[int]:
+        """Evaluation domain -> coefficient domain (negacyclic)."""
+        if len(values) != self.n:
+            raise CryptoError(f"expected {self.n} values, got {len(values)}")
+        q = self.q
+        a = self._transform(list(values), self._omega_inv_pow)
+        return [a[i] * self.n_inv % q * self._psi_inv_pow[i] % q for i in range(self.n)]
+
+    def multiply(self, a: list[int], b: list[int]) -> list[int]:
+        """``a * b mod (x^N + 1, q)`` via pointwise NTT product."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse([x * y % self.q for x, y in zip(fa, fb)])
+
+    def pointwise(self, fa: list[int], fb: list[int]) -> list[int]:
+        q = self.q
+        return [x * y % q for x, y in zip(fa, fb)]
+
+
+def negacyclic_mul_schoolbook(a: list[int], b: list[int], q: int) -> list[int]:
+    """Quadratic reference multiplication (test oracle for the NTT)."""
+    n = len(a)
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if not ai:
+            continue
+        for j, bj in enumerate(b):
+            if not bj:
+                continue
+            k = i + j
+            if k < n:
+                out[k] = (out[k] + ai * bj) % q
+            else:
+                out[k - n] = (out[k - n] - ai * bj) % q
+    return out

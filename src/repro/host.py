@@ -54,6 +54,7 @@ class ServerStats:
     pool_hits: int = 0
     pool_misses: int = 0
     tables_streamed: int = 0
+    he_queries: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -130,6 +131,9 @@ class CloudServer:
             # a model change invalidates nothing cryptographically (tables
             # are input-independent!) but the pool is sized per round count
             self._pool.clear()
+            # the HE context bakes the plaintext rows in, so it IS
+            # model-dependent — rebuilt lazily on the next HE query
+            self._he_server = None
         self.refill_pool()
 
     def set_garble_mode(self, mode: str) -> None:
@@ -334,6 +338,71 @@ class CloudServer:
         tm.counter("stream.tables").inc(run.total_tables)
         tm.counter("gc.hash_calls").inc(run.hash_calls)
         self._after_serve()
+
+
+    # ------------------------------------------------------------------
+    # encrypted-MAC backend (repro.he)
+    # ------------------------------------------------------------------
+    @property
+    def he_mac(self):
+        """The lazily-built HE context for the current model.
+
+        Construction (parameter derivation + NTT-encoding every row)
+        happens outside the pool lock; a model swap that races the
+        build wins — the stale context is discarded, mirroring how
+        ``refill_pool`` retires runs garbled against a replaced
+        accelerator.
+        """
+        from repro.he.mac import HEMacServer
+
+        while True:
+            with self._lock:
+                he = self._he_server
+                matrix = self.model
+            if he is not None:
+                return he
+            with self.telemetry.timer("he.context_build"):
+                built = HEMacServer(matrix, self.fmt)
+            with self._lock:
+                if self.model is matrix:
+                    self._he_server = built
+                    return built
+            # model swapped mid-build: discard and rebuild
+
+    def serve_row_he(self, channel, row_index: int, on_round=None,
+                     on_run=None) -> None:
+        """Serve one encrypted MAC: recv ``he.query``, answer
+        ``he.result``.
+
+        The recovery hooks mirror :meth:`serve_row`'s contract with
+        the round count fixed at one: ``on_run(result_bytes)`` fires
+        after the homomorphic product is computed and before it is
+        streamed (the gateway checkpoints the *result* — the server
+        holds no keys, so re-sending it after a crash is exactly a
+        garbled-table replay); ``on_round(1)`` fires once the result
+        is on the wire and may raise to abort at the boundary.
+        """
+        with self._lock:
+            n_rows = self.model.shape[0]
+        if not 0 <= row_index < n_rows:
+            raise ConfigurationError(f"model has no row {row_index}")
+        he = self.he_mac
+        tm = self.telemetry
+        with tm.span("serve_row_he"):
+            query = channel.recv("he.query")
+            with tm.timer("he.eval"):
+                result = he.answer_query(query, row_index)
+            if on_run is not None:
+                on_run(result)
+            # counted at eval, like runs_garbled: a checkpointed result
+            # re-streamed by a peer after a crash must not count twice,
+            # which makes the delta an exact zero-recompute oracle
+            self.stats.bump("he_queries")
+            tm.counter("he.queries").inc()
+            channel.send("he.result", result)
+            if on_round is not None:
+                on_round(1)
+        self.stats.bump("requests_served")
 
 
 class AnalyticsClient:

@@ -45,6 +45,12 @@ from repro.errors import (
 )
 from repro.fixedpoint import FixedPointFormat
 from repro.gc.sequential_gc import OT_MODES, SequentialEvaluator
+from repro.he import (
+    HE_QUERY_TAG,
+    HE_RESULT_TAG,
+    HEMacClient,
+    params_for_workload,
+)
 from repro.net.endpoint import SocketEndpoint
 from repro.net.gateway import ACK_TAG, BYE_TAG, ERROR_TAG, QUERY_TAG
 from repro.net.handshake import client_session_handshake, netlist_fingerprint
@@ -65,6 +71,14 @@ class RemoteAnalyticsClient:
     path) the client still speaks v3 but cannot reconnect, exactly like
     the pre-recovery client.  ``backoff`` shapes both reconnect pacing
     and how a ``net.retry_after`` shed reply is honored.
+
+    ``backend`` picks the private-MAC backend (v4 negotiation,
+    :data:`repro.privatemac.BACKENDS`): ``None`` accepts the gateway's
+    default, a named backend is a hard requirement.  An HE session
+    re-derives the BFV ring parameters from the session descriptor and
+    verifies them against the gateway's ``backend_params`` — the HE
+    analogue of the GC circuit-fingerprint check.  ``he_seed`` seeds
+    the HE key generation for reproducible transcripts.
     """
 
     def __init__(
@@ -79,6 +93,8 @@ class RemoteAnalyticsClient:
         backoff: BackoffPolicy | None = None,
         sleeper=time.sleep,
         addresses=None,
+        backend: str | None = None,
+        he_seed: int | None = None,
     ):
         self.telemetry = telemetry
         self.backoff = backoff or BackoffPolicy()
@@ -112,19 +128,36 @@ class RemoteAnalyticsClient:
                 "RemoteAnalyticsClient needs host+port, a socket, or a dial callable"
             )
         self.descriptor, welcome = client_session_handshake(
-            transport, client_name=name
+            transport, client_name=name, backend=backend
         )
         d = self.descriptor
+        self.backend = str(welcome.get("negotiated_backend", "gc"))
         self.fmt = FixedPointFormat(d.total_bits, d.frac_bits)
-        self.circuit = build_scheduled_mac(d.total_bits, d.acc_width).circuit
-        local_print = netlist_fingerprint(self.circuit)
-        if local_print != d.fingerprint:
-            transport.close()
-            raise HandshakeError(
-                "circuit fingerprint mismatch: gateway garbles "
-                f"{d.fingerprint[:16]}..., this client built {local_print[:16]}... "
-                "(version skew between client and gateway builds)"
-            )
+        self._he: HEMacClient | None = None
+        if self.backend == "he":
+            # the descriptor pins the workload; both endpoints derive
+            # the ring parameters independently and must agree exactly
+            params = params_for_workload(self.fmt, d.n_rows, d.rounds)
+            published = welcome.get("backend_params")
+            if published != params.to_wire():
+                transport.close()
+                raise HandshakeError(
+                    "HE parameter mismatch: gateway published "
+                    f"{published!r}, this client derived {params.to_wire()!r} "
+                    "(version skew between client and gateway builds)"
+                )
+            self._he = HEMacClient(params, self.fmt, seed=he_seed)
+            self.circuit = None  # HE sessions never evaluate the GC circuit
+        else:
+            self.circuit = build_scheduled_mac(d.total_bits, d.acc_width).circuit
+            local_print = netlist_fingerprint(self.circuit)
+            if local_print != d.fingerprint:
+                transport.close()
+                raise HandshakeError(
+                    "circuit fingerprint mismatch: gateway garbles "
+                    f"{d.fingerprint[:16]}..., this client built {local_print[:16]}... "
+                    "(version skew between client and gateway builds)"
+                )
         self.group = d.group
         self.session_id = str(welcome.get("session_id", ""))
         if (
@@ -163,6 +196,11 @@ class RemoteAnalyticsClient:
     def resumable(self) -> bool:
         return isinstance(self.endpoint, ResumableClientEndpoint)
 
+    @property
+    def last_noise_budget_bits(self) -> int | None:
+        """Noise budget of the last HE decryption (None on GC sessions)."""
+        return self._he.last_noise_budget_bits if self._he is not None else None
+
     def query_row(self, row_index: int, x_values, ot_mode: str = "per_round") -> float:
         """Learn <model[row], x> without revealing x — over the wire.
 
@@ -184,12 +222,50 @@ class RemoteAnalyticsClient:
             raise GCProtocolError(
                 f"query vector must have {self.descriptor.rounds} entries"
             )
+        if self.backend == "he":
+            return self._query_he(row_index, x)
         x_bits = [
             to_bits(int(v), self.fmt.total_bits) for v in self.fmt.encode_array(x)
         ]
         self._admit(row_index, ot_mode)
         report = self._evaluate(x_bits)
         raw = from_bits(report.output_bits, signed=True)
+        return self.fmt.decode_product(raw)
+
+    def _query_he(self, row_index: int, x) -> float:
+        """One encrypted-MAC round trip: ``he.query`` out, ``he.result``
+        back, decrypted and decoded locally.
+
+        Recovery differs from the GC path in one way: the query
+        ciphertext is never re-sent.  A restarted session (drain notice
+        or wire break) re-streams the *stored result* ciphertext from
+        the checkpoint — the adopted session is already past its
+        receive phase — so the client only ever re-enters the receive.
+        """
+        ep = self.endpoint
+        self._admit(row_index, "per_round")
+        ep.send(HE_QUERY_TAG, self._he.encrypt_query(x))
+        while True:
+            try:
+                result = ep.recv(HE_RESULT_TAG)
+                break
+            except SessionDrainedError as exc:
+                if not self.resumable:
+                    raise
+                if exc.resumed:
+                    next_round = exc.next_round
+                else:
+                    next_round = ep.force_resume()
+                if next_round not in (0, 1):
+                    raise ResumeError(
+                        f"gateway resumed HE session {self.session_id} at "
+                        f"round {next_round}; an HE query has exactly one"
+                    ) from exc
+                if self.telemetry is not None:
+                    self.telemetry.counter("client.resumed_queries").inc()
+        raw = self._he.decrypt_row_result(result)
+        if self.telemetry is not None:
+            self.telemetry.counter("client.he_queries").inc()
         return self.fmt.decode_product(raw)
 
     def _admit(self, row_index: int, ot_mode: str = "per_round") -> None:

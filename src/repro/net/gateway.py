@@ -77,7 +77,12 @@ from repro.net.handshake import (
     descriptor_for,
     server_handshake,
 )
-from repro.recover.checkpoint import SessionCheckpoint, checkpoint_from_run
+from repro.privatemac import BACKENDS
+from repro.recover.checkpoint import (
+    SessionCheckpoint,
+    checkpoint_from_he_result,
+    checkpoint_from_run,
+)
 from repro.recover.endpoint import (
     DRAIN_TAG,
     RESUME_OK_TAG,
@@ -86,7 +91,12 @@ from repro.recover.endpoint import (
     RebindableEndpoint,
 )
 from repro.recover.store import InMemorySessionStore, SessionStore
-from repro.serve import ServingConfig, ServingServer, resolve_reaper_timeout
+from repro.serve import (
+    ServingConfig,
+    ServingServer,
+    resolve_backend,
+    resolve_reaper_timeout,
+)
 from repro.serve.batcher import ResumeBatcher
 from repro.telemetry import MetricsRegistry
 
@@ -102,7 +112,7 @@ class _GatewaySession:
     __slots__ = (
         "thread", "endpoint", "channel", "started_at", "handshaken",
         "reaped", "session_id", "client_name", "version", "in_query",
-        "handoff",
+        "handoff", "backend",
     )
 
     def __init__(self, thread: threading.Thread | None, endpoint: SocketEndpoint):
@@ -117,6 +127,8 @@ class _GatewaySession:
         self.session_id = ""
         self.client_name = "client"
         self.version = 2
+        #: negotiated private-MAC backend (pre-v4 sessions are GC)
+        self.backend = "gc"
         self.in_query = False
         #: set when this connection's socket was handed to another live
         #: session (resume rebind) — teardown must not close it
@@ -165,6 +177,7 @@ class GCGateway:
         reap_interval_s: float = 0.25,
         store: SessionStore | None = None,
         gateway_id: str = "",
+        backend: str | None = None,
     ):
         self.server = server
         self.gateway_id = gateway_id or f"gw-{uuid.uuid4().hex[:8]}"
@@ -177,6 +190,12 @@ class GCGateway:
         self.serving = serving
         self.host = host
         self.port = port
+        #: backend granted to v4 clients that don't request one
+        #: (explicit argument > ``ServingConfig.backend`` >
+        #: ``REPRO_BACKEND`` > ``gc``)
+        self.default_backend = resolve_backend(
+            backend, self.serving.config.backend
+        )
         self.descriptor = descriptor_for(server)
         self.handshake_timeout_s = resolve_reaper_timeout(
             handshake_timeout_s, self.serving.config.reaper_timeout_s
@@ -459,12 +478,17 @@ class GCGateway:
                 hello = server_handshake(
                     endpoint, self.descriptor,
                     hello_payload=payload, session_id=session_id,
+                    backends=BACKENDS,
+                    default_backend=self.default_backend,
+                    backend_params=self._backend_params,
                 )
                 session.handshaken = True
                 session.session_id = session_id
                 session.client_name = str(hello.get("name", "client"))
                 session.version = int(hello.get("negotiated_version", 2))
+                session.backend = str(hello.get("negotiated_backend", "gc"))
                 tm.counter("gateway.sessions").inc()
+                tm.counter(f"gateway.sessions.{session.backend}").inc()
                 self._query_loop(session)
         except HandshakeError as exc:
             # the session never existed: half-open socket, rogue peer,
@@ -491,6 +515,18 @@ class GCGateway:
                     if self._live.get(session.session_id) is session:
                         del self._live[session.session_id]
             session.close_hard()
+
+    def _backend_params(self, granted: str) -> dict | None:
+        """Welcome extras for the granted backend.
+
+        For HE sessions the gateway publishes its independently derived
+        BFV ring parameters; the client re-derives them from the same
+        session descriptor and *verifies* the two match — the HE
+        analogue of the GC circuit-fingerprint check.
+        """
+        if granted == "he":
+            return self.server.he_mac.params.to_wire()
+        return None
 
     def _query_loop(self, session: _GatewaySession) -> None:
         """Serve QUERY/BYE on a handshaken session until it ends."""
@@ -566,10 +602,13 @@ class GCGateway:
             if lease is None:
                 self._shed(channel, v3, "session is leased to a peer")
                 return
-            on_run, on_round = self._checkpoint_hooks(session, row, ot_mode)
+            on_run, on_round = self._checkpoint_hooks(
+                session, row, ot_mode, backend=session.backend
+            )
         try:
             request = self.serving.submit_remote(
-                row, channel, on_round=on_round, on_run=on_run, ot_mode=ot_mode
+                row, channel, on_round=on_round, on_run=on_run,
+                ot_mode=ot_mode, backend=session.backend,
             )
         except OverloadedError as exc:  # transient saturation: shed with a hint
             if v3:  # nothing was garbled: don't pin the admission lease
@@ -601,7 +640,7 @@ class GCGateway:
         tm.counter("gateway.queries").inc()
 
     def _checkpoint_hooks(self, session: _GatewaySession, row: int,
-                          ot_mode: str = "per_round"):
+                          ot_mode: str = "per_round", backend: str = "gc"):
         """Build the ``on_run``/``on_round`` closures that snapshot one
         query's resumable state into the session store.
 
@@ -610,21 +649,17 @@ class GCGateway:
         (this one looked dead) the CAS raises :class:`LeaseError` and
         streaming stops at the boundary — two gateways never advance the
         same session.
+
+        GC queries checkpoint the full garbled run *before* streaming;
+        HE queries checkpoint the single result ciphertext (the server
+        holds no HE keys, so re-sending it on restart is exactly as safe
+        as replaying a garbled table).  Both share ``on_round``.
         """
         channel = session.channel
         cfg = self.serving.config
         holder: dict = {}
 
-        def on_run(run, encoded_row):
-            cp = checkpoint_from_run(
-                run,
-                encoded_row,
-                self.server.fmt.total_bits,
-                session.session_id,
-                row,
-                client_name=session.client_name,
-                ot_mode=ot_mode,
-            )
+        def _store_checkpoint(cp) -> None:
             lease = self.store.acquire_lease(
                 session.session_id, self.gateway_id, cfg.lease_ttl_s
             )
@@ -636,6 +671,26 @@ class GCGateway:
             holder["cp"] = cp
             holder["expected"] = cp.next_round
             self.store.put(cp)
+
+        if backend == "he":
+            def on_run(result_bytes):
+                _store_checkpoint(checkpoint_from_he_result(
+                    result_bytes,
+                    session.session_id,
+                    row,
+                    client_name=session.client_name,
+                ))
+        else:
+            def on_run(run, encoded_row):
+                _store_checkpoint(checkpoint_from_run(
+                    run,
+                    encoded_row,
+                    self.server.fmt.total_bits,
+                    session.session_id,
+                    row,
+                    client_name=session.client_name,
+                    ot_mode=ot_mode,
+                ))
 
         def on_round(next_round: int):
             cp = holder.get("cp")
@@ -871,6 +926,7 @@ class GCGateway:
         # give up ownership now that streaming is done
         self.store.release_lease(sid, self.gateway_id)
         session.client_name = checkpoint.client_name or session.client_name
+        session.backend = checkpoint.backend
         tm.counter("gateway.queries").inc()
         # the resumed query is done; keep serving this connection like
         # any other v3 session (the wrapper inherits the live counters)

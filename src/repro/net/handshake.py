@@ -36,11 +36,17 @@ from repro.errors import GCProtocolError, HandshakeError, WireError
 #: descriptor parser ignores — so a v3 gateway still serves v2 clients
 #: (negotiating each session down to the client's version), while a v3
 #: client never silently assumes resume support from a v2 gateway.
-PROTOCOL_VERSION = 3
+#: v4: backend negotiation.  The hello may name a private-MAC backend
+#: (``gc``/``he``, :data:`repro.privatemac.BACKENDS`); the welcome
+#: echoes the granted ``backend`` plus, for ``he``, the derived BFV
+#: ``backend_params``.  Both are welcome-dict extras that pre-v4
+#: descriptor parsers drop, and sessions negotiated below v4 are
+#: always granted ``gc`` — so v2/v3 clients keep working unchanged.
+PROTOCOL_VERSION = 4
 
 #: Versions this build can serve.  A hello outside this set is
 #: rejected; one inside it is served *at the client's version*.
-SUPPORTED_VERSIONS = (2, 3)
+SUPPORTED_VERSIONS = (2, 3, 4)
 
 HELLO_TAG = "net.hello"
 WELCOME_TAG = "net.welcome"
@@ -125,17 +131,29 @@ def server_handshake(
     descriptor: SessionDescriptor,
     hello_payload: bytes | None = None,
     session_id: str | None = None,
+    backends: tuple[str, ...] = ("gc",),
+    default_backend: str = "gc",
+    backend_params=None,
 ) -> dict:
     """Gateway side: validate the client's hello, answer welcome/reject.
 
-    Returns the parsed hello, with ``negotiated_version`` added: the
-    session runs at the *client's* version when this build supports it
-    (:data:`SUPPORTED_VERSIONS`), so a v3 gateway still serves v2
-    clients.  The welcome's descriptor carries the negotiated version;
-    with ``session_id`` set (v3) it also names the session the client
-    can later resume.  On a version mismatch the rejection is *sent to
-    the client* before the typed error is raised locally, so both sides
-    see the same diagnosis.
+    Returns the parsed hello, with ``negotiated_version`` and
+    ``negotiated_backend`` added: the session runs at the *client's*
+    version when this build supports it (:data:`SUPPORTED_VERSIONS`),
+    so a v3 gateway still serves v2 clients.  The welcome's descriptor
+    carries the negotiated version; with ``session_id`` set (v3) it
+    also names the session the client can later resume.  On a version
+    mismatch the rejection is *sent to the client* before the typed
+    error is raised locally, so both sides see the same diagnosis.
+
+    Backend negotiation (v4): a hello naming a backend gets exactly
+    that backend or a typed rejection (never a silent substitute — the
+    client's cost model depends on it); a hello without one gets
+    ``default_backend``.  Sessions negotiated below v4 are granted
+    ``gc`` unconditionally.  ``backend_params`` is an optional callable
+    mapping a granted backend to a parameter dict merged into the
+    welcome as ``backend_params`` (the HE ring parameters, which the
+    client re-derives and verifies).
 
     ``hello_payload`` lets a caller that already read the first frame
     (the gateway's hello-or-resume intake) hand it in instead of
@@ -170,9 +188,28 @@ def server_handshake(
         _reject(endpoint, reason)
         raise HandshakeError(reason)
     negotiated = min(version, descriptor.protocol_version)
+    requested = str(hello.get("backend") or "")
+    if negotiated >= 4:
+        granted = requested or default_backend
+        if granted not in backends:
+            reason = (
+                f"unsupported backend {granted!r} "
+                f"(gateway serves {tuple(backends)})"
+            )
+            _reject(endpoint, reason)
+            raise HandshakeError(reason)
+    else:
+        # pre-v4 sessions predate backend negotiation: always GC
+        granted = "gc"
     welcome = asdict(replace(descriptor, protocol_version=negotiated))
     if session_id is not None and negotiated >= 3:
         welcome["session_id"] = session_id
+    if negotiated >= 4:
+        welcome["backend"] = granted
+        if backend_params is not None:
+            params = backend_params(granted)
+            if params is not None:
+                welcome["backend_params"] = params
     try:
         endpoint.send(WELCOME_TAG, json.dumps(welcome, sort_keys=True).encode())
     except WireError as exc:
@@ -180,14 +217,16 @@ def server_handshake(
             f"client vanished before the welcome could be sent: {exc}"
         ) from exc
     hello["negotiated_version"] = negotiated
+    hello["negotiated_backend"] = granted
     return hello
 
 
 def client_session_handshake(
-    endpoint, client_name: str = "client"
+    endpoint, client_name: str = "client", backend: str | None = None
 ) -> tuple[SessionDescriptor, dict]:
     """Client side: send hello, receive the descriptor *and* the raw
-    welcome (which carries the resumable ``session_id`` on v3).
+    welcome (which carries the resumable ``session_id`` on v3 and the
+    granted ``backend`` on v4).
 
     The gateway may negotiate the session down to an older version this
     client still speaks (:data:`SUPPORTED_VERSIONS`); anything outside
@@ -195,8 +234,15 @@ def client_session_handshake(
     A gateway that vanishes mid-negotiation surfaces as
     :class:`HandshakeError` (not a bare wire error), mirroring
     :func:`server_handshake`.
+
+    ``backend=None`` accepts whatever the gateway grants by default; a
+    named backend is a hard requirement — a session negotiated below
+    v4 (which can only be GC) or granted anything else fails typed.
+    The returned welcome always carries ``negotiated_backend``.
     """
     hello = {"protocol_version": PROTOCOL_VERSION, "name": client_name}
+    if backend is not None:
+        hello["backend"] = backend
     try:
         endpoint.send(HELLO_TAG, json.dumps(hello, sort_keys=True).encode())
         tag, payload = endpoint.recv_any((WELCOME_TAG, REJECT_TAG))
@@ -220,6 +266,13 @@ def client_session_handshake(
         welcome = json.loads(payload.decode())
     except ValueError:  # unreachable after from_payload, kept for safety
         welcome = {}
+    granted = welcome.get("backend", "gc") if negotiated >= 4 else "gc"
+    if backend is not None and granted != backend:
+        raise HandshakeError(
+            f"gateway granted backend {granted!r} (negotiated v{negotiated}), "
+            f"this client requires {backend!r}"
+        )
+    welcome["negotiated_backend"] = granted
     return descriptor, welcome
 
 

@@ -23,6 +23,7 @@ from repro.recover.checkpoint import (
     GarblerProgress,
     RoundMaterial,
     SessionCheckpoint,
+    checkpoint_from_he_result,
     checkpoint_from_run,
     serve_from_checkpoint,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "RoundMaterial",
     "SessionCheckpoint",
     "SessionStore",
+    "checkpoint_from_he_result",
     "checkpoint_from_run",
     "serve_from_checkpoint",
 ]

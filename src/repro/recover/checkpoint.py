@@ -135,6 +135,12 @@ class SessionCheckpoint:
     client_name: str = ""
     ot_mode: str = "per_round"
     stream_boundaries: list[list[int]] = field(default_factory=list)
+    #: Which private-MAC backend produced the material: ``gc`` rounds
+    #: carry tables/labels/OT pairs, ``he`` sessions carry the one
+    #: result ciphertext in ``materials[0].tables``.  Carried so a
+    #: *different* gateway adopting the session replays the right wire
+    #: dialogue; defaults to ``gc`` for checkpoints from older stores.
+    backend: str = "gc"
 
     def advance(self, next_round: int, send_seq: int = 0, recv_seq: int = 0) -> None:
         """Mark rounds below ``next_round`` streamed and prune confirmed material.
@@ -225,6 +231,7 @@ class SessionCheckpoint:
             "client_name": self.client_name,
             "ot_mode": self.ot_mode,
             "stream_boundaries": [list(b) for b in self.stream_boundaries],
+            "backend": self.backend,
         }
 
     @classmethod
@@ -244,6 +251,7 @@ class SessionCheckpoint:
                 [int(b[0]), int(b[1])]
                 for b in data.get("stream_boundaries", [])
             ],
+            backend=data.get("backend", "gc"),
         )
 
 
@@ -340,6 +348,44 @@ def checkpoint_from_run(
     return cp
 
 
+def checkpoint_from_he_result(
+    result_bytes: bytes,
+    session_id: str,
+    row_index: int,
+    client_name: str = "",
+) -> SessionCheckpoint:
+    """Snapshot an encrypted-MAC session: one round, one ciphertext.
+
+    The stored material is the *result* ciphertext — the server holds
+    no keys and the client's query needs no replay (only the answer
+    does), so an adopting gateway can finish the session by
+    re-sending ``he.result`` verbatim.  Every recovery invariant the
+    GC path relies on (``stream_boundaries``, ``acked_round``,
+    ``rewind_to``) works unchanged on the single-round shape.
+    """
+    cp = SessionCheckpoint(
+        session_id=session_id,
+        row_index=row_index,
+        rounds=1,
+        next_round=0,
+        materials=[
+            RoundMaterial(
+                round_index=0,
+                tables=bytes(result_bytes),
+                garbler_labels=[],
+                const_labels=[],
+                evaluator_pairs=[],
+            )
+        ],
+        output_permute_bits=[],
+        client_name=client_name,
+        ot_mode="per_round",
+        backend="he",
+    )
+    cp.begin_stream(0)
+    return cp
+
+
 class CheckpointStreamer:
     """Incremental resumed-session streamer: the round-at-a-time core of
     :func:`serve_from_checkpoint`, split open so a batcher can interleave
@@ -380,6 +426,11 @@ class CheckpointStreamer:
         """Send the stream preamble (and the remaining upfront OT)."""
         cp = self.checkpoint
         self._begun = True
+        if cp.backend == "he":
+            # the encrypted-MAC dialogue has no preamble: the client
+            # is parked in recv("he.result") and expects it first
+            cp.begin_stream(self.start)
+            return
         self.channel.send("seq.rounds", cp.rounds.to_bytes(4, "big"))
         self.channel.send("seq.ot_mode", cp.ot_mode.encode("ascii"))
         cp.begin_stream(self.start)
@@ -412,6 +463,20 @@ class CheckpointStreamer:
             return False
         r = self._round
         m = cp.material_for(r)
+        if cp.backend == "he":
+            self.channel.send("he.result", m.tables)
+            if self.telemetry is not None:
+                self.telemetry.counter("recover.stream.bytes").inc(len(m.tables))
+            self.streamed += 1
+            self._round = r + 1
+            cp.advance(r + 1, self.channel.send_seq, self.channel.recv_seq)
+            if self.on_round is not None:
+                self.on_round(
+                    GarblerProgress(
+                        r + 1, self.channel.send_seq, self.channel.recv_seq
+                    )
+                )
+            return self._round < cp.rounds
         self.channel.send("seq.tables", m.tables)
         if self.telemetry is not None:
             self.telemetry.counter("recover.stream.bytes").inc(len(m.tables))
@@ -437,9 +502,12 @@ class CheckpointStreamer:
 
     def finish(self) -> int:
         """Send the output map; returns the number of rounds streamed."""
-        self.channel.send(
-            "seq.output_map", bytes(self.checkpoint.output_permute_bits)
-        )
+        if self.checkpoint.backend != "he":
+            # HE sessions end at the result ciphertext; only the GC
+            # dialogue closes with an output permutation map
+            self.channel.send(
+                "seq.output_map", bytes(self.checkpoint.output_permute_bits)
+            )
         if self.telemetry is not None:
             self.telemetry.counter("recover.rounds.streamed").inc(self.streamed)
         return self.streamed

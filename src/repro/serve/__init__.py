@@ -21,6 +21,8 @@ from repro.serve.batcher import (
 )
 from repro.serve.config import (
     ServingConfig,
+    resolve_backend,
+    resolve_choice,
     resolve_garble_mode,
     resolve_reaper_timeout,
 )
@@ -42,6 +44,8 @@ __all__ = [
     "ResumeHandle",
     "ServingConfig",
     "ServingServer",
+    "resolve_backend",
+    "resolve_choice",
     "resolve_garble_mode",
     "resolve_reaper_timeout",
 ]

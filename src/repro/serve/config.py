@@ -7,10 +7,47 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.host import GARBLE_MODES
+from repro.privatemac import BACKENDS
 
 REAPER_TIMEOUT_ENV = "REPRO_REAPER_TIMEOUT_S"
 
 GARBLE_MODE_ENV = "REPRO_GARBLE_MODE"
+
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def resolve_choice(
+    explicit,
+    configured,
+    env_var: str,
+    allowed,
+    *,
+    explicit_name: str,
+    configured_name: str,
+    default=None,
+):
+    """The shared ``explicit > configured > env > default`` precedence.
+
+    Every string-valued serving knob resolves the same way: the first
+    non-empty source in precedence order wins, and the winner must be
+    a member of ``allowed`` (a losing source is never validated — an
+    explicit override must shadow a broken environment, not trip over
+    it).  ``None`` and ``""`` both mean "unset", so an empty
+    environment variable falls through instead of failing.
+    """
+    for source, value in (
+        (explicit_name, explicit),
+        (configured_name, configured),
+        (env_var, os.environ.get(env_var)),
+    ):
+        if value is None or value == "":
+            continue
+        if value not in allowed:
+            raise ConfigurationError(
+                f"{source} must be one of {allowed}, got {value!r}"
+            )
+        return value
+    return default
 
 
 def resolve_garble_mode(
@@ -19,19 +56,36 @@ def resolve_garble_mode(
     """Garble-mode precedence: explicit argument >
     ``ServingConfig.garble_mode`` > ``REPRO_GARBLE_MODE`` > ``None``
     (leave the server's constructor-chosen mode untouched)."""
-    for source, value in (
-        ("explicit garble mode", explicit),
-        ("ServingConfig.garble_mode", configured),
-        (GARBLE_MODE_ENV, os.environ.get(GARBLE_MODE_ENV)),
-    ):
-        if value is None or value == "":
-            continue
-        if value not in GARBLE_MODES:
-            raise ConfigurationError(
-                f"{source} must be one of {GARBLE_MODES}, got {value!r}"
-            )
-        return value
-    return None
+    return resolve_choice(
+        explicit,
+        configured,
+        GARBLE_MODE_ENV,
+        GARBLE_MODES,
+        explicit_name="explicit garble mode",
+        configured_name="ServingConfig.garble_mode",
+    )
+
+
+def resolve_backend(
+    explicit: str | None = None,
+    configured: str | None = None,
+    default: str | None = "gc",
+) -> str | None:
+    """Default-backend precedence: explicit argument >
+    ``ServingConfig.backend`` > ``REPRO_BACKEND`` > ``default``.
+
+    The resolved value is the backend a gateway *grants* to clients
+    that do not request one explicitly; clients that name a backend in
+    their hello always get that backend (or a typed rejection)."""
+    return resolve_choice(
+        explicit,
+        configured,
+        BACKEND_ENV,
+        BACKENDS,
+        explicit_name="explicit backend",
+        configured_name="ServingConfig.backend",
+        default=default,
+    )
 
 #: Gateway default: how long a connection may sit without completing
 #: its handshake before the session reaper closes it.
@@ -121,6 +175,11 @@ class ServingConfig:
     #: AES), or ``None`` to defer to ``REPRO_GARBLE_MODE`` and then to
     #: whatever mode the :class:`~repro.host.CloudServer` was built with.
     garble_mode: str | None = None
+    #: Default private-MAC backend granted to v4 clients that do not
+    #: request one (``gc`` or ``he``); ``None`` defers to
+    #: ``REPRO_BACKEND`` and then to ``gc``.  Pre-v4 clients always
+    #: get ``gc`` regardless.
+    backend: str | None = None
 
     def validate(self) -> "ServingConfig":
         if self.workers < 1:
@@ -156,5 +215,9 @@ class ServingConfig:
         if self.garble_mode is not None and self.garble_mode not in GARBLE_MODES:
             raise ConfigurationError(
                 f"garble_mode must be one of {GARBLE_MODES}, got {self.garble_mode!r}"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
         return self

@@ -97,7 +97,8 @@ class RemoteSessionRequest(PendingRequest):
     retryable = False
 
     def __init__(self, row_index: int, endpoint, deadline: float,
-                 on_round=None, on_run=None, ot_mode: str = "per_round"):
+                 on_round=None, on_run=None, ot_mode: str = "per_round",
+                 backend: str = "gc"):
         super().__init__(row_index, None, deadline)
         self.endpoint = endpoint
         self.start_gate = threading.Event()
@@ -106,12 +107,21 @@ class RemoteSessionRequest(PendingRequest):
         self.on_round = on_round
         self.on_run = on_run
         self.ot_mode = ot_mode
+        #: negotiated private-MAC backend: ``gc`` garbles to the
+        #: client, ``he`` answers its ciphertext query
+        self.backend = backend
 
     def _execute(self, client: AnalyticsClient):
         if not self.start_gate.wait(timeout=max(0.0, self.deadline - time.perf_counter())):
             raise ServingError(
                 f"remote session for row {self.row_index} never released its start gate"
             )
+        if self.backend == "he":
+            client.server.serve_row_he(
+                self.endpoint, self.row_index,
+                on_round=self.on_round, on_run=self.on_run,
+            )
+            return True
         client.server.serve_row(
             self.endpoint, self.row_index,
             on_round=self.on_round, on_run=self.on_run,
@@ -280,6 +290,7 @@ class ServingServer:
     def submit_remote(
         self, row_index: int, endpoint, block: bool = False,
         on_round=None, on_run=None, ot_mode: str = "per_round",
+        backend: str = "gc",
     ) -> RemoteSessionRequest:
         """Enqueue a remote evaluator session (the gateway's entry point).
 
@@ -290,7 +301,9 @@ class ServingServer:
         of holding the client's socket silent.  ``on_round``/``on_run``
         are the checkpointing hooks threaded through to
         :meth:`CloudServer.serve_row`; ``ot_mode`` is the client's
-        negotiated OT scheduling mode.
+        negotiated OT scheduling mode; ``backend`` is the session's
+        negotiated private-MAC backend (``he`` sessions route to
+        :meth:`CloudServer.serve_row_he`).
         """
         req = RemoteSessionRequest(
             row_index,
@@ -299,6 +312,7 @@ class ServingServer:
             on_round=on_round,
             on_run=on_run,
             ot_mode=ot_mode,
+            backend=backend,
         )
         return self._enqueue(req, block)
 

@@ -41,8 +41,13 @@ from repro.testkit.oracle import (
 #: members of a multi-gateway fleet mid-stream (:mod:`repro.fleet`);
 #: ``vectorized`` reruns the recovery and handoff oracles with
 #: ``garble_mode=vectorized``, so the zero-regarble invariant and
-#: resume bit-identity are proven against the stage-batched garbler too.
-PROFILES = ("default", "recovery", "handoff", "vectorized")
+#: resume bit-identity are proven against the stage-batched garbler too;
+#: ``backends`` reruns them against HE-backed sessions (protocol-v4
+#: backend negotiation) — checkpoint/resume must carry the backend id
+#: and shed/retry_after must be honored identically, with the
+#: zero-recompute oracle counting homomorphic products instead of
+#: garbled runs.
+PROFILES = ("default", "recovery", "handoff", "vectorized", "backends")
 
 #: mixes the master seed with a session index (distinct from the
 #: workload stream's mixer so plan and workload are independent draws)
@@ -84,7 +89,7 @@ class ChaosConfig:
             )
         if self.gateways < 1:
             raise ConfigurationError("the fleet needs at least one gateway")
-        if self.profile in ("handoff", "vectorized") and self.gateways < 2:
+        if self.profile in ("handoff", "vectorized", "backends") and self.gateways < 2:
             raise ConfigurationError(
                 f"the {self.profile} profile needs at least two gateways to "
                 "hand off between"
@@ -193,6 +198,9 @@ class ChaosReport:
             "garble_mode": (
                 "vectorized" if self.config.profile == "vectorized" else "sequential"
             ),
+            "backend": (
+                "he" if self.config.profile == "backends" else "gc"
+            ),
             "gateways": self.config.gateways,
             "tolerated": c[TOLERATED],
             "recovered": c[RECOVERED],
@@ -231,6 +239,7 @@ class ChaosRunner:
             deadline_s=self.config.deadline_s,
             max_retries=self.config.max_retries,
             gateways=self.config.gateways,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -239,25 +248,40 @@ class ChaosRunner:
         """The server garbling path this profile exercises."""
         return "vectorized" if self.config.profile == "vectorized" else "sequential"
 
+    @property
+    def backend(self) -> str:
+        """The private-MAC backend this profile's sessions negotiate."""
+        return "he" if self.config.profile == "backends" else "gc"
+
     def _is_handoff_session(self, session: int) -> bool:
-        """Which oracle a session runs under the ``vectorized`` profile:
-        the differential tier alternates recovery (even sessions) and
-        handoff (odd sessions) plans, seed-stable by parity."""
+        """Which oracle a session runs under the differential profiles
+        (``vectorized``, ``backends``): they alternate recovery (even
+        sessions) and handoff (odd sessions) plans, seed-stable by
+        parity."""
         if self.config.profile == "handoff":
             return True
-        return self.config.profile == "vectorized" and session % 2 == 1
+        return (
+            self.config.profile in ("vectorized", "backends")
+            and session % 2 == 1
+        )
 
     def plan_for(self, session: int) -> FaultPlan:
         session_seed = derive_session_seed(self.config.seed, session)
+        # an HE query is a two-frame exchange, so the backends profile
+        # draws its cut frames from a matching range — the GC profiles'
+        # pinned seed→plan mappings are untouched
+        max_cut = 3 if self.config.profile == "backends" else 24
         if self._is_handoff_session(session):
             return FaultPlan.random_handoff(
                 session_seed,
                 recv_timeout_s=self.config.recv_timeout_s,
                 n_gateways=self.config.gateways,
+                max_cut_frame=max_cut,
             )
-        if self.config.profile in ("recovery", "vectorized"):
+        if self.config.profile in ("recovery", "vectorized", "backends"):
             return FaultPlan.random_recovery(
-                session_seed, recv_timeout_s=self.config.recv_timeout_s
+                session_seed, recv_timeout_s=self.config.recv_timeout_s,
+                max_cut_frame=max_cut,
             )
         return FaultPlan.random(
             session_seed, recv_timeout_s=self.config.recv_timeout_s

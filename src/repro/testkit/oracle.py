@@ -34,6 +34,7 @@ from repro.bits import from_bits, to_bits
 from repro.errors import HandshakeError, ReproError, ServingError
 from repro.gc.channel import run_two_party
 from repro.gc.sequential_gc import SequentialEvaluator
+from repro.he import HE_QUERY_TAG, HE_RESULT_TAG, HEMacClient
 from repro.host import CloudServer
 from repro.net.client import RemoteAnalyticsClient
 from repro.net.endpoint import SocketEndpoint
@@ -153,6 +154,7 @@ class ConformanceOracle:
         deadline_s: float = 10.0,
         max_retries: int = 1,
         gateways: int = 3,
+        backend: str = "gc",
     ):
         self.server = server
         self.telemetry = telemetry if telemetry is not None else server.telemetry
@@ -160,6 +162,29 @@ class ConformanceOracle:
         self.deadline_s = deadline_s
         self.max_retries = max_retries
         self.gateways = gateways
+        #: private-MAC backend the recovery/handoff sessions negotiate;
+        #: the wire/environment fault tiers always exercise the GC path
+        self.backend = backend
+
+    def _served_runs(self, server) -> int:
+        """The zero-recompute oracle counter for this backend: a query,
+        resumed or not, must evaluate exactly once (GC: garbled runs;
+        HE: homomorphic products — a re-served checkpoint re-streams
+        the stored result ciphertext without recomputing it)."""
+        if self.backend == "he":
+            return server.stats.he_queries
+        return server.stats.runs_garbled
+
+    def _recompute_detail(self, served: int) -> str:
+        if self.backend == "he":
+            return (
+                f"query evaluated {served} HE products (expected exactly 1): "
+                "a checkpointed result was recomputed"
+            )
+        return (
+            f"query garbled {served} runs (expected exactly 1): "
+            "a completed round was re-garbled"
+        )
 
     # ------------------------------------------------------------------
     # dispatch
@@ -243,6 +268,29 @@ class ConformanceOracle:
                 attempts=attempts, injected=injected, start=start,
             )
 
+    def _he_channel_attempt(self, g_chan, e_chan, row: int, x_values) -> float:
+        """One HE exchange over the faulty pair — the channel tier's
+        differential twin of the GC two-party run.  The injected faults
+        hit the ``he.query``/``he.result`` frames, so a corrupted or
+        stalled ciphertext must surface typed exactly like a garbled
+        table would."""
+        fmt = self.server.fmt
+        he_client = HEMacClient(self.server.he_mac.params, fmt, seed=0)
+        query = he_client.encrypt_query(np.asarray(x_values, dtype=np.float64))
+        box: dict = {}
+
+        def evaluator_side():
+            e_chan.send(HE_QUERY_TAG, query)
+            box["result"] = e_chan.recv(HE_RESULT_TAG)
+
+        run_two_party(
+            lambda: self.server.serve_row_he(g_chan, row),
+            evaluator_side,
+            cleanup=lambda: (g_chan.close(), e_chan.close()),
+            join_timeout_s=max(1.0, 4 * self.recv_timeout_s),
+        )
+        return fmt.decode_product(he_client.decrypt_row_result(box["result"]))
+
     def _attempt_with_deadline(
         self, plan: FaultPlan, row: int, x_values, transport: str, injected: list
     ):
@@ -257,14 +305,19 @@ class ConformanceOracle:
                 recv_timeout_s=self.recv_timeout_s,
             )
             injected_ref = (g_chan, e_chan)
-            fmt = self.server.fmt
-            x_bits = [
-                to_bits(int(v), fmt.total_bits)
-                for v in fmt.encode_array(np.asarray(x_values, dtype=np.float64))
-            ]
-            circuit = self.server.accelerator.circuit.circuit
-            evaluator = SequentialEvaluator(circuit, e_chan, self.server.group)
             try:
+                if self.backend == "he":
+                    box["value"] = self._he_channel_attempt(
+                        g_chan, e_chan, row, x_values
+                    )
+                    return
+                fmt = self.server.fmt
+                x_bits = [
+                    to_bits(int(v), fmt.total_bits)
+                    for v in fmt.encode_array(np.asarray(x_values, dtype=np.float64))
+                ]
+                circuit = self.server.accelerator.circuit.circuit
+                evaluator = SequentialEvaluator(circuit, e_chan, self.server.group)
                 _, report = run_two_party(
                     lambda: self.server.serve_row(g_chan, row),
                     lambda: evaluator.run(x_bits),
@@ -490,10 +543,11 @@ class ConformanceOracle:
                     base_s=0.01, cap_s=0.1, max_attempts=10, seed=plan.seed
                 ),
                 recv_timeout_s=recv_timeout,
+                backend=self.backend if self.backend != "gc" else None,
             )
             if spec.kind == SHED:
                 self._saturate(serving, release)
-            garbled_before = rec_server.stats.runs_garbled
+            served_before = self._served_runs(rec_server)
             box: dict = {}
 
             def attempt():
@@ -545,12 +599,11 @@ class ConformanceOracle:
                     f"got {box['value']}, expected {expected}",
                     injected=injected, start=start,
                 )
-            garbled = rec_server.stats.runs_garbled - garbled_before
-            if garbled != 1:
+            served = self._served_runs(rec_server) - served_before
+            if served != 1:
                 return self._verdict(
                     plan, "gateway", VIOLATION,
-                    f"query garbled {garbled} runs (expected exactly 1): "
-                    "a completed round was re-garbled",
+                    self._recompute_detail(served),
                     injected=injected, start=start,
                 )
             resumes = getattr(client.endpoint, "resumes", 0)
@@ -558,7 +611,7 @@ class ConformanceOracle:
                 return self._verdict(
                     plan, "gateway", RECOVERED,
                     "fault hit a live session; query finished bit-identical "
-                    "without re-garbling",
+                    "without recomputing",
                     attempts=1 + resumes, injected=injected, start=start,
                 )
             return self._verdict(
@@ -638,8 +691,9 @@ class ConformanceOracle:
                     base_s=0.02, cap_s=0.1, max_attempts=12, seed=plan.seed
                 ),
                 recv_timeout_s=recv_timeout,
+                backend=self.backend if self.backend != "gc" else None,
             )
-            garbled_before = rec_server.stats.runs_garbled
+            served_before = self._served_runs(rec_server)
             box: dict = {}
 
             def attempt():
@@ -685,12 +739,11 @@ class ConformanceOracle:
                     f"got {box['value']}, expected {expected}",
                     injected=injected, start=start, gateway_id=gateway_id,
                 )
-            garbled = rec_server.stats.runs_garbled - garbled_before
-            if garbled != 1:
+            served = self._served_runs(rec_server) - served_before
+            if served != 1:
                 return self._verdict(
                     plan, "fleet", VIOLATION,
-                    f"query garbled {garbled} runs (expected exactly 1): "
-                    "a migrated round was re-garbled",
+                    self._recompute_detail(served),
                     injected=injected, start=start, gateway_id=gateway_id,
                 )
             resumes = getattr(client.endpoint, "resumes", 0)
@@ -699,7 +752,7 @@ class ConformanceOracle:
                     plan, "fleet", RECOVERED,
                     f"gateway gw{spec.gateway} {spec.kind.split('_')[0]}ed "
                     "mid-stream; a peer finished the query bit-identical "
-                    "without re-garbling",
+                    "without recomputing",
                     attempts=1 + resumes, injected=injected, start=start,
                     gateway_id=gateway_id,
                 )

@@ -8,7 +8,6 @@ session garbled exactly once.
 """
 
 import threading
-import time
 
 import numpy as np
 import pytest
@@ -63,22 +62,35 @@ def client_for(group, start_at=0):
     )
 
 
-def wait_for_checkpoint(store, deadline_s=15.0):
-    deadline = time.monotonic() + deadline_s
-    while time.monotonic() < deadline:
-        for sid in store.session_ids():
-            cp = store.get(sid)
-            if cp is not None and 1 <= cp.next_round < cp.rounds:
-                return sid
-        time.sleep(0.002)
-    pytest.fail("no round-boundary checkpoint appeared")
-
-
 def run_handoff(group, fault, ot_mode="per_round", row=1):
-    """Start a query, fire ``fault(sid)`` once a boundary checkpoint
-    exists, and return the client plus its result."""
+    """Start a query, fire ``fault(sid)`` at the first committed
+    round-boundary checkpoint, and return the client plus its result.
+
+    The trigger hooks the store's two commit paths (admission ``put``,
+    boundary ``cas_advance``) rather than polling: in ``upfront`` OT
+    mode every round evaluates within ~1 ms once the single OT flight
+    lands, so a polling loop usually misses the mid-query window.
+    """
     client = client_for(group)
     result = {}
+    boundary = threading.Event()
+    hit = {}
+    orig_put, orig_cas = group.store.put, group.store.cas_advance
+
+    def observe(cp):
+        if not boundary.is_set() and 1 <= cp.next_round < cp.rounds:
+            hit["sid"] = cp.session_id
+            boundary.set()
+
+    def hooked_put(cp):
+        orig_put(cp)
+        observe(cp)
+
+    def hooked_cas(cp, *args, **kwargs):
+        orig_cas(cp, *args, **kwargs)
+        observe(cp)
+
+    group.store.put, group.store.cas_advance = hooked_put, hooked_cas
 
     def query():
         try:
@@ -89,9 +101,11 @@ def run_handoff(group, fault, ot_mode="per_round", row=1):
     t = threading.Thread(target=query)
     t.start()
     try:
-        sid = wait_for_checkpoint(group.store)
-        fault(sid, client)
+        if not boundary.wait(timeout=15.0):
+            pytest.fail("no round-boundary checkpoint appeared")
+        fault(hit["sid"], client)
     finally:
+        group.store.put, group.store.cas_advance = orig_put, orig_cas
         t.join(timeout=60.0)
     assert not t.is_alive(), "query never finished after the fault"
     if "err" in result:

@@ -1,0 +1,76 @@
+"""The encrypted-MAC session halves against the quantised oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CryptoError
+from repro.fixedpoint import Q8_4, Q16_8
+from repro.he.mac import HEMacClient, HEMacServer
+from repro.he.params import params_for_workload
+
+
+def _oracle_raw(matrix, x, fmt):
+    """Raw product-scale values, exactly as the GC accumulator holds them."""
+    a = fmt.encode_array(np.atleast_2d(np.asarray(matrix, dtype=float)))
+    return a @ fmt.encode_array(np.asarray(x, dtype=float))
+
+
+class TestRowQueries:
+    def test_row_results_match_oracle(self):
+        matrix = [[1.5, -2.25, 0.5], [0.0, 3.0, -1.75]]
+        x = [0.25, -1.5, 2.0]
+        server = HEMacServer(matrix, Q16_8)
+        client = HEMacClient(server.params, Q16_8, seed=0)
+        expect = _oracle_raw(matrix, x, Q16_8)
+        for r in range(2):
+            result = server.answer_query(client.encrypt_query(x), r)
+            assert client.decrypt_row_result(result) == expect[r]
+            assert client.last_noise_budget_bits > 0
+
+    def test_row_index_out_of_range(self):
+        server = HEMacServer([[1.0, 2.0]], Q8_4)
+        client = HEMacClient(server.params, Q8_4, seed=1)
+        with pytest.raises(CryptoError):
+            server.answer_query(client.encrypt_query([1.0, 1.0]), 1)
+
+    def test_negative_products_wrap_like_twos_complement(self):
+        # A saturating-negative dot product stays centered correctly.
+        matrix = [[-7.9375, -7.9375]]
+        x = [7.9375, 7.9375]
+        server = HEMacServer(matrix, Q8_4)
+        client = HEMacClient(server.params, Q8_4, seed=2)
+        result = server.answer_query(client.encrypt_query(x), 0)
+        assert client.decrypt_row_result(result) == _oracle_raw(matrix, x, Q8_4)[0]
+
+
+class TestBatchedMatvec:
+    def test_simd_matvec_matches_oracle(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.uniform(-4, 4, (5, 3))
+        x = rng.uniform(-4, 4, 3)
+        server = HEMacServer(matrix, Q16_8)
+        client = HEMacClient(server.params, Q16_8, seed=3)
+        result = server.answer_matvec(client.encrypt_query(x))
+        got = client.decrypt_matvec_result(result, 5)
+        assert got == list(_oracle_raw(matrix, x, Q16_8))
+
+    def test_matvec_and_row_queries_agree(self):
+        matrix = [[0.5, 1.5], [-2.0, 0.25], [3.5, -1.0]]
+        x = [1.25, -0.75]
+        server = HEMacServer(matrix, Q8_4)
+        client = HEMacClient(server.params, Q8_4, seed=4)
+        batched = client.decrypt_matvec_result(
+            server.answer_matvec(client.encrypt_query(x)), 3
+        )
+        for r in range(3):
+            single = client.decrypt_row_result(
+                server.answer_query(client.encrypt_query(x), r)
+            )
+            assert single == batched[r]
+
+    def test_params_derive_from_workload(self):
+        server = HEMacServer([[0.0] * 6] * 4, Q8_4)
+        assert server.params == params_for_workload(Q8_4, 4, 6)
+        # client-side derivation from public inputs matches (the
+        # handshake's parameter-mismatch check relies on this)
+        assert server.params.to_wire() == params_for_workload(Q8_4, 4, 6).to_wire()

@@ -1,0 +1,98 @@
+"""The negacyclic NTT against the schoolbook oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CryptoError
+from repro.he.ntt import (
+    NegacyclicNTT,
+    find_ntt_prime,
+    find_primitive_2n_root,
+    is_probable_prime,
+    negacyclic_mul_schoolbook,
+)
+
+
+class TestPrimeFinding:
+    def test_miller_rabin_on_knowns(self):
+        assert is_probable_prime(2)
+        assert is_probable_prime(97)
+        assert is_probable_prime((1 << 61) - 1)  # Mersenne prime
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(561)  # Carmichael number
+        assert not is_probable_prime((1 << 61) - 3)
+
+    def test_ntt_prime_satisfies_congruence(self):
+        q = find_ntt_prime(40, 64)
+        assert q >= 1 << 40
+        assert (q - 1) % 128 == 0
+        assert is_probable_prime(q)
+
+    def test_ntt_prime_is_deterministic(self):
+        assert find_ntt_prime(61, 128) == find_ntt_prime(61, 128)
+
+    def test_non_power_of_two_degree_rejected(self):
+        with pytest.raises(CryptoError):
+            find_ntt_prime(40, 48)
+
+    def test_primitive_root_has_order_2n(self):
+        n = 64
+        q = find_ntt_prime(40, n)
+        psi = find_primitive_2n_root(q, n)
+        assert pow(psi, n, q) == q - 1
+        assert pow(psi, 2 * n, q) == 1
+
+
+class TestTransforms:
+    def test_forward_inverse_roundtrip(self):
+        n = 64
+        q = find_ntt_prime(40, n)
+        ntt = NegacyclicNTT(q, n)
+        rng = random.Random(7)
+        coeffs = [rng.randrange(q) for _ in range(n)]
+        assert ntt.inverse(ntt.forward(coeffs)) == coeffs
+
+    def test_multiply_matches_schoolbook(self):
+        n = 32
+        q = find_ntt_prime(30, n)
+        ntt = NegacyclicNTT(q, n)
+        rng = random.Random(11)
+        a = [rng.randrange(q) for _ in range(n)]
+        b = [rng.randrange(q) for _ in range(n)]
+        assert ntt.multiply(a, b) == negacyclic_mul_schoolbook(a, b, q)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(0, 2**32),
+           st.integers(0, 31), st.integers(0, 31))
+    def test_monomial_products_wrap_negacyclically(self, ca, cb, i, j):
+        """x^i * x^j = x^(i+j), with a sign flip past x^N."""
+        n = 32
+        q = find_ntt_prime(35, n)
+        ntt = NegacyclicNTT(q, n)
+        a = [0] * n
+        b = [0] * n
+        a[i] = ca % q
+        b[j] = cb % q
+        out = ntt.multiply(a, b)
+        k = i + j
+        expect = [0] * n
+        if k < n:
+            expect[k] = ca * cb % q
+        else:
+            expect[k - n] = -(ca * cb) % q
+        assert out == expect
+
+    def test_wrong_length_rejected(self):
+        ntt = NegacyclicNTT(find_ntt_prime(30, 32), 32)
+        with pytest.raises(CryptoError):
+            ntt.forward([0] * 31)
+        with pytest.raises(CryptoError):
+            ntt.inverse([0] * 33)
+
+    def test_unfriendly_modulus_rejected(self):
+        # 17 - 1 = 16 is not divisible by 2*32.
+        with pytest.raises(CryptoError):
+            NegacyclicNTT(17, 32)

@@ -1,0 +1,83 @@
+"""Deterministic parameter derivation and its wire encoding."""
+
+import pytest
+
+from repro.errors import CryptoError
+from repro.fixedpoint import Q8_4, Q16_8, Q32_16
+from repro.he.params import (
+    HEParams,
+    MIN_RING_DEGREE,
+    accumulator_width,
+    params_for_workload,
+)
+
+
+class TestDerivation:
+    def test_same_inputs_same_params(self):
+        a = params_for_workload(Q16_8, 3, 4)
+        b = params_for_workload(Q16_8, 3, 4)
+        assert a == b
+
+    def test_plain_modulus_matches_gc_accumulator(self):
+        from repro.host import CloudServer
+
+        server = CloudServer([[0.5] * 4] * 3, Q8_4)
+        params = params_for_workload(Q8_4, 3, 4)
+        assert params.acc_width == server.accelerator.acc_width
+        assert params.plain_modulus == 1 << accumulator_width(Q8_4, 4)
+
+    def test_ring_fits_packed_product(self):
+        params = params_for_workload(Q8_4, 40, 7)
+        # every packed exponent stays below N: no negacyclic wrap
+        assert (params.rows + 1) * params.cols <= params.ring_degree
+        assert params.ring_degree >= MIN_RING_DEGREE
+        # N is the next power of two, not wildly oversized
+        assert params.ring_degree < 2 * max(MIN_RING_DEGREE, 41 * 7)
+
+    def test_paper_format_params_are_sound(self):
+        params = params_for_workload(Q32_16, 4, 8)
+        assert params.plain_modulus < params.q
+        assert params.delta > 1
+        assert params.coeff_bytes == (params.q.bit_length() + 7) // 8
+
+    def test_degenerate_workload_rejected(self):
+        with pytest.raises(CryptoError):
+            params_for_workload(Q8_4, 0, 4)
+        with pytest.raises(CryptoError):
+            params_for_workload(Q8_4, 4, 0)
+
+
+class TestWireCodec:
+    def test_roundtrip(self):
+        params = params_for_workload(Q16_8, 2, 5)
+        assert HEParams.from_wire(params.to_wire()) == params
+
+    def test_wire_payload_is_json_safe(self):
+        import json
+
+        params = params_for_workload(Q32_16, 3, 3)
+        assert HEParams.from_wire(json.loads(json.dumps(params.to_wire()))) == params
+
+    @pytest.mark.parametrize("mutate", [
+        lambda w: w.pop("q"),
+        lambda w: w.update(ring_degree="sixty-four"),
+        lambda w: w.update(acc_width=None),
+    ])
+    def test_malformed_payload_raises_crypto_error(self, mutate):
+        wire = params_for_workload(Q8_4, 2, 2).to_wire()
+        mutate(wire)
+        with pytest.raises(CryptoError):
+            HEParams.from_wire(wire)
+
+    def test_inconsistent_params_rejected(self):
+        good = params_for_workload(Q8_4, 2, 2)
+        with pytest.raises(CryptoError):
+            HEParams(ring_degree=48, q=good.q, acc_width=good.acc_width,
+                     rows=2, cols=2)
+        with pytest.raises(CryptoError):
+            HEParams(ring_degree=good.ring_degree, q=17,
+                     acc_width=good.acc_width, rows=2, cols=2)
+        with pytest.raises(CryptoError):
+            # t >= q: nothing left for noise
+            HEParams(ring_degree=good.ring_degree, q=good.q,
+                     acc_width=good.q.bit_length() + 1, rows=2, cols=2)

@@ -217,7 +217,9 @@ class TestVersionNegotiation:
             ours, recv_timeout_s=RECV_TIMEOUT
         ) as client:
             assert not client.resumable
-            assert client.descriptor.protocol_version == 3
+            from repro.net.handshake import PROTOCOL_VERSION
+
+            assert client.descriptor.protocol_version == PROTOCOL_VERSION
             assert client.query_row(0, X) == pytest.approx(
                 float(MODEL[0] @ X), abs=1e-12
             )

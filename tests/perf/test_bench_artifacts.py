@@ -1,12 +1,14 @@
-"""The committed ``BENCH_garble.json`` artifact: shape and acceptance.
+"""The committed bench artifacts: shape and acceptance.
 
-The vector-garbling bench commits its output at the repository root so
-the perf trajectory is reviewable in diffs.  These tests pin the
-artifact's contract: it must exist, parse, carry the full
-schema/metadata/metrics/derived shape (validated by the bench's own
+Each benchmark commits its output at the repository root so the perf
+trajectory is reviewable in diffs.  These tests pin the artifacts'
+contracts: they must exist, parse, carry the full
+schema/metadata/metrics/derived shape (validated by each bench's own
 ``structural_errors``, so the bench and the tests cannot drift apart),
-and record the tentpole's acceptance numbers — vectorized >= 3x
-sequential tables/s at an effective AES batch >= 64 AND gates.
+and record their acceptance numbers — for ``BENCH_garble.json``,
+vectorized >= 3x sequential tables/s at an effective AES batch >= 64
+AND gates; for ``BENCH_backends.json``, HE completing every workload
+in one round trip at fewer bytes than GC.
 """
 
 import importlib.util
@@ -17,11 +19,12 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_garble.json"
+BACKENDS_ARTIFACT = REPO_ROOT / "BENCH_backends.json"
 
 
-def _load_bench_module():
+def _load_bench_module(name):
     spec = importlib.util.spec_from_file_location(
-        "bench_vector_garble", REPO_ROOT / "benchmarks" / "bench_vector_garble.py"
+        name, REPO_ROOT / "benchmarks" / f"{name}.py"
     )
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
@@ -30,7 +33,7 @@ def _load_bench_module():
 
 @pytest.fixture(scope="module")
 def bench():
-    return _load_bench_module()
+    return _load_bench_module("bench_vector_garble")
 
 
 @pytest.fixture(scope="module")
@@ -96,3 +99,75 @@ class TestAcceptanceNumbers:
 
     def test_vectorized_amortizes_aes_below_one_call_per_gate(self, doc):
         assert doc["metrics"]["vectorized"]["aes_invocations_per_gate"] < 1.0
+
+
+# ----------------------------------------------------------------------
+# BENCH_backends.json — the GC-vs-HE comparison artifact
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def backends_bench():
+    return _load_bench_module("bench_backends")
+
+
+@pytest.fixture(scope="module")
+def backends_doc():
+    assert BACKENDS_ARTIFACT.exists(), (
+        "BENCH_backends.json is missing — regenerate it with "
+        "`python benchmarks/bench_backends.py`"
+    )
+    return json.loads(BACKENDS_ARTIFACT.read_text())
+
+
+class TestBackendsArtifactShape:
+    def test_structurally_valid(self, backends_bench, backends_doc):
+        assert backends_bench.structural_errors(backends_doc) == []
+
+    def test_schema_and_provenance(self, backends_bench, backends_doc):
+        assert backends_doc["schema_version"] == backends_bench.SCHEMA_VERSION
+        assert backends_doc["artifact"] == "BENCH_backends.json"
+        assert backends_doc["generated_by"] == "benchmarks/bench_backends.py"
+        rev = backends_doc["git_rev"]
+        assert rev == "unknown" or (
+            4 <= len(rev) <= 40 and all(c in "0123456789abcdef" for c in rev)
+        )
+        assert isinstance(backends_doc["seed"], int)
+
+    def test_every_workload_covers_both_backends(self, backends_bench,
+                                                 backends_doc):
+        assert backends_doc["metrics"], "metrics must name at least one workload"
+        for workload, entry in backends_doc["metrics"].items():
+            assert set(entry) == {"gc", "he"}, workload
+            for backend, m in entry.items():
+                assert set(m) == set(backends_bench.METRIC_KEYS), (workload, backend)
+
+    def test_config_names_the_workload_shapes(self, backends_doc):
+        workloads = backends_doc["config"]["workloads"]
+        assert set(workloads) == set(backends_doc["metrics"])
+        for shape in workloads.values():
+            rows, cols = shape
+            assert rows >= 1 and cols >= 1
+
+    def test_check_mode_accepts_the_committed_artifact(self, backends_bench,
+                                                       backends_doc):
+        errors = backends_bench.check_artifact(BACKENDS_ARTIFACT, backends_doc)
+        assert errors == []
+
+
+class TestBackendsAcceptanceNumbers:
+    def test_committed_run_is_not_a_smoke_run(self, backends_doc):
+        assert backends_doc["config"]["smoke"] is False, (
+            "the committed artifact must come from a full run, not --smoke"
+        )
+
+    def test_he_is_single_round_trip(self, backends_doc):
+        assert backends_doc["derived"]["he_round_trips_per_query"] == 1.0
+        for workload, entry in backends_doc["metrics"].items():
+            assert entry["he"]["round_trips_per_query"] == 1.0, workload
+            assert entry["gc"]["round_trips_per_query"] > 1.0, workload
+
+    def test_he_moves_fewer_bytes_on_every_workload(self, backends_doc):
+        for workload, entry in backends_doc["metrics"].items():
+            assert (
+                entry["he"]["bytes_per_query"] < entry["gc"]["bytes_per_query"]
+            ), workload
+        assert backends_doc["derived"]["mean_bytes_ratio_gc_over_he"] > 1.0
