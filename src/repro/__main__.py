@@ -417,13 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--max-retries", type=int, default=1)
             p.add_argument("--profile", default="default",
                            choices=("default", "recovery", "handoff",
-                                    "vectorized", "backends"),
+                                    "vectorized", "backends", "tenants"),
                            help="fault profile: classic wire faults, "
                                 "disconnect/shed/stall recovery plans, "
                                 "multi-gateway kill/drain handoffs, the "
                                 "recovery+handoff mix rerun with "
-                                "garble_mode=vectorized, or the same mix "
-                                "against HE-backed sessions")
+                                "garble_mode=vectorized, the same mix "
+                                "against HE-backed sessions, or "
+                                "poison/stall/disconnect tenant-isolation "
+                                "faults under the ring scheduler")
             p.add_argument("--gateways", type=int, default=3,
                            help="fleet size for --profile "
                                 "handoff/vectorized/backends")

@@ -1,0 +1,641 @@
+"""Multi-tenant core virtualization: a message ring over shared GC cores.
+
+MAXelerator dedicates its MAC datapath to one computation at a time;
+serving many tenants from one fleet of cores needs an arbiter that
+keeps every AES engine busy *and* provably fair.  This module supplies
+both halves:
+
+* :class:`CreditAccount` / :class:`WeightedRefiller` — per-tenant
+  credit accounting with weighted round-robin refill, a hard credit
+  cap, and a bounded in-flight budget.  The same primitives arbitrate
+  the live serving layer (:mod:`repro.serve.tenants`) and the simulated
+  ring below, so the fairness the property suite proves on the
+  simulation is the fairness the scheduler actually enforces.
+* :class:`CoreRing` — a deterministic, simulated-cycle message ring
+  (the ``RingMAC`` tile-sharing idiom: one circular shift register, one
+  slot per station) connecting N worker cores to M tenant queues.
+  Tenants inject ``REQUEST`` messages into empty slots passing their
+  station — one credit each, bounded in-flight — and absorb their
+  ``RESULT`` messages one revolution later.  Cores absorb requests,
+  work ``service_cycles``, and emit results into freed slots.
+
+Determinism is load-bearing: ``step()`` is pure state transition (no
+clock, no randomness), so a given tenant mix always produces the same
+per-cycle trace, the same Jain index, and the same p99 — which is what
+lets ``BENCH_ring.json`` commit utilization/fairness numbers and what
+the hypothesis suite shrinks against.
+
+Back-pressure, not queueing: a tenant whose bounded backlog is full has
+:meth:`CoreRing.submit` return ``False`` — the admission layer sheds
+typed instead of growing memory.
+
+Deadlock-freedom: ``RESULT`` messages are always absorbed by their
+tenant station (slots never stay occupied by results), and a core
+absorbs a new ``REQUEST`` whenever its datapath is free even while
+finished work waits in its output queue — the freed slot carries a
+queued result out in the same cycle, so requests cannot permanently
+clog the ring.
+
+Anti-hogging: a tenant station never injects into the slot it freed by
+absorbing its own result that cycle — the slot rotates downstream
+empty first.  Without this, the tenant closest downstream of a scarce
+core ping-pongs the freed slot (absorb result, reinject, repeat) and
+credit-holding tenants further along starve for slots no matter what
+the refiller grants them.
+
+Oldest-first reservation (anti-aliasing): when the service time and the
+station count align, a core can free up at the same slot phase forever,
+so a request parked in an off-phase slot circulates unabsorbed no
+matter how many credits its tenant holds.  The cure is an SCI-style
+reservation: a request that has circulated past an urgency threshold is
+reserved (oldest ``work_id`` wins) by every core that sees it, and a
+core holding a reservation declines younger requests until the reserved
+one arrives (stale reservations clear after two revolutions).  Fresh
+traffic is absorbed greedily, so the mechanism costs nothing until
+something actually ages — and once a request is the oldest urgent one,
+every core converges on it within a revolution and the first to free
+takes it.  That turns no-starvation from a phase accident into a
+bounded guarantee (:meth:`CoreRing.starvation_bound`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+REQUEST = "request"
+RESULT = "result"
+
+
+def jain_index(shares) -> float:
+    """Jain's fairness index over per-tenant shares: 1.0 is perfectly
+    fair, 1/n is one tenant taking everything.  Empty or all-zero
+    input reads as fair (nobody was served, nobody was starved
+    *relative to anyone else*)."""
+    values = [float(v) for v in shares]
+    square_sum = sum(v * v for v in values)
+    if not values or square_sum == 0.0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's share of the fleet: scheduling weight, in-flight
+    budget, and bounded backlog depth (the back-pressure boundary)."""
+
+    tenant: str
+    weight: float = 1.0
+    max_inflight: int = 2
+    queue_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigurationError("a tenant needs a non-empty name")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"tenant {self.tenant}: weight must be positive"
+            )
+        if self.max_inflight < 1:
+            raise ConfigurationError(
+                f"tenant {self.tenant}: in-flight budget must be at least 1"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"tenant {self.tenant}: queue depth must be at least 1"
+            )
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """Shape of the simulated ring (every fairness-relevant knob)."""
+
+    n_cores: int = 4
+    #: cycles one unit of work occupies a core (the garble cost model)
+    service_cycles: int = 32
+    #: hard per-tenant credit ceiling — refills past it are forfeited
+    credit_cap: int = 4
+    #: cycles between weighted-round-robin refill ticks
+    refill_period: int = 4
+    #: credits granted per refill tick (to the WRR winner)
+    refill_quantum: int = 1
+
+    def validate(self) -> "RingConfig":
+        if self.n_cores < 1:
+            raise ConfigurationError("the ring needs at least one core")
+        if self.service_cycles < 1:
+            raise ConfigurationError("service time must be at least one cycle")
+        if self.credit_cap < 1:
+            raise ConfigurationError("credit cap must be at least 1")
+        if self.refill_period < 1:
+            raise ConfigurationError("refill period must be at least one cycle")
+        if self.refill_quantum < 1:
+            raise ConfigurationError("refill quantum must be at least 1")
+        return self
+
+
+class CreditAccount:
+    """One tenant's credit ledger: cap-bounded balance, in-flight count,
+    and the conservation counters the property suite audits.
+
+    Invariant (checked by :meth:`check`): every credit ever minted is
+    either spent or still held — ``minted == spent + credits`` — and
+    the balance never leaves ``[0, cap]``.
+    """
+
+    __slots__ = (
+        "tenant", "weight", "cap", "max_inflight",
+        "credits", "minted", "spent", "refunded", "forfeited",
+        "inflight", "credit_stalls", "inflight_stalls",
+    )
+
+    def __init__(self, tenant: str, weight: float = 1.0, cap: int = 4,
+                 max_inflight: int = 2):
+        self.tenant = tenant
+        self.weight = weight
+        self.cap = cap
+        self.max_inflight = max_inflight
+        #: accounts start full so a cold tenant is immediately servable
+        self.credits = cap
+        self.minted = cap
+        self.spent = 0
+        self.refunded = 0
+        self.forfeited = 0
+        self.inflight = 0
+        self.credit_stalls = 0
+        self.inflight_stalls = 0
+
+    @property
+    def can_inject(self) -> bool:
+        return self.credits >= 1 and self.inflight < self.max_inflight
+
+    def spend(self) -> None:
+        if self.credits < 1:
+            raise ConfigurationError(
+                f"tenant {self.tenant}: spending with no credits"
+            )
+        self.credits -= 1
+        self.spent += 1
+        self.inflight += 1
+
+    def complete(self) -> None:
+        if self.inflight < 1:
+            raise ConfigurationError(
+                f"tenant {self.tenant}: completing with nothing in flight"
+            )
+        self.inflight -= 1
+
+    def refund(self) -> None:
+        """Undo a spend whose work was never started (admission raced a
+        full queue): the in-flight slot and the credit both come back.
+        A refund at the cap is forfeited — the ledger still balances
+        because the refund is counted as negative spend either way."""
+        self.inflight -= 1
+        self.spent -= 1
+        self.refunded += 1
+        if self.credits < self.cap:
+            self.credits += 1
+        else:
+            self.minted -= 1
+            self.forfeited += 1
+
+    def grant(self, n: int) -> int:
+        """Mint up to ``n`` credits, clipped at the cap; returns how
+        many were actually minted (the rest are forfeited)."""
+        granted = min(n, self.cap - self.credits)
+        if granted > 0:
+            self.credits += granted
+            self.minted += granted
+        self.forfeited += n - granted
+        return granted
+
+    def check(self) -> None:
+        """Raise unless the conservation invariant holds."""
+        if not 0 <= self.credits <= self.cap:
+            raise AssertionError(
+                f"tenant {self.tenant}: balance {self.credits} outside "
+                f"[0, {self.cap}]"
+            )
+        if self.minted != self.spent + self.credits:
+            raise AssertionError(
+                f"tenant {self.tenant}: credits leaked — minted "
+                f"{self.minted} != spent {self.spent} + held {self.credits}"
+            )
+        if not 0 <= self.inflight <= self.max_inflight:
+            raise AssertionError(
+                f"tenant {self.tenant}: in-flight {self.inflight} outside "
+                f"[0, {self.max_inflight}]"
+            )
+
+
+class WeightedRefiller:
+    """Smooth weighted round-robin over a set of credit accounts.
+
+    Each :meth:`tick` advances every account's running priority by its
+    weight and grants the quantum to the highest-priority account that
+    is *below its cap* (skipping capped accounts keeps the refill
+    work-conserving); the winner pays the total weight back.  Both
+    updates clamp the priority to ``[-total_weight, +total_weight]``.
+    The clamp is load-bearing in both directions, each end a bug the
+    property suite actually caught: unclamped accrual lets an account
+    capped through a long warm-up bank unbounded entitlement and spend
+    it as a monopoly burst when it rejoins, while *freezing* capped
+    accounts instead biases grants toward whichever tenant happens to
+    be below cap at tick time (persistently unequal shares under equal
+    weights).  Bounded banking gives both guarantees: grant counts
+    converge to the weight proportions over any window, and catch-up
+    after an eligibility gap costs at most two
+    ``ceil(total_weight / own_weight)`` rounds — the bound the
+    no-starvation property leans on.
+    """
+
+    def __init__(self, accounts: list[CreditAccount]):
+        if not accounts:
+            raise ConfigurationError("the refiller needs at least one account")
+        self._accounts = list(accounts)
+        self._priority = {a.tenant: 0.0 for a in accounts}
+
+    def tick(self, quantum: int = 1) -> CreditAccount | None:
+        """One refill round; returns the account granted to (or ``None``
+        when every account sits at its cap)."""
+        eligible = [a for a in self._accounts if a.credits < a.cap]
+        if not eligible:
+            return None
+        total = sum(a.weight for a in self._accounts)
+        for acct in self._accounts:
+            self._priority[acct.tenant] = min(
+                self._priority[acct.tenant] + acct.weight, total
+            )
+        # ties break by tenant name so the schedule is deterministic
+        winner = max(eligible, key=lambda a: (self._priority[a.tenant], a.tenant))
+        self._priority[winner.tenant] = max(
+            self._priority[winner.tenant] - total, -total
+        )
+        winner.grant(quantum)
+        return winner
+
+
+class RingWork:
+    """One unit of tenant work travelling the ring."""
+
+    __slots__ = ("tenant", "work_id", "service_cycles",
+                 "submitted_cycle", "injected_cycle", "completed_cycle")
+
+    def __init__(self, tenant: str, work_id: int, service_cycles: int,
+                 submitted_cycle: int):
+        self.tenant = tenant
+        self.work_id = work_id
+        self.service_cycles = service_cycles
+        self.submitted_cycle = submitted_cycle
+        self.injected_cycle = -1
+        self.completed_cycle = -1
+
+
+class _RingMessage:
+    __slots__ = ("kind", "work", "dest")
+
+    def __init__(self, kind: str, work: RingWork, dest: int):
+        self.kind = kind
+        self.work = work
+        self.dest = dest
+
+
+class _CoreState:
+    __slots__ = ("current", "busy_remaining", "results", "reserved_id",
+                 "reserve_wait")
+
+    def __init__(self):
+        self.current: RingWork | None = None
+        self.busy_remaining = 0
+        self.results: deque[RingWork] = deque()
+        #: work_id of an *urgent* (long-circulating) request this core
+        #: has promised to take next — the anti-aliasing reservation
+        self.reserved_id: int | None = None
+        self.reserve_wait = 0
+
+
+class CoreRing:
+    """The deterministic simulated-cycle ring: M tenant stations, then
+    N core stations, one slot per station, rotating one hop per cycle.
+
+    Station layout (indices)::
+
+        0 .. M-1      tenant stations (inject REQUEST, absorb RESULT)
+        M .. M+N-1    core stations  (absorb REQUEST, emit RESULT)
+
+    Per cycle, in fixed station order: tenant stations absorb a RESULT
+    addressed to them, then inject into an empty slot if backlogged and
+    credit-eligible; core stations advance their datapath, absorb a
+    passing REQUEST when free, and emit a finished RESULT into their
+    (possibly just-freed) slot; finally every slot shifts one station.
+    """
+
+    def __init__(self, tenants, config: RingConfig | None = None,
+                 telemetry=None):
+        self.config = (config or RingConfig()).validate()
+        specs = list(tenants)
+        if not specs:
+            raise ConfigurationError("the ring needs at least one tenant")
+        seen = set()
+        for spec in specs:
+            if spec.tenant in seen:
+                raise ConfigurationError(f"duplicate tenant {spec.tenant!r}")
+            seen.add(spec.tenant)
+        self.specs = specs
+        self.telemetry = telemetry
+        self.accounts = {
+            s.tenant: CreditAccount(
+                s.tenant, weight=s.weight, cap=self.config.credit_cap,
+                max_inflight=s.max_inflight,
+            )
+            for s in specs
+        }
+        self._refiller = WeightedRefiller(
+            [self.accounts[s.tenant] for s in specs]
+        )
+        self._station_of = {s.tenant: i for i, s in enumerate(specs)}
+        self._backlogs = {s.tenant: deque() for s in specs}
+        self.n_stations = len(specs) + self.config.n_cores
+        #: circulation age (cycles since injection) past which a request
+        #: is urgent and cores start reserving it oldest-first
+        self._urgent_after = 4 * self.n_stations
+        self._slots: list[_RingMessage | None] = [None] * self.n_stations
+        self._cores = [_CoreState() for _ in range(self.config.n_cores)]
+        self.cycle = 0
+        self._next_work_id = 0
+        # aggregate counters (published to telemetry by snapshot())
+        self.busy_cycles = 0
+        self.idle_cycles = 0
+        self.injected = 0
+        self.completed = 0
+        self.shed = 0
+        self.served = {s.tenant: 0 for s in specs}
+        self.shed_by_tenant = {s.tenant: 0 for s in specs}
+        self.latencies = {s.tenant: [] for s in specs}
+        #: cycle of each tenant's most recent completion *or* submission
+        #: while backlogged — the no-starvation property's progress clock
+        self.last_progress = {s.tenant: 0 for s in specs}
+
+    # ------------------------------------------------------------------
+    # admission (the back-pressure boundary)
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, service_cycles: int | None = None) -> bool:
+        """Offer one unit of work; ``False`` means the tenant's bounded
+        backlog is full and the admission layer must shed."""
+        if tenant not in self._backlogs:
+            raise ConfigurationError(f"unknown tenant {tenant!r}")
+        spec = self.specs[self._station_of[tenant]]
+        backlog = self._backlogs[tenant]
+        if len(backlog) >= spec.queue_depth:
+            self.shed += 1
+            self.shed_by_tenant[tenant] += 1
+            return False
+        work = RingWork(
+            tenant,
+            self._next_work_id,
+            service_cycles
+            if service_cycles is not None
+            else self.config.service_cycles,
+            self.cycle,
+        )
+        self._next_work_id += 1
+        backlog.append(work)
+        return True
+
+    def backlog(self, tenant: str) -> int:
+        return len(self._backlogs[tenant])
+
+    @property
+    def total_outstanding(self) -> int:
+        """Backlogged + in-flight work across every tenant."""
+        return sum(len(q) for q in self._backlogs.values()) + sum(
+            a.inflight for a in self.accounts.values()
+        )
+
+    # ------------------------------------------------------------------
+    # the clock
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one simulated cycle (pure state transition)."""
+        self.cycle += 1
+        if self.cycle % self.config.refill_period == 0:
+            self._refiller.tick(self.config.refill_quantum)
+        n_tenants = len(self.specs)
+        slots = self._slots
+        for i, spec in enumerate(self.specs):
+            acct = self.accounts[spec.tenant]
+            msg = slots[i]
+            freed_here = False
+            if msg is not None and msg.kind == RESULT and msg.dest == i:
+                work = msg.work
+                work.completed_cycle = self.cycle
+                acct.complete()
+                self.completed += 1
+                self.served[spec.tenant] += 1
+                self.latencies[spec.tenant].append(
+                    work.completed_cycle - work.submitted_cycle
+                )
+                self.last_progress[spec.tenant] = self.cycle
+                slots[i] = None
+                msg = None
+                # anti-hogging: the slot this station just freed rotates
+                # downstream EMPTY — reusing it here would let upstream
+                # tenants ping-pong a scarce core while credit-holding
+                # downstream tenants starve for slots
+                freed_here = True
+            backlog = self._backlogs[spec.tenant]
+            if backlog:
+                if slots[i] is None and not freed_here and acct.can_inject:
+                    work = backlog.popleft()
+                    acct.spend()
+                    work.injected_cycle = self.cycle
+                    slots[i] = _RingMessage(REQUEST, work, dest=-1)
+                    self.injected += 1
+                elif acct.credits < 1:
+                    acct.credit_stalls += 1
+                elif acct.inflight >= acct.max_inflight:
+                    acct.inflight_stalls += 1
+        urgent_after = self._urgent_after
+        for k, core in enumerate(self._cores):
+            i = n_tenants + k
+            if core.current is not None:
+                core.busy_remaining -= 1
+                self.busy_cycles += 1
+                if core.busy_remaining <= 0:
+                    core.results.append(core.current)
+                    core.current = None
+            else:
+                self.idle_cycles += 1
+            msg = slots[i]
+            if msg is not None and msg.kind == REQUEST:
+                work = msg.work
+                # oldest-first reservation, the anti-aliasing guarantee:
+                # a request that has circulated long enough to be urgent
+                # is reserved by every core that sees it (oldest work_id
+                # wins).  A core holding a reservation declines younger
+                # requests until the reserved one arrives, so a request
+                # parked in a slot phase the completion schedule never
+                # lands on still gets a core within a bounded number of
+                # revolutions.  Fresh requests are absorbed greedily —
+                # reservations cost nothing until something actually ages.
+                if (
+                    self.cycle - work.injected_cycle >= urgent_after
+                    and (core.reserved_id is None
+                         or work.work_id < core.reserved_id)
+                ):
+                    core.reserved_id = work.work_id
+                    core.reserve_wait = 0
+                elif work.work_id == core.reserved_id:
+                    core.reserve_wait = 0
+                if core.current is None and (
+                    core.reserved_id is None
+                    or work.work_id <= core.reserved_id
+                ):
+                    core.current = work
+                    core.busy_remaining = work.service_cycles
+                    slots[i] = None
+                    if core.reserved_id == work.work_id:
+                        core.reserved_id = None
+                        core.reserve_wait = 0
+            if core.reserved_id is not None:
+                core.reserve_wait += 1
+                if core.reserve_wait > 2 * self.n_stations:
+                    # the reserved request stopped circulating (another
+                    # core took it) — drop the stale promise
+                    core.reserved_id = None
+                    core.reserve_wait = 0
+            if slots[i] is None and core.results:
+                done = core.results.popleft()
+                slots[i] = _RingMessage(
+                    RESULT, done, dest=self._station_of[done.tenant]
+                )
+        # rotate: each slot shifts one station downstream
+        self._slots = [slots[-1]] + slots[:-1]
+
+    def run(self, n_cycles: int) -> None:
+        for _ in range(n_cycles):
+            self.step()
+
+    def run_until_drained(self, max_cycles: int = 1_000_000) -> int:
+        """Step until every backlog and in-flight unit has completed (or
+        ``max_cycles`` elapse); returns how many cycles it took."""
+        start = self.cycle
+        while self.total_outstanding and self.cycle - start < max_cycles:
+            self.step()
+        return self.cycle - start
+
+    # ------------------------------------------------------------------
+    # the proven properties
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Credit conservation + in-flight bounds for every tenant, and
+        ring occupancy never exceeding the slot count."""
+        for acct in self.accounts.values():
+            acct.check()
+        occupied = sum(1 for m in self._slots if m is not None)
+        if occupied > self.n_stations:
+            raise AssertionError("more messages than ring slots")
+
+    def starvation_bound(self) -> int:
+        """A bounded ring-cycle window within which every backlogged
+        tenant must make progress (complete a unit of work).
+
+        Built from the scheduler's own guarantees, each term generous:
+        the WRR refiller grants the lightest tenant within
+        ``ceil(total_weight / min_weight)`` ticks of ``refill_period``
+        cycles; an injected request ages urgent after ``_urgent_after``
+        cycles of circulation, and from then the oldest-first
+        reservation absorbs the globally oldest urgent request within
+        one service time plus a few revolutions (reserve on sight,
+        stale-clear, travel) — so a request outlasts at most every
+        older in-flight request, each charged one such absorb window.
+        Anything beyond the sum is starvation, not queueing.
+        """
+        weights = [s.weight for s in self.specs]
+        total_w = sum(weights)
+        wrr_ticks = max(
+            -(-total_w // w) for w in weights  # ceil division
+        )
+        # frozen priorities carried across eligibility gaps are bounded
+        # by the total weight, so catch-up costs at most a second round
+        credit_wait = int(2 * wrr_ticks + 1) * self.config.refill_period
+        inflight_total = sum(s.max_inflight for s in self.specs)
+        absorb = self.config.service_cycles + 4 * self.n_stations
+        travel = 4 * self.n_stations
+        return 2 * (
+            credit_wait
+            + self._urgent_after
+            + inflight_total * absorb
+            + travel
+        )
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        total = self.config.n_cores * self.cycle
+        return self.busy_cycles / total if total else 0.0
+
+    def jain_fairness(self, weighted: bool = False) -> float:
+        """Jain index over per-tenant service counts (weight-normalized
+        when ``weighted``, so a perfectly proportional schedule scores
+        1.0 under unequal weights too)."""
+        shares = []
+        for spec in self.specs:
+            count = self.served[spec.tenant]
+            shares.append(count / spec.weight if weighted else count)
+        return jain_index(shares)
+
+    def p99_latency_cycles(self, tenant: str) -> float:
+        lats = sorted(self.latencies[tenant])
+        if not lats:
+            return 0.0
+        return float(lats[min(len(lats) - 1, int(0.99 * len(lats)))])
+
+    def credit_stalls(self) -> int:
+        return sum(a.credit_stalls for a in self.accounts.values())
+
+    def snapshot(self) -> dict:
+        """Aggregate stats; also publishes the tentpole counters through
+        the attached :class:`~repro.telemetry.MetricsRegistry`."""
+        out = {
+            "cycles": self.cycle,
+            "utilization": self.utilization(),
+            "jain": self.jain_fairness(),
+            "jain_weighted": self.jain_fairness(weighted=True),
+            "busy_cycles": self.busy_cycles,
+            "idle_cycles": self.idle_cycles,
+            "injected": self.injected,
+            "completed": self.completed,
+            "shed": self.shed,
+            "credit_stalls": self.credit_stalls(),
+            "tenants": {
+                s.tenant: {
+                    "served": self.served[s.tenant],
+                    "shed": self.shed_by_tenant[s.tenant],
+                    "credit_stalls": self.accounts[s.tenant].credit_stalls,
+                    "p99_latency_cycles": self.p99_latency_cycles(s.tenant),
+                }
+                for s in self.specs
+            },
+        }
+        tm = self.telemetry
+        if tm is not None:
+            for name, value in (
+                ("ring.cycles", self.cycle),
+                ("ring.busy_cycles", self.busy_cycles),
+                ("ring.idle_cycles", self.idle_cycles),
+                ("ring.injected", self.injected),
+                ("ring.completed", self.completed),
+                ("ring.shed", self.shed),
+                ("ring.credit_stalls", self.credit_stalls()),
+            ):
+                counter = tm.counter(name)
+                counter.inc(max(0, value - counter.value))
+            for spec in self.specs:
+                counter = tm.counter(f"ring.tenant.{spec.tenant}.served")
+                counter.inc(max(0, self.served[spec.tenant] - counter.value))
+        return out

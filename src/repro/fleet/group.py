@@ -33,7 +33,7 @@ from repro.errors import ConfigurationError, WireError
 from repro.fleet.dialer import FailoverDialer
 from repro.net.gateway import GCGateway
 from repro.recover.store import InMemorySessionStore, SessionStore
-from repro.serve import ServingConfig
+from repro.serve import ServingConfig, TenantScheduler, resolve_scheduler
 
 
 class GatewayGroup:
@@ -60,6 +60,14 @@ class GatewayGroup:
                 ttl_s=self.config.checkpoint_ttl_s, telemetry=self.telemetry
             )
         )
+        # under the ring scheduler the whole group shares ONE credit
+        # ledger: a tenant's in-flight bound holds fleet-wide, so it
+        # cannot multiply its budget by spraying gateways
+        self.scheduler = (
+            TenantScheduler.from_config(self.config, telemetry=self.telemetry)
+            if resolve_scheduler(configured=self.config.scheduler) == "ring"
+            else None
+        )
         self.gateways = [
             GCGateway(
                 server,
@@ -68,6 +76,7 @@ class GatewayGroup:
                 telemetry=self.telemetry,
                 store=self.store,
                 gateway_id=f"gw{i}",
+                scheduler=self.scheduler,
             )
             for i in range(n_gateways)
         ]

@@ -108,6 +108,11 @@ class CloudServer:
         self._refill_lock = threading.Lock()
         #: set by the serving layer; called (not blocking) after each serve
         self._refill_listener = None
+        #: set by the serving layer under the ring scheduler: pool
+        #: misses route through a fingerprint-keyed batching station so
+        #: concurrent tenants share one vectorized AES pass
+        self._garble_station = None
+        self._fingerprint: str | None = None
         self.update_model(model_matrix)
 
     # ------------------------------------------------------------------
@@ -134,6 +139,8 @@ class CloudServer:
             # the HE context bakes the plaintext rows in, so it IS
             # model-dependent — rebuilt lazily on the next HE query
             self._he_server = None
+            # the circuit fingerprint is shape-derived; recompute lazily
+            self._fingerprint = None
         self.refill_pool()
 
     def set_garble_mode(self, mode: str) -> None:
@@ -204,6 +211,31 @@ class CloudServer:
     def detach_refill_listener(self) -> None:
         self._refill_listener = None
 
+    def attach_garble_station(self, station) -> None:
+        """Route on-demand vectorized garbling through a shared
+        :class:`~repro.serve.tenants.GarbleStation` so concurrent pool
+        misses with matching fingerprints co-batch into one AES pass."""
+        self._garble_station = station
+
+    def detach_garble_station(self) -> None:
+        self._garble_station = None
+
+    def circuit_fingerprint(self) -> str:
+        """The served circuit's structural fingerprint — the co-batching
+        key: only servers whose fingerprints match may ever share a
+        vectorized AES invocation."""
+        with self._lock:
+            fp = self._fingerprint
+            accelerator = self.accelerator
+        if fp is None:
+            # imported lazily: repro.net imports repro.host at module load
+            from repro.net.handshake import netlist_fingerprint
+
+            fp = netlist_fingerprint(accelerator.circuit.circuit)
+            with self._lock:
+                self._fingerprint = fp
+        return fp
+
     def _take_run(self) -> AcceleratorRun:
         with self._lock:
             if self._pool:
@@ -220,11 +252,23 @@ class CloudServer:
         # graceful degradation: garble on demand when the pool is dry
         self.stats.bump("pool_misses")
         self.telemetry.counter("pool.misses").inc()
+        station = self._garble_station
         with self.telemetry.timer("garble.on_demand"):
             if mode == "vectorized":
-                run = accelerator.garble_vectorized(
-                    rounds, 1, telemetry=self.telemetry
-                )[0]
+                if station is not None:
+                    # co-batch concurrent misses that share a circuit
+                    # fingerprint (possibly across tenants and servers)
+                    # into one stage-batched AES pass
+                    run = station.take(
+                        accelerator,
+                        rounds,
+                        self.circuit_fingerprint(),
+                        telemetry=self.telemetry,
+                    )
+                else:
+                    run = accelerator.garble_vectorized(
+                        rounds, 1, telemetry=self.telemetry
+                    )[0]
             else:
                 run = accelerator.garble(rounds)
         self.stats.bump("runs_garbled")

@@ -95,8 +95,12 @@ class RemoteAnalyticsClient:
         addresses=None,
         backend: str | None = None,
         he_seed: int | None = None,
+        tenant: str = "",
     ):
         self.telemetry = telemetry
+        #: admission account this session's queries are charged to under
+        #: a ring-scheduled gateway ("" pools into the default tenant)
+        self.tenant = tenant
         self.backoff = backoff or BackoffPolicy()
         self._sleeper = sleeper
         if dial is None and addresses:
@@ -128,7 +132,7 @@ class RemoteAnalyticsClient:
                 "RemoteAnalyticsClient needs host+port, a socket, or a dial callable"
             )
         self.descriptor, welcome = client_session_handshake(
-            transport, client_name=name, backend=backend
+            transport, client_name=name, backend=backend, tenant=tenant
         )
         d = self.descriptor
         self.backend = str(welcome.get("negotiated_backend", "gc"))

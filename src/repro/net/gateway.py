@@ -112,7 +112,7 @@ class _GatewaySession:
     __slots__ = (
         "thread", "endpoint", "channel", "started_at", "handshaken",
         "reaped", "session_id", "client_name", "version", "in_query",
-        "handoff", "backend",
+        "handoff", "backend", "tenant",
     )
 
     def __init__(self, thread: threading.Thread | None, endpoint: SocketEndpoint):
@@ -130,6 +130,8 @@ class _GatewaySession:
         #: negotiated private-MAC backend (pre-v4 sessions are GC)
         self.backend = "gc"
         self.in_query = False
+        #: admission account from the hello ("" = the default tenant)
+        self.tenant = ""
         #: set when this connection's socket was handed to another live
         #: session (resume rebind) — teardown must not close it
         self.handoff = False
@@ -178,12 +180,17 @@ class GCGateway:
         store: SessionStore | None = None,
         gateway_id: str = "",
         backend: str | None = None,
+        scheduler=None,
     ):
         self.server = server
         self.gateway_id = gateway_id or f"gw-{uuid.uuid4().hex[:8]}"
         self.telemetry = telemetry if telemetry is not None else server.telemetry
         if serving is None:
-            serving = ServingServer(server, config, telemetry=self.telemetry)
+            # ``scheduler`` may be a TenantScheduler shared by a whole
+            # gateway group, making per-tenant bounds fleet-wide
+            serving = ServingServer(
+                server, config, telemetry=self.telemetry, scheduler=scheduler
+            )
             self._owns_serving = True
         else:
             self._owns_serving = False
@@ -487,6 +494,7 @@ class GCGateway:
                 session.client_name = str(hello.get("name", "client"))
                 session.version = int(hello.get("negotiated_version", 2))
                 session.backend = str(hello.get("negotiated_backend", "gc"))
+                session.tenant = str(hello.get("tenant") or "")
                 tm.counter("gateway.sessions").inc()
                 tm.counter(f"gateway.sessions.{session.backend}").inc()
                 self._query_loop(session)
@@ -586,7 +594,7 @@ class GCGateway:
             )
             return
         if self._draining.is_set():
-            self._shed(channel, v3, "gateway is draining")
+            self._shed(channel, v3, "gateway is draining", tenant=session.tenant)
             return
         on_run = on_round = None
         if v3:
@@ -600,7 +608,8 @@ class GCGateway:
                 session.session_id, self.gateway_id, cfg.lease_ttl_s
             )
             if lease is None:
-                self._shed(channel, v3, "session is leased to a peer")
+                self._shed(channel, v3, "session is leased to a peer",
+                           tenant=session.tenant)
                 return
             on_run, on_round = self._checkpoint_hooks(
                 session, row, ot_mode, backend=session.backend
@@ -609,11 +618,12 @@ class GCGateway:
             request = self.serving.submit_remote(
                 row, channel, on_round=on_round, on_run=on_run,
                 ot_mode=ot_mode, backend=session.backend,
+                tenant=session.tenant,
             )
         except OverloadedError as exc:  # transient saturation: shed with a hint
             if v3:  # nothing was garbled: don't pin the admission lease
                 self.store.release_lease(session.session_id, self.gateway_id)
-            self._shed(channel, v3, str(exc))
+            self._shed(channel, v3, str(exc), tenant=session.tenant)
             return
         except ServingError as exc:  # not running / hard failure: terminal
             if v3:
@@ -679,6 +689,7 @@ class GCGateway:
                     session.session_id,
                     row,
                     client_name=session.client_name,
+                    tenant=session.tenant,
                 ))
         else:
             def on_run(run, encoded_row):
@@ -690,6 +701,7 @@ class GCGateway:
                     row,
                     client_name=session.client_name,
                     ot_mode=ot_mode,
+                    tenant=session.tenant,
                 ))
 
         def on_round(next_round: int):
@@ -710,15 +722,21 @@ class GCGateway:
 
         return on_run, on_round
 
-    def _shed(self, channel, v3: bool, reason: str) -> None:
+    def _shed(self, channel, v3: bool, reason: str, tenant: str = "") -> None:
         """Overload reply: a v3 client gets a machine-readable backoff
-        hint; a v2 client gets the legacy typed error."""
+        hint; a v2 client gets the legacy typed error.  ``tenant``
+        attributes the shed — the hint names who was over budget and the
+        per-tenant counter makes noisy neighbours visible."""
         self.telemetry.counter("gateway.shed").inc()
+        if tenant:
+            self.telemetry.counter(f"gateway.shed.tenant.{tenant}").inc()
         if v3:
             hint = {
                 "delay_s": self.serving.config.retry_after_s,
                 "reason": reason,
             }
+            if tenant:
+                hint["tenant"] = tenant
             channel.send(
                 RETRY_AFTER_TAG, json.dumps(hint, sort_keys=True).encode()
             )
@@ -893,8 +911,10 @@ class GCGateway:
             handle = self._batcher.submit(
                 checkpoint, endpoint, self.server.group, on_round=on_round
             )
-        except OverloadedError:
-            self._shed(endpoint, True, "resume queue full")
+        except OverloadedError as exc:
+            # either the resume queue is full or the checkpoint's tenant
+            # is over its credit budget — adoption does not jump queues
+            self._shed(endpoint, True, str(exc), tenant=checkpoint.tenant)
             return
         except ServingError as exc:
             endpoint.send(REJECT_TAG, str(exc).encode())
@@ -927,6 +947,7 @@ class GCGateway:
         self.store.release_lease(sid, self.gateway_id)
         session.client_name = checkpoint.client_name or session.client_name
         session.backend = checkpoint.backend
+        session.tenant = checkpoint.tenant
         tm.counter("gateway.queries").inc()
         # the resumed query is done; keep serving this connection like
         # any other v3 session (the wrapper inherits the live counters)

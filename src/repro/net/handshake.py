@@ -218,11 +218,16 @@ def server_handshake(
         ) from exc
     hello["negotiated_version"] = negotiated
     hello["negotiated_backend"] = granted
+    # tenant id is advisory metadata (admission accounting, not auth):
+    # normalize whatever the client sent to a string, "" meaning the
+    # default tenant
+    hello["tenant"] = str(hello.get("tenant") or "")
     return hello
 
 
 def client_session_handshake(
-    endpoint, client_name: str = "client", backend: str | None = None
+    endpoint, client_name: str = "client", backend: str | None = None,
+    tenant: str = "",
 ) -> tuple[SessionDescriptor, dict]:
     """Client side: send hello, receive the descriptor *and* the raw
     welcome (which carries the resumable ``session_id`` on v3 and the
@@ -239,10 +244,17 @@ def client_session_handshake(
     named backend is a hard requirement — a session negotiated below
     v4 (which can only be GC) or granted anything else fails typed.
     The returned welcome always carries ``negotiated_backend``.
+
+    ``tenant`` names the admission account this session's queries are
+    charged to under the gateway's ring scheduler; blank traffic pools
+    into the gateway's default tenant.  The key is omitted entirely
+    when blank, so pre-PR-8 gateways see a byte-identical hello.
     """
     hello = {"protocol_version": PROTOCOL_VERSION, "name": client_name}
     if backend is not None:
         hello["backend"] = backend
+    if tenant:
+        hello["tenant"] = tenant
     try:
         endpoint.send(HELLO_TAG, json.dumps(hello, sort_keys=True).encode())
         tag, payload = endpoint.recv_any((WELCOME_TAG, REJECT_TAG))

@@ -141,6 +141,11 @@ class SessionCheckpoint:
     #: *different* gateway adopting the session replays the right wire
     #: dialogue; defaults to ``gc`` for checkpoints from older stores.
     backend: str = "gc"
+    #: Admission account the session's queries are charged to: an
+    #: adopting gateway routes the resume through this tenant's credits
+    #: (PR 8) so a mass-adoption burst cannot jump the queue.  Defaults
+    #: to ``""`` (the default tenant) for checkpoints from older stores.
+    tenant: str = ""
 
     def advance(self, next_round: int, send_seq: int = 0, recv_seq: int = 0) -> None:
         """Mark rounds below ``next_round`` streamed and prune confirmed material.
@@ -232,6 +237,7 @@ class SessionCheckpoint:
             "ot_mode": self.ot_mode,
             "stream_boundaries": [list(b) for b in self.stream_boundaries],
             "backend": self.backend,
+            "tenant": self.tenant,
         }
 
     @classmethod
@@ -252,6 +258,7 @@ class SessionCheckpoint:
                 for b in data.get("stream_boundaries", [])
             ],
             backend=data.get("backend", "gc"),
+            tenant=data.get("tenant", ""),
         )
 
 
@@ -293,6 +300,7 @@ def checkpoint_from_run(
     row_index: int,
     client_name: str = "",
     ot_mode: str = "per_round",
+    tenant: str = "",
 ) -> SessionCheckpoint:
     """Snapshot a pooled :class:`AcceleratorRun` + one model row.
 
@@ -343,6 +351,7 @@ def checkpoint_from_run(
         output_permute_bits=list(run.output_permute_bits),
         client_name=client_name,
         ot_mode=ot_mode,
+        tenant=tenant,
     )
     cp.begin_stream(0)
     return cp
@@ -353,6 +362,7 @@ def checkpoint_from_he_result(
     session_id: str,
     row_index: int,
     client_name: str = "",
+    tenant: str = "",
 ) -> SessionCheckpoint:
     """Snapshot an encrypted-MAC session: one round, one ciphertext.
 
@@ -381,6 +391,7 @@ def checkpoint_from_he_result(
         client_name=client_name,
         ot_mode="per_round",
         backend="he",
+        tenant=tenant,
     )
     cp.begin_stream(0)
     return cp

@@ -20,11 +20,13 @@ from repro.serve.batcher import (
     ResumeHandle,
 )
 from repro.serve.config import (
+    SCHEDULERS,
     ServingConfig,
     resolve_backend,
     resolve_choice,
     resolve_garble_mode,
     resolve_reaper_timeout,
+    resolve_scheduler,
 )
 from repro.serve.refiller import PoolRefiller
 from repro.serve.server import (
@@ -33,19 +35,25 @@ from repro.serve.server import (
     RemoteSessionRequest,
     ServingServer,
 )
+from repro.serve.tenants import DEFAULT_TENANT, GarbleStation, TenantScheduler
 
 __all__ = [
     "BatchedResumeRequest",
     "CheckpointSessionRequest",
+    "DEFAULT_TENANT",
+    "GarbleStation",
     "PendingRequest",
     "PoolRefiller",
     "RemoteSessionRequest",
     "ResumeBatcher",
     "ResumeHandle",
+    "SCHEDULERS",
     "ServingConfig",
     "ServingServer",
+    "TenantScheduler",
     "resolve_backend",
     "resolve_choice",
     "resolve_garble_mode",
     "resolve_reaper_timeout",
+    "resolve_scheduler",
 ]

@@ -16,6 +16,15 @@ its own :class:`ResumeHandle` while the rest of the batch keeps
 streaming.  Head-of-line blocking inside a batch is bounded by the
 endpoints' receive timeouts — a stalled client costs the batch at most
 one timeout per round, then drops out typed.
+
+Fairness (PR 8): adopted sessions used to jump every queue — a batch
+rode one container request past the ring scheduler's per-tenant
+accounting, so a mass-adoption burst from a killed gateway could starve
+live tenants.  Admission is now charged per *entry*: ``submit`` spends
+one credit for the checkpoint's tenant before the handle joins a batch
+(shedding typed when the tenant is over budget), and the credit returns
+when the handle finishes.  The container request itself is exempt
+(``tenant = None``) so batches are never double-charged.
 """
 
 from __future__ import annotations
@@ -41,19 +50,28 @@ class ResumeHandle:
     blocks in :meth:`wait` for the streamed outcome.
     """
 
-    def __init__(self, checkpoint, endpoint, group, on_round=None):
+    def __init__(self, checkpoint, endpoint, group, on_round=None,
+                 scheduler=None, tenant: str = ""):
         self.checkpoint = checkpoint
         self.endpoint = endpoint
         self.group = group
         self.on_round = on_round
         self.start_gate = threading.Event()
         self.rounds_streamed = 0
+        #: credit accounting for this adopted session (set at batcher
+        #: admission; the credit returns exactly once, at ``_finish``)
+        self.scheduler = scheduler
+        self.tenant = tenant
         self._done = threading.Event()
         self._error: BaseException | None = None
 
     def _finish(self, error: BaseException | None) -> None:
+        if self._done.is_set():
+            return
         self._error = error
         self._done.set()
+        if self.scheduler is not None:
+            self.scheduler.complete(self.tenant)
 
     @property
     def done(self) -> bool:
@@ -81,6 +99,10 @@ class BatchedResumeRequest(PendingRequest):
     """
 
     retryable = False
+
+    #: exempt from request-level tenant accounting: each entry was
+    #: charged individually at batcher admission
+    tenant = None
 
     def __init__(self, entries: list[ResumeHandle], deadline: float,
                  telemetry=None):
@@ -166,7 +188,8 @@ class ResumeBatcher:
         self._closed = False
 
     def submit(self, checkpoint, endpoint, group, on_round=None) -> ResumeHandle:
-        handle = ResumeHandle(checkpoint, endpoint, group, on_round=on_round)
+        scheduler = getattr(self.serving, "scheduler", None)
+        tenant = getattr(checkpoint, "tenant", "") or ""
         flush_now: list[ResumeHandle] | None = None
         with self._lock:
             if self._closed:
@@ -175,6 +198,15 @@ class ResumeBatcher:
                 raise OverloadedError(
                     "resume queue full: batched admission shed"
                 )
+            if scheduler is not None:
+                # adoption spends the checkpoint's tenant's credit like
+                # any live request — a mass-adoption burst sheds typed
+                # instead of jumping the queue (OverloadedError here)
+                tenant = scheduler.admit(tenant)
+            handle = ResumeHandle(
+                checkpoint, endpoint, group, on_round=on_round,
+                scheduler=scheduler, tenant=tenant,
+            )
             self._pending.append(handle)
             if len(self._pending) >= self.max_batch:
                 flush_now = self._take_pending_locked()

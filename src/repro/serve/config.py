@@ -15,6 +15,16 @@ GARBLE_MODE_ENV = "REPRO_GARBLE_MODE"
 
 BACKEND_ENV = "REPRO_BACKEND"
 
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+
+#: Admission schedulers: ``fifo`` is the pre-ring behavior (one shared
+#: bounded queue, no per-tenant accounting); ``ring`` routes every
+#: admission through per-tenant credits (weighted refill, bounded
+#: in-flight, tenant-attributed shedding) backed by the same
+#: :class:`~repro.accel.ring.CreditAccount` primitives the simulated
+#: :class:`~repro.accel.ring.CoreRing` proves fair.
+SCHEDULERS = ("fifo", "ring")
+
 
 def resolve_choice(
     explicit,
@@ -86,6 +96,24 @@ def resolve_backend(
         configured_name="ServingConfig.backend",
         default=default,
     )
+
+def resolve_scheduler(
+    explicit: str | None = None,
+    configured: str | None = None,
+    default: str = "fifo",
+) -> str:
+    """Scheduler precedence: explicit argument >
+    ``ServingConfig.scheduler`` > ``REPRO_SCHEDULER`` > ``fifo``."""
+    return resolve_choice(
+        explicit,
+        configured,
+        SCHEDULER_ENV,
+        SCHEDULERS,
+        explicit_name="explicit scheduler",
+        configured_name="ServingConfig.scheduler",
+        default=default,
+    )
+
 
 #: Gateway default: how long a connection may sit without completing
 #: its handshake before the session reaper closes it.
@@ -180,6 +208,20 @@ class ServingConfig:
     #: ``REPRO_BACKEND`` and then to ``gc``.  Pre-v4 clients always
     #: get ``gc`` regardless.
     backend: str | None = None
+    #: Admission scheduler (PR 8): ``fifo`` or ``ring``; ``None`` defers
+    #: to ``REPRO_SCHEDULER`` and then to ``fifo``.  Under ``ring``,
+    #: every request is charged to a per-tenant credit account and the
+    #: gateway's shed answers carry the tenant they were shed for.
+    scheduler: str | None = None
+    #: Per-tenant credit ceiling under the ring scheduler: how much
+    #: admission burst one tenant can bank while idle.
+    tenant_credit_cap: int = 4
+    #: Per-tenant in-flight bound under the ring scheduler: how many of
+    #: one tenant's requests may occupy workers/queue slots at once.
+    tenant_max_inflight: int = 4
+    #: Optional ``(tenant, weight)`` pairs for weighted credit refill;
+    #: tenants not named here refill at weight 1.0.
+    tenant_weights: tuple = ()
 
     def validate(self) -> "ServingConfig":
         if self.workers < 1:
@@ -220,4 +262,28 @@ class ServingConfig:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"scheduler must be one of {SCHEDULERS}, got {self.scheduler!r}"
+            )
+        if self.tenant_credit_cap < 1:
+            raise ConfigurationError("tenant credit cap must be at least 1")
+        if self.tenant_max_inflight < 1:
+            raise ConfigurationError("tenant in-flight bound must be at least 1")
+        for pair in self.tenant_weights:
+            try:
+                tenant, weight = pair
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"tenant_weights entries must be (tenant, weight) pairs, "
+                    f"got {pair!r}"
+                ) from None
+            if not tenant or not isinstance(tenant, str):
+                raise ConfigurationError(
+                    f"tenant_weights names a blank tenant: {pair!r}"
+                )
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"tenant {tenant!r}: refill weight must be positive"
+                )
         return self

@@ -24,8 +24,13 @@ from repro.errors import (
     ServingError,
 )
 from repro.host import AnalyticsClient, CloudServer
-from repro.serve.config import ServingConfig, resolve_garble_mode
+from repro.serve.config import (
+    ServingConfig,
+    resolve_garble_mode,
+    resolve_scheduler,
+)
 from repro.serve.refiller import PoolRefiller
+from repro.serve.tenants import GarbleStation, TenantScheduler
 from repro.telemetry import MetricsRegistry
 
 _SHUTDOWN = object()
@@ -38,12 +43,21 @@ class PendingRequest:
     #: (a half-streamed wire session is not replayable to the client)
     retryable = True
 
+    #: tenant charged for this request under the ring scheduler; ``""``
+    #: accounts to the default tenant, ``None`` (batched resume
+    #: containers, whose entries were charged individually at batcher
+    #: admission) is exempt from request-level accounting
+    tenant: str | None = ""
+
     def __init__(self, row_index: int, x_values, deadline: float):
         self.row_index = row_index
         self.x_values = x_values
         self.deadline = deadline
         self.enqueued_at = time.perf_counter()
         self.attempts = 0
+        #: set by the scheduler seam when a credit was spent on this
+        #: request (the worker returns it on completion)
+        self._admitted = False
         self._done = threading.Event()
         self._cancelled = threading.Event()
         self._result: float | None = None
@@ -177,10 +191,23 @@ class ServingServer:
         server: CloudServer,
         config: ServingConfig | None = None,
         telemetry: MetricsRegistry | None = None,
+        scheduler: TenantScheduler | None = None,
     ):
         self.server = server
         self.config = (config or ServingConfig()).validate()
         self.telemetry = telemetry if telemetry is not None else server.telemetry
+        #: per-tenant credit gate in front of the bounded queue (``None``
+        #: under the ``fifo`` scheduler).  An injected scheduler may be
+        #: shared across a whole gateway group, making the in-flight
+        #: bounds fleet-wide.
+        if scheduler is None and resolve_scheduler(
+            configured=self.config.scheduler
+        ) == "ring":
+            scheduler = TenantScheduler.from_config(
+                self.config, telemetry=self.telemetry
+            )
+        self.scheduler = scheduler
+        self.station: GarbleStation | None = None
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
         self._workers: list[threading.Thread] = []
         self._refiller: PoolRefiller | None = None
@@ -195,6 +222,11 @@ class ServingServer:
         mode = resolve_garble_mode(configured=self.config.garble_mode)
         if mode is not None:
             self.server.set_garble_mode(mode)
+        if self.scheduler is not None and self.server.garble_mode == "vectorized":
+            # ring + vectorized: pool misses from different tenants that
+            # share a circuit fingerprint co-batch into one AES pass
+            self.station = GarbleStation(telemetry=self.telemetry)
+            self.server.attach_garble_station(self.station)
         if self.config.refill:
             self._refiller = PoolRefiller(
                 self.server,
@@ -226,6 +258,9 @@ class ServingServer:
         if self._refiller is not None:
             self._refiller.stop()
             self._refiller = None
+        if self.station is not None:
+            self.server.detach_garble_station()
+            self.station = None
 
     def __enter__(self) -> "ServingServer":
         return self.start()
@@ -273,24 +308,28 @@ class ServingServer:
     # ------------------------------------------------------------------
     # client API
     # ------------------------------------------------------------------
-    def submit(self, row_index: int, x_values, block: bool = True) -> PendingRequest:
+    def submit(self, row_index: int, x_values, block: bool = True,
+               tenant: str = "") -> PendingRequest:
         """Enqueue a query; returns a :class:`PendingRequest` future.
 
         With ``block=False`` a full queue raises :class:`ServingError`
         immediately (backpressure); with ``block=True`` the caller waits
-        for a slot, bounded by the request timeout.
+        for a slot, bounded by the request timeout.  ``tenant`` is the
+        account charged under the ring scheduler (blank traffic pools
+        into the ``default`` tenant).
         """
         req = PendingRequest(
             row_index,
             np.asarray(x_values, dtype=np.float64),
             deadline=time.perf_counter() + self.config.request_timeout_s,
         )
+        req.tenant = tenant
         return self._enqueue(req, block)
 
     def submit_remote(
         self, row_index: int, endpoint, block: bool = False,
         on_round=None, on_run=None, ot_mode: str = "per_round",
-        backend: str = "gc",
+        backend: str = "gc", tenant: str = "",
     ) -> RemoteSessionRequest:
         """Enqueue a remote evaluator session (the gateway's entry point).
 
@@ -314,6 +353,7 @@ class ServingServer:
             ot_mode=ot_mode,
             backend=backend,
         )
+        req.tenant = tenant
         return self._enqueue(req, block)
 
     def submit_resume(
@@ -338,12 +378,20 @@ class ServingServer:
     def _enqueue(self, req: PendingRequest, block: bool) -> PendingRequest:
         if not self._accepting:
             raise ServingError("serving layer is not running (call start())")
+        if self.scheduler is not None and req.tenant is not None:
+            # the credit gate sheds typed (naming the tenant) before the
+            # request can occupy a queue slot
+            req.tenant = self.scheduler.admit(req.tenant)
+            req._admitted = True
         try:
             if block:
                 self._queue.put(req, timeout=self.config.request_timeout_s)
             else:
                 self._queue.put_nowait(req)
         except queue.Full:
+            if req._admitted:
+                req._admitted = False
+                self.scheduler.release(req.tenant)
             self.telemetry.counter("serve.rejected").inc()
             raise OverloadedError(
                 f"request queue full ({self.config.queue_depth} deep): backpressure"
@@ -382,6 +430,12 @@ class ServingServer:
                             f"{type(exc).__name__}: {exc}"
                         ),
                     )
+            finally:
+                if item._admitted:
+                    # the credit comes back whatever the outcome — a
+                    # poison tenant's failures cannot strand its slots
+                    item._admitted = False
+                    self.scheduler.complete(item.tenant)
 
     def _run_request(self, client: AnalyticsClient, req: PendingRequest) -> None:
         tm = self.telemetry

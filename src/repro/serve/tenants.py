@@ -1,0 +1,250 @@
+"""Per-tenant admission credits and the cross-tenant garble station.
+
+:class:`TenantScheduler` is the live-serving face of the ring arbiter:
+the same :class:`~repro.accel.ring.CreditAccount` ledgers and weighted
+refiller that the simulated :class:`~repro.accel.ring.CoreRing` proves
+fair, driven by request completions instead of simulated cycles.  Every
+admission spends a credit and occupies an in-flight slot; every
+completion returns the slot and mints one credit back through the
+weighted round-robin refiller (work-conserving — the fleet's total
+credit flow matches its throughput, split by weight).  A tenant that is
+out of credits or at its in-flight bound is shed with a typed
+:class:`~repro.errors.OverloadedError` naming the tenant, so the
+gateway's retry-after answer can carry the attribution.
+
+:class:`GarbleStation` realizes the cross-tenant batching win: when two
+tenants' ``vectorized`` requests miss the pre-garbled pool at the same
+moment *and their circuit fingerprints match*, the first one to arrive
+becomes the batch leader, waits a short window for co-riders, and runs
+one :meth:`~repro.accel.maxelerator.MAXelerator.garble_vectorized`
+invocation for the whole batch — one AES pass per topological stage
+regardless of how many tenants joined (observable as a single
+``gc.aes_batch_calls`` increment set).  Distinct fingerprints never
+share a batch: the key *is* the fingerprint.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.accel.ring import CreditAccount, WeightedRefiller, jain_index
+from repro.errors import ConfigurationError, OverloadedError
+
+#: Requests that carry no tenant id are accounted to this tenant, so the
+#: ring scheduler still bounds anonymous traffic as one aggregate.
+DEFAULT_TENANT = "default"
+
+
+class TenantScheduler:
+    """Credit-gated admission shared by every gateway in a fleet.
+
+    Deterministic by construction: refill happens on completion (one
+    credit minted per completed request, granted to the weighted
+    round-robin winner), never on a wall clock, so a test that admits,
+    completes, and admits again sees the same ledger every run.
+    """
+
+    def __init__(self, weights=(), default_weight: float = 1.0,
+                 credit_cap: int = 4, max_inflight: int = 4,
+                 telemetry=None):
+        if credit_cap < 1:
+            raise ConfigurationError("tenant credit cap must be at least 1")
+        if max_inflight < 1:
+            raise ConfigurationError("tenant in-flight bound must be at least 1")
+        if default_weight <= 0:
+            raise ConfigurationError("default tenant weight must be positive")
+        self._lock = threading.Lock()
+        self._credit_cap = credit_cap
+        self._max_inflight = max_inflight
+        self._default_weight = default_weight
+        self._weights = {}
+        for tenant, weight in weights:
+            if not tenant:
+                raise ConfigurationError("tenant weights name a blank tenant")
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"tenant {tenant!r}: refill weight must be positive"
+                )
+            self._weights[tenant] = float(weight)
+        self.telemetry = telemetry
+        self._accounts: dict[str, CreditAccount] = {}
+        self._refiller: WeightedRefiller | None = None
+        for tenant in self._weights:
+            self._account(tenant)
+
+    @classmethod
+    def from_config(cls, config, telemetry=None) -> "TenantScheduler":
+        return cls(
+            weights=config.tenant_weights,
+            credit_cap=config.tenant_credit_cap,
+            max_inflight=config.tenant_max_inflight,
+            telemetry=telemetry,
+        )
+
+    def _account(self, tenant: str) -> CreditAccount:
+        """Look up (or lazily register) a tenant's ledger.  Caller holds
+        the lock or is still in ``__init__``."""
+        acct = self._accounts.get(tenant)
+        if acct is None:
+            acct = CreditAccount(
+                tenant,
+                weight=self._weights.get(tenant, self._default_weight),
+                cap=self._credit_cap,
+                max_inflight=self._max_inflight,
+            )
+            self._accounts[tenant] = acct
+            # rebuilding keeps WRR priorities for existing accounts at
+            # zero-sum; a fresh tenant joins the rotation immediately
+            self._refiller = WeightedRefiller(list(self._accounts.values()))
+        return acct
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(name).inc()
+
+    def admit(self, tenant: str) -> str:
+        """Charge one admission to ``tenant`` (blank → ``default``).
+
+        Returns the normalized tenant name the caller must later pass
+        to :meth:`complete` or :meth:`release`.  Raises a typed
+        :class:`OverloadedError` naming the tenant when its credits or
+        in-flight budget are exhausted — the back-pressure the ring
+        promises instead of unbounded queueing.
+        """
+        name = tenant or DEFAULT_TENANT
+        with self._lock:
+            acct = self._account(name)
+            if acct.inflight >= acct.max_inflight:
+                acct.inflight_stalls += 1
+                self._count(f"tenants.shed.{name}")
+                raise OverloadedError(
+                    f"tenant {name} is at its in-flight bound "
+                    f"({acct.max_inflight}); retry after a completion"
+                )
+            if acct.credits < 1:
+                acct.credit_stalls += 1
+                self._count(f"tenants.shed.{name}")
+                raise OverloadedError(
+                    f"tenant {name} is out of admission credits "
+                    f"(cap {acct.cap}); retry after a completion"
+                )
+            acct.spend()
+            self._count(f"tenants.admitted.{name}")
+        return name
+
+    def release(self, tenant: str) -> None:
+        """Refund an admission whose work never started (the bounded
+        queue was full after the credit check won)."""
+        with self._lock:
+            self._account(tenant or DEFAULT_TENANT).refund()
+
+    def complete(self, tenant: str) -> None:
+        """Return ``tenant``'s in-flight slot and mint one credit back
+        into the fleet through the weighted round-robin refiller."""
+        with self._lock:
+            self._account(tenant or DEFAULT_TENANT).complete()
+            self._refiller.tick(1)
+            self._count(f"tenants.served.{tenant or DEFAULT_TENANT}")
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            accounts = list(self._accounts.values())
+            # refund() already nets refunded admissions out of ``spent``
+            served = {a.tenant: a.spent for a in accounts}
+            return {
+                "tenants": {
+                    a.tenant: {
+                        "credits": a.credits,
+                        "inflight": a.inflight,
+                        "admitted": a.spent,
+                        "credit_stalls": a.credit_stalls,
+                        "inflight_stalls": a.inflight_stalls,
+                    }
+                    for a in accounts
+                },
+                "jain": jain_index(served.values()),
+            }
+
+    def check_invariants(self) -> None:
+        with self._lock:
+            for acct in self._accounts.values():
+                acct.check()
+
+
+class _Batch:
+    __slots__ = ("key", "rounds", "n", "max_batch", "full", "done",
+                 "runs", "error")
+
+    def __init__(self, key, rounds: int, max_batch: int):
+        self.key = key
+        self.rounds = rounds
+        self.n = 1
+        self.max_batch = max_batch
+        self.full = threading.Event()
+        self.done = threading.Event()
+        self.runs = None
+        self.error = None
+
+
+class GarbleStation:
+    """Fingerprint-keyed batching of on-demand vectorized garbling.
+
+    ``take`` blocks until the caller's run is garbled and returns it.
+    The first caller for a given ``(key, rounds)`` pair leads: it waits
+    up to ``window_s`` for co-riders (or until ``max_batch`` fills the
+    batch), then performs one vectorized garble for all of them.
+    Followers wait on the leader.  Keys are opaque — the serving layer
+    passes the circuit fingerprint, so only structurally identical
+    circuits ever share an AES invocation.
+    """
+
+    def __init__(self, window_s: float = 0.002, max_batch: int = 8,
+                 telemetry=None):
+        if window_s < 0:
+            raise ConfigurationError("the batch window cannot be negative")
+        if max_batch < 1:
+            raise ConfigurationError("a batch must admit at least one run")
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._open: dict = {}
+
+    def take(self, accelerator, rounds: int, key, telemetry=None):
+        with self._lock:
+            batch = self._open.get((key, rounds))
+            if batch is not None and batch.n < batch.max_batch:
+                idx = batch.n
+                batch.n += 1
+                if batch.n == batch.max_batch:
+                    batch.full.set()
+            else:
+                batch = _Batch(key, rounds, self.max_batch)
+                self._open[(key, rounds)] = batch
+                idx = 0
+        if idx == 0:
+            batch.full.wait(timeout=self.window_s)
+            with self._lock:
+                # close the door: late arrivals start a new batch
+                if self._open.get((key, rounds)) is batch:
+                    del self._open[(key, rounds)]
+                size = batch.n
+            try:
+                batch.runs = accelerator.garble_vectorized(
+                    rounds, size,
+                    telemetry=telemetry if telemetry is not None else self.telemetry,
+                )
+            except Exception as exc:  # pragma: no cover - surfaced to takers
+                batch.error = exc
+            finally:
+                batch.done.set()
+            if self.telemetry is not None:
+                self.telemetry.counter("station.batches").inc()
+                self.telemetry.counter("station.batched_runs").inc(size)
+                if size > 1:
+                    self.telemetry.counter("station.cobatched").inc()
+        else:
+            batch.done.wait()
+        if batch.error is not None:
+            raise batch.error
+        return batch.runs[idx]

@@ -10,7 +10,14 @@ for deterministic tests.
 
 from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
 from repro.telemetry.spans import Span, SpanRecorder
-from repro.telemetry.report import render_text, render_traffic, to_json, traffic_by_tag
+from repro.telemetry.report import (
+    render_tenants,
+    render_text,
+    render_traffic,
+    tenant_shares,
+    to_json,
+    traffic_by_tag,
+)
 
 __all__ = [
     "Counter",
@@ -18,8 +25,10 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanRecorder",
+    "render_tenants",
     "render_text",
     "render_traffic",
+    "tenant_shares",
     "to_json",
     "traffic_by_tag",
 ]

@@ -47,6 +47,49 @@ def render_traffic(snapshot: dict, title: str = "wire traffic by tag") -> str:
     return "\n".join(lines)
 
 
+def tenant_shares(snapshot: dict) -> dict[str, int]:
+    """Per-tenant served counts from the ``tenants.served.<t>`` counters
+    (falling back to the ring's ``ring.tenant.<t>.served`` spelling)."""
+    counters = snapshot.get("counters", {})
+    prefix = "tenants.served."
+    shares = {
+        name[len(prefix):]: value
+        for name, value in counters.items()
+        if name.startswith(prefix)
+    }
+    if shares:
+        return shares
+    ring_prefix, ring_suffix = "ring.tenant.", ".served"
+    return {
+        name[len(ring_prefix):-len(ring_suffix)]: value
+        for name, value in counters.items()
+        if name.startswith(ring_prefix) and name.endswith(ring_suffix)
+    }
+
+
+def render_tenants(snapshot: dict, title: str = "tenant fairness") -> str:
+    """Aligned per-tenant served breakdown with share and Jain index.
+
+    The Jain index is computed locally (``(Σx)² / (n·Σx²)``) rather than
+    imported from :mod:`repro.accel.ring` — the exporters stay pure
+    functions of a snapshot dict with no accelerator dependency.
+    """
+    shares = tenant_shares(snapshot)
+    lines = [f"== {title} =="]
+    if not shares:
+        lines.append("(no tenant traffic recorded)")
+        return "\n".join(lines)
+    total = sum(shares.values())
+    square_sum = sum(v * v for v in shares.values())
+    jain = (total * total) / (len(shares) * square_sum) if square_sum else 1.0
+    width = max(len(t) for t in shares)
+    for tenant in sorted(shares, key=lambda t: (-shares[t], t)):
+        share = shares[tenant] / total if total else 0.0
+        lines.append(f"  {tenant:<{width}}  {shares[tenant]:>10,} served  {share:6.1%}")
+    lines.append(f"  {'total':<{width}}  {total:>10,} served  jain={jain:.4f}")
+    return "\n".join(lines)
+
+
 def _fmt(value: float) -> str:
     return f"{value:.6g}"
 

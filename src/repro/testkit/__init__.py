@@ -29,14 +29,18 @@ from repro.testkit.endpoint import TRANSPORTS, FaultyEndpoint, faulty_pair
 from repro.testkit.faults import (
     ALL_FAULT_KINDS,
     DISCONNECT,
+    DISCONNECT_TENANT,
     DRAIN_GATEWAY,
     ENDPOINT_FAULT_KINDS,
     ENVIRONMENT_FAULT_KINDS,
     HANDOFF_FAULT_KINDS,
     KILL_GATEWAY,
+    POISON_TENANT,
     RECOVERY_FAULT_KINDS,
     RETRYABLE_KINDS,
     SHED,
+    STALL_TENANT,
+    TENANT_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
 )
@@ -56,6 +60,7 @@ __all__ = [
     "ChaosRunner",
     "ConformanceOracle",
     "DISCONNECT",
+    "DISCONNECT_TENANT",
     "DRAIN_GATEWAY",
     "ENDPOINT_FAULT_KINDS",
     "ENVIRONMENT_FAULT_KINDS",
@@ -64,13 +69,16 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultyEndpoint",
+    "POISON_TENANT",
     "PROFILES",
     "RECOVERED",
     "RECOVERY_FAULT_KINDS",
     "RETRYABLE_KINDS",
     "SHED",
+    "STALL_TENANT",
     "SURFACED",
     "SessionVerdict",
+    "TENANT_FAULT_KINDS",
     "TOLERATED",
     "TRANSPORTS",
     "VIOLATION",

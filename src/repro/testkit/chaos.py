@@ -46,8 +46,12 @@ from repro.testkit.oracle import (
 #: backend negotiation) — checkpoint/resume must carry the backend id
 #: and shed/retry_after must be honored identically, with the
 #: zero-recompute oracle counting homomorphic products instead of
-#: garbled runs.
-PROFILES = ("default", "recovery", "handoff", "vectorized", "backends")
+#: garbled runs; ``tenants`` makes one tenant of a ring-scheduled
+#: serving layer misbehave (poison, stall, disconnect) and requires the
+#: other tenants' results to stay bit-identical and unstalled — the
+#: multi-tenant isolation contract, run vectorized so the cross-tenant
+#: batching path is the one under fire.
+PROFILES = ("default", "recovery", "handoff", "vectorized", "backends", "tenants")
 
 #: mixes the master seed with a session index (distinct from the
 #: workload stream's mixer so plan and workload are independent draws)
@@ -196,7 +200,9 @@ class ChaosReport:
             "pool_size": self.config.pool_size,
             "profile": self.config.profile,
             "garble_mode": (
-                "vectorized" if self.config.profile == "vectorized" else "sequential"
+                "vectorized"
+                if self.config.profile in ("vectorized", "tenants")
+                else "sequential"
             ),
             "backend": (
                 "he" if self.config.profile == "backends" else "gc"
@@ -245,8 +251,12 @@ class ChaosRunner:
     # ------------------------------------------------------------------
     @property
     def garble_mode(self) -> str:
-        """The server garbling path this profile exercises."""
-        return "vectorized" if self.config.profile == "vectorized" else "sequential"
+        """The server garbling path this profile exercises.  The tenants
+        profile runs vectorized so isolation is proven on the shared
+        (cross-tenant co-batching) garble path, not the easy one."""
+        if self.config.profile in ("vectorized", "tenants"):
+            return "vectorized"
+        return "sequential"
 
     @property
     def backend(self) -> str:
@@ -271,6 +281,10 @@ class ChaosRunner:
         # draws its cut frames from a matching range — the GC profiles'
         # pinned seed→plan mappings are untouched
         max_cut = 3 if self.config.profile == "backends" else 24
+        if self.config.profile == "tenants":
+            return FaultPlan.random_tenants(
+                session_seed, recv_timeout_s=self.config.recv_timeout_s
+            )
         if self._is_handoff_session(session):
             return FaultPlan.random_handoff(
                 session_seed,

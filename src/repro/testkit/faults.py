@@ -50,13 +50,22 @@ KILL_GATEWAY = "kill_gateway"    #: crash gateway G after frame N; a peer
 DRAIN_GATEWAY = "drain_gateway"  #: gracefully drain gateway G mid-stream;
                                  #: a peer resumes from its checkpoint
 
+# -- tenant-isolation faults (ring scheduler, :mod:`repro.serve`) -------
+POISON_TENANT = "poison_tenant"          #: one tenant submits poison
+                                         #: requests; others stay bit-identical
+STALL_TENANT = "stall_tenant"            #: one tenant's request sleeps past
+                                         #: the recv timeout; others progress
+DISCONNECT_TENANT = "disconnect_tenant"  #: one tenant cancels/abandons its
+                                         #: work mid-queue; credits come back
+
 ENDPOINT_FAULT_KINDS = (DROP, CORRUPT, DUPLICATE, DELAY, TRUNCATE, STALL)
 ENVIRONMENT_FAULT_KINDS = (EXHAUST_POOL, KILL_WORKER, ABORT_HANDSHAKE)
 RECOVERY_FAULT_KINDS = (DISCONNECT, SHED)
 HANDOFF_FAULT_KINDS = (KILL_GATEWAY, DRAIN_GATEWAY)
+TENANT_FAULT_KINDS = (POISON_TENANT, STALL_TENANT, DISCONNECT_TENANT)
 ALL_FAULT_KINDS = (
     ENDPOINT_FAULT_KINDS + ENVIRONMENT_FAULT_KINDS + RECOVERY_FAULT_KINDS
-    + HANDOFF_FAULT_KINDS
+    + HANDOFF_FAULT_KINDS + TENANT_FAULT_KINDS
 )
 
 #: Faults worth one bounded retry: transient wire gremlins where a
@@ -79,7 +88,8 @@ class FaultSpec:
     is the ``abort_handshake`` boundary — how many handshake frames the
     client sends before vanishing; ``gateway`` is the fleet member a
     handoff fault targets (so replay logs reproduce *which* gateway
-    died, not just that one did).
+    died, not just that one did); ``tenant`` is the victim tenant index
+    a tenant-isolation fault misbehaves as.
     """
 
     kind: str
@@ -88,6 +98,7 @@ class FaultSpec:
     duration_s: float = 0.0
     after_frames: int = 0
     gateway: int = 0
+    tenant: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_FAULT_KINDS:
@@ -100,6 +111,8 @@ class FaultSpec:
             raise ConfigurationError("fault parameters cannot be negative")
         if self.gateway < 0:
             raise ConfigurationError("gateway index cannot be negative")
+        if self.tenant < 0:
+            raise ConfigurationError("tenant index cannot be negative")
 
     @property
     def is_endpoint_fault(self) -> bool:
@@ -118,6 +131,10 @@ class FaultSpec:
             return f"{self.kind}(cut@{self.frame})"
         if self.kind in HANDOFF_FAULT_KINDS:
             return f"{self.kind}(gw{self.gateway}, cut@{self.frame})"
+        if self.kind in TENANT_FAULT_KINDS:
+            if self.kind == STALL_TENANT:
+                return f"{self.kind}(t{self.tenant}, {self.duration_s:.3g}s)"
+            return f"{self.kind}(t{self.tenant})"
         if self.is_endpoint_fault:
             return f"{self.kind}({self.side}@{self.frame})"
         return self.kind
@@ -130,6 +147,7 @@ class FaultSpec:
             "duration_s": self.duration_s,
             "after_frames": self.after_frames,
             "gateway": self.gateway,
+            "tenant": self.tenant,
         }
 
     @classmethod
@@ -162,6 +180,12 @@ class FaultPlan:
     def is_handoff(self) -> bool:
         """True when the plan kills/drains a fleet member mid-stream."""
         return any(f.kind in HANDOFF_FAULT_KINDS for f in self.faults)
+
+    @property
+    def is_tenant(self) -> bool:
+        """True when the plan makes one tenant misbehave under the ring
+        scheduler (the others must stay isolated)."""
+        return any(f.kind in TENANT_FAULT_KINDS for f in self.faults)
 
     @property
     def retryable(self) -> bool:
@@ -298,5 +322,39 @@ class FaultPlan:
             side="evaluator",
             frame=rng.randint(1, max_cut_frame),
             gateway=rng.randrange(n_gateways),
+        )
+        return cls(faults=(spec,), seed=seed)
+
+    @classmethod
+    def random_tenants(
+        cls,
+        seed: int,
+        recv_timeout_s: float = 0.25,
+        n_tenants: int = 4,
+    ) -> "FaultPlan":
+        """A reproducible plan from the *tenants* profile: one victim
+        tenant misbehaves — poison queries (weighted highest, the
+        isolation tentpole), a stall past the receive timeout, or an
+        abandoned/cancelled query — and every other tenant must stay
+        bit-identical and unstalled.
+
+        A separate generator for the same reason the recovery and
+        handoff ones are: the older profiles' seed → plan mappings are
+        pinned, and new kinds must not remap their draw streams.
+        """
+        if n_tenants < 2:
+            raise ConfigurationError(
+                "a tenant plan needs at least two tenants to isolate between"
+            )
+        rng = random.Random(seed)
+        kind = rng.choice(
+            (POISON_TENANT, POISON_TENANT, STALL_TENANT, DISCONNECT_TENANT)
+        )
+        spec = FaultSpec(
+            kind=kind,
+            tenant=rng.randrange(n_tenants),
+            duration_s=(
+                round(4.0 * recv_timeout_s, 4) if kind == STALL_TENANT else 0.0
+            ),
         )
         return cls(faults=(spec,), seed=seed)

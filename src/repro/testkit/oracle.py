@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bits import from_bits, to_bits
-from repro.errors import HandshakeError, ReproError, ServingError
+from repro.errors import HandshakeError, OverloadedError, ReproError, ServingError
 from repro.gc.channel import run_two_party
 from repro.gc.sequential_gc import SequentialEvaluator
 from repro.he import HE_QUERY_TAG, HE_RESULT_TAG, HEMacClient
@@ -47,13 +47,17 @@ from repro.testkit.endpoint import faulty_pair
 from repro.testkit.faults import (
     ABORT_HANDSHAKE,
     DISCONNECT,
+    DISCONNECT_TENANT,
     DRAIN_GATEWAY,
     EXHAUST_POOL,
     FaultPlan,
     HANDOFF_FAULT_KINDS,
     KILL_GATEWAY,
     KILL_WORKER,
+    POISON_TENANT,
     SHED,
+    STALL_TENANT,
+    TENANT_FAULT_KINDS,
 )
 
 TOLERATED = "tolerated"
@@ -143,6 +147,23 @@ class PoisonRequest(PendingRequest):
         raise RuntimeError("injected poison request (testkit kill_worker fault)")
 
 
+class _StallRequest(PendingRequest):
+    """A request that hogs its worker for ``duration_s`` — the
+    ``stall_tenant`` fault.  Under the ring scheduler the stalling
+    tenant's in-flight bound confines the damage to one worker; the
+    bystander tenants must keep flowing on the rest."""
+
+    retryable = False
+
+    def __init__(self, duration_s: float, deadline: float):
+        super().__init__(0, None, deadline)
+        self._duration_s = duration_s
+
+    def _execute(self, client):
+        time.sleep(self._duration_s)
+        return 0.0
+
+
 class ConformanceOracle:
     """Runs faulted sessions against one server and classifies them."""
 
@@ -200,6 +221,8 @@ class ConformanceOracle:
             verdict = self.run_worker_poison(plan, row, x_values)
         elif EXHAUST_POOL in plan.kinds:
             verdict = self.run_pool_exhaustion(plan, row, x_values, transport)
+        elif plan.is_tenant:
+            verdict = self.run_tenant_isolation(plan, row, x_values)
         elif plan.is_handoff:
             verdict = self.run_gateway_handoff(plan, row, x_values, ot_mode)
         elif plan.is_recovery:
@@ -428,6 +451,142 @@ class ConformanceOracle:
             )
         finally:
             serving.stop()
+
+    def run_tenant_isolation(self, plan: FaultPlan, row: int, x_values) -> SessionVerdict:
+        """One tenant misbehaves under the ring scheduler; the rest must
+        keep their bit-identical results within the deadline.
+
+        Four tenants share a two-worker ring-scheduled serving layer
+        with a deliberately tight credit budget (cap 2, in-flight 1).
+        The victim tenant injects its pathology — poison requests, a
+        worker-hogging stall, or a submit-then-vanish disconnect — and
+        every bystander tenant then runs a real query.  A wrong answer
+        or a deadline miss on any bystander is a violation: the whole
+        point of per-tenant credits is that one tenant's pathology
+        stays that tenant's problem.
+        """
+        start = time.perf_counter()
+        spec = next(f for f in plan.faults if f.kind in TENANT_FAULT_KINDS)
+        tenants = [f"t{i}" for i in range(4)]
+        victim = tenants[spec.tenant % len(tenants)]
+        injected = [f"{spec.kind}:{victim}"]
+        self.telemetry.counter(f"faults.injected.{spec.kind}").inc()
+        config = ServingConfig(
+            workers=2,
+            queue_depth=16,
+            request_timeout_s=self.deadline_s,
+            max_retries=0,
+            refill=False,
+            recv_timeout_s=self.recv_timeout_s,
+            scheduler="ring",
+            tenant_credit_cap=2,
+            tenant_max_inflight=1,
+        )
+        expected = self._expected(row, x_values)
+        serving = ServingServer(self.server, config, telemetry=self.telemetry)
+        try:
+            serving.start()
+            victim_req = self._inject_tenant_fault(serving, spec, victim, row, x_values)
+            # every bystander runs a real query through the same ring
+            handles = []
+            for name in tenants:
+                if name != victim:
+                    handles.append((name, serving.submit(row, x_values, tenant=name)))
+            for name, handle in handles:
+                try:
+                    result = handle.wait(timeout=self.deadline_s)
+                except ServingError as exc:
+                    return self._verdict(
+                        plan, "serving", VIOLATION,
+                        f"tenant {name} starved behind {spec.kind}: {exc}",
+                        error_type=type(exc).__name__,
+                        injected=injected, start=start,
+                    )
+                if abs(result - expected) >= 1e-9:
+                    return self._verdict(
+                        plan, "serving", VIOLATION,
+                        f"tenant {name} got a wrong result behind {spec.kind}: "
+                        f"{result} != {expected}",
+                        injected=injected, start=start,
+                    )
+            # the victim's own fate must be typed — never a hang, never
+            # an untyped escape
+            try:
+                victim_req.wait(timeout=self.deadline_s)
+                if spec.kind == POISON_TENANT:
+                    return self._verdict(
+                        plan, "serving", VIOLATION,
+                        "poison tenant's request reported success",
+                        injected=injected, start=start,
+                    )
+            except ServingError:
+                pass  # typed: poison isolated / disconnect cancelled
+            except ReproError as exc:
+                return self._verdict(
+                    plan, "serving", VIOLATION,
+                    f"victim surfaced {type(exc).__name__}, expected ServingError",
+                    error_type=type(exc).__name__, injected=injected, start=start,
+                )
+            health = serving.health()
+            if health["workers_alive"] != health["workers_expected"]:
+                return self._verdict(
+                    plan, "serving", VIOLATION,
+                    f"{spec.kind} killed a worker: {health}",
+                    injected=injected, start=start,
+                )
+            serving.scheduler.check_invariants()
+            return self._verdict(
+                plan, "serving", TOLERATED,
+                f"{victim}'s {spec.kind} stayed its own problem: "
+                "bystander tenants bit-identical within deadline",
+                injected=injected, start=start,
+            )
+        except AssertionError as exc:
+            return self._verdict(
+                plan, "serving", VIOLATION,
+                f"credit invariant broken after {spec.kind}: {exc}",
+                injected=injected, start=start,
+            )
+        except ReproError as exc:
+            return self._verdict(
+                plan, "serving", VIOLATION,
+                f"{spec.kind} broke the serving layer: {exc}",
+                error_type=type(exc).__name__, injected=injected, start=start,
+            )
+        finally:
+            serving.stop()
+
+    def _inject_tenant_fault(
+        self, serving: ServingServer, spec, victim: str, row: int, x_values
+    ) -> PendingRequest:
+        """Apply the victim tenant's pathology; returns its request."""
+        deadline = time.perf_counter() + self.deadline_s
+        if spec.kind == POISON_TENANT:
+            req = PoisonRequest(deadline=deadline)
+            req.tenant = victim
+            serving._enqueue(req, block=False)
+            # a burst beyond the in-flight bound must shed typed at the
+            # credit gate, never occupy a queue slot; whether it sheds
+            # here races the first poison's (fast) completion, so the
+            # outcome is counted, not recorded in the seed signature
+            extra = PoisonRequest(deadline=deadline)
+            extra.tenant = victim
+            try:
+                serving._enqueue(extra, block=False)
+            except OverloadedError:
+                self.telemetry.counter("faults.tenant.backpressure").inc()
+            return req
+        if spec.kind == STALL_TENANT:
+            req = _StallRequest(spec.duration_s, deadline=deadline)
+            req.tenant = victim
+            serving._enqueue(req, block=False)
+            return req
+        assert spec.kind == DISCONNECT_TENANT, spec.kind
+        # submit a real query, then vanish: the worker must skip the
+        # cancelled request typed and hand the credit straight back
+        req = serving.submit(row, x_values, block=False, tenant=victim)
+        req.cancel()
+        return req
 
     def run_handshake_abort(self, plan: FaultPlan) -> SessionVerdict:
         """Client vanishes mid-negotiation: gateway must surface

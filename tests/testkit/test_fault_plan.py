@@ -9,6 +9,7 @@ from repro.testkit import (
     ENVIRONMENT_FAULT_KINDS,
     HANDOFF_FAULT_KINDS,
     RECOVERY_FAULT_KINDS,
+    TENANT_FAULT_KINDS,
     RETRYABLE_KINDS,
     FaultPlan,
     FaultSpec,
@@ -37,6 +38,7 @@ class TestFaultSpec:
             set(ENVIRONMENT_FAULT_KINDS),
             set(RECOVERY_FAULT_KINDS),
             set(HANDOFF_FAULT_KINDS),
+            set(TENANT_FAULT_KINDS),
         )
         assert set().union(*families) == set(ALL_FAULT_KINDS)
         for i, a in enumerate(families):
