@@ -329,6 +329,7 @@ def cmd_chaos(args):
             max_retries=args.max_retries,
             profile=args.profile,
             gateways=args.gateways,
+            rounds=args.rounds,
         )
         runner = ChaosRunner(config)
         report = runner.run(progress=progress)
@@ -417,18 +418,26 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--max-retries", type=int, default=1)
             p.add_argument("--profile", default="default",
                            choices=("default", "recovery", "handoff",
-                                    "vectorized", "backends", "tenants"),
+                                    "vectorized", "backends", "tenants",
+                                    "processes"),
                            help="fault profile: classic wire faults, "
                                 "disconnect/shed/stall recovery plans, "
                                 "multi-gateway kill/drain handoffs, the "
                                 "recovery+handoff mix rerun with "
                                 "garble_mode=vectorized, the same mix "
-                                "against HE-backed sessions, or "
+                                "against HE-backed sessions, "
                                 "poison/stall/disconnect tenant-isolation "
-                                "faults under the ring scheduler")
+                                "faults under the ring scheduler, or "
+                                "SIGKILL/SIGTERM/TCP-cut faults against a "
+                                "fleet of real gateway subprocesses "
+                                "sharing one store file")
             p.add_argument("--gateways", type=int, default=3,
                            help="fleet size for --profile "
-                                "handoff/vectorized/backends")
+                                "handoff/vectorized/backends/processes")
+            p.add_argument("--rounds", type=int, default=2,
+                           help="MAC rounds per session (the processes "
+                                "profile draws its commit-round triggers "
+                                "below this)")
             p.add_argument("--log", default=None,
                            help="write a JSONL replay log here")
             p.add_argument("--replay", default=None, metavar="LOG.jsonl",

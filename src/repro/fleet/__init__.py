@@ -7,7 +7,13 @@ the store's fencing guarantees a migrated session is never garbled
 twice no matter which member answers the resume.
 """
 
-from repro.fleet.dialer import FailoverDialer
+from repro.fleet.dialer import FailoverDialer, rendezvous_index
 from repro.fleet.group import GatewayGroup
+from repro.fleet.procs import ProcessFleet
 
-__all__ = ["FailoverDialer", "GatewayGroup"]
+__all__ = [
+    "FailoverDialer",
+    "GatewayGroup",
+    "ProcessFleet",
+    "rendezvous_index",
+]

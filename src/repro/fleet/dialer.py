@@ -17,26 +17,65 @@ session's checkpoint in the shared store is servable by any member.
 
 from __future__ import annotations
 
+import hashlib
 import socket
 import threading
 
 from repro.errors import ConfigurationError, WireError
 
 
-class FailoverDialer:
-    """Rotate over per-gateway dial callables; sticky on success."""
+def rendezvous_index(key: str, member_ids) -> int:
+    """Highest-random-weight (rendezvous) placement of ``key``.
 
-    def __init__(self, dials, telemetry=None, start_at: int = 0):
+    Every observer that agrees on the member-id list places the key on
+    the same member, and removing one member only re-places the keys
+    that lived on it — the property that makes membership churn cheap
+    for a session store shared by the whole fleet.
+    """
+    ids = list(member_ids)
+    if not ids:
+        raise ConfigurationError("rendezvous placement needs at least one member")
+    return max(
+        range(len(ids)),
+        key=lambda i: hashlib.sha256(
+            f"{key}|{ids[i]}".encode("utf-8")
+        ).digest(),
+    )
+
+
+class FailoverDialer:
+    """Rotate over per-gateway dial callables; sticky on success.
+
+    When built with ``member_ids`` (and ``place_sessions=True``), the
+    dialer also knows the fleet's consistent-hash placement:
+    :meth:`pin` moves the cursor to the member that *owns* a session
+    under rendezvous hashing, so a resuming client dials the owner
+    first and only walks the ring when the owner is dark.
+    """
+
+    def __init__(self, dials, telemetry=None, start_at: int = 0,
+                 member_ids=None, place_sessions: bool = False):
         self.dials = list(dials)
         if not self.dials:
             raise ConfigurationError("failover dialer needs at least one gateway")
+        self.member_ids = (
+            list(member_ids) if member_ids is not None
+            else [str(i) for i in range(len(self.dials))]
+        )
+        if len(self.member_ids) != len(self.dials):
+            raise ConfigurationError(
+                "member_ids must name every dial target exactly once"
+            )
+        #: opt-in: clients call :meth:`pin` after learning a session id
+        self.place_sessions = place_sessions
         self.telemetry = telemetry
         self._lock = threading.Lock()
         self._cursor = start_at % len(self.dials)
 
     @classmethod
     def from_addresses(cls, addresses, name: str = "client", telemetry=None,
-                       recv_timeout_s: float | None = None, start_at: int = 0):
+                       recv_timeout_s: float | None = None, start_at: int = 0,
+                       member_ids=None, place_sessions: bool = False):
         """Build from ``[(host, port), ...]`` — the CLI/fleet entry point."""
         from repro.net.endpoint import SocketEndpoint
 
@@ -52,7 +91,22 @@ class FailoverDialer:
             [make_dial(h, p) for h, p in addresses],
             telemetry=telemetry,
             start_at=start_at,
+            member_ids=member_ids,
+            place_sessions=place_sessions,
         )
+
+    def place(self, session_id: str) -> int:
+        """The member index rendezvous hashing assigns to ``session_id``."""
+        return rendezvous_index(session_id, self.member_ids)
+
+    def pin(self, session_id: str) -> int:
+        """Point the cursor at the session's placed owner; returns it."""
+        idx = self.place(session_id)
+        with self._lock:
+            self._cursor = idx
+        if self.telemetry is not None:
+            self.telemetry.counter("fleet.dialer.pins").inc()
+        return idx
 
     @property
     def cursor(self) -> int:

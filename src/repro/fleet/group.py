@@ -103,10 +103,15 @@ class GatewayGroup:
         for gw in self.gateways:
             gw.stop()  # idempotent — killed members already stopped
 
-    def kill(self, index: int) -> GCGateway:
-        """Crash member ``index`` (no drain, no lease release)."""
+    def kill(self, index: int, hard: bool = False) -> GCGateway:
+        """Crash member ``index`` (no drain, no lease release).
+
+        ``hard=True`` abandons the member's sockets without running any
+        cooperative teardown — the thread-fleet approximation of the
+        process tier's ``SIGKILL`` (see :meth:`GCGateway.kill`).
+        """
         gw = self.gateways[index]
-        gw.kill()
+        gw.kill(hard=hard)
         return gw
 
     def drain(self, index: int, timeout_s: float | None = None) -> bool:

@@ -165,6 +165,14 @@ class RemoteAnalyticsClient:
         self.group = d.group
         self.session_id = str(welcome.get("session_id", ""))
         if (
+            self.session_id
+            and self._dial is not None
+            and getattr(self._dial, "place_sessions", False)
+        ):
+            # fleet placement: reconnects dial the session's rendezvous
+            # owner first instead of whoever answered the handshake
+            self._dial.pin(self.session_id)
+        if (
             d.protocol_version >= 3
             and self.session_id
             and self._dial is not None

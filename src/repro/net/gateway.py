@@ -283,13 +283,40 @@ class GCGateway:
         if self._owns_serving:
             self.serving.stop()
 
-    def kill(self) -> None:
+    def kill(self, hard: bool = False) -> None:
         """Crash this gateway: no drain, no checkpoint flush, no lease
         release, no compaction — the chaos profile's model of a power
         cut.  Sessions it was streaming keep their store leases until
         expiry, which is exactly what a peer's lease *steal* is for.
+
+        ``hard=True`` goes further: it abandons the sockets outright —
+        raw transport closes out from under the session threads, no
+        cooperative ``channel.kill()``, no thread joins, no batcher or
+        serving teardown — the closest a thread fleet gets to SIGKILL.
+        A later :meth:`stop` (idempotent) reclaims the leftovers.
         """
         self.telemetry.counter("gateway.kills").inc()
+        if hard:
+            self.telemetry.counter("gateway.hard_kills").inc()
+            self._stopping.set()
+            listener = self._listener
+            self._listener = None
+            if listener is not None:
+                try:
+                    listener.close()
+                except OSError:
+                    pass
+            with self._sessions_lock:
+                sessions = list(self._sessions)
+                self._sessions = []
+                self._live.clear()
+            for s in sessions:
+                s.handoff = False  # a crash closes every socket it holds
+                try:
+                    s.endpoint.close()
+                except OSError:
+                    pass
+            return
         self._stopping.set()
         self._close_listener()
         with self._sessions_lock:

@@ -38,6 +38,8 @@ from repro.recover.store import (
     JsonlSessionStore,
     LeaseRecord,
     SessionStore,
+    decode_record_line,
+    encode_record_v2,
 )
 
 __all__ = [
@@ -56,5 +58,7 @@ __all__ = [
     "SessionStore",
     "checkpoint_from_he_result",
     "checkpoint_from_run",
+    "decode_record_line",
+    "encode_record_v2",
     "serve_from_checkpoint",
 ]

@@ -22,11 +22,18 @@ commit the same round.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
 import time
+import zlib
 from dataclasses import dataclass
+
+try:  # advisory file locking — POSIX only; the store degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.errors import ConfigurationError, LeaseError
 from repro.recover.checkpoint import SessionCheckpoint
@@ -260,68 +267,220 @@ class InMemorySessionStore(SessionStore):
     """The default store: a dict behind a lock, gone with the process."""
 
 
-class JsonlSessionStore(SessionStore):
-    """A crash-surviving store: every mutation appended to a JSONL log.
+#: v2 record marker.  A v2 line is ``!v2 <payload_len> <crc32_hex> <payload>``
+#: — length framing makes a torn tail detectable even when the cut lands
+#: inside the JSON, and the CRC catches bit rot / interleaved writes.
+_V2_MAGIC = b"!v2 "
 
-    The log is replayed on construction (last record per session wins;
-    a ``delete`` record tombstones).  :meth:`compact` rewrites the log
-    to just the live entries — the drain path calls it so a restarted
+
+def encode_record_v2(rec: dict) -> bytes:
+    """Frame one store record in the v2 on-disk format (one line)."""
+    payload = json.dumps(rec, sort_keys=True).encode("utf-8")
+    header = b"!v2 %d %08x " % (len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+    return header + payload + b"\n"
+
+
+def decode_record_line(line: bytes) -> dict:
+    """Decode one log line (v2-framed or bare v1 JSON).
+
+    Raises ``ValueError`` when the line is truncated, fails its CRC, or
+    is not valid JSON — callers decide whether that means a torn tail
+    (recoverable) or mid-file corruption (fatal).
+    """
+    if line.startswith(_V2_MAGIC):
+        parts = line.split(b" ", 3)
+        if len(parts) != 4:
+            raise ValueError("v2 record missing framing fields")
+        try:
+            length = int(parts[1])
+            crc = int(parts[2], 16)
+        except ValueError as exc:
+            raise ValueError(f"v2 record has a malformed header: {exc}") from exc
+        payload = parts[3]
+        if len(payload) != length:
+            raise ValueError(
+                f"v2 record truncated: framed length {length}, "
+                f"got {len(payload)} bytes"
+            )
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            raise ValueError("v2 record failed its CRC32 check")
+        rec = json.loads(payload)
+    else:
+        # v1: a bare JSON line from a pre-CRC store — still accepted so a
+        # rolling upgrade (or an old drain file) keeps loading.
+        rec = json.loads(line.decode("utf-8"))
+    if not isinstance(rec, dict):
+        raise ValueError("store record is not a JSON object")
+    return rec
+
+
+class JsonlSessionStore(SessionStore):
+    """A crash-surviving, multi-process store: mutations appended to a log.
+
+    The log is replayed on construction (last record per session wins; a
+    ``delete`` record tombstones).  :meth:`compact` rewrites the log to
+    just the live entries — the drain path calls it so a restarted
     gateway loads a minimal file.
+
+    Crash consistency and cross-process sharing (format v2):
+
+    * every record is CRC32 + length framed (:func:`encode_record_v2`);
+      bare-JSON v1 records are still decoded, so old files and mixed
+      v1/v2 files from a rolling upgrade load fine;
+    * a torn final record (a writer SIGKILLed mid-append) is detected,
+      counted (``store.torn_tail_recovered``) and truncated away — it
+      must never poison future readers.  A corrupt record *followed by
+      valid ones* is real corruption and still raises
+      :class:`ConfigurationError`;
+    * every public operation takes an ``fcntl.flock`` on a sidecar
+      ``<path>.lock`` file, replays whatever peer processes appended
+      since the last look (full reload when the file shrank — a peer
+      compacted), then appends its own fsync'd record while still
+      holding the lock.  ``flock`` is per open-file-description, so an
+      in-process mutex serialises threads around the file lock.
 
     Restored entries have their age reset to load time: a monotonic
     timestamp from a previous process is meaningless here, and the TTL
     still bounds how long a restart-then-resume window stays open.
+    Lease expiry is persisted *relative* (``expires_in``) for the same
+    reason; re-anchoring it at replay time slightly overestimates a
+    peer's remaining validity, which errs on the safe side (a live
+    lease is never stolen early).
     """
 
     def __init__(self, path, ttl_s: float = DEFAULT_TTL_S, telemetry=None,
-                 clock=time.monotonic):
+                 clock=time.monotonic, lock_path=None):
         super().__init__(ttl_s=ttl_s, telemetry=telemetry, clock=clock)
         self.path = os.fspath(path)
-        self._load()
+        self.lock_path = os.fspath(lock_path) if lock_path else self.path + ".lock"
+        #: how many torn tails this instance has truncated away
+        self.torn_tail_recovered = 0
+        self._log_pos = 0
+        self._flock_depth = 0
+        self._flock_mutex = threading.RLock()
+        self._lock_fh = open(self.lock_path, "ab")
+        with self._shared_log():
+            self._replay_from(0)
 
-    def _load(self) -> None:
-        if not os.path.exists(self.path):
+    def close(self) -> None:
+        """Release the sidecar lock file handle."""
+        with self._flock_mutex:
+            if not self._lock_fh.closed:
+                self._lock_fh.close()
+
+    # -- cross-process coordination --------------------------------------
+    @contextlib.contextmanager
+    def _shared_log(self):
+        """Hold the advisory file lock (reentrant within a thread)."""
+        with self._flock_mutex:
+            self._flock_depth += 1
+            try:
+                if self._flock_depth == 1 and fcntl is not None:
+                    fcntl.flock(self._lock_fh.fileno(), fcntl.LOCK_EX)
+                yield
+            finally:
+                self._flock_depth -= 1
+                if self._flock_depth == 0 and fcntl is not None:
+                    fcntl.flock(self._lock_fh.fileno(), fcntl.LOCK_UN)
+
+    def _refresh_locked(self) -> None:
+        """Fold in records peers appended since our last look.
+
+        Caller holds the file lock.  A file smaller than our replay
+        offset means a peer compacted under us: drop everything and
+        replay from scratch (the compacted file is complete on its own).
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        if size < self._log_pos:
+            with self._lock:
+                self._entries.clear()
+                self._leases.clear()
+                self._committed.clear()
+            self._log_pos = 0
+        if size > self._log_pos:
+            self._replay_from(self._log_pos)
+
+    def _replay_from(self, offset: int) -> None:
+        """Apply every record at ``offset`` and beyond; handle torn tails."""
+        try:
+            fh = open(self.path, "rb")
+        except FileNotFoundError:
+            self._log_pos = 0
             return
-        entries: dict[str, SessionCheckpoint] = {}
-        leases: dict[str, dict] = {}
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    rec = json.loads(line)
-                except ValueError as exc:
-                    raise ConfigurationError(
-                        f"corrupt checkpoint log {self.path!r}: {exc}"
-                    ) from exc
-                if rec.get("op") == "delete":
-                    entries.pop(rec.get("session_id"), None)
-                    leases.pop(rec.get("session_id"), None)
-                elif rec.get("op") == "put":
-                    cp = SessionCheckpoint.from_dict(rec["checkpoint"])
-                    entries[cp.session_id] = cp
-                elif rec.get("op") == "lease":
-                    leases[rec["session_id"]] = rec
-                elif rec.get("op") == "lease_release":
-                    leases.pop(rec.get("session_id"), None)
+        with fh:
+            fh.seek(offset)
+            data = fh.read()
+        torn_at = None
+        pos = 0
+        end = len(data)
         now = self._clock()
+        while pos < end:
+            nl = data.find(b"\n", pos)
+            if nl == -1:
+                # no terminating newline: the writer died mid-append
+                torn_at = offset + pos
+                break
+            line = data[pos:nl].strip()
+            if line:
+                try:
+                    rec = decode_record_line(line)
+                except ValueError as exc:
+                    if nl + 1 >= end:
+                        # invalid *final* record: torn tail, recoverable
+                        torn_at = offset + pos
+                        break
+                    raise ConfigurationError(
+                        f"corrupt checkpoint log {self.path!r} at byte "
+                        f"{offset + pos}: {exc}"
+                    ) from exc
+                self._apply_record(rec, now)
+            pos = nl + 1
+        if torn_at is not None:
+            self._truncate_torn_tail(torn_at)
+        else:
+            self._log_pos = offset + end
+
+    def _truncate_torn_tail(self, torn_at: int) -> None:
+        """Cut the log back to the last complete record (lock held)."""
+        with open(self.path, "r+b") as fh:
+            fh.truncate(torn_at)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._log_pos = torn_at
+        self.torn_tail_recovered += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("store.torn_tail_recovered").inc()
+
+    def _apply_record(self, rec: dict, now: float) -> None:
+        """Fold one decoded record into the in-memory state."""
+        op = rec.get("op")
         with self._lock:
-            self._entries = {sid: (now, cp) for sid, cp in entries.items()}
-            self._committed = {sid: cp.next_round for sid, cp in entries.items()}
-            # Lease expiry is persisted *relative* (a monotonic deadline
-            # from another process is meaningless); remaining validity
-            # resumes from load time.
-            self._leases = {
-                sid: LeaseRecord(
+            if op == "put":
+                cp = SessionCheckpoint.from_dict(rec["checkpoint"])
+                self._entries[cp.session_id] = (now, cp)
+                self._committed[cp.session_id] = cp.next_round
+            elif op == "delete":
+                sid = rec.get("session_id")
+                self._entries.pop(sid, None)
+                self._leases.pop(sid, None)
+                self._committed.pop(sid, None)
+            elif op == "lease":
+                sid = rec["session_id"]
+                self._leases[sid] = LeaseRecord(
                     session_id=sid,
                     owner=rec["owner"],
                     epoch=int(rec["epoch"]),
                     expires_at=now + float(rec.get("expires_in", 0.0)),
                 )
-                for sid, rec in leases.items()
-            }
+            elif op == "lease_release":
+                self._leases.pop(rec.get("session_id"), None)
+            # unknown ops are skipped: a newer writer's record types must
+            # not brick an older reader during a rolling upgrade
 
+    # -- persistence ------------------------------------------------------
     def _persist(self, op: str, value) -> None:
         if op == "put":
             rec = {"op": "put", "checkpoint": value.to_dict()}
@@ -337,10 +496,83 @@ class JsonlSessionStore(SessionStore):
             rec = {"op": "lease_release", "session_id": value}
         else:
             rec = {"op": "delete", "session_id": value}
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        with open(self.path, "ab") as fh:
+            fh.write(encode_record_v2(rec))
             fh.flush()
             os.fsync(fh.fileno())
+            # our own append must not be replayed back at us later
+            self._log_pos = fh.tell()
+
+    # -- public API: refresh-then-act under the file lock -----------------
+    def put(self, checkpoint: SessionCheckpoint) -> None:
+        with self._shared_log():
+            self._refresh_locked()
+            super().put(checkpoint)
+
+    def committed_round(self, session_id: str) -> int | None:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().committed_round(session_id)
+
+    def acquire_lease(
+        self, session_id: str, owner: str, ttl_s: float = DEFAULT_LEASE_TTL_S
+    ) -> LeaseRecord | None:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().acquire_lease(session_id, owner, ttl_s=ttl_s)
+
+    def release_lease(self, session_id: str, owner: str) -> bool:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().release_lease(session_id, owner)
+
+    def get_lease(self, session_id: str) -> LeaseRecord | None:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().get_lease(session_id)
+
+    def lease_holder(self, session_id: str) -> str | None:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().lease_holder(session_id)
+
+    def cas_advance(
+        self,
+        checkpoint: SessionCheckpoint,
+        owner: str,
+        expected_next_round: int,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    ) -> None:
+        with self._shared_log():
+            self._refresh_locked()
+            super().cas_advance(
+                checkpoint, owner, expected_next_round, lease_ttl_s=lease_ttl_s
+            )
+
+    def get(self, session_id: str) -> SessionCheckpoint | None:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().get(session_id)
+
+    def delete(self, session_id: str) -> bool:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().delete(session_id)
+
+    def sweep(self) -> int:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().sweep()
+
+    def __len__(self) -> int:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().__len__()
+
+    def session_ids(self) -> list[str]:
+        with self._shared_log():
+            self._refresh_locked()
+            return super().session_ids()
 
     def compact(self) -> None:
         """Rewrite the log with only the live entries *and their leases*.
@@ -348,32 +580,36 @@ class JsonlSessionStore(SessionStore):
         Leases survive compaction even when expired: dropping one would
         reset the epoch fence to 1 on the next steal, letting a stale
         pre-compaction owner collide with a post-compaction one.
+
+        Runs under the file lock, so the ``os.replace`` can no longer
+        race a concurrent appender: appenders queue behind the lock and
+        re-open the (new) file for their append afterwards.
         """
-        with self._lock:
-            self._sweep_locked()
-            now = self._clock()
-            tmp = f"{self.path}.tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                for _, cp in self._entries.values():
-                    fh.write(
-                        json.dumps({"op": "put", "checkpoint": cp.to_dict()},
-                                   sort_keys=True)
-                        + "\n"
-                    )
-                for lease in self._leases.values():
-                    fh.write(
-                        json.dumps(
-                            {
-                                "op": "lease",
-                                "session_id": lease.session_id,
-                                "owner": lease.owner,
-                                "epoch": lease.epoch,
-                                "expires_in": max(0.0, lease.expires_at - now),
-                            },
-                            sort_keys=True,
-                        )
-                        + "\n"
-                    )
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
+        with self._shared_log():
+            self._refresh_locked()
+            with self._lock:
+                self._sweep_locked()
+                now = self._clock()
+                tmp = f"{self.path}.tmp"
+                with open(tmp, "wb") as fh:
+                    for _, cp in self._entries.values():
+                        fh.write(encode_record_v2(
+                            {"op": "put", "checkpoint": cp.to_dict()}
+                        ))
+                    for lease in self._leases.values():
+                        fh.write(encode_record_v2({
+                            "op": "lease",
+                            "session_id": lease.session_id,
+                            "owner": lease.owner,
+                            "epoch": lease.epoch,
+                            "expires_in": max(0.0, lease.expires_at - now),
+                        }))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+                self._log_pos = os.path.getsize(self.path)
+                dir_fd = os.open(os.path.dirname(self.path) or ".", os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)

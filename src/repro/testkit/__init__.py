@@ -29,18 +29,22 @@ from repro.testkit.endpoint import TRANSPORTS, FaultyEndpoint, faulty_pair
 from repro.testkit.faults import (
     ALL_FAULT_KINDS,
     DISCONNECT,
+    DISCONNECT_PROCESS,
     DISCONNECT_TENANT,
     DRAIN_GATEWAY,
     ENDPOINT_FAULT_KINDS,
     ENVIRONMENT_FAULT_KINDS,
     HANDOFF_FAULT_KINDS,
     KILL_GATEWAY,
+    KILL_PROCESS,
     POISON_TENANT,
+    PROCESS_FAULT_KINDS,
     RECOVERY_FAULT_KINDS,
     RETRYABLE_KINDS,
     SHED,
     STALL_TENANT,
     TENANT_FAULT_KINDS,
+    TERM_PROCESS,
     FaultPlan,
     FaultSpec,
 )
@@ -60,16 +64,19 @@ __all__ = [
     "ChaosRunner",
     "ConformanceOracle",
     "DISCONNECT",
+    "DISCONNECT_PROCESS",
     "DISCONNECT_TENANT",
     "DRAIN_GATEWAY",
     "ENDPOINT_FAULT_KINDS",
     "ENVIRONMENT_FAULT_KINDS",
     "HANDOFF_FAULT_KINDS",
     "KILL_GATEWAY",
+    "KILL_PROCESS",
     "FaultPlan",
     "FaultSpec",
     "FaultyEndpoint",
     "POISON_TENANT",
+    "PROCESS_FAULT_KINDS",
     "PROFILES",
     "RECOVERED",
     "RECOVERY_FAULT_KINDS",
@@ -79,6 +86,7 @@ __all__ = [
     "SURFACED",
     "SessionVerdict",
     "TENANT_FAULT_KINDS",
+    "TERM_PROCESS",
     "TOLERATED",
     "TRANSPORTS",
     "VIOLATION",

@@ -50,8 +50,16 @@ from repro.testkit.oracle import (
 #: serving layer misbehave (poison, stall, disconnect) and requires the
 #: other tenants' results to stay bit-identical and unstalled — the
 #: multi-tenant isolation contract, run vectorized so the cross-tenant
-#: batching path is the one under fire.
-PROFILES = ("default", "recovery", "handoff", "vectorized", "backends", "tenants")
+#: batching path is the one under fire; ``processes`` runs the recovery
+#: invariants against a fleet of *real* gateway subprocesses sharing
+#: one store file — SIGKILL (leaked lease, maybe a torn append),
+#: SIGTERM drains, and TCP cuts mid-stream, with the zero-regarble
+#: proof carried by per-process counters over the results pipes and a
+#: balanced-ledger audit of the shared file after every recovery.
+PROFILES = (
+    "default", "recovery", "handoff", "vectorized", "backends", "tenants",
+    "processes",
+)
 
 #: mixes the master seed with a session index (distinct from the
 #: workload stream's mixer so plan and workload are independent draws)
@@ -93,7 +101,8 @@ class ChaosConfig:
             )
         if self.gateways < 1:
             raise ConfigurationError("the fleet needs at least one gateway")
-        if self.profile in ("handoff", "vectorized", "backends") and self.gateways < 2:
+        if (self.profile in ("handoff", "vectorized", "backends", "processes")
+                and self.gateways < 2):
             raise ConfigurationError(
                 f"the {self.profile} profile needs at least two gateways to "
                 "hand off between"
@@ -246,6 +255,7 @@ class ChaosRunner:
             max_retries=self.config.max_retries,
             gateways=self.config.gateways,
             backend=self.backend,
+            fleet_seed=self.config.seed,
         )
 
     # ------------------------------------------------------------------
@@ -284,6 +294,16 @@ class ChaosRunner:
         if self.config.profile == "tenants":
             return FaultPlan.random_tenants(
                 session_seed, recv_timeout_s=self.config.recv_timeout_s
+            )
+        if self.config.profile == "processes":
+            # the commit trigger must land strictly before the final
+            # round, or the SIGKILL races the victim's own completion
+            # (result sent, BYE not yet written) instead of mid-stream
+            return FaultPlan.random_processes(
+                session_seed,
+                recv_timeout_s=self.config.recv_timeout_s,
+                n_members=self.config.gateways,
+                max_commit_round=max(1, self.config.rounds - 1),
             )
         if self._is_handoff_session(session):
             return FaultPlan.random_handoff(
@@ -328,17 +348,22 @@ class ChaosRunner:
     def run(self, progress=None) -> ChaosReport:
         """Run every session; ``progress`` (if given) is called per verdict."""
         verdicts = []
-        for session in range(self.config.sessions):
-            plan = self.plan_for(session)
-            row, x = self.workload_for(session)
-            verdict = self.oracle.run_session(
-                plan, row, x, self.transport_for(session),
-                ot_mode=self.ot_mode_for(session),
-            )
-            verdict.session = session
-            verdicts.append(verdict)
-            if progress is not None:
-                progress(verdict)
+        try:
+            for session in range(self.config.sessions):
+                plan = self.plan_for(session)
+                row, x = self.workload_for(session)
+                verdict = self.oracle.run_session(
+                    plan, row, x, self.transport_for(session),
+                    ot_mode=self.ot_mode_for(session),
+                )
+                verdict.session = session
+                verdicts.append(verdict)
+                if progress is not None:
+                    progress(verdict)
+        finally:
+            # the processes profile holds a live subprocess fleet open
+            # across sessions; reap it even on a crashed run
+            self.oracle.close()
         return ChaosReport(
             config=self.config,
             verdicts=verdicts,
@@ -403,18 +428,21 @@ class ChaosRunner:
         )
         runner = cls(config, telemetry=telemetry)
         verdicts = []
-        for rec in sessions:
-            session = int(rec.get("session", len(verdicts)))
-            plan = FaultPlan.from_dict(rec["plan"])
-            row, x = runner.workload_for(session)
-            verdict = runner.oracle.run_session(
-                plan, row, x, runner.transport_for(session),
-                ot_mode=runner.ot_mode_for(session),
-            )
-            verdict.session = session
-            verdicts.append(verdict)
-            if progress is not None:
-                progress(verdict)
+        try:
+            for rec in sessions:
+                session = int(rec.get("session", len(verdicts)))
+                plan = FaultPlan.from_dict(rec["plan"])
+                row, x = runner.workload_for(session)
+                verdict = runner.oracle.run_session(
+                    plan, row, x, runner.transport_for(session),
+                    ot_mode=runner.ot_mode_for(session),
+                )
+                verdict.session = session
+                verdicts.append(verdict)
+                if progress is not None:
+                    progress(verdict)
+        finally:
+            runner.oracle.close()
         return ChaosReport(
             config=config,
             verdicts=verdicts,

@@ -50,6 +50,16 @@ KILL_GATEWAY = "kill_gateway"    #: crash gateway G after frame N; a peer
 DRAIN_GATEWAY = "drain_gateway"  #: gracefully drain gateway G mid-stream;
                                  #: a peer resumes from its checkpoint
 
+# -- process-fleet faults (:class:`repro.fleet.ProcessFleet`) -----------
+KILL_PROCESS = "kill_process"  #: SIGKILL member M once the store shows
+                               #: commit round N; a peer process must
+                               #: steal the leaked lease and finish
+TERM_PROCESS = "term_process"  #: SIGTERM member M at commit round N —
+                               #: drain, checkpoint, release, exit 0
+DISCONNECT_PROCESS = "disconnect_process"  #: cut the client's TCP wire
+                               #: at commit round N; the fleet stays up
+                               #: and the session must resume
+
 # -- tenant-isolation faults (ring scheduler, :mod:`repro.serve`) -------
 POISON_TENANT = "poison_tenant"          #: one tenant submits poison
                                          #: requests; others stay bit-identical
@@ -62,10 +72,11 @@ ENDPOINT_FAULT_KINDS = (DROP, CORRUPT, DUPLICATE, DELAY, TRUNCATE, STALL)
 ENVIRONMENT_FAULT_KINDS = (EXHAUST_POOL, KILL_WORKER, ABORT_HANDSHAKE)
 RECOVERY_FAULT_KINDS = (DISCONNECT, SHED)
 HANDOFF_FAULT_KINDS = (KILL_GATEWAY, DRAIN_GATEWAY)
+PROCESS_FAULT_KINDS = (KILL_PROCESS, TERM_PROCESS, DISCONNECT_PROCESS)
 TENANT_FAULT_KINDS = (POISON_TENANT, STALL_TENANT, DISCONNECT_TENANT)
 ALL_FAULT_KINDS = (
     ENDPOINT_FAULT_KINDS + ENVIRONMENT_FAULT_KINDS + RECOVERY_FAULT_KINDS
-    + HANDOFF_FAULT_KINDS + TENANT_FAULT_KINDS
+    + HANDOFF_FAULT_KINDS + PROCESS_FAULT_KINDS + TENANT_FAULT_KINDS
 )
 
 #: Faults worth one bounded retry: transient wire gremlins where a
@@ -131,6 +142,8 @@ class FaultSpec:
             return f"{self.kind}(cut@{self.frame})"
         if self.kind in HANDOFF_FAULT_KINDS:
             return f"{self.kind}(gw{self.gateway}, cut@{self.frame})"
+        if self.kind in PROCESS_FAULT_KINDS:
+            return f"{self.kind}(m{self.gateway}, commit@{self.frame})"
         if self.kind in TENANT_FAULT_KINDS:
             if self.kind == STALL_TENANT:
                 return f"{self.kind}(t{self.tenant}, {self.duration_s:.3g}s)"
@@ -180,6 +193,12 @@ class FaultPlan:
     def is_handoff(self) -> bool:
         """True when the plan kills/drains a fleet member mid-stream."""
         return any(f.kind in HANDOFF_FAULT_KINDS for f in self.faults)
+
+    @property
+    def is_process(self) -> bool:
+        """True when the plan attacks a *real* subprocess fleet — a
+        SIGKILL/SIGTERM of a member, or a TCP cut against one."""
+        return any(f.kind in PROCESS_FAULT_KINDS for f in self.faults)
 
     @property
     def is_tenant(self) -> bool:
@@ -322,6 +341,48 @@ class FaultPlan:
             side="evaluator",
             frame=rng.randint(1, max_cut_frame),
             gateway=rng.randrange(n_gateways),
+        )
+        return cls(faults=(spec,), seed=seed)
+
+    @classmethod
+    def random_processes(
+        cls,
+        seed: int,
+        recv_timeout_s: float = 0.25,
+        n_members: int = 3,
+        max_commit_round: int = 4,
+    ) -> "FaultPlan":
+        """A reproducible plan from the *processes* profile: against a
+        fleet of real gateway subprocesses, ``SIGKILL`` one member
+        mid-garble (weighted highest — the crash-consistency tentpole:
+        leaked lease, possibly a torn append), ``SIGTERM`` one (drain,
+        checkpoint, release, exit 0), or cut the client's TCP wire.
+
+        ``frame`` is a *committed-round* trigger, not a frame index:
+        the supervisor fires the fault once the shared store shows the
+        session's commit at that round, which is the only cross-process
+        surface both sides agree on (a frame count can land inside the
+        admission window, before any checkpoint exists).  Keep
+        ``max_commit_round`` below the session's round count so the
+        trigger always fires mid-stream.
+
+        A separate generator for the same reason the recovery, handoff,
+        and tenant ones are: the older profiles' seed → plan mappings
+        are pinned, and new kinds must not remap their draw streams.
+        """
+        if n_members < 2:
+            raise ConfigurationError(
+                "a process plan needs at least two members to fail over between"
+            )
+        rng = random.Random(seed)
+        kind = rng.choice(
+            (KILL_PROCESS, KILL_PROCESS, TERM_PROCESS, DISCONNECT_PROCESS)
+        )
+        spec = FaultSpec(
+            kind=kind,
+            side="evaluator",
+            frame=rng.randint(1, max(1, max_commit_round)),
+            gateway=rng.randrange(n_members),
         )
         return cls(faults=(spec,), seed=seed)
 

@@ -31,7 +31,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bits import from_bits, to_bits
-from repro.errors import HandshakeError, OverloadedError, ReproError, ServingError
+from repro.errors import (
+    ConfigurationError,
+    HandshakeError,
+    OverloadedError,
+    ReproError,
+    ServingError,
+)
 from repro.gc.channel import run_two_party
 from repro.gc.sequential_gc import SequentialEvaluator
 from repro.he import HE_QUERY_TAG, HE_RESULT_TAG, HEMacClient
@@ -47,17 +53,21 @@ from repro.testkit.endpoint import faulty_pair
 from repro.testkit.faults import (
     ABORT_HANDSHAKE,
     DISCONNECT,
+    DISCONNECT_PROCESS,
     DISCONNECT_TENANT,
     DRAIN_GATEWAY,
     EXHAUST_POOL,
     FaultPlan,
     HANDOFF_FAULT_KINDS,
     KILL_GATEWAY,
+    KILL_PROCESS,
     KILL_WORKER,
     POISON_TENANT,
+    PROCESS_FAULT_KINDS,
     SHED,
     STALL_TENANT,
     TENANT_FAULT_KINDS,
+    TERM_PROCESS,
 )
 
 TOLERATED = "tolerated"
@@ -176,6 +186,7 @@ class ConformanceOracle:
         max_retries: int = 1,
         gateways: int = 3,
         backend: str = "gc",
+        fleet_seed: int | None = None,
     ):
         self.server = server
         self.telemetry = telemetry if telemetry is not None else server.telemetry
@@ -186,6 +197,22 @@ class ConformanceOracle:
         #: private-MAC backend the recovery/handoff sessions negotiate;
         #: the wire/environment fault tiers always exercise the GC path
         self.backend = backend
+        #: seed the process fleet's members derive the shared model from
+        #: (must reproduce ``server.model``); the fleet itself is built
+        #: lazily on the first process-tier session and lives until
+        #: :meth:`close`
+        self.fleet_seed = fleet_seed
+        self._fleet = None
+        self._fleet_audit = None
+
+    def close(self) -> None:
+        """Tear down the (lazily built) process fleet, if any."""
+        if self._fleet_audit is not None:
+            self._fleet_audit.close()
+            self._fleet_audit = None
+        if self._fleet is not None:
+            self._fleet.stop()
+            self._fleet = None
 
     def _served_runs(self, server) -> int:
         """The zero-recompute oracle counter for this backend: a query,
@@ -223,6 +250,8 @@ class ConformanceOracle:
             verdict = self.run_pool_exhaustion(plan, row, x_values, transport)
         elif plan.is_tenant:
             verdict = self.run_tenant_isolation(plan, row, x_values)
+        elif plan.is_process:
+            verdict = self.run_process_session(plan, row, x_values, ot_mode)
         elif plan.is_handoff:
             verdict = self.run_gateway_handoff(plan, row, x_values, ot_mode)
         elif plan.is_recovery:
@@ -952,6 +981,279 @@ class ConformanceOracle:
         # sessions and released their leases
         group.drain(spec.gateway, timeout_s=max(2.0, self.deadline_s / 4))
         return True
+
+    # ------------------------------------------------------------------
+    # process-fleet faults (real subprocesses, shared store file)
+    # ------------------------------------------------------------------
+    def _ensure_fleet(self):
+        """The lazily built, session-spanning :class:`ProcessFleet`:
+        spawning real gateway processes costs ~1 s, so one fleet serves
+        every process-tier session of the run and is respawned member
+        by member as the faults kill them."""
+        if self._fleet is not None:
+            return self._fleet
+        from repro.fleet import ProcessFleet
+
+        if self.fleet_seed is None:
+            raise ConfigurationError(
+                "process-tier sessions need fleet_seed (the members "
+                "re-derive the shared model from it)"
+            )
+        rows, rounds = self.server.model.shape
+        recv_timeout = max(1.0, 8.0 * self.recv_timeout_s)
+        config = ServingConfig(
+            workers=1,
+            queue_depth=4,
+            refill=False,
+            recv_timeout_s=recv_timeout,
+            request_timeout_s=self.deadline_s,
+            resume_window_s=self.deadline_s,
+            retry_after_s=0.02,
+            lease_ttl_s=0.3,
+            resume_batch_window_s=0.01,
+            drain_timeout_s=10.0,
+        )
+        fleet = ProcessFleet(
+            n_members=self.gateways,
+            seed=self.fleet_seed,
+            rows=rows,
+            rounds=rounds,
+            pool_size=0,
+            auto_refill=False,
+            config=config,
+            telemetry=self.telemetry,
+        )
+        if not np.array_equal(fleet.model, self.server.model):
+            raise ConfigurationError(
+                "fleet_seed does not reproduce the oracle server's model; "
+                "process-tier verdicts would compare against the wrong MAC"
+            )
+        fleet.start()
+        self._fleet = fleet
+        self._fleet_audit = fleet.open_store()
+        return fleet
+
+    def run_process_session(
+        self, plan: FaultPlan, row: int, x_values, ot_mode: str = "per_round"
+    ) -> SessionVerdict:
+        """Kill (``SIGKILL``), drain (``SIGTERM``), or cut the wire to a
+        member of a *real* subprocess fleet mid-stream.
+
+        The conformance bar is the tentpole's: the session ends with the
+        bit-identical MAC result; **zero re-garbled rounds**, proved by
+        the per-process ``runs_garbled`` counters shipped over the
+        results pipes (a SIGKILL may erase the victim's last report —
+        its delta may read 0 — but no *survivor* may ever garble the
+        migrated session again); and the lease ledger balances after
+        recovery (checkpoint tombstoned, lease released, in the shared
+        file).  The fault fires only once the store shows the session's
+        commit at the plan's round — the frame counts other tiers use
+        can land inside the admission window, where a lease exists but
+        no checkpoint does.
+        """
+        start = time.perf_counter()
+        spec = next(f for f in plan.faults if f.kind in PROCESS_FAULT_KINDS)
+        injected: list[str] = []
+        self.telemetry.counter(f"faults.injected.{spec.kind}").inc()
+        fleet = self._ensure_fleet()
+        audit = self._fleet_audit
+        expected = self._expected(row, x_values)
+        victim = spec.gateway % fleet.n_members
+        before = fleet.runs_garbled_by_member()
+        recv_timeout = max(1.0, 8.0 * self.recv_timeout_s)
+        client = None
+        respawn_error = ""
+        try:
+            # dial the victim directly so the fault provably hits the
+            # member serving the session
+            client = RemoteAnalyticsClient(
+                dial=fleet.dialer(
+                    name="chaos-procs", recv_timeout_s=recv_timeout,
+                    start_at=victim,
+                ),
+                name="chaos-procs",
+                backoff=BackoffPolicy(
+                    base_s=0.02, cap_s=0.1, max_attempts=12, seed=plan.seed
+                ),
+                recv_timeout_s=recv_timeout,
+            )
+            sid = client.session_id
+            box: dict = {}
+
+            def attempt():
+                try:
+                    box["value"] = client.query_row(row, x_values, ot_mode=ot_mode)
+                except BaseException as exc:
+                    box["error"] = exc
+
+            worker = threading.Thread(
+                target=attempt, daemon=True, name="oracle-procs"
+            )
+            worker.start()
+            fired = self._fire_process_fault(
+                audit, fleet, client, sid, spec, victim, worker
+            )
+            if fired:
+                injected.append(f"{spec.kind}:m{victim}@commit{spec.frame}")
+            worker.join(timeout=self.deadline_s)
+            gateway_id = getattr(client.endpoint, "last_gateway_id", "")
+            if worker.is_alive():
+                return self._verdict(
+                    plan, "procs", VIOLATION,
+                    "process session exceeded its deadline (hang)",
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            if "error" in box:
+                exc = box["error"]
+                if isinstance(exc, ReproError):
+                    return self._verdict(
+                        plan, "procs", SURFACED,
+                        f"typed error within deadline: {exc}",
+                        error_type=type(exc).__name__,
+                        injected=injected, start=start, gateway_id=gateway_id,
+                    )
+                return self._verdict(
+                    plan, "procs", VIOLATION,
+                    f"untyped exception escaped: {type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            if abs(box["value"] - expected) >= 1e-9:
+                return self._verdict(
+                    plan, "procs", VIOLATION,
+                    f"silent wrong MAC result across processes: "
+                    f"got {box['value']}, expected {expected}",
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            detail = self._check_process_counters(fleet, spec, victim, before)
+            if detail:
+                return self._verdict(
+                    plan, "procs", VIOLATION, detail,
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            # the ledger must balance after recovery: the adopter (or the
+            # survivor) tombstones the checkpoint and releases the lease
+            client.close()
+            detail = self._await_balanced_ledger(audit, sid)
+            if detail:
+                return self._verdict(
+                    plan, "procs", VIOLATION, detail,
+                    injected=injected, start=start, gateway_id=gateway_id,
+                )
+            resumes = getattr(client.endpoint, "resumes", 0)
+            if fired and (resumes >= 1 or spec.kind == TERM_PROCESS):
+                return self._verdict(
+                    plan, "procs", RECOVERED,
+                    f"member m{victim} hit {spec.kind} mid-stream; the "
+                    "session finished bit-identical through the shared "
+                    "store, zero rounds re-garbled, ledger balanced",
+                    attempts=1 + resumes, injected=injected, start=start,
+                    gateway_id=gateway_id,
+                )
+            return self._verdict(
+                plan, "procs", TOLERATED,
+                "fault never fired (commit trigger beyond the session); "
+                "clean run, ledger balanced",
+                injected=injected, start=start, gateway_id=gateway_id,
+            )
+        finally:
+            if client is not None:
+                client.close()
+            for i in range(fleet.n_members):
+                if not fleet.alive(i):
+                    try:
+                        fleet.respawn(i)
+                    except (ReproError, OSError) as exc:
+                        respawn_error = f"member m{i} failed to respawn: {exc}"
+            if respawn_error:
+                # later sessions will surface the hole (their dials
+                # fail); the counter records where it opened
+                self.telemetry.counter("faults.procs.respawn_failures").inc()
+
+    def _fire_process_fault(
+        self, audit, fleet, client, sid, spec, victim: int, worker
+    ) -> bool:
+        """Fire the process fault once the shared store shows the
+        session's commit at ``spec.frame``; returns False if the query
+        finished (or the deadline passed) before the trigger."""
+        deadline = time.monotonic() + self.deadline_s
+        while time.monotonic() < deadline and worker.is_alive():
+            committed = audit.committed_round(sid)
+            if committed is not None and committed >= spec.frame:
+                break
+            time.sleep(0.001)
+        else:
+            return False
+        if spec.kind == KILL_PROCESS:
+            fleet.kill(victim)
+        elif spec.kind == TERM_PROCESS:
+            fleet.terminate(victim, timeout_s=max(5.0, self.deadline_s))
+        else:
+            assert spec.kind == DISCONNECT_PROCESS, spec.kind
+            try:
+                client.endpoint.transport.close()
+            except OSError:
+                pass
+        return True
+
+    def _check_process_counters(self, fleet, spec, victim: int, before) -> str:
+        """The zero-re-garble oracle over the per-process counters.
+        Returns an empty string when the invariant holds, else the
+        violation detail."""
+        if spec.kind in (TERM_PROCESS, DISCONNECT_PROCESS):
+            # the serving member is (or exited) cooperative: its garble
+            # report ships over the pipe — wait for it, then require
+            # exactly one garble fleet-wide
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                after = fleet.runs_garbled_by_member()
+                if sum(after) - sum(before) >= 1:
+                    break
+                time.sleep(0.01)
+            time.sleep(0.05)  # let a (buggy) second report land too
+            after = fleet.runs_garbled_by_member()
+            total = sum(after) - sum(before)
+            if total != 1:
+                return (
+                    f"query garbled {total} runs across the fleet "
+                    "(expected exactly 1): a completed round was re-garbled"
+                )
+            return ""
+        # SIGKILL: the victim's last report may be lost with the process
+        # (delta 0 or 1), but the survivors adopted a checkpoint — any
+        # garble on their side is a re-garble
+        after = fleet.runs_garbled_by_member()
+        deltas = [a - b for a, b in zip(after, before)]
+        survivors = [d for i, d in enumerate(deltas) if i != victim]
+        if any(d != 0 for d in survivors):
+            return (
+                f"a survivor re-garbled the killed member's session "
+                f"(per-member deltas {deltas}, victim m{victim})"
+            )
+        if deltas[victim] > 1:
+            return (
+                f"victim m{victim} garbled {deltas[victim]} runs for one "
+                "query before dying"
+            )
+        return ""
+
+    def _await_balanced_ledger(self, audit, sid: str) -> str:
+        """Wait (bounded) for the shared store to show a balanced ledger
+        for ``sid``: checkpoint tombstoned, lease released.  Returns an
+        empty string on balance, else the violation detail."""
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if (audit.get(sid) is None
+                    and audit.lease_holder(sid) is None):
+                return ""
+            time.sleep(0.02)
+        cp = audit.get(sid)
+        lease = audit.lease_holder(sid)
+        return (
+            f"lease ledger unbalanced after recovery: checkpoint="
+            f"{'present' if cp is not None else 'none'}, "
+            f"lease_holder={lease!r}"
+        )
 
     def _cut_after_frame(self, client, frame: int, worker) -> bool:
         """Close the client's transport once it has verified ``frame``

@@ -1,11 +1,12 @@
-"""FailoverDialer: rotation, stickiness, penalties, exhaustion."""
+"""FailoverDialer: rotation, stickiness, penalties, exhaustion,
+rendezvous placement."""
 
 import socket
 
 import pytest
 
 from repro.errors import ConfigurationError, WireError
-from repro.fleet import FailoverDialer
+from repro.fleet import FailoverDialer, rendezvous_index
 from repro.telemetry import MetricsRegistry
 
 
@@ -71,6 +72,25 @@ class TestFailoverDialer:
         dialer = FailoverDialer([ok("a"), ok("b"), ok("c")], start_at=2)
         assert dialer().label == "c"
 
+    def test_member_ids_must_match_dials(self):
+        with pytest.raises(ConfigurationError, match="member_ids"):
+            FailoverDialer([ok("a"), ok("b")], member_ids=["m0"])
+
+    def test_pin_moves_the_cursor_to_the_placed_owner(self):
+        tm = MetricsRegistry()
+        dialer = FailoverDialer(
+            [ok("a"), ok("b"), ok("c")],
+            member_ids=["m0", "m1", "m2"],
+            place_sessions=True,
+            telemetry=tm,
+        )
+        idx = dialer.pin("session-42")
+        assert idx == rendezvous_index("session-42", ["m0", "m1", "m2"])
+        assert dialer.cursor == idx
+        assert tm.counter("fleet.dialer.pins").value == 1
+        # placement is pure: pinning the same session is a no-op move
+        assert dialer.pin("session-42") == idx
+
     def test_from_addresses_dials_a_listener(self):
         listener = socket.socket()
         listener.bind(("127.0.0.1", 0))
@@ -87,3 +107,33 @@ class TestFailoverDialer:
                 transport.close()
         finally:
             listener.close()
+
+
+class TestRendezvousPlacement:
+    def test_deterministic_and_in_range(self):
+        members = ["m0", "m1", "m2", "m3"]
+        for key in (f"s-{i}" for i in range(50)):
+            idx = rendezvous_index(key, members)
+            assert 0 <= idx < 4
+            assert idx == rendezvous_index(key, members)
+
+    def test_spreads_keys_over_members(self):
+        members = ["m0", "m1", "m2", "m3"]
+        placed = {rendezvous_index(f"s-{i}", members) for i in range(200)}
+        assert placed == {0, 1, 2, 3}
+
+    def test_removing_a_member_only_replaces_its_keys(self):
+        """The consistent-hashing property: membership churn moves only
+        the dead member's sessions; everyone else stays put."""
+        members = [f"m{i}" for i in range(4)]
+        keys = [f"session-{i}" for i in range(300)]
+        before = {k: rendezvous_index(k, members) for k in keys}
+        survivors = members[:2] + members[3:]  # m2 died
+        for k in keys:
+            after_member = survivors[rendezvous_index(k, survivors)]
+            if members[before[k]] != "m2":
+                assert after_member == members[before[k]], k
+
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one member"):
+            rendezvous_index("s", [])

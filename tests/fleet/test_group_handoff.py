@@ -189,6 +189,36 @@ class TestKillHandoff:
         finally:
             group.stop()
 
+    def test_hard_kill_abandons_sockets_and_still_migrates(self):
+        """Satellite: the hard-kill path skips every cooperative
+        teardown hook (no channel.kill, no joins, no serving stop) yet
+        the client still fails over through the store and finishes
+        bit-identical — the thread fleet's closest stand-in for the
+        process tier's SIGKILL."""
+        server = fresh_server()
+        reference = AnalyticsClient(server).query_row(1, X)
+        garbled0 = server.stats.runs_garbled
+        group = make_group(server).start()
+        try:
+            def fault(sid, client):
+                transport = client.endpoint.transport
+                group.kill(0, hard=True)
+                transport.close()
+
+            client, got = run_handoff(group, fault)
+            try:
+                assert got == reference
+                assert server.stats.runs_garbled == garbled0 + 1
+                tm = server.telemetry
+                assert tm.counter("gateway.hard_kills").value == 1
+                assert tm.counter("gateway.resumes.restart").value == 1
+                assert tm.counter("recover.lease.steals").value == 1
+                assert client.endpoint.last_gateway_id in ("gw1", "gw2")
+            finally:
+                client.close()
+        finally:
+            group.stop()
+
     def test_live_lease_sheds_then_expiry_steals(self):
         """Satellite (gateway layer): while the dead owner's lease is
         still live a peer's adoption is denied — a typed shed, served

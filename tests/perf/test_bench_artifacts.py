@@ -21,6 +21,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_garble.json"
 BACKENDS_ARTIFACT = REPO_ROOT / "BENCH_backends.json"
 RING_ARTIFACT = REPO_ROOT / "BENCH_ring.json"
+FLEET_ARTIFACT = REPO_ROOT / "BENCH_fleet.json"
 
 
 def _load_bench_module(name):
@@ -245,3 +246,88 @@ class TestRingAcceptanceNumbers:
         derived = ring_doc["derived"]
         assert derived["cobatch_runs_per_batch"] > 1.0
         assert derived["cobatch_aes_savings"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# BENCH_fleet.json — the process-fleet resilience artifact
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fleet_bench():
+    return _load_bench_module("bench_fleet")
+
+
+@pytest.fixture(scope="module")
+def fleet_doc():
+    assert FLEET_ARTIFACT.exists(), (
+        "BENCH_fleet.json is missing — regenerate it with "
+        "`python benchmarks/bench_fleet.py`"
+    )
+    return json.loads(FLEET_ARTIFACT.read_text())
+
+
+class TestFleetArtifactShape:
+    def test_structurally_valid(self, fleet_bench, fleet_doc):
+        assert fleet_bench.structural_errors(fleet_doc) == []
+
+    def test_schema_and_provenance(self, fleet_bench, fleet_doc):
+        assert fleet_doc["schema_version"] == fleet_bench.SCHEMA_VERSION
+        assert fleet_doc["artifact"] == "BENCH_fleet.json"
+        assert fleet_doc["generated_by"] == "benchmarks/bench_fleet.py"
+        rev = fleet_doc["git_rev"]
+        assert rev == "unknown" or (
+            4 <= len(rev) <= 40 and all(c in "0123456789abcdef" for c in rev)
+        )
+        assert isinstance(fleet_doc["seed"], int)
+
+    def test_metrics_cover_all_three_scenarios(self, fleet_bench, fleet_doc):
+        assert set(fleet_doc["metrics"]) == set(fleet_bench.SCENARIOS)
+        for scenario, entry in fleet_doc["metrics"].items():
+            assert set(fleet_bench.METRIC_KEYS) <= set(entry), scenario
+            assert entry["sessions"] == (
+                fleet_doc["config"]["sessions_per_scenario"]
+            ), scenario
+
+    def test_check_mode_accepts_the_committed_artifact(self, fleet_bench,
+                                                       fleet_doc):
+        errors = fleet_bench.check_artifact(FLEET_ARTIFACT, fleet_doc)
+        assert errors == []
+
+
+class TestFleetAcceptanceNumbers:
+    """The PR 9 acceptance gate: N = 4 real processes, every faulted
+    session recovering to the bit-identical result.  Wall-clock numbers
+    are machine-dependent, so the thresholds bind the machine-independent
+    half (fractions, process count, positivity)."""
+
+    def test_committed_run_is_not_a_smoke_run(self, fleet_doc):
+        assert fleet_doc["config"]["smoke"] is False, (
+            "the committed artifact must come from a full run, not --smoke"
+        )
+
+    def test_acceptance_configuration_is_four_processes(self, fleet_doc):
+        assert fleet_doc["config"]["members"] == 4
+        assert fleet_doc["config"]["rounds"] >= 2
+
+    def test_every_scenario_is_bit_exact_and_recovered(self, fleet_doc):
+        for scenario, entry in fleet_doc["metrics"].items():
+            assert entry["bit_exact_fraction"] == 1.0, scenario
+            assert entry["recovered_fraction"] == 1.0, scenario
+
+    def test_throughput_and_fault_costs_are_positive(self, fleet_doc):
+        derived = fleet_doc["derived"]
+        assert derived["steady_sessions_per_s"] > 0.0
+        assert derived["resume_latency_p99_s"] > 0.0
+        assert derived["handoff_cost_p50_s"] > 0.0
+        assert derived["handoff_cost_p99_s"] >= derived["handoff_cost_p50_s"]
+
+    def test_steady_sessions_pay_no_fault_cost(self, fleet_doc):
+        steady = fleet_doc["metrics"]["steady"]
+        assert steady["fault_to_result_p50_s"] == 0.0
+        assert steady["fault_to_result_p99_s"] == 0.0
+
+    def test_handoff_costs_at_least_the_lease_ttl(self, fleet_doc):
+        """A SIGKILL handoff cannot beat the lease clock: the adopter
+        must wait out the leaked lease before stealing it."""
+        assert fleet_doc["derived"]["handoff_cost_p50_s"] >= (
+            fleet_doc["config"]["lease_ttl_s"]
+        )

@@ -12,6 +12,8 @@ from repro.recover import (
     JsonlSessionStore,
     RoundMaterial,
     SessionCheckpoint,
+    decode_record_line,
+    encode_record_v2,
 )
 from repro.telemetry import MetricsRegistry
 
@@ -128,13 +130,108 @@ class TestJsonlStore:
         reloaded = JsonlSessionStore(path, ttl_s=60.0)
         assert reloaded.get("s-a").next_round == 1
 
-    def test_corrupt_log_line_fails_typed(self, tmp_path):
+    def test_corrupt_mid_file_record_fails_typed(self, tmp_path):
+        # a corrupt record *followed by a valid one* is real corruption,
+        # not a torn tail — the store must refuse the file loudly
         path = tmp_path / "sessions.jsonl"
         JsonlSessionStore(path, ttl_s=60.0).put(make_checkpoint("s-a"))
         with open(path, "a", encoding="utf-8") as fh:
             fh.write("{not json\n")
+        with open(path, "ab") as fh:
+            fh.write(encode_record_v2({"op": "delete", "session_id": "s-x"}))
         with pytest.raises(ConfigurationError, match="corrupt checkpoint log"):
             JsonlSessionStore(path, ttl_s=60.0)
+
+    def test_torn_final_record_is_truncated_not_fatal(self, tmp_path):
+        # a SIGKILL mid-append leaves a partial final line; successors
+        # must drop it, count it, and keep the complete prefix
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        store.put(make_checkpoint("s-a"))
+        store.put(make_checkpoint("s-b"))
+        intact_size = path.stat().st_size
+        torn = encode_record_v2({"op": "put", "checkpoint":
+                                 make_checkpoint("s-c").to_dict()})
+        with open(path, "ab") as fh:
+            fh.write(torn[: len(torn) // 2])  # no trailing newline
+        telemetry = MetricsRegistry()
+        reloaded = JsonlSessionStore(path, ttl_s=60.0, telemetry=telemetry)
+        assert reloaded.get("s-a") is not None
+        assert reloaded.get("s-b") is not None
+        assert reloaded.get("s-c") is None
+        assert reloaded.torn_tail_recovered == 1
+        assert telemetry.counter("store.torn_tail_recovered").value == 1
+        # the torn bytes are physically gone: the next reader is clean
+        assert path.stat().st_size == intact_size
+        assert JsonlSessionStore(path, ttl_s=60.0).torn_tail_recovered == 0
+
+    def test_torn_newline_terminated_record_is_truncated(self, tmp_path):
+        # even a newline-terminated final line that fails its CRC/length
+        # framing is treated as torn (v2 framing makes this detectable)
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        store.put(make_checkpoint("s-a"))
+        line = encode_record_v2({"op": "delete", "session_id": "s-a"})
+        with open(path, "ab") as fh:
+            fh.write(line[:40] + b"\n")
+        reloaded = JsonlSessionStore(path, ttl_s=60.0)
+        assert reloaded.torn_tail_recovered == 1
+        assert reloaded.get("s-a") is not None  # the torn delete never happened
+
+    def test_v1_plain_json_file_still_loads(self, tmp_path):
+        # a store written by the pre-CRC format must keep loading
+        path = tmp_path / "sessions.jsonl"
+        cp = make_checkpoint("s-old", next_round=1)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"op": "put", "checkpoint": cp.to_dict()}) + "\n")
+            fh.write(json.dumps({
+                "op": "lease", "session_id": "s-old", "owner": "gw0",
+                "epoch": 3, "expires_in": 30.0,
+            }) + "\n")
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        assert store.get("s-old") is not None
+        assert store.committed_round("s-old") == 1
+        lease = store.get_lease("s-old")
+        assert lease is not None and lease.owner == "gw0" and lease.epoch == 3
+
+    def test_mixed_v1_v2_records_tolerated(self, tmp_path):
+        # rolling upgrade: old writer appended v1 lines, new writer v2
+        path = tmp_path / "sessions.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"op": "put", "checkpoint":
+                                 make_checkpoint("s-1").to_dict()}) + "\n")
+        store = JsonlSessionStore(path, ttl_s=60.0)
+        store.put(make_checkpoint("s-2"))  # appends a v2 record
+        store.delete("s-1")
+        reloaded = JsonlSessionStore(path, ttl_s=60.0)
+        assert reloaded.get("s-1") is None
+        assert reloaded.get("s-2") is not None
+
+    def test_record_codec_roundtrip_and_crc(self):
+        rec = {"op": "delete", "session_id": "s-π"}
+        line = encode_record_v2(rec)
+        assert line.startswith(b"!v2 ") and line.endswith(b"\n")
+        assert decode_record_line(line.rstrip(b"\n")) == rec
+        flipped = bytearray(line.rstrip(b"\n"))
+        flipped[-1] ^= 0x01
+        with pytest.raises(ValueError):
+            decode_record_line(bytes(flipped))
+
+    def test_peer_appends_are_visible_across_instances(self, tmp_path):
+        # two stores on one file (stand-in for two processes): writes by
+        # one are folded in by the other on its next operation
+        path = tmp_path / "sessions.jsonl"
+        a = JsonlSessionStore(path, ttl_s=60.0)
+        b = JsonlSessionStore(path, ttl_s=60.0)
+        a.put(make_checkpoint("s-shared", next_round=1))
+        assert b.committed_round("s-shared") == 1
+        assert b.get("s-shared") is not None
+        assert b.acquire_lease("s-shared", "gw-b") is not None
+        assert a.lease_holder("s-shared") == "gw-b"
+        # a compaction by one peer does not lose the other's view
+        b.compact()
+        a.delete("s-shared")
+        assert b.get("s-shared") is None
 
     def test_compact_rewrites_to_live_entries_only(self, tmp_path):
         path = tmp_path / "sessions.jsonl"
@@ -143,9 +240,9 @@ class TestJsonlStore:
             store.put(make_checkpoint(f"s-{i}"))
         for i in range(3):
             store.delete(f"s-{i}")
-        assert sum(1 for _ in open(path)) == 7  # 4 puts + 3 tombstones
+        assert sum(1 for _ in open(path, "rb")) == 7  # 4 puts + 3 tombstones
         store.compact()
-        lines = [json.loads(l) for l in open(path)]
+        lines = [decode_record_line(l.rstrip(b"\n")) for l in open(path, "rb")]
         assert len(lines) == 1
         assert lines[0]["checkpoint"]["session_id"] == "s-3"
         # and the compacted file still reloads

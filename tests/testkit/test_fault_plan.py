@@ -8,6 +8,7 @@ from repro.testkit import (
     ENDPOINT_FAULT_KINDS,
     ENVIRONMENT_FAULT_KINDS,
     HANDOFF_FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
     RECOVERY_FAULT_KINDS,
     TENANT_FAULT_KINDS,
     RETRYABLE_KINDS,
@@ -39,6 +40,7 @@ class TestFaultSpec:
             set(RECOVERY_FAULT_KINDS),
             set(HANDOFF_FAULT_KINDS),
             set(TENANT_FAULT_KINDS),
+            set(PROCESS_FAULT_KINDS),
         )
         assert set().union(*families) == set(ALL_FAULT_KINDS)
         for i, a in enumerate(families):
