@@ -419,7 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--profile", default="default",
                            choices=("default", "recovery", "handoff",
                                     "vectorized", "backends", "tenants",
-                                    "processes"),
+                                    "processes", "slo"),
                            help="fault profile: classic wire faults, "
                                 "disconnect/shed/stall recovery plans, "
                                 "multi-gateway kill/drain handoffs, the "
@@ -427,10 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "garble_mode=vectorized, the same mix "
                                 "against HE-backed sessions, "
                                 "poison/stall/disconnect tenant-isolation "
-                                "faults under the ring scheduler, or "
+                                "faults under the ring scheduler, "
                                 "SIGKILL/SIGTERM/TCP-cut faults against a "
                                 "fleet of real gateway subprocesses "
-                                "sharing one store file")
+                                "sharing one store file, or recovery "
+                                "faults against a gateway whose SLO "
+                                "controller is mid-adaptation")
             p.add_argument("--gateways", type=int, default=3,
                            help="fleet size for --profile "
                                 "handoff/vectorized/backends/processes")

@@ -92,6 +92,8 @@ from repro.recover.endpoint import (
 )
 from repro.recover.store import InMemorySessionStore, SessionStore
 from repro.serve import (
+    CONTROLLER_STATE_KEY,
+    OperatingPoint,
     ServingConfig,
     ServingServer,
     resolve_backend,
@@ -234,6 +236,26 @@ class GCGateway:
         self._draining = threading.Event()
         #: the most recent session-terminating error (post-mortem aid)
         self._last_session_error: BaseException | None = None
+        # inherit a drained predecessor's operating point: runs here in
+        # __init__ (not start()) because adopt-only successors — e.g.
+        # the oracle's recovery gateways — never bind a port
+        self._restore_controller_state()
+
+    def _restore_controller_state(self) -> None:
+        """Resume the SLO controller from the checkpointed operating
+        point a draining predecessor left in the shared store."""
+        controller = self.serving.controller
+        if controller is None or not hasattr(self.store, "get_meta"):
+            return
+        raw = self.store.get_meta(CONTROLLER_STATE_KEY)
+        if not raw:
+            return
+        try:
+            controller.restore(OperatingPoint.from_dict(raw))
+        except (KeyError, TypeError, ValueError):
+            # a malformed or future-format record must not brick the
+            # gateway; it just starts from its configured point
+            self.telemetry.counter("controller.restore_rejected").inc()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -378,6 +400,14 @@ class GCGateway:
                 clean = False
                 s.close_hard()
                 s.thread.join(timeout=1.0)
+        # the controller's operating point goes with the sessions: the
+        # successor resumes from the learned knob settings instead of
+        # re-walking the escalation ladder under the same load
+        if self.serving.controller is not None and hasattr(self.store, "put_meta"):
+            self.store.put_meta(
+                CONTROLLER_STATE_KEY,
+                self.serving.controller.operating_point.to_dict(),
+            )
         # hand ownership to the fleet: a successor adopting a drained
         # session must not wait out this gateway's lease
         if hasattr(self.store, "release_lease"):
@@ -759,7 +789,9 @@ class GCGateway:
             self.telemetry.counter(f"gateway.shed.tenant.{tenant}").inc()
         if v3:
             hint = {
-                "delay_s": self.serving.config.retry_after_s,
+                # live value under the SLO controller (scales with how
+                # hard we are shedding), the static config otherwise
+                "delay_s": self.serving.retry_after_s,
                 "reason": reason,
             }
             if tenant:

@@ -99,6 +99,10 @@ class SessionStore:
         #: in-memory backend holds the same object the gateway mutates,
         #: and a CAS against a self-mutated field always "succeeds".
         self._committed: dict[str, int] = {}
+        #: store-wide metadata (JSON-serialisable values), not tied to
+        #: any session and never TTL-swept — e.g. the draining gateway's
+        #: SLO-controller operating point for its successor to inherit.
+        self._meta: dict[str, object] = {}
 
     # -- backend hooks --------------------------------------------------
     def _persist(self, op: str, value) -> None:
@@ -118,6 +122,29 @@ class SessionStore:
         """The last round boundary committed through put/cas_advance."""
         with self._lock:
             return self._committed.get(session_id)
+
+    # -- store-wide metadata ----------------------------------------------
+    def put_meta(self, key: str, value) -> None:
+        """Durably record one store-wide key (JSON-serialisable value).
+
+        Unlike checkpoints, metadata is never TTL-swept and a ``None``
+        value deletes the key.  The drain path uses this to hand the
+        SLO controller's operating point to the successor gateway.
+        """
+        if not key:
+            raise ConfigurationError("meta key cannot be blank")
+        with self._lock:
+            if value is None:
+                self._meta.pop(key, None)
+            else:
+                self._meta[key] = value
+            self._persist("meta", (key, value))
+        if self.telemetry is not None:
+            self.telemetry.counter("recover.store.meta_puts").inc()
+
+    def get_meta(self, key: str, default=None):
+        with self._lock:
+            return self._meta.get(key, default)
 
     # -- leases ----------------------------------------------------------
     def acquire_lease(
@@ -399,6 +426,7 @@ class JsonlSessionStore(SessionStore):
                 self._entries.clear()
                 self._leases.clear()
                 self._committed.clear()
+                self._meta.clear()
             self._log_pos = 0
         if size > self._log_pos:
             self._replay_from(self._log_pos)
@@ -477,6 +505,13 @@ class JsonlSessionStore(SessionStore):
                 )
             elif op == "lease_release":
                 self._leases.pop(rec.get("session_id"), None)
+            elif op == "meta":
+                key = rec.get("key")
+                if key:
+                    if rec.get("value") is None:
+                        self._meta.pop(key, None)
+                    else:
+                        self._meta[key] = rec["value"]
             # unknown ops are skipped: a newer writer's record types must
             # not brick an older reader during a rolling upgrade
 
@@ -494,6 +529,9 @@ class JsonlSessionStore(SessionStore):
             }
         elif op == "lease_release":
             rec = {"op": "lease_release", "session_id": value}
+        elif op == "meta":
+            key, meta_value = value
+            rec = {"op": "meta", "key": key, "value": meta_value}
         else:
             rec = {"op": "delete", "session_id": value}
         with open(self.path, "ab") as fh:
@@ -508,6 +546,16 @@ class JsonlSessionStore(SessionStore):
         with self._shared_log():
             self._refresh_locked()
             super().put(checkpoint)
+
+    def put_meta(self, key: str, value) -> None:
+        with self._shared_log():
+            self._refresh_locked()
+            super().put_meta(key, value)
+
+    def get_meta(self, key: str, default=None):
+        with self._shared_log():
+            self._refresh_locked()
+            return super().get_meta(key, default)
 
     def committed_round(self, session_id: str) -> int | None:
         with self._shared_log():
@@ -604,6 +652,10 @@ class JsonlSessionStore(SessionStore):
                             "epoch": lease.epoch,
                             "expires_in": max(0.0, lease.expires_at - now),
                         }))
+                    for key, meta_value in self._meta.items():
+                        fh.write(encode_record_v2(
+                            {"op": "meta", "key": key, "value": meta_value}
+                        ))
                     fh.flush()
                     os.fsync(fh.fileno())
                 os.replace(tmp, self.path)

@@ -11,7 +11,10 @@ layer:
 * :class:`PoolRefiller` — a background thread that keeps the
   pre-garbling pool at its target level between requests;
 * :class:`ServingServer` — the thread-pool session manager with
-  submit/query APIs and full telemetry.
+  submit/query APIs and full telemetry;
+* :class:`SLOController` — the tick-driven adaptive control loop
+  (``ServingConfig(controller="slo")``) steering worker count, resume
+  batching, and admission shed toward an explicit p99 target.
 """
 
 from repro.serve.batcher import (
@@ -20,13 +23,24 @@ from repro.serve.batcher import (
     ResumeHandle,
 )
 from repro.serve.config import (
+    CONTROLLERS,
     SCHEDULERS,
     ServingConfig,
     resolve_backend,
     resolve_choice,
+    resolve_controller,
     resolve_garble_mode,
     resolve_reaper_timeout,
     resolve_scheduler,
+)
+from repro.serve.control import (
+    CONTROLLER_STATE_KEY,
+    SLO_CLASSES,
+    ControlDecision,
+    LoadSample,
+    OperatingPoint,
+    SLOConfig,
+    SLOController,
 )
 from repro.serve.refiller import PoolRefiller
 from repro.serve.server import (
@@ -40,19 +54,28 @@ from repro.serve.tenants import DEFAULT_TENANT, GarbleStation, TenantScheduler
 __all__ = [
     "BatchedResumeRequest",
     "CheckpointSessionRequest",
+    "CONTROLLER_STATE_KEY",
+    "CONTROLLERS",
+    "ControlDecision",
     "DEFAULT_TENANT",
     "GarbleStation",
+    "LoadSample",
+    "OperatingPoint",
     "PendingRequest",
     "PoolRefiller",
     "RemoteSessionRequest",
     "ResumeBatcher",
     "ResumeHandle",
     "SCHEDULERS",
+    "SLO_CLASSES",
+    "SLOConfig",
+    "SLOController",
     "ServingConfig",
     "ServingServer",
     "TenantScheduler",
     "resolve_backend",
     "resolve_choice",
+    "resolve_controller",
     "resolve_garble_mode",
     "resolve_reaper_timeout",
     "resolve_scheduler",

@@ -187,6 +187,29 @@ class ResumeBatcher:
         self._timer: threading.Timer | None = None
         self._closed = False
 
+    def effective_max_batch(self) -> int:
+        """The batch ceiling *right now*: the static ``max_batch``,
+        capped by the SLO controller's live adoption ceiling (when one
+        is attached) and by the serving queue's current headroom.
+
+        The headroom cap is the PR-10 fix: sizing adoption batches from
+        static config alone let a takeover burst land a full-size batch
+        on an almost-full queue, blowing the live tenants' p99 exactly
+        when the fleet was busiest.  A saturated queue now shrinks the
+        batch to what actually fits (never below 1 — the pre-check in
+        :meth:`submit` already shed when the queue was full).
+        """
+        cap = self.max_batch
+        controller_cap = getattr(self.serving, "resume_batch_cap", None)
+        if controller_cap is not None:
+            cap = min(cap, controller_cap)
+        config = getattr(self.serving, "config", None)
+        serving_queue = getattr(self.serving, "_queue", None)
+        if config is not None and serving_queue is not None:
+            headroom = config.queue_depth - serving_queue.qsize()
+            cap = min(cap, headroom)
+        return max(1, cap)
+
     def submit(self, checkpoint, endpoint, group, on_round=None) -> ResumeHandle:
         scheduler = getattr(self.serving, "scheduler", None)
         tenant = getattr(checkpoint, "tenant", "") or ""
@@ -208,7 +231,7 @@ class ResumeBatcher:
                 scheduler=scheduler, tenant=tenant,
             )
             self._pending.append(handle)
-            if len(self._pending) >= self.max_batch:
+            if len(self._pending) >= self.effective_max_batch():
                 flush_now = self._take_pending_locked()
             elif len(self._pending) == 1:
                 if self.window_s <= 0:

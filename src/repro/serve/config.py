@@ -17,6 +17,8 @@ BACKEND_ENV = "REPRO_BACKEND"
 
 SCHEDULER_ENV = "REPRO_SCHEDULER"
 
+CONTROLLER_ENV = "REPRO_CONTROLLER"
+
 #: Admission schedulers: ``fifo`` is the pre-ring behavior (one shared
 #: bounded queue, no per-tenant accounting); ``ring`` routes every
 #: admission through per-tenant credits (weighted refill, bounded
@@ -24,6 +26,13 @@ SCHEDULER_ENV = "REPRO_SCHEDULER"
 #: :class:`~repro.accel.ring.CreditAccount` primitives the simulated
 #: :class:`~repro.accel.ring.CoreRing` proves fair.
 SCHEDULERS = ("fifo", "ring")
+
+#: Serving controllers: ``static`` is the pre-control behavior (every
+#: knob fixed at its configured value); ``slo`` attaches the
+#: tick-driven :class:`~repro.serve.control.SLOController`, which
+#: steers worker-pool size, resume-batch sizing, and admission shed
+#: toward the configured p99 target.
+CONTROLLERS = ("static", "slo")
 
 
 def resolve_choice(
@@ -111,6 +120,24 @@ def resolve_scheduler(
         SCHEDULERS,
         explicit_name="explicit scheduler",
         configured_name="ServingConfig.scheduler",
+        default=default,
+    )
+
+
+def resolve_controller(
+    explicit: str | None = None,
+    configured: str | None = None,
+    default: str = "static",
+) -> str:
+    """Controller precedence: explicit argument >
+    ``ServingConfig.controller`` > ``REPRO_CONTROLLER`` > ``static``."""
+    return resolve_choice(
+        explicit,
+        configured,
+        CONTROLLER_ENV,
+        CONTROLLERS,
+        explicit_name="explicit controller",
+        configured_name="ServingConfig.controller",
         default=default,
     )
 
@@ -222,6 +249,32 @@ class ServingConfig:
     #: Optional ``(tenant, weight)`` pairs for weighted credit refill;
     #: tenants not named here refill at weight 1.0.
     tenant_weights: tuple = ()
+    #: Serving controller (PR 10): ``static`` or ``slo``; ``None``
+    #: defers to ``REPRO_CONTROLLER`` and then to ``static``.  Under
+    #: ``slo``, the tick-driven controller autoscales the worker pool
+    #: within ``[slo_min_workers, slo_max_workers]``, sizes resume
+    #: batches, and sheds admissions toward ``slo_p99_ms``.
+    controller: str | None = None
+    #: The p99 serve-latency target (milliseconds) the SLO controller
+    #: steers toward.
+    slo_p99_ms: float = 50.0
+    #: Worker-pool autoscaling bounds; ``None`` means "1" for the floor
+    #: and ``max(workers, floor)`` for the ceiling.
+    slo_min_workers: int | None = None
+    slo_max_workers: int | None = None
+    #: Control-loop tick interval (seconds).
+    slo_tick_s: float = 0.25
+    #: Anti-flap cooldown: ticks a knob stays frozen after it moves.
+    slo_cooldown_ticks: int = 4
+    #: Optional ``(tenant, slo_class)`` pairs (classes: gold / silver /
+    #: bronze); the class sets the tenant's weighted credit-refill share
+    #: and how much of the shed probability applies to it.  Unnamed
+    #: tenants are bronze.
+    slo_classes: tuple = ()
+    #: Seed for the controller's deterministic admission-shed draw
+    #: stream (same seed + same admission order sheds the same
+    #: requests).
+    slo_seed: int = 0
 
     def validate(self) -> "ServingConfig":
         if self.workers < 1:
@@ -286,4 +339,38 @@ class ServingConfig:
                 raise ConfigurationError(
                     f"tenant {tenant!r}: refill weight must be positive"
                 )
+        if self.controller is not None and self.controller not in CONTROLLERS:
+            raise ConfigurationError(
+                f"controller must be one of {CONTROLLERS}, got "
+                f"{self.controller!r}"
+            )
+        if self.slo_p99_ms <= 0:
+            raise ConfigurationError("the p99 SLO target must be positive")
+        if self.slo_min_workers is not None and self.slo_min_workers < 1:
+            raise ConfigurationError("slo_min_workers must be at least 1")
+        if self.slo_max_workers is not None:
+            floor = self.slo_min_workers or 1
+            if self.slo_max_workers < floor:
+                raise ConfigurationError(
+                    f"slo_max_workers ({self.slo_max_workers}) must be >= "
+                    f"the worker floor ({floor})"
+                )
+        if self.slo_tick_s <= 0:
+            raise ConfigurationError("the control tick interval must be positive")
+        if self.slo_cooldown_ticks < 1:
+            raise ConfigurationError("the anti-flap cooldown must be >= 1 tick")
+        for pair in self.slo_classes:
+            try:
+                tenant, klass = pair
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"slo_classes entries must be (tenant, slo_class) pairs, "
+                    f"got {pair!r}"
+                ) from None
+            if not tenant or not isinstance(tenant, str):
+                raise ConfigurationError(
+                    f"slo_classes names a blank tenant: {pair!r}"
+                )
+            # class-name membership is enforced by SLOConfig.validate
+            # when the controller is built
         return self

@@ -26,14 +26,19 @@ from repro.errors import (
 from repro.host import AnalyticsClient, CloudServer
 from repro.serve.config import (
     ServingConfig,
+    resolve_controller,
     resolve_garble_mode,
     resolve_scheduler,
 )
+from repro.serve.control import LoadSample, SLOController
 from repro.serve.refiller import PoolRefiller
 from repro.serve.tenants import GarbleStation, TenantScheduler
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import MetricsRegistry, percentile_of
 
 _SHUTDOWN = object()
+
+#: queued scale-down order: the worker that dequeues it retires itself
+_SCALE_DOWN = object()
 
 
 class PendingRequest:
@@ -212,6 +217,23 @@ class ServingServer:
         self._workers: list[threading.Thread] = []
         self._refiller: PoolRefiller | None = None
         self._accepting = False
+        #: the adaptive control loop (``None`` under ``static``); the
+        #: controller owns the operating point, the server applies it
+        self.controller: SLOController | None = None
+        if resolve_controller(configured=self.config.controller) == "slo":
+            self.controller = SLOController.from_serving_config(
+                self.config, telemetry=self.telemetry
+            )
+        self._workers_lock = threading.Lock()
+        self._worker_seq = 0
+        self._inflight = 0
+        #: scale-down orders queued but not yet consumed by a worker
+        self._pending_scale_down = 0
+        self._control_thread: threading.Thread | None = None
+        self._control_stop = threading.Event()
+        #: windowing cursor into the request.latency histogram (the
+        #: controller reads only the latencies since its last tick)
+        self._latency_offset = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -233,13 +255,22 @@ class ServingServer:
                 poll_interval_s=self.config.refill_poll_s,
                 telemetry=self.telemetry,
             ).start()
-        for i in range(self.config.workers):
-            t = threading.Thread(
-                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
-            )
-            t.start()
-            self._workers.append(t)
+        start_workers = self.config.workers
+        if self.controller is not None:
+            if self.scheduler is not None:
+                # SLO classes map onto WRR refill shares before traffic
+                self.controller.apply_classes(self.scheduler)
+            start_workers = self.controller.operating_point.workers
+        with self._workers_lock:
+            for _ in range(start_workers):
+                self._spawn_worker_locked()
         self._accepting = True
+        if self.controller is not None:
+            self._control_stop.clear()
+            self._control_thread = threading.Thread(
+                target=self._control_loop, name="serve-control", daemon=True
+            )
+            self._control_thread.start()
         return self
 
     def stop(self) -> None:
@@ -247,20 +278,39 @@ class ServingServer:
         if not self._workers:
             return
         self._accepting = False
-        for _ in self._workers:
+        if self._control_thread is not None:
+            self._control_stop.set()
+            self._control_thread.join(timeout=self.config.slo_tick_s + 30.0)
+            self._control_thread = None
+        with self._workers_lock:
+            workers = list(self._workers)
+        for _ in workers:
             try:
                 self._queue.put(_SHUTDOWN, timeout=self.config.request_timeout_s)
             except queue.Full:  # dead workers left the queue full: don't deadlock
                 break
-        for t in self._workers:
+        for t in workers:
             t.join(timeout=self.config.request_timeout_s + 30.0)
-        self._workers = []
+        with self._workers_lock:
+            self._workers = []
+            self._pending_scale_down = 0
         if self._refiller is not None:
             self._refiller.stop()
             self._refiller = None
         if self.station is not None:
             self.server.detach_garble_station()
             self.station = None
+
+    def _spawn_worker_locked(self) -> None:
+        """Start one worker thread.  Caller holds ``_workers_lock``."""
+        t = threading.Thread(
+            target=self._worker_loop,
+            name=f"serve-worker-{self._worker_seq}",
+            daemon=True,
+        )
+        self._worker_seq += 1
+        t.start()
+        self._workers.append(t)
 
     def __enter__(self) -> "ServingServer":
         return self.start()
@@ -269,38 +319,142 @@ class ServingServer:
         self.stop()
 
     # ------------------------------------------------------------------
+    # adaptive control
+    # ------------------------------------------------------------------
+    @property
+    def retry_after_s(self) -> float:
+        """The backoff hint shed answers should carry: the controller's
+        live value under ``slo``, the static config otherwise."""
+        if self.controller is not None:
+            return self.controller.operating_point.retry_after_s
+        return self.config.retry_after_s
+
+    @property
+    def resume_batch_cap(self) -> int | None:
+        """The controller's current adoption-batch ceiling (``None``
+        under ``static`` — the batcher then uses its own config)."""
+        if self.controller is not None:
+            return self.controller.operating_point.batch_max
+        return None
+
+    def control_tick(self):
+        """Run one control interval now: sample the serving layer, tick
+        the controller, apply the decision.  The background loop calls
+        this every ``slo_tick_s``; tests and the chaos oracle call it
+        directly for deterministic tick-by-tick control."""
+        if self.controller is None:
+            raise ConfigurationError("no controller attached (static config)")
+        hist = self.telemetry.histogram("request.latency")
+        window = hist.values_since(self._latency_offset)
+        self._latency_offset += len(window)
+        with self._workers_lock:
+            workers = len(self._workers) - self._pending_scale_down
+            inflight = self._inflight
+        sample = LoadSample(
+            queue_depth=self._queue.qsize(),
+            queue_capacity=self.config.queue_depth,
+            inflight=inflight,
+            workers=workers,
+            p50_ms=percentile_of(window, 50.0) * 1000.0 if window else 0.0,
+            p99_ms=percentile_of(window, 99.0) * 1000.0 if window else 0.0,
+        )
+        decision = self.controller.tick(sample)
+        self._apply_decision(decision)
+        return decision
+
+    def _control_loop(self) -> None:
+        while not self._control_stop.wait(self.config.slo_tick_s):
+            try:
+                self.control_tick()
+            except Exception:  # noqa: BLE001 — the loop must survive a bad tick
+                self.telemetry.counter("controller.crashes").inc()
+
+    def _apply_decision(self, decision) -> None:
+        """Converge the worker pool to the decided size.  Scale-up
+        spawns threads; scale-down queues retirement orders so a busy
+        worker finishes its session first.  Batch sizing and shed need
+        no action here — the batcher and the admission gate read the
+        operating point live."""
+        if not self._accepting:
+            return
+        with self._workers_lock:
+            effective = len(self._workers) - self._pending_scale_down
+            if decision.workers > effective:
+                for _ in range(decision.workers - effective):
+                    self._spawn_worker_locked()
+            elif decision.workers < effective:
+                for _ in range(effective - decision.workers):
+                    try:
+                        self._queue.put_nowait(_SCALE_DOWN)
+                    except queue.Full:
+                        # a full queue outranks shrinking; the next tick
+                        # will retry once there is room
+                        break
+                    self._pending_scale_down += 1
+
+    # ------------------------------------------------------------------
     # health
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        """Liveness report: workers, refiller, and an overall verdict.
+        """Liveness report: workers, refiller, queue, and a verdict.
 
         A dead refiller (its thread raised) or a dead worker no longer
         fails silently — operators poll this, and the chaos harness
-        asserts on it.
+        asserts on it.  Each distinct unhealthy path bumps its own
+        counter (``serve.health.draining`` / ``.dead_workers`` /
+        ``.refiller_down`` / ``.pool_exhausted``) so a flapping fleet
+        is diagnosable from counters alone.
         """
         refiller = self._refiller
-        expected = len(self._workers)
-        alive = sum(t.is_alive() for t in self._workers)
+        with self._workers_lock:
+            workers = list(self._workers)
+            inflight = self._inflight
+            pending_down = self._pending_scale_down
+        expected = len(workers) - pending_down
+        alive = sum(t.is_alive() for t in workers) - pending_down
         refiller_configured = self.config.refill
         refiller_running = refiller is not None and refiller.running
         refiller_healthy = refiller is None or refiller.healthy
+        refiller_ok = not refiller_configured or (
+            refiller_running and refiller_healthy
+        )
+        pool_level = self.server.pool_level
         healthy = (
             self._accepting
-            and alive == expected
+            and alive >= expected
             and expected > 0
-            and (not refiller_configured or (refiller_running and refiller_healthy))
+            and refiller_ok
         )
+        if not self._accepting:
+            self.telemetry.counter("serve.health.draining").inc()
+        elif expected > 0 and alive < expected:
+            self.telemetry.counter("serve.health.dead_workers").inc()
+        elif not refiller_ok:
+            self.telemetry.counter("serve.health.refiller_down").inc()
+        if healthy and pool_level == 0 and refiller_configured:
+            # still healthy (on-demand garbling covers misses) but worth
+            # a distinct signal: the pre-garble headroom is gone
+            self.telemetry.counter("serve.health.pool_exhausted").inc()
         return {
             "healthy": healthy,
             "accepting": self._accepting,
             "workers_alive": alive,
             "workers_expected": expected,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_depth,
+            "inflight": inflight,
+            "pool_level": pool_level,
             "refiller_configured": refiller_configured,
             "refiller_running": refiller_running,
             "refiller_healthy": refiller_healthy,
             "refiller_error": (
                 repr(refiller.last_error)
                 if refiller is not None and refiller.last_error is not None
+                else None
+            ),
+            "controller": (
+                self.controller.operating_point.to_dict()
+                if self.controller is not None
                 else None
             ),
         }
@@ -378,6 +532,20 @@ class ServingServer:
     def _enqueue(self, req: PendingRequest, block: bool) -> PendingRequest:
         if not self._accepting:
             raise ServingError("serving layer is not running (call start())")
+        if (
+            self.controller is not None
+            and req.tenant is not None
+            and self.controller.should_shed(req.tenant)
+        ):
+            # probabilistic admission shed, scaled by the tenant's SLO
+            # class; batched resume containers (tenant None) were
+            # already admitted entry-by-entry at the batcher
+            self.telemetry.counter("serve.shed").inc()
+            raise OverloadedError(
+                f"admission shed at probability "
+                f"{self.controller.operating_point.shed_probability:g}: "
+                f"retry after {self.retry_after_s:g}s"
+            )
         if self.scheduler is not None and req.tenant is not None:
             # the credit gate sheds typed (naming the tenant) before the
             # request can occupy a queue slot
@@ -418,6 +586,16 @@ class ServingServer:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
+            if item is _SCALE_DOWN:
+                with self._workers_lock:
+                    self._pending_scale_down = max(0, self._pending_scale_down - 1)
+                    me = threading.current_thread()
+                    if me in self._workers:
+                        self._workers.remove(me)
+                self.telemetry.counter("serve.workers_retired").inc()
+                return
+            with self._workers_lock:
+                self._inflight += 1
             try:
                 self._run_request(client, item)
             except Exception as exc:  # noqa: BLE001 — a request must never kill its worker
@@ -431,6 +609,8 @@ class ServingServer:
                         ),
                     )
             finally:
+                with self._workers_lock:
+                    self._inflight -= 1
                 if item._admitted:
                     # the credit comes back whatever the outcome — a
                     # poison tenant's failures cannot strand its slots

@@ -132,6 +132,26 @@ class TenantScheduler:
             self._count(f"tenants.admitted.{name}")
         return name
 
+    def set_weight(self, tenant: str, weight: float) -> None:
+        """Re-weight ``tenant``'s credit refill share (registering the
+        tenant if it has not been seen yet).  The SLO controller calls
+        this so per-tenant SLO classes map onto WRR refill: a gold
+        tenant's completions mint credits back at a multiple of a
+        bronze tenant's."""
+        if not tenant:
+            raise ConfigurationError("cannot weight a blank tenant")
+        if weight <= 0:
+            raise ConfigurationError(
+                f"tenant {tenant!r}: refill weight must be positive"
+            )
+        with self._lock:
+            self._weights[tenant] = float(weight)
+            acct = self._account(tenant)
+            acct.weight = float(weight)
+            # the refiller snapshots weights at construction; rebuild so
+            # the new share takes effect for subsequent completions
+            self._refiller = WeightedRefiller(list(self._accounts.values()))
+
     def release(self, tenant: str) -> None:
         """Refund an admission whose work never started (the bounded
         queue was full after the credit check won)."""

@@ -8,7 +8,12 @@ Everything is stdlib-only and thread-safe; a fixed clock can be injected
 for deterministic tests.
 """
 
-from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
+from repro.telemetry.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    percentile_of,
+)
 from repro.telemetry.spans import Span, SpanRecorder
 from repro.telemetry.report import (
     render_tenants,
@@ -23,6 +28,7 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "percentile_of",
     "Span",
     "SpanRecorder",
     "render_tenants",

@@ -21,6 +21,25 @@ from repro.telemetry.spans import SpanRecorder
 SNAPSHOT_PERCENTILES = (50.0, 90.0, 99.0)
 
 
+def percentile_of(values, p: float) -> float:
+    """Exact percentile ``p`` of ``values`` (linear interpolation over
+    the sorted samples — numpy's default definition).  The module-level
+    form lets callers take percentiles over *windows* of samples (e.g.
+    the SLO controller's since-last-tick latency slice) without going
+    through a :class:`Histogram`."""
+    if not 0.0 <= p <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ConfigurationError("empty sample set has no percentiles")
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    frac = rank - lo
+    if frac == 0.0 or lo + 1 == len(ordered):
+        return ordered[lo]
+    return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+
+
 class Counter:
     """A monotone, thread-safe event counter."""
 
@@ -95,18 +114,21 @@ class Histogram:
             return max(self._values)
 
     def percentile(self, p: float) -> float:
-        if not 0.0 <= p <= 100.0:
-            raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
         with self._lock:
             if not self._values:
                 raise ConfigurationError("empty histogram has no percentiles")
-            ordered = sorted(self._values)
-        rank = (p / 100.0) * (len(ordered) - 1)
-        lo = int(rank)
-        frac = rank - lo
-        if frac == 0.0 or lo + 1 == len(ordered):
-            return ordered[lo]
-        return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+            values = list(self._values)
+        return percentile_of(values, p)
+
+    def values_since(self, offset: int) -> list[float]:
+        """The observations recorded at index ``offset`` onward, in
+        record order.  Pairing this with :attr:`count` gives windowed
+        readout — the SLO controller snapshots ``count`` each tick and
+        takes percentiles over only the latencies completed since."""
+        if offset < 0:
+            raise ConfigurationError(f"offset cannot be negative, got {offset}")
+        with self._lock:
+            return list(self._values[offset:])
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -122,13 +144,7 @@ class Histogram:
             "max": ordered[-1],
         }
         for p in SNAPSHOT_PERCENTILES:
-            rank = (p / 100.0) * (len(ordered) - 1)
-            lo = int(rank)
-            frac = rank - lo
-            if frac == 0.0 or lo + 1 == len(ordered):
-                snap[f"p{p:g}"] = ordered[lo]
-            else:
-                snap[f"p{p:g}"] = ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+            snap[f"p{p:g}"] = percentile_of(ordered, p)
         return snap
 
 

@@ -55,10 +55,15 @@ from repro.testkit.oracle import (
 #: one store file — SIGKILL (leaked lease, maybe a torn append),
 #: SIGTERM drains, and TCP cuts mid-stream, with the zero-regarble
 #: proof carried by per-process counters over the results pipes and a
-#: balanced-ledger audit of the shared file after every recovery.
+#: balanced-ledger audit of the shared file after every recovery;
+#: ``slo`` reruns the recovery invariants against a gateway whose SLO
+#: controller is mid-adaptation (warmed to a non-default operating
+#: point before the fault fires) — bit-identical MACs, zero re-garbles,
+#: and the post-recovery gateway's controller state must match the
+#: checkpointed operating point after a drain/adopt handoff.
 PROFILES = (
     "default", "recovery", "handoff", "vectorized", "backends", "tenants",
-    "processes",
+    "processes", "slo",
 )
 
 #: mixes the master seed with a session index (distinct from the
@@ -216,6 +221,9 @@ class ChaosReport:
             "backend": (
                 "he" if self.config.profile == "backends" else "gc"
             ),
+            "controller": (
+                "slo" if self.config.profile == "slo" else "static"
+            ),
             "gateways": self.config.gateways,
             "tolerated": c[TOLERATED],
             "recovered": c[RECOVERED],
@@ -255,6 +263,7 @@ class ChaosRunner:
             max_retries=self.config.max_retries,
             gateways=self.config.gateways,
             backend=self.backend,
+            controller=self.controller,
             fleet_seed=self.config.seed,
         )
 
@@ -272,6 +281,11 @@ class ChaosRunner:
     def backend(self) -> str:
         """The private-MAC backend this profile's sessions negotiate."""
         return "he" if self.config.profile == "backends" else "gc"
+
+    @property
+    def controller(self) -> str:
+        """The serving controller the oracle's recovery gateways run."""
+        return "slo" if self.config.profile == "slo" else "static"
 
     def _is_handoff_session(self, session: int) -> bool:
         """Which oracle a session runs under the differential profiles
@@ -310,6 +324,11 @@ class ChaosRunner:
                 session_seed,
                 recv_timeout_s=self.config.recv_timeout_s,
                 n_gateways=self.config.gateways,
+                max_cut_frame=max_cut,
+            )
+        if self.config.profile == "slo":
+            return FaultPlan.random_slo(
+                session_seed, recv_timeout_s=self.config.recv_timeout_s,
                 max_cut_frame=max_cut,
             )
         if self.config.profile in ("recovery", "vectorized", "backends"):

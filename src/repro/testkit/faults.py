@@ -89,6 +89,11 @@ RETRYABLE_KINDS = frozenset({DROP, DUPLICATE, DELAY, TRUNCATE, STALL, EXHAUST_PO
 
 SIDES = ("garbler", "evaluator")
 
+#: decorrelates the ``slo`` profile's plan stream from ``recovery``'s
+#: (both draw the same fault kinds; the tiers must not fire identical
+#: sequences for the same master seed)
+_SLO_PLAN_SALT = 0x510C7
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -296,6 +301,46 @@ class FaultPlan:
         every historical seed.
         """
         rng = random.Random(seed)
+        kind = rng.choice((DISCONNECT, DISCONNECT, SHED, STALL))
+        if kind == DISCONNECT:
+            spec = FaultSpec(
+                kind=DISCONNECT,
+                side="evaluator",
+                frame=rng.randint(1, max_cut_frame),
+            )
+        elif kind == SHED:
+            spec = FaultSpec(kind=SHED)
+        else:
+            spec = FaultSpec(
+                kind=STALL,
+                side=rng.choice(SIDES),
+                frame=rng.randint(0, 8),
+                duration_s=round(4.0 * recv_timeout_s, 4),
+            )
+        return cls(faults=(spec,), seed=seed)
+
+    @classmethod
+    def random_slo(
+        cls,
+        seed: int,
+        recv_timeout_s: float = 0.25,
+        max_cut_frame: int = 24,
+    ) -> "FaultPlan":
+        """A reproducible plan from the *slo* profile: recovery-class
+        faults fired while the SLO controller is mid-adaptation —
+        disconnects (weighted highest: the resume path must work from a
+        controller-shrunk batch), a saturation shed (the adaptive
+        ``retry_after`` hint must round-trip), or a stall.
+
+        A separate generator (even though it draws the same kinds as
+        :meth:`random_recovery`) for the same reason all the profile
+        generators are: the older profiles' seed → plan mappings are
+        pinned by the determinism tests, and this stream must be free
+        to evolve without remapping theirs.  The seed is salted so the
+        slo stream is independent of recovery's from day one — the two
+        tiers fire different fault sequences for the same master seed.
+        """
+        rng = random.Random(seed ^ _SLO_PLAN_SALT)
         kind = rng.choice((DISCONNECT, DISCONNECT, SHED, STALL))
         if kind == DISCONNECT:
             spec = FaultSpec(

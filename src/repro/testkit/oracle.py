@@ -47,7 +47,12 @@ from repro.net.endpoint import SocketEndpoint
 from repro.net.gateway import GCGateway
 from repro.net.handshake import HELLO_TAG, PROTOCOL_VERSION
 from repro.recover.endpoint import BackoffPolicy
-from repro.serve import PendingRequest, ServingConfig, ServingServer
+from repro.serve import (
+    LoadSample,
+    PendingRequest,
+    ServingConfig,
+    ServingServer,
+)
 from repro.telemetry import MetricsRegistry
 from repro.testkit.endpoint import faulty_pair
 from repro.testkit.faults import (
@@ -186,6 +191,7 @@ class ConformanceOracle:
         max_retries: int = 1,
         gateways: int = 3,
         backend: str = "gc",
+        controller: str = "static",
         fleet_seed: int | None = None,
     ):
         self.server = server
@@ -197,6 +203,11 @@ class ConformanceOracle:
         #: private-MAC backend the recovery/handoff sessions negotiate;
         #: the wire/environment fault tiers always exercise the GC path
         self.backend = backend
+        #: serving controller the recovery gateways run: ``slo`` routes
+        #: recovery plans through :meth:`run_slo_recovery`, which warms
+        #: the controller to a non-default operating point first and
+        #: checks the drain/adopt handoff of that state afterwards
+        self.controller = controller
         #: seed the process fleet's members derive the shared model from
         #: (must reproduce ``server.model``); the fleet itself is built
         #: lazily on the first process-tier session and lives until
@@ -255,7 +266,10 @@ class ConformanceOracle:
         elif plan.is_handoff:
             verdict = self.run_gateway_handoff(plan, row, x_values, ot_mode)
         elif plan.is_recovery:
-            verdict = self.run_gateway_recovery(plan, row, x_values)
+            if self.controller == "slo":
+                verdict = self.run_slo_recovery(plan, row, x_values)
+            else:
+                verdict = self.run_gateway_recovery(plan, row, x_values)
         else:
             verdict = self.run_channel_session(plan, row, x_values, transport)
         self.telemetry.counter(
@@ -805,6 +819,182 @@ class ConformanceOracle:
             return self._verdict(
                 plan, "gateway", TOLERATED,
                 "fault never fired (cut frame beyond the session); clean run",
+                injected=injected, start=start,
+            )
+        finally:
+            release.set()
+            if client is not None:
+                client.close()
+            gateway.stop()
+            serving.stop()
+
+    def run_slo_recovery(self, plan: FaultPlan, row: int, x_values) -> SessionVerdict:
+        """The recovery invariants with the SLO controller in the loop.
+
+        The gateway runs ``controller="slo"`` with the worker knob
+        pinned (``min == max == 1`` — the saturation fault assumes the
+        1-worker/depth-1 layer) and a tick interval far beyond the
+        deadline, so the only ticks are the two deterministic warm-up
+        ticks this method fires by hand: an overloaded sample trace
+        that walks the escalation ladder to a non-default operating
+        point (batch ceiling shrunk 4 → 2, shed left at zero so the
+        session's own query is never probabilistically dropped).  The
+        fault then fires mid-adaptation, and on top of the standard
+        checks (bit-identical MAC, exactly one garble, typed errors)
+        the drained gateway's operating point must be inherited intact
+        by a successor built on the same store.
+        """
+        start = time.perf_counter()
+        spec = next(f for f in plan.faults if f.kind in (DISCONNECT, SHED))
+        injected: list[str] = []
+        self.telemetry.counter(f"faults.injected.{spec.kind}").inc()
+        expected = self._expected(row, x_values)
+        rec_server = CloudServer(
+            self.server.model,
+            self.server.fmt,
+            pool_size=0,
+            seed=plan.seed,
+            auto_refill=False,
+            telemetry=self.telemetry,
+            garble_mode=getattr(self.server, "garble_mode", "sequential"),
+        )
+        recv_timeout = max(1.0, 8.0 * self.recv_timeout_s)
+        config = ServingConfig(
+            workers=1,
+            queue_depth=1,
+            refill=False,
+            recv_timeout_s=recv_timeout,
+            request_timeout_s=self.deadline_s,
+            resume_window_s=self.deadline_s,
+            retry_after_s=0.02,
+            controller="slo",
+            slo_min_workers=1,
+            slo_max_workers=1,
+            slo_tick_s=60.0,
+            slo_cooldown_ticks=1,
+        )
+        serving = ServingServer(rec_server, config, telemetry=self.telemetry)
+        gateway = GCGateway(rec_server, serving=serving, telemetry=self.telemetry)
+        serving.start()
+        # two deterministic warm ticks: pinned workers + overload walks
+        # the ladder to batch-shrink; shed stays 0 after two moves
+        hot = LoadSample(
+            queue_depth=1, queue_capacity=1, inflight=1, workers=1,
+            p50_ms=4.0 * config.slo_p99_ms, p99_ms=4.0 * config.slo_p99_ms,
+        )
+        for _ in range(2):
+            serving.controller.tick(hot)
+        client = None
+        release = threading.Event()
+        try:
+            def dial():
+                ours, theirs = socket.socketpair()
+                gateway.adopt(theirs)
+                return SocketEndpoint(
+                    "chaos-slo", ours, recv_timeout_s=recv_timeout
+                )
+
+            client = RemoteAnalyticsClient(
+                dial=dial,
+                name="chaos-slo",
+                backoff=BackoffPolicy(
+                    base_s=0.01, cap_s=0.1, max_attempts=10, seed=plan.seed
+                ),
+                recv_timeout_s=recv_timeout,
+                backend=self.backend if self.backend != "gc" else None,
+            )
+            if spec.kind == SHED:
+                self._saturate(serving, release)
+            served_before = self._served_runs(rec_server)
+            box: dict = {}
+
+            def attempt():
+                try:
+                    box["value"] = client.query_row(row, x_values)
+                except BaseException as exc:
+                    box["error"] = exc
+
+            worker = threading.Thread(
+                target=attempt, daemon=True, name="oracle-slo"
+            )
+            worker.start()
+            if spec.kind == DISCONNECT:
+                cut = self._cut_after_frame(client, spec.frame, worker)
+                if cut:
+                    injected.append(f"{DISCONNECT}:cut@{spec.frame}")
+            else:
+                self._await_counter("gateway.shed", worker)
+                injected.append(f"{SHED}:queue_full")
+                release.set()
+            worker.join(timeout=self.deadline_s)
+            if worker.is_alive():
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    "slo recovery session exceeded its deadline (hang)",
+                    injected=injected, start=start,
+                )
+            if "error" in box:
+                exc = box["error"]
+                if isinstance(exc, ReproError):
+                    return self._verdict(
+                        plan, "gateway", SURFACED,
+                        f"typed error within deadline: {exc}",
+                        error_type=type(exc).__name__,
+                        injected=injected, start=start,
+                    )
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    f"untyped exception escaped: {type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    injected=injected, start=start,
+                )
+            if abs(box["value"] - expected) >= 1e-9:
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    f"silent wrong MAC result after recovery: "
+                    f"got {box['value']}, expected {expected}",
+                    injected=injected, start=start,
+                )
+            served = self._served_runs(rec_server) - served_before
+            if served != 1:
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    self._recompute_detail(served),
+                    injected=injected, start=start,
+                )
+            # the controller's operating point must ride the drain:
+            # a successor on the same store inherits it verbatim
+            op_before = serving.controller.operating_point.to_dict()
+            gateway.drain(timeout_s=2.0)
+            successor_serving = ServingServer(
+                rec_server, config, telemetry=self.telemetry
+            )
+            GCGateway(
+                rec_server, serving=successor_serving,
+                store=gateway.store, telemetry=self.telemetry,
+            )
+            op_after = successor_serving.controller.operating_point.to_dict()
+            if op_after != op_before:
+                return self._verdict(
+                    plan, "gateway", VIOLATION,
+                    f"controller state lost across drain: predecessor "
+                    f"checkpointed {op_before}, successor restored "
+                    f"{op_after}",
+                    injected=injected, start=start,
+                )
+            resumes = getattr(client.endpoint, "resumes", 0)
+            if injected and (resumes >= 1 or spec.kind == SHED):
+                return self._verdict(
+                    plan, "gateway", RECOVERED,
+                    "fault hit a live adapting session; query finished "
+                    "bit-identical without recomputing and the operating "
+                    "point survived the drain",
+                    attempts=1 + resumes, injected=injected, start=start,
+                )
+            return self._verdict(
+                plan, "gateway", TOLERATED,
+                "fault never fired (cut frame beyond the session); clean "
+                "adaptive run, operating point survived the drain",
                 injected=injected, start=start,
             )
         finally:

@@ -11,6 +11,7 @@ full TCP accept path on 127.0.0.1 with an ephemeral port.
 
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -111,10 +112,14 @@ class TestConcurrentSessions:
             for got, expected in pairs:
                 assert got == pytest.approx(expected, abs=1e-12)
         assert server.telemetry.counter("gateway.sessions").value == n_clients
-        assert (
-            server.telemetry.counter("gateway.queries").value
-            == n_clients * per_client
-        )
+        # the handler thread bumps gateway.queries *after* the client has
+        # already read its result off the socket, so give the last
+        # increment a moment to land before pinning the exact count
+        deadline = time.monotonic() + 5.0
+        queries = server.telemetry.counter("gateway.queries")
+        while queries.value < n_clients * per_client and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert queries.value == n_clients * per_client
         # paper-style accounting: table bytes dominate and are per-tag visible
         assert server.telemetry.counter("channel.bytes.seq.tables").value > 0
 

@@ -22,6 +22,7 @@ ARTIFACT = REPO_ROOT / "BENCH_garble.json"
 BACKENDS_ARTIFACT = REPO_ROOT / "BENCH_backends.json"
 RING_ARTIFACT = REPO_ROOT / "BENCH_ring.json"
 FLEET_ARTIFACT = REPO_ROOT / "BENCH_fleet.json"
+SLO_ARTIFACT = REPO_ROOT / "BENCH_slo.json"
 
 
 def _load_bench_module(name):
@@ -331,3 +332,116 @@ class TestFleetAcceptanceNumbers:
         assert fleet_doc["derived"]["handoff_cost_p50_s"] >= (
             fleet_doc["config"]["lease_ttl_s"]
         )
+
+
+# ----------------------------------------------------------------------
+# BENCH_slo.json — the SLO-knee artifact of the adaptive control loop
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def slo_bench():
+    return _load_bench_module("bench_slo_knee")
+
+
+@pytest.fixture(scope="module")
+def slo_doc():
+    assert SLO_ARTIFACT.exists(), (
+        "BENCH_slo.json is missing — regenerate it with "
+        "`python benchmarks/bench_slo_knee.py`"
+    )
+    return json.loads(SLO_ARTIFACT.read_text())
+
+
+class TestSloArtifactShape:
+    def test_structurally_valid(self, slo_bench, slo_doc):
+        assert slo_bench.structural_errors(slo_doc) == []
+
+    def test_schema_and_provenance(self, slo_bench, slo_doc):
+        assert slo_doc["schema_version"] == slo_bench.SCHEMA_VERSION
+        assert slo_doc["artifact"] == "BENCH_slo.json"
+        assert slo_doc["generated_by"] == "benchmarks/bench_slo_knee.py"
+        rev = slo_doc["git_rev"]
+        assert rev == "unknown" or (
+            4 <= len(rev) <= 40 and all(c in "0123456789abcdef" for c in rev)
+        )
+        assert isinstance(slo_doc["seed"], int)
+
+    def test_ramp_covers_the_configured_rate_range(self, slo_bench, slo_doc):
+        ramp = slo_doc["metrics"]["ramp"]
+        config = slo_doc["config"]
+        assert ramp[0]["rate_qps"] == config["rate_start_qps"]
+        assert ramp[-1]["rate_qps"] <= config["rate_stop_qps"]
+        rates = [entry["rate_qps"] for entry in ramp]
+        assert rates == sorted(rates)
+        for entry in ramp:
+            assert set(entry) == set(slo_bench.LEVEL_KEYS)
+
+    def test_check_mode_accepts_the_committed_artifact(self, slo_bench,
+                                                       slo_doc):
+        errors = slo_bench.check_artifact(SLO_ARTIFACT, slo_doc)
+        assert errors == []
+
+
+class TestSloAcceptanceNumbers:
+    """The PR 10 acceptance gate: the controller absorbs load up to a
+    measured knee and sheds beyond it.  The ramp is bit-deterministic
+    (the controller is a pure function of its sample trace), so the
+    thresholds bind the simulated half; the real-latency calibration in
+    ``derived`` is machine-dependent context and only needs positivity."""
+
+    def test_committed_run_is_not_a_smoke_run(self, slo_doc):
+        assert slo_doc["config"]["smoke"] is False, (
+            "the committed artifact must come from a full run, not --smoke"
+        )
+
+    def test_knee_exists_inside_the_ramp(self, slo_doc):
+        knee = slo_doc["metrics"]["knee"]
+        config = slo_doc["config"]
+        assert config["rate_start_qps"] <= knee["knee_qps"] < config["rate_stop_qps"]
+        assert knee["p99_ms_at_knee"] <= config["p99_target_ms"]
+
+    def test_knee_reaches_the_model_capacity(self, slo_doc):
+        """The controller must not leave throughput on the table: the
+        knee has to land within one ramp step of the worker pool's raw
+        capacity (max_workers / service_time)."""
+        config = slo_doc["config"]
+        capacity = config["max_workers"] * 1000.0 / config["service_time_ms"]
+        assert slo_doc["metrics"]["knee"]["knee_qps"] >= (
+            capacity - config["rate_step_qps"]
+        )
+
+    def test_every_below_knee_level_is_shed_free(self, slo_doc):
+        knee_qps = slo_doc["metrics"]["knee"]["knee_qps"]
+        for entry in slo_doc["metrics"]["ramp"]:
+            if entry["rate_qps"] <= knee_qps:
+                assert entry["sustainable"], entry
+                assert entry["shed"] == 0, entry
+                assert entry["shed_probability"] == 0.0, entry
+
+    def test_past_knee_levels_engage_shedding(self, slo_doc):
+        knee = slo_doc["metrics"]["knee"]
+        assert knee["first_shed_qps"] > knee["knee_qps"]
+        hot = [
+            entry for entry in slo_doc["metrics"]["ramp"]
+            if entry["rate_qps"] >= knee["first_shed_qps"]
+        ]
+        assert hot, "the ramp never crossed the knee"
+        for entry in hot:
+            assert not entry["sustainable"], entry
+            assert entry["shed_probability"] > 0.0, entry
+
+    def test_workers_scale_with_the_ramp(self, slo_doc):
+        """The knee must come from adaptation, not a static pool: the
+        ramp has to show intermediate worker counts between min and max."""
+        config = slo_doc["config"]
+        workers_seen = {entry["workers"] for entry in slo_doc["metrics"]["ramp"]}
+        assert min(workers_seen) <= config["min_workers"] + 1
+        assert max(workers_seen) == config["max_workers"]
+        assert len(workers_seen) >= 3
+
+    def test_calibration_is_positive(self, slo_doc):
+        derived = slo_doc["derived"]
+        assert derived["measured_service_p50_ms"] > 0.0
+        assert derived["measured_service_p99_ms"] >= (
+            derived["measured_service_p50_ms"]
+        )
+        assert derived["capacity_model_qps"] > 0.0

@@ -1,0 +1,356 @@
+"""The SLO control loop wired into the serving stack.
+
+Covers the seams the property suite cannot: ``resolve_controller``
+precedence, the ``ServingConfig`` slo knobs, live worker-pool
+scale-up/scale-down through ``_apply_decision`` (retirement orders via
+the queue sentinel), the admission shed gate, the controller-aware
+``retry_after_s`` / ``resume_batch_cap`` properties, the expanded
+``health()`` report with its per-path counters, and the operating-point
+checkpoint/restore round trip through a gateway's session store.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, OverloadedError
+from repro.fixedpoint import Q8_4
+from repro.host import CloudServer
+from repro.net import GCGateway
+from repro.recover import InMemorySessionStore, JsonlSessionStore
+from repro.serve import (
+    CONTROLLER_STATE_KEY,
+    CONTROLLERS,
+    OperatingPoint,
+    ServingConfig,
+    ServingServer,
+    resolve_controller,
+)
+from repro.serve.config import CONTROLLER_ENV
+from repro.telemetry import MetricsRegistry
+
+MODEL = np.array([[0.5, -0.25], [1.0, 0.75]])
+
+
+def fresh_server(**kwargs):
+    kwargs.setdefault("pool_size", 0)
+    kwargs.setdefault("auto_refill", False)
+    return CloudServer(
+        MODEL, Q8_4, seed=5, telemetry=MetricsRegistry(), **kwargs
+    )
+
+
+def slo_config(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("queue_depth", 8)
+    kwargs.setdefault("refill", False)
+    kwargs.setdefault("controller", "slo")
+    kwargs.setdefault("slo_min_workers", 1)
+    kwargs.setdefault("slo_max_workers", 3)
+    kwargs.setdefault("slo_cooldown_ticks", 1)
+    # the background loop must not race the tests' manual control_tick
+    kwargs.setdefault("slo_tick_s", 60.0)
+    return ServingConfig(**kwargs)
+
+
+def _wait_for(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestResolveController:
+    def test_precedence_explicit_env_configured_default(self, monkeypatch):
+        monkeypatch.delenv(CONTROLLER_ENV, raising=False)
+        assert resolve_controller() == "static"
+        assert resolve_controller(configured="slo") == "slo"
+        monkeypatch.setenv(CONTROLLER_ENV, "slo")
+        assert resolve_controller() == "slo"
+        # explicit > ServingConfig.controller > env > default
+        assert resolve_controller(configured="static") == "static"
+        assert resolve_controller(explicit="static", configured="slo") == "static"
+
+    def test_bad_values_fail_typed(self, monkeypatch):
+        monkeypatch.setenv(CONTROLLER_ENV, "fuzzy")
+        with pytest.raises(ConfigurationError, match="fuzzy"):
+            resolve_controller()
+        monkeypatch.delenv(CONTROLLER_ENV, raising=False)
+        with pytest.raises(ConfigurationError):
+            resolve_controller(configured="adaptive-ish")
+        assert CONTROLLERS == ("static", "slo")
+
+    def test_serving_config_validates_slo_knobs(self):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(controller="pid").validate()
+        with pytest.raises(ConfigurationError):
+            ServingConfig(slo_p99_ms=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            ServingConfig(slo_min_workers=0).validate()
+        with pytest.raises(ConfigurationError):
+            ServingConfig(slo_min_workers=4, slo_max_workers=2).validate()
+        with pytest.raises(ConfigurationError):
+            ServingConfig(slo_tick_s=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            ServingConfig(slo_cooldown_ticks=0).validate()
+        with pytest.raises(ConfigurationError):
+            ServingConfig(slo_classes=("lonely",)).validate()
+
+    def test_static_config_attaches_no_controller(self):
+        serving = ServingServer(fresh_server(), ServingConfig(refill=False))
+        assert serving.controller is None
+        with pytest.raises(ConfigurationError, match="no controller"):
+            serving.control_tick()
+
+
+class TestWorkerScaling:
+    def test_overload_ticks_grow_the_pool_to_max(self):
+        server = fresh_server()
+        with ServingServer(server, slo_config()) as serving:
+            hist = serving.telemetry.histogram("request.latency")
+            for tick in range(2):
+                hist.record(1.0)  # 1000 ms >> the 50 ms target
+                serving.control_tick()
+            assert serving.controller.operating_point.workers == 3
+            assert _wait_for(
+                lambda: serving.health()["workers_alive"] == 3
+            )
+            counters = serving.telemetry.snapshot()["counters"]
+            assert counters["controller.scale_up"] == 2
+            assert counters["controller.ticks"] == 2
+
+    def test_idle_ticks_retire_workers_down_to_min(self):
+        server = fresh_server()
+        with ServingServer(server, slo_config(workers=3)) as serving:
+            assert serving.health()["workers_expected"] == 3
+            # idle: no completions (latency unknown) and an empty queue
+            for _ in range(2):
+                serving.control_tick()
+            assert serving.controller.operating_point.workers == 1
+            # retirement orders drain through the queue sentinel
+            assert _wait_for(
+                lambda: serving.telemetry.counter(
+                    "serve.workers_retired"
+                ).value == 2
+            )
+            counters = serving.telemetry.snapshot()["counters"]
+            assert counters["controller.scale_down"] == 2
+            # the retired threads removed themselves from the roster
+            assert serving.health()["workers_expected"] == 1
+            # and a query still serves on the shrunken pool
+            got = serving.query(0, [0.5, 0.5], timeout=30.0)
+            assert got == pytest.approx(
+                float(MODEL[0] @ np.array([0.5, 0.5])), abs=1e-9
+            )
+
+    def test_windowed_latency_reads_only_new_samples(self):
+        """The tick consumes the histogram since the previous tick: a
+        burst of slow requests must not poison later idle ticks."""
+        server = fresh_server()
+        with ServingServer(server, slo_config()) as serving:
+            hist = serving.telemetry.histogram("request.latency")
+            hist.record(1.0)
+            serving.control_tick()  # overloaded: scale 1 -> 2
+            assert serving.controller.operating_point.workers == 2
+            # no new samples: the stale 1.0 s latency is out of window,
+            # so this tick is underloaded and relaxes back down
+            serving.control_tick()
+            assert serving.controller.operating_point.workers == 1
+
+
+class TestShedGate:
+    def _saturate(self, serving):
+        """Drive shed up: workers pinned, batch pinned, queue full."""
+        hist = serving.telemetry.histogram("request.latency")
+        hist.record(1.0)
+        serving.control_tick()
+
+    def test_admission_shed_rejects_with_live_retry_hint(self):
+        config = slo_config(
+            slo_min_workers=1, slo_max_workers=1, resume_batch_max=1,
+            retry_after_s=0.05,
+        )
+        with ServingServer(fresh_server(), config) as serving:
+            assert serving.retry_after_s == 0.05
+            for _ in range(8):
+                self._saturate(serving)
+            op = serving.controller.operating_point
+            assert op.shed_probability == 0.9  # 8 steps x 0.125, capped
+            assert serving.retry_after_s > 0.05  # hint scaled with shed
+            # seed 0, draw index 0 lands at ~0.015 < 0.9: deterministic
+            with pytest.raises(OverloadedError, match="admission shed"):
+                serving.submit(0, [0.5, 0.5], tenant="bronze-tenant")
+            counters = serving.telemetry.snapshot()["counters"]
+            assert counters["serve.shed"] >= 1
+
+    def test_static_serving_never_consults_a_controller(self):
+        config = ServingConfig(workers=1, queue_depth=4, refill=False,
+                               retry_after_s=0.25)
+        with ServingServer(fresh_server(), config) as serving:
+            assert serving.retry_after_s == 0.25
+            assert serving.resume_batch_cap is None
+            req = serving.submit(0, [0.5, 0.5], tenant="anyone")
+            assert req.wait(timeout=30.0) == pytest.approx(
+                float(MODEL[0] @ np.array([0.5, 0.5])), abs=1e-9
+            )
+
+    def test_resume_batch_cap_tracks_the_operating_point(self):
+        config = slo_config(
+            slo_min_workers=1, slo_max_workers=1, resume_batch_max=4,
+        )
+        with ServingServer(fresh_server(), config) as serving:
+            assert serving.resume_batch_cap == 4
+            self._saturate(serving)  # workers pinned -> batch shrinks
+            assert serving.resume_batch_cap == 3
+
+
+class TestHealthPaths:
+    """Each unhealthy (or degraded) path has a distinct counter, so a
+    flapping fleet is diagnosable from telemetry alone."""
+
+    def test_draining_path(self):
+        server = fresh_server()
+        serving = ServingServer(server, ServingConfig(refill=False))
+        serving.start()
+        serving.stop()
+        health = serving.health()
+        assert not health["healthy"]
+        assert not health["accepting"]
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["serve.health.draining"] >= 1
+        assert "serve.health.dead_workers" not in counters
+        assert "serve.health.refiller_down" not in counters
+
+    def test_dead_worker_path(self):
+        class _Corpse:
+            @staticmethod
+            def is_alive():
+                return False
+
+            @staticmethod
+            def join(timeout=None):
+                pass
+
+        server = fresh_server()
+        with ServingServer(server, ServingConfig(refill=False)) as serving:
+            with serving._workers_lock:
+                serving._workers.append(_Corpse())
+            health = serving.health()
+            assert not health["healthy"]
+            assert health["workers_alive"] < health["workers_expected"]
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["serve.health.dead_workers"] >= 1
+        assert "serve.health.refiller_down" not in counters
+
+    def test_refiller_down_path(self, monkeypatch):
+        server = fresh_server(pool_size=1)
+        config = ServingConfig(workers=1, queue_depth=2, refill=True,
+                               refill_poll_s=0.01)
+        serving = ServingServer(server, config)
+
+        def explode():
+            raise RuntimeError("bitstream loader wedged")
+
+        monkeypatch.setattr(server, "refill_pool", explode)
+        serving.start()
+        try:
+            assert _wait_for(lambda: not serving.health()["healthy"])
+        finally:
+            serving.stop()
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["serve.health.refiller_down"] >= 1
+        assert "serve.health.dead_workers" not in counters
+
+    def test_pool_exhausted_is_degraded_not_unhealthy(self, monkeypatch):
+        server = fresh_server(pool_size=1)
+        config = ServingConfig(workers=1, queue_depth=2, refill=True,
+                               refill_poll_s=0.01)
+        # a refiller that runs fine but never lands a circuit: the pool
+        # headroom is gone, yet on-demand garbling still serves
+        monkeypatch.setattr(server, "refill_pool", lambda: None)
+        with ServingServer(server, config) as serving:
+            assert _wait_for(lambda: serving.health()["refiller_running"])
+            # consume the one pre-garbled circuit; the no-op refiller
+            # never replaces it, so the headroom is now gone
+            serving.query(0, [0.5, 0.5], timeout=30.0)
+            health = serving.health()
+            assert health["healthy"]
+            assert health["pool_level"] == 0
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["serve.health.pool_exhausted"] >= 1
+        assert "serve.health.refiller_down" not in counters
+
+    def test_health_reports_the_operating_point(self):
+        with ServingServer(fresh_server(), slo_config()) as serving:
+            health = serving.health()
+            assert health["controller"]["workers"] == 1
+            assert health["controller"]["shed_probability"] == 0.0
+            assert health["queue_capacity"] == 8
+        serving2 = ServingServer(fresh_server(), ServingConfig(refill=False))
+        assert serving2.health()["controller"] is None
+
+
+class TestOperatingPointCheckpoint:
+    def _gateway(self, store, **cfg_kwargs):
+        cfg_kwargs.setdefault("recv_timeout_s", 20.0)
+        server = fresh_server()
+        return GCGateway(server, config=slo_config(**cfg_kwargs), store=store)
+
+    def test_drain_checkpoints_and_successor_restores(self):
+        store = InMemorySessionStore()
+        gw = self._gateway(store)
+        gw.serving.start()
+        hist = gw.serving.telemetry.histogram("request.latency")
+        for _ in range(2):
+            hist.record(1.0)
+            gw.serving.control_tick()
+        op_before = gw.serving.controller.operating_point.to_dict()
+        assert op_before["workers"] == 3
+        gw.drain(timeout_s=5.0)
+        gw.serving.stop()
+        assert store.get_meta(CONTROLLER_STATE_KEY) == op_before
+
+        successor = self._gateway(store)
+        op_after = successor.serving.controller.operating_point.to_dict()
+        assert op_after == op_before
+        counters = successor.serving.telemetry.snapshot()["counters"]
+        assert counters["controller.restored"] == 1
+
+    def test_restore_survives_a_process_restart(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        store = JsonlSessionStore(path)
+        gw = self._gateway(store)
+        gw.serving.start()
+        gw.serving.control_tick()  # idle: nothing moves, tick advances
+        gw.drain(timeout_s=5.0)
+        gw.serving.stop()
+
+        reopened = JsonlSessionStore(path)
+        successor = self._gateway(reopened)
+        assert successor.serving.controller.operating_point.tick == 1
+
+    def test_garbage_checkpoint_is_rejected_not_fatal(self):
+        store = InMemorySessionStore()
+        store.put_meta(CONTROLLER_STATE_KEY, {"workers": "many"})
+        gw = self._gateway(store)
+        op = gw.serving.controller.operating_point
+        assert op.tick == 0  # fresh start, the bad blob was ignored
+        counters = gw.serving.telemetry.snapshot()["counters"]
+        assert counters["controller.restore_rejected"] == 1
+
+    def test_static_gateway_ignores_a_checkpoint(self):
+        store = InMemorySessionStore()
+        store.put_meta(
+            CONTROLLER_STATE_KEY,
+            OperatingPoint(workers=5, batch_max=2).to_dict(),
+        )
+        server = fresh_server()
+        gw = GCGateway(
+            server,
+            config=ServingConfig(refill=False, recv_timeout_s=20.0),
+            store=store,
+        )
+        assert gw.serving.controller is None

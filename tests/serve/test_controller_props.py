@@ -1,0 +1,391 @@
+"""Property layer for the SLO controller: the four stability claims.
+
+The :class:`~repro.serve.control.SLOController` is designed so that its
+safety is *structural* — a pure function of (state, sample trace) with a
+seeded shed stream — which makes every invariant below checkable by
+hypothesis over arbitrary traces rather than hand-picked scenarios:
+
+1. **Bounded knobs** — workers never leave ``[min_workers,
+   max_workers]``, batch cap never leaves ``[min_batch, max_batch]``,
+   shed probability never leaves ``[0, max_shed]``, for any trace.
+2. **No flapping** — each knob moves at most once per
+   ``cooldown_ticks`` window: consecutive changes of the same knob are
+   always at least the cooldown apart.
+3. **Convergence to zero shed** — under any sustained below-knee load,
+   shed probability monotonically decays to exactly ``0.0`` and the
+   retry-after hint returns to its floor.
+4. **Bit-for-bit determinism** — the same (seed, trace, admission
+   sequence) produces identical decision tuples and identical shed
+   draws, run to run.
+
+Counterexamples hypothesis ever finds get pinned as explicit
+regressions in :class:`TestPinnedRegressions` so they re-run forever
+even without shrinking.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.serve import LoadSample, SLOConfig, SLOController
+from repro.serve.control import KNOBS
+from repro.telemetry import MetricsRegistry
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+def configs() -> st.SearchStrategy:
+    """Valid SLOConfigs with varied bounds, bands, and cooldowns."""
+
+    def build(draw_tuple):
+        (min_w, span_w, min_b, span_b, cooldown,
+         low_p, high_extra, q_low, q_span, shed_step, max_shed) = draw_tuple
+        return SLOConfig(
+            p99_target_ms=50.0,
+            min_workers=min_w,
+            max_workers=min_w + span_w,
+            min_batch=min_b,
+            max_batch=min_b + span_b,
+            cooldown_ticks=cooldown,
+            low_pressure=low_p,
+            high_pressure=low_p + high_extra,
+            queue_low=q_low,
+            queue_high=min(1.0, q_low + q_span),
+            shed_step=shed_step,
+            max_shed=max_shed,
+        )
+
+    return st.tuples(
+        st.integers(min_value=1, max_value=4),       # min_workers
+        st.integers(min_value=0, max_value=8),       # worker span
+        st.integers(min_value=1, max_value=4),       # min_batch
+        st.integers(min_value=0, max_value=8),       # batch span
+        st.integers(min_value=1, max_value=6),       # cooldown_ticks
+        st.floats(min_value=0.1, max_value=0.8),     # low_pressure
+        st.floats(min_value=0.1, max_value=1.0),     # high - low gap
+        st.floats(min_value=0.0, max_value=0.4),     # queue_low
+        st.floats(min_value=0.1, max_value=0.9),     # queue span
+        st.floats(min_value=0.05, max_value=0.5),    # shed_step
+        st.floats(min_value=0.25, max_value=1.0),    # max_shed
+    ).map(build)
+
+
+def samples() -> st.SearchStrategy:
+    """Arbitrary load observations, including the no-completions case
+    (p99_ms == 0.0 means latency unknown this window)."""
+    return st.builds(
+        LoadSample,
+        queue_depth=st.integers(min_value=0, max_value=64),
+        queue_capacity=st.integers(min_value=1, max_value=64),
+        inflight=st.integers(min_value=0, max_value=16),
+        workers=st.integers(min_value=1, max_value=16),
+        p50_ms=st.floats(min_value=0.0, max_value=500.0),
+        p99_ms=st.floats(min_value=0.0, max_value=500.0),
+    )
+
+
+def traces(min_size=1, max_size=60) -> st.SearchStrategy:
+    return st.lists(samples(), min_size=min_size, max_size=max_size)
+
+
+def _idle(capacity: int = 16) -> LoadSample:
+    """A clearly below-knee observation: empty queue, fast p99."""
+    return LoadSample(
+        queue_depth=0, queue_capacity=capacity, inflight=0, workers=1,
+        p50_ms=1.0, p99_ms=1.0,
+    )
+
+
+def _saturated(capacity: int = 16) -> LoadSample:
+    """A clearly past-knee observation: full queue, slow p99."""
+    return LoadSample(
+        queue_depth=capacity, queue_capacity=capacity, inflight=4,
+        workers=1, p50_ms=400.0, p99_ms=400.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# property 1: bounded knobs
+# ---------------------------------------------------------------------------
+
+class TestBoundedKnobs:
+    @settings(max_examples=120, deadline=None)
+    @given(config=configs(), trace=traces())
+    def test_knobs_never_leave_their_bounds(self, config, trace):
+        ctl = SLOController(config)
+        for sample in trace:
+            decision = ctl.tick(sample)
+            assert config.min_workers <= decision.workers <= config.max_workers
+            assert config.min_batch <= decision.batch_max <= config.max_batch
+            assert 0.0 <= decision.shed_probability <= config.max_shed
+            assert (
+                config.retry_after_min_s
+                <= decision.retry_after_s
+                <= config.retry_after_max_s
+            )
+            # the decision mirrors the live operating point exactly
+            op = ctl.operating_point
+            assert (decision.workers, decision.batch_max) == (
+                op.workers, op.batch_max
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        config=configs(),
+        start_workers=st.integers(min_value=-5, max_value=32),
+        start_batch=st.integers(min_value=-5, max_value=32),
+    )
+    def test_out_of_range_starts_are_clamped(
+        self, config, start_workers, start_batch
+    ):
+        ctl = SLOController(config, workers=start_workers, batch_max=start_batch)
+        op = ctl.operating_point
+        assert config.min_workers <= op.workers <= config.max_workers
+        assert config.min_batch <= op.batch_max <= config.max_batch
+
+
+# ---------------------------------------------------------------------------
+# property 2: no flapping — one move per knob per cooldown window
+# ---------------------------------------------------------------------------
+
+class TestNoFlap:
+    @settings(max_examples=120, deadline=None)
+    @given(config=configs(), trace=traces(max_size=80))
+    def test_each_knob_moves_at_most_once_per_cooldown(self, config, trace):
+        ctl = SLOController(config)
+        last_moved: dict = {}
+        for sample in trace:
+            decision = ctl.tick(sample)
+            # slew limit: a single tick moves at most one knob
+            assert len(decision.changed) <= 1
+            for knob in decision.changed:
+                assert knob in KNOBS
+                prev = last_moved.get(knob)
+                if prev is not None:
+                    assert decision.tick - prev >= config.cooldown_ticks, (
+                        f"{knob} flapped: moved at tick {prev} and again at "
+                        f"{decision.tick} (cooldown {config.cooldown_ticks})"
+                    )
+                last_moved[knob] = decision.tick
+
+    def test_cooldown_holds_are_counted(self):
+        tm = MetricsRegistry()
+        config = SLOConfig(max_workers=8, cooldown_ticks=4)
+        ctl = SLOController(config, telemetry=tm)
+        for _ in range(4):
+            ctl.tick(_saturated())
+        counters = tm.snapshot()["counters"]
+        assert counters["controller.scale_up"] == 1
+        assert counters["controller.cooldown_holds"] == 3
+
+
+# ---------------------------------------------------------------------------
+# property 3: convergence to zero shed below the knee
+# ---------------------------------------------------------------------------
+
+class TestConvergence:
+    @settings(max_examples=80, deadline=None)
+    @given(config=configs(), hot_ticks=st.integers(min_value=1, max_value=40))
+    def test_below_knee_load_converges_to_zero_shed(self, config, hot_ticks):
+        """Any overload history, then sustained idle: shed decays to
+        exactly zero and the retry-after hint returns to its floor."""
+        ctl = SLOController(config)
+        for _ in range(hot_ticks):
+            ctl.tick(_saturated())
+        # worst case: shed at max, one decay step per cooldown window
+        steps = int(config.max_shed / config.shed_step) + 2
+        budget = (steps + 1) * (config.cooldown_ticks + 1)
+        sheds = []
+        for _ in range(budget):
+            decision = ctl.tick(_idle())
+            sheds.append(decision.shed_probability)
+        assert sheds[-1] == 0.0
+        assert ctl.operating_point.retry_after_s == config.retry_after_min_s
+        # and the decay is monotone: relaxing never raises shed
+        for before, after in zip(sheds, sheds[1:]):
+            assert after <= before
+        # with shed at zero the controller never sheds a request
+        assert not any(ctl.should_shed("anyone") for _ in range(32))
+
+    @settings(max_examples=80, deadline=None)
+    @given(config=configs(), trace=traces())
+    def test_dead_band_holds_everything(self, config, trace):
+        """A mid-band sample (neither overloaded nor underloaded) never
+        moves any knob, from any state the trace drove the loop into."""
+        ctl = SLOController(config)
+        for sample in trace:
+            ctl.tick(sample)
+        mid_frac = (config.queue_low + config.queue_high) / 2.0
+        capacity = 1000
+        mid = LoadSample(
+            queue_depth=min(
+                capacity - 1, max(1, int(mid_frac * capacity) + 1)
+            ),
+            queue_capacity=capacity,
+            p50_ms=0.0,
+            p99_ms=0.0,  # latency unknown: only queue signals drive
+        )
+        # mid-band on the queue with unknown latency is a hold...
+        if config.queue_low < mid.queue_depth / capacity < config.queue_high:
+            before = ctl.operating_point.to_dict()
+            decision = ctl.tick(mid)
+            assert decision.changed == ()
+            after = ctl.operating_point.to_dict()
+            before["tick"] += 1
+            assert after == before
+
+
+# ---------------------------------------------------------------------------
+# property 4: bit-for-bit determinism
+# ---------------------------------------------------------------------------
+
+def _run(config, trace, seed, draws_per_tick=3):
+    """One full replay: decisions plus interleaved shed draws."""
+    ctl = SLOController(config, seed=seed)
+    out = []
+    for i, sample in enumerate(trace):
+        d = ctl.tick(sample)
+        shed_bits = tuple(
+            ctl.should_shed(f"tenant-{j}") for j in range(draws_per_tick)
+        )
+        out.append((d.tick, d.workers, d.batch_max, d.shed_probability,
+                    d.retry_after_s, d.changed, shed_bits))
+    out.append(tuple(sorted(ctl.operating_point.to_dict().items(),
+                            key=lambda kv: kv[0])))
+    return out
+
+
+class TestDeterminism:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        config=configs(),
+        trace=traces(),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_same_seed_and_trace_replay_identically(self, config, trace, seed):
+        assert _run(config, trace, seed) == _run(config, trace, seed)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces(min_size=5, max_size=30))
+    def test_distinct_seeds_shed_distinct_requests(self, trace):
+        """The shed stream actually depends on the seed: force shed to
+        max and compare long draw sequences under two seeds."""
+        config = SLOConfig(max_workers=1, min_batch=1, max_batch=1,
+                           cooldown_ticks=1, shed_step=0.5, max_shed=0.5)
+
+        def draws(seed):
+            ctl = SLOController(config, seed=seed)
+            ctl.tick(_saturated())  # workers pinned, batch pinned -> shed up
+            assert ctl.operating_point.shed_probability == 0.5
+            return tuple(ctl.should_shed() for _ in range(256))
+
+        a, b = draws(1), draws(2)
+        assert any(a)  # at p=0.5 over 256 draws, some must shed...
+        assert not all(a)  # ...and some must pass
+        assert a != b
+
+    def test_draw_stream_is_counter_indexed_not_stateful(self):
+        """Restoring the operating point (draws counter included)
+        resumes the exact same shed stream mid-flight."""
+        config = SLOConfig(max_workers=1, max_batch=1, cooldown_ticks=1,
+                           shed_step=0.5, max_shed=0.5)
+        ctl = SLOController(config, seed=7)
+        ctl.tick(_saturated())
+        full = [ctl.should_shed() for _ in range(64)]
+
+        ctl2 = SLOController(config, seed=7)
+        ctl2.tick(_saturated())
+        head = [ctl2.should_shed() for _ in range(20)]
+        clone = SLOController(config, seed=7)
+        clone.restore(ctl2.operating_point)
+        tail = [clone.should_shed() for _ in range(44)]
+        assert head + tail == full
+
+
+# ---------------------------------------------------------------------------
+# pinned regressions — explicit replays of hypothesis counterexamples
+# ---------------------------------------------------------------------------
+
+class TestPinnedRegressions:
+    def test_shed_decay_rounds_exactly_to_zero(self):
+        """Pinned: with shed_step=0.3 and max_shed=0.9, three decays
+        must land on exactly 0.0, not 1e-17 float dust (the round(...)
+        in the controller is what makes convergence *exact*)."""
+        config = SLOConfig(max_workers=1, max_batch=1, cooldown_ticks=1,
+                           shed_step=0.3, max_shed=0.9)
+        ctl = SLOController(config)
+        for _ in range(3):
+            ctl.tick(_saturated())
+        assert ctl.operating_point.shed_probability == pytest.approx(0.9)
+        for _ in range(3):
+            ctl.tick(_idle())
+        assert ctl.operating_point.shed_probability == 0.0
+
+    def test_zero_capacity_sample_does_not_divide_by_zero(self):
+        """Pinned: a sample with queue_capacity=0 (a stopped server's
+        snapshot) must not crash the tick; capacity floors at 1."""
+        ctl = SLOController(SLOConfig())
+        decision = ctl.tick(LoadSample(queue_depth=0, queue_capacity=0))
+        assert decision.tick == 1
+
+    def test_degenerate_single_point_bounds_hold_forever(self):
+        """Pinned: min==max on every knob plus max_shed hit means the
+        ladder tops out — further overload ticks change nothing and
+        never report phantom moves."""
+        config = SLOConfig(min_workers=2, max_workers=2, min_batch=3,
+                           max_batch=3, cooldown_ticks=1, shed_step=1.0,
+                           max_shed=1.0)
+        ctl = SLOController(config)
+        first = ctl.tick(_saturated())
+        assert first.changed == ("shed",)
+        for _ in range(10):
+            decision = ctl.tick(_saturated())
+            assert decision.changed == ()
+            assert (decision.workers, decision.batch_max) == (2, 3)
+            assert decision.shed_probability == 1.0
+
+    def test_unknown_latency_alone_never_escalates(self):
+        """Pinned: p99_ms == 0.0 (no completions) with a mid queue is a
+        hold, not an overload — an idle-but-warm server must not creep
+        its knobs on missing data."""
+        config = SLOConfig(queue_low=0.25, queue_high=0.75)
+        ctl = SLOController(config)
+        for _ in range(12):
+            decision = ctl.tick(
+                LoadSample(queue_depth=8, queue_capacity=16, p99_ms=0.0)
+            )
+            assert decision.changed == ()
+
+    def test_restore_reclamps_against_narrower_successor_bounds(self):
+        """Pinned: a successor configured with fewer max workers must
+        clamp an inherited wider operating point, not run outside its
+        own envelope."""
+        wide = SLOController(SLOConfig(max_workers=8, cooldown_ticks=1))
+        for _ in range(7):
+            wide.tick(_saturated())
+        assert wide.operating_point.workers == 8
+        narrow = SLOController(SLOConfig(max_workers=3))
+        narrow.restore(wide.operating_point)
+        assert narrow.operating_point.workers == 3
+        assert narrow.operating_point.tick == wide.operating_point.tick
+
+    def test_invalid_configs_are_rejected(self):
+        for bad in (
+            dict(p99_target_ms=0.0),
+            dict(min_workers=0),
+            dict(max_workers=1, min_workers=2),
+            dict(min_batch=0),
+            dict(max_batch=1, min_batch=2),
+            dict(cooldown_ticks=0),
+            dict(low_pressure=0.9, high_pressure=0.5),
+            dict(queue_low=0.8, queue_high=0.4),
+            dict(shed_step=0.0),
+            dict(max_shed=1.5),
+            dict(retry_after_min_s=0.0),
+            dict(classes=(("tenant", "platinum"),)),
+            dict(classes=(("", "gold"),)),
+            dict(classes=("not-a-pair",)),
+        ):
+            with pytest.raises(ConfigurationError):
+                SLOConfig(**bad).validate()

@@ -219,10 +219,13 @@ class TestTenantScheduler:
 
 class FakeServing:
     """Just enough of ServingServer for the batcher, with a live
-    :class:`TenantScheduler` attached (the PR 8 adoption seam)."""
+    :class:`TenantScheduler` attached (the PR 8 adoption seam).
+
+    Deliberately has NO ``resume_batch_cap`` attribute: batcher code
+    must ``getattr``-guard the controller seam, not assume it."""
 
     def __init__(self, depth=64, credit_cap=2, max_inflight=2):
-        self.config = ServingConfig(refill=False)
+        self.config = ServingConfig(refill=False, queue_depth=depth)
         self.scheduler = TenantScheduler(
             credit_cap=credit_cap, max_inflight=max_inflight
         )
@@ -298,3 +301,59 @@ class TestAdoptionFairness:
         snap = serving.scheduler.snapshot()["tenants"]["t"]
         assert snap["inflight"] == 0
         serving.scheduler.check_invariants()
+
+
+class TestAdoptionBatchHeadroom:
+    """The PR 10 batcher fix: adoption batches used to be sized from
+    static config even when the serving queue was nearly full, landing
+    a full-size batch exactly when the fleet had no room for it.
+    ``effective_max_batch`` now caps by live queue headroom (and by the
+    SLO controller's adoption ceiling, when one is attached)."""
+
+    def test_static_config_sizing_without_controller_or_pressure(self):
+        serving = FakeServing(depth=64, credit_cap=64, max_inflight=64)
+        batcher = ResumeBatcher(serving, window_s=60.0, max_batch=4)
+        # FakeServing has no resume_batch_cap: the getattr guard holds
+        assert batcher.effective_max_batch() == 4
+
+    def test_saturated_queue_shrinks_the_batch_to_headroom(self):
+        serving = FakeServing(depth=4, credit_cap=64, max_inflight=64)
+        for _ in range(2):
+            serving._queue.put_nowait(object())  # live traffic: 2 of 4
+        batcher = ResumeBatcher(serving, window_s=60.0, max_batch=4)
+        assert batcher.effective_max_batch() == 2
+        # the flush trigger honours the shrunken cap: two submissions
+        # flush immediately instead of waiting to accumulate four
+        batcher.submit(checkpoint_stub("s-1", tenant="t1"), None, None)
+        assert not serving.enqueued
+        batcher.submit(checkpoint_stub("s-2", tenant="t2"), None, None)
+        assert len(serving.enqueued) == 1
+        assert len(serving.enqueued[0].entries) == 2
+
+    def test_controller_cap_bounds_the_batch(self):
+        serving = FakeServing(depth=64, credit_cap=64, max_inflight=64)
+        serving.resume_batch_cap = 2  # what an SLO controller exposes
+        batcher = ResumeBatcher(serving, window_s=60.0, max_batch=8)
+        assert batcher.effective_max_batch() == 2
+        serving.resume_batch_cap = 1
+        assert batcher.effective_max_batch() == 1
+        batcher.submit(checkpoint_stub("s-1", tenant="t1"), None, None)
+        assert len(serving.enqueued) == 1
+        assert len(serving.enqueued[0].entries) == 1
+
+    def test_headroom_floor_is_one(self):
+        """One free slot left: the batch shrinks to 1, it does not
+        wedge at 0 (the submit pre-check already sheds a full queue)."""
+        serving = FakeServing(depth=4, credit_cap=64, max_inflight=64)
+        for _ in range(3):
+            serving._queue.put_nowait(object())
+        batcher = ResumeBatcher(serving, window_s=60.0, max_batch=4)
+        assert batcher.effective_max_batch() == 1
+
+    def test_full_queue_still_sheds_typed_at_submit(self):
+        serving = FakeServing(depth=2, credit_cap=64, max_inflight=64)
+        for _ in range(2):
+            serving._queue.put_nowait(object())
+        batcher = ResumeBatcher(serving, window_s=60.0, max_batch=4)
+        with pytest.raises(OverloadedError, match="batched admission shed"):
+            batcher.submit(checkpoint_stub("s-1", tenant="t"), None, None)
